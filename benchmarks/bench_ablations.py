@@ -1,0 +1,112 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+A1 — record buffering (paper: the primary buffers records and sends
+them periodically or on output commit).
+A2 — progress-tracking cost (paper: ~12 instructions added to the
+dispatch loop dominate TS overhead; a deterministic-yield-point design
+would shrink it).
+A3 — interval coalescing (paper §6: DejaVu-style logical intervals
+would reduce mtrt's events by orders of magnitude).
+"""
+
+from repro.env.environment import Environment
+from repro.harness.ablations import (
+    buffering_sweep,
+    coalesce_lock_records,
+    tracking_sweep,
+)
+from repro.harness.costs import DEFAULT_COST_MODEL
+from repro.harness.runner import get_all_runs
+from repro.harness.tables import render_table
+from repro.replication.machine import ReplicatedJVM
+from repro.workloads import BY_NAME
+
+
+def test_ablation_buffering(benchmark, bench_profile, save_result):
+    """A1: bigger batches, fewer messages, cheaper communication —
+    with diminishing returns once per-byte cost dominates."""
+    sweep = benchmark.pedantic(
+        lambda: buffering_sweep(BY_NAME["db"], bench_profile,
+                                batch_sizes=(1, 16, 64, 512)),
+        rounds=1, iterations=1,
+    )
+    rows = [[batch, r["messages"], r["records"], r["bytes"],
+             r["communication_cost"]] for batch, r in sorted(sweep.items())]
+    save_result("ablation_buffering", render_table(
+        "Ablation A1: record buffering (db, lock-sync primary)",
+        ["Batch", "Messages", "Records", "Bytes", "Comm cost"], rows,
+    ))
+
+    if bench_profile != "bench":
+        return
+    messages = [sweep[b]["messages"] for b in sorted(sweep)]
+    assert messages == sorted(messages, reverse=True)
+    assert sweep[1]["messages"] > 50 * sweep[512]["messages"]
+    # identical records/bytes regardless of batching
+    assert len({sweep[b]["records"] for b in sweep}) == 1
+    cost = [sweep[b]["communication_cost"] for b in sorted(sweep)]
+    assert cost == sorted(cost, reverse=True)
+    # diminishing returns: the 64->512 saving is smaller than 1->16
+    assert (cost[0] - cost[1]) > (cost[2] - cost[3])
+
+
+def test_ablation_tracking_cost(benchmark, bench_profile, save_result):
+    """A2: thread-sched overhead as a function of the per-bytecode
+    tracking charge; charge 0.0 models deterministic yield points."""
+    runs = benchmark.pedantic(
+        lambda: get_all_runs(bench_profile), rounds=1, iterations=1,
+    )
+    rows = []
+    results = {}
+    for name in ("compress", "mpegaudio", "db"):
+        run = runs[name]
+        base = DEFAULT_COST_MODEL.base_time(run.baseline)
+        sweep = tracking_sweep(run.thread_sched.primary, base)
+        results[name] = sweep
+        rows.append([name] + [sweep[c] for c in sorted(sweep)])
+    save_result("ablation_tracking", render_table(
+        "Ablation A2: TS overhead vs per-bytecode tracking charge",
+        ["Workload", "0.0", "0.1", "0.4", "1.0"], rows,
+    ))
+
+    if bench_profile != "bench":
+        return
+    for name, sweep in results.items():
+        values = [sweep[c] for c in sorted(sweep)]
+        assert values == sorted(values), name          # monotone
+        # With no per-bytecode tracking (Jikes-style deterministic
+        # scheduler), the remaining overhead is small — the paper's
+        # "lower overhead substantially" expectation.
+        assert sweep[0.0] - 1 < 0.35 * (sweep[1.0] - 1), name
+
+
+def test_ablation_interval_coalescing(benchmark, bench_profile, save_result):
+    """A3: consecutive same-thread lock acquisitions collapse into
+    intervals; mtrt's log shrinks by orders of magnitude."""
+    def run_mtrt():
+        workload = BY_NAME["mtrt"]
+        env = Environment()
+        workload.prepare_env(env, bench_profile)
+        machine = ReplicatedJVM(workload.compile(bench_profile), env=env,
+                                strategy="lock_sync")
+        result = machine.run(workload.main_class)
+        assert result.final_result.ok
+        machine.channel.flush()
+        return coalesce_lock_records(machine.channel.backup_log())
+
+    records, intervals = benchmark.pedantic(run_mtrt, rounds=1, iterations=1)
+    save_result("ablation_intervals", render_table(
+        "Ablation A3: interval coalescing (mtrt, lock acquisition log)",
+        ["Representation", "Events"],
+        [["per-acquisition records", records],
+         ["coalesced intervals", intervals],
+         ["reduction factor", records / max(intervals, 1)]],
+    ))
+    if bench_profile != "bench":
+        return
+    assert records > intervals
+    # The paper reports 4 orders of magnitude for real mtrt (700k
+    # acquisitions, 56 intervals).  The reduction factor scales with
+    # acquisitions-per-time-slice; our quantum is scaled down along
+    # with the workload, so the factor is smaller but still material.
+    assert records / max(intervals, 1) >= 2

@@ -1,0 +1,37 @@
+"""Shared benchmark infrastructure.
+
+All four table/figure benchmarks consume the same five executions per
+workload; :func:`repro.harness.runner.get_all_runs` memoizes them, so
+the full matrix (6 workloads x 5 configurations) runs once per pytest
+session.  Rendered tables are also written to ``benchmarks/results/``
+so EXPERIMENTS.md can reference the exact output.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Profile for benchmark runs.  Override with REPRO_BENCH_PROFILE=test
+#: for a fast smoke pass.
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "bench")
+
+
+@pytest.fixture(scope="session")
+def bench_profile():
+    return PROFILE
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name, text):
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print()
+        print(text)
+
+    return _save

@@ -1,0 +1,119 @@
+"""Application-supplied native methods with a custom side-effect handler.
+
+The paper's side-effect handler interface (§4.4) exists precisely so
+that applications can bring their own native methods — here a "badge
+printer" device — and still get exactly-once output across failover.
+We declare the native class to the compiler, implement the native
+against the simulated environment, attach a handler that can *test*
+whether a print completed, and sweep every crash point.
+
+Run:  python examples/custom_native_device.py
+"""
+
+from repro import Environment, ReplicatedJVM, compile_program
+from repro.minijava import NativeClassSpec, NativeMethodSpec
+from repro.replication import SideEffectHandler
+from repro.runtime.natives import NativeSpec
+from repro.runtime.stdlib import build_natives
+
+# --- 1. Declare the device class to the MiniJava compiler. -----------
+PRINTER = NativeClassSpec("Printer", methods=(
+    NativeMethodSpec("print", ("String",), "void"),
+    NativeMethodSpec("jobs", (), "int"),
+))
+
+# --- 2. Implement the natives against the environment. ---------------
+# The device's stable state is the file "printer.spool" (one line per
+# badge); its job counter is derivable from the spool.
+
+
+def _print_impl(ctx, receiver, args):
+    session = ctx.output_target()
+    spool = (session.env.fs.contents("printer.spool")
+             if session.env.fs.exists("printer.spool") else "")
+    session.env.fs.put("printer.spool", spool + args[0] + "\n")
+    return None
+
+
+def _jobs_impl(ctx, receiver, args):
+    session = ctx.file_input()
+    if not session.env.fs.exists("printer.spool"):
+        return 0
+    return session.env.fs.contents("printer.spool").count("\n")
+
+
+# --- 3. The side-effect handler: makes printing *testable* (R5). -----
+class PrinterHandler(SideEffectHandler):
+    name = "printer"
+
+    def log(self, session, spec, receiver, args, outcome):
+        if spec.signature != "Printer.print/1":
+            return None
+        spool = session.env.fs.contents("printer.spool")
+        return {"op": "printed", "lines": spool.count("\n")}
+
+    def receive(self, state, payload):
+        state["lines"] = payload["lines"]
+
+    def test(self, env, state, spec, args):
+        if not env.fs.exists("printer.spool"):
+            return False
+        return env.fs.contents("printer.spool").count("\n") \
+            >= state.get("lines", 0) + 1
+
+
+SOURCE = """
+class Main {
+    static void main(String[] args) {
+        Printer.print("badge: alice");
+        Printer.print("badge: bob");
+        Printer.print("badge: carol");
+        System.println("printed " + Printer.jobs() + " badges");
+    }
+}
+"""
+
+
+def build():
+    natives = build_natives()
+    natives.register(NativeSpec(
+        "Printer.print/1", _print_impl,
+        is_output=True, testable=True, se_handler="printer",
+    ))
+    natives.register(NativeSpec(
+        "Printer.jobs/0", _jobs_impl, deterministic=False,
+    ))
+    registry = compile_program(SOURCE, native_classes=[PRINTER])
+    return registry, natives
+
+
+def main() -> None:
+    registry, natives = build()
+    env = Environment()
+    machine = ReplicatedJVM(registry, natives=natives, env=env,
+                            se_handlers=[PrinterHandler()])
+    machine.run("Main")
+    reference = env.fs.contents("printer.spool")
+    print("== reference spool ==")
+    print(reference)
+    total_events = machine.shipper.injector.events
+
+    bad = 0
+    for crash_at in range(1, total_events + 1):
+        registry, natives = build()
+        env = Environment()
+        machine = ReplicatedJVM(registry, natives=natives, env=env,
+                                se_handlers=[PrinterHandler()],
+                                crash_at=crash_at)
+        result = machine.run("Main")
+        assert result.failed_over
+        if env.fs.contents("printer.spool") != reference:
+            bad += 1
+            print(f"crash@{crash_at}: spool diverged!")
+    print(f"swept {total_events} crash points, divergent: {bad}")
+    assert bad == 0
+    print("every badge printed exactly once, at every crash point ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""A crash-consistent ledger: file I/O with volatile-state recovery.
+
+The ledger program appends transaction lines to a file through the
+(volatile) file-descriptor table.  The paper's side-effect handlers
+(§4.4) rebuild the fd table and offsets at the backup, and the
+output-commit protocol guarantees each line lands exactly once — no
+matter where the primary dies.
+
+This example sweeps the crash point across *every* event of the
+execution and checks the final ledger after each failover.
+
+Run:  python examples/failover_file_io.py
+"""
+
+from repro import Environment, ReplicatedJVM, compile_program
+
+SOURCE = """
+class Ledger {
+    int fd;
+    int balance;
+    Ledger(String path) { fd = Files.open(path, "w"); }
+    void record(String who, int amount) {
+        balance = balance + amount;
+        Files.writeLine(fd, who + " " + amount + " -> " + balance);
+    }
+    void close() {
+        Files.writeLine(fd, "final " + balance);
+        Files.close(fd);
+    }
+}
+
+class Main {
+    static void main(String[] args) {
+        Ledger ledger = new Ledger("ledger.txt");
+        ledger.record("alice", 120);
+        ledger.record("bob", -40);
+        ledger.record("carol", 55);
+        ledger.record("dave", -15);
+        ledger.close();
+        System.println("ledger committed, size=" + Files.size("ledger.txt"));
+    }
+}
+"""
+
+
+def run_once(crash_at=None):
+    env = Environment()
+    machine = ReplicatedJVM(compile_program(SOURCE), env=env,
+                            crash_at=crash_at)
+    result = machine.run("Main")
+    return env, machine, result
+
+
+def main() -> None:
+    env, machine, result = run_once()
+    reference = env.fs.contents("ledger.txt")
+    total_events = machine.shipper.injector.events
+    print("== reference ledger (no failure) ==")
+    print(reference)
+    print(f"execution spans {total_events} crash-injectable events\n")
+
+    failures = 0
+    reexecuted = tested = 0
+    for crash_at in range(1, total_events + 1):
+        env, machine, result = run_once(crash_at)
+        assert result.failed_over
+        ledger = env.fs.contents("ledger.txt")
+        status = "OK " if ledger == reference else "BAD"
+        if ledger != reference:
+            failures += 1
+            print(f"crash@{crash_at:3d}: {status}")
+        tested += machine.backup_metrics.outputs_tested
+        reexecuted += machine.backup_metrics.outputs_reexecuted
+
+    print(f"swept {total_events} crash points: "
+          f"{total_events - failures} exactly-once, {failures} divergent")
+    print(f"uncertain outputs resolved by testing: {tested}, "
+          f"by idempotent re-execution: {reexecuted}")
+    assert failures == 0
+    print("\nthe ledger is crash-consistent at every failure point ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro — A Fault-Tolerant Java Virtual Machine (DSN 2003), reproduced.
+
+A from-scratch mini-JVM (bytecode ISA, interpreter, green threads,
+monitors, GC, native interface), a MiniJava compiler, and the paper's
+primary-backup replication layer with two replica-coordination
+strategies: replicated lock synchronization and replicated thread
+scheduling.
+
+Quickstart::
+
+    from repro import compile_program, ReplicatedJVM, Environment
+
+    registry = compile_program(source_text)
+    machine = ReplicatedJVM(registry, env=Environment(),
+                            strategy="thread_sched", crash_at=40)
+    result = machine.run("Main")
+    assert result.failed_over
+"""
+
+from repro.errors import (
+    ReproError, CompileError, BytecodeError, VerifyError, ClassFormatError,
+    LinkageError, NativeError, RestrictionViolation, UncaughtJavaException,
+    DeadlockError, ReplicationError, RecoveryError, PrimaryCrashed,
+)
+from repro.env import Environment, Channel
+from repro.minijava import compile_program
+from repro.runtime import (
+    JVM, JVMConfig, RunResult, default_natives, new_program_registry,
+)
+from repro.replication import (
+    ReplicatedJVM, FailoverResult, ReplicaSettings, run_unreplicated,
+    SideEffectHandler,
+)
+from repro.workloads import ALL_WORKLOADS, BY_NAME
+from repro.harness import CostModel, DEFAULT_COST_MODEL, get_all_runs
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError", "CompileError", "BytecodeError", "VerifyError",
+    "ClassFormatError", "LinkageError", "NativeError",
+    "RestrictionViolation", "UncaughtJavaException", "DeadlockError",
+    "ReplicationError", "RecoveryError", "PrimaryCrashed",
+    "Environment", "Channel",
+    "compile_program",
+    "JVM", "JVMConfig", "RunResult", "default_natives",
+    "new_program_registry",
+    "ReplicatedJVM", "FailoverResult", "ReplicaSettings",
+    "run_unreplicated", "SideEffectHandler",
+    "ALL_WORKLOADS", "BY_NAME",
+    "CostModel", "DEFAULT_COST_MODEL", "get_all_runs",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Bytecode instruction set, builder, assembler, and verifier."""
+
+from repro.bytecode.opcodes import Op, OP_INFO, CMP_OPS, ARRAY_TYPES, compare
+from repro.bytecode.instructions import Instruction, ExceptionEntry, Code, ins
+from repro.bytecode.builder import CodeBuilder
+from repro.bytecode.assembler import assemble, disassemble
+from repro.bytecode.methodref import MethodRef, method_ref, parse_method_ref
+from repro.bytecode.verifier import verify, stack_effect
+
+__all__ = [
+    "Op", "OP_INFO", "CMP_OPS", "ARRAY_TYPES", "compare",
+    "Instruction", "ExceptionEntry", "Code", "ins",
+    "CodeBuilder", "assemble", "disassemble",
+    "MethodRef", "method_ref", "parse_method_ref",
+    "verify", "stack_effect",
+]

@@ -1,0 +1,183 @@
+"""A tiny textual assembler and disassembler for method bodies.
+
+The text format exists for tests, debugging, and golden files.  One
+instruction per line; ``label:`` lines define jump targets; ``;``
+starts a comment.  String literals use Python-style double quotes.
+
+Example::
+
+    load 0
+    iconst 10
+    if_icmp ge done
+    load 0
+    iconst 1
+    iadd
+    store 0
+    goto top
+  done:
+    return
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.errors import BytecodeError
+from repro.bytecode.builder import CodeBuilder
+from repro.bytecode.instructions import Code
+from repro.bytecode.opcodes import (
+    MNEMONIC_TO_OP,
+    OP_INFO,
+    OperandKind,
+)
+
+_TOKEN_RE = re.compile(r'"(?:[^"\\]|\\.)*"|\S+')
+_ESCAPES = {"n": "\n", "t": "\t", '"': '"', "\\": "\\", "r": "\r", "0": "\0"}
+
+
+def _unescape(literal: str) -> str:
+    body = literal[1:-1]
+    out: List[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            i += 1
+            if i >= len(body):
+                raise BytecodeError("dangling escape in string literal")
+            esc = body[i]
+            if esc not in _ESCAPES:
+                raise BytecodeError(f"unknown escape \\{esc}")
+            out.append(_ESCAPES[esc])
+        else:
+            out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _escape(value: str) -> str:
+    out = value.replace("\\", "\\\\").replace('"', '\\"')
+    out = out.replace("\n", "\\n").replace("\t", "\\t").replace("\r", "\\r")
+    return f'"{out}"'
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a trailing ``;`` comment, honouring string literals."""
+    in_string = False
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if in_string:
+            if ch == "\\":
+                i += 1
+            elif ch == '"':
+                in_string = False
+        elif ch == '"':
+            in_string = True
+        elif ch == ";":
+            return line[:i]
+        i += 1
+    return line
+
+
+def assemble(source: str, max_locals: int = 0) -> Code:
+    """Assemble a textual method body into :class:`Code`.
+
+    Args:
+        source: the assembly text.
+        max_locals: minimum local-slot count (see CodeBuilder.assemble).
+
+    Raises:
+        BytecodeError: on any syntactic or structural problem; the
+            message includes the 1-based line number.
+    """
+    builder = CodeBuilder()
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if line.endswith(":") and " " not in line:
+            builder.label(line[:-1])
+            continue
+        tokens = _TOKEN_RE.findall(line)
+        mnemonic, args = tokens[0], tokens[1:]
+        op = MNEMONIC_TO_OP.get(mnemonic)
+        if op is None:
+            raise BytecodeError(f"line {lineno}: unknown opcode {mnemonic!r}")
+        kinds = OP_INFO[op].operand_kinds
+        if len(args) != len(kinds):
+            raise BytecodeError(
+                f"line {lineno}: {mnemonic} expects {len(kinds)} operand(s), "
+                f"got {len(args)}"
+            )
+        operands = []
+        for token, kind in zip(args, kinds):
+            operands.append(_parse_operand(token, kind, lineno))
+        try:
+            builder.emit(op, *operands, line=lineno)
+        except BytecodeError as err:
+            raise BytecodeError(f"line {lineno}: {err}") from None
+    return builder.assemble(min_locals=max_locals)
+
+
+def _parse_operand(token: str, kind: OperandKind, lineno: int):
+    try:
+        if kind is OperandKind.INT:
+            return int(token, 0)
+        if kind is OperandKind.FLOAT:
+            return float(token)
+        if kind is OperandKind.STRING:
+            if not (token.startswith('"') and token.endswith('"')):
+                raise BytecodeError("string operand must be quoted")
+            return _unescape(token)
+        if kind is OperandKind.LOCAL:
+            return int(token, 0)
+        if kind is OperandKind.LABEL:
+            return int(token) if token.lstrip("-").isdigit() else token
+        # CLASS / FIELD / METHOD / CMP / TYPE are bare tokens
+        return token
+    except (ValueError, BytecodeError) as err:
+        raise BytecodeError(f"line {lineno}: bad operand {token!r}: {err}") from None
+
+
+def disassemble(code: Code) -> str:
+    """Render a :class:`Code` back to assembly text (labels synthesized).
+
+    ``assemble(disassemble(code))`` produces an equivalent method body;
+    the round trip is exercised by property-based tests.
+    """
+    targets = set()
+    for instr in code.instructions:
+        kinds = OP_INFO[instr.op].operand_kinds
+        for operand, kind in zip(instr.operands, kinds):
+            if kind is OperandKind.LABEL:
+                targets.add(operand)
+    for row in code.exception_table:
+        targets.update((row.start_pc, row.end_pc, row.handler_pc))
+
+    label_names = {pc: f"L{pc}" for pc in sorted(targets)}
+    lines: List[str] = []
+    for row in code.exception_table:
+        lines.append(
+            f"; .catch {row.class_name} [{label_names[row.start_pc]}, "
+            f"{label_names[row.end_pc]}) -> {label_names[row.handler_pc]}"
+        )
+    for pc, instr in enumerate(code.instructions):
+        if pc in label_names:
+            lines.append(f"{label_names[pc]}:")
+        rendered = []
+        kinds = OP_INFO[instr.op].operand_kinds
+        for operand, kind in zip(instr.operands, kinds):
+            if kind is OperandKind.LABEL:
+                rendered.append(label_names[operand])
+            elif kind is OperandKind.STRING:
+                rendered.append(_escape(operand))
+            else:
+                rendered.append(str(operand))
+        lines.append("  " + " ".join([instr.op.value] + rendered))
+    end_pc = len(code.instructions)
+    if end_pc in label_names:
+        lines.append(f"{label_names[end_pc]}:")
+        lines.append("  nop")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,152 @@
+"""Programmatic construction of method bodies with symbolic labels.
+
+The MiniJava code generator and hand-written tests use
+:class:`CodeBuilder` to emit instructions with string labels, then call
+:meth:`CodeBuilder.assemble` to resolve labels to integer pcs and
+produce a validated :class:`~repro.bytecode.instructions.Code`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import BytecodeError
+from repro.bytecode.instructions import Code, ExceptionEntry, Instruction, ins
+from repro.bytecode.opcodes import OP_INFO, Op, OperandKind
+
+
+class CodeBuilder:
+    """Accumulates instructions, labels, and exception-table regions."""
+
+    def __init__(self) -> None:
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._regions: List[Tuple[str, str, str, str]] = []
+        self._local_names: Dict[str, int] = {}
+        self._next_local = 0
+
+    # ------------------------------------------------------------------
+    # Locals management
+    # ------------------------------------------------------------------
+    def reserve_local(self, name: Optional[str] = None) -> int:
+        """Allocate a fresh local slot, optionally bound to a name."""
+        slot = self._next_local
+        self._next_local += 1
+        if name is not None:
+            if name in self._local_names:
+                raise BytecodeError(f"local {name!r} already reserved")
+            self._local_names[name] = slot
+        return slot
+
+    def local(self, name: str) -> int:
+        """Slot index of a named local."""
+        try:
+            return self._local_names[name]
+        except KeyError:
+            raise BytecodeError(f"unknown local {name!r}") from None
+
+    @property
+    def max_locals(self) -> int:
+        return self._next_local
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    @property
+    def pc(self) -> int:
+        """The pc the next emitted instruction will occupy."""
+        return len(self._instructions)
+
+    def emit(self, op: Op, *operands: Any, line: int = 0) -> "CodeBuilder":
+        self._instructions.append(ins(op, *operands, line=line))
+        return self
+
+    def label(self, name: str) -> "CodeBuilder":
+        """Define ``name`` at the current pc."""
+        if name in self._labels:
+            raise BytecodeError(f"label {name!r} defined twice")
+        self._labels[name] = self.pc
+        return self
+
+    def fresh_label(self, hint: str = "L") -> str:
+        """Generate a unique label name (not yet placed)."""
+        n = 0
+        while f"{hint}{n}" in self._labels or f"{hint}{n}" in self._pending_names():
+            n += 1
+        name = f"{hint}{n}"
+        # Reserve it so a second fresh_label call cannot return the same name
+        # before the caller places it.
+        self._reserved = getattr(self, "_reserved", set())
+        self._reserved.add(name)
+        return name
+
+    def _pending_names(self) -> set:
+        return getattr(self, "_reserved", set())
+
+    def exception_region(
+        self, start: str, end: str, handler: str, class_name: str = "*"
+    ) -> "CodeBuilder":
+        """Register an exception-table row using symbolic labels."""
+        self._regions.append((start, end, handler, class_name))
+        return self
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def assemble(self, min_locals: int = 0) -> Code:
+        """Resolve labels and produce a :class:`Code`.
+
+        Args:
+            min_locals: lower bound on ``max_locals`` (method parameter
+                count — parameters occupy the first slots even when the
+                body never reserved them explicitly).
+
+        Raises:
+            BytecodeError: on undefined labels or out-of-range targets.
+        """
+        resolved: List[Instruction] = []
+        for instr in self._instructions:
+            info = OP_INFO[instr.op]
+            if OperandKind.LABEL not in info.operand_kinds:
+                resolved.append(instr)
+                continue
+            operands = list(instr.operands)
+            for i, kind in enumerate(info.operand_kinds):
+                if kind is not OperandKind.LABEL:
+                    continue
+                target = operands[i]
+                if isinstance(target, str):
+                    if target not in self._labels:
+                        raise BytecodeError(f"undefined label {target!r}")
+                    operands[i] = self._labels[target]
+                if not 0 <= operands[i] <= len(self._instructions):
+                    raise BytecodeError(
+                        f"jump target {operands[i]} out of range "
+                        f"(method has {len(self._instructions)} instructions)"
+                    )
+            resolved.append(Instruction(instr.op, tuple(operands), instr.line))
+
+        table = []
+        for start, end, handler, class_name in self._regions:
+            try:
+                row = ExceptionEntry(
+                    self._labels[start],
+                    self._labels[end],
+                    self._labels[handler],
+                    class_name,
+                )
+            except KeyError as missing:
+                raise BytecodeError(
+                    f"exception region references undefined label {missing}"
+                ) from None
+            if row.start_pc > row.end_pc:
+                raise BytecodeError(
+                    f"exception region [{row.start_pc}, {row.end_pc}) is inverted"
+                )
+            table.append(row)
+
+        return Code(
+            instructions=resolved,
+            max_locals=max(self._next_local, min_locals),
+            exception_table=table,
+        )

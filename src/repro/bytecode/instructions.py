@@ -1,0 +1,119 @@
+"""Instruction representation and structural validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+from repro.errors import BytecodeError
+from repro.bytecode.opcodes import (
+    ARRAY_TYPES,
+    CMP_OPS,
+    OP_INFO,
+    Op,
+    OperandKind,
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single bytecode instruction.
+
+    Operands are fully decoded Python values; jump targets are integer
+    program counters (indexes into the method's code list) once the
+    method has been assembled.
+
+    Attributes:
+        op: the opcode.
+        operands: decoded operand tuple matching ``OP_INFO[op].operand_kinds``.
+        line: source line for diagnostics (0 when unknown).
+    """
+
+    op: Op
+    operands: Tuple[Any, ...] = ()
+    line: int = 0
+
+    def __repr__(self) -> str:  # compact, useful in test failures
+        ops = " ".join(repr(o) for o in self.operands)
+        return f"<{self.op.value}{' ' + ops if ops else ''}>"
+
+
+def ins(op: Op, *operands: Any, line: int = 0) -> Instruction:
+    """Build and structurally validate one instruction.
+
+    Raises:
+        BytecodeError: when the operand count or an operand's type does
+            not match the opcode's declared shape.
+    """
+    info = OP_INFO[op]
+    if len(operands) != len(info.operand_kinds):
+        raise BytecodeError(
+            f"{op.value} expects {len(info.operand_kinds)} operand(s), "
+            f"got {len(operands)}"
+        )
+    for value, kind in zip(operands, info.operand_kinds):
+        _check_operand(op, value, kind)
+    return Instruction(op, tuple(operands), line)
+
+
+def _check_operand(op: Op, value: Any, kind: OperandKind) -> None:
+    if kind is OperandKind.INT:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise BytecodeError(f"{op.value}: expected int operand, got {value!r}")
+    elif kind is OperandKind.FLOAT:
+        if not isinstance(value, float):
+            raise BytecodeError(f"{op.value}: expected float operand, got {value!r}")
+    elif kind is OperandKind.STRING:
+        if not isinstance(value, str):
+            raise BytecodeError(f"{op.value}: expected string operand, got {value!r}")
+    elif kind is OperandKind.LOCAL:
+        if not isinstance(value, int) or value < 0:
+            raise BytecodeError(f"{op.value}: bad local slot {value!r}")
+    elif kind is OperandKind.LABEL:
+        # Before assembly a label may be a symbolic string; afterwards an int pc.
+        if not isinstance(value, (int, str)):
+            raise BytecodeError(f"{op.value}: bad jump target {value!r}")
+    elif kind in (OperandKind.CLASS, OperandKind.FIELD, OperandKind.METHOD):
+        if not isinstance(value, str) or not value:
+            raise BytecodeError(f"{op.value}: bad name operand {value!r}")
+    elif kind is OperandKind.CMP:
+        if value not in CMP_OPS:
+            raise BytecodeError(f"{op.value}: bad comparison {value!r}")
+    elif kind is OperandKind.TYPE:
+        if value not in ARRAY_TYPES:
+            raise BytecodeError(f"{op.value}: bad array type {value!r}")
+
+
+@dataclass(frozen=True)
+class ExceptionEntry:
+    """One row of a method's exception table.
+
+    A thrown Java exception whose pc lies in ``[start_pc, end_pc)`` and
+    whose class is a subtype of ``class_name`` transfers control to
+    ``handler_pc`` with the exception object as the sole stack item.
+    ``class_name`` of ``"*"`` matches any exception (used by the
+    ``synchronized`` method epilogue and by ``finally`` lowering).
+    """
+
+    start_pc: int
+    end_pc: int
+    handler_pc: int
+    class_name: str = "*"
+
+
+@dataclass
+class Code:
+    """An assembled method body.
+
+    Attributes:
+        instructions: the instruction list; pcs are list indexes.
+        max_locals: number of local-variable slots (params included).
+        exception_table: ordered handler rows (first match wins).
+    """
+
+    instructions: list
+    max_locals: int
+    exception_table: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instructions)

@@ -1,0 +1,57 @@
+"""Method-reference operand encoding.
+
+Invocation instructions carry a single string operand naming the callee:
+
+    ``Class.method/nargs/rets``
+
+``nargs`` counts declared parameters (excluding the receiver) and
+``rets`` is 1 when the callee returns a value, 0 for void.  Keeping
+arity and return arity in the reference lets the verifier compute stack
+effects without resolving classes, mirroring how JVM descriptors make
+``invoke*`` stack effects statically known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BytecodeError
+
+
+@dataclass(frozen=True)
+class MethodRef:
+    """Decoded method reference."""
+
+    class_name: str
+    method_name: str
+    nargs: int
+    returns: bool
+
+    def __str__(self) -> str:
+        return (
+            f"{self.class_name}.{self.method_name}"
+            f"/{self.nargs}/{1 if self.returns else 0}"
+        )
+
+
+def method_ref(class_name: str, method_name: str, nargs: int, returns: bool) -> str:
+    """Encode a method reference operand string."""
+    return str(MethodRef(class_name, method_name, nargs, returns))
+
+
+def parse_method_ref(ref: str) -> MethodRef:
+    """Decode a method reference operand string.
+
+    Raises:
+        BytecodeError: if the reference is malformed.
+    """
+    try:
+        qualified, nargs_s, rets_s = ref.rsplit("/", 2)
+        class_name, method_name = qualified.split(".", 1)
+        nargs = int(nargs_s)
+        rets = int(rets_s)
+    except ValueError:
+        raise BytecodeError(f"malformed method reference {ref!r}") from None
+    if not class_name or not method_name or nargs < 0 or rets not in (0, 1):
+        raise BytecodeError(f"malformed method reference {ref!r}")
+    return MethodRef(class_name, method_name, nargs, bool(rets))

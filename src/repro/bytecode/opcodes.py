@@ -1,0 +1,250 @@
+"""The bytecode instruction set of the mini-JVM.
+
+The ISA is a compact, stack-based subset modeled on the Java Virtual
+Machine Specification (the paper's state-machine commands are JVM
+bytecodes).  Opcodes carry metadata used throughout the system:
+
+* ``pops``/``pushes`` — static stack effect, used by the verifier and
+  the method builder's max-stack computation (-1 means variable).
+* ``is_control_flow`` — whether executing the instruction counts as a
+  *control flow change* for the replicated thread scheduler's ``br_cnt``
+  (the paper counts branches, jumps, and method invocations).
+* ``operand_kinds`` — the shape of the instruction's operands, used by
+  the assembler/disassembler and by structural validation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class OperandKind(enum.Enum):
+    """What an instruction operand denotes."""
+
+    NONE = "none"
+    INT = "int"            # immediate integer
+    FLOAT = "float"        # immediate float
+    STRING = "string"      # immediate string literal
+    LOCAL = "local"        # local-variable slot index
+    LABEL = "label"        # jump target (pc after assembly)
+    CLASS = "class"        # class name
+    FIELD = "field"        # field name
+    METHOD = "method"      # method reference "Class.name/nargs"
+    CMP = "cmp"            # comparison operator token
+    TYPE = "type"          # array element type token
+
+
+class Op(enum.Enum):
+    """Opcode mnemonics.
+
+    The enum *value* is the mnemonic string used by the assembler and
+    disassembler; identity comparisons in the interpreter use the enum
+    member itself.
+    """
+
+    NOP = "nop"
+
+    # Constants
+    ICONST = "iconst"
+    FCONST = "fconst"
+    SCONST = "sconst"
+    ACONST_NULL = "aconst_null"
+
+    # Locals
+    LOAD = "load"
+    STORE = "store"
+    IINC = "iinc"
+
+    # Operand stack
+    POP = "pop"
+    DUP = "dup"
+    DUP_X1 = "dup_x1"
+    SWAP = "swap"
+
+    # Integer arithmetic (operands are 32-bit two's complement)
+    IADD = "iadd"
+    ISUB = "isub"
+    IMUL = "imul"
+    IDIV = "idiv"
+    IREM = "irem"
+    INEG = "ineg"
+    ISHL = "ishl"
+    ISHR = "ishr"
+    IUSHR = "iushr"
+    IAND = "iand"
+    IOR = "ior"
+    IXOR = "ixor"
+
+    # Float arithmetic
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FNEG = "fneg"
+
+    # Conversions
+    I2F = "i2f"
+    F2I = "f2i"
+
+    # String operations (strings are immutable values on the stack)
+    SCONCAT = "sconcat"
+    S2I = "s2i"
+    I2S = "i2s"
+    F2S = "f2s"
+
+    # Control flow
+    GOTO = "goto"
+    IF_ICMP = "if_icmp"      # pops two ints, compares with CMP operand
+    IF_FCMP = "if_fcmp"      # pops two floats
+    IF = "if"                # pops one int, compares against zero
+    IF_NULL = "if_null"
+    IF_NONNULL = "if_nonnull"
+    IF_ACMP_EQ = "if_acmp_eq"
+    IF_ACMP_NE = "if_acmp_ne"
+    IF_SCMP = "if_scmp"      # pops two strings, compares with CMP operand
+
+    # Objects
+    NEW = "new"
+    GETFIELD = "getfield"
+    PUTFIELD = "putfield"
+    GETSTATIC = "getstatic"
+    PUTSTATIC = "putstatic"
+    INSTANCEOF = "instanceof"
+    CHECKCAST = "checkcast"
+
+    # Arrays
+    NEWARRAY = "newarray"
+    ARRLOAD = "arrload"
+    ARRSTORE = "arrstore"
+    ARRAYLENGTH = "arraylength"
+
+    # Invocation and return
+    INVOKEVIRTUAL = "invokevirtual"
+    INVOKESPECIAL = "invokespecial"
+    INVOKESTATIC = "invokestatic"
+    RETURN = "return"        # void return
+    VRETURN = "vreturn"      # return TOS value
+
+    # Monitors
+    MONITORENTER = "monitorenter"
+    MONITOREXIT = "monitorexit"
+
+    # Exceptions
+    ATHROW = "athrow"
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static metadata for an opcode."""
+
+    pops: int
+    pushes: int
+    operand_kinds: Tuple[OperandKind, ...]
+    is_control_flow: bool = False
+    is_branch: bool = False        # conditional or unconditional jump
+    ends_block: bool = False       # control never falls through
+
+
+_K = OperandKind
+
+OP_INFO = {
+    Op.NOP: OpInfo(0, 0, ()),
+    Op.ICONST: OpInfo(0, 1, (_K.INT,)),
+    Op.FCONST: OpInfo(0, 1, (_K.FLOAT,)),
+    Op.SCONST: OpInfo(0, 1, (_K.STRING,)),
+    Op.ACONST_NULL: OpInfo(0, 1, ()),
+    Op.LOAD: OpInfo(0, 1, (_K.LOCAL,)),
+    Op.STORE: OpInfo(1, 0, (_K.LOCAL,)),
+    Op.IINC: OpInfo(0, 0, (_K.LOCAL, _K.INT)),
+    Op.POP: OpInfo(1, 0, ()),
+    Op.DUP: OpInfo(1, 2, ()),
+    Op.DUP_X1: OpInfo(2, 3, ()),
+    Op.SWAP: OpInfo(2, 2, ()),
+    Op.IADD: OpInfo(2, 1, ()),
+    Op.ISUB: OpInfo(2, 1, ()),
+    Op.IMUL: OpInfo(2, 1, ()),
+    Op.IDIV: OpInfo(2, 1, ()),
+    Op.IREM: OpInfo(2, 1, ()),
+    Op.INEG: OpInfo(1, 1, ()),
+    Op.ISHL: OpInfo(2, 1, ()),
+    Op.ISHR: OpInfo(2, 1, ()),
+    Op.IUSHR: OpInfo(2, 1, ()),
+    Op.IAND: OpInfo(2, 1, ()),
+    Op.IOR: OpInfo(2, 1, ()),
+    Op.IXOR: OpInfo(2, 1, ()),
+    Op.FADD: OpInfo(2, 1, ()),
+    Op.FSUB: OpInfo(2, 1, ()),
+    Op.FMUL: OpInfo(2, 1, ()),
+    Op.FDIV: OpInfo(2, 1, ()),
+    Op.FNEG: OpInfo(1, 1, ()),
+    Op.I2F: OpInfo(1, 1, ()),
+    Op.F2I: OpInfo(1, 1, ()),
+    Op.SCONCAT: OpInfo(2, 1, ()),
+    Op.S2I: OpInfo(1, 1, ()),
+    Op.I2S: OpInfo(1, 1, ()),
+    Op.F2S: OpInfo(1, 1, ()),
+    Op.GOTO: OpInfo(0, 0, (_K.LABEL,), is_control_flow=True, is_branch=True,
+                    ends_block=True),
+    Op.IF_ICMP: OpInfo(2, 0, (_K.CMP, _K.LABEL), is_control_flow=True,
+                       is_branch=True),
+    Op.IF_FCMP: OpInfo(2, 0, (_K.CMP, _K.LABEL), is_control_flow=True,
+                       is_branch=True),
+    Op.IF: OpInfo(1, 0, (_K.CMP, _K.LABEL), is_control_flow=True,
+                  is_branch=True),
+    Op.IF_NULL: OpInfo(1, 0, (_K.LABEL,), is_control_flow=True,
+                       is_branch=True),
+    Op.IF_NONNULL: OpInfo(1, 0, (_K.LABEL,), is_control_flow=True,
+                          is_branch=True),
+    Op.IF_ACMP_EQ: OpInfo(2, 0, (_K.LABEL,), is_control_flow=True,
+                          is_branch=True),
+    Op.IF_ACMP_NE: OpInfo(2, 0, (_K.LABEL,), is_control_flow=True,
+                          is_branch=True),
+    Op.IF_SCMP: OpInfo(2, 0, (_K.CMP, _K.LABEL), is_control_flow=True,
+                       is_branch=True),
+    Op.NEW: OpInfo(0, 1, (_K.CLASS,)),
+    Op.GETFIELD: OpInfo(1, 1, (_K.FIELD,)),
+    Op.PUTFIELD: OpInfo(2, 0, (_K.FIELD,)),
+    Op.GETSTATIC: OpInfo(0, 1, (_K.CLASS, _K.FIELD)),
+    Op.PUTSTATIC: OpInfo(1, 0, (_K.CLASS, _K.FIELD)),
+    Op.INSTANCEOF: OpInfo(1, 1, (_K.CLASS,)),
+    Op.CHECKCAST: OpInfo(1, 1, (_K.CLASS,)),
+    Op.NEWARRAY: OpInfo(1, 1, (_K.TYPE,)),
+    Op.ARRLOAD: OpInfo(2, 1, ()),
+    Op.ARRSTORE: OpInfo(3, 0, ()),
+    Op.ARRAYLENGTH: OpInfo(1, 1, ()),
+    Op.INVOKEVIRTUAL: OpInfo(-1, -1, (_K.METHOD,), is_control_flow=True),
+    Op.INVOKESPECIAL: OpInfo(-1, -1, (_K.METHOD,), is_control_flow=True),
+    Op.INVOKESTATIC: OpInfo(-1, -1, (_K.METHOD,), is_control_flow=True),
+    Op.RETURN: OpInfo(0, 0, (), is_control_flow=True, ends_block=True),
+    Op.VRETURN: OpInfo(1, 0, (), is_control_flow=True, ends_block=True),
+    Op.MONITORENTER: OpInfo(1, 0, ()),
+    Op.MONITOREXIT: OpInfo(1, 0, ()),
+    Op.ATHROW: OpInfo(1, 0, (), is_control_flow=True, ends_block=True),
+}
+
+#: Comparison operator tokens accepted by IF/IF_ICMP/IF_FCMP/IF_SCMP.
+CMP_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+#: Array element type tokens accepted by NEWARRAY.
+ARRAY_TYPES = ("int", "float", "str", "ref")
+
+MNEMONIC_TO_OP = {op.value: op for op in Op}
+
+
+def compare(op: str, a, b) -> bool:
+    """Evaluate a comparison token against two comparable values."""
+    if op == "eq":
+        return a == b
+    if op == "ne":
+        return a != b
+    if op == "lt":
+        return a < b
+    if op == "le":
+        return a <= b
+    if op == "gt":
+        return a > b
+    if op == "ge":
+        return a >= b
+    raise ValueError(f"unknown comparison operator {op!r}")

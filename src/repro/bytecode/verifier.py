@@ -1,0 +1,120 @@
+"""Static bytecode verification.
+
+A lightweight analogue of the JVM's class-file verifier: an abstract
+interpretation over *stack depths* proves that every execution path
+reaches each pc with a consistent operand-stack depth, that no
+instruction underflows the stack, and that control cannot fall off the
+end of the method.  It also returns the method's maximum stack depth,
+which the interpreter uses to size frames.
+
+Full type inference is deliberately out of scope — the interpreter
+checks value kinds dynamically, raising Java-level errors the same way
+a JVM raises ``NullPointerException`` at run time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import VerifyError
+from repro.bytecode.instructions import Code
+from repro.bytecode.methodref import parse_method_ref
+from repro.bytecode.opcodes import OP_INFO, Op, OperandKind
+
+
+def stack_effect(instr) -> Tuple[int, int]:
+    """(pops, pushes) for one instruction, resolving invoke arity."""
+    info = OP_INFO[instr.op]
+    if info.pops >= 0:
+        return info.pops, info.pushes
+    ref = parse_method_ref(instr.operands[0])
+    pops = ref.nargs + (0 if instr.op is Op.INVOKESTATIC else 1)
+    return pops, (1 if ref.returns else 0)
+
+
+def verify(code: Code, is_static: bool = True, nargs: int = 0) -> int:
+    """Verify a method body; returns the maximum operand-stack depth.
+
+    Args:
+        code: the assembled method body.
+        is_static: whether the method has a receiver in slot 0.
+        nargs: declared parameter count (receiver excluded).
+
+    Raises:
+        VerifyError: on stack underflow, inconsistent merge depths,
+            out-of-range jump targets or local slots, or fall-through
+            off the end of the code.
+    """
+    n = len(code.instructions)
+    if n == 0:
+        raise VerifyError("empty method body")
+
+    param_slots = nargs + (0 if is_static else 1)
+    if code.max_locals < param_slots:
+        raise VerifyError(
+            f"max_locals={code.max_locals} < parameter slots {param_slots}"
+        )
+
+    depth_at: Dict[int, int] = {0: 0}
+    worklist: List[int] = [0]
+    # Exception handlers are entered with exactly the thrown object on
+    # the stack, from any pc inside their protected region.
+    for row in code.exception_table:
+        if not (0 <= row.start_pc <= row.end_pc <= n):
+            raise VerifyError(f"exception region {row} out of range")
+        if not 0 <= row.handler_pc < n:
+            raise VerifyError(f"handler pc {row.handler_pc} out of range")
+        _merge(depth_at, worklist, row.handler_pc, 1)
+
+    max_depth = 1 if code.exception_table else 0
+    while worklist:
+        pc = worklist.pop()
+        depth = depth_at[pc]
+        if pc >= n:
+            raise VerifyError(f"control reaches pc {pc} past end of code")
+        instr = code.instructions[pc]
+        info = OP_INFO[instr.op]
+
+        _check_locals(instr, code.max_locals, pc)
+
+        pops, pushes = stack_effect(instr)
+        if depth < pops:
+            raise VerifyError(
+                f"pc {pc}: {instr.op.value} pops {pops} but stack depth is {depth}"
+            )
+        after = depth - pops + pushes
+        max_depth = max(max_depth, after, depth)
+
+        for kind, operand in zip(info.operand_kinds, instr.operands):
+            if kind is OperandKind.LABEL:
+                if not 0 <= operand < n:
+                    raise VerifyError(f"pc {pc}: jump target {operand} out of range")
+                _merge(depth_at, worklist, operand, after)
+        if not info.ends_block:
+            if pc + 1 >= n:
+                raise VerifyError(
+                    f"pc {pc}: control falls off the end of the method"
+                )
+            _merge(depth_at, worklist, pc + 1, after)
+
+    return max_depth
+
+
+def _merge(depth_at: Dict[int, int], worklist: List[int], pc: int, depth: int) -> None:
+    known = depth_at.get(pc)
+    if known is None:
+        depth_at[pc] = depth
+        worklist.append(pc)
+    elif known != depth:
+        raise VerifyError(
+            f"pc {pc}: inconsistent stack depth on merge ({known} vs {depth})"
+        )
+
+
+def _check_locals(instr, max_locals: int, pc: int) -> None:
+    info = OP_INFO[instr.op]
+    for kind, operand in zip(info.operand_kinds, instr.operands):
+        if kind is OperandKind.LOCAL and operand >= max_locals:
+            raise VerifyError(
+                f"pc {pc}: local slot {operand} >= max_locals {max_locals}"
+            )

@@ -1,0 +1,12 @@
+"""Class model and registry (the method area / bootstrap loader)."""
+
+from repro.classfile.model import (
+    FIELD_TYPES, OBJECT_CLASS, CTOR_NAME, CLINIT_NAME,
+    JField, JMethod, JClass, default_value,
+)
+from repro.classfile.loader import ClassRegistry
+
+__all__ = [
+    "FIELD_TYPES", "OBJECT_CLASS", "CTOR_NAME", "CLINIT_NAME",
+    "JField", "JMethod", "JClass", "default_value", "ClassRegistry",
+]

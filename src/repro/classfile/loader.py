@@ -1,0 +1,160 @@
+"""Class registry: loading, linking, and resolution.
+
+A :class:`ClassRegistry` is the analogue of the JVM's bootstrap class
+loader plus method area.  It owns the immutable class templates; it is
+shared read-only by every JVM instance that runs the same program
+(baseline, primary, backup), which guarantees identical initial states
+across replicas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ClassFormatError, LinkageError
+from repro.classfile.model import (
+    CTOR_NAME,
+    OBJECT_CLASS,
+    JClass,
+    JField,
+    JMethod,
+)
+
+
+class ClassRegistry:
+    """Holds linked classes and answers resolution queries."""
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, JClass] = {}
+        self._linked = False
+        self._method_cache: Dict[tuple, JMethod] = {}
+        # The root class always exists with a default constructor.
+        root = JClass(OBJECT_CLASS, None)
+        root.add_method(
+            JMethod(CTOR_NAME, 0, False, _empty_ctor_code())
+        )
+        self.register(root)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def register(self, cls: JClass) -> JClass:
+        """Register a class template; linking is deferred to first query."""
+        if cls.name in self._classes:
+            raise ClassFormatError(f"class {cls.name!r} registered twice")
+        self._classes[cls.name] = cls
+        self._linked = False
+        self._method_cache.clear()
+        return cls
+
+    def register_all(self, classes: Iterable[JClass]) -> None:
+        for cls in classes:
+            self.register(cls)
+
+    def _link(self) -> None:
+        """Resolve superclass references and detect hierarchy errors."""
+        if self._linked:
+            return
+        for cls in self._classes.values():
+            if cls.super_name is None:
+                cls.superclass = None
+                continue
+            parent = self._classes.get(cls.super_name)
+            if parent is None:
+                raise LinkageError(
+                    f"class {cls.name!r} extends unknown class {cls.super_name!r}"
+                )
+            cls.superclass = parent
+        # Cycle detection: walk to the root from every class.
+        for cls in self._classes.values():
+            seen = set()
+            node: Optional[JClass] = cls
+            while node is not None:
+                if node.name in seen:
+                    raise LinkageError(f"inheritance cycle through {node.name!r}")
+                seen.add(node.name)
+                node = node.superclass
+        self._linked = True
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve(self, name: str) -> JClass:
+        self._link()
+        cls = self._classes.get(name)
+        if cls is None:
+            raise LinkageError(f"unknown class {name!r}")
+        return cls
+
+    def has_class(self, name: str) -> bool:
+        return name in self._classes
+
+    def class_names(self) -> List[str]:
+        return sorted(self._classes)
+
+    def lookup_method(self, class_name: str, method_name: str,
+                      nargs: int) -> JMethod:
+        """Virtual-dispatch lookup: walk the superclass chain.
+
+        Results are memoized — the table is safe to share because the
+        class hierarchy is immutable after linking.
+        """
+        key = (class_name, method_name, nargs)
+        cached = self._method_cache.get(key)
+        if cached is not None:
+            return cached
+        cls: Optional[JClass] = self.resolve(class_name)
+        while cls is not None:
+            method = cls.methods.get((method_name, nargs))
+            if method is not None:
+                self._method_cache[key] = method
+                return method
+            cls = cls.superclass
+        raise LinkageError(
+            f"no method {method_name!r}/{nargs} in {class_name!r} hierarchy"
+        )
+
+    def lookup_field(self, class_name: str, field_name: str) -> JField:
+        """Field resolution walking the superclass chain."""
+        cls: Optional[JClass] = self.resolve(class_name)
+        while cls is not None:
+            f = cls.fields.get(field_name)
+            if f is not None:
+                return f
+            cls = cls.superclass
+        raise LinkageError(f"no field {field_name!r} in {class_name!r} hierarchy")
+
+    def instance_fields(self, class_name: str) -> List[JField]:
+        """All instance fields, root-first (object layout order)."""
+        chain: List[JClass] = []
+        cls: Optional[JClass] = self.resolve(class_name)
+        while cls is not None:
+            chain.append(cls)
+            cls = cls.superclass
+        fields: List[JField] = []
+        for cls in reversed(chain):
+            fields.extend(f for f in cls.fields.values() if not f.is_static)
+        return fields
+
+    def is_subtype(self, sub: str, sup: str) -> bool:
+        """Whether class ``sub`` is ``sup`` or a descendant of it."""
+        self._link()
+        cls: Optional[JClass] = self._classes.get(sub)
+        if cls is None:
+            raise LinkageError(f"unknown class {sub!r}")
+        while cls is not None:
+            if cls.name == sup:
+                return True
+            cls = cls.superclass
+        return False
+
+
+def _empty_ctor_code():
+    """Body of ``Object.<init>``: just return."""
+    from repro.bytecode.builder import CodeBuilder
+    from repro.bytecode.opcodes import Op
+
+    builder = CodeBuilder()
+    builder.reserve_local("this")
+    builder.emit(Op.RETURN)
+    return builder.assemble(min_locals=1)

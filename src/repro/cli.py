@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run FILE.java [--args ...]`` — compile and run a MiniJava program
+  on the unreplicated mini-JVM.
+* ``replicate FILE.java [--strategy S] [--crash-at N]`` — run under
+  primary-backup replication, optionally injecting a fail-stop.
+* ``disasm FILE.java [--method Class.name/arity]`` — compile and print
+  the bytecode of every method (or one method).
+* ``bench [--profile P] [--experiment E]`` — regenerate the paper's
+  tables and figures.
+* ``workloads`` — list the SPEC JVM98-analogue workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bytecode.assembler import disassemble
+from repro.env.environment import Environment
+from repro.errors import ReproError
+from repro.minijava import compile_program
+from repro.replication.machine import ReplicatedJVM, run_unreplicated
+from repro.runtime.stdlib import new_program_registry
+
+
+def _load_source(path: str) -> str:
+    with open(path) as fh:
+        return fh.read()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    registry = compile_program(_load_source(args.file))
+    env = Environment()
+    result, _ = run_unreplicated(registry, args.main, args.args, env=env)
+    sys.stdout.write(env.console.transcript())
+    if result.uncaught:
+        for vid, cls, message in result.uncaught:
+            print(f"uncaught exception in {vid}: {cls}: {message}",
+                  file=sys.stderr)
+        return 1
+    if args.stats:
+        print(f"[instructions={result.instructions} "
+              f"locks={result.lock_acquisitions} "
+              f"reschedules={result.reschedules}]", file=sys.stderr)
+    return 0
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    registry = compile_program(_load_source(args.file))
+    env = Environment()
+    machine = ReplicatedJVM(registry, env=env, strategy=args.strategy,
+                            crash_at=args.crash_at,
+                            hot_backup=args.hot)
+    result = machine.run(args.main, args.args)
+    sys.stdout.write(env.console.transcript())
+    print(f"[outcome={result.outcome}"
+          + (f" crash_event={result.crash_event}"
+             f" detection_intervals={result.detection_intervals}"
+             if result.failed_over else "")
+          + "]", file=sys.stderr)
+    metrics = result.primary_metrics
+    print(f"[records={metrics.records_logged} "
+          f"messages={metrics.messages_sent} bytes={metrics.bytes_sent} "
+          f"commits={metrics.output_commits}]", file=sys.stderr)
+    return 0 if result.final_result.ok else 1
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    registry = compile_program(_load_source(args.file))
+    base = set(new_program_registry().class_names())
+    for class_name in registry.class_names():
+        if class_name in base:
+            continue
+        cls = registry.resolve(class_name)
+        for (name, arity) in sorted(cls.methods):
+            method = cls.methods[(name, arity)]
+            label = f"{class_name}.{name}/{arity}"
+            if args.method and args.method != label:
+                continue
+            flags = " ".join(flag for flag, on in (
+                ("static", method.is_static),
+                ("synchronized", method.is_synchronized),
+                ("native", method.is_native),
+            ) if on)
+            print(f"--- {label} [{flags or 'instance'}] "
+                  f"max_locals={method.code.max_locals if method.code else 0} "
+                  f"max_stack={method.max_stack}")
+            if method.code is not None:
+                print(disassemble(method.code))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.runner import get_all_runs
+    from repro.harness.tables import (
+        render_fig2, render_fig3, render_fig4, render_table2,
+    )
+
+    renderers = {
+        "table2": render_table2, "fig2": render_fig2,
+        "fig3": render_fig3, "fig4": render_fig4,
+    }
+    runs = get_all_runs(args.profile)
+    wanted = [args.experiment] if args.experiment else list(renderers)
+    for name in wanted:
+        print(renderers[name](runs))
+        print()
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import ALL_WORKLOADS
+
+    for w in ALL_WORKLOADS:
+        threads = "multi-threaded" if w.multithreaded else "single-threaded"
+        print(f"{w.name:10s} {threads:15s} {w.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="A fault-tolerant mini-JVM (DSN 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a MiniJava program")
+    p_run.add_argument("file")
+    p_run.add_argument("--main", default="Main")
+    p_run.add_argument("--args", nargs="*", default=[])
+    p_run.add_argument("--stats", action="store_true")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_rep = sub.add_parser("replicate", help="run with fault tolerance")
+    p_rep.add_argument("file")
+    p_rep.add_argument("--main", default="Main")
+    p_rep.add_argument("--args", nargs="*", default=[])
+    p_rep.add_argument("--strategy", default="lock_sync",
+                       choices=("lock_sync", "thread_sched",
+                                "lock_intervals"))
+    p_rep.add_argument("--crash-at", type=int, default=None)
+    p_rep.add_argument("--hot", action="store_true",
+                       help="keep the backup updated during normal "
+                            "operation (hot standby)")
+    p_rep.set_defaults(fn=_cmd_replicate)
+
+    p_dis = sub.add_parser("disasm", help="show compiled bytecode")
+    p_dis.add_argument("file")
+    p_dis.add_argument("--method", default=None,
+                       help="only this method (Class.name/arity)")
+    p_dis.set_defaults(fn=_cmd_disasm)
+
+    p_bench = sub.add_parser("bench", help="regenerate paper tables")
+    p_bench.add_argument("--profile", default="test",
+                         choices=("test", "bench"))
+    p_bench.add_argument("--experiment", default=None,
+                         choices=("table2", "fig2", "fig3", "fig4"))
+    p_bench.set_defaults(fn=_cmd_bench)
+
+    p_wl = sub.add_parser("workloads", help="list benchmark workloads")
+    p_wl.set_defaults(fn=_cmd_workloads)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except OSError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2

@@ -1,0 +1,12 @@
+"""Simulated environment: file system, console, wall clock, network."""
+
+from repro.env.environment import Environment, EnvSession, SessionDestroyed
+from repro.env.filesystem import FileSystem, FileHandle, JavaIOError
+from repro.env.console import Console
+from repro.env.channel import Channel
+
+__all__ = [
+    "Environment", "EnvSession", "SessionDestroyed",
+    "FileSystem", "FileHandle", "JavaIOError",
+    "Console", "Channel",
+]

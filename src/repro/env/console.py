@@ -1,0 +1,38 @@
+"""The console: an append-only, testable output device.
+
+Appending to a terminal is not idempotent, so under restriction R5 the
+console must be *testable*: the environment can be queried for how many
+characters have been written so far.  The primary's side-effect handler
+logs the post-write position with every write; during recovery the
+backup compares the logged position with :meth:`Console.position` to
+decide whether the uncertain final write actually happened — giving
+exactly-once console output across failover.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Console:
+    """Append-only transcript with a readable position."""
+
+    def __init__(self) -> None:
+        self._chunks: List[str] = []
+        self._length = 0
+
+    def write(self, text: str) -> int:
+        """Append ``text``; returns the transcript length afterwards."""
+        self._chunks.append(text)
+        self._length += len(text)
+        return self._length
+
+    def position(self) -> int:
+        """Total characters written so far (the 'test' query of R5)."""
+        return self._length
+
+    def transcript(self) -> str:
+        return "".join(self._chunks)
+
+    def lines(self) -> List[str]:
+        return self.transcript().splitlines()

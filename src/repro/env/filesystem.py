@@ -1,0 +1,130 @@
+"""A simulated file system: stable byte store + volatile handles.
+
+File *contents* are stable state: they survive replica crashes (they
+live on "disk").  File *handles* — the (path, offset, mode) triples —
+are volatile: they belong to an :class:`~repro.env.environment.EnvSession`
+and die with the process, which is exactly the state the paper's file
+side-effect handler must rebuild during recovery.
+
+Files hold text.  Operations are deliberately POSIX-flavoured so the
+paper's examples map one-to-one: *seek to an absolute offset* is
+idempotent; *relative* operations become testable because the current
+offset/length can be read back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ReproError
+
+
+class JavaIOError(ReproError):
+    """Raised by file primitives; surfaced to Java code as IOException."""
+
+
+class FileHandle:
+    """A volatile open-file handle."""
+
+    __slots__ = ("fs", "path", "offset", "mode")
+
+    def __init__(self, fs: "FileSystem", path: str, mode: str) -> None:
+        self.fs = fs
+        self.path = path
+        self.offset = 0
+        self.mode = mode
+
+    # -- output (stable mutation) --------------------------------------
+    def write(self, text: str) -> None:
+        if self.mode not in ("w", "a", "r+"):
+            raise JavaIOError(f"fd for {self.path!r} not writable")
+        content = self.fs._files[self.path]
+        if self.offset > len(content):
+            content = content + "\0" * (self.offset - len(content))
+        new = content[: self.offset] + text + content[self.offset + len(text):]
+        self.fs._files[self.path] = new
+        self.offset += len(text)
+
+    # -- input (non-deterministic from the JVM's point of view) ---------
+    def read_char(self) -> int:
+        """Next character code, or -1 at end of file."""
+        content = self.fs._files[self.path]
+        if self.offset >= len(content):
+            return -1
+        ch = content[self.offset]
+        self.offset += 1
+        return ord(ch)
+
+    def read_line(self) -> str:
+        """Read up to and excluding the next newline; '' at EOF."""
+        content = self.fs._files[self.path]
+        if self.offset >= len(content):
+            return ""
+        end = content.find("\n", self.offset)
+        if end == -1:
+            line = content[self.offset:]
+            self.offset = len(content)
+        else:
+            line = content[self.offset:end]
+            self.offset = end + 1
+        return line
+
+    # -- positioning -----------------------------------------------------
+    def seek(self, offset: int) -> None:
+        if offset < 0:
+            raise JavaIOError("negative seek offset")
+        self.offset = offset
+
+    def tell(self) -> int:
+        return self.offset
+
+
+class FileSystem:
+    """The stable byte store ("the disk")."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def open(self, path: str, mode: str) -> FileHandle:
+        if mode == "r":
+            if path not in self._files:
+                raise JavaIOError(f"no such file: {path!r}")
+            return FileHandle(self, path, "r")
+        if mode == "w":
+            self._files[path] = ""
+            return FileHandle(self, path, "w")
+        if mode == "a":
+            self._files.setdefault(path, "")
+            handle = FileHandle(self, path, "a")
+            handle.offset = len(self._files[path])
+            return handle
+        if mode == "r+":
+            self._files.setdefault(path, "")
+            return FileHandle(self, path, "r+")
+        raise JavaIOError(f"bad open mode {mode!r}")
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def size(self, path: str) -> int:
+        if path not in self._files:
+            raise JavaIOError(f"no such file: {path!r}")
+        return len(self._files[path])
+
+    def contents(self, path: str) -> str:
+        if path not in self._files:
+            raise JavaIOError(f"no such file: {path!r}")
+        return self._files[path]
+
+    def put(self, path: str, contents: str) -> None:
+        """Pre-populate a file (harness/tests: benchmark input data)."""
+        self._files[path] = contents
+
+    def delete(self, path: str) -> None:
+        if path not in self._files:
+            raise JavaIOError(f"no such file: {path!r}")
+        del self._files[path]
+
+    def paths(self) -> List[str]:
+        return sorted(self._files)

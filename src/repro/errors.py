@@ -1,0 +1,97 @@
+"""Exception hierarchy for the repro package.
+
+Two distinct families exist and must not be confused:
+
+* :class:`ReproError` and subclasses — errors in *our* machinery (bad
+  bytecode, compiler bugs, protocol violations).  These are Python
+  exceptions that propagate to the embedding application.
+
+* Java-level exceptions — exceptions *inside* the simulated JVM
+  (``NullPointerException`` and friends).  Those are modelled as heap
+  objects and threaded through the interpreter's exception tables; they
+  only surface to Python as :class:`UncaughtJavaException` when no
+  handler exists on the Java stack.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package itself."""
+
+
+class BytecodeError(ReproError):
+    """Malformed bytecode: bad operands, unknown opcode, broken jump target."""
+
+
+class VerifyError(BytecodeError):
+    """Bytecode failed static verification (stack underflow, bad merge...)."""
+
+
+class ClassFormatError(ReproError):
+    """A class definition is structurally invalid."""
+
+
+class LinkageError(ReproError):
+    """Resolution failure: unknown class, method, or field."""
+
+
+class CompileError(ReproError):
+    """MiniJava source failed to compile.
+
+    Attributes:
+        line: 1-based source line of the offending construct (0 if unknown).
+        col: 1-based source column (0 if unknown).
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        location = f" at {line}:{col}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.col = col
+
+
+class NativeError(ReproError):
+    """A native method was invoked incorrectly or violated its annotation."""
+
+
+class RestrictionViolation(ReproError):
+    """An application violated one of the paper's restrictions R0-R6."""
+
+    def __init__(self, restriction: str, message: str) -> None:
+        super().__init__(f"{restriction} violated: {message}")
+        self.restriction = restriction
+
+
+class UncaughtJavaException(ReproError):
+    """A Java-level exception propagated off the top of a thread's stack.
+
+    Attributes:
+        class_name: the Java class name of the exception object.
+        detail: the exception's message string (may be empty).
+    """
+
+    def __init__(self, class_name: str, detail: str = "") -> None:
+        super().__init__(f"{class_name}: {detail}" if detail else class_name)
+        self.class_name = class_name
+        self.detail = detail
+
+
+class DeadlockError(ReproError):
+    """The scheduler found every live thread blocked."""
+
+
+class ReplicationError(ReproError):
+    """The replication protocol was violated or could not make progress."""
+
+
+class RecoveryError(ReplicationError):
+    """Backup replay diverged from the primary's logged execution."""
+
+
+class PrimaryCrashed(ReproError):
+    """Internal control-flow signal: the fail-stop point was reached.
+
+    Raised by the crash injector to unwind the primary's execution loop.
+    Never visible to user code; the harness catches it at the top level.
+    """

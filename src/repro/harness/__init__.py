@@ -1,0 +1,21 @@
+"""Benchmark harness: cost model, experiment runner, table rendering."""
+
+from repro.harness.costs import CostModel, DEFAULT_COST_MODEL
+from repro.harness.runner import (
+    WorkloadRun, StrategyRun, run_workload, get_run, get_all_runs,
+    clear_cache,
+)
+from repro.harness.tables import (
+    WORKLOAD_ORDER, table2_data, render_table2,
+    fig2_data, render_fig2, fig3_data, render_fig3,
+    fig4_data, render_fig4, averages, render_table,
+)
+
+__all__ = [
+    "CostModel", "DEFAULT_COST_MODEL",
+    "WorkloadRun", "StrategyRun", "run_workload", "get_run",
+    "get_all_runs", "clear_cache",
+    "WORKLOAD_ORDER", "table2_data", "render_table2",
+    "fig2_data", "render_fig2", "fig3_data", "render_fig3",
+    "fig4_data", "render_fig4", "averages", "render_table",
+]

@@ -1,0 +1,163 @@
+"""Experiment runner: executes workloads under every configuration.
+
+For one workload the paper's evaluation needs five executions:
+
+1. the original (unreplicated) JVM — the normalization baseline;
+2. primary under replicated lock acquisition;
+3. backup replaying the full lock-acquisition log;
+4. primary under replicated thread scheduling;
+5. backup replaying the full schedule log.
+
+:func:`run_workload` performs all five, cross-checks that every
+configuration produced the *same program output* (the replication
+machinery must be semantically invisible), and returns the metric
+bundles the tables and figures are computed from.  Results are memoized
+per (workload, profile) so the four benchmark programs — one per table
+or figure — share executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.env.environment import Environment
+from repro.errors import ReproError
+from repro.replication.machine import ReplicatedJVM, run_unreplicated
+from repro.replication.metrics import ReplicationMetrics
+from repro.workloads import ALL_WORKLOADS, BY_NAME
+from repro.workloads.base import Workload
+
+
+@dataclass
+class StrategyRun:
+    """Primary + full-log backup replay for one strategy."""
+
+    primary: ReplicationMetrics
+    backup: ReplicationMetrics
+    primary_console: str
+    backup_digest_matches: bool
+
+
+@dataclass
+class WorkloadRun:
+    """All five configurations for one workload."""
+
+    workload: str
+    baseline: ReplicationMetrics
+    baseline_console: str
+    lock_sync: StrategyRun
+    thread_sched: StrategyRun
+
+    def strategy(self, name: str) -> StrategyRun:
+        if name == "lock_sync":
+            return self.lock_sync
+        if name == "thread_sched":
+            return self.thread_sched
+        raise KeyError(name)
+
+
+def _baseline_metrics(jvm) -> ReplicationMetrics:
+    metrics = ReplicationMetrics(role="baseline")
+    metrics.instructions = jvm.instructions
+    metrics.cf_changes = sum(t.br_cnt for t in jvm.scheduler.threads)
+    metrics.heavy_ops = jvm.heavy_ops
+    metrics.native_calls = jvm.native_calls
+    metrics.locks_acquired = jvm.sync.total_acquisitions
+    metrics.objects_locked = jvm.sync.monitors_created
+    metrics.largest_l_asn = jvm.sync.largest_l_asn
+    metrics.reschedules = jvm.scheduler.reschedules
+    return metrics
+
+
+def _run_strategy(workload: Workload, profile: str,
+                  strategy: str) -> StrategyRun:
+    env = Environment()
+    workload.prepare_env(env, profile)
+    machine = ReplicatedJVM(
+        workload.compile(profile), env=env, strategy=strategy
+    )
+    result = machine.run(workload.main_class)
+    if not result.final_result.ok:
+        raise ReproError(
+            f"{workload.name}/{strategy} primary failed: "
+            f"{result.final_result.uncaught}"
+        )
+    primary_console = env.console.transcript()
+    primary_digest = machine.primary_jvm.state_digest()
+
+    replay = machine.replay_backup(workload.main_class)
+    if not replay.ok:
+        raise ReproError(
+            f"{workload.name}/{strategy} backup replay failed: "
+            f"{replay.uncaught}"
+        )
+    digest_ok = machine.backup_jvm.state_digest() == primary_digest
+    if env.console.transcript() != primary_console:
+        raise ReproError(
+            f"{workload.name}/{strategy}: backup replay duplicated output"
+        )
+    return StrategyRun(
+        primary=machine.primary_metrics,
+        backup=machine.backup_metrics,
+        primary_console=primary_console,
+        backup_digest_matches=digest_ok,
+    )
+
+
+def run_workload(workload: Workload, profile: str = "bench") -> WorkloadRun:
+    """Execute all five configurations of one workload."""
+    env = Environment()
+    workload.prepare_env(env, profile)
+    result, jvm = run_unreplicated(
+        workload.compile(profile), workload.main_class, env=env
+    )
+    if not result.ok:
+        raise ReproError(
+            f"{workload.name} baseline failed: {result.uncaught}"
+        )
+    baseline_console = env.console.transcript()
+
+    lock = _run_strategy(workload, profile, "lock_sync")
+    sched = _run_strategy(workload, profile, "thread_sched")
+
+    # The replicated runs use the same non-determinism seeds as the
+    # baseline, so single-threaded workloads must produce the identical
+    # transcript; mtrt's transcript is order-stable too (output happens
+    # after the join).
+    for name, console in (("lock_sync", lock.primary_console),
+                          ("thread_sched", sched.primary_console)):
+        if console != baseline_console:
+            raise ReproError(
+                f"{workload.name}/{name} output diverged from baseline:\n"
+                f"baseline: {baseline_console!r}\n"
+                f"replica:  {console!r}"
+            )
+
+    return WorkloadRun(
+        workload=workload.name,
+        baseline=_baseline_metrics(jvm),
+        baseline_console=baseline_console,
+        lock_sync=lock,
+        thread_sched=sched,
+    )
+
+
+_CACHE: Dict[Tuple[str, str], WorkloadRun] = {}
+
+
+def get_run(name: str, profile: str = "bench") -> WorkloadRun:
+    """Memoized :func:`run_workload` by workload name."""
+    key = (name, profile)
+    if key not in _CACHE:
+        _CACHE[key] = run_workload(BY_NAME[name], profile)
+    return _CACHE[key]
+
+
+def get_all_runs(profile: str = "bench") -> Dict[str, WorkloadRun]:
+    """Runs for every workload, in paper order."""
+    return {w.name: get_run(w.name, profile) for w in ALL_WORKLOADS}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

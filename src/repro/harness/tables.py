@@ -1,0 +1,186 @@
+"""Render the paper's table and figures from measured runs.
+
+Every function takes the ``{workload: WorkloadRun}`` dict produced by
+:func:`repro.harness.runner.get_all_runs` and returns both structured
+data (for assertions) and a printable text rendition that mirrors the
+paper's layout (Table 2 and the stacked bars of Figures 2-4, rendered
+as numeric columns).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.harness.costs import DEFAULT_COST_MODEL, CostModel
+from repro.harness.runner import WorkloadRun
+
+#: Paper column order.
+WORKLOAD_ORDER = ("jess", "jack", "compress", "db", "mpegaudio", "mtrt")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(title: str, headers: List[str],
+                 rows: List[List]) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    table = [headers] + [[_fmt(cell) for cell in row] for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = [title]
+    for r, row in enumerate(table):
+        line = "  ".join(
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(row)
+        )
+        lines.append(line)
+        if r == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)
+
+
+# ======================================================================
+# Table 2
+# ======================================================================
+
+def table2_data(runs: Dict[str, WorkloadRun]) -> Dict[str, Dict[str, int]]:
+    """Table 2 rows: per-benchmark properties of both implementations."""
+    data: Dict[str, Dict[str, int]] = {}
+    for name in WORKLOAD_ORDER:
+        run = runs[name]
+        lock = run.lock_sync.primary
+        sched = run.thread_sched.primary
+        data[name] = {
+            "nm_intercepted": lock.natives_intercepted,
+            "nm_output_commits": lock.output_commits,
+            "lock_logged_messages": lock.messages_sent,
+            "lock_records": lock.lock_records,
+            "locks_acquired": lock.locks_acquired,
+            "objects_locked": lock.objects_locked,
+            "largest_l_asn": lock.largest_l_asn,
+            "ts_logged_messages": sched.messages_sent,
+            "ts_schedule_records": sched.schedule_records,
+            "reschedules": sched.reschedules,
+        }
+    return data
+
+
+def render_table2(runs: Dict[str, WorkloadRun]) -> str:
+    data = table2_data(runs)
+    rows = [
+        ["NM Intercepted"] + [data[w]["nm_intercepted"] for w in WORKLOAD_ORDER],
+        ["NM Output Commits"] + [data[w]["nm_output_commits"] for w in WORKLOAD_ORDER],
+        ["Logged Messages (Lock)"] + [data[w]["lock_logged_messages"] for w in WORKLOAD_ORDER],
+        ["Locks Acquired"] + [data[w]["locks_acquired"] for w in WORKLOAD_ORDER],
+        ["Objects Locked"] + [data[w]["objects_locked"] for w in WORKLOAD_ORDER],
+        ["Largest l_asn"] + [data[w]["largest_l_asn"] for w in WORKLOAD_ORDER],
+        ["Logged Messages (TS)"] + [data[w]["ts_logged_messages"] for w in WORKLOAD_ORDER],
+        ["Reschedules (TS)"] + [data[w]["reschedules"] for w in WORKLOAD_ORDER],
+    ]
+    return render_table(
+        "Table 2: benchmark properties (this reproduction, scaled)",
+        ["Event"] + list(WORKLOAD_ORDER),
+        rows,
+    )
+
+
+# ======================================================================
+# Figure 2: normalized execution times, four bars per workload
+# ======================================================================
+
+def fig2_data(runs: Dict[str, WorkloadRun],
+              model: CostModel = DEFAULT_COST_MODEL
+              ) -> Dict[str, Dict[str, float]]:
+    data: Dict[str, Dict[str, float]] = {}
+    for name in WORKLOAD_ORDER:
+        run = runs[name]
+        base = model.base_time(run.baseline)
+        data[name] = {
+            "ts_primary": model.primary_time(
+                run.thread_sched.primary, "thread_sched") / base,
+            "ts_backup": model.backup_time(run.thread_sched.backup) / base,
+            "lock_primary": model.primary_time(
+                run.lock_sync.primary, "lock_sync") / base,
+            "lock_backup": model.backup_time(run.lock_sync.backup) / base,
+        }
+    return data
+
+
+def render_fig2(runs: Dict[str, WorkloadRun],
+                model: CostModel = DEFAULT_COST_MODEL) -> str:
+    data = fig2_data(runs, model)
+    bars = ("ts_primary", "ts_backup", "lock_primary", "lock_backup")
+    rows = [
+        [bar] + [data[w][bar] for w in WORKLOAD_ORDER] for bar in bars
+    ]
+    return render_table(
+        "Figure 2: execution time normalized to the unreplicated JVM",
+        ["Configuration"] + list(WORKLOAD_ORDER),
+        rows,
+    )
+
+
+# ======================================================================
+# Figures 3 / 4: stacked overhead breakdowns
+# ======================================================================
+
+_FIG3_COMPONENTS = ("base", "communication", "lock_acquire",
+                    "pessimistic", "misc")
+_FIG4_COMPONENTS = ("base", "communication", "rescheduling",
+                    "pessimistic", "misc")
+
+
+def _breakdown_data(runs, strategy, components, model):
+    data: Dict[str, Dict[str, float]] = {}
+    for name in WORKLOAD_ORDER:
+        run = runs[name]
+        base = model.base_time(run.baseline)
+        breakdown = model.primary_breakdown(
+            run.strategy(strategy).primary, strategy
+        )
+        data[name] = {c: breakdown.get(c, 0.0) / base for c in components}
+        data[name]["total"] = sum(
+            breakdown.get(c, 0.0) for c in components
+        ) / base
+    return data
+
+
+def fig3_data(runs: Dict[str, WorkloadRun],
+              model: CostModel = DEFAULT_COST_MODEL):
+    """Normalized overhead components for replicated lock acquisition."""
+    return _breakdown_data(runs, "lock_sync", _FIG3_COMPONENTS, model)
+
+
+def fig4_data(runs: Dict[str, WorkloadRun],
+              model: CostModel = DEFAULT_COST_MODEL):
+    """Normalized overhead components for replicated thread scheduling."""
+    return _breakdown_data(runs, "thread_sched", _FIG4_COMPONENTS, model)
+
+
+def _render_breakdown(title, data, components):
+    rows = [
+        [component] + [data[w][component] for w in WORKLOAD_ORDER]
+        for component in components + ("total",)
+    ]
+    return render_table(title, ["Component"] + list(WORKLOAD_ORDER), rows)
+
+
+def render_fig3(runs, model: CostModel = DEFAULT_COST_MODEL) -> str:
+    return _render_breakdown(
+        "Figure 3: replicated lock acquisition — normalized overhead",
+        fig3_data(runs, model), _FIG3_COMPONENTS,
+    )
+
+
+def render_fig4(runs, model: CostModel = DEFAULT_COST_MODEL) -> str:
+    return _render_breakdown(
+        "Figure 4: replicated thread scheduling — normalized overhead",
+        fig4_data(runs, model), _FIG4_COMPONENTS,
+    )
+
+
+def averages(data: Dict[str, Dict[str, float]], key: str) -> float:
+    """Mean of one column across workloads (paper: 140% vs 60%)."""
+    return sum(data[w][key] for w in WORKLOAD_ORDER) / len(WORKLOAD_ORDER)

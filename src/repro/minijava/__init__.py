@@ -1,0 +1,14 @@
+"""MiniJava: the Java-like source language for the mini-JVM."""
+
+from repro.minijava.compiler import compile_program
+from repro.minijava.parser import parse
+from repro.minijava.lexer import tokenize
+from repro.minijava.semantics import Checker
+
+__all__ = ["compile_program", "parse", "tokenize", "Checker"]
+
+from repro.minijava.extensions import (  # noqa: E402
+    NativeClassSpec, NativeMethodSpec, parse_type_name,
+)
+
+__all__ += ["NativeClassSpec", "NativeMethodSpec", "parse_type_name"]

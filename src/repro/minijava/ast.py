@@ -1,0 +1,318 @@
+"""MiniJava abstract syntax tree.
+
+Plain dataclasses.  Every node carries a source line for diagnostics.
+The semantic analyzer annotates expression nodes in place (``type``)
+and stores resolution results (``target``/``slot``/...) consumed by the
+code generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+# ----------------------------------------------------------------------
+# Types (as written in source — resolved by the checker)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TypeName:
+    """A syntactic type: base name + array depth."""
+
+    name: str          # "int", "float", "boolean", "String", "void", class
+    dims: int = 0      # number of [] pairs
+
+    def __str__(self) -> str:
+        return self.name + "[]" * self.dims
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Program:
+    classes: List["ClassDecl"]
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    superclass: str          # "Object" by default
+    fields: List["FieldDecl"]
+    methods: List["MethodDecl"]
+    line: int = 0
+
+
+@dataclass
+class FieldDecl:
+    name: str
+    type: TypeName
+    is_static: bool
+    initializer: Optional["Expr"]  # static fields only
+    line: int = 0
+
+
+@dataclass
+class Param:
+    name: str
+    type: TypeName
+    line: int = 0
+
+
+@dataclass
+class MethodDecl:
+    name: str                       # "<init>" for constructors
+    params: List[Param]
+    return_type: TypeName           # void for constructors
+    body: List["Stmt"]
+    is_static: bool = False
+    is_synchronized: bool = False
+    line: int = 0
+    #: Filled by the checker: owning class name.
+    owner: str = ""
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    type: TypeName = TypeName("int")
+    initializer: Optional["Expr"] = None
+    #: Local slot, assigned by codegen.
+    slot: int = -1
+
+
+@dataclass
+class Assign(Stmt):
+    """target = value, where target is Name / FieldAccess / Index."""
+
+    target: "Expr" = None
+    value: "Expr" = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: "Expr" = None
+
+
+@dataclass
+class If(Stmt):
+    cond: "Expr" = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: "Expr" = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None      # VarDecl / Assign / ExprStmt
+    cond: Optional["Expr"] = None
+    update: Optional[Stmt] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional["Expr"] = None
+
+
+@dataclass
+class Throw(Stmt):
+    value: "Expr" = None
+
+
+@dataclass
+class TryCatch(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+    exc_class: str = "Exception"
+    exc_name: str = "e"
+    handler: List[Stmt] = field(default_factory=list)
+    #: Local slot for the caught exception (codegen).
+    slot: int = -1
+
+
+@dataclass
+class Synchronized(Stmt):
+    lock: "Expr" = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class SuperCall(Stmt):
+    """``super(args);`` — only as the first statement of a constructor."""
+
+    args: List["Expr"] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+    #: Resolved type, set by the checker (a semantics.Type).
+    type: Any = None
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class StringLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class NullLit(Expr):
+    pass
+
+
+@dataclass
+class Name(Expr):
+    """An identifier: local, param, field, or class reference.
+
+    Resolution (set by the checker):
+        kind: 'local' | 'field' | 'static' | 'class'
+        owner: declaring class for field/static
+        slot: codegen-assigned for locals
+    """
+
+    ident: str = ""
+    kind: str = ""
+    owner: str = ""
+    slot: int = -1
+
+
+@dataclass
+class This(Expr):
+    pass
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: "Expr" = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: "Expr" = None
+    right: "Expr" = None
+
+
+@dataclass
+class Ternary(Expr):
+    cond: "Expr" = None
+    then_value: "Expr" = None
+    else_value: "Expr" = None
+
+
+@dataclass
+class FieldAccess(Expr):
+    """obj.field or ClassName.field (checker distinguishes).
+
+    Resolution: kind 'instance'|'static'|'arraylength'; owner class.
+    """
+
+    obj: Optional["Expr"] = None
+    field_name: str = ""
+    class_name: str = ""     # set when obj is a class reference
+    kind: str = ""
+    owner: str = ""
+
+
+@dataclass
+class Index(Expr):
+    array: "Expr" = None
+    index: "Expr" = None
+
+
+@dataclass
+class Call(Expr):
+    """obj.m(args), ClassName.m(args), m(args), super.m(args).
+
+    Resolution: target_class, target_name, is_static, returns,
+    invoke_kind ('virtual'|'special'|'static'), builtin (optional
+    lowering tag for String sugar).
+    """
+
+    obj: Optional["Expr"] = None
+    class_name: str = ""
+    method_name: str = ""
+    args: List["Expr"] = field(default_factory=list)
+    is_super: bool = False
+    target_class: str = ""
+    invoke_kind: str = ""
+    returns: bool = False
+    builtin: str = ""
+
+
+@dataclass
+class NewObject(Expr):
+    class_name: str = ""
+    args: List["Expr"] = field(default_factory=list)
+
+
+@dataclass
+class NewArray(Expr):
+    elem: TypeName = TypeName("int")
+    size: "Expr" = None
+
+
+@dataclass
+class Cast(Expr):
+    target: TypeName = TypeName("int")
+    value: "Expr" = None
+
+
+@dataclass
+class InstanceOf(Expr):
+    value: "Expr" = None
+    class_name: str = ""

@@ -1,0 +1,670 @@
+"""MiniJava code generation: annotated AST → mini-JVM bytecode.
+
+Lowering follows javac's shapes where they matter for the paper:
+
+* ``synchronized (lock) { ... }`` compiles to ``monitorenter`` plus a
+  catch-all exception region whose handler releases the monitor and
+  rethrows — exactly the structured-locking pattern the interpreter's
+  exception dispatch expects;
+* ``synchronized`` methods only set the method flag; the interpreter
+  acquires/releases the monitor in the invoke path;
+* string concatenation lowers to ``sconcat`` with per-operand
+  conversions (ints/floats/booleans stringify like Java's implicit
+  ``String.valueOf``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bytecode.builder import CodeBuilder
+from repro.bytecode.methodref import method_ref
+from repro.bytecode.opcodes import Op
+from repro.classfile.loader import ClassRegistry
+from repro.classfile.model import CLINIT_NAME, JClass, JField, JMethod
+from repro.errors import CompileError
+from repro.minijava import ast
+from repro.minijava.semantics import Checker
+from repro.minijava.types import (
+    ANY,
+    BOOL,
+    FLOAT,
+    INT,
+    NULL,
+    STRING,
+    VOID,
+    ArrayType,
+    ClassType,
+    Type,
+    elem_token,
+    field_token,
+)
+
+_NUMERIC_OPS = {"+": (Op.IADD, Op.FADD), "-": (Op.ISUB, Op.FSUB),
+                "*": (Op.IMUL, Op.FMUL), "/": (Op.IDIV, Op.FDIV)}
+_INT_ONLY_OPS = {"%": Op.IREM, "<<": Op.ISHL, ">>": Op.ISHR,
+                 ">>>": Op.IUSHR, "&": Op.IAND, "|": Op.IOR, "^": Op.IXOR}
+_CMP_TOKENS = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le",
+               ">": "gt", ">=": "ge"}
+_NEGATED = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt",
+            "gt": "le", "le": "gt"}
+
+
+class CodeGen:
+    """Generates classes for one checked program into a registry."""
+
+    def __init__(self, program: ast.Program, checker: Checker) -> None:
+        self._program = program
+        self._classes = checker.classes
+
+    def generate(self, registry: ClassRegistry) -> ClassRegistry:
+        for decl in self._program.classes:
+            registry.register(self._gen_class(decl))
+        return registry
+
+    # ==================================================================
+    # Classes and methods
+    # ==================================================================
+    def _gen_class(self, decl: ast.ClassDecl) -> JClass:
+        cls = JClass(decl.name, decl.superclass)
+        info = self._classes[decl.name]
+        for f in decl.fields:
+            ftype = info.fields[f.name][0]
+            cls.add_field(JField(f.name, field_token(ftype), f.is_static))
+        for m in decl.methods:
+            cls.add_method(self._gen_method(decl, m))
+        static_inits = [f for f in decl.fields
+                        if f.is_static and f.initializer is not None]
+        if static_inits:
+            cls.add_method(self._gen_clinit(decl, static_inits))
+        return cls
+
+    def _gen_clinit(self, decl: ast.ClassDecl,
+                    inits: List[ast.FieldDecl]) -> JMethod:
+        gen = _MethodEmitter(self._classes, decl.name, is_static=True)
+        for f in inits:
+            ftype = self._classes[decl.name].fields[f.name][0]
+            gen.emit_expr(f.initializer)
+            gen.coerce(f.initializer.type, ftype)
+            gen.b.emit(Op.PUTSTATIC, decl.name, f.name, line=f.line)
+        gen.b.emit(Op.RETURN)
+        return JMethod(CLINIT_NAME, 0, False, gen.b.assemble(), is_static=True)
+
+    def _gen_method(self, decl: ast.ClassDecl, m: ast.MethodDecl) -> JMethod:
+        info = self._classes[decl.name]
+        sig = info.methods[(m.name, len(m.params))]
+        gen = _MethodEmitter(self._classes, decl.name, is_static=m.is_static,
+                             return_type=sig.ret)
+        if not m.is_static:
+            gen.declare_param("this", ClassType(decl.name))
+        for p, ptype in zip(m.params, sig.params):
+            gen.declare_param(p.name, ptype)
+
+        if m.name == "<init>" and not (
+            m.body and isinstance(m.body[0], ast.SuperCall)
+        ):
+            gen.b.emit(Op.LOAD, 0, line=m.line)
+            gen.b.emit(
+                Op.INVOKESPECIAL,
+                method_ref(decl.superclass, "<init>", 0, False),
+                line=m.line,
+            )
+
+        gen.emit_stmts(m.body)
+
+        # Fallback exit so control never falls off the end.
+        if sig.ret is VOID:
+            gen.b.emit(Op.RETURN)
+        else:
+            gen.push_default(sig.ret)
+            gen.b.emit(Op.VRETURN)
+
+        nargs = len(m.params)
+        code = gen.b.assemble(min_locals=nargs + (0 if m.is_static else 1))
+        try:
+            return JMethod(
+                m.name, nargs, sig.ret is not VOID, code,
+                is_static=m.is_static, is_synchronized=m.is_synchronized,
+            )
+        except Exception as err:  # verifier failure = codegen bug
+            raise CompileError(
+                f"internal codegen error in {decl.name}.{m.name}: {err}",
+                m.line,
+            ) from err
+
+
+class _MethodEmitter:
+    """Per-method emission state."""
+
+    def __init__(self, classes, current_class: str, *, is_static: bool,
+                 return_type: Type = VOID) -> None:
+        self._classes = classes
+        self._current_class = current_class
+        self._is_static = is_static
+        self._return_type = return_type
+        self.b = CodeBuilder()
+        self._scopes: List[Dict[str, int]] = [{}]
+        self._break_labels: List[str] = []
+        self._continue_labels: List[str] = []
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------
+    # Locals and labels
+    # ------------------------------------------------------------------
+    def declare_param(self, name: str, ptype: Type) -> None:
+        self._scopes[0][name] = self.b.reserve_local()
+
+    def declare_local(self, name: str) -> int:
+        slot = self.b.reserve_local()
+        self._scopes[-1][name] = slot
+        return slot
+
+    def slot_of(self, name: str) -> int:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        raise CompileError(f"internal: unresolved local {name!r}")
+
+    def fresh(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"_{hint}{self._label_counter}"
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def emit_stmts(self, body: List[ast.Stmt]) -> None:
+        self._scopes.append({})
+        for stmt in body:
+            self.emit_stmt(stmt)
+        self._scopes.pop()
+
+    def emit_stmt(self, stmt: ast.Stmt) -> None:
+        line = stmt.line
+        if isinstance(stmt, ast.Block):
+            self.emit_stmts(stmt.body)
+        elif isinstance(stmt, ast.VarDecl):
+            slot = self.declare_local(stmt.name)
+            if stmt.initializer is not None:
+                self.emit_expr(stmt.initializer)
+                self.coerce(stmt.initializer.type, stmt.sem_type)
+                self.b.emit(Op.STORE, slot, line=line)
+        elif isinstance(stmt, ast.Assign):
+            self._emit_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.emit_expr(stmt.expr)
+            if getattr(stmt.expr, "type", VOID) is not VOID:
+                self.b.emit(Op.POP, line=line)
+        elif isinstance(stmt, ast.If):
+            else_label = self.fresh("else")
+            end_label = self.fresh("fi")
+            self.emit_branch_unless(stmt.cond, else_label)
+            self.emit_stmts(stmt.then_body)
+            if stmt.else_body:
+                self.b.emit(Op.GOTO, end_label, line=line)
+                self.b.label(else_label)
+                self.emit_stmts(stmt.else_body)
+                self.b.label(end_label)
+            else:
+                self.b.label(else_label)
+        elif isinstance(stmt, ast.While):
+            top = self.fresh("while")
+            done = self.fresh("wend")
+            self.b.label(top)
+            self.emit_branch_unless(stmt.cond, done)
+            self._break_labels.append(done)
+            self._continue_labels.append(top)
+            self.emit_stmts(stmt.body)
+            self._break_labels.pop()
+            self._continue_labels.pop()
+            self.b.emit(Op.GOTO, top, line=line)
+            self.b.label(done)
+        elif isinstance(stmt, ast.For):
+            self._scopes.append({})
+            if stmt.init is not None:
+                self.emit_stmt(stmt.init)
+            top = self.fresh("for")
+            cont = self.fresh("fcont")
+            done = self.fresh("fend")
+            self.b.label(top)
+            if stmt.cond is not None:
+                self.emit_branch_unless(stmt.cond, done)
+            self._break_labels.append(done)
+            self._continue_labels.append(cont)
+            self.emit_stmts(stmt.body)
+            self._break_labels.pop()
+            self._continue_labels.pop()
+            self.b.label(cont)
+            if stmt.update is not None:
+                self.emit_stmt(stmt.update)
+            self.b.emit(Op.GOTO, top, line=line)
+            self.b.label(done)
+            self._scopes.pop()
+        elif isinstance(stmt, ast.Break):
+            self.b.emit(Op.GOTO, self._break_labels[-1], line=line)
+        elif isinstance(stmt, ast.Continue):
+            self.b.emit(Op.GOTO, self._continue_labels[-1], line=line)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self.b.emit(Op.RETURN, line=line)
+            else:
+                self.emit_expr(stmt.value)
+                self.coerce(stmt.value.type, self._return_type)
+                self.b.emit(Op.VRETURN, line=line)
+        elif isinstance(stmt, ast.Throw):
+            self.emit_expr(stmt.value)
+            self.b.emit(Op.ATHROW, line=line)
+        elif isinstance(stmt, ast.TryCatch):
+            self._emit_try(stmt)
+        elif isinstance(stmt, ast.Synchronized):
+            self._emit_synchronized(stmt)
+        elif isinstance(stmt, ast.SuperCall):
+            self.b.emit(Op.LOAD, 0, line=line)
+            for arg, ptype in zip(stmt.args, stmt.param_types):
+                self.emit_expr(arg)
+                self.coerce(arg.type, ptype)
+            self.b.emit(
+                Op.INVOKESPECIAL,
+                method_ref(stmt.target_class, "<init>", len(stmt.args), False),
+                line=line,
+            )
+        else:
+            raise CompileError(f"internal: unhandled statement {stmt!r}", line)
+
+    def _emit_assign(self, stmt: ast.Assign) -> None:
+        target = stmt.target
+        line = stmt.line
+        if isinstance(target, ast.Name):
+            if target.kind == "local":
+                self.emit_expr(stmt.value)
+                self.coerce(stmt.value.type, target.type)
+                self.b.emit(Op.STORE, self.slot_of(target.ident), line=line)
+            elif target.kind == "field":
+                self.b.emit(Op.LOAD, 0, line=line)  # this
+                self.emit_expr(stmt.value)
+                self.coerce(stmt.value.type, target.type)
+                self.b.emit(Op.PUTFIELD, target.ident, line=line)
+            else:  # static
+                self.emit_expr(stmt.value)
+                self.coerce(stmt.value.type, target.type)
+                self.b.emit(Op.PUTSTATIC, target.owner, target.ident, line=line)
+        elif isinstance(target, ast.FieldAccess):
+            if target.kind == "static":
+                self.emit_expr(stmt.value)
+                self.coerce(stmt.value.type, target.type)
+                self.b.emit(
+                    Op.PUTSTATIC, target.owner, target.field_name, line=line
+                )
+            else:
+                self.emit_expr(target.obj)
+                self.emit_expr(stmt.value)
+                self.coerce(stmt.value.type, target.type)
+                self.b.emit(Op.PUTFIELD, target.field_name, line=line)
+        elif isinstance(target, ast.Index):
+            self.emit_expr(target.array)
+            self.emit_expr(target.index)
+            self.emit_expr(stmt.value)
+            self.coerce(stmt.value.type, target.type)
+            self.b.emit(Op.ARRSTORE, line=line)
+        else:
+            raise CompileError("internal: bad assignment target", line)
+
+    def _emit_try(self, stmt: ast.TryCatch) -> None:
+        start = self.fresh("try")
+        end = self.fresh("tryend")
+        handler = self.fresh("catch")
+        out = self.fresh("tryout")
+        slot = self.declare_local(f"${stmt.exc_name}.{id(stmt)}")
+        self.b.label(start)
+        self.emit_stmts(stmt.body)
+        self.b.label(end)
+        self.b.emit(Op.GOTO, out, line=stmt.line)
+        self.b.label(handler)
+        self.b.emit(Op.STORE, slot, line=stmt.line)
+        self._scopes.append({stmt.exc_name: slot})
+        for inner in stmt.handler:
+            self.emit_stmt(inner)
+        self._scopes.pop()
+        self.b.label(out)
+        self.b.exception_region(start, end, handler, stmt.exc_class)
+
+    def _emit_synchronized(self, stmt: ast.Synchronized) -> None:
+        line = stmt.line
+        lock_slot = self.declare_local(f"$lock.{id(stmt)}")
+        self.emit_expr(stmt.lock)
+        self.b.emit(Op.STORE, lock_slot, line=line)
+        self.b.emit(Op.LOAD, lock_slot, line=line)
+        self.b.emit(Op.MONITORENTER, line=line)
+        start = self.fresh("sync")
+        end = self.fresh("syncend")
+        handler = self.fresh("synccatch")
+        out = self.fresh("syncout")
+        self.b.label(start)
+        self.emit_stmts(stmt.body)
+        self.b.emit(Op.LOAD, lock_slot, line=line)
+        self.b.emit(Op.MONITOREXIT, line=line)
+        self.b.label(end)
+        self.b.emit(Op.GOTO, out, line=line)
+        self.b.label(handler)
+        self.b.emit(Op.LOAD, lock_slot, line=line)
+        self.b.emit(Op.MONITOREXIT, line=line)
+        self.b.emit(Op.ATHROW, line=line)
+        self.b.label(out)
+        self.b.exception_region(start, end, handler, "*")
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+    def emit_branch_unless(self, cond: ast.Expr, false_label: str) -> None:
+        """Emit ``cond``; jump to ``false_label`` when it is false."""
+        if isinstance(cond, ast.BoolLit):
+            if not cond.value:
+                self.b.emit(Op.GOTO, false_label, line=cond.line)
+            return
+        if isinstance(cond, ast.Unary) and cond.op == "!":
+            true_label = self.fresh("not")
+            self.emit_branch_unless(cond.operand, true_label)
+            self.b.emit(Op.GOTO, false_label, line=cond.line)
+            self.b.label(true_label)
+            return
+        if isinstance(cond, ast.Binary):
+            if cond.op == "&&":
+                self.emit_branch_unless(cond.left, false_label)
+                self.emit_branch_unless(cond.right, false_label)
+                return
+            if cond.op == "||":
+                ok = self.fresh("or")
+                fail = self.fresh("orfail")
+                self.emit_branch_unless(cond.left, fail)
+                self.b.emit(Op.GOTO, ok, line=cond.line)
+                self.b.label(fail)
+                self.emit_branch_unless(cond.right, false_label)
+                self.b.label(ok)
+                return
+            if cond.op in _CMP_TOKENS:
+                self._emit_comparison_branch(
+                    cond, _NEGATED[_CMP_TOKENS[cond.op]], false_label
+                )
+                return
+        # Generic boolean expression: 0 means false.
+        self.emit_expr(cond)
+        self.b.emit(Op.IF, "eq", false_label, line=cond.line)
+
+    def _emit_comparison_branch(self, cond: ast.Binary, token: str,
+                                target: str) -> None:
+        """Jump to ``target`` when ``left <token> right`` holds."""
+        left_t, right_t = cond.left.type, cond.right.type
+        line = cond.line
+        if isinstance(left_t, (ClassType, ArrayType)) or left_t is NULL:
+            self.emit_expr(cond.left)
+            self.emit_expr(cond.right)
+            op = Op.IF_ACMP_EQ if token == "eq" else Op.IF_ACMP_NE
+            self.b.emit(op, target, line=line)
+            return
+        if left_t is STRING and right_t is STRING:
+            self.emit_expr(cond.left)
+            self.emit_expr(cond.right)
+            self.b.emit(Op.IF_SCMP, token, target, line=line)
+            return
+        promote = FLOAT in (left_t, right_t)
+        self.emit_expr(cond.left)
+        if promote and left_t is INT:
+            self.b.emit(Op.I2F, line=line)
+        self.emit_expr(cond.right)
+        if promote and right_t is INT:
+            self.b.emit(Op.I2F, line=line)
+        self.b.emit(Op.IF_FCMP if promote else Op.IF_ICMP, token, target,
+                    line=line)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def push_default(self, t: Type) -> None:
+        if t is INT or t is BOOL:
+            self.b.emit(Op.ICONST, 0)
+        elif t is FLOAT:
+            self.b.emit(Op.FCONST, 0.0)
+        elif t is STRING:
+            self.b.emit(Op.SCONST, "")
+        else:
+            self.b.emit(Op.ACONST_NULL)
+
+    def coerce(self, from_t: Type, to_t: Type) -> None:
+        if from_t is INT and to_t is FLOAT:
+            self.b.emit(Op.I2F)
+        elif from_t is BOOL and to_t is ANY:
+            # Printable contexts (System.println) render booleans as
+            # Java does: "true"/"false", not 1/0.
+            self._stringify(BOOL, 0)
+
+    def _stringify(self, t: Type, line: int) -> None:
+        """Convert the TOS value of type ``t`` to a String."""
+        if t is STRING:
+            return
+        if t is INT:
+            self.b.emit(Op.I2S, line=line)
+        elif t is FLOAT:
+            self.b.emit(Op.F2S, line=line)
+        elif t is BOOL:
+            true_label = self.fresh("bs")
+            end = self.fresh("bse")
+            self.b.emit(Op.IF, "ne", true_label, line=line)
+            self.b.emit(Op.SCONST, "false", line=line)
+            self.b.emit(Op.GOTO, end, line=line)
+            self.b.label(true_label)
+            self.b.emit(Op.SCONST, "true", line=line)
+            self.b.label(end)
+        else:
+            # Reference: Class@oid via Object.toString.
+            self.b.emit(
+                Op.INVOKEVIRTUAL, method_ref("Object", "toString", 0, True),
+                line=line,
+            )
+
+    def emit_expr(self, expr: ast.Expr) -> None:
+        line = expr.line
+        if isinstance(expr, ast.IntLit):
+            self.b.emit(Op.ICONST, expr.value, line=line)
+        elif isinstance(expr, ast.FloatLit):
+            self.b.emit(Op.FCONST, expr.value, line=line)
+        elif isinstance(expr, ast.StringLit):
+            self.b.emit(Op.SCONST, expr.value, line=line)
+        elif isinstance(expr, ast.BoolLit):
+            self.b.emit(Op.ICONST, 1 if expr.value else 0, line=line)
+        elif isinstance(expr, ast.NullLit):
+            self.b.emit(Op.ACONST_NULL, line=line)
+        elif isinstance(expr, ast.This):
+            self.b.emit(Op.LOAD, 0, line=line)
+        elif isinstance(expr, ast.Name):
+            if expr.kind == "local":
+                self.b.emit(Op.LOAD, self.slot_of(expr.ident), line=line)
+            elif expr.kind == "field":
+                self.b.emit(Op.LOAD, 0, line=line)
+                self.b.emit(Op.GETFIELD, expr.ident, line=line)
+            elif expr.kind == "static":
+                self.b.emit(Op.GETSTATIC, expr.owner, expr.ident, line=line)
+            else:
+                raise CompileError(
+                    f"class name {expr.ident!r} used as a value", line
+                )
+        elif isinstance(expr, ast.Unary):
+            self._emit_unary(expr)
+        elif isinstance(expr, ast.Binary):
+            self._emit_binary(expr)
+        elif isinstance(expr, ast.Ternary):
+            else_label = self.fresh("terne")
+            end = self.fresh("ternx")
+            self.emit_branch_unless(expr.cond, else_label)
+            self.emit_expr(expr.then_value)
+            self.coerce(expr.then_value.type, expr.type)
+            self.b.emit(Op.GOTO, end, line=line)
+            self.b.label(else_label)
+            self.emit_expr(expr.else_value)
+            self.coerce(expr.else_value.type, expr.type)
+            self.b.label(end)
+        elif isinstance(expr, ast.FieldAccess):
+            if expr.kind == "static":
+                self.b.emit(Op.GETSTATIC, expr.owner, expr.field_name, line=line)
+            elif expr.kind == "arraylength":
+                self.emit_expr(expr.obj)
+                self.b.emit(Op.ARRAYLENGTH, line=line)
+            else:
+                self.emit_expr(expr.obj)
+                self.b.emit(Op.GETFIELD, expr.field_name, line=line)
+        elif isinstance(expr, ast.Index):
+            self.emit_expr(expr.array)
+            self.emit_expr(expr.index)
+            self.b.emit(Op.ARRLOAD, line=line)
+        elif isinstance(expr, ast.Call):
+            self._emit_call(expr)
+        elif isinstance(expr, ast.NewObject):
+            self.b.emit(Op.NEW, expr.class_name, line=line)
+            self.b.emit(Op.DUP, line=line)
+            for arg, ptype in zip(expr.args, expr.param_types):
+                self.emit_expr(arg)
+                self.coerce(arg.type, ptype)
+            self.b.emit(
+                Op.INVOKESPECIAL,
+                method_ref(expr.target_class, "<init>", len(expr.args), False),
+                line=line,
+            )
+        elif isinstance(expr, ast.NewArray):
+            self.emit_expr(expr.size)
+            elem = expr.type.elem
+            self.b.emit(Op.NEWARRAY, elem_token(elem), line=line)
+        elif isinstance(expr, ast.Cast):
+            self.emit_expr(expr.value)
+            if expr.kind == "i2f":
+                self.b.emit(Op.I2F, line=line)
+            elif expr.kind == "f2i":
+                self.b.emit(Op.F2I, line=line)
+            elif expr.kind == "ref" and isinstance(expr.sem_target, ClassType):
+                self.b.emit(Op.CHECKCAST, expr.sem_target.name, line=line)
+            # casts to array types are unchecked (documented deviation)
+        elif isinstance(expr, ast.InstanceOf):
+            self.emit_expr(expr.value)
+            self.b.emit(Op.INSTANCEOF, expr.class_name, line=line)
+        else:
+            raise CompileError(f"internal: unhandled expression {expr!r}", line)
+
+    def _emit_unary(self, expr: ast.Unary) -> None:
+        line = expr.line
+        self.emit_expr(expr.operand)
+        if expr.op == "-":
+            self.b.emit(
+                Op.FNEG if expr.operand.type is FLOAT else Op.INEG, line=line
+            )
+        elif expr.op == "!":
+            self.b.emit(Op.ICONST, 1, line=line)
+            self.b.emit(Op.IXOR, line=line)
+        elif expr.op == "~":
+            self.b.emit(Op.ICONST, -1, line=line)
+            self.b.emit(Op.IXOR, line=line)
+
+    def _emit_binary(self, expr: ast.Binary) -> None:
+        op = expr.op
+        line = expr.line
+        left_t, right_t = expr.left.type, expr.right.type
+
+        if op == "+" and expr.type is STRING:
+            self.emit_expr(expr.left)
+            self._stringify(left_t, line)
+            self.emit_expr(expr.right)
+            self._stringify(right_t, line)
+            self.b.emit(Op.SCONCAT, line=line)
+            return
+
+        if op in _NUMERIC_OPS and expr.type in (INT, FLOAT):
+            int_op, float_op = _NUMERIC_OPS[op]
+            promote = expr.type is FLOAT
+            self.emit_expr(expr.left)
+            if promote and left_t is INT:
+                self.b.emit(Op.I2F, line=line)
+            self.emit_expr(expr.right)
+            if promote and right_t is INT:
+                self.b.emit(Op.I2F, line=line)
+            self.b.emit(float_op if promote else int_op, line=line)
+            return
+
+        if op == "%" and expr.type is FLOAT:
+            raise CompileError("float remainder is not supported", line)
+
+        if op in _INT_ONLY_OPS:
+            self.emit_expr(expr.left)
+            self.emit_expr(expr.right)
+            self.b.emit(_INT_ONLY_OPS[op], line=line)
+            return
+
+        if op in _CMP_TOKENS or op in ("&&", "||"):
+            # Boolean-valued: materialize 0/1 through branches.
+            true_label = self.fresh("bt")
+            end = self.fresh("bte")
+            false_label = self.fresh("bf")
+            self.emit_branch_unless(expr, false_label)
+            self.b.label(true_label)
+            self.b.emit(Op.ICONST, 1, line=line)
+            self.b.emit(Op.GOTO, end, line=line)
+            self.b.label(false_label)
+            self.b.emit(Op.ICONST, 0, line=line)
+            self.b.label(end)
+            return
+
+        raise CompileError(f"internal: unhandled binary {op!r}", line)
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def _emit_call(self, expr: ast.Call) -> None:
+        line = expr.line
+        if expr.builtin == "streq":
+            self.emit_expr(expr.obj)
+            self.emit_expr(expr.args[0])
+            true_label = self.fresh("seq")
+            end = self.fresh("seqe")
+            self.b.emit(Op.IF_SCMP, "eq", true_label, line=line)
+            self.b.emit(Op.ICONST, 0, line=line)
+            self.b.emit(Op.GOTO, end, line=line)
+            self.b.label(true_label)
+            self.b.emit(Op.ICONST, 1, line=line)
+            self.b.label(end)
+            return
+        if expr.builtin.startswith("Strings."):
+            name = expr.builtin.split(".", 1)[1]
+            self.emit_expr(expr.obj)
+            for arg, ptype in zip(expr.args, expr.param_types):
+                self.emit_expr(arg)
+                self.coerce(arg.type, ptype)
+            self.b.emit(
+                Op.INVOKESTATIC,
+                method_ref("Strings", name, 1 + len(expr.args), expr.returns),
+                line=line,
+            )
+            return
+
+        if expr.invoke_kind == "static":
+            for arg, ptype in zip(expr.args, expr.param_types):
+                self.emit_expr(arg)
+                self.coerce(arg.type, ptype)
+            self.b.emit(
+                Op.INVOKESTATIC,
+                method_ref(expr.target_class, expr.method_name,
+                           len(expr.args), expr.returns),
+                line=line,
+            )
+            return
+
+        self.emit_expr(expr.obj) if expr.obj is not None else self.b.emit(
+            Op.LOAD, 0, line=line
+        )
+        for arg, ptype in zip(expr.args, expr.param_types):
+            self.emit_expr(arg)
+            self.coerce(arg.type, ptype)
+        opcode = (
+            Op.INVOKESPECIAL if expr.invoke_kind == "special"
+            else Op.INVOKEVIRTUAL
+        )
+        self.b.emit(
+            opcode,
+            method_ref(expr.target_class, expr.method_name,
+                       len(expr.args), expr.returns),
+            line=line,
+        )

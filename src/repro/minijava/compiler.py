@@ -1,0 +1,64 @@
+"""MiniJava compiler facade.
+
+Typical use::
+
+    from repro.minijava import compile_program
+
+    registry = compile_program(source_text)
+    jvm = JVM(registry, default_natives(), env.attach("p"))
+    jvm.run("Main")
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from repro.classfile.loader import ClassRegistry
+from repro.minijava import ast
+from repro.minijava.codegen import CodeGen
+from repro.minijava.parser import parse
+from repro.minijava.semantics import Checker
+from repro.runtime.stdlib import new_program_registry
+
+
+def compile_program(
+    sources: Union[str, Iterable[str]],
+    registry: Optional[ClassRegistry] = None,
+    native_classes: Iterable = (),
+) -> ClassRegistry:
+    """Compile one or more MiniJava source texts into a class registry.
+
+    All sources are checked together as a single program (cross-source
+    references are allowed).  The returned registry contains the
+    standard library plus the compiled classes and is ready to hand to
+    :class:`~repro.runtime.jvm.JVM`.
+
+    Args:
+        sources: MiniJava text(s).
+        registry: an existing registry to compile into (a fresh one
+            with the standard library otherwise).
+        native_classes: application-provided
+            :class:`~repro.minijava.extensions.NativeClassSpec` classes
+            — their methods become callable from MiniJava and their
+            native stubs are registered automatically (implementations
+            go into a :class:`~repro.runtime.natives.NativeRegistry`).
+
+    Raises:
+        CompileError: on any lexical, syntactic, or semantic error.
+    """
+    if isinstance(sources, str):
+        sources = [sources]
+    classes: List[ast.ClassDecl] = []
+    for text in sources:
+        classes.extend(parse(text).classes)
+    program = ast.Program(classes)
+    native_classes = list(native_classes)
+    extra = {spec.name: spec.class_info() for spec in native_classes}
+    checker = Checker(program, extra_builtins=extra)
+    checker.check()
+    if registry is None:
+        registry = new_program_registry()
+    for spec in native_classes:
+        spec.register_stubs(registry)
+    CodeGen(program, checker).generate(registry)
+    return registry

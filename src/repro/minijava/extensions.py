@@ -1,0 +1,102 @@
+"""Application-provided native classes.
+
+The paper's side-effect handler interface exists so that *applications*
+can bring their own native methods and still be recovered correctly
+(§4.4: "Applications can incorporate their own handlers using the same
+functions").  This module is the compiler-facing half of that story: a
+declarative way to register a native class so MiniJava programs can
+call it, with the runtime stubs generated automatically.
+
+Example::
+
+    beeper = NativeClassSpec("Beeper", methods=(
+        NativeMethodSpec("beep", ("int",), "void"),
+    ))
+    registry = compile_program(source, native_classes=[beeper])
+    natives.register(NativeSpec("Beeper.beep/1", impl, is_output=True,
+                                testable=True, se_handler="beeper"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.classfile.loader import ClassRegistry
+from repro.classfile.model import JClass, JMethod
+from repro.errors import CompileError
+from repro.minijava.semantics import ClassInfo
+from repro.minijava.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    VOID,
+    ArrayType,
+    ClassType,
+    MethodSig,
+    Type,
+)
+
+_NAMED_TYPES = {"int": INT, "float": FLOAT, "boolean": BOOL,
+                "String": STRING, "void": VOID}
+
+
+def parse_type_name(text: str) -> Type:
+    """Parse a type string like ``int``, ``String``, ``int[]``, ``Foo[][]``."""
+    dims = 0
+    while text.endswith("[]"):
+        text = text[:-2]
+        dims += 1
+    base = _NAMED_TYPES.get(text)
+    if base is None:
+        if not text or not text[0].isalpha():
+            raise CompileError(f"bad type name {text!r}")
+        base = ClassType(text)
+    if base is VOID and dims:
+        raise CompileError("void[] is not a type")
+    for _ in range(dims):
+        base = ArrayType(base)
+    return base
+
+
+@dataclass(frozen=True)
+class NativeMethodSpec:
+    """One native method on an application-provided class."""
+
+    name: str
+    params: Tuple[str, ...]
+    ret: str = "void"
+    is_static: bool = True
+
+
+@dataclass(frozen=True)
+class NativeClassSpec:
+    """An application-provided class of native methods."""
+
+    name: str
+    methods: Tuple[NativeMethodSpec, ...] = field(default_factory=tuple)
+    superclass: str = "Object"
+
+    def class_info(self) -> ClassInfo:
+        """The checker-side view of this class."""
+        info = ClassInfo(self.name, self.superclass, is_builtin=True)
+        for m in self.methods:
+            info.methods[(m.name, len(m.params))] = MethodSig(
+                self.name,
+                m.name,
+                tuple(parse_type_name(p) for p in m.params),
+                parse_type_name(m.ret),
+                is_static=m.is_static,
+            )
+        return info
+
+    def register_stubs(self, registry: ClassRegistry) -> None:
+        """Register the runtime class with native method stubs."""
+        cls = JClass(self.name, self.superclass)
+        for m in self.methods:
+            cls.add_method(JMethod(
+                m.name, len(m.params), m.ret != "void",
+                is_native=True, is_static=m.is_static,
+            ))
+        registry.register(cls)

@@ -1,0 +1,205 @@
+"""MiniJava lexer.
+
+MiniJava is the Java-like source language used to author workloads and
+examples for the mini-JVM (the paper's substrate is Java source run on
+the JVM).  The lexer produces a flat token stream with line/column
+information for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import CompileError
+
+KEYWORDS = {
+    "class", "extends", "static", "synchronized", "native",
+    "int", "float", "boolean", "void", "String",
+    "if", "else", "while", "for", "return", "break", "continue",
+    "new", "this", "super", "null", "true", "false",
+    "try", "catch", "throw", "instanceof",
+    "public", "private", "protected", "final",  # accepted and ignored
+}
+
+#: Multi-character operators, longest first.
+OPERATORS = [
+    ">>>=", "<<=", ">>=", ">>>",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str        # 'kw', 'ident', 'int', 'float', 'string', 'char', 'op', 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+            '"': '"', "'": "'"}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex MiniJava source into tokens (plus a trailing EOF token).
+
+    Raises:
+        CompileError: on unterminated literals or unknown characters.
+    """
+    tokens: List[Token] = []
+    line, col = 1, 1
+    i = 0
+    n = len(source)
+
+    def error(message: str) -> CompileError:
+        return CompileError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+
+        # Comments
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise error("unterminated block comment")
+            skipped = source[i:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+
+        start_line, start_col = line, col
+
+        # Identifiers and keywords
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = "kw" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+
+        # Numbers
+        if ch.isdigit():
+            j = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                if j < n and source[j] == "." and j + 1 < n and source[j + 1].isdigit():
+                    is_float = True
+                    j += 1
+                    while j < n and source[j].isdigit():
+                        j += 1
+                if j < n and source[j] in "eE":
+                    k = j + 1
+                    if k < n and source[k] in "+-":
+                        k += 1
+                    if k < n and source[k].isdigit():
+                        is_float = True
+                        j = k
+                        while j < n and source[j].isdigit():
+                            j += 1
+            if j < n and source[j] in "fF":
+                is_float = True
+                text = source[i:j]
+                j += 1
+            else:
+                text = source[i:j]
+            tokens.append(Token("float" if is_float else "int", text,
+                                start_line, start_col))
+            col += j - i
+            i = j
+            continue
+
+        # String literals
+        if ch == '"':
+            j = i + 1
+            out = []
+            while True:
+                if j >= n:
+                    raise error("unterminated string literal")
+                c = source[j]
+                if c == '"':
+                    j += 1
+                    break
+                if c == "\n":
+                    raise error("newline in string literal")
+                if c == "\\":
+                    j += 1
+                    if j >= n or source[j] not in _ESCAPES:
+                        raise error("bad string escape")
+                    out.append(_ESCAPES[source[j]])
+                else:
+                    out.append(c)
+                j += 1
+            tokens.append(Token("string", "".join(out), start_line, start_col))
+            col += j - i
+            i = j
+            continue
+
+        # Character literals (become int tokens)
+        if ch == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                j += 1
+                if j >= n or source[j] not in _ESCAPES:
+                    raise error("bad character escape")
+                value = _ESCAPES[source[j]]
+                j += 1
+            elif j < n and source[j] != "'":
+                value = source[j]
+                j += 1
+            else:
+                raise error("empty character literal")
+            if j >= n or source[j] != "'":
+                raise error("unterminated character literal")
+            j += 1
+            tokens.append(Token("char", value, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+
+        # Operators / punctuation
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, start_line, start_col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("eof", "", line, col))
+    return tokens

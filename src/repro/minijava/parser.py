@@ -1,0 +1,554 @@
+"""MiniJava recursive-descent parser."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import CompileError
+from repro.minijava import ast
+from repro.minijava.lexer import Token, tokenize
+
+_PRIMITIVES = {"int", "float", "boolean", "String", "void"}
+
+#: Binary operator precedence tiers, lowest first.
+_BINARY_TIERS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],     # instanceof handled at this tier
+    ["<<", ">>", ">>>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+_COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+                 "<<=": "<<", ">>=": ">>"}
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniJava source text into a :class:`~repro.minijava.ast.Program`."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    @property
+    def _tok(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        tok = self._tok
+        self._pos += 1
+        return tok
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self._tok
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self._check(kind, text):
+            tok = self._tok
+            want = text or kind
+            raise CompileError(
+                f"expected {want!r}, found {tok.text or tok.kind!r}",
+                tok.line, tok.col,
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> CompileError:
+        tok = self._tok
+        return CompileError(message, tok.line, tok.col)
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        classes = []
+        while not self._check("eof"):
+            classes.append(self._parse_class())
+        return ast.Program(classes)
+
+    def _skip_modifiers(self) -> dict:
+        mods = {"static": False, "synchronized": False}
+        while self._tok.kind == "kw" and self._tok.text in (
+            "public", "private", "protected", "final", "static", "synchronized"
+        ):
+            word = self._advance().text
+            if word in mods:
+                mods[word] = True
+        return mods
+
+    def _parse_class(self) -> ast.ClassDecl:
+        self._skip_modifiers()
+        start = self._expect("kw", "class")
+        name = self._expect("ident").text
+        superclass = "Object"
+        if self._accept("kw", "extends"):
+            tok = self._tok
+            if tok.kind == "ident" or (tok.kind == "kw" and tok.text == "String"):
+                superclass = self._advance().text
+            else:
+                raise self._error("expected superclass name")
+        self._expect("op", "{")
+        fields: List[ast.FieldDecl] = []
+        methods: List[ast.MethodDecl] = []
+        while not self._accept("op", "}"):
+            self._parse_member(name, fields, methods)
+        return ast.ClassDecl(name, superclass, fields, methods, start.line)
+
+    def _parse_member(self, class_name: str, fields, methods) -> None:
+        mods = self._skip_modifiers()
+        tok = self._tok
+        # Constructor: ClassName '('
+        if tok.kind == "ident" and tok.text == class_name \
+                and self._peek(1).kind == "op" and self._peek(1).text == "(":
+            self._advance()
+            params = self._parse_params()
+            body = self._parse_block()
+            methods.append(ast.MethodDecl(
+                "<init>", params, ast.TypeName("void"), body,
+                is_static=False, is_synchronized=mods["synchronized"],
+                line=tok.line,
+            ))
+            return
+        decl_type = self._parse_type()
+        name_tok = self._expect("ident")
+        if self._check("op", "("):
+            params = self._parse_params()
+            body = self._parse_block()
+            methods.append(ast.MethodDecl(
+                name_tok.text, params, decl_type, body,
+                is_static=mods["static"],
+                is_synchronized=mods["synchronized"],
+                line=name_tok.line,
+            ))
+            return
+        initializer = None
+        if self._accept("op", "="):
+            initializer = self._parse_expr()
+        self._expect("op", ";")
+        fields.append(ast.FieldDecl(
+            name_tok.text, decl_type, mods["static"], initializer, name_tok.line
+        ))
+
+    def _parse_params(self) -> List[ast.Param]:
+        self._expect("op", "(")
+        params: List[ast.Param] = []
+        if not self._check("op", ")"):
+            while True:
+                ptype = self._parse_type()
+                pname = self._expect("ident")
+                params.append(ast.Param(pname.text, ptype, pname.line))
+                if not self._accept("op", ","):
+                    break
+        self._expect("op", ")")
+        return params
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+    def _looks_like_type(self) -> bool:
+        """Lookahead: does a declaration start here (``T name``)?"""
+        tok = self._tok
+        if tok.kind == "kw" and tok.text in _PRIMITIVES:
+            base_ok = True
+        elif tok.kind == "ident":
+            base_ok = True
+        else:
+            return False
+        if not base_ok:
+            return False
+        i = 1
+        while (self._peek(i).kind == "op" and self._peek(i).text == "["
+               and self._peek(i + 1).kind == "op" and self._peek(i + 1).text == "]"):
+            i += 2
+        return self._peek(i).kind == "ident"
+
+    def _parse_type(self) -> ast.TypeName:
+        tok = self._tok
+        if tok.kind == "kw" and tok.text in _PRIMITIVES:
+            self._advance()
+            base = tok.text
+        elif tok.kind == "ident":
+            self._advance()
+            base = tok.text
+        else:
+            raise self._error(f"expected a type, found {tok.text!r}")
+        dims = 0
+        while (self._check("op", "[") and self._peek(1).kind == "op"
+               and self._peek(1).text == "]"):
+            self._advance()
+            self._advance()
+            dims += 1
+        return ast.TypeName(base, dims)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _parse_block(self) -> List[ast.Stmt]:
+        self._expect("op", "{")
+        body: List[ast.Stmt] = []
+        while not self._accept("op", "}"):
+            body.append(self._parse_stmt())
+        return body
+
+    def _parse_stmt_or_block(self) -> List[ast.Stmt]:
+        if self._check("op", "{"):
+            return self._parse_block()
+        return [self._parse_stmt()]
+
+    def _parse_stmt(self) -> ast.Stmt:
+        tok = self._tok
+        if tok.kind == "op" and tok.text == "{":
+            return ast.Block(tok.line, self._parse_block())
+        if tok.kind == "kw":
+            handler = {
+                "if": self._parse_if,
+                "while": self._parse_while,
+                "for": self._parse_for,
+                "return": self._parse_return,
+                "throw": self._parse_throw,
+                "try": self._parse_try,
+                "synchronized": self._parse_synchronized,
+            }.get(tok.text)
+            if handler is not None:
+                return handler()
+            if tok.text == "break":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Break(tok.line)
+            if tok.text == "continue":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Continue(tok.line)
+            if tok.text == "super" and self._peek(1).text == "(":
+                self._advance()
+                args = self._parse_args()
+                self._expect("op", ";")
+                return ast.SuperCall(tok.line, args)
+        if self._looks_like_type():
+            return self._parse_var_decl()
+        stmt = self._parse_simple_stmt()
+        self._expect("op", ";")
+        return stmt
+
+    def _parse_var_decl(self) -> ast.Stmt:
+        decl_type = self._parse_type()
+        name = self._expect("ident")
+        initializer = None
+        if self._accept("op", "="):
+            initializer = self._parse_expr()
+        self._expect("op", ";")
+        return ast.VarDecl(name.line, name.text, decl_type, initializer)
+
+    def _parse_simple_stmt(self) -> ast.Stmt:
+        """Assignment, compound assignment, ++/--, or expression statement
+        (no trailing semicolon — shared by for-headers)."""
+        tok = self._tok
+        expr = self._parse_expr()
+        if self._check("op", "="):
+            self._advance()
+            value = self._parse_expr()
+            return ast.Assign(tok.line, expr, value)
+        for text, base_op in _COMPOUND_OPS.items():
+            if self._check("op", text):
+                self._advance()
+                value = self._parse_expr()
+                combined = ast.Binary(tok.line, None, base_op, expr, value)
+                return ast.Assign(tok.line, expr, combined)
+        if self._check("op", "++") or self._check("op", "--"):
+            op = self._advance().text
+            one = ast.IntLit(tok.line, None, 1)
+            combined = ast.Binary(
+                tok.line, None, "+" if op == "++" else "-", expr, one
+            )
+            return ast.Assign(tok.line, expr, combined)
+        return ast.ExprStmt(tok.line, expr)
+
+    def _parse_if(self) -> ast.Stmt:
+        tok = self._expect("kw", "if")
+        self._expect("op", "(")
+        cond = self._parse_expr()
+        self._expect("op", ")")
+        then_body = self._parse_stmt_or_block()
+        else_body: List[ast.Stmt] = []
+        if self._accept("kw", "else"):
+            else_body = self._parse_stmt_or_block()
+        return ast.If(tok.line, cond, then_body, else_body)
+
+    def _parse_while(self) -> ast.Stmt:
+        tok = self._expect("kw", "while")
+        self._expect("op", "(")
+        cond = self._parse_expr()
+        self._expect("op", ")")
+        return ast.While(tok.line, cond, self._parse_stmt_or_block())
+
+    def _parse_for(self) -> ast.Stmt:
+        tok = self._expect("kw", "for")
+        self._expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not self._check("op", ";"):
+            if self._looks_like_type():
+                decl_type = self._parse_type()
+                name = self._expect("ident")
+                initializer = None
+                if self._accept("op", "="):
+                    initializer = self._parse_expr()
+                init = ast.VarDecl(name.line, name.text, decl_type, initializer)
+            else:
+                init = self._parse_simple_stmt()
+        self._expect("op", ";")
+        cond = None if self._check("op", ";") else self._parse_expr()
+        self._expect("op", ";")
+        update = None if self._check("op", ")") else self._parse_simple_stmt()
+        self._expect("op", ")")
+        return ast.For(tok.line, init, cond, update, self._parse_stmt_or_block())
+
+    def _parse_return(self) -> ast.Stmt:
+        tok = self._expect("kw", "return")
+        value = None if self._check("op", ";") else self._parse_expr()
+        self._expect("op", ";")
+        return ast.Return(tok.line, value)
+
+    def _parse_throw(self) -> ast.Stmt:
+        tok = self._expect("kw", "throw")
+        value = self._parse_expr()
+        self._expect("op", ";")
+        return ast.Throw(tok.line, value)
+
+    def _parse_try(self) -> ast.Stmt:
+        tok = self._expect("kw", "try")
+        body = self._parse_block()
+        self._expect("kw", "catch")
+        self._expect("op", "(")
+        exc_class_tok = self._tok
+        if exc_class_tok.kind != "ident":
+            raise self._error("expected exception class name")
+        self._advance()
+        exc_name = self._expect("ident").text
+        self._expect("op", ")")
+        handler = self._parse_block()
+        return ast.TryCatch(tok.line, body, exc_class_tok.text, exc_name, handler)
+
+    def _parse_synchronized(self) -> ast.Stmt:
+        tok = self._expect("kw", "synchronized")
+        self._expect("op", "(")
+        lock = self._parse_expr()
+        self._expect("op", ")")
+        return ast.Synchronized(tok.line, lock, self._parse_block())
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _parse_args(self) -> List[ast.Expr]:
+        self._expect("op", "(")
+        args: List[ast.Expr] = []
+        if not self._check("op", ")"):
+            while True:
+                args.append(self._parse_expr())
+                if not self._accept("op", ","):
+                    break
+        self._expect("op", ")")
+        return args
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self._accept("op", "?"):
+            then_value = self._parse_expr()
+            self._expect("op", ":")
+            else_value = self._parse_expr()
+            return ast.Ternary(cond.line, None, cond, then_value, else_value)
+        return cond
+
+    def _parse_binary(self, tier: int) -> ast.Expr:
+        if tier >= len(_BINARY_TIERS):
+            return self._parse_unary()
+        left = self._parse_binary(tier + 1)
+        ops = _BINARY_TIERS[tier]
+        while True:
+            if "<" in ops and self._check("kw", "instanceof"):
+                self._advance()
+                class_name = self._expect("ident").text
+                left = ast.InstanceOf(left.line, None, left, class_name)
+                continue
+            tok = self._tok
+            if tok.kind == "op" and tok.text in ops:
+                self._advance()
+                right = self._parse_binary(tier + 1)
+                left = ast.Binary(tok.line, None, tok.text, left, right)
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._tok
+        if tok.kind == "op" and tok.text in ("!", "-", "~"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(tok.line, None, tok.text, operand)
+        # Cast: '(' Type ')' unary — only when it really looks like one.
+        if tok.kind == "op" and tok.text == "(":
+            save = self._pos
+            if self._try_cast():
+                self._pos = save
+                self._advance()  # '('
+                target = self._parse_type()
+                self._expect("op", ")")
+                value = self._parse_unary()
+                return ast.Cast(tok.line, None, target, value)
+        return self._parse_postfix()
+
+    def _try_cast(self) -> bool:
+        """Heuristic lookahead for '(' Type ')' <operand-start>."""
+        save = self._pos
+        try:
+            self._advance()  # '('
+            tok = self._tok
+            if not (
+                (tok.kind == "kw" and tok.text in _PRIMITIVES and tok.text != "void")
+                or tok.kind == "ident"
+            ):
+                return False
+            is_primitive = tok.kind == "kw"
+            self._parse_type()
+            if not self._check("op", ")"):
+                return False
+            nxt = self._peek(1)
+            if is_primitive:
+                return nxt.kind in ("ident", "int", "float", "string", "char") or (
+                    nxt.kind == "op" and nxt.text == "("
+                ) or (nxt.kind == "kw" and nxt.text in ("this", "new"))
+            # Class casts: require an operand that cannot be a binary rhs.
+            return nxt.kind == "ident" or (
+                nxt.kind == "kw" and nxt.text in ("this", "new", "null")
+            )
+        except CompileError:
+            return False
+        finally:
+            end = self._pos
+            self._pos = save
+            del end
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._check("op", "."):
+                self._advance()
+                name_tok = self._tok
+                if name_tok.kind not in ("ident", "kw"):
+                    raise self._error("expected member name after '.'")
+                self._advance()
+                if self._check("op", "("):
+                    args = self._parse_args()
+                    expr = ast.Call(
+                        name_tok.line, None, expr, "", name_tok.text, args
+                    )
+                else:
+                    expr = ast.FieldAccess(
+                        name_tok.line, None, expr, name_tok.text
+                    )
+            elif self._check("op", "["):
+                self._advance()
+                index = self._parse_expr()
+                self._expect("op", "]")
+                expr = ast.Index(expr.line, None, expr, index)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._tok
+        if tok.kind == "int":
+            self._advance()
+            return ast.IntLit(tok.line, None, int(tok.text, 0))
+        if tok.kind == "float":
+            self._advance()
+            return ast.FloatLit(tok.line, None, float(tok.text))
+        if tok.kind == "string":
+            self._advance()
+            return ast.StringLit(tok.line, None, tok.text)
+        if tok.kind == "char":
+            self._advance()
+            return ast.IntLit(tok.line, None, ord(tok.text))
+        if tok.kind == "kw":
+            if tok.text == "true":
+                self._advance()
+                return ast.BoolLit(tok.line, None, True)
+            if tok.text == "false":
+                self._advance()
+                return ast.BoolLit(tok.line, None, False)
+            if tok.text == "null":
+                self._advance()
+                return ast.NullLit(tok.line)
+            if tok.text == "this":
+                self._advance()
+                return ast.This(tok.line)
+            if tok.text == "new":
+                return self._parse_new()
+            if tok.text == "super":
+                self._advance()
+                self._expect("op", ".")
+                name = self._expect("ident")
+                args = self._parse_args()
+                return ast.Call(
+                    name.line, None, None, "", name.text, args, is_super=True
+                )
+            if tok.text == "String":
+                # Static-looking access like String.x is not supported;
+                # String appears only in types.
+                raise self._error("'String' cannot start an expression")
+        if tok.kind == "ident":
+            self._advance()
+            if self._check("op", "("):
+                args = self._parse_args()
+                return ast.Call(tok.line, None, None, "", tok.text, args)
+            return ast.Name(tok.line, None, tok.text)
+        if tok.kind == "op" and tok.text == "(":
+            self._advance()
+            expr = self._parse_expr()
+            self._expect("op", ")")
+            return expr
+        raise self._error(f"unexpected token {tok.text or tok.kind!r}")
+
+    def _parse_new(self) -> ast.Expr:
+        tok = self._expect("kw", "new")
+        type_tok = self._tok
+        if type_tok.kind == "kw" and type_tok.text in _PRIMITIVES:
+            self._advance()
+            base = type_tok.text
+        elif type_tok.kind == "ident":
+            self._advance()
+            base = type_tok.text
+        else:
+            raise self._error("expected type after 'new'")
+        if self._check("op", "["):
+            self._advance()
+            size = self._parse_expr()
+            self._expect("op", "]")
+            dims = 0
+            while (self._check("op", "[") and self._peek(1).kind == "op"
+                   and self._peek(1).text == "]"):
+                self._advance()
+                self._advance()
+                dims += 1
+            return ast.NewArray(tok.line, None, ast.TypeName(base, dims), size)
+        args = self._parse_args()
+        return ast.NewObject(tok.line, None, base, args)

@@ -1,0 +1,838 @@
+"""MiniJava semantic analysis: name resolution and type checking.
+
+The checker annotates the AST in place (every expression gets ``type``;
+calls, names, and field accesses get resolution attributes) and raises
+:class:`~repro.errors.CompileError` with source positions on any
+violation.  The annotated AST is consumed directly by
+:mod:`repro.minijava.codegen`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CompileError
+from repro.minijava import ast
+from repro.minijava.types import (
+    ANY,
+    BOOL,
+    BUILTIN_FIELDS,
+    BUILTIN_HIERARCHY,
+    FLOAT,
+    INT,
+    NULL,
+    OBJECT,
+    STRING,
+    STRING_SUGAR,
+    VOID,
+    ArrayType,
+    ClassType,
+    MethodSig,
+    Type,
+    builtin_class_signatures,
+)
+
+_PRIMITIVE_TYPES = {"int": INT, "float": FLOAT, "boolean": BOOL,
+                    "String": STRING, "void": VOID}
+
+
+class ClassInfo:
+    """Everything the checker knows about one class."""
+
+    def __init__(self, name: str, superclass: Optional[str],
+                 is_builtin: bool) -> None:
+        self.name = name
+        self.superclass = superclass
+        self.is_builtin = is_builtin
+        #: name -> (type, is_static, owner_class)
+        self.fields: Dict[str, Tuple[Type, bool, str]] = {}
+        #: (name, arity) -> MethodSig
+        self.methods: Dict[Tuple[str, int], MethodSig] = {}
+
+
+class Checker:
+    """Single-program semantic analyzer.
+
+    ``extra_builtins`` lets embedders extend the compiler's view of the
+    class library with application-provided native classes (the paper's
+    user-supplied native methods, §4.4): a mapping from class name to a
+    :class:`ClassInfo` that is installed alongside the standard ones.
+    """
+
+    def __init__(self, program: ast.Program,
+                 extra_builtins: Optional[Dict[str, "ClassInfo"]] = None
+                 ) -> None:
+        self._program = program
+        self._extra_builtins = dict(extra_builtins or {})
+        self._classes: Dict[str, ClassInfo] = {}
+        # Per-method state
+        self._current: Optional[ClassInfo] = None
+        self._method: Optional[ast.MethodDecl] = None
+        self._return_type: Type = VOID
+        self._scopes: List[Dict[str, Type]] = []
+        self._loop_depth = 0
+
+    @property
+    def classes(self) -> Dict[str, ClassInfo]:
+        """Resolved class table (valid after :meth:`check`)."""
+        return self._classes
+
+    # ==================================================================
+    # Entry point
+    # ==================================================================
+    def check(self) -> ast.Program:
+        self._install_builtins()
+        self._collect_user_classes()
+        self._check_hierarchy()
+        for decl in self._program.classes:
+            self._check_class(decl)
+        return self._program
+
+    # ==================================================================
+    # Symbol collection
+    # ==================================================================
+    def _install_builtins(self) -> None:
+        signatures = builtin_class_signatures()
+        for name, parent in BUILTIN_HIERARCHY.items():
+            info = ClassInfo(name, parent, is_builtin=True)
+            for key, sig in signatures.get(name, {}).items():
+                info.methods[key] = sig
+            for fname, (ftype, static) in BUILTIN_FIELDS.get(name, {}).items():
+                info.fields[fname] = (ftype, static, name)
+            self._classes[name] = info
+        for name, info in self._extra_builtins.items():
+            if name in self._classes:
+                raise CompileError(
+                    f"extra builtin class {name!r} collides with the "
+                    f"standard library"
+                )
+            self._classes[name] = info
+
+    def _collect_user_classes(self) -> None:
+        for decl in self._program.classes:
+            if decl.name in self._classes:
+                raise CompileError(
+                    f"class {decl.name!r} redefines an existing class", decl.line
+                )
+            if decl.name in _PRIMITIVE_TYPES:
+                raise CompileError(
+                    f"class name {decl.name!r} is reserved", decl.line
+                )
+            self._classes[decl.name] = ClassInfo(
+                decl.name, decl.superclass, is_builtin=False
+            )
+        for decl in self._program.classes:
+            info = self._classes[decl.name]
+            for f in decl.fields:
+                if f.name in info.fields:
+                    raise CompileError(
+                        f"duplicate field {f.name!r} in {decl.name}", f.line
+                    )
+                info.fields[f.name] = (
+                    self._resolve_type(f.type, f.line), f.is_static, decl.name
+                )
+            for m in decl.methods:
+                key = (m.name, len(m.params))
+                if key in info.methods:
+                    raise CompileError(
+                        f"duplicate method {m.name}/{len(m.params)} in "
+                        f"{decl.name}", m.line
+                    )
+                m.owner = decl.name
+                info.methods[key] = MethodSig(
+                    decl.name,
+                    m.name,
+                    tuple(self._resolve_type(p.type, p.line) for p in m.params),
+                    self._resolve_type(m.return_type, m.line),
+                    is_static=m.is_static,
+                    is_synchronized=m.is_synchronized,
+                )
+
+    def _check_hierarchy(self) -> None:
+        for decl in self._program.classes:
+            info = self._classes[decl.name]
+            if info.superclass not in self._classes:
+                raise CompileError(
+                    f"{decl.name} extends unknown class {info.superclass!r}",
+                    decl.line,
+                )
+            # Cycle detection
+            seen = {decl.name}
+            parent = info.superclass
+            while parent is not None:
+                if parent in seen:
+                    raise CompileError(
+                        f"inheritance cycle through {decl.name}", decl.line
+                    )
+                seen.add(parent)
+                parent = self._classes[parent].superclass
+            # Override compatibility
+            for key, sig in info.methods.items():
+                inherited = self._lookup_method_in(info.superclass, *key)
+                if inherited is None or key[0] == "<init>":
+                    continue
+                if (inherited.params != sig.params
+                        or inherited.ret is not sig.ret
+                        or inherited.is_static != sig.is_static):
+                    raise CompileError(
+                        f"{decl.name}.{key[0]}/{key[1]} overrides "
+                        f"{inherited.owner}.{key[0]} with an incompatible "
+                        f"signature", decl.line,
+                    )
+
+    # ==================================================================
+    # Type utilities
+    # ==================================================================
+    def _resolve_type(self, tn: ast.TypeName, line: int) -> Type:
+        base = _PRIMITIVE_TYPES.get(tn.name)
+        if base is None:
+            if tn.name not in self._classes:
+                raise CompileError(f"unknown type {tn.name!r}", line)
+            base = ClassType(tn.name)
+        if base is VOID and tn.dims:
+            raise CompileError("void[] is not a type", line)
+        for _ in range(tn.dims):
+            base = ArrayType(base)
+        return base
+
+    def _is_subclass(self, sub: str, sup: str) -> bool:
+        node: Optional[str] = sub
+        while node is not None:
+            if node == sup:
+                return True
+            node = self._classes[node].superclass
+        return False
+
+    def _assignable(self, value: Type, target: Type) -> bool:
+        if value is target:
+            return True
+        if value is INT and target is FLOAT:
+            return True
+        if value is NULL:
+            return isinstance(target, (ClassType, ArrayType))
+        if isinstance(value, ClassType) and isinstance(target, ClassType):
+            return self._is_subclass(value.name, target.name)
+        if isinstance(value, ArrayType) and target is OBJECT:
+            return True
+        if isinstance(value, ArrayType) and isinstance(target, ClassType) \
+                and target.name == "_array":
+            return True  # System.arraycopy accepts arrays of any element
+        if target is ANY:
+            return value in (INT, FLOAT, BOOL, STRING) or isinstance(
+                value, (ClassType, ArrayType)
+            )
+        if target is OBJECT and isinstance(value, ClassType):
+            return True
+        return False
+
+    def _require(self, cond: bool, message: str, line: int) -> None:
+        if not cond:
+            raise CompileError(message, line)
+
+    def _lookup_method_in(self, class_name: Optional[str], name: str,
+                          arity: int) -> Optional[MethodSig]:
+        node = class_name
+        while node is not None:
+            info = self._classes[node]
+            sig = info.methods.get((name, arity))
+            if sig is not None:
+                return sig
+            node = info.superclass
+        return None
+
+    def _lookup_field_in(self, class_name: Optional[str],
+                         name: str) -> Optional[Tuple[Type, bool, str]]:
+        node = class_name
+        while node is not None:
+            info = self._classes[node]
+            entry = info.fields.get(name)
+            if entry is not None:
+                return entry
+            node = info.superclass
+        return None
+
+    # ==================================================================
+    # Class / method bodies
+    # ==================================================================
+    def _check_class(self, decl: ast.ClassDecl) -> None:
+        self._current = self._classes[decl.name]
+        for f in decl.fields:
+            if f.initializer is not None:
+                self._require(
+                    f.is_static,
+                    "instance field initializers are not supported; "
+                    "assign in a constructor",
+                    f.line,
+                )
+                self._scopes = [{}]
+                self._method = None
+                value_type = self._check_expr(f.initializer)
+                ftype = self._classes[decl.name].fields[f.name][0]
+                self._require(
+                    self._assignable(value_type, ftype),
+                    f"cannot initialize {ftype} field {f.name!r} with "
+                    f"{value_type}", f.line,
+                )
+        for m in decl.methods:
+            self._check_method(decl, m)
+        self._current = None
+
+    def _check_method(self, decl: ast.ClassDecl, m: ast.MethodDecl) -> None:
+        self._method = m
+        sig = self._classes[decl.name].methods[(m.name, len(m.params))]
+        self._return_type = sig.ret
+        scope: Dict[str, Type] = {}
+        for p, ptype in zip(m.params, sig.params):
+            if p.name in scope:
+                raise CompileError(f"duplicate parameter {p.name!r}", p.line)
+            scope[p.name] = ptype
+        self._scopes = [scope]
+        self._loop_depth = 0
+        if m.name == "<init>":
+            for i, stmt in enumerate(m.body):
+                if isinstance(stmt, ast.SuperCall):
+                    self._require(
+                        i == 0, "super(...) must be the first statement",
+                        stmt.line,
+                    )
+        self._check_stmts(m.body)
+        self._method = None
+
+    # ==================================================================
+    # Statements
+    # ==================================================================
+    def _check_stmts(self, body: List[ast.Stmt]) -> None:
+        self._scopes.append({})
+        for stmt in body:
+            self._check_stmt(stmt)
+        self._scopes.pop()
+
+    def _check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_stmts(stmt.body)
+        elif isinstance(stmt, ast.VarDecl):
+            declared = self._resolve_type(stmt.type, stmt.line)
+            self._require(declared is not VOID, "void variable", stmt.line)
+            for scope in self._scopes:
+                self._require(
+                    stmt.name not in scope,
+                    f"variable {stmt.name!r} already defined", stmt.line,
+                )
+            if stmt.initializer is not None:
+                value_type = self._check_expr(stmt.initializer)
+                self._require(
+                    self._assignable(value_type, declared),
+                    f"cannot assign {value_type} to {declared} "
+                    f"variable {stmt.name!r}", stmt.line,
+                )
+            self._scopes[-1][stmt.name] = declared
+            stmt.sem_type = declared
+        elif isinstance(stmt, ast.Assign):
+            target_type = self._check_assign_target(stmt.target)
+            value_type = self._check_expr(stmt.value)
+            self._require(
+                self._assignable(value_type, target_type),
+                f"cannot assign {value_type} to {target_type}", stmt.line,
+            )
+        elif isinstance(stmt, ast.ExprStmt):
+            self._require(
+                isinstance(stmt.expr, ast.Call)
+                or isinstance(stmt.expr, ast.NewObject),
+                "expression statement must be a call", stmt.line,
+            )
+            self._check_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._require(
+                self._check_expr(stmt.cond) is BOOL,
+                "if condition must be boolean", stmt.line,
+            )
+            self._check_stmts(stmt.then_body)
+            self._check_stmts(stmt.else_body)
+        elif isinstance(stmt, ast.While):
+            self._require(
+                self._check_expr(stmt.cond) is BOOL,
+                "while condition must be boolean", stmt.line,
+            )
+            self._loop_depth += 1
+            self._check_stmts(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            self._scopes.append({})
+            if stmt.init is not None:
+                self._check_stmt(stmt.init)
+            if stmt.cond is not None:
+                self._require(
+                    self._check_expr(stmt.cond) is BOOL,
+                    "for condition must be boolean", stmt.line,
+                )
+            self._loop_depth += 1
+            self._check_stmts(stmt.body)
+            if stmt.update is not None:
+                self._check_stmt(stmt.update)
+            self._loop_depth -= 1
+            self._scopes.pop()
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            self._require(self._loop_depth > 0,
+                          "break/continue outside a loop", stmt.line)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self._require(
+                    self._return_type is VOID,
+                    f"method must return {self._return_type}", stmt.line,
+                )
+            else:
+                self._require(
+                    self._return_type is not VOID,
+                    "void method cannot return a value", stmt.line,
+                )
+                value_type = self._check_expr(stmt.value)
+                self._require(
+                    self._assignable(value_type, self._return_type),
+                    f"cannot return {value_type} from a {self._return_type} "
+                    f"method", stmt.line,
+                )
+        elif isinstance(stmt, ast.Throw):
+            thrown = self._check_expr(stmt.value)
+            self._require(
+                isinstance(thrown, ClassType)
+                and self._is_subclass(thrown.name, "Throwable"),
+                f"cannot throw non-Throwable {thrown}", stmt.line,
+            )
+        elif isinstance(stmt, ast.TryCatch):
+            self._require(
+                stmt.exc_class in self._classes
+                and self._is_subclass(stmt.exc_class, "Throwable"),
+                f"catch of non-Throwable {stmt.exc_class!r}", stmt.line,
+            )
+            self._check_stmts(stmt.body)
+            self._scopes.append({stmt.exc_name: ClassType(stmt.exc_class)})
+            for inner in stmt.handler:
+                self._check_stmt(inner)
+            self._scopes.pop()
+        elif isinstance(stmt, ast.Synchronized):
+            lock_type = self._check_expr(stmt.lock)
+            self._require(
+                isinstance(lock_type, (ClassType, ArrayType)),
+                f"cannot synchronize on {lock_type}", stmt.line,
+            )
+            self._check_stmts(stmt.body)
+        elif isinstance(stmt, ast.SuperCall):
+            self._require(
+                self._method is not None and self._method.name == "<init>",
+                "super(...) only allowed in constructors", stmt.line,
+            )
+            parent = self._current.superclass
+            sig = self._lookup_method_in(parent, "<init>", len(stmt.args))
+            self._require(
+                sig is not None,
+                f"no superclass constructor with {len(stmt.args)} "
+                f"argument(s)", stmt.line,
+            )
+            self._check_args(stmt.args, sig.params, stmt.line)
+            stmt.target_class = sig.owner
+            stmt.param_types = sig.params
+        else:
+            raise CompileError(f"unhandled statement {stmt!r}", stmt.line)
+
+    def _check_assign_target(self, target: ast.Expr) -> Type:
+        if isinstance(target, ast.Name):
+            t = self._check_expr(target)
+            self._require(
+                target.kind in ("local", "field", "static"),
+                f"cannot assign to {target.ident!r}", target.line,
+            )
+            return t
+        if isinstance(target, ast.FieldAccess):
+            t = self._check_expr(target)
+            self._require(
+                target.kind in ("instance", "static"),
+                "cannot assign to array length", target.line,
+            )
+            return t
+        if isinstance(target, ast.Index):
+            return self._check_expr(target)
+        raise CompileError("invalid assignment target", target.line)
+
+    # ==================================================================
+    # Expressions
+    # ==================================================================
+    def _check_expr(self, expr: ast.Expr) -> Type:
+        t = self._infer(expr)
+        expr.type = t
+        return t
+
+    def _infer(self, expr: ast.Expr) -> Type:
+        if isinstance(expr, ast.IntLit):
+            return INT
+        if isinstance(expr, ast.FloatLit):
+            return FLOAT
+        if isinstance(expr, ast.StringLit):
+            return STRING
+        if isinstance(expr, ast.BoolLit):
+            return BOOL
+        if isinstance(expr, ast.NullLit):
+            return NULL
+        if isinstance(expr, ast.This):
+            self._require(
+                self._method is not None and not self._method.is_static,
+                "'this' in a static context", expr.line,
+            )
+            return ClassType(self._current.name)
+        if isinstance(expr, ast.Name):
+            return self._infer_name(expr)
+        if isinstance(expr, ast.Unary):
+            return self._infer_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._infer_binary(expr)
+        if isinstance(expr, ast.Ternary):
+            return self._infer_ternary(expr)
+        if isinstance(expr, ast.FieldAccess):
+            return self._infer_field_access(expr)
+        if isinstance(expr, ast.Index):
+            array_type = self._check_expr(expr.array)
+            self._require(
+                isinstance(array_type, ArrayType),
+                f"cannot index {array_type}", expr.line,
+            )
+            self._require(
+                self._check_expr(expr.index) is INT,
+                "array index must be int", expr.line,
+            )
+            return array_type.elem
+        if isinstance(expr, ast.Call):
+            return self._infer_call(expr)
+        if isinstance(expr, ast.NewObject):
+            return self._infer_new_object(expr)
+        if isinstance(expr, ast.NewArray):
+            elem = self._resolve_type(expr.elem, expr.line)
+            self._require(elem is not VOID, "void[] array", expr.line)
+            self._require(
+                self._check_expr(expr.size) is INT,
+                "array size must be int", expr.line,
+            )
+            return ArrayType(elem)
+        if isinstance(expr, ast.Cast):
+            return self._infer_cast(expr)
+        if isinstance(expr, ast.InstanceOf):
+            value_type = self._check_expr(expr.value)
+            self._require(
+                isinstance(value_type, (ClassType, ArrayType)) or value_type is NULL,
+                f"instanceof on {value_type}", expr.line,
+            )
+            self._require(
+                expr.class_name in self._classes,
+                f"unknown class {expr.class_name!r}", expr.line,
+            )
+            return BOOL
+        raise CompileError(f"unhandled expression {expr!r}", expr.line)
+
+    def _infer_name(self, expr: ast.Name) -> Type:
+        for scope in reversed(self._scopes):
+            if expr.ident in scope:
+                expr.kind = "local"
+                return scope[expr.ident]
+        entry = self._lookup_field_in(self._current.name, expr.ident) \
+            if self._current else None
+        if entry is not None:
+            ftype, is_static, owner = entry
+            if is_static:
+                expr.kind = "static"
+            else:
+                self._require(
+                    self._method is not None and not self._method.is_static,
+                    f"instance field {expr.ident!r} in a static context",
+                    expr.line,
+                )
+                expr.kind = "field"
+            expr.owner = owner
+            return ftype
+        if expr.ident in self._classes:
+            expr.kind = "class"
+            return ClassType(expr.ident)  # only valid as a qualifier
+        raise CompileError(f"unknown name {expr.ident!r}", expr.line)
+
+    def _infer_unary(self, expr: ast.Unary) -> Type:
+        operand = self._check_expr(expr.operand)
+        if expr.op == "!":
+            self._require(operand is BOOL, "'!' needs boolean", expr.line)
+            return BOOL
+        if expr.op == "-":
+            self._require(operand in (INT, FLOAT), "'-' needs a number",
+                          expr.line)
+            return operand
+        if expr.op == "~":
+            self._require(operand is INT, "'~' needs int", expr.line)
+            return INT
+        raise CompileError(f"unknown unary {expr.op!r}", expr.line)
+
+    def _infer_binary(self, expr: ast.Binary) -> Type:
+        op = expr.op
+        left = self._check_expr(expr.left)
+        right = self._check_expr(expr.right)
+        if op == "+" and (left is STRING or right is STRING):
+            for side, t in ((expr.left, left), (expr.right, right)):
+                self._require(
+                    t in (STRING, INT, FLOAT, BOOL),
+                    f"cannot concatenate {t} into a String", side.line,
+                )
+            return STRING
+        if op in ("+", "-", "*", "/", "%"):
+            self._require(
+                left in (INT, FLOAT) and right in (INT, FLOAT),
+                f"arithmetic on {left} and {right}", expr.line,
+            )
+            return FLOAT if FLOAT in (left, right) else INT
+        if op in ("<<", ">>", ">>>", "&", "|", "^"):
+            if op in ("&", "|", "^") and left is BOOL and right is BOOL:
+                return BOOL
+            self._require(
+                left is INT and right is INT,
+                f"bitwise {op} on {left} and {right}", expr.line,
+            )
+            return INT
+        if op in ("<", "<=", ">", ">="):
+            if left is STRING and right is STRING:
+                return BOOL
+            self._require(
+                left in (INT, FLOAT) and right in (INT, FLOAT),
+                f"comparison on {left} and {right}", expr.line,
+            )
+            return BOOL
+        if op in ("==", "!="):
+            numeric = left in (INT, FLOAT) and right in (INT, FLOAT)
+            booleans = left is BOOL and right is BOOL
+            strings = left is STRING and right is STRING
+            refs = (
+                isinstance(left, (ClassType, ArrayType)) or left is NULL
+            ) and (
+                isinstance(right, (ClassType, ArrayType)) or right is NULL
+            )
+            self._require(
+                numeric or booleans or strings or refs,
+                f"cannot compare {left} with {right}", expr.line,
+            )
+            return BOOL
+        if op in ("&&", "||"):
+            self._require(
+                left is BOOL and right is BOOL,
+                f"logical {op} on {left} and {right}", expr.line,
+            )
+            return BOOL
+        raise CompileError(f"unknown operator {op!r}", expr.line)
+
+    def _infer_ternary(self, expr: ast.Ternary) -> Type:
+        self._require(
+            self._check_expr(expr.cond) is BOOL,
+            "ternary condition must be boolean", expr.line,
+        )
+        then_t = self._check_expr(expr.then_value)
+        else_t = self._check_expr(expr.else_value)
+        if then_t is else_t:
+            return then_t
+        if then_t in (INT, FLOAT) and else_t in (INT, FLOAT):
+            return FLOAT
+        if self._assignable(then_t, else_t):
+            return else_t
+        if self._assignable(else_t, then_t):
+            return then_t
+        raise CompileError(
+            f"incompatible ternary arms {then_t} / {else_t}", expr.line
+        )
+
+    def _infer_field_access(self, expr: ast.FieldAccess) -> Type:
+        # ClassName.field ?
+        if isinstance(expr.obj, ast.Name) and not self._resolves_as_value(
+            expr.obj.ident
+        ) and expr.obj.ident in self._classes:
+            entry = self._lookup_field_in(expr.obj.ident, expr.field_name)
+            self._require(
+                entry is not None and entry[1],
+                f"no static field {expr.field_name!r} in {expr.obj.ident}",
+                expr.line,
+            )
+            expr.kind = "static"
+            expr.owner = entry[2]
+            expr.class_name = expr.obj.ident
+            return entry[0]
+        obj_type = self._check_expr(expr.obj)
+        if isinstance(obj_type, ArrayType):
+            self._require(
+                expr.field_name == "length",
+                f"arrays have no field {expr.field_name!r}", expr.line,
+            )
+            expr.kind = "arraylength"
+            return INT
+        if obj_type is STRING and expr.field_name == "length":
+            raise CompileError("use s.length() on Strings", expr.line)
+        self._require(
+            isinstance(obj_type, ClassType),
+            f"cannot access field of {obj_type}", expr.line,
+        )
+        entry = self._lookup_field_in(obj_type.name, expr.field_name)
+        self._require(
+            entry is not None,
+            f"no field {expr.field_name!r} in {obj_type.name}", expr.line,
+        )
+        ftype, is_static, owner = entry
+        expr.kind = "static" if is_static else "instance"
+        expr.owner = owner
+        expr.class_name = obj_type.name
+        return ftype
+
+    def _resolves_as_value(self, ident: str) -> bool:
+        for scope in reversed(self._scopes):
+            if ident in scope:
+                return True
+        return (
+            self._current is not None
+            and self._lookup_field_in(self._current.name, ident) is not None
+        )
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def _check_args(self, args: List[ast.Expr], params: Tuple[Type, ...],
+                    line: int) -> None:
+        for arg, ptype in zip(args, params):
+            atype = self._check_expr(arg)
+            self._require(
+                self._assignable(atype, ptype),
+                f"argument of type {atype} where {ptype} expected", arg.line,
+            )
+
+    def _finish_call(self, expr: ast.Call, sig: MethodSig,
+                     invoke_kind: str) -> Type:
+        self._check_args(expr.args, sig.params, expr.line)
+        expr.target_class = sig.owner
+        expr.invoke_kind = invoke_kind
+        expr.returns = sig.returns
+        expr.param_types = sig.params
+        expr.ret = sig.ret
+        return sig.ret
+
+    def _infer_call(self, expr: ast.Call) -> Type:
+        arity = len(expr.args)
+
+        if expr.is_super:
+            self._require(
+                self._method is not None and not self._method.is_static,
+                "super call in a static context", expr.line,
+            )
+            sig = self._lookup_method_in(
+                self._current.superclass, expr.method_name, arity
+            )
+            self._require(
+                sig is not None,
+                f"no inherited method {expr.method_name}/{arity}", expr.line,
+            )
+            return self._finish_call(expr, sig, "special")
+
+        # Unqualified call: method of the current class.
+        if expr.obj is None:
+            sig = self._lookup_method_in(
+                self._current.name, expr.method_name, arity
+            )
+            self._require(
+                sig is not None,
+                f"unknown method {expr.method_name}/{arity}", expr.line,
+            )
+            if not sig.is_static:
+                self._require(
+                    not self._method.is_static,
+                    f"instance method {expr.method_name!r} called from a "
+                    f"static context", expr.line,
+                )
+                expr.obj = ast.This(expr.line)
+                self._check_expr(expr.obj)
+                return self._finish_call(expr, sig, "virtual")
+            return self._finish_call(expr, sig, "static")
+
+        # ClassName.m(...) static call.
+        if isinstance(expr.obj, ast.Name) and not self._resolves_as_value(
+            expr.obj.ident
+        ) and expr.obj.ident in self._classes:
+            sig = self._lookup_method_in(
+                expr.obj.ident, expr.method_name, arity
+            )
+            self._require(
+                sig is not None and sig.is_static,
+                f"no static method {expr.method_name}/{arity} in "
+                f"{expr.obj.ident}", expr.line,
+            )
+            expr.obj = None
+            expr.class_name = sig.owner
+            return self._finish_call(expr, sig, "static")
+
+        obj_type = self._check_expr(expr.obj)
+
+        # String instance-method sugar lowers to Strings statics.
+        if obj_type is STRING:
+            if (expr.method_name, arity) == ("equals", 1):
+                self._check_args(expr.args, (STRING,), expr.line)
+                expr.builtin = "streq"
+                expr.returns = True
+                expr.ret = BOOL
+                return BOOL
+            sugar = STRING_SUGAR.get((expr.method_name, arity))
+            self._require(
+                sugar is not None,
+                f"String has no method {expr.method_name}/{arity}", expr.line,
+            )
+            static_name, extra_params, ret = sugar
+            self._check_args(expr.args, extra_params, expr.line)
+            expr.builtin = f"Strings.{static_name}"
+            expr.returns = ret is not VOID
+            expr.ret = ret
+            expr.param_types = extra_params
+            return ret
+
+        self._require(
+            isinstance(obj_type, ClassType),
+            f"cannot call a method on {obj_type}", expr.line,
+        )
+        sig = self._lookup_method_in(obj_type.name, expr.method_name, arity)
+        self._require(
+            sig is not None,
+            f"no method {expr.method_name}/{arity} in {obj_type.name}",
+            expr.line,
+        )
+        if sig.is_static:
+            # Java allows instance-qualified static calls; we don't.
+            raise CompileError(
+                f"static method {expr.method_name!r} must be called as "
+                f"{sig.owner}.{expr.method_name}(...)", expr.line,
+            )
+        return self._finish_call(expr, sig, "virtual")
+
+    def _infer_new_object(self, expr: ast.NewObject) -> Type:
+        self._require(
+            expr.class_name in self._classes,
+            f"unknown class {expr.class_name!r}", expr.line,
+        )
+        sig = self._lookup_method_in(expr.class_name, "<init>", len(expr.args))
+        self._require(
+            sig is not None,
+            f"no constructor {expr.class_name}/{len(expr.args)}", expr.line,
+        )
+        self._check_args(expr.args, sig.params, expr.line)
+        expr.target_class = sig.owner
+        expr.param_types = sig.params
+        return ClassType(expr.class_name)
+
+    def _infer_cast(self, expr: ast.Cast) -> Type:
+        value_type = self._check_expr(expr.value)
+        target = self._resolve_type(expr.target, expr.line)
+        if target is FLOAT and value_type in (INT, FLOAT):
+            expr.kind = "noop" if value_type is FLOAT else "i2f"
+        elif target is INT and value_type in (INT, FLOAT):
+            expr.kind = "noop" if value_type is INT else "f2i"
+        elif isinstance(target, (ClassType, ArrayType)) and (
+            isinstance(value_type, (ClassType, ArrayType)) or value_type is NULL
+        ):
+            expr.kind = "ref"
+        else:
+            raise CompileError(
+                f"cannot cast {value_type} to {target}", expr.line
+            )
+        expr.sem_target = target
+        return target

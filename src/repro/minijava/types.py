@@ -1,0 +1,267 @@
+"""MiniJava semantic types and the builtin-signature table."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+class Type:
+    """Base of the semantic type lattice."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class _Primitive(Type):
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT = _Primitive("int")
+FLOAT = _Primitive("float")
+BOOL = _Primitive("boolean")
+STRING = _Primitive("String")
+VOID = _Primitive("void")
+NULL = _Primitive("null")
+#: Accepts any printable value (System.println convenience).
+ANY = _Primitive("any")
+
+
+class ClassType(Type):
+    _cache: Dict[str, "ClassType"] = {}
+
+    def __new__(cls, name: str) -> "ClassType":
+        cached = cls._cache.get(name)
+        if cached is None:
+            cached = super().__new__(cls)
+            cached.name = name
+            cls._cache[name] = cached
+        return cached
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class ArrayType(Type):
+    _cache: Dict[str, "ArrayType"] = {}
+
+    def __new__(cls, elem: Type) -> "ArrayType":
+        key = str(elem)
+        cached = cls._cache.get(key)
+        if cached is None:
+            cached = super().__new__(cls)
+            cached.elem = elem
+            cls._cache[key] = cached
+        return cached
+
+    def __str__(self) -> str:
+        return f"{self.elem}[]"
+
+
+OBJECT = ClassType("Object")
+
+
+def elem_token(t: Type) -> str:
+    """Runtime array element type token for a semantic type."""
+    if t is INT or t is BOOL:
+        return "int"
+    if t is FLOAT:
+        return "float"
+    if t is STRING:
+        return "str"
+    return "ref"
+
+
+def field_token(t: Type) -> str:
+    """Runtime field type token for a semantic type."""
+    return elem_token(t)
+
+
+class MethodSig:
+    """A resolved method signature."""
+
+    __slots__ = ("owner", "name", "params", "ret", "is_static",
+                 "is_synchronized")
+
+    def __init__(self, owner: str, name: str, params: Tuple[Type, ...],
+                 ret: Type, *, is_static: bool = False,
+                 is_synchronized: bool = False) -> None:
+        self.owner = owner
+        self.name = name
+        self.params = params
+        self.ret = ret
+        self.is_static = is_static
+        self.is_synchronized = is_synchronized
+
+    @property
+    def nargs(self) -> int:
+        return len(self.params)
+
+    @property
+    def returns(self) -> bool:
+        return self.ret is not VOID
+
+    def __repr__(self) -> str:
+        return f"<MethodSig {self.owner}.{self.name}/{self.nargs}>"
+
+
+def _sig(owner, name, params, ret, **kw) -> MethodSig:
+    return MethodSig(owner, name, tuple(params), ret, **kw)
+
+
+def builtin_class_signatures() -> Dict[str, Dict[Tuple[str, int], MethodSig]]:
+    """Method signatures of the standard library, keyed by class then
+    (name, arity).  Must stay in sync with
+    :mod:`repro.runtime.stdlib` — ``tests/minijava`` asserts the match.
+    """
+    table: Dict[str, Dict[Tuple[str, int], MethodSig]] = {}
+
+    def add(owner: str, name: str, params, ret, **kw) -> None:
+        table.setdefault(owner, {})[(name, len(params))] = _sig(
+            owner, name, params, ret, **kw
+        )
+
+    add("Object", "<init>", [], VOID)
+    add("Object", "hashCode", [], INT)
+    add("Object", "equals", [OBJECT], BOOL)
+    add("Object", "toString", [], STRING)
+    add("Object", "wait", [], VOID)
+    add("Object", "timedWait", [INT], VOID)
+    add("Object", "notify", [], VOID)
+    add("Object", "notifyAll", [], VOID)
+    add("Object", "finalize", [], VOID)
+
+    add("Throwable", "<init>", [STRING], VOID)
+    add("Throwable", "getMessage", [], STRING)
+
+    add("Thread", "run", [], VOID)
+    add("Thread", "start", [], VOID)
+    add("Thread", "join", [], VOID)
+    add("Thread", "isAlive", [], BOOL)
+    add("Thread", "setDaemon", [BOOL], VOID)
+    add("Thread", "stop", [], VOID)
+    add("Thread", "sleep", [INT], VOID, is_static=True)
+    add("Thread", "yield", [], VOID, is_static=True)
+    add("Thread", "currentThread", [], ClassType("Thread"), is_static=True)
+
+    add("System", "println", [ANY], VOID, is_static=True)
+    add("System", "print", [ANY], VOID, is_static=True)
+    add("System", "currentTimeMillis", [], INT, is_static=True)
+    add("System", "arraycopy",
+        [ClassType("_array"), INT, ClassType("_array"), INT, INT],
+        VOID, is_static=True)
+    add("System", "gc", [], VOID, is_static=True)
+
+    add("Strings", "length", [STRING], INT, is_static=True)
+    add("Strings", "charAt", [STRING, INT], INT, is_static=True)
+    add("Strings", "substring", [STRING, INT, INT], STRING, is_static=True)
+    add("Strings", "indexOf", [STRING, STRING], INT, is_static=True)
+    add("Strings", "indexOfFrom", [STRING, STRING, INT], INT, is_static=True)
+    add("Strings", "compare", [STRING, STRING], INT, is_static=True)
+    add("Strings", "fromChar", [INT], STRING, is_static=True)
+    add("Strings", "hash", [STRING], INT, is_static=True)
+    add("Strings", "trim", [STRING], STRING, is_static=True)
+    add("Strings", "startsWith", [STRING, STRING], BOOL, is_static=True)
+    add("Strings", "endsWith", [STRING, STRING], BOOL, is_static=True)
+    add("Strings", "toChars", [STRING], ArrayType(INT), is_static=True)
+    add("Strings", "fromChars", [ArrayType(INT), INT], STRING, is_static=True)
+    add("Strings", "repeat", [STRING, INT], STRING, is_static=True)
+    add("Strings", "upper", [STRING], STRING, is_static=True)
+    add("Strings", "lower", [STRING], STRING, is_static=True)
+
+    for name in ("sqrt", "sin", "cos", "atan", "exp", "log", "floor",
+                 "ceil", "fabs"):
+        add("Math", name, [FLOAT], FLOAT, is_static=True)
+    add("Math", "atan2", [FLOAT, FLOAT], FLOAT, is_static=True)
+    add("Math", "pow", [FLOAT, FLOAT], FLOAT, is_static=True)
+    add("Math", "fmin", [FLOAT, FLOAT], FLOAT, is_static=True)
+    add("Math", "fmax", [FLOAT, FLOAT], FLOAT, is_static=True)
+    add("Math", "imin", [INT, INT], INT, is_static=True)
+    add("Math", "imax", [INT, INT], INT, is_static=True)
+    add("Math", "iabs", [INT], INT, is_static=True)
+
+    add("Env", "randomInt", [INT], INT, is_static=True)
+    add("Env", "randomFloat", [], FLOAT, is_static=True)
+
+    add("Files", "open", [STRING, STRING], INT, is_static=True)
+    add("Files", "close", [INT], VOID, is_static=True)
+    add("Files", "write", [INT, STRING], VOID, is_static=True)
+    add("Files", "writeLine", [INT, STRING], VOID, is_static=True)
+    add("Files", "readLine", [INT], STRING, is_static=True)
+    add("Files", "readChar", [INT], INT, is_static=True)
+    add("Files", "seek", [INT, INT], VOID, is_static=True)
+    add("Files", "tell", [INT], INT, is_static=True)
+    add("Files", "size", [STRING], INT, is_static=True)
+    add("Files", "exists", [STRING], BOOL, is_static=True)
+    add("Files", "delete", [STRING], VOID, is_static=True)
+
+    add("Refs", "soft", [OBJECT], ClassType("SoftReference"), is_static=True)
+    add("Refs", "weak", [OBJECT], ClassType("WeakReference"), is_static=True)
+    add("SoftReference", "<init>", [OBJECT], VOID)
+    add("SoftReference", "get", [], OBJECT)
+    add("WeakReference", "<init>", [OBJECT], VOID)
+    add("WeakReference", "get", [], OBJECT)
+
+    return table
+
+
+#: Stdlib class hierarchy known to the checker (class -> superclass).
+BUILTIN_HIERARCHY = {
+    "Object": None,
+    "Throwable": "Object",
+    "Exception": "Throwable",
+    "Error": "Throwable",
+    "RuntimeException": "Exception",
+    "InterruptedException": "Exception",
+    "IOException": "Exception",
+    "NullPointerException": "RuntimeException",
+    "ArithmeticException": "RuntimeException",
+    "ArrayIndexOutOfBoundsException": "RuntimeException",
+    "StringIndexOutOfBoundsException": "RuntimeException",
+    "NegativeArraySizeException": "RuntimeException",
+    "ClassCastException": "RuntimeException",
+    "IllegalMonitorStateException": "RuntimeException",
+    "IllegalStateException": "RuntimeException",
+    "IllegalArgumentException": "RuntimeException",
+    "NumberFormatException": "IllegalArgumentException",
+    "OutOfMemoryError": "Error",
+    "StackOverflowError": "Error",
+    "Thread": "Object",
+    "System": "Object",
+    "Strings": "Object",
+    "Math": "Object",
+    "Env": "Object",
+    "Files": "Object",
+    "Refs": "Object",
+    "SoftReference": "Object",
+    "WeakReference": "Object",
+}
+
+#: Builtin fields visible to MiniJava code (class -> name -> (type, static)).
+BUILTIN_FIELDS = {
+    "Throwable": {"message": (STRING, False)},
+    "SoftReference": {"referent": (OBJECT, False)},
+    "WeakReference": {"referent": (OBJECT, False)},
+}
+
+#: String instance-method sugar: name -> (Strings-static name, extra
+#: params, return).  ``s.length()`` lowers to ``Strings.length(s)``.
+STRING_SUGAR: Dict[Tuple[str, int], Tuple[str, Tuple[Type, ...], Type]] = {
+    ("length", 0): ("length", (), INT),
+    ("charAt", 1): ("charAt", (INT,), INT),
+    ("substring", 2): ("substring", (INT, INT), STRING),
+    ("indexOf", 1): ("indexOf", (STRING,), INT),
+    ("indexOfFrom", 2): ("indexOfFrom", (STRING, INT), INT),
+    ("compareTo", 1): ("compare", (STRING,), INT),
+    ("startsWith", 1): ("startsWith", (STRING,), BOOL),
+    ("endsWith", 1): ("endsWith", (STRING,), BOOL),
+    ("trim", 0): ("trim", (), STRING),
+    ("hashCode", 0): ("hash", (), INT),
+    ("toChars", 0): ("toChars", (), ArrayType(INT)),
+    ("repeat", 1): ("repeat", (INT,), STRING),
+    ("toUpperCase", 0): ("upper", (), STRING),
+    ("toLowerCase", 0): ("lower", (), STRING),
+}

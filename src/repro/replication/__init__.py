@@ -1,0 +1,41 @@
+"""Primary-backup replication of the mini-JVM (the paper's contribution)."""
+
+from repro.replication.machine import (
+    ReplicatedJVM, FailoverResult, ReplicaSettings, run_unreplicated,
+    DEFAULT_PRIMARY, DEFAULT_BACKUP, STRATEGIES, parse_log,
+)
+from repro.replication.metrics import ReplicationMetrics
+from repro.replication.records import (
+    IdMap, LockAcqRecord, LockIntervalRecord, ScheduleRecord,
+    NativeResultRecord, OutputIntentRecord, SideEffectRecord,
+    encode, decode_record,
+)
+from repro.replication.commit import LogShipper, CrashInjector
+from repro.replication.failure import FailureDetector
+from repro.replication.lock_sync import PrimaryLockSync, BackupLockSync
+from repro.replication.lock_intervals import (
+    PrimaryIntervalLockSync, BackupIntervalLockSync,
+)
+from repro.replication.thread_sched import (
+    PrimarySchedController, BackupSchedController,
+)
+from repro.replication.ndnatives import PrimaryNativePolicy, BackupNativePolicy
+from repro.replication.sehandlers import (
+    SideEffectHandler, SideEffectManager, FileSEHandler, ConsoleSEHandler,
+)
+
+__all__ = [
+    "ReplicatedJVM", "FailoverResult", "ReplicaSettings", "run_unreplicated",
+    "DEFAULT_PRIMARY", "DEFAULT_BACKUP", "STRATEGIES", "parse_log",
+    "ReplicationMetrics",
+    "IdMap", "LockAcqRecord", "ScheduleRecord", "NativeResultRecord",
+    "OutputIntentRecord", "SideEffectRecord", "encode", "decode_record",
+    "LogShipper", "CrashInjector", "FailureDetector",
+    "PrimaryLockSync", "BackupLockSync",
+    "PrimaryIntervalLockSync", "BackupIntervalLockSync",
+    "LockIntervalRecord",
+    "PrimarySchedController", "BackupSchedController",
+    "PrimaryNativePolicy", "BackupNativePolicy",
+    "SideEffectHandler", "SideEffectManager", "FileSEHandler",
+    "ConsoleSEHandler",
+]

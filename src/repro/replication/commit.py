@@ -1,0 +1,80 @@
+"""Logging and output commit at the primary; crash injection.
+
+The :class:`LogShipper` is the primary's half of the paper's log
+transfer thread: records are serialized, buffered in the channel, and
+flushed either when the batch fills or at an *output commit*, where the
+primary synchronously waits for the backup's acknowledgment before
+letting the output command touch the environment (pessimistic logging).
+
+:class:`CrashInjector` implements fail-stop at a precise point in the
+event sequence.  Every observable action (record logged, flush, ack,
+output about to execute, output executed) bumps an event counter; when
+the counter reaches the configured crash point the injector raises
+:class:`~repro.errors.PrimaryCrashed`, which unwinds the primary's run
+loop.  Tests sweep the crash point across a run's entire event range to
+prove exactly-once output for *every* failure position.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.env.channel import Channel
+from repro.errors import PrimaryCrashed
+from repro.replication.metrics import ReplicationMetrics
+from repro.replication.records import encode
+
+
+class CrashInjector:
+    """Deterministically fail-stop the primary at event N."""
+
+    def __init__(self, crash_at: Optional[int] = None) -> None:
+        self.crash_at = crash_at
+        self.events = 0
+        self.fired = False
+        #: Ordered labels of all events, for test diagnostics.
+        self.trace: List[str] = []
+
+    def step(self, label: str) -> None:
+        self.events += 1
+        self.trace.append(label)
+        if self.crash_at is not None and self.events >= self.crash_at:
+            self.fired = True
+            raise PrimaryCrashed(
+                f"fail-stop injected at event {self.events} ({label})"
+            )
+
+
+class LogShipper:
+    """Primary-side record logging and output commit."""
+
+    def __init__(self, channel: Channel, metrics: ReplicationMetrics,
+                 injector: Optional[CrashInjector] = None) -> None:
+        self.channel = channel
+        self._channel = channel
+        self.metrics = metrics
+        self.injector = injector or CrashInjector()
+        channel.on_flush = self._on_flush
+        channel.on_ack_wait = self._on_ack
+
+    # ------------------------------------------------------------------
+    def log(self, record) -> None:
+        """Buffer one record for shipment to the backup."""
+        self.injector.step(f"log:{type(record).__name__}")
+        self._channel.send_record(encode(record))
+
+    def output_commit(self) -> None:
+        """Flush everything logged so far and wait for the ack.  Only
+        after this returns may the output command execute."""
+        self.metrics.output_commits += 1
+        self.injector.step("commit")
+        self._channel.flush_and_wait_ack()
+
+    # ------------------------------------------------------------------
+    def _on_flush(self, n_records: int, n_bytes: int) -> None:
+        self.metrics.messages_sent += 1
+        self.metrics.records_sent += n_records
+        self.metrics.bytes_sent += n_bytes
+
+    def _on_ack(self) -> None:
+        self.metrics.ack_waits += 1

@@ -1,0 +1,59 @@
+"""Failure detection (the paper's extra system thread).
+
+The paper adds two system threads to the JVM: one transfers logging
+information, one performs failure detection "to allow the backup to
+initiate recovery".  Log transfer is modelled by
+:class:`~repro.replication.commit.LogShipper` + the channel; this
+module models the detector: the primary emits heartbeats as it runs
+(driven from the JVM's slice hook), and the backup side counts silent
+intervals before declaring the primary dead.
+
+In the single-process harness the fail-stop itself is injected
+deterministically, so the detector's role is observability: tests
+assert that detection happens after the configured number of silent
+intervals and never while heartbeats are flowing (no false positives
+under a fail-stop model).
+"""
+
+from __future__ import annotations
+
+
+class FailureDetector:
+    """Heartbeat-counting failure detector."""
+
+    def __init__(self, timeout_intervals: int = 3) -> None:
+        if timeout_intervals < 1:
+            raise ValueError("timeout_intervals must be >= 1")
+        self.timeout_intervals = timeout_intervals
+        self.heartbeats = 0
+        self._beats_at_last_interval = 0
+        self.silent_intervals = 0
+        self.suspected = False
+        self.intervals_observed = 0
+
+    # -- primary side ---------------------------------------------------
+    def heartbeat(self) -> None:
+        """The primary is alive (called from its run loop)."""
+        self.heartbeats += 1
+
+    # -- backup side ----------------------------------------------------
+    def interval(self) -> bool:
+        """One detection interval elapsed; returns True when the
+        primary becomes suspected."""
+        self.intervals_observed += 1
+        if self.heartbeats > self._beats_at_last_interval:
+            self._beats_at_last_interval = self.heartbeats
+            self.silent_intervals = 0
+        else:
+            self.silent_intervals += 1
+            if self.silent_intervals >= self.timeout_intervals:
+                self.suspected = True
+        return self.suspected
+
+    def await_detection(self, max_intervals: int = 1_000) -> int:
+        """Run intervals until suspicion fires; returns how many were
+        needed.  Used by the failover machinery after a real crash."""
+        for i in range(1, max_intervals + 1):
+            if self.interval():
+                return i
+        raise RuntimeError("failure detector never fired")

@@ -1,0 +1,157 @@
+"""Replicated lock synchronization (paper §4.2, first technique).
+
+Assumes R4A (all shared data protected by monitors).  The primary logs
+a :class:`~repro.replication.records.LockAcqRecord` for every
+non-recursive monitor acquisition, plus an
+:class:`~repro.replication.records.IdMap` the first time each lock is
+acquired; the backup replays the exact acquisition order.
+
+Both sides are implemented as
+:class:`~repro.runtime.monitors.AdmissionController` plugins — the
+SyncManager calls ``may_acquire`` before an acquisition can complete
+and ``on_acquired`` afterwards, which is precisely the seam the paper's
+modified JVM hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RecoveryError
+from repro.replication.commit import LogShipper
+from repro.replication.metrics import ReplicationMetrics
+from repro.replication.records import IdMap, LockAcqRecord
+from repro.runtime.monitors import AdmissionController, Monitor
+from repro.runtime.threads import JavaThread
+
+Vid = Tuple[int, ...]
+Key = Tuple[Vid, int]  # (t_id, t_asn)
+
+
+class PrimaryLockSync(AdmissionController):
+    """Primary side: assign l_ids and log every acquisition."""
+
+    def __init__(self, shipper: LogShipper, metrics: ReplicationMetrics) -> None:
+        self._shipper = shipper
+        self._metrics = metrics
+        self._next_l_id = 1
+
+    def on_acquired(self, thread: JavaThread, monitor: Monitor) -> None:
+        if thread.is_system:
+            return
+        if monitor.l_id is None:
+            # First acquisition ever: mint a locally-unique id and log
+            # the id map naming it by (t_id, t_asn) — the pair is
+            # unambiguous across replicas because threads execute
+            # deterministic programs (paper §4.2).
+            monitor.l_id = self._next_l_id
+            self._next_l_id += 1
+            self._shipper.log(IdMap(monitor.l_id, thread.vid, thread.t_asn))
+            self._metrics.id_maps += 1
+        self._shipper.log(LockAcqRecord(
+            thread.vid, thread.t_asn, monitor.l_id, monitor.l_asn
+        ))
+        self._metrics.lock_records += 1
+
+
+class BackupLockSync(AdmissionController):
+    """Backup side: enforce the primary's logged acquisition order.
+
+    Implements the paper's recovery algorithm including both special
+    cases for locks that have no l_id yet at the backup:
+
+    1. this thread is responsible for assigning the id (a matching id
+       map exists for its next acquisition);
+    2. some other thread assigns it, or no map was logged before the
+       crash — the thread waits (parks) until the id appears or the
+       log drains, and may then mint a fresh id.
+    """
+
+    def __init__(self, id_maps: List[IdMap], acq_records: List[LockAcqRecord],
+                 metrics: ReplicationMetrics) -> None:
+        self._metrics = metrics
+        self._maps: Dict[Key, int] = {
+            (m.t_id, m.t_asn): m.l_id for m in id_maps
+        }
+        self._acqs: Dict[Key, LockAcqRecord] = {
+            (r.t_id, r.t_asn): r for r in acq_records
+        }
+        if len(self._acqs) != len(acq_records):
+            raise RecoveryError("duplicate (t_id, t_asn) in acquisition log")
+        max_l_id = max((m.l_id for m in id_maps), default=0)
+        self._next_live_l_id = max_l_id + 1
+        #: Hot-backup mode: when the log runs dry, threads wait for more
+        #: log instead of transitioning to live execution.
+        self.hold_when_drained = False
+
+    def extend(self, id_maps: List[IdMap],
+               acq_records: List[LockAcqRecord]) -> None:
+        """Append newly delivered records (hot backup incremental feed)."""
+        for m in id_maps:
+            self._maps[(m.t_id, m.t_asn)] = m.l_id
+            self._next_live_l_id = max(self._next_live_l_id, m.l_id + 1)
+        for r in acq_records:
+            key = (r.t_id, r.t_asn)
+            if key in self._acqs:
+                raise RecoveryError("duplicate (t_id, t_asn) in acquisition log")
+            self._acqs[key] = r
+
+    # ------------------------------------------------------------------
+    @property
+    def in_recovery(self) -> bool:
+        return bool(self._acqs)
+
+    def remaining(self) -> int:
+        return len(self._acqs)
+
+    # ------------------------------------------------------------------
+    def may_acquire(self, thread: JavaThread, monitor: Monitor) -> bool:
+        if thread.is_system:
+            return True
+        if not self._acqs:
+            return not self.hold_when_drained
+        key = (thread.vid, thread.t_asn + 1)
+
+        l_id: Optional[int] = monitor.l_id
+        if l_id is None:
+            mapped = self._maps.get(key)
+            if mapped is not None:
+                l_id = mapped   # case 1: this thread assigns the id
+            elif self._maps:
+                return False    # case 2: wait for the assigner / drain
+            # else: no maps remain — a genuinely new lock; fall through.
+
+        record = self._acqs.get(key)
+        if record is None:
+            # This acquisition was never logged: it happened (if at all)
+            # after the primary failed.  Wait until recovery completes.
+            return False
+        if l_id is not None and record.l_id != l_id:
+            raise RecoveryError(
+                f"log names lock {record.l_id} for {thread.vid_str}"
+                f"#{thread.t_asn + 1}, but the thread is acquiring lock {l_id}"
+            )
+        # Its turn comes when the lock's acquire sequence number reaches
+        # the recorded value.
+        return monitor.l_asn + 1 == record.l_asn
+
+    def on_acquired(self, thread: JavaThread, monitor: Monitor) -> None:
+        if thread.is_system:
+            return
+        key = (thread.vid, thread.t_asn)  # t_asn already incremented
+        if monitor.l_id is None:
+            mapped = self._maps.pop(key, None)
+            if mapped is not None:
+                monitor.l_id = mapped
+            else:
+                monitor.l_id = self._next_live_l_id
+                self._next_live_l_id += 1
+        record = self._acqs.pop(key, None)
+        if record is not None:
+            self._metrics.records_replayed += 1
+            if record.l_asn != monitor.l_asn or record.l_id != monitor.l_id:
+                raise RecoveryError(
+                    f"acquisition replay diverged for {thread.vid_str}: "
+                    f"logged (l_id={record.l_id}, l_asn={record.l_asn}), "
+                    f"observed (l_id={monitor.l_id}, l_asn={monitor.l_asn})"
+                )

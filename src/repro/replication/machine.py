@@ -1,0 +1,476 @@
+"""The fault-tolerant JVM facade: primary-backup replication.
+
+:class:`ReplicatedJVM` wires a program, an environment, and a strategy
+("lock_sync" or "thread_sched") into the paper's architecture:
+
+* the **primary** executes the program with the strategy's hooks
+  installed, buffering log records over the channel and performing
+  output commit before every output command;
+* the **backup is cold**: during normal operation it only accumulates
+  the log (the channel's delivered list).  When the primary fail-stops
+  (via :class:`~repro.replication.commit.CrashInjector`), the failure
+  detector fires and a fresh JVM is built from the *identical initial
+  state* (same class registry), which replays the log — reproducing
+  lock acquisitions or the thread schedule, adopting native results,
+  restoring volatile environment state through side-effect handlers,
+  and resolving the one uncertain output — then continues live as the
+  new sole machine.
+
+Primary and backup deliberately differ in scheduler seed, clock offset,
+and entropy seed: replication must succeed *despite* divergent
+non-determinism, which is the paper's entire point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.classfile.loader import ClassRegistry
+from repro.env.channel import Channel
+from repro.env.environment import Environment
+from repro.errors import PrimaryCrashed, ReplicationError
+from repro.replication.commit import CrashInjector, LogShipper
+from repro.replication.failure import FailureDetector
+from repro.replication.lock_intervals import (
+    BackupIntervalLockSync,
+    PrimaryIntervalLockSync,
+)
+from repro.replication.lock_sync import BackupLockSync, PrimaryLockSync
+from repro.replication.metrics import ReplicationMetrics
+from repro.replication.ndnatives import BackupNativePolicy, PrimaryNativePolicy
+from repro.replication.records import (
+    IdMap,
+    LockAcqRecord,
+    LockIntervalRecord,
+    NativeResultRecord,
+    OutputIntentRecord,
+    ScheduleRecord,
+    SideEffectRecord,
+    decode_record,
+)
+from repro.replication.sehandlers import SideEffectHandler, SideEffectManager
+from repro.replication.thread_sched import (
+    BackupSchedController,
+    PrimarySchedController,
+)
+from repro.runtime.jvm import JVM, JVMConfig, RunHooks, RunResult
+from repro.runtime.natives import NativeRegistry
+from repro.runtime.scheduler import ScheduleController
+from repro.runtime.stdlib import default_natives
+
+STRATEGIES = ("lock_sync", "thread_sched", "lock_intervals")
+
+
+@dataclass(frozen=True)
+class ReplicaSettings:
+    """Per-replica sources of non-determinism (deliberately different
+    between primary and backup — restriction R0's assumption that
+    replica environments are 'sufficiently different')."""
+
+    scheduler_seed: int
+    clock_offset_ms: int
+    entropy_seed: int
+
+
+DEFAULT_PRIMARY = ReplicaSettings(
+    scheduler_seed=101, clock_offset_ms=0, entropy_seed=7001
+)
+DEFAULT_BACKUP = ReplicaSettings(
+    scheduler_seed=202, clock_offset_ms=137, entropy_seed=9002
+)
+
+
+@dataclass
+class FailoverResult:
+    """Outcome of one replicated run."""
+
+    outcome: str  # "primary_completed" | "failover_completed"
+    primary_result: Optional[RunResult]
+    backup_result: Optional[RunResult]
+    primary_metrics: ReplicationMetrics
+    backup_metrics: Optional[ReplicationMetrics]
+    crash_event: Optional[int] = None
+    detection_intervals: Optional[int] = None
+
+    @property
+    def final_result(self) -> RunResult:
+        return self.backup_result if self.backup_result is not None \
+            else self.primary_result
+
+    @property
+    def failed_over(self) -> bool:
+        return self.outcome == "failover_completed"
+
+
+class _HeartbeatHooks(RunHooks):
+    """Drive the failure detector from the primary's run loop."""
+
+    def __init__(self, detector: FailureDetector) -> None:
+        self._detector = detector
+
+    def on_slice_end(self, jvm, thread, reason) -> None:
+        self._detector.heartbeat()
+
+
+@dataclass
+class _ParsedLog:
+    id_maps: List[IdMap] = field(default_factory=list)
+    lock_acqs: List[LockAcqRecord] = field(default_factory=list)
+    schedules: List[ScheduleRecord] = field(default_factory=list)
+    results: Dict[Tuple[int, ...], List[NativeResultRecord]] = field(
+        default_factory=dict
+    )
+    intents: Dict[Tuple[int, ...], List[OutputIntentRecord]] = field(
+        default_factory=dict
+    )
+    intervals: List[LockIntervalRecord] = field(default_factory=list)
+    side_effects: List[SideEffectRecord] = field(default_factory=list)
+    total: int = 0
+
+
+def parse_log(raw_records: List[bytes]) -> _ParsedLog:
+    """Decode and partition the delivered log."""
+    parsed = _ParsedLog()
+    for data in raw_records:
+        record = decode_record(data)
+        parsed.total += 1
+        if isinstance(record, IdMap):
+            parsed.id_maps.append(record)
+        elif isinstance(record, LockAcqRecord):
+            parsed.lock_acqs.append(record)
+        elif isinstance(record, ScheduleRecord):
+            parsed.schedules.append(record)
+        elif isinstance(record, NativeResultRecord):
+            parsed.results.setdefault(record.t_id, []).append(record)
+        elif isinstance(record, OutputIntentRecord):
+            parsed.intents.setdefault(record.t_id, []).append(record)
+        elif isinstance(record, LockIntervalRecord):
+            parsed.intervals.append(record)
+        elif isinstance(record, SideEffectRecord):
+            parsed.side_effects.append(record)
+        else:  # pragma: no cover - decode_record already rejects junk
+            raise ReplicationError(f"unknown record {record!r}")
+    return parsed
+
+
+class ReplicatedJVM:
+    """One fault-tolerant JVM: a primary, a log channel, a cold backup."""
+
+    def __init__(
+        self,
+        registry: ClassRegistry,
+        natives: Optional[NativeRegistry] = None,
+        env: Optional[Environment] = None,
+        *,
+        strategy: str = "lock_sync",
+        crash_at: Optional[int] = None,
+        primary: ReplicaSettings = DEFAULT_PRIMARY,
+        backup: ReplicaSettings = DEFAULT_BACKUP,
+        jvm_config: Optional[JVMConfig] = None,
+        batch_records: int = 64,
+        detector_timeout: int = 3,
+        se_handlers: Optional[List[SideEffectHandler]] = None,
+        hot_backup: bool = False,
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise ReplicationError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        self.registry = registry
+        self.natives = natives or default_natives()
+        self.env = env or Environment()
+        self.strategy = strategy
+        self.crash_at = crash_at
+        self.primary_settings = primary
+        self.backup_settings = backup
+        self.base_config = jvm_config or JVMConfig()
+        self.channel = Channel(batch_records=batch_records)
+        self.detector = FailureDetector(detector_timeout)
+        self._extra_se_handlers = list(se_handlers or [])
+
+        self.hot_backup = hot_backup
+        self.primary_jvm: Optional[JVM] = None
+        self.backup_jvm: Optional[JVM] = None
+        self.primary_metrics = ReplicationMetrics(role="primary")
+        self.backup_metrics: Optional[ReplicationMetrics] = None
+        self.shipper: Optional[LogShipper] = None
+        self._fed_records = 0
+        self._hot_result: Optional[RunResult] = None
+        self.hot_precrash_instructions = 0
+
+    # ==================================================================
+    # Construction of the two replicas
+    # ==================================================================
+    def _make_se_manager(self) -> SideEffectManager:
+        manager = SideEffectManager()
+        for handler in self._extra_se_handlers:
+            manager.add_handler(handler)
+        return manager
+
+    def _build_primary(self) -> JVM:
+        settings = self.primary_settings
+        session = self.env.attach(
+            "primary",
+            clock_offset_ms=settings.clock_offset_ms,
+            entropy_seed=settings.entropy_seed,
+        )
+        config = replace(self.base_config, scheduler_seed=settings.scheduler_seed)
+        jvm = JVM(self.registry, self.natives, session, config, name="primary")
+        self.shipper = LogShipper(
+            self.channel, self.primary_metrics, CrashInjector(self.crash_at)
+        )
+        se_manager = self._make_se_manager()
+        jvm.native_policy = PrimaryNativePolicy(
+            self.shipper, self.primary_metrics, se_manager
+        )
+        if self.strategy == "lock_sync":
+            jvm.sync.admission = PrimaryLockSync(
+                self.shipper, self.primary_metrics
+            )
+        elif self.strategy == "lock_intervals":
+            jvm.sync.admission = PrimaryIntervalLockSync(
+                self.shipper, self.primary_metrics
+            )
+        else:
+            jvm.scheduler.controller = PrimarySchedController(
+                settings.scheduler_seed,
+                config.quantum_base,
+                config.quantum_jitter,
+                self.shipper,
+                self.primary_metrics,
+            )
+        jvm.run_hooks = _HeartbeatHooks(self.detector)
+        self.primary_jvm = jvm
+        return jvm
+
+    def _build_backup(self) -> JVM:
+        settings = self.backup_settings
+        session = self.env.attach(
+            "backup",
+            clock_offset_ms=settings.clock_offset_ms,
+            entropy_seed=settings.entropy_seed,
+        )
+        config = replace(self.base_config, scheduler_seed=settings.scheduler_seed)
+        jvm = JVM(self.registry, self.natives, session, config, name="backup")
+        metrics = ReplicationMetrics(role="backup")
+        self.backup_metrics = metrics
+
+        parsed = parse_log(self.channel.backup_log())
+        se_manager = self._make_se_manager()
+        for record in parsed.side_effects:
+            se_manager.receive(record)
+        policy = BackupNativePolicy(
+            parsed.results, parsed.intents, se_manager, metrics
+        )
+        policy.hold_when_drained = self.hot_backup
+        jvm.native_policy = policy
+        self._backup_se_manager = se_manager
+        if self.strategy == "lock_sync":
+            admission = BackupLockSync(
+                parsed.id_maps, parsed.lock_acqs, metrics
+            )
+            admission.hold_when_drained = self.hot_backup
+            jvm.sync.admission = admission
+            # During replay, notify wakes every waiter; the admission
+            # controller then enforces the logged re-acquisition order
+            # (guarded-wait programs are immune to the extra wakeups).
+            jvm.sync.notify_wakes_all = True
+        elif self.strategy == "lock_intervals":
+            admission = BackupIntervalLockSync(
+                parsed.intervals, metrics
+            )
+            admission.hold_when_drained = self.hot_backup
+            jvm.sync.admission = admission
+            jvm.sync.notify_wakes_all = True
+        else:
+            controller = BackupSchedController(
+                parsed.schedules,
+                ScheduleController(
+                    settings.scheduler_seed,
+                    config.quantum_base,
+                    config.quantum_jitter,
+                ),
+                metrics,
+            )
+            controller.jvm = jvm
+            controller.hold_when_drained = self.hot_backup
+            jvm.scheduler.controller = controller
+        self.backup_jvm = jvm
+        return jvm
+
+    # ==================================================================
+    # Execution
+    # ==================================================================
+    def run(self, main_class: str, args: Optional[List[str]] = None
+            ) -> FailoverResult:
+        """Run with fault tolerance.  If the primary fail-stops (per
+        ``crash_at``), the backup detects it, replays, and finishes.
+
+        With ``hot_backup=True`` the backup JVM runs *during* normal
+        operation: every flushed log message is applied immediately
+        (the paper's 'keeping the backup updated would require only
+        minor modifications'), so recovery at failover is nearly
+        instantaneous — only the undelivered tail remains."""
+        if getattr(self, "_ran", False):
+            raise ReplicationError(
+                "ReplicatedJVM.run() may only be called once; construct a "
+                "fresh machine for another run"
+            )
+        self._ran = True
+        primary = self._build_primary()
+        if self.hot_backup:
+            backup = self._build_backup()
+            backup.bootstrap(main_class, args)
+            outer_on_flush = self.channel.on_flush
+
+            def pumping_flush(n_records: int, n_bytes: int) -> None:
+                outer_on_flush(n_records, n_bytes)
+                self._pump_hot_backup()
+
+            self.channel.on_flush = pumping_flush
+        try:
+            result = primary.run(main_class, args)
+            self.channel.flush()
+            self._finish_metrics(primary, self.primary_metrics)
+            backup_result = None
+            if self.hot_backup:
+                backup_result = self._finish_hot_backup()
+            return FailoverResult(
+                outcome="primary_completed",
+                primary_result=result,
+                backup_result=None,
+                primary_metrics=self.primary_metrics,
+                backup_metrics=self.backup_metrics,
+            )
+        except PrimaryCrashed:
+            self._finish_metrics(primary, self.primary_metrics)
+            crash_event = self.shipper.injector.events
+            # Fail-stop: volatile state and buffered records are gone.
+            primary.session.destroy()
+            self.channel.crash_primary()
+            detection = self.detector.await_detection()
+
+        if self.hot_backup:
+            backup = self.backup_jvm
+            #: How far the hot backup had already replayed when the
+            #: primary died — the recovery-time advantage over a cold
+            #: backup, measurable by tests and benchmarks.
+            self.hot_precrash_instructions = backup.instructions
+            self._pump_hot_backup()          # any tail delivered pre-crash
+            backup_result = self._finish_hot_backup()
+        else:
+            backup = self._build_backup()
+            backup_result = backup.run(main_class, args)
+            self._finish_metrics(backup, self.backup_metrics)
+        return FailoverResult(
+            outcome="failover_completed",
+            primary_result=None,
+            backup_result=backup_result,
+            primary_metrics=self.primary_metrics,
+            backup_metrics=self.backup_metrics,
+            crash_event=crash_event,
+            detection_intervals=detection,
+        )
+
+    # ==================================================================
+    # Hot backup plumbing
+    # ==================================================================
+    def _pump_hot_backup(self) -> None:
+        """Feed newly delivered records to the live backup and let it
+        replay until it needs log that has not arrived yet."""
+        if self._hot_result is not None:
+            return
+        delivered = self.channel.delivered
+        new_raw = delivered[self._fed_records:]
+        self._fed_records = len(delivered)
+        if new_raw:
+            parsed = parse_log(new_raw)
+            for record in parsed.side_effects:
+                self._backup_se_manager.receive(record)
+            self.backup_jvm.native_policy.extend(
+                parsed.results, parsed.intents
+            )
+            if self.strategy in ("lock_sync",):
+                self.backup_jvm.sync.admission.extend(
+                    parsed.id_maps, parsed.lock_acqs
+                )
+            elif self.strategy == "lock_intervals":
+                self.backup_jvm.sync.admission.extend(parsed.intervals)
+            else:
+                self.backup_jvm.scheduler.controller.extend(parsed.schedules)
+            self.backup_jvm.sync.reevaluate_parked()
+        result = self.backup_jvm.run_to_completion(pause_on_starvation=True)
+        if result is not None:
+            self._hot_result = result
+
+    def _finish_hot_backup(self) -> RunResult:
+        """Release hold mode and drive the hot backup to completion."""
+        self._pump_hot_backup()
+        if self._hot_result is None:
+            backup = self.backup_jvm
+            backup.native_policy.hold_when_drained = False
+            admission = backup.sync.admission
+            if hasattr(admission, "hold_when_drained"):
+                admission.hold_when_drained = False
+            controller = backup.scheduler.controller
+            if hasattr(controller, "hold_when_drained"):
+                controller.hold_when_drained = False
+                controller.starving = False
+            backup.sync.reevaluate_parked()
+            self._hot_result = backup.run_to_completion()
+        self._finish_metrics(self.backup_jvm, self.backup_metrics)
+        return self._hot_result
+
+    def replay_backup(self, main_class: str,
+                      args: Optional[List[str]] = None) -> RunResult:
+        """Replay the *complete* log at the backup (no crash needed).
+
+        This is the measurement behind Figure 2's backup bars: the
+        primary ran to completion; the backup re-executes the program
+        driven entirely by the log.  Call after :meth:`run` returned
+        ``primary_completed``.
+        """
+        if self.channel.pending_records:
+            self.channel.flush()
+        backup = self._build_backup()
+        result = backup.run(main_class, args)
+        self._finish_metrics(backup, self.backup_metrics)
+        return result
+
+    # ==================================================================
+    def _finish_metrics(self, jvm: JVM, metrics: ReplicationMetrics) -> None:
+        metrics.instructions = jvm.instructions
+        metrics.cf_changes = sum(t.br_cnt for t in jvm.scheduler.threads)
+        metrics.heavy_ops = jvm.heavy_ops
+        metrics.native_calls = jvm.native_calls
+        metrics.locks_acquired = jvm.sync.total_acquisitions
+        metrics.objects_locked = jvm.sync.monitors_created
+        metrics.largest_l_asn = jvm.sync.largest_l_asn
+        metrics.reschedules = jvm.scheduler.reschedules
+
+
+def run_unreplicated(
+    registry: ClassRegistry,
+    main_class: str,
+    args: Optional[List[str]] = None,
+    *,
+    env: Optional[Environment] = None,
+    natives: Optional[NativeRegistry] = None,
+    settings: ReplicaSettings = DEFAULT_PRIMARY,
+    jvm_config: Optional[JVMConfig] = None,
+) -> Tuple[RunResult, JVM]:
+    """Run the original, unreplicated JVM (the performance baseline)."""
+    env = env or Environment()
+    session = env.attach(
+        "baseline",
+        clock_offset_ms=settings.clock_offset_ms,
+        entropy_seed=settings.entropy_seed,
+    )
+    config = replace(
+        jvm_config or JVMConfig(), scheduler_seed=settings.scheduler_seed
+    )
+    jvm = JVM(registry, natives or default_natives(), session, config,
+              name="baseline")
+    result = jvm.run(main_class, args)
+    return result, jvm

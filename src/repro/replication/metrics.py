@@ -1,0 +1,80 @@
+"""Replication metrics: the event counters behind Table 2 and the
+overhead components behind Figures 2-4.
+
+Counters are *facts* (how many records, messages, bytes, commits);
+turning them into simulated time is the job of the cost model in
+:mod:`repro.harness.costs`, so the same run can be re-costed without
+re-executing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ReplicationMetrics:
+    """Counters collected on one replica during one run."""
+
+    role: str = "primary"
+
+    # --- Table 2 rows -------------------------------------------------
+    natives_intercepted: int = 0     # non-deterministic natives invoked
+    output_commits: int = 0          # NM output commits
+    lock_records: int = 0            # lock acquisition records created
+    id_maps: int = 0
+    schedule_records: int = 0
+    native_result_records: int = 0
+    se_records: int = 0
+    #: distinct objects whose monitor was ever acquired
+    objects_locked: int = 0
+    locks_acquired: int = 0
+    largest_l_asn: int = 0
+    reschedules: int = 0
+
+    # --- Wire-level ---------------------------------------------------
+    messages_sent: int = 0
+    records_sent: int = 0
+    bytes_sent: int = 0
+    ack_waits: int = 0
+
+    # --- Execution ----------------------------------------------------
+    instructions: int = 0
+    cf_changes: int = 0              # br_cnt sum over threads
+    heavy_ops: int = 0               # array/float bytecodes
+    native_calls: int = 0            # all native invocations
+
+    # --- Backup-only --------------------------------------------------
+    records_replayed: int = 0
+    outputs_suppressed: int = 0
+    outputs_tested: int = 0
+    outputs_reexecuted: int = 0
+
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def records_logged(self) -> int:
+        """Total log records created (the paper's 'Logged Messages' row
+        counts messages; records feed the buffering ablation)."""
+        return (
+            self.lock_records + self.id_maps + self.schedule_records
+            + self.native_result_records + self.se_records
+            + self.output_commits
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        base = {
+            name: getattr(self, name)
+            for name in (
+                "natives_intercepted", "output_commits", "lock_records",
+                "id_maps", "schedule_records", "native_result_records",
+                "se_records", "objects_locked", "locks_acquired",
+                "largest_l_asn", "reschedules", "messages_sent",
+                "records_sent", "bytes_sent", "ack_waits", "instructions",
+                "cf_changes", "records_replayed", "outputs_suppressed",
+                "outputs_tested", "outputs_reexecuted",
+            )
+        }
+        base.update(self.extra)
+        return base

@@ -1,0 +1,237 @@
+"""Log record types shipped from primary to backup.
+
+These are the paper's data structures, verbatim where it defines them:
+
+* :class:`IdMap` — ``(l_id, t_id, t_asn)``: names a lock by the first
+  acquisition that touched it (Section 4.2, replicated lock sync);
+* :class:`LockAcqRecord` — ``(t_id, t_asn, l_id, l_asn)``: one monitor
+  acquisition (36 bytes in the paper; comparable here);
+* :class:`ScheduleRecord` — ``(br_cnt, pc_off, mon_cnt, l_asn, t_id)``:
+  one scheduling decision (replicated thread scheduling);
+* :class:`NativeResultRecord` — return value / exception / modified
+  array arguments of a non-deterministic or output native (§4.1); it
+  also serves as the *completion marker* for output commands;
+* :class:`OutputIntentRecord` — logged and acknowledged *before* an
+  output command executes (output commit / pessimistic logging);
+* :class:`SideEffectRecord` — payload produced by a handler's ``log``
+  method, consumed by ``receive``/``restore`` at the backup (§4.4).
+
+All records serialize to the compact wire format in
+:mod:`repro.replication.wire`; ``encode``/``decode_record`` round-trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ReplicationError
+from repro.replication.wire import Reader, Writer
+
+Vid = Tuple[int, ...]
+
+_KIND_ID_MAP = 1
+_KIND_LOCK_ACQ = 2
+_KIND_SCHEDULE = 3
+_KIND_NATIVE_RESULT = 4
+_KIND_OUTPUT_INTENT = 5
+_KIND_SIDE_EFFECT = 6
+_KIND_LOCK_INTERVAL = 7
+
+
+@dataclass(frozen=True)
+class IdMap:
+    """Associates a locally-generated lock id with the (thread,
+    acquisition-number) pair that first acquired the lock."""
+
+    l_id: int
+    t_id: Vid
+    t_asn: int
+
+    def write(self, w: Writer) -> None:
+        w.uvarint(_KIND_ID_MAP).uvarint(self.l_id).vid(self.t_id)
+        w.uvarint(self.t_asn)
+
+    @staticmethod
+    def read(r: Reader) -> "IdMap":
+        return IdMap(r.uvarint(), r.vid(), r.uvarint())
+
+
+@dataclass(frozen=True)
+class LockAcqRecord:
+    """One (non-recursive) monitor acquisition at the primary."""
+
+    t_id: Vid
+    t_asn: int
+    l_id: int
+    l_asn: int
+
+    def write(self, w: Writer) -> None:
+        w.uvarint(_KIND_LOCK_ACQ).vid(self.t_id).uvarint(self.t_asn)
+        w.uvarint(self.l_id).uvarint(self.l_asn)
+
+    @staticmethod
+    def read(r: Reader) -> "LockAcqRecord":
+        return LockAcqRecord(r.vid(), r.uvarint(), r.uvarint(), r.uvarint())
+
+
+@dataclass(frozen=True)
+class ScheduleRecord:
+    """One scheduling decision: the progress point at which the primary
+    descheduled ``prev_t_id`` and the thread it scheduled next."""
+
+    br_cnt: int
+    pc_off: int
+    mon_cnt: int
+    l_asn: int          # of the monitor prev was waiting on, or -1
+    t_id: Vid           # next scheduled thread
+    prev_t_id: Vid      # descheduled thread (kept for replay assertions)
+
+    def write(self, w: Writer) -> None:
+        w.uvarint(_KIND_SCHEDULE).uvarint(self.br_cnt).svarint(self.pc_off)
+        w.uvarint(self.mon_cnt).svarint(self.l_asn)
+        w.vid(self.t_id).vid(self.prev_t_id)
+
+    @staticmethod
+    def read(r: Reader) -> "ScheduleRecord":
+        return ScheduleRecord(
+            r.uvarint(), r.svarint(), r.uvarint(), r.svarint(),
+            r.vid(), r.vid(),
+        )
+
+    @property
+    def progress(self) -> Tuple[int, int, int]:
+        return (self.br_cnt, self.pc_off, self.mon_cnt)
+
+
+@dataclass(frozen=True)
+class NativeResultRecord:
+    """Outcome of a native invocation the backup must adopt.
+
+    Doubles as the completion marker for output commands: it is logged
+    immediately after the output executes, so its presence in the
+    delivered log proves the output completed (§3.4 / §4.4).
+    """
+
+    t_id: Vid
+    seq: int                       # per-thread native sequence number
+    signature: str
+    value: Any = None
+    exception: Optional[Tuple[str, str]] = None
+    #: arg index -> post-call array contents (out-parameters).
+    array_results: Dict[int, list] = field(default_factory=dict)
+
+    def write(self, w: Writer) -> None:
+        w.uvarint(_KIND_NATIVE_RESULT).vid(self.t_id).uvarint(self.seq)
+        w.text(self.signature).value(self.value)
+        if self.exception is None:
+            w.uvarint(0)
+        else:
+            w.uvarint(1).text(self.exception[0]).text(self.exception[1])
+        w.uvarint(len(self.array_results))
+        for index in sorted(self.array_results):
+            w.uvarint(index).value(self.array_results[index])
+
+    @staticmethod
+    def read(r: Reader) -> "NativeResultRecord":
+        t_id = r.vid()
+        seq = r.uvarint()
+        signature = r.text()
+        value = r.value()
+        exception = None
+        if r.uvarint():
+            exception = (r.text(), r.text())
+        arrays = {}
+        for _ in range(r.uvarint()):
+            index = r.uvarint()
+            arrays[index] = r.value()
+        return NativeResultRecord(t_id, seq, signature, value, exception, arrays)
+
+
+@dataclass(frozen=True)
+class OutputIntentRecord:
+    """Logged (and acknowledged) before an output command executes."""
+
+    t_id: Vid
+    seq: int
+    signature: str
+
+    def write(self, w: Writer) -> None:
+        w.uvarint(_KIND_OUTPUT_INTENT).vid(self.t_id).uvarint(self.seq)
+        w.text(self.signature)
+
+    @staticmethod
+    def read(r: Reader) -> "OutputIntentRecord":
+        return OutputIntentRecord(r.vid(), r.uvarint(), r.text())
+
+
+@dataclass(frozen=True)
+class SideEffectRecord:
+    """A side-effect handler's ``log`` payload (flat str->scalar dict)."""
+
+    handler: str
+    payload: Dict[str, Any]
+
+    def write(self, w: Writer) -> None:
+        w.uvarint(_KIND_SIDE_EFFECT).text(self.handler)
+        w.uvarint(len(self.payload))
+        for key in sorted(self.payload):
+            w.text(key).value(self.payload[key])
+
+    @staticmethod
+    def read(r: Reader) -> "SideEffectRecord":
+        handler = r.text()
+        payload = {}
+        for _ in range(r.uvarint()):
+            key = r.text()
+            payload[key] = r.value()
+        return SideEffectRecord(handler, payload)
+
+
+@dataclass(frozen=True)
+class LockIntervalRecord:
+    """A run of ``count`` consecutive monitor acquisitions by one
+    thread (the paper's §6 interval-coalescing optimization — between
+    interleavings a thread's acquisitions are deterministic, so only
+    the run length must cross the wire)."""
+
+    t_id: Vid
+    count: int
+
+    def write(self, w: Writer) -> None:
+        w.uvarint(_KIND_LOCK_INTERVAL).vid(self.t_id).uvarint(self.count)
+
+    @staticmethod
+    def read(r: Reader) -> "LockIntervalRecord":
+        return LockIntervalRecord(r.vid(), r.uvarint())
+
+
+_READERS = {
+    _KIND_ID_MAP: IdMap.read,
+    _KIND_LOCK_ACQ: LockAcqRecord.read,
+    _KIND_SCHEDULE: ScheduleRecord.read,
+    _KIND_NATIVE_RESULT: NativeResultRecord.read,
+    _KIND_OUTPUT_INTENT: OutputIntentRecord.read,
+    _KIND_SIDE_EFFECT: SideEffectRecord.read,
+    _KIND_LOCK_INTERVAL: LockIntervalRecord.read,
+}
+
+
+def encode(record) -> bytes:
+    """Serialize one record to its wire form."""
+    w = Writer()
+    record.write(w)
+    return w.bytes()
+
+
+def decode_record(data: bytes):
+    """Deserialize one record; raises ReplicationError on junk."""
+    r = Reader(data)
+    kind = r.uvarint()
+    reader = _READERS.get(kind)
+    if reader is None:
+        raise ReplicationError(f"unknown record kind {kind}")
+    record = reader(r)
+    if not r.exhausted:
+        raise ReplicationError("trailing bytes after record")
+    return record

@@ -1,0 +1,228 @@
+"""Side-effect handlers (paper §4.4).
+
+A handler manages a family of related native methods whose execution
+creates *volatile* environment state or produces output that needs
+exactly-once semantics.  The five methods map one-to-one onto the
+paper's interface:
+
+* ``register`` — claims the native signatures the handler manages (the
+  machine wires this up from the native specs' ``se_handler`` field);
+* ``log``     — primary, after an output (or tracked input) executes:
+  returns the payload shipped to the backup;
+* ``receive`` — backup, while scanning the delivered log: folds payloads
+  into a compact state (e.g. one offset per file descriptor, the
+  paper's example of compressing several file writes);
+* ``restore`` — backup, once, at the end of recovery: rebuilds volatile
+  environment state (reopens files, seeks to the saved offsets);
+* ``test``    — backup, for the one *uncertain* output (the last log
+  record is an intent with no completion marker): queries the
+  environment to decide whether the output happened before the crash.
+
+Handlers for the standard libraries (files, console) are installed
+automatically at startup; applications can register their own through
+:meth:`SideEffectManager.add_handler`, mirroring the paper's
+user-supplied handlers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.env.environment import Environment, EnvSession
+from repro.errors import ReplicationError
+from repro.replication.records import SideEffectRecord
+from repro.runtime.natives import NativeOutcome, NativeSpec
+from repro.runtime.stdlib import text_of
+
+
+def _op_of(spec: NativeSpec) -> str:
+    """``Files.write/2`` → ``write``."""
+    return spec.signature.split(".", 1)[1].split("/", 1)[0]
+
+
+class SideEffectHandler:
+    """Base handler; subclasses override what they need."""
+
+    name = ""
+
+    def log(self, session: EnvSession, spec: NativeSpec, receiver,
+            args: List[Any], outcome: NativeOutcome) -> Optional[Dict[str, Any]]:
+        """Primary: capture post-execution state; None = nothing to log."""
+        return None
+
+    def receive(self, state: Dict[str, Any], payload: Dict[str, Any]) -> None:
+        """Backup: fold one payload into the handler's compact state."""
+
+    def restore(self, session: EnvSession, state: Dict[str, Any]) -> None:
+        """Backup: rebuild volatile environment state, once."""
+
+    def test(self, env: Environment, state: Dict[str, Any], spec: NativeSpec,
+             args: List[Any]) -> bool:
+        """Backup: did the uncertain output complete before the crash?"""
+        return False
+
+    def confirm(self, session: EnvSession, state: Dict[str, Any],
+                spec: NativeSpec, args: List[Any]) -> None:
+        """Backup: the uncertain output *did* complete — update volatile
+        state as if it had been executed (e.g. advance the fd offset)."""
+
+
+class FileSEHandler(SideEffectHandler):
+    """Manages ``Files.*``: fd table and offsets (the paper's example)."""
+
+    name = "file"
+
+    # ------------------------------ primary ---------------------------
+    def log(self, session, spec, receiver, args, outcome):
+        if outcome.exception is not None:
+            return None
+        op = _op_of(spec)
+        if op == "open":
+            fd = outcome.value
+            handle = session.handle(fd)
+            return {"op": "open", "fd": fd, "path": args[0],
+                    "mode": args[1], "offset": handle.tell()}
+        if op in ("write", "writeLine", "readLine", "readChar", "seek"):
+            fd = args[0]
+            return {"op": "pos", "fd": fd, "offset": session.handle(fd).tell()}
+        if op == "close":
+            return {"op": "close", "fd": args[0]}
+        return None
+
+    # ------------------------------ backup ----------------------------
+    def receive(self, state, payload):
+        op = payload["op"]
+        fd = payload["fd"]
+        if op == "open":
+            state[fd] = {"path": payload["path"], "mode": payload["mode"],
+                         "offset": payload["offset"]}
+        elif op == "pos":
+            if fd in state:
+                state[fd]["offset"] = payload["offset"]
+        elif op == "close":
+            state.pop(fd, None)
+
+    def restore(self, session, state):
+        for fd in sorted(state):
+            entry = state[fd]
+            session.restore_fd(fd, entry["path"], entry["offset"], entry["mode"])
+
+    def test(self, env, state, spec, args):
+        op = _op_of(spec)
+        if op in ("write", "writeLine"):
+            fd = args[0]
+            text = args[1] + ("\n" if op == "writeLine" else "")
+            entry = state.get(fd)
+            if entry is None:
+                return False
+            path, offset = entry["path"], entry["offset"]
+            if not env.fs.exists(path):
+                return False
+            content = env.fs.contents(path)
+            return (
+                len(content) >= offset + len(text)
+                and content[offset:offset + len(text)] == text
+            )
+        # open/seek/close: treated as replayable (open re-executes
+        # deterministically as the last operation; seek/close are
+        # idempotent and never reach test()).
+        return False
+
+    def confirm(self, session, state, spec, args):
+        op = _op_of(spec)
+        if op in ("write", "writeLine"):
+            fd = args[0]
+            text = args[1] + ("\n" if op == "writeLine" else "")
+            entry = state.get(fd)
+            if entry is not None:
+                entry["offset"] += len(text)
+                session.handle(fd).seek(entry["offset"])
+
+
+class ConsoleSEHandler(SideEffectHandler):
+    """Manages ``System.print``/``println``: the console transcript is
+    stable, so there is no volatile state to restore — only the
+    position query that makes console output *testable* (R5)."""
+
+    name = "console"
+
+    def log(self, session, spec, receiver, args, outcome):
+        if outcome.exception is not None:
+            return None
+        return {"op": "pos", "pos": session.env.console.position()}
+
+    def receive(self, state, payload):
+        state["pos"] = payload["pos"]
+
+    def test(self, env, state, spec, args):
+        text = text_of(args[0])
+        if _op_of(spec) == "println":
+            text += "\n"
+        expected = state.get("pos", 0) + len(text)
+        return env.console.position() >= expected
+
+
+class SideEffectManager:
+    """Owns all handlers and their per-handler backup state."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, SideEffectHandler] = {}
+        self._state: Dict[str, Dict[str, Any]] = {}
+        self.restored = False
+        for handler in (FileSEHandler(), ConsoleSEHandler()):
+            self.add_handler(handler)
+
+    def add_handler(self, handler: SideEffectHandler) -> None:
+        if not handler.name:
+            raise ReplicationError("side-effect handler needs a name")
+        if handler.name in self._handlers:
+            raise ReplicationError(
+                f"side-effect handler {handler.name!r} registered twice"
+            )
+        self._handlers[handler.name] = handler
+        self._state[handler.name] = {}
+
+    def handler(self, name: str) -> SideEffectHandler:
+        handler = self._handlers.get(name)
+        if handler is None:
+            raise ReplicationError(
+                f"R6 violated: native references unknown side-effect "
+                f"handler {name!r}"
+            )
+        return handler
+
+    # ------------------------------ primary ---------------------------
+    def log(self, session: EnvSession, spec: NativeSpec, receiver,
+            args: List[Any],
+            outcome: NativeOutcome) -> Optional[SideEffectRecord]:
+        handler = self.handler(spec.se_handler)
+        payload = handler.log(session, spec, receiver, args, outcome)
+        if payload is None:
+            return None
+        return SideEffectRecord(spec.se_handler, payload)
+
+    # ------------------------------ backup ----------------------------
+    def receive(self, record: SideEffectRecord) -> None:
+        handler = self.handler(record.handler)
+        handler.receive(self._state[record.handler], record.payload)
+
+    def restore(self, session: EnvSession) -> None:
+        """Rebuild all volatile state; idempotent (runs once)."""
+        if self.restored:
+            return
+        self.restored = True
+        for name in sorted(self._handlers):
+            self._handlers[name].restore(session, self._state[name])
+
+    def test(self, env: Environment, spec: NativeSpec,
+             args: List[Any]) -> bool:
+        handler = self.handler(spec.se_handler)
+        return handler.test(env, self._state[spec.se_handler], spec, args)
+
+    def confirm(self, session: EnvSession, spec: NativeSpec,
+                args: List[Any]) -> None:
+        handler = self.handler(spec.se_handler)
+        handler.confirm(session, self._state[spec.se_handler], spec, args)
+
+    def state_of(self, name: str) -> Dict[str, Any]:
+        return self._state[name]

@@ -1,0 +1,34 @@
+"""The mini-JVM runtime: heap, interpreter, threads, scheduler, GC."""
+
+from repro.runtime.jvm import JVM, JVMConfig, RunResult, RunHooks, DirectNativePolicy
+from repro.runtime.interpreter import Interpreter, StepResult
+from repro.runtime.scheduler import Scheduler, ScheduleController, SliceEnd
+from repro.runtime.sync import SyncManager, EnterResult
+from repro.runtime.monitors import Monitor, AdmissionController, get_monitor
+from repro.runtime.threads import JavaThread, ThreadState, ROOT_VID
+from repro.runtime.values import JObject, JArray, wrap_int
+from repro.runtime.heap import Heap
+from repro.runtime.gc import Collector, GCStats
+from repro.runtime.natives import (
+    NativeRegistry, NativeSpec, NativeContext, NativeOutcome, JavaThrow,
+    call_native,
+)
+from repro.runtime.stdlib import (
+    install_stdlib, build_natives, default_natives, new_program_registry,
+    text_of,
+)
+
+__all__ = [
+    "JVM", "JVMConfig", "RunResult", "RunHooks", "DirectNativePolicy",
+    "Interpreter", "StepResult",
+    "Scheduler", "ScheduleController", "SliceEnd",
+    "SyncManager", "EnterResult",
+    "Monitor", "AdmissionController", "get_monitor",
+    "JavaThread", "ThreadState", "ROOT_VID",
+    "JObject", "JArray", "wrap_int", "Heap",
+    "Collector", "GCStats",
+    "NativeRegistry", "NativeSpec", "NativeContext", "NativeOutcome",
+    "JavaThrow", "call_native",
+    "install_stdlib", "build_natives", "default_natives",
+    "new_program_registry", "text_of",
+]

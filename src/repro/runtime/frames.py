@@ -1,0 +1,47 @@
+"""Call-stack frames for the bytecode execution engine."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.classfile.model import JMethod
+
+
+class Frame:
+    """One activation record.
+
+    Attributes:
+        method: the executing method.
+        locals: local-variable slots (receiver in slot 0 for instance
+            methods, parameters next, then body temporaries).
+        stack: the operand stack.
+        pc: index of the *next* instruction to execute.
+        sync_object: the object whose monitor this frame holds because
+            the method is ``synchronized`` (released on any exit path).
+        held_monitors: objects whose monitors were entered via
+            ``monitorenter`` inside this frame and not yet exited; used
+            to unwind structured locking when an exception propagates.
+    """
+
+    __slots__ = ("method", "locals", "stack", "pc", "sync_object", "held_monitors")
+
+    def __init__(self, method: JMethod, args: List[Any]) -> None:
+        code = method.code
+        assert code is not None, "native methods never get frames"
+        slots = [None] * code.max_locals
+        slots[: len(args)] = args
+        self.method = method
+        self.locals = slots
+        self.stack: List[Any] = []
+        self.pc = 0
+        self.sync_object: Optional[Any] = None
+        self.held_monitors: List[Any] = []
+
+    def push(self, value: Any) -> None:
+        self.stack.append(value)
+
+    def pop(self) -> Any:
+        return self.stack.pop()
+
+    def __repr__(self) -> str:
+        return f"<Frame {self.method.qualified_name} pc={self.pc}>"

@@ -1,0 +1,93 @@
+"""The object heap: allocation, tracking, and occupancy accounting.
+
+The heap assigns allocation-order object ids and tracks every live
+object so the mark-sweep collector (:mod:`repro.runtime.gc`) can sweep.
+Memory pressure is modelled by *cells*: each object costs a number of
+cells proportional to its field/element count; crossing the configured
+threshold triggers a synchronous collection at the next allocation
+(a safe point), mirroring how Sun's JVM collects during allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.classfile.loader import ClassRegistry
+from repro.classfile.model import default_value
+from repro.errors import ReproError
+from repro.runtime.values import JArray, JObject
+
+#: Fixed per-object overhead in cells (header analogue).
+_HEADER_CELLS = 2
+
+
+class Heap:
+    """Allocation arena for one JVM instance."""
+
+    def __init__(
+        self,
+        registry: ClassRegistry,
+        gc_threshold_cells: int = 2_000_000,
+    ) -> None:
+        self._registry = registry
+        self._next_oid = 1
+        self.objects: List[Any] = []
+        self.used_cells = 0
+        self.gc_threshold_cells = gc_threshold_cells
+        #: Set by the JVM to request a collection at the next safe point.
+        self.gc_requested = False
+        #: Allocation counter (survives GC; used by benchmarks/metrics).
+        self.total_allocations = 0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def alloc_object(self, class_name: str) -> JObject:
+        """Allocate an instance with default-initialized fields."""
+        fields: Dict[str, Any] = {}
+        for f in self._registry.instance_fields(class_name):
+            fields[f.name] = default_value(f.type)
+        obj = JObject(class_name, fields, self._take_oid())
+        self._track(obj, _HEADER_CELLS + len(fields))
+        return obj
+
+    def alloc_array(self, elem_type: str, length: int) -> JArray:
+        if length < 0:
+            raise ReproError("negative array size must be raised as a Java "
+                             "exception by the caller")
+        data = [default_value(elem_type)] * length
+        arr = JArray(elem_type, data, self._take_oid())
+        self._track(arr, _HEADER_CELLS + length)
+        return arr
+
+    def _take_oid(self) -> int:
+        oid = self._next_oid
+        self._next_oid += 1
+        return oid
+
+    def _track(self, obj: Any, cells: int) -> None:
+        self.objects.append(obj)
+        self.used_cells += cells
+        self.total_allocations += 1
+        if self.used_cells >= self.gc_threshold_cells:
+            self.gc_requested = True
+
+    # ------------------------------------------------------------------
+    # Accounting used by the collector
+    # ------------------------------------------------------------------
+    @staticmethod
+    def cells_of(obj: Any) -> int:
+        if isinstance(obj, JObject):
+            return _HEADER_CELLS + len(obj.fields)
+        return _HEADER_CELLS + len(obj.data)
+
+    def replace_live(self, live: List[Any], live_cells: int) -> int:
+        """Install the survivor list after a sweep; returns cells freed."""
+        freed = self.used_cells - live_cells
+        self.objects = live
+        self.used_cells = live_cells
+        self.gc_requested = False
+        return freed
+
+    def __len__(self) -> int:
+        return len(self.objects)

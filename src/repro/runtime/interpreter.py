@@ -1,0 +1,674 @@
+"""The bytecode execution engine (BEE).
+
+One :class:`Interpreter` instance executes bytecodes for every thread of
+one JVM; :meth:`Interpreter.step` runs exactly one instruction of one
+thread and reports how the thread's state changed.  The paper's model —
+"a set of cooperating state machines, each corresponding to an
+application thread" — maps onto this directly: the state machine's
+commands are bytecodes, its state variables are the frames, heap, and
+statics reachable from the thread.
+
+Counter discipline (replication-critical):
+
+* ``thread.br_cnt`` increments on every executed control-flow-change
+  instruction (branches, jumps, invocations, returns, throws) — the
+  paper instruments exactly this set rather than every bytecode;
+* ``thread.instructions`` increments on every instruction (cost model);
+* monitor counters are maintained by :mod:`repro.runtime.sync`.
+
+Blocking instructions (``monitorenter``, synchronized-method entry,
+``wait`` re-acquisition) leave the pc unchanged when they cannot
+complete, so the thread retries the same instruction when rescheduled.
+This gives clean safe-point semantics: a thread's progress point
+``(br_cnt, pc, mon_cnt)`` always identifies an instruction boundary.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.bytecode.methodref import MethodRef, parse_method_ref
+from repro.bytecode.opcodes import OP_INFO, Op, compare
+from repro.errors import LinkageError, ReproError
+from repro.runtime.frames import Frame
+from repro.runtime.sync import EnterResult
+from repro.runtime.threads import JavaThread
+from repro.runtime.values import (
+    JArray,
+    JObject,
+    conforms,
+    describe,
+    java_div,
+    java_rem,
+    java_shl,
+    java_shr,
+    java_ushr,
+    wrap_int,
+)
+
+#: Opcodes counted as control-flow changes for ``br_cnt``.
+CF_OPS = frozenset(op for op, info in OP_INFO.items() if info.is_control_flow)
+
+
+class StepResult(enum.Enum):
+    CONTINUE = "continue"
+    BLOCKED = "blocked"
+    WAITING = "waiting"
+    PARKED = "parked"
+    YIELDED = "yielded"
+    TERMINATED = "terminated"
+    #: A hot backup reached a native whose log record has not been
+    #: delivered yet; the instruction retries when more log arrives.
+    STARVED = "starved"
+
+
+class Interpreter:
+    """Executes bytecodes against one JVM instance."""
+
+    def __init__(self, jvm) -> None:
+        self._jvm = jvm
+        self._registry = jvm.registry
+        self._heap = jvm.heap
+        self._sync = jvm.sync
+        self._ref_cache: Dict[str, MethodRef] = {}
+        self._dispatch = self._build_dispatch()
+
+    # ==================================================================
+    # Single-step execution
+    # ==================================================================
+    def step(self, thread: JavaThread) -> StepResult:
+        """Execute one instruction of ``thread``."""
+        frame = thread.frames[-1]
+        instr = frame.method.code.instructions[frame.pc]
+        op = instr.op
+        thread.instructions += 1
+        if op in CF_OPS:
+            thread.br_cnt += 1
+        handler = self._dispatch[op]
+        try:
+            result = handler(thread, frame, instr)
+        except IndexError:
+            raise ReproError(
+                f"operand stack underflow at {frame.method.qualified_name}"
+                f":{frame.pc} ({op.value}) — verifier should have caught this"
+            ) from None
+        return StepResult.CONTINUE if result is None else result
+
+    # ==================================================================
+    # Java exception machinery
+    # ==================================================================
+    def throw_new(self, thread: JavaThread, class_name: str,
+                  message: str = "") -> StepResult:
+        """Allocate and throw a Java exception of the given class."""
+        exc = self._heap.alloc_object(class_name)
+        if "message" in exc.fields:
+            exc.fields["message"] = message
+        return self.dispatch_exception(thread, exc)
+
+    def dispatch_exception(self, thread: JavaThread, exc: JObject) -> StepResult:
+        """Unwind frames looking for a handler for ``exc``.
+
+        Monitors held by abandoned frames are released (synchronized
+        epilogue + structured-locking cleanup).  If no handler exists,
+        the thread terminates with the exception uncaught.
+        """
+        while thread.frames:
+            frame = thread.frames[-1]
+            handler_pc = self._find_handler(frame, exc)
+            if handler_pc is not None:
+                frame.stack.clear()
+                frame.stack.append(exc)
+                frame.pc = handler_pc
+                return StepResult.CONTINUE
+            self._release_frame_monitors(thread, frame)
+            thread.frames.pop()
+        return self._jvm.thread_uncaught(thread, exc)
+
+    def _find_handler(self, frame: Frame, exc: JObject) -> Optional[int]:
+        pc = frame.pc
+        for row in frame.method.code.exception_table:
+            if not row.start_pc <= pc < row.end_pc:
+                continue
+            if row.class_name == "*" or self._registry.is_subtype(
+                exc.class_name, row.class_name
+            ):
+                return row.handler_pc
+        return None
+
+    def _release_frame_monitors(self, thread: JavaThread, frame: Frame) -> None:
+        for obj in reversed(frame.held_monitors):
+            self._sync.exit(thread, obj)
+        frame.held_monitors.clear()
+        if frame.sync_object is not None:
+            self._sync.exit(thread, frame.sync_object)
+            frame.sync_object = None
+
+    # ==================================================================
+    # Dispatch table construction
+    # ==================================================================
+    def _build_dispatch(self):
+        d = {
+            Op.NOP: self._op_nop,
+            Op.ICONST: self._op_const,
+            Op.FCONST: self._op_const,
+            Op.SCONST: self._op_const,
+            Op.ACONST_NULL: self._op_aconst_null,
+            Op.LOAD: self._op_load,
+            Op.STORE: self._op_store,
+            Op.IINC: self._op_iinc,
+            Op.POP: self._op_pop,
+            Op.DUP: self._op_dup,
+            Op.DUP_X1: self._op_dup_x1,
+            Op.SWAP: self._op_swap,
+            Op.INEG: self._op_ineg,
+            Op.FNEG: self._op_fneg,
+            Op.I2F: self._op_i2f,
+            Op.F2I: self._op_f2i,
+            Op.SCONCAT: self._op_sconcat,
+            Op.S2I: self._op_s2i,
+            Op.I2S: self._op_i2s,
+            Op.F2S: self._op_f2s,
+            Op.GOTO: self._op_goto,
+            Op.IF_ICMP: self._op_if_cmp,
+            Op.IF_FCMP: self._op_if_cmp,
+            Op.IF_SCMP: self._op_if_cmp,
+            Op.IF: self._op_if,
+            Op.IF_NULL: self._op_if_null,
+            Op.IF_NONNULL: self._op_if_nonnull,
+            Op.IF_ACMP_EQ: self._op_if_acmp_eq,
+            Op.IF_ACMP_NE: self._op_if_acmp_ne,
+            Op.NEW: self._op_new,
+            Op.GETFIELD: self._op_getfield,
+            Op.PUTFIELD: self._op_putfield,
+            Op.GETSTATIC: self._op_getstatic,
+            Op.PUTSTATIC: self._op_putstatic,
+            Op.INSTANCEOF: self._op_instanceof,
+            Op.CHECKCAST: self._op_checkcast,
+            Op.NEWARRAY: self._op_newarray,
+            Op.ARRLOAD: self._op_arrload,
+            Op.ARRSTORE: self._op_arrstore,
+            Op.ARRAYLENGTH: self._op_arraylength,
+            Op.INVOKEVIRTUAL: self._op_invoke,
+            Op.INVOKESPECIAL: self._op_invoke,
+            Op.INVOKESTATIC: self._op_invoke,
+            Op.RETURN: self._op_return,
+            Op.VRETURN: self._op_vreturn,
+            Op.MONITORENTER: self._op_monitorenter,
+            Op.MONITOREXIT: self._op_monitorexit,
+            Op.ATHROW: self._op_athrow,
+        }
+        for op, fn in _INT_BINOPS.items():
+            d[op] = self._make_int_binop(fn, op)
+        for op, fn in _FLOAT_BINOPS.items():
+            d[op] = self._make_float_binop(fn)
+        return d
+
+    # ==================================================================
+    # Simple handlers
+    # ==================================================================
+    def _op_nop(self, thread, frame, instr):
+        frame.pc += 1
+
+    def _op_const(self, thread, frame, instr):
+        frame.stack.append(instr.operands[0])
+        frame.pc += 1
+
+    def _op_aconst_null(self, thread, frame, instr):
+        frame.stack.append(None)
+        frame.pc += 1
+
+    def _op_load(self, thread, frame, instr):
+        frame.stack.append(frame.locals[instr.operands[0]])
+        frame.pc += 1
+
+    def _op_store(self, thread, frame, instr):
+        frame.locals[instr.operands[0]] = frame.stack.pop()
+        frame.pc += 1
+
+    def _op_iinc(self, thread, frame, instr):
+        slot, delta = instr.operands
+        frame.locals[slot] = wrap_int(frame.locals[slot] + delta)
+        frame.pc += 1
+
+    def _op_pop(self, thread, frame, instr):
+        frame.stack.pop()
+        frame.pc += 1
+
+    def _op_dup(self, thread, frame, instr):
+        frame.stack.append(frame.stack[-1])
+        frame.pc += 1
+
+    def _op_dup_x1(self, thread, frame, instr):
+        stack = frame.stack
+        top = stack[-1]
+        stack.insert(-2, top)
+        frame.pc += 1
+
+    def _op_swap(self, thread, frame, instr):
+        stack = frame.stack
+        stack[-1], stack[-2] = stack[-2], stack[-1]
+        frame.pc += 1
+
+    # ==================================================================
+    # Arithmetic
+    # ==================================================================
+    def _make_int_binop(self, fn, op):
+        zero_div = op in (Op.IDIV, Op.IREM)
+
+        def handler(thread, frame, instr):
+            stack = frame.stack
+            b = stack.pop()
+            a = stack.pop()
+            if zero_div and b == 0:
+                return self.throw_new(
+                    thread, "ArithmeticException", "/ by zero"
+                )
+            stack.append(fn(a, b))
+            frame.pc += 1
+
+        return handler
+
+    def _make_float_binop(self, fn):
+        jvm = self._jvm
+
+        def handler(thread, frame, instr):
+            stack = frame.stack
+            b = stack.pop()
+            a = stack.pop()
+            stack.append(fn(a, b))
+            jvm.heavy_ops += 1
+            frame.pc += 1
+
+        return handler
+
+    def _op_ineg(self, thread, frame, instr):
+        frame.stack[-1] = wrap_int(-frame.stack[-1])
+        frame.pc += 1
+
+    def _op_fneg(self, thread, frame, instr):
+        frame.stack[-1] = -frame.stack[-1]
+        frame.pc += 1
+
+    def _op_i2f(self, thread, frame, instr):
+        frame.stack[-1] = float(frame.stack[-1])
+        frame.pc += 1
+
+    def _op_f2i(self, thread, frame, instr):
+        frame.stack[-1] = wrap_int(int(frame.stack[-1]))
+        frame.pc += 1
+
+    # ==================================================================
+    # Strings
+    # ==================================================================
+    def _op_sconcat(self, thread, frame, instr):
+        stack = frame.stack
+        b = stack.pop()
+        a = stack.pop()
+        stack.append(a + b)
+        frame.pc += 1
+
+    def _op_s2i(self, thread, frame, instr):
+        text = frame.stack.pop()
+        try:
+            frame.stack.append(wrap_int(int(text.strip(), 10)))
+        except ValueError:
+            return self.throw_new(
+                thread, "NumberFormatException", f"for input string: {text!r}"
+            )
+        frame.pc += 1
+
+    def _op_i2s(self, thread, frame, instr):
+        frame.stack[-1] = str(frame.stack[-1])
+        frame.pc += 1
+
+    def _op_f2s(self, thread, frame, instr):
+        value = frame.stack[-1]
+        frame.stack[-1] = repr(float(value))
+        frame.pc += 1
+
+    # ==================================================================
+    # Control flow
+    # ==================================================================
+    def _op_goto(self, thread, frame, instr):
+        frame.pc = instr.operands[0]
+
+    def _op_if_cmp(self, thread, frame, instr):
+        cmp_op, target = instr.operands
+        b = frame.stack.pop()
+        a = frame.stack.pop()
+        frame.pc = target if compare(cmp_op, a, b) else frame.pc + 1
+
+    def _op_if(self, thread, frame, instr):
+        cmp_op, target = instr.operands
+        a = frame.stack.pop()
+        frame.pc = target if compare(cmp_op, a, 0) else frame.pc + 1
+
+    def _op_if_null(self, thread, frame, instr):
+        frame.pc = instr.operands[0] if frame.stack.pop() is None else frame.pc + 1
+
+    def _op_if_nonnull(self, thread, frame, instr):
+        frame.pc = (
+            instr.operands[0] if frame.stack.pop() is not None else frame.pc + 1
+        )
+
+    def _op_if_acmp_eq(self, thread, frame, instr):
+        b = frame.stack.pop()
+        a = frame.stack.pop()
+        frame.pc = instr.operands[0] if a is b else frame.pc + 1
+
+    def _op_if_acmp_ne(self, thread, frame, instr):
+        b = frame.stack.pop()
+        a = frame.stack.pop()
+        frame.pc = instr.operands[0] if a is not b else frame.pc + 1
+
+    # ==================================================================
+    # Objects and fields
+    # ==================================================================
+    def _op_new(self, thread, frame, instr):
+        class_name = instr.operands[0]
+        self._registry.resolve(class_name)  # raises LinkageError if unknown
+        frame.stack.append(self._heap.alloc_object(class_name))
+        frame.pc += 1
+
+    def _op_getfield(self, thread, frame, instr):
+        obj = frame.stack.pop()
+        if obj is None:
+            return self._npe(thread, f"getfield {instr.operands[0]}")
+        try:
+            frame.stack.append(obj.fields[instr.operands[0]])
+        except (KeyError, AttributeError):
+            raise LinkageError(
+                f"no field {instr.operands[0]!r} on {describe(obj)}"
+            ) from None
+        frame.pc += 1
+
+    def _op_putfield(self, thread, frame, instr):
+        value = frame.stack.pop()
+        obj = frame.stack.pop()
+        if obj is None:
+            return self._npe(thread, f"putfield {instr.operands[0]}")
+        name = instr.operands[0]
+        if not isinstance(obj, JObject) or name not in obj.fields:
+            raise LinkageError(f"no field {name!r} on {describe(obj)}")
+        obj.fields[name] = value
+        frame.pc += 1
+
+    def _op_getstatic(self, thread, frame, instr):
+        class_name, field_name = instr.operands
+        frame.stack.append(self._jvm.get_static(class_name, field_name))
+        frame.pc += 1
+
+    def _op_putstatic(self, thread, frame, instr):
+        class_name, field_name = instr.operands
+        self._jvm.put_static(class_name, field_name, frame.stack.pop())
+        frame.pc += 1
+
+    def _op_instanceof(self, thread, frame, instr):
+        value = frame.stack.pop()
+        frame.stack.append(1 if self._is_instance(value, instr.operands[0]) else 0)
+        frame.pc += 1
+
+    def _op_checkcast(self, thread, frame, instr):
+        value = frame.stack[-1]
+        if value is not None and not self._is_instance(value, instr.operands[0]):
+            frame.stack.pop()
+            return self.throw_new(
+                thread,
+                "ClassCastException",
+                f"{describe(value)} cannot be cast to {instr.operands[0]}",
+            )
+        frame.pc += 1
+
+    def _is_instance(self, value, class_name: str) -> bool:
+        if value is None:
+            return False
+        if isinstance(value, JArray):
+            return class_name == "Object"
+        return self._registry.is_subtype(value.class_name, class_name)
+
+    # ==================================================================
+    # Arrays
+    # ==================================================================
+    def _op_newarray(self, thread, frame, instr):
+        length = frame.stack.pop()
+        if length < 0:
+            return self.throw_new(
+                thread, "NegativeArraySizeException", str(length)
+            )
+        frame.stack.append(self._heap.alloc_array(instr.operands[0], length))
+        frame.pc += 1
+
+    def _op_arrload(self, thread, frame, instr):
+        index = frame.stack.pop()
+        arr = frame.stack.pop()
+        if arr is None:
+            return self._npe(thread, "arrload")
+        if not 0 <= index < len(arr.data):
+            return self._oob(thread, index, len(arr.data))
+        frame.stack.append(arr.data[index])
+        self._jvm.heavy_ops += 1
+        frame.pc += 1
+
+    def _op_arrstore(self, thread, frame, instr):
+        value = frame.stack.pop()
+        index = frame.stack.pop()
+        arr = frame.stack.pop()
+        if arr is None:
+            return self._npe(thread, "arrstore")
+        if not 0 <= index < len(arr.data):
+            return self._oob(thread, index, len(arr.data))
+        if not conforms(value, arr.elem_type):
+            raise ReproError(
+                f"array store type mismatch: {describe(value)} into "
+                f"{arr.elem_type}[]"
+            )
+        arr.data[index] = value
+        self._jvm.heavy_ops += 1
+        frame.pc += 1
+
+    def _op_arraylength(self, thread, frame, instr):
+        arr = frame.stack.pop()
+        if arr is None:
+            return self._npe(thread, "arraylength")
+        frame.stack.append(len(arr.data))
+        frame.pc += 1
+
+    def _npe(self, thread, what: str) -> StepResult:
+        return self.throw_new(thread, "NullPointerException", what)
+
+    def _oob(self, thread, index: int, length: int) -> StepResult:
+        return self.throw_new(
+            thread,
+            "ArrayIndexOutOfBoundsException",
+            f"index {index} out of bounds for length {length}",
+        )
+
+    # ==================================================================
+    # Monitors
+    # ==================================================================
+    def _op_monitorenter(self, thread, frame, instr):
+        obj = frame.stack[-1]  # popped only once acquisition completes
+        if obj is None:
+            frame.stack.pop()
+            return self._npe(thread, "monitorenter")
+        result = self._sync.enter(thread, obj)
+        if result is EnterResult.ACQUIRED:
+            frame.stack.pop()
+            frame.held_monitors.append(obj)
+            frame.pc += 1
+            return None
+        # A failed attempt retries later: keep the counters as if the
+        # instruction never ran, so progress points don't depend on
+        # whether this replica happened to contend.
+        thread.instructions -= 1
+        return (
+            StepResult.BLOCKED
+            if result is EnterResult.BLOCKED
+            else StepResult.PARKED
+        )
+
+    def _op_monitorexit(self, thread, frame, instr):
+        obj = frame.stack.pop()
+        if obj is None:
+            return self._npe(thread, "monitorexit")
+        if not self._sync.exit(thread, obj):
+            return self.throw_new(
+                thread, "IllegalMonitorStateException", "not the owner"
+            )
+        if obj in frame.held_monitors:
+            frame.held_monitors.remove(obj)
+        frame.pc += 1
+
+    # ==================================================================
+    # Exceptions
+    # ==================================================================
+    def _op_athrow(self, thread, frame, instr):
+        exc = frame.stack.pop()
+        if exc is None:
+            return self._npe(thread, "athrow")
+        if not isinstance(exc, JObject) or not self._registry.is_subtype(
+            exc.class_name, "Throwable"
+        ):
+            raise ReproError(f"athrow of non-Throwable {describe(exc)}")
+        return self.dispatch_exception(thread, exc)
+
+    # ==================================================================
+    # Invocation
+    # ==================================================================
+    def _method_ref(self, operand: str) -> MethodRef:
+        ref = self._ref_cache.get(operand)
+        if ref is None:
+            ref = parse_method_ref(operand)
+            self._ref_cache[operand] = ref
+        return ref
+
+    def _op_invoke(self, thread, frame, instr):
+        ref = self._method_ref(instr.operands[0])
+        op = instr.op
+        stack = frame.stack
+        nargs = ref.nargs
+
+        if op is Op.INVOKESTATIC:
+            receiver = None
+            method = self._jvm.resolve_static_method(ref)
+        else:
+            receiver = stack[-1 - nargs]
+            if receiver is None:
+                del stack[len(stack) - 1 - nargs:]
+                thread.br_cnt -= 1  # the call never happened
+                return self._npe(thread, f"invoke {ref.class_name}.{ref.method_name}")
+            if op is Op.INVOKESPECIAL:
+                method = self._registry.lookup_method(
+                    ref.class_name, ref.method_name, nargs
+                )
+            else:
+                dyn_class = (
+                    "Object" if isinstance(receiver, JArray)
+                    else receiver.class_name
+                )
+                method = self._registry.lookup_method(
+                    dyn_class, ref.method_name, nargs
+                )
+
+        # Intrinsics (wait/notify/thread ops) manage the stack themselves
+        # because several of them suspend mid-instruction.
+        intrinsic = self._jvm.intrinsics.get(
+            (method.declaring_class.name, method.name, nargs)
+        )
+        if intrinsic is not None:
+            return intrinsic(thread, frame, method, receiver, nargs)
+
+        # Hot backups pause on natives whose log record has not arrived
+        # yet — checked before any state (stack, monitors) changes, so
+        # the invoke retries cleanly.
+        if method.is_native and self._jvm.native_policy.would_starve(
+            self._jvm, method, thread
+        ):
+            thread.br_cnt -= 1
+            thread.instructions -= 1
+            return StepResult.STARVED
+
+        # Synchronized methods acquire their monitor *before* arguments
+        # are popped, so a blocked attempt can retry cleanly.
+        sync_target = None
+        if method.is_synchronized:
+            sync_target = (
+                self._jvm.class_lock_object(method.declaring_class.name)
+                if method.is_static
+                else receiver
+            )
+            result = self._sync.enter(thread, sync_target)
+            if result is not EnterResult.ACQUIRED:
+                thread.br_cnt -= 1  # retried later; count it once
+                thread.instructions -= 1
+                return (
+                    StepResult.BLOCKED
+                    if result is EnterResult.BLOCKED
+                    else StepResult.PARKED
+                )
+
+        args = stack[len(stack) - nargs:] if nargs else []
+        del stack[len(stack) - nargs:]
+        if receiver is not None:
+            stack.pop()
+            args = [receiver] + args
+
+        if method.is_native:
+            return self._jvm.invoke_native(
+                thread, frame, method, receiver, args, sync_target
+            )
+
+        callee = Frame(method, args)
+        callee.sync_object = sync_target
+        thread.frames.append(callee)
+        return None
+
+    # ==================================================================
+    # Returns
+    # ==================================================================
+    def _op_return(self, thread, frame, instr):
+        return self._do_return(thread, frame, None, push=False)
+
+    def _op_vreturn(self, thread, frame, instr):
+        return self._do_return(thread, frame, frame.stack.pop(), push=True)
+
+    def _do_return(self, thread, frame, value, push: bool):
+        self._release_frame_monitors(thread, frame)
+        thread.frames.pop()
+        if not thread.frames:
+            return self._jvm.thread_finished(thread, value if push else None)
+        caller = thread.frames[-1]
+        if push:
+            caller.stack.append(value)
+        caller.pc += 1
+        return None
+
+
+_INT_BINOPS = {
+    Op.IADD: lambda a, b: wrap_int(a + b),
+    Op.ISUB: lambda a, b: wrap_int(a - b),
+    Op.IMUL: lambda a, b: wrap_int(a * b),
+    Op.IDIV: java_div,
+    Op.IREM: java_rem,
+    Op.ISHL: java_shl,
+    Op.ISHR: java_shr,
+    Op.IUSHR: java_ushr,
+    Op.IAND: lambda a, b: wrap_int(a & b),
+    Op.IOR: lambda a, b: wrap_int(a | b),
+    Op.IXOR: lambda a, b: wrap_int(a ^ b),
+}
+
+_FLOAT_BINOPS = {
+    Op.FADD: lambda a, b: a + b,
+    Op.FSUB: lambda a, b: a - b,
+    Op.FMUL: lambda a, b: a * b,
+    Op.FDIV: lambda a, b: (a / b) if b != 0.0 else _f_div_zero(a),
+}
+
+
+def _f_div_zero(a: float) -> float:
+    """Java float division by zero yields ±Inf or NaN, never a trap."""
+    if a == 0.0:
+        return float("nan")
+    return float("inf") if a > 0 else float("-inf")

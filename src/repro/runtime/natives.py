@@ -1,0 +1,197 @@
+"""The native method interface (the paper's JNI analogue).
+
+Native methods execute outside the state machine; they are the JVM's
+only non-deterministic commands and its only path to the environment.
+Following the paper:
+
+* every native method is *annotated* (Section 3.4's mechanism): whether
+  it is deterministic, whether it produces output, whether that output
+  is idempotent or testable (R5), and which side-effect handler manages
+  its volatile state (R6);
+* the registry stores the signatures of non-deterministic methods in a
+  hash table (Section 4.1) — :meth:`NativeRegistry.nondeterministic_signatures`
+  is exactly that table, shipped identically to primary and backup;
+* restriction R2/R3 is *enforced*, not assumed: a native registered as
+  deterministic that tries to read an environment input (clock, entropy,
+  file data) trips :class:`~repro.errors.NativeError` at the capability
+  object, because environment access flows through :class:`NativeContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import NativeError
+
+
+class JavaThrow(Exception):
+    """Raised by native implementations to throw a Java exception."""
+
+    def __init__(self, class_name: str, message: str = "") -> None:
+        super().__init__(f"{class_name}: {message}")
+        self.class_name = class_name
+        self.message = message
+
+
+@dataclass(frozen=True)
+class NativeSpec:
+    """One registered native method and its annotations.
+
+    Attributes:
+        signature: ``Class.method/nargs`` — the hash-table key.
+        impl: ``impl(ctx, receiver, args) -> value`` (may raise JavaThrow).
+        deterministic: write-set values and output are a function of the
+            read set only (R2/R3 hold trivially).
+        is_output: produces output to the environment.
+        idempotent: output may be safely re-executed (R5 case 1).
+        testable: the environment can be queried to learn whether the
+            output completed (R5 case 2).
+        log_arrays: arguments that are arrays are modified by the call
+            (out-parameters) and must be logged with the result so the
+            backup can adopt them.
+        se_handler: name of the side-effect handler managing this
+            method's volatile environment state (R6), if any.
+    """
+
+    signature: str
+    impl: Callable[["NativeContext", Any, List[Any]], Any]
+    deterministic: bool = True
+    is_output: bool = False
+    idempotent: bool = False
+    testable: bool = False
+    log_arrays: bool = False
+    se_handler: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.is_output and not (self.idempotent or self.testable):
+            raise NativeError(
+                f"R5 violated: output native {self.signature} is neither "
+                f"idempotent nor testable"
+            )
+
+
+class NativeRegistry:
+    """All native methods known to one JVM program."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, NativeSpec] = {}
+
+    def register(self, spec: NativeSpec) -> NativeSpec:
+        if spec.signature in self._specs:
+            raise NativeError(f"native {spec.signature} registered twice")
+        self._specs[spec.signature] = spec
+        return spec
+
+    def lookup(self, signature: str) -> NativeSpec:
+        spec = self._specs.get(signature)
+        if spec is None:
+            raise NativeError(f"unsatisfied native link: {signature}")
+        return spec
+
+    def has(self, signature: str) -> bool:
+        return signature in self._specs
+
+    def nondeterministic_signatures(self) -> List[str]:
+        """The paper's hash table of non-deterministic native methods —
+        identical at primary and backup because both build it from the
+        same registry."""
+        return sorted(
+            s for s, spec in self._specs.items() if not spec.deterministic
+        )
+
+    def output_signatures(self) -> List[str]:
+        return sorted(s for s, spec in self._specs.items() if spec.is_output)
+
+    def all_specs(self) -> List[NativeSpec]:
+        return [self._specs[s] for s in sorted(self._specs)]
+
+
+class NativeContext:
+    """Capability object handed to native implementations.
+
+    Mediates *all* environment access so R2/R3 are mechanically
+    enforced: deterministic natives get :class:`NativeError` if they
+    touch a non-deterministic input, and non-output natives get it if
+    they try to mutate the environment.
+    """
+
+    def __init__(self, jvm, thread, spec: NativeSpec) -> None:
+        self.jvm = jvm
+        self.thread = thread
+        self.spec = spec
+
+    # -- JVM services (always allowed) ----------------------------------
+    def alloc_array(self, elem_type: str, length: int):
+        return self.jvm.heap.alloc_array(elem_type, length)
+
+    def alloc_object(self, class_name: str):
+        return self.jvm.heap.alloc_object(class_name)
+
+    # -- Non-deterministic inputs (R2/R3 gate) --------------------------
+    def _require_nondeterministic(self, what: str) -> None:
+        self._check_detached(f"read {what}")
+        if self.spec.deterministic:
+            raise NativeError(
+                f"R2/R3 violated: native {self.spec.signature} is annotated "
+                f"deterministic but read {what}"
+            )
+
+    def _check_detached(self, action: str) -> None:
+        if getattr(self.thread, "forbid_env", False):
+            from repro.runtime.gc import check_finalizer_restriction
+
+            check_finalizer_restriction(self.thread.name, action)
+
+    def clock_ms(self) -> int:
+        self._require_nondeterministic("the wall clock")
+        return self.jvm.session.clock_ms()
+
+    def random_int(self, bound: int) -> int:
+        self._require_nondeterministic("environment entropy")
+        return self.jvm.session.random_int(bound)
+
+    def random_float(self) -> float:
+        self._require_nondeterministic("environment entropy")
+        return self.jvm.session.random_float()
+
+    def file_input(self):
+        """The session, for *reading* file data (a non-det input)."""
+        self._require_nondeterministic("file data")
+        return self.jvm.session
+
+    # -- Output to the environment (R5 gate) ----------------------------
+    def output_target(self):
+        """The session, for mutating the environment."""
+        self._check_detached("produce output to the environment")
+        if not self.spec.is_output:
+            raise NativeError(
+                f"R5 violated: native {self.spec.signature} is not annotated "
+                f"as an output command but mutated the environment"
+            )
+        return self.jvm.session
+
+
+@dataclass
+class NativeOutcome:
+    """Result of one native invocation, as shipped to the backup."""
+
+    value: Any = None
+    exception: Optional[Tuple[str, str]] = None  # (class_name, message)
+    #: Post-call contents of array out-parameters, index -> list.
+    array_results: Dict[int, list] = field(default_factory=dict)
+
+
+def call_native(spec: NativeSpec, ctx: NativeContext, receiver,
+                args: List[Any]) -> NativeOutcome:
+    """Invoke the implementation, capturing value/exception/out-params."""
+    try:
+        value = spec.impl(ctx, receiver, args)
+        outcome = NativeOutcome(value=value)
+    except JavaThrow as thrown:
+        outcome = NativeOutcome(exception=(thrown.class_name, thrown.message))
+    if spec.log_arrays:
+        for i, arg in enumerate(args):
+            if hasattr(arg, "data"):
+                outcome.array_results[i] = list(arg.data)
+    return outcome

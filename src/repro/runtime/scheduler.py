@@ -1,0 +1,196 @@
+"""The green-threads scheduler.
+
+Sun's JDK 1.2 "green threads" library multiplexes Java threads onto one
+OS thread of a uniprocessor — restriction R4B's setting.  We reproduce
+that: one thread runs at a time, preempted only at bytecode boundaries
+(safe points), so a scheduled thread has exclusive access to shared
+variables exactly as R4B requires.
+
+Non-determinism model
+---------------------
+Real schedulers preempt on timer interrupts whose arrival varies by
+cache state, IRQ load, etc.  We model that with a *seeded jitter*: the
+length of each time slice (measured in control-flow changes, like the
+paper's ``br_cnt``) is ``quantum_base`` plus a pseudo-random excess.
+Giving primary and backup different seeds makes their interleavings
+genuinely diverge — which is precisely the non-determinism the paper's
+two replication techniques must eliminate.
+
+Pluggable policy
+----------------
+All scheduling decisions flow through a :class:`ScheduleController`:
+
+* the default controller implements jittered round-robin;
+* the *primary* under replicated thread scheduling wraps it to log a
+  thread-schedule record at every switch;
+* the *backup* controller replays the primary's records, preempting
+  each thread exactly at the logged ``(br_cnt, pc_off, mon_cnt)``
+  progress point and scheduling the logged successor.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.errors import DeadlockError
+from repro.runtime.threads import JavaThread, ThreadState
+
+
+class SliceEnd(enum.Enum):
+    """Why a time slice ended."""
+
+    QUANTUM = "quantum"          # preempted after exhausting its quantum
+    CONTROLLER = "controller"    # preempted by the controller (replay)
+    BLOCKED = "blocked"          # blocked entering a monitor
+    WAITING = "waiting"          # entered a wait set / join / sleep
+    PARKED = "parked"            # vetoed by the admission controller
+    YIELDED = "yielded"          # Thread.yield
+    TERMINATED = "terminated"    # thread finished
+    STARVED = "starved"          # hot backup waiting for more log
+
+
+class ScheduleController:
+    """Default policy: jittered round-robin."""
+
+    def __init__(self, seed: int = 0, quantum_base: int = 50,
+                 quantum_jitter: int = 20) -> None:
+        self._rng = random.Random(seed)
+        self.quantum_base = quantum_base
+        self.quantum_jitter = quantum_jitter
+
+    def quantum(self, thread: JavaThread) -> int:
+        """Slice length for ``thread``, in control-flow changes."""
+        if self.quantum_jitter <= 0:
+            return self.quantum_base
+        return self.quantum_base + self._rng.randrange(self.quantum_jitter + 1)
+
+    def should_preempt(self, thread: JavaThread) -> bool:
+        """Checked before every instruction; used by replay controllers."""
+        return False
+
+    def pick_next(self, scheduler: "Scheduler") -> Optional[JavaThread]:
+        """Choose the next thread to run (FIFO by default)."""
+        queue = scheduler.runnable
+        while queue:
+            thread = queue.popleft()
+            if thread.state is ThreadState.RUNNABLE:
+                return thread
+        return None
+
+    def on_switch(self, prev: Optional[JavaThread], reason: Optional[SliceEnd],
+                  next_thread: JavaThread) -> None:
+        """Called when a different thread is about to run."""
+
+    def on_slice_end(self, thread: JavaThread, reason: SliceEnd) -> None:
+        """Called whenever a slice ends, before the next pick."""
+
+
+class Scheduler:
+    """Owns the thread set, the runnable queue, and timers."""
+
+    def __init__(self, time_fn: Callable[[], float],
+                 controller: Optional[ScheduleController] = None) -> None:
+        self._time_fn = time_fn
+        self.controller = controller or ScheduleController()
+        self.threads: List[JavaThread] = []
+        self.runnable: Deque[JavaThread] = deque()
+        self.current: Optional[JavaThread] = None
+        #: Context switches to a *different* thread (Table 2's
+        #: "Avg. Reschedules" numerator).
+        self.reschedules = 0
+        #: Slices executed in total.
+        self.slices = 0
+        #: Why the most recent slice ended (set by the JVM run loop,
+        #: consumed by ``pick`` when it reports a switch).
+        self.last_reason: Optional[SliceEnd] = None
+
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        return self._time_fn()
+
+    def register(self, thread: JavaThread) -> None:
+        self.threads.append(thread)
+
+    def make_runnable(self, thread: JavaThread) -> None:
+        if thread.state is ThreadState.TERMINATED:
+            return
+        thread.state = ThreadState.RUNNABLE
+        thread.blocked_on = None
+        if thread not in self.runnable and thread is not self.current:
+            self.runnable.append(thread)
+
+    def requeue_current(self, thread: JavaThread) -> None:
+        """Put a preempted-but-runnable thread at the back of the queue."""
+        if thread.state is ThreadState.RUNNABLE and thread not in self.runnable:
+            self.runnable.append(thread)
+
+    def release_current(self) -> None:
+        """Forget the current thread (used when a run loop pauses).
+
+        ``make_runnable`` skips the current thread on the assumption
+        that it is executing; when a hot backup's run loop pauses
+        mid-stream that assumption would leak the thread, so the pause
+        path must release it explicitly."""
+        current = self.current
+        self.current = None
+        if current is not None:
+            self.requeue_current(current)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def wake_expired_timers(self, sync_manager) -> None:
+        now = self.now()
+        for thread in self.threads:
+            if (
+                thread.state is ThreadState.TIMED_WAITING
+                and thread.wakeup_time is not None
+                and thread.wakeup_time <= now
+            ):
+                sync_manager.timeout_waiter(thread)
+
+    def earliest_wakeup(self) -> Optional[float]:
+        times = [
+            t.wakeup_time
+            for t in self.threads
+            if t.state is ThreadState.TIMED_WAITING and t.wakeup_time is not None
+        ]
+        return min(times) if times else None
+
+    # ------------------------------------------------------------------
+    # Liveness queries
+    # ------------------------------------------------------------------
+    def live_application_threads(self) -> List[JavaThread]:
+        return [
+            t for t in self.threads
+            if t.alive and not t.is_daemon and not t.is_system
+        ]
+
+    def pick(self) -> Optional[JavaThread]:
+        """Pick the next thread via the controller, recording switches."""
+        prev = self.current
+        thread = self.controller.pick_next(self)
+        if thread is None:
+            self.current = None
+            return None
+        if prev is not thread:
+            self.reschedules += 1
+            self.controller.on_switch(prev, self.last_reason, thread)
+        self.slices += 1
+        self.current = thread
+        return thread
+
+    def assert_progress_possible(self) -> None:
+        """Raise DeadlockError when no thread can ever run again."""
+        for t in self.threads:
+            if t.state in (ThreadState.RUNNABLE, ThreadState.TIMED_WAITING):
+                return
+        blocked = [t for t in self.threads if t.alive]
+        if blocked:
+            detail = ", ".join(
+                f"{t.vid_str}:{t.state.value}" for t in blocked
+            )
+            raise DeadlockError(f"all live threads are blocked ({detail})")

@@ -1,0 +1,446 @@
+"""Bootstrap classes and the standard native library.
+
+This is the analogue of the JRE's core classes plus its native methods.
+:func:`install_stdlib` registers the classes into a program's
+:class:`~repro.classfile.loader.ClassRegistry`; :func:`build_natives`
+produces the annotated :class:`~repro.runtime.natives.NativeRegistry`.
+
+Every native below carries the annotations of Section 3.4 / Table 1:
+deterministic or not, output or not, idempotent/testable (R5), and the
+side-effect handler that owns its volatile state (R6).  The inventory
+mirrors the paper's finding that "fewer than 100 native methods are
+non-deterministic": our non-deterministic set is the clock, entropy,
+and file-input methods, each annotated explicitly.
+"""
+
+from __future__ import annotations
+
+import math as _math
+from typing import Any
+
+from repro.bytecode.assembler import assemble
+from repro.classfile.loader import ClassRegistry
+from repro.classfile.model import CTOR_NAME, JClass, JField, JMethod
+from repro.env.filesystem import JavaIOError
+from repro.runtime.natives import JavaThrow, NativeRegistry, NativeSpec
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+
+def _native(name: str, nargs: int, returns: bool, *, static: bool = True) -> JMethod:
+    return JMethod(name, nargs, returns, is_native=True, is_static=static)
+
+
+def _bytecode(name: str, nargs: int, returns: bool, source: str, *,
+              static: bool = False, min_locals: int = 0) -> JMethod:
+    code = assemble(source, max_locals=min_locals or (nargs + (0 if static else 1)))
+    return JMethod(name, nargs, returns, code, is_static=static)
+
+
+def text_of(value: Any) -> str:
+    """Render any runtime value as console text (Java's implicit
+    String.valueOf in print calls)."""
+    if value is None:
+        return "null"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, int):
+        return str(value)
+    return f"{getattr(value, 'class_name', 'array')}@{value.oid}"
+
+
+# ----------------------------------------------------------------------
+# Class definitions
+# ----------------------------------------------------------------------
+
+def install_stdlib(registry: ClassRegistry) -> ClassRegistry:
+    """Register the bootstrap classes into ``registry``; returns it."""
+    root = registry.resolve("Object")
+    for method in (
+        _native("hashCode", 0, True, static=False),
+        _native("equals", 1, True, static=False),
+        _native("toString", 0, True, static=False),
+        _native("wait", 0, False, static=False),
+        _native("timedWait", 1, False, static=False),
+        _native("notify", 0, False, static=False),
+        _native("notifyAll", 0, False, static=False),
+        _bytecode("finalize", 0, False, "return\n"),
+    ):
+        root.add_method(method)
+
+    throwable = JClass("Throwable", "Object")
+    throwable.add_field(JField("message", "str"))
+    throwable.add_method(_bytecode(
+        CTOR_NAME, 1, False,
+        """
+        load 0
+        load 1
+        putfield message
+        return
+        """,
+    ))
+    throwable.add_method(_bytecode(
+        "getMessage", 0, True,
+        """
+        load 0
+        getfield message
+        vreturn
+        """,
+    ))
+    registry.register(throwable)
+
+    hierarchy = [
+        ("Exception", "Throwable"),
+        ("Error", "Throwable"),
+        ("RuntimeException", "Exception"),
+        ("InterruptedException", "Exception"),
+        ("IOException", "Exception"),
+        ("NullPointerException", "RuntimeException"),
+        ("ArithmeticException", "RuntimeException"),
+        ("ArrayIndexOutOfBoundsException", "RuntimeException"),
+        ("StringIndexOutOfBoundsException", "RuntimeException"),
+        ("NegativeArraySizeException", "RuntimeException"),
+        ("ClassCastException", "RuntimeException"),
+        ("IllegalMonitorStateException", "RuntimeException"),
+        ("IllegalStateException", "RuntimeException"),
+        ("IllegalArgumentException", "RuntimeException"),
+        ("NumberFormatException", "IllegalArgumentException"),
+        ("OutOfMemoryError", "Error"),
+        ("StackOverflowError", "Error"),
+    ]
+    for name, parent in hierarchy:
+        registry.register(JClass(name, parent))
+
+    thread_cls = JClass("Thread", "Object")
+    thread_cls.add_method(_bytecode("run", 0, False, "return\n"))
+    for method in (
+        _native("start", 0, False, static=False),
+        _native("join", 0, False, static=False),
+        _native("isAlive", 0, True, static=False),
+        _native("setDaemon", 1, False, static=False),
+        _native("stop", 0, False, static=False),
+        _native("sleep", 1, False),
+        _native("yield", 0, False),
+        _native("currentThread", 0, True),
+    ):
+        thread_cls.add_method(method)
+    registry.register(thread_cls)
+
+    system_cls = JClass("System", "Object")
+    for method in (
+        _native("println", 1, False),
+        _native("print", 1, False),
+        _native("currentTimeMillis", 0, True),
+        _native("arraycopy", 5, False),
+        _native("gc", 0, False),
+    ):
+        system_cls.add_method(method)
+    registry.register(system_cls)
+
+    strings_cls = JClass("Strings", "Object")
+    for name, nargs in (
+        ("length", 1), ("charAt", 2), ("substring", 3), ("indexOf", 2),
+        ("indexOfFrom", 3), ("compare", 2), ("fromChar", 1), ("hash", 1),
+        ("trim", 1), ("startsWith", 2), ("endsWith", 2), ("toChars", 1),
+        ("fromChars", 2), ("repeat", 2), ("upper", 1), ("lower", 1),
+    ):
+        strings_cls.add_method(_native(name, nargs, True))
+    registry.register(strings_cls)
+
+    math_cls = JClass("Math", "Object")
+    for name, nargs in (
+        ("sqrt", 1), ("sin", 1), ("cos", 1), ("atan", 1), ("atan2", 2),
+        ("pow", 2), ("exp", 1), ("log", 1), ("floor", 1), ("ceil", 1),
+        ("fabs", 1), ("fmin", 2), ("fmax", 2),
+        ("imin", 2), ("imax", 2), ("iabs", 1),
+    ):
+        math_cls.add_method(_native(name, nargs, True))
+    registry.register(math_cls)
+
+    env_cls = JClass("Env", "Object")
+    env_cls.add_method(_native("randomInt", 1, True))
+    env_cls.add_method(_native("randomFloat", 0, True))
+    registry.register(env_cls)
+
+    files_cls = JClass("Files", "Object")
+    for name, nargs, returns in (
+        ("open", 2, True), ("close", 1, False),
+        ("write", 2, False), ("writeLine", 2, False),
+        ("readLine", 1, True), ("readChar", 1, True),
+        ("seek", 2, False), ("tell", 1, True),
+        ("size", 1, True), ("exists", 1, True), ("delete", 1, False),
+    ):
+        files_cls.add_method(_native(name, nargs, returns))
+    registry.register(files_cls)
+
+    refs_cls = JClass("Refs", "Object")
+    refs_cls.add_method(_native("soft", 1, True))
+    refs_cls.add_method(_native("weak", 1, True))
+    registry.register(refs_cls)
+
+    for ref_class in ("SoftReference", "WeakReference"):
+        cls = JClass(ref_class, "Object")
+        cls.add_field(JField("referent", "ref"))
+        cls.add_method(_bytecode(
+            CTOR_NAME, 1, False,
+            """
+            load 0
+            load 1
+            putfield referent
+            return
+            """,
+        ))
+        cls.add_method(_bytecode(
+            "get", 0, True,
+            """
+            load 0
+            getfield referent
+            vreturn
+            """,
+        ))
+        registry.register(cls)
+
+    return registry
+
+
+# ----------------------------------------------------------------------
+# Native implementations
+# ----------------------------------------------------------------------
+
+def _println(ctx, receiver, args):
+    ctx.output_target().console_write(text_of(args[0]) + "\n")
+    return None
+
+
+def _print(ctx, receiver, args):
+    ctx.output_target().console_write(text_of(args[0]))
+    return None
+
+
+def _current_time_millis(ctx, receiver, args):
+    return ctx.clock_ms()
+
+
+def _arraycopy(ctx, receiver, args):
+    src, src_pos, dst, dst_pos, length = args
+    if src is None or dst is None:
+        raise JavaThrow("NullPointerException", "arraycopy")
+    if (
+        length < 0
+        or src_pos < 0 or src_pos + length > len(src.data)
+        or dst_pos < 0 or dst_pos + length > len(dst.data)
+    ):
+        raise JavaThrow("ArrayIndexOutOfBoundsException", "arraycopy")
+    dst.data[dst_pos:dst_pos + length] = src.data[src_pos:src_pos + length]
+    return None
+
+
+def _str_char_at(ctx, receiver, args):
+    s, i = args
+    if not 0 <= i < len(s):
+        raise JavaThrow("StringIndexOutOfBoundsException", f"index {i}")
+    return ord(s[i])
+
+
+def _str_substring(ctx, receiver, args):
+    s, begin, end = args
+    if not 0 <= begin <= end <= len(s):
+        raise JavaThrow(
+            "StringIndexOutOfBoundsException", f"begin {begin}, end {end}"
+        )
+    return s[begin:end]
+
+
+def _str_compare(ctx, receiver, args):
+    a, b = args
+    return -1 if a < b else (1 if a > b else 0)
+
+
+def _str_hash(ctx, receiver, args):
+    """Java's String.hashCode: s[0]*31^(n-1) + ... + s[n-1], wrapped."""
+    h = 0
+    for ch in args[0]:
+        h = (31 * h + ord(ch)) & 0xFFFFFFFF
+    return h - 0x100000000 if h & 0x80000000 else h
+
+
+def _str_to_chars(ctx, receiver, args):
+    s = args[0]
+    arr = ctx.alloc_array("int", len(s))
+    arr.data[:] = [ord(ch) for ch in s]
+    return arr
+
+
+def _str_from_chars(ctx, receiver, args):
+    arr, length = args
+    if arr is None:
+        raise JavaThrow("NullPointerException", "fromChars")
+    if not 0 <= length <= len(arr.data):
+        raise JavaThrow("ArrayIndexOutOfBoundsException", f"length {length}")
+    return "".join(chr(c) for c in arr.data[:length])
+
+
+def _refs_make(class_name: str):
+    def impl(ctx, receiver, args):
+        ref = ctx.alloc_object(class_name)
+        ref.fields["referent"] = args[0]
+        return ref
+    return impl
+
+
+def _io(fn):
+    """Convert simulated-OS errors into Java IOException.
+
+    Only :class:`JavaIOError` converts — enforcement errors
+    (NativeError, SessionDestroyed) must propagate to the harness.
+    """
+    def impl(ctx, receiver, args):
+        try:
+            return fn(ctx, receiver, args)
+        except JavaIOError as err:
+            raise JavaThrow("IOException", str(err)) from None
+    return impl
+
+
+def build_natives() -> NativeRegistry:
+    """Construct the annotated native registry (shared, immutable)."""
+    registry = NativeRegistry()
+
+    def register(signature: str, impl, **annotations) -> None:
+        registry.register(NativeSpec(signature, impl, **annotations))
+
+    # --- Console output: testable via the transcript position (R5). ---
+    register("System.println/1", _println,
+             is_output=True, testable=True, se_handler="console")
+    register("System.print/1", _print,
+             is_output=True, testable=True, se_handler="console")
+
+    # --- Clock and entropy: the canonical non-deterministic inputs. ---
+    register("System.currentTimeMillis/0", _current_time_millis,
+             deterministic=False)
+    register("Env.randomInt/1",
+             lambda ctx, r, a: ctx.random_int(a[0]), deterministic=False)
+    register("Env.randomFloat/0",
+             lambda ctx, r, a: ctx.random_float(), deterministic=False)
+
+    # --- Deterministic utility natives. ---------------------------------
+    register("System.arraycopy/5", _arraycopy)
+    register("Strings.length/1", lambda ctx, r, a: len(a[0]))
+    register("Strings.charAt/2", _str_char_at)
+    register("Strings.substring/3", _str_substring)
+    register("Strings.indexOf/2", lambda ctx, r, a: a[0].find(a[1]))
+    register("Strings.indexOfFrom/3", lambda ctx, r, a: a[0].find(a[1], a[2]))
+    register("Strings.compare/2", _str_compare)
+    register("Strings.fromChar/1", lambda ctx, r, a: chr(a[0]))
+    register("Strings.hash/1", _str_hash)
+    register("Strings.trim/1", lambda ctx, r, a: a[0].strip())
+    register("Strings.startsWith/2",
+             lambda ctx, r, a: 1 if a[0].startswith(a[1]) else 0)
+    register("Strings.endsWith/2",
+             lambda ctx, r, a: 1 if a[0].endswith(a[1]) else 0)
+    register("Strings.toChars/1", _str_to_chars)
+    register("Strings.fromChars/2", _str_from_chars)
+    register("Strings.repeat/2", lambda ctx, r, a: a[0] * max(a[1], 0))
+    register("Strings.upper/1", lambda ctx, r, a: a[0].upper())
+    register("Strings.lower/1", lambda ctx, r, a: a[0].lower())
+
+    register("Math.sqrt/1", lambda ctx, r, a: _math.sqrt(a[0]) if a[0] >= 0 else float("nan"))
+    register("Math.sin/1", lambda ctx, r, a: _math.sin(a[0]))
+    register("Math.cos/1", lambda ctx, r, a: _math.cos(a[0]))
+    register("Math.atan/1", lambda ctx, r, a: _math.atan(a[0]))
+    register("Math.atan2/2", lambda ctx, r, a: _math.atan2(a[0], a[1]))
+    register("Math.pow/2", lambda ctx, r, a: float(a[0] ** a[1]))
+    register("Math.exp/1", lambda ctx, r, a: _math.exp(a[0]))
+    register("Math.log/1", lambda ctx, r, a: _math.log(a[0]) if a[0] > 0 else float("nan"))
+    register("Math.floor/1", lambda ctx, r, a: _math.floor(a[0]) * 1.0)
+    register("Math.ceil/1", lambda ctx, r, a: _math.ceil(a[0]) * 1.0)
+    register("Math.fabs/1", lambda ctx, r, a: abs(a[0]))
+    register("Math.fmin/2", lambda ctx, r, a: min(a[0], a[1]))
+    register("Math.fmax/2", lambda ctx, r, a: max(a[0], a[1]))
+    register("Math.imin/2", lambda ctx, r, a: min(a[0], a[1]))
+    register("Math.imax/2", lambda ctx, r, a: max(a[0], a[1]))
+    register("Math.iabs/1", lambda ctx, r, a: abs(a[0]))
+
+    register("Refs.soft/1", _refs_make("SoftReference"))
+    register("Refs.weak/1", _refs_make("WeakReference"))
+
+    # --- File I/O: volatile fds managed by the "file" SE handler (R6). --
+    register(
+        "Files.open/2",
+        _io(lambda ctx, r, a: ctx.output_target().open(a[0], a[1])),
+        deterministic=False, is_output=True, testable=True,
+        se_handler="file",
+    )
+    register(
+        "Files.close/1",
+        _io(lambda ctx, r, a: ctx.output_target().close(a[0])),
+        is_output=True, idempotent=True, se_handler="file",
+    )
+    register(
+        "Files.write/2",
+        _io(lambda ctx, r, a: ctx.output_target().handle(a[0]).write(a[1])),
+        is_output=True, testable=True, se_handler="file",
+    )
+    register(
+        "Files.writeLine/2",
+        _io(lambda ctx, r, a:
+            ctx.output_target().handle(a[0]).write(a[1] + "\n")),
+        is_output=True, testable=True, se_handler="file",
+    )
+    register(
+        "Files.readLine/1",
+        _io(lambda ctx, r, a: ctx.file_input().handle(a[0]).read_line()),
+        deterministic=False, se_handler="file",
+    )
+    register(
+        "Files.readChar/1",
+        _io(lambda ctx, r, a: ctx.file_input().handle(a[0]).read_char()),
+        deterministic=False, se_handler="file",
+    )
+    register(
+        "Files.seek/2",
+        _io(lambda ctx, r, a: ctx.output_target().handle(a[0]).seek(a[1])),
+        is_output=True, idempotent=True, se_handler="file",
+    )
+    register(
+        "Files.tell/1",
+        _io(lambda ctx, r, a: ctx.file_input().handle(a[0]).tell()),
+        deterministic=False, se_handler="file",
+    )
+    register(
+        "Files.size/1",
+        _io(lambda ctx, r, a: ctx.file_input().env.fs.size(a[0])),
+        deterministic=False,
+    )
+    register(
+        "Files.exists/1",
+        _io(lambda ctx, r, a: 1 if ctx.file_input().env.fs.exists(a[0]) else 0),
+        deterministic=False,
+    )
+    register(
+        "Files.delete/1",
+        _io(lambda ctx, r, a: ctx.output_target().env.fs.delete(a[0])),
+        is_output=True, idempotent=True,
+    )
+
+    return registry
+
+
+_DEFAULT_NATIVES: NativeRegistry = None
+
+
+def default_natives() -> NativeRegistry:
+    """Shared immutable native registry (built once per process)."""
+    global _DEFAULT_NATIVES
+    if _DEFAULT_NATIVES is None:
+        _DEFAULT_NATIVES = build_natives()
+    return _DEFAULT_NATIVES
+
+
+def new_program_registry() -> ClassRegistry:
+    """A fresh class registry with the standard library installed."""
+    return install_stdlib(ClassRegistry())

@@ -1,0 +1,19 @@
+"""SPEC JVM98-analogue workloads for the mini-JVM."""
+
+from repro.workloads.base import Workload, PROFILES
+from repro.workloads.jess import WORKLOAD as JESS
+from repro.workloads.jack import WORKLOAD as JACK
+from repro.workloads.compress import WORKLOAD as COMPRESS
+from repro.workloads.db import WORKLOAD as DB
+from repro.workloads.mpegaudio import WORKLOAD as MPEGAUDIO
+from repro.workloads.mtrt import WORKLOAD as MTRT
+
+#: Paper order (Table 2 / Figures 2-4 column order).
+ALL_WORKLOADS = (JESS, JACK, COMPRESS, DB, MPEGAUDIO, MTRT)
+
+BY_NAME = {w.name: w for w in ALL_WORKLOADS}
+
+__all__ = [
+    "Workload", "PROFILES", "ALL_WORKLOADS", "BY_NAME",
+    "JESS", "JACK", "COMPRESS", "DB", "MPEGAUDIO", "MTRT",
+]

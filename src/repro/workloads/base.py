@@ -1,0 +1,58 @@
+"""Workload framework: SPEC JVM98 analogues for the mini-JVM.
+
+Each workload mirrors the *replication-relevant* profile of its SPEC
+JVM98 namesake (Table 2 of the paper): how many monitors it acquires,
+how many distinct objects it locks, how skewed the acquisitions are,
+how many non-deterministic natives it calls, and whether it is
+multi-threaded.  Absolute counts are scaled down (the substrate is an
+interpreter in an interpreter); the *shape* — which workload stresses
+which replication mechanism — is what the benchmarks reproduce.
+
+A workload provides MiniJava source parameterized by a scale profile,
+plus an environment setup hook that pre-populates input files (file
+reads are the dominant non-deterministic natives in the paper's
+benchmarks, and in ours).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.classfile.loader import ClassRegistry
+from repro.env.environment import Environment
+from repro.minijava import compile_program
+
+#: Scale profiles: "test" keeps unit tests fast; "bench" is the
+#: default for the harness and benchmarks.
+PROFILES = ("test", "bench")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark program."""
+
+    name: str
+    description: str
+    #: profile -> dict of template parameters
+    params: Dict[str, Dict[str, int]]
+    #: render MiniJava source for a parameter dict
+    source: Callable[[Dict[str, int]], str]
+    #: populate input files for a parameter dict (may be None)
+    setup: Optional[Callable[[Environment, Dict[str, int]], None]] = None
+    main_class: str = "Main"
+    multithreaded: bool = False
+
+    def params_for(self, profile: str) -> Dict[str, int]:
+        if profile not in self.params:
+            raise KeyError(
+                f"workload {self.name!r} has no profile {profile!r}"
+            )
+        return dict(self.params[profile])
+
+    def compile(self, profile: str = "test") -> ClassRegistry:
+        return compile_program(self.source(self.params_for(profile)))
+
+    def prepare_env(self, env: Environment, profile: str = "test") -> None:
+        if self.setup is not None:
+            self.setup(env, self.params_for(profile))

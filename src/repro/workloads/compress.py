@@ -1,0 +1,145 @@
+"""``compress`` — SPEC JVM98 _201_compress analogue.
+
+Lempel-Ziv (LZW) compression of generated data, CPU-bound integer
+work.  Replication profile: the fewest monitor acquisitions of all the
+benchmarks (a handful of synchronized statistics updates), very few
+non-deterministic natives — the workload where both replication
+techniques should be cheapest (the paper measures 15% for thread
+scheduling; compress's bars are the lowest in Figures 3 and 4).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+_SOURCE = """
+class Stats {{
+    int blocks;
+    int inBytes;
+    int outCodes;
+
+    synchronized void record(int inLen, int outLen) {{
+        blocks = blocks + 1;
+        inBytes = inBytes + inLen;
+        outCodes = outCodes + outLen;
+    }}
+
+    synchronized int ratioPct() {{
+        if (inBytes == 0) {{ return 0; }}
+        return outCodes * 100 / inBytes;
+    }}
+}}
+
+class Lzw {{
+    // Open-addressed dictionary: key = (prefixCode << 9) | ch
+    int[] hashKeys;
+    int[] hashCodes;
+    int tableSize;
+    int nextCode;
+
+    Lzw(int tableSize) {{
+        this.tableSize = tableSize;
+        hashKeys = new int[tableSize];
+        hashCodes = new int[tableSize];
+        reset();
+    }}
+
+    void reset() {{
+        for (int i = 0; i < tableSize; i++) {{ hashKeys[i] = -1; }}
+        nextCode = 257;
+    }}
+
+    int find(int key) {{
+        int slot = (key * 2654435761) >>> 20;
+        slot = slot % tableSize;
+        if (slot < 0) {{ slot = slot + tableSize; }}
+        while (hashKeys[slot] != -1) {{
+            if (hashKeys[slot] == key) {{ return hashCodes[slot]; }}
+            slot = slot + 1;
+            if (slot >= tableSize) {{ slot = 0; }}
+        }}
+        return -(slot + 1);
+    }}
+
+    void put(int slot, int key) {{
+        hashKeys[slot] = key;
+        hashCodes[slot] = nextCode;
+        nextCode = nextCode + 1;
+    }}
+
+    // Compress data[0..len); returns number of output codes, and
+    // folds each emitted code into the checksum array cell.
+    int compress(int[] data, int len, int[] checksum) {{
+        reset();
+        int out = 0;
+        int prefix = data[0];
+        for (int i = 1; i < len; i++) {{
+            int ch = data[i];
+            int key = (prefix << 9) | ch;
+            int code = find(key);
+            if (code >= 0) {{
+                prefix = code;
+            }} else {{
+                checksum[0] = (checksum[0] * 31 + prefix) % 1000000007;
+                out = out + 1;
+                if (nextCode < 4096) {{ put(-code - 1, key); }}
+                prefix = ch;
+            }}
+        }}
+        checksum[0] = (checksum[0] * 31 + prefix) % 1000000007;
+        return out + 1;
+    }}
+}}
+
+class Main {{
+    static void main(String[] args) {{
+        int size = {block_size};
+        int[] data = new int[size];
+        int[] checksum = new int[1];
+        Stats stats = new Stats();
+        Lzw lzw = new Lzw(8192);
+
+        int seed = Files.size("compress_seed.txt");
+        for (int block = 0; block < {blocks}; block++) {{
+            // Markov-ish source: runs of repeated symbols compress well.
+            int sym = 65;
+            for (int i = 0; i < size; i++) {{
+                seed = seed * 1103515245 + 12345;
+                int r = (seed >>> 24) & 255;
+                if (r < 200) {{
+                    // keep current symbol (run)
+                }} else {{
+                    sym = 65 + ((seed >>> 8) % 26 + 26) % 26;
+                }}
+                data[i] = sym;
+            }}
+            int out = lzw.compress(data, size, checksum);
+            stats.record(size, out);
+        }}
+        System.println("compress blocks=" + stats.blocks
+            + " ratioPct=" + stats.ratioPct()
+            + " checksum=" + checksum[0]);
+    }}
+}}
+"""
+
+
+def _source(params):
+    return _SOURCE.format(**params)
+
+
+def _setup(env, params):
+    # A tiny seed file: its size is the (non-deterministic-native) seed.
+    env.fs.put("compress_seed.txt", "x" * 17)
+
+
+WORKLOAD = Workload(
+    name="compress",
+    description="LZW compression, CPU-bound (fewest locks and natives)",
+    params={
+        "test": {"block_size": 300, "blocks": 2},
+        "bench": {"block_size": 2500, "blocks": 6},
+    },
+    source=_source,
+    setup=_setup,
+)

@@ -1,0 +1,115 @@
+"""``db`` — SPEC JVM98 _209_db analogue.
+
+A memory-resident database loaded from a file and queried many times.
+Replication profile (matches the paper's Table 2 shape): by far the
+most lock acquisitions, nearly all on a *single hot monitor* (the
+database), so the largest ``l_asn`` approaches the total acquisition
+count; moderate non-deterministic natives (the input file reads);
+single-threaded.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+_SOURCE = """
+class Rec {{
+    int id;
+    String name;
+    int balance;
+}}
+
+class Database {{
+    Rec[] recs;
+    int size;
+
+    Database(int capacity) {{ recs = new Rec[capacity]; size = 0; }}
+
+    synchronized void add(String name, int balance) {{
+        Rec r = new Rec();
+        r.id = size; r.name = name; r.balance = balance;
+        recs[size] = r;
+        size = size + 1;
+    }}
+
+    synchronized int lookup(int id) {{ return recs[id].balance; }}
+
+    synchronized void update(int id, int delta) {{
+        recs[id].balance = recs[id].balance + delta;
+    }}
+
+    synchronized String nameOf(int id) {{ return recs[id].name; }}
+
+    synchronized int count() {{ return size; }}
+
+    synchronized int sum() {{
+        int total = 0;
+        for (int i = 0; i < size; i++) {{ total = total + recs[i].balance; }}
+        return total;
+    }}
+}}
+
+class Main {{
+    static void main(String[] args) {{
+        Database db = new Database({records} + 8);
+        int fd = Files.open("db_input.txt", "r");
+        String line = Files.readLine(fd);
+        while (!line.equals("")) {{
+            int sep = line.indexOf(" ");
+            String name = line.substring(0, sep);
+            int balance = Strings.substring(line, sep + 1, line.length()).trim().length() * 17
+                + line.hashCode() % 97;
+            db.add(name, balance);
+            line = Files.readLine(fd);
+        }}
+        Files.close(fd);
+
+        int n = db.count();
+        int seed = 123456789;
+        int hits = 0;
+        for (int q = 0; q < {queries}; q++) {{
+            seed = seed * 1103515245 + 12345;
+            int idx = ((seed >>> 16) % n + n) % n;
+            int kind = q % 4;
+            if (kind == 0) {{
+                db.update(idx, 1);
+            }} else if (kind == 1) {{
+                hits = hits + db.lookup(idx);
+            }} else if (kind == 2) {{
+                String nm = db.nameOf(idx);
+                hits = hits + nm.length();
+            }} else {{
+                db.update(idx, -1);
+            }}
+        }}
+        System.println("db records=" + n + " hits=" + hits
+            + " sum=" + db.sum());
+    }}
+}}
+"""
+
+
+def _source(params):
+    return _SOURCE.format(**params)
+
+
+def _setup(env, params):
+    lines = []
+    seed = 42
+    for i in range(params["records"]):
+        seed = (seed * 1103515245 + 12345) & 0xFFFFFFFF
+        lines.append(f"name{i:05d} {seed % 100000}")
+    env.fs.put("db_input.txt", "\n".join(lines) + "\n")
+
+
+WORKLOAD = Workload(
+    name="db",
+    description="memory-resident database, queried many times "
+                "(lock-acquisition heavy, one hot monitor)",
+    params={
+        "test": {"records": 60, "queries": 1200},
+        "bench": {"records": 300, "queries": 30000},
+    },
+    source=_source,
+    setup=_setup,
+)

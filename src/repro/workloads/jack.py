@@ -1,0 +1,182 @@
+"""``jack`` — SPEC JVM98 _228_jack analogue.
+
+A parser generator run repeatedly over its own input: each iteration
+tokenizes a grammar file and builds expression parse trees whose nodes
+carry synchronized methods.  Replication profile: the distinguishing
+feature in Table 2 is that jack locks far more *distinct objects* than
+any other benchmark (every parse node's monitor is acquired once or
+twice), with high total acquisitions and many input-file reads.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+_SOURCE = """
+class Node {{
+    int kind;        // 0 literal, 1 add, 2 mul
+    int value;
+    Node left;
+    Node right;
+
+    synchronized int weigh() {{
+        if (kind == 0) {{ return value; }}
+        int l = left.weigh();
+        int r = right.weigh();
+        if (kind == 1) {{ return l + r; }}
+        return l * r % 65521;
+    }}
+
+    int depth() {{
+        if (kind == 0) {{ return 1; }}
+        int l = left.depth();
+        int r = right.depth();
+        if (l > r) {{ return l + 1; }}
+        return r + 1;
+    }}
+}}
+
+class Lexer {{
+    String input;
+    int pos;
+
+    Lexer(String input) {{ this.input = input; pos = 0; }}
+
+    // Returns token kinds: -1 eof, -2 '+', -3 '*', -4 '(', -5 ')',
+    // otherwise a non-negative literal value.
+    synchronized int next() {{
+        while (pos < input.length() && input.charAt(pos) == ' ') {{ pos = pos + 1; }}
+        if (pos >= input.length()) {{ return -1; }}
+        int c = input.charAt(pos);
+        pos = pos + 1;
+        if (c == '+') {{ return -2; }}
+        if (c == '*') {{ return -3; }}
+        if (c == '(') {{ return -4; }}
+        if (c == ')') {{ return -5; }}
+        int v = c - '0';
+        while (pos < input.length()) {{
+            int d = input.charAt(pos);
+            if (d < '0' || d > '9') {{ break; }}
+            v = v * 10 + (d - '0');
+            pos = pos + 1;
+        }}
+        return v;
+    }}
+}}
+
+class Parser {{
+    Lexer lexer;
+    int token;
+    int nodes;
+
+    Parser(Lexer lexer) {{ this.lexer = lexer; token = lexer.next(); }}
+
+    Node parseExpr() {{
+        Node left = parseTerm();
+        while (token == -2) {{
+            token = lexer.next();
+            Node right = parseTerm();
+            Node n = newNode(1, 0);
+            n.left = left; n.right = right;
+            left = n;
+        }}
+        return left;
+    }}
+
+    Node parseTerm() {{
+        Node left = parseAtom();
+        while (token == -3) {{
+            token = lexer.next();
+            Node right = parseAtom();
+            Node n = newNode(2, 0);
+            n.left = left; n.right = right;
+            left = n;
+        }}
+        return left;
+    }}
+
+    Node parseAtom() {{
+        if (token == -4) {{
+            token = lexer.next();
+            Node inner = parseExpr();
+            if (token == -5) {{ token = lexer.next(); }}
+            return inner;
+        }}
+        int v = token;
+        if (v < 0) {{ v = 0; }}
+        token = lexer.next();
+        return newNode(0, v);
+    }}
+
+    Node newNode(int kind, int value) {{
+        Node n = new Node();
+        n.kind = kind; n.value = value;
+        nodes = nodes + 1;
+        return n;
+    }}
+}}
+
+class Main {{
+    static void main(String[] args) {{
+        int checksum = 0;
+        int totalNodes = 0;
+        for (int iter = 0; iter < {iterations}; iter++) {{
+            int fd = Files.open("jack_input.txt", "r");
+            String line = Files.readLine(fd);
+            while (!line.equals("")) {{
+                Lexer lex = new Lexer(line);
+                Parser p = new Parser(lex);
+                Node tree = p.parseExpr();
+                checksum = (checksum + tree.weigh() + tree.depth() * 131)
+                    % 1000000007;
+                totalNodes = totalNodes + p.nodes;
+                line = Files.readLine(fd);
+            }}
+            Files.close(fd);
+        }}
+        System.println("jack nodes=" + totalNodes + " checksum=" + checksum);
+    }}
+}}
+"""
+
+
+def _source(params):
+    return _SOURCE.format(**params)
+
+
+def _setup(env, params):
+    # Generate arithmetic expressions with nested parentheses.
+    seed = 99
+    lines = []
+    for _ in range(params["lines"]):
+        seed = (seed * 48271) % 2147483647
+        n_terms = 3 + seed % params["terms"]
+        parts = []
+        for t in range(n_terms):
+            seed = (seed * 48271) % 2147483647
+            lit = seed % 1000
+            if t % 3 == 2:
+                parts.append(f"({lit} + {seed % 97})")
+            else:
+                parts.append(str(lit))
+        ops = []
+        for i, part in enumerate(parts):
+            if i:
+                seed = (seed * 48271) % 2147483647
+                ops.append("+" if seed % 2 else "*")
+            ops.append(part)
+        lines.append(" ".join(ops))
+    env.fs.put("jack_input.txt", "\n".join(lines) + "\n")
+
+
+WORKLOAD = Workload(
+    name="jack",
+    description="parser generator analogue: repeated tokenize/parse "
+                "passes (many distinct locked objects)",
+    params={
+        "test": {"lines": 12, "terms": 6, "iterations": 2},
+        "bench": {"lines": 60, "terms": 10, "iterations": 6},
+    },
+    source=_source,
+    setup=_setup,
+)

@@ -1,0 +1,178 @@
+"""``jess`` — SPEC JVM98 _202_jess analogue.
+
+An expert-system shell: facts are loaded from a rule file into a
+bucket-indexed, synchronized working memory; a forward-chaining engine
+repeatedly matches and fires rules, interleaving short monitor-guarded
+working-memory operations with unsynchronized rule evaluation —
+matching real jess's profile of *many short* lock acquisitions on a
+hot monitor.  Replication profile (Table 2): high non-deterministic
+native count (one per rule-file line), lock traffic second only to db,
+few distinct locked objects, single-threaded.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+_SOURCE = """
+class Fact {{
+    int kind;
+    int a;
+    int b;
+    Fact next;
+}}
+
+class WorkingMemory {{
+    Fact[] buckets;
+    int nbuckets;
+    int count;
+
+    WorkingMemory(int nbuckets) {{
+        this.nbuckets = nbuckets;
+        buckets = new Fact[nbuckets];
+    }}
+
+    int bucketOf(int kind, int a) {{
+        int h = (kind * 31 + a) % nbuckets;
+        if (h < 0) {{ h = h + nbuckets; }}
+        return h;
+    }}
+
+    synchronized boolean assertFact(int kind, int a, int b) {{
+        int idx = bucketOf(kind, a);
+        Fact f = buckets[idx];
+        while (f != null) {{
+            if (f.kind == kind && f.a == a && f.b == b) {{ return false; }}
+            f = f.next;
+        }}
+        Fact nf = new Fact();
+        nf.kind = kind; nf.a = a; nf.b = b; nf.next = buckets[idx];
+        buckets[idx] = nf;
+        count = count + 1;
+        return true;
+    }}
+
+    synchronized Fact find(int kind, int a) {{
+        Fact f = buckets[bucketOf(kind, a)];
+        while (f != null) {{
+            if (f.kind == kind && f.a == a) {{ return f; }}
+            f = f.next;
+        }}
+        return null;
+    }}
+
+    synchronized int size() {{ return count; }}
+
+    synchronized int score() {{
+        int s = 0;
+        for (int i = 0; i < nbuckets; i++) {{
+            Fact f = buckets[i];
+            while (f != null) {{
+                s = (s + f.kind * 31 + f.a * 7 + f.b) % 1000000007;
+                f = f.next;
+            }}
+        }}
+        return s;
+    }}
+}}
+
+class Engine {{
+    WorkingMemory wm;
+    int nodes;
+
+    Engine(WorkingMemory wm, int nodes) {{ this.wm = wm; this.nodes = nodes; }}
+
+    // Unsynchronized rule evaluation between working-memory probes:
+    // the salience computation real expert shells run per activation.
+    int salience(int a, int b) {{
+        int s = a * 131 + b;
+        for (int i = 0; i < 12; i++) {{
+            s = (s * 1103515245 + 12345) >>> 3;
+            s = s ^ (s >>> 7);
+        }}
+        return s & 1023;
+    }}
+
+    // Rule: edge(a,b) & edge(b,c) => path(a,c) with salience gating.
+    int chainOnce() {{
+        int fired = 0;
+        for (int a = 0; a < nodes; a++) {{
+            Fact e1 = wm.find(1, a);
+            if (e1 == null) {{ continue; }}
+            Fact e2 = wm.find(1, e1.b);
+            if (e2 == null) {{ continue; }}
+            int s = salience(a, e2.b);
+            if (s > 64) {{
+                if (wm.assertFact(2, a, e2.b)) {{ fired = fired + 1; }}
+            }}
+        }}
+        return fired;
+    }}
+}}
+
+class Main {{
+    static void main(String[] args) {{
+        WorkingMemory wm = new WorkingMemory(64);
+        int fd = Files.open("jess_rules.txt", "r");
+        String line = Files.readLine(fd);
+        int loaded = 0;
+        while (!line.equals("")) {{
+            int sep = line.indexOf(" ");
+            int a = Strings.substring(line, 0, sep).hashCode() % {nodes};
+            int b = Strings.substring(line, sep + 1, line.length()).hashCode() % {nodes};
+            if (a < 0) {{ a = -a; }}
+            if (b < 0) {{ b = -b; }}
+            if (wm.assertFact(1, a, b)) {{ loaded = loaded + 1; }}
+            line = Files.readLine(fd);
+        }}
+        Files.close(fd);
+
+        Engine engine = new Engine(wm, {nodes});
+        int fired = 0;
+        for (int pass = 0; pass < {passes}; pass++) {{
+            fired = fired + engine.chainOnce();
+            // Query phase: short probes against the working memory.
+            for (int probe = 0; probe < {probes}; probe++) {{
+                int key = engine.salience(probe, pass) % {nodes};
+                Fact f = wm.find(2, key);
+                if (f != null) {{ fired = fired + 1; }}
+                f = wm.find(1, key);
+                if (f != null) {{ fired = fired + 1; }}
+            }}
+        }}
+        System.println("jess loaded=" + loaded + " facts=" + wm.size()
+            + " fired=" + fired + " score=" + wm.score());
+    }}
+}}
+"""
+
+
+def _source(params):
+    return _SOURCE.format(**params)
+
+
+def _setup(env, params):
+    lines = []
+    seed = 7
+    for _ in range(params["lines"]):
+        seed = (seed * 48271) % 2147483647
+        a = seed % 37
+        seed = (seed * 48271) % 2147483647
+        b = seed % 41
+        lines.append(f"sym{a} sym{b}")
+    env.fs.put("jess_rules.txt", "\n".join(lines) + "\n")
+
+
+WORKLOAD = Workload(
+    name="jess",
+    description="forward-chaining expert system over a synchronized "
+                "working memory (native-read heavy, hot monitor)",
+    params={
+        "test": {"lines": 60, "passes": 3, "rounds": 2, "probes": 60,
+                 "nodes": 24},
+        "bench": {"lines": 700, "passes": 10, "rounds": 2, "probes": 700,
+                  "nodes": 40},
+    },
+    source=_source,
+    setup=_setup,
+)

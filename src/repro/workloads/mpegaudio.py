@@ -1,0 +1,119 @@
+"""``mpegaudio`` — SPEC JVM98 _222_mpegaudio analogue.
+
+An audio-decoder kernel: a polyphase synthesis filterbank (windowed
+dot products over a cosine matrix) applied to frames of subband
+samples, float-heavy with trig natives for table construction.
+Replication profile: almost no monitor traffic and almost no
+non-deterministic natives — in the paper it has the *lowest* overhead
+under replicated lock acquisition (5%).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+_SOURCE = """
+class FilterBank {{
+    float[] cosTable;     // 32x32 synthesis matrix
+    float[] window;       // 512-tap window
+    float[] history;
+
+    FilterBank() {{
+        cosTable = new float[1024];
+        for (int i = 0; i < 32; i++) {{
+            for (int k = 0; k < 32; k++) {{
+                cosTable[i * 32 + k] =
+                    Math.cos((2.0 * i + 1.0) * k * 3.141592653589793 / 64.0);
+            }}
+        }}
+        window = new float[512];
+        for (int i = 0; i < 512; i++) {{
+            window[i] = Math.sin(3.141592653589793 * i / 512.0) * 0.5;
+        }}
+        history = new float[512];
+    }}
+
+    // One synthesis step over 32 subband samples -> 32 pcm samples.
+    float synthesize(float[] subbands, float[] pcm) {{
+        // Shift history and matrix the new samples in.
+        for (int i = 511; i >= 32; i = i - 1) {{
+            history[i] = history[i - 32];
+        }}
+        for (int i = 0; i < 32; i++) {{
+            float acc = 0.0;
+            for (int k = 0; k < 32; k++) {{
+                acc = acc + cosTable[i * 32 + k] * subbands[k];
+            }}
+            history[i] = acc;
+        }}
+        float peak = 0.0;
+        for (int i = 0; i < 32; i++) {{
+            float acc = 0.0;
+            for (int t = 0; t < 16; t++) {{
+                acc = acc + history[i + t * 32] * window[i + t * 32];
+            }}
+            pcm[i] = acc;
+            float mag = Math.fabs(acc);
+            if (mag > peak) {{ peak = mag; }}
+        }}
+        return peak;
+    }}
+}}
+
+class Meter {{
+    float peak;
+    synchronized void report(float p) {{ if (p > peak) {{ peak = p; }} }}
+    synchronized float peakValue() {{ return peak; }}
+}}
+
+class Main {{
+    static void main(String[] args) {{
+        FilterBank bank = new FilterBank();
+        Meter meter = new Meter();
+        float[] subbands = new float[32];
+        float[] pcm = new float[32];
+        int fd = Files.open("mpeg_frames.txt", "r");
+        String header = Files.readLine(fd);
+        Files.close(fd);
+        int seed = header.length();
+
+        float energy = 0.0;
+        for (int frame = 0; frame < {frames}; frame++) {{
+            for (int k = 0; k < 32; k++) {{
+                seed = seed * 1103515245 + 12345;
+                subbands[k] = ((seed >>> 16) % 2000 - 1000) / 1000.0;
+            }}
+            float peak = bank.synthesize(subbands, pcm);
+            meter.report(peak);
+            for (int i = 0; i < 32; i++) {{
+                energy = energy + pcm[i] * pcm[i];
+            }}
+        }}
+        int scaled = (int) (energy * 1000.0);
+        int peakScaled = (int) (meter.peakValue() * 1000.0);
+        System.println("mpegaudio frames=" + {frames}
+            + " energyX1000=" + scaled + " peakX1000=" + peakScaled);
+    }}
+}}
+"""
+
+
+def _source(params):
+    return _SOURCE.format(**params)
+
+
+def _setup(env, params):
+    env.fs.put("mpeg_frames.txt", "MPEG-frames-v1\n")
+
+
+WORKLOAD = Workload(
+    name="mpegaudio",
+    description="polyphase synthesis filterbank, float-bound "
+                "(minimal locks and natives)",
+    params={
+        "test": {"frames": 4},
+        "bench": {"frames": 30},
+    },
+    source=_source,
+    setup=_setup,
+)

@@ -1,0 +1,185 @@
+"""``mtrt`` — SPEC JVM98 _227_mtrt analogue.
+
+A multi-threaded ray tracer: worker threads pull scanlines from a
+synchronized work queue and shade them against a small sphere scene,
+merging per-row checksums into a synchronized accumulator.
+Replication profile: the *only* multi-threaded benchmark — the only
+one that produces genuine reschedules and contended monitor
+acquisitions, and (per the paper's discussion) the case where
+replicated lock acquisition can beat replicated thread scheduling.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+_SOURCE = """
+class Scene {{
+    float[] cx; float[] cy; float[] cz; float[] radius; int[] shade;
+    int count;
+
+    Scene(int n) {{
+        cx = new float[n]; cy = new float[n]; cz = new float[n];
+        radius = new float[n]; shade = new int[n];
+        count = 0;
+    }}
+
+    void addSphere(float x, float y, float z, float r, int s) {{
+        cx[count] = x; cy[count] = y; cz[count] = z;
+        radius[count] = r; shade[count] = s;
+        count = count + 1;
+    }}
+
+    // Ray from origin through (dx, dy, 1); returns shade or 0.
+    int trace(float dx, float dy) {{
+        float dz = 1.0;
+        float norm = Math.sqrt(dx * dx + dy * dy + dz * dz);
+        dx = dx / norm; dy = dy / norm; dz = dz / norm;
+        float best = 1000000.0;
+        int hit = 0;
+        for (int i = 0; i < count; i++) {{
+            float ox = 0.0 - cx[i];
+            float oy = 0.0 - cy[i];
+            float oz = 0.0 - cz[i];
+            float b = ox * dx + oy * dy + oz * dz;
+            float c = ox * ox + oy * oy + oz * oz - radius[i] * radius[i];
+            float disc = b * b - c;
+            if (disc > 0.0) {{
+                float t = 0.0 - b - Math.sqrt(disc);
+                if (t > 0.001 && t < best) {{
+                    best = t;
+                    hit = shade[i] + (int) (t * 16.0) % 7;
+                }}
+            }}
+        }}
+        return hit;
+    }}
+}}
+
+class WorkQueue {{
+    int next;
+    int limit;
+
+    WorkQueue(int limit) {{ this.limit = limit; next = 0; }}
+
+    synchronized int take() {{
+        if (next >= limit) {{ return -1; }}
+        int row = next;
+        next = next + 1;
+        return row;
+    }}
+}}
+
+class Accumulator {{
+    int checksum;
+    int rows;
+    int samples;
+
+    synchronized void tally(int shade) {{
+        samples = samples + 1;
+        checksum = (checksum + shade * 7) % 1000000007;
+    }}
+
+    synchronized void merge(int row, int rowSum) {{
+        // Commutative fold keyed by row index: the checksum must not
+        // depend on which worker finished first (the workload is
+        // race-free, satisfying R4A).
+        checksum = (checksum + (row + 1) * 131 + rowSum * 17) % 1000000007;
+        rows = rows + 1;
+    }}
+
+    synchronized int value() {{ return checksum; }}
+    synchronized int rowCount() {{ return rows; }}
+}}
+
+class Tracer extends Thread {{
+    Scene scene;
+    WorkQueue queue;
+    Accumulator acc;
+    int width;
+    int height;
+
+    Tracer(Scene s, WorkQueue q, Accumulator a, int w, int h) {{
+        scene = s; queue = q; acc = a; width = w; height = h;
+    }}
+
+    void run() {{
+        int row = queue.take();
+        while (row >= 0) {{
+            int rowSum = 0;
+            for (int x = 0; x < width; x++) {{
+                float dx = (x * 2.0 - width) / width;
+                float dy = (row * 2.0 - height) / height;
+                int shade = scene.trace(dx, dy);
+                acc.tally(shade);
+                rowSum = rowSum + shade;
+            }}
+            acc.merge(row, rowSum);
+            row = queue.take();
+        }}
+    }}
+}}
+
+class Main {{
+    static void main(String[] args) {{
+        int fd = Files.open("mtrt_scene.txt", "r");
+        String line = Files.readLine(fd);
+        Scene scene = new Scene(32);
+        while (!line.equals("")) {{
+            // "x y z r shade" as small ints scaled by 10
+            int[] vals = new int[5];
+            int vi = 0; int cur = 0; int sign = 1; boolean has = false;
+            for (int i = 0; i < line.length(); i++) {{
+                int c = line.charAt(i);
+                if (c == '-') {{ sign = -1; }}
+                else if (c >= '0' && c <= '9') {{ cur = cur * 10 + (c - '0'); has = true; }}
+                else if (has) {{ vals[vi] = cur * sign; vi = vi + 1; cur = 0; sign = 1; has = false; }}
+            }}
+            if (has && vi < 5) {{ vals[vi] = cur * sign; vi = vi + 1; }}
+            if (vi == 5) {{
+                scene.addSphere(vals[0] / 10.0, vals[1] / 10.0,
+                    vals[2] / 10.0, vals[3] / 10.0, vals[4]);
+            }}
+            line = Files.readLine(fd);
+        }}
+        Files.close(fd);
+
+        WorkQueue queue = new WorkQueue({height});
+        Accumulator acc = new Accumulator();
+        Tracer[] workers = new Tracer[{threads}];
+        for (int i = 0; i < {threads}; i++) {{
+            workers[i] = new Tracer(scene, queue, acc, {width}, {height});
+        }}
+        for (int i = 0; i < {threads}; i++) {{ workers[i].start(); }}
+        for (int i = 0; i < {threads}; i++) {{ workers[i].join(); }}
+        System.println("mtrt rows=" + acc.rowCount()
+            + " checksum=" + acc.value());
+    }}
+}}
+"""
+
+
+def _source(params):
+    return _SOURCE.format(**params)
+
+
+def _setup(env, params):
+    spheres = [
+        "0 0 30 8 3", "10 5 40 6 5", "-12 -4 35 7 2", "4 -9 28 4 6",
+        "-6 8 45 9 1", "14 -2 50 5 4", "-15 10 55 6 7", "2 12 38 3 2",
+    ]
+    env.fs.put("mtrt_scene.txt", "\n".join(spheres) + "\n")
+
+
+WORKLOAD = Workload(
+    name="mtrt",
+    description="multi-threaded ray tracer over a synchronized work "
+                "queue (the only multi-threaded benchmark)",
+    params={
+        "test": {"width": 12, "height": 8, "threads": 2},
+        "bench": {"width": 40, "height": 28, "threads": 2},
+    },
+    source=_source,
+    setup=_setup,
+    multithreaded=True,
+)

@@ -1,0 +1,164 @@
+"""Textual assembler and disassembler, including round-trip properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bytecode.assembler import assemble, disassemble
+from repro.bytecode.opcodes import Op
+from repro.errors import BytecodeError
+
+
+def test_assemble_simple_loop():
+    code = assemble("""
+        iconst 0
+        store 0
+      top:
+        load 0
+        iconst 10
+        if_icmp ge done
+        iinc 0 1
+        goto top
+      done:
+        return
+    """, max_locals=1)
+    assert len(code) == 8
+    assert code.instructions[4].op is Op.IF_ICMP
+    assert code.instructions[4].operands == ("ge", 7)
+    assert code.instructions[6].operands == (2,)
+
+
+def test_comments_and_blank_lines_ignored():
+    code = assemble("""
+        ; a comment
+        nop   ; trailing comment
+
+        return
+    """)
+    assert [i.op for i in code.instructions] == [Op.NOP, Op.RETURN]
+
+
+def test_string_literal_escapes():
+    code = assemble(r'''
+        sconst "a\nb\t\"q\\"
+        pop
+        return
+    ''')
+    assert code.instructions[0].operands == ('a\nb\t"q\\',)
+
+
+def test_hex_and_negative_ints():
+    code = assemble("""
+        iconst 0x10
+        iconst -3
+        iadd
+        pop
+        return
+    """)
+    assert code.instructions[0].operands == (16,)
+    assert code.instructions[1].operands == (-3,)
+
+
+def test_unknown_opcode_reports_line():
+    with pytest.raises(BytecodeError, match="line 2"):
+        assemble("nop\nfrobnicate\n")
+
+
+def test_wrong_operand_count_reports_line():
+    with pytest.raises(BytecodeError, match="line 1"):
+        assemble("iconst\n")
+
+
+def test_unquoted_string_operand_rejected():
+    with pytest.raises(BytecodeError, match="quoted"):
+        assemble("sconst hello\nreturn\n")
+
+
+def test_method_ref_operand_passthrough():
+    code = assemble("""
+        sconst "x"
+        invokestatic System.println/1/0
+        return
+    """)
+    assert code.instructions[1].operands == ("System.println/1/0",)
+
+
+def test_disassemble_round_trip_with_exception_table():
+    original = assemble("""
+      try_start:
+        iconst 1
+        iconst 0
+        idiv
+        pop
+      try_end:
+        goto out
+      handler:
+        pop
+      out:
+        return
+    """)
+    # attach a region manually through re-assembly of builder output
+    from repro.bytecode.builder import CodeBuilder
+    b = CodeBuilder()
+    b.label("s")
+    b.emit(Op.ICONST, 1)
+    b.emit(Op.ICONST, 0)
+    b.emit(Op.IDIV)
+    b.emit(Op.POP)
+    b.label("e")
+    b.emit(Op.GOTO, "out")
+    b.label("h")
+    b.emit(Op.POP)
+    b.label("out")
+    b.emit(Op.RETURN)
+    b.exception_region("s", "e", "h", "ArithmeticException")
+    code = b.assemble()
+    text = disassemble(code)
+    assert "ArithmeticException" in text
+    reassembled = assemble(text)
+    assert [i.op for i in reassembled.instructions][:len(code.instructions)] \
+        == [i.op for i in code.instructions]
+    del original
+
+
+_SIMPLE_OPS = st.sampled_from([
+    "nop", "pop2const", "iadd", "isub", "imul",
+])
+
+
+@st.composite
+def _linear_programs(draw):
+    """Generate small straight-line programs that keep stack balance."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    lines = []
+    for _ in range(n):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            lines.append(f"iconst {draw(st.integers(-1000, 1000))}")
+            lines.append("pop")
+        elif kind == 1:
+            value = draw(st.floats(allow_nan=False, allow_infinity=False,
+                                   width=32))
+            lines.append(f"fconst {value!r}")
+            lines.append("pop")
+        elif kind == 2:
+            text = draw(st.text(
+                alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                max_size=8,
+            ))
+            escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(f'sconst "{escaped}"')
+            lines.append("pop")
+        else:
+            lines.append("nop")
+    lines.append("return")
+    return "\n".join(lines)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_linear_programs())
+def test_assemble_disassemble_round_trip(program):
+    code = assemble(program)
+    text = disassemble(code)
+    again = assemble(text)
+    assert [(i.op, i.operands) for i in again.instructions] == \
+        [(i.op, i.operands) for i in code.instructions]

@@ -1,0 +1,125 @@
+"""CodeBuilder: labels, locals, exception regions."""
+
+import pytest
+
+from repro.bytecode.builder import CodeBuilder
+from repro.bytecode.opcodes import Op
+from repro.errors import BytecodeError
+
+
+def test_label_resolution():
+    b = CodeBuilder()
+    b.emit(Op.GOTO, "end")
+    b.emit(Op.NOP)
+    b.label("end")
+    b.emit(Op.RETURN)
+    code = b.assemble()
+    assert code.instructions[0].operands == (2,)
+
+
+def test_backward_label():
+    b = CodeBuilder()
+    b.label("top")
+    b.emit(Op.NOP)
+    b.emit(Op.GOTO, "top")
+    code = b.assemble()
+    assert code.instructions[1].operands == (0,)
+
+
+def test_undefined_label():
+    b = CodeBuilder()
+    b.emit(Op.GOTO, "nowhere")
+    with pytest.raises(BytecodeError, match="undefined label"):
+        b.assemble()
+
+
+def test_duplicate_label():
+    b = CodeBuilder()
+    b.label("x")
+    with pytest.raises(BytecodeError, match="defined twice"):
+        b.label("x")
+
+
+def test_numeric_target_out_of_range():
+    b = CodeBuilder()
+    b.emit(Op.GOTO, 99)
+    with pytest.raises(BytecodeError, match="out of range"):
+        b.assemble()
+
+
+def test_reserve_local_sequence():
+    b = CodeBuilder()
+    assert b.reserve_local("a") == 0
+    assert b.reserve_local() == 1
+    assert b.reserve_local("b") == 2
+    assert b.local("a") == 0
+    assert b.local("b") == 2
+    assert b.max_locals == 3
+
+
+def test_duplicate_named_local():
+    b = CodeBuilder()
+    b.reserve_local("x")
+    with pytest.raises(BytecodeError):
+        b.reserve_local("x")
+
+
+def test_unknown_local():
+    with pytest.raises(BytecodeError):
+        CodeBuilder().local("ghost")
+
+
+def test_min_locals():
+    b = CodeBuilder()
+    b.emit(Op.RETURN)
+    assert b.assemble(min_locals=5).max_locals == 5
+
+
+def test_exception_region_resolution():
+    b = CodeBuilder()
+    b.label("start")
+    b.emit(Op.NOP)
+    b.label("end")
+    b.emit(Op.RETURN)
+    b.label("handler")
+    b.emit(Op.POP)
+    b.emit(Op.RETURN)
+    b.exception_region("start", "end", "handler", "IOException")
+    code = b.assemble()
+    row = code.exception_table[0]
+    assert (row.start_pc, row.end_pc, row.handler_pc) == (0, 1, 2)
+    assert row.class_name == "IOException"
+
+
+def test_exception_region_undefined_label():
+    b = CodeBuilder()
+    b.emit(Op.RETURN)
+    b.exception_region("a", "b", "c")
+    with pytest.raises(BytecodeError, match="undefined label"):
+        b.assemble()
+
+
+def test_inverted_exception_region():
+    b = CodeBuilder()
+    b.label("end")
+    b.emit(Op.NOP)
+    b.label("start")
+    b.emit(Op.RETURN)
+    b.label("h")
+    b.emit(Op.RETURN)
+    b.exception_region("start", "end", "h")
+    with pytest.raises(BytecodeError, match="inverted"):
+        b.assemble()
+
+
+def test_fresh_labels_are_unique():
+    b = CodeBuilder()
+    names = {b.fresh_label("L") for _ in range(10)}
+    assert len(names) == 10
+
+
+def test_pc_property_tracks_emission():
+    b = CodeBuilder()
+    assert b.pc == 0
+    b.emit(Op.NOP)
+    assert b.pc == 1

@@ -1,0 +1,92 @@
+"""Instruction construction and structural validation."""
+
+import pytest
+
+from repro.bytecode.instructions import Code, ExceptionEntry, ins
+from repro.bytecode.opcodes import Op
+from repro.errors import BytecodeError
+
+
+def test_valid_instruction():
+    i = ins(Op.ICONST, 42)
+    assert i.op is Op.ICONST
+    assert i.operands == (42,)
+
+
+def test_operand_count_mismatch():
+    with pytest.raises(BytecodeError, match="expects 1 operand"):
+        ins(Op.ICONST)
+    with pytest.raises(BytecodeError, match="expects 0 operand"):
+        ins(Op.POP, 1)
+
+
+def test_iconst_rejects_non_int():
+    with pytest.raises(BytecodeError):
+        ins(Op.ICONST, 1.5)
+    with pytest.raises(BytecodeError):
+        ins(Op.ICONST, True)  # bools are not Java ints
+
+
+def test_fconst_requires_float():
+    with pytest.raises(BytecodeError):
+        ins(Op.FCONST, 1)
+    assert ins(Op.FCONST, 1.0).operands == (1.0,)
+
+
+def test_sconst_requires_str():
+    with pytest.raises(BytecodeError):
+        ins(Op.SCONST, 7)
+
+
+def test_load_rejects_negative_slot():
+    with pytest.raises(BytecodeError):
+        ins(Op.LOAD, -1)
+
+
+def test_label_accepts_symbol_or_pc():
+    assert ins(Op.GOTO, "loop").operands == ("loop",)
+    assert ins(Op.GOTO, 3).operands == (3,)
+    with pytest.raises(BytecodeError):
+        ins(Op.GOTO, 1.5)
+
+
+def test_cmp_operand_validation():
+    assert ins(Op.IF_ICMP, "lt", 0).operands == ("lt", 0)
+    with pytest.raises(BytecodeError):
+        ins(Op.IF_ICMP, "spaceship", 0)
+
+
+def test_array_type_operand_validation():
+    assert ins(Op.NEWARRAY, "int")
+    with pytest.raises(BytecodeError):
+        ins(Op.NEWARRAY, "long")
+
+
+def test_name_operands_must_be_nonempty():
+    with pytest.raises(BytecodeError):
+        ins(Op.NEW, "")
+    with pytest.raises(BytecodeError):
+        ins(Op.GETFIELD, 12)
+
+
+def test_iinc_shape():
+    assert ins(Op.IINC, 2, -1).operands == (2, -1)
+    with pytest.raises(BytecodeError):
+        ins(Op.IINC, 2)
+
+
+def test_repr_is_compact():
+    assert repr(ins(Op.ICONST, 5)) == "<iconst 5>"
+    assert repr(ins(Op.POP)) == "<pop>"
+
+
+def test_code_len():
+    code = Code([ins(Op.NOP), ins(Op.RETURN)], max_locals=0)
+    assert len(code) == 2
+    assert code.exception_table == []
+
+
+def test_exception_entry_fields():
+    row = ExceptionEntry(0, 5, 7, "IOException")
+    assert (row.start_pc, row.end_pc, row.handler_pc) == (0, 5, 7)
+    assert ExceptionEntry(0, 1, 2).class_name == "*"

@@ -1,0 +1,53 @@
+"""Method-reference operand encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bytecode.methodref import MethodRef, method_ref, parse_method_ref
+from repro.errors import BytecodeError
+
+
+def test_encode_decode():
+    ref = parse_method_ref(method_ref("Foo", "bar", 3, True))
+    assert ref == MethodRef("Foo", "bar", 3, True)
+
+
+def test_void_return_flag():
+    assert parse_method_ref("A.b/0/0").returns is False
+    assert parse_method_ref("A.b/0/1").returns is True
+
+
+def test_ctor_ref():
+    ref = parse_method_ref("Thing.<init>/2/0")
+    assert ref.method_name == "<init>"
+    assert ref.nargs == 2
+
+
+@pytest.mark.parametrize("bad", [
+    "",  "Foo", "Foo.bar", "Foo.bar/x/0", "Foo.bar/1/2", "Foo.bar/-1/0",
+    ".bar/1/0", "Foo./1/0",
+])
+def test_malformed_refs(bad):
+    with pytest.raises(BytecodeError):
+        parse_method_ref(bad)
+
+
+def test_method_name_may_contain_dots_only_in_class_part():
+    # The first '.' splits class from method; methods keep the rest.
+    ref = parse_method_ref("A.b.c/1/0")
+    assert ref.class_name == "A"
+    assert ref.method_name == "b.c"
+
+
+@given(
+    st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu")),
+            min_size=1, max_size=8),
+    st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu")),
+            min_size=1, max_size=8),
+    st.integers(0, 20),
+    st.booleans(),
+)
+def test_round_trip_property(cls, name, nargs, returns):
+    encoded = method_ref(cls, name, nargs, returns)
+    decoded = parse_method_ref(encoded)
+    assert decoded == MethodRef(cls, name, nargs, returns)

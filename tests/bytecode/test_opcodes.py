@@ -1,0 +1,87 @@
+"""Opcode metadata invariants."""
+
+import pytest
+
+from repro.bytecode.opcodes import (
+    ARRAY_TYPES,
+    CMP_OPS,
+    MNEMONIC_TO_OP,
+    OP_INFO,
+    Op,
+    OperandKind,
+    compare,
+)
+
+
+def test_every_opcode_has_info():
+    assert set(OP_INFO) == set(Op)
+
+
+def test_mnemonics_are_unique_and_complete():
+    assert len(MNEMONIC_TO_OP) == len(Op)
+    for op in Op:
+        assert MNEMONIC_TO_OP[op.value] is op
+
+
+def test_ends_block_implies_control_flow():
+    for op, info in OP_INFO.items():
+        if info.ends_block:
+            assert info.is_control_flow, op
+
+
+def test_branches_are_control_flow():
+    for op, info in OP_INFO.items():
+        if info.is_branch:
+            assert info.is_control_flow, op
+
+
+def test_conditional_branches_do_not_end_block():
+    for op, info in OP_INFO.items():
+        if info.is_branch and op is not Op.GOTO:
+            assert not info.ends_block, op
+
+
+def test_invokes_have_variable_stack_effect():
+    for op in (Op.INVOKEVIRTUAL, Op.INVOKESPECIAL, Op.INVOKESTATIC):
+        assert OP_INFO[op].pops == -1
+        assert OP_INFO[op].is_control_flow
+
+
+def test_fixed_stack_effects_are_sane():
+    for op, info in OP_INFO.items():
+        if info.pops >= 0:
+            assert 0 <= info.pops <= 3, op
+            assert 0 <= info.pushes <= 3, op
+
+
+def test_label_operands_only_on_branches():
+    for op, info in OP_INFO.items():
+        has_label = OperandKind.LABEL in info.operand_kinds
+        assert has_label == info.is_branch, op
+
+
+@pytest.mark.parametrize("op,a,b,expected", [
+    ("eq", 3, 3, True), ("eq", 3, 4, False),
+    ("ne", 3, 4, True), ("ne", 3, 3, False),
+    ("lt", 1, 2, True), ("lt", 2, 2, False),
+    ("le", 2, 2, True), ("le", 3, 2, False),
+    ("gt", 3, 2, True), ("gt", 2, 2, False),
+    ("ge", 2, 2, True), ("ge", 1, 2, False),
+])
+def test_compare(op, a, b, expected):
+    assert compare(op, a, b) is expected
+
+
+def test_compare_strings():
+    assert compare("lt", "abc", "abd")
+    assert compare("eq", "x", "x")
+
+
+def test_compare_rejects_unknown_operator():
+    with pytest.raises(ValueError):
+        compare("spaceship", 1, 2)
+
+
+def test_cmp_ops_and_array_types_frozen():
+    assert CMP_OPS == ("eq", "ne", "lt", "le", "gt", "ge")
+    assert ARRAY_TYPES == ("int", "float", "str", "ref")

@@ -1,0 +1,136 @@
+"""Static bytecode verification."""
+
+import pytest
+
+from repro.bytecode.assembler import assemble
+from repro.bytecode.builder import CodeBuilder
+from repro.bytecode.opcodes import Op
+from repro.bytecode.verifier import stack_effect, verify
+from repro.bytecode.instructions import ins
+from repro.errors import VerifyError
+
+
+def _code(text, max_locals=0):
+    return assemble(text, max_locals=max_locals)
+
+
+def test_max_stack_simple():
+    code = _code("""
+        iconst 1
+        iconst 2
+        iadd
+        pop
+        return
+    """)
+    assert verify(code) == 2
+
+
+def test_empty_method_rejected():
+    from repro.bytecode.instructions import Code
+    with pytest.raises(VerifyError, match="empty"):
+        verify(Code([], max_locals=0))
+
+
+def test_underflow_detected():
+    code = _code("iadd\nreturn\n")
+    with pytest.raises(VerifyError, match="pops 2"):
+        verify(code)
+
+
+def test_fall_off_end_detected():
+    code = _code("nop\n")
+    with pytest.raises(VerifyError, match="falls off"):
+        verify(code)
+
+
+def test_inconsistent_merge_depth():
+    # One path leaves an extra value on the stack at the join point.
+    b = CodeBuilder()
+    b.emit(Op.ICONST, 1)
+    b.emit(Op.IF, "ne", "push_two")
+    b.emit(Op.ICONST, 7)
+    b.emit(Op.GOTO, "join")
+    b.label("push_two")
+    b.emit(Op.ICONST, 1)
+    b.emit(Op.ICONST, 2)
+    b.label("join")
+    b.emit(Op.POP)
+    b.emit(Op.RETURN)
+    with pytest.raises(VerifyError, match="inconsistent stack depth"):
+        verify(b.assemble())
+
+
+def test_local_slot_out_of_range():
+    code = _code("load 3\npop\nreturn\n", max_locals=2)
+    with pytest.raises(VerifyError, match="max_locals"):
+        verify(code)
+
+
+def test_params_counted_in_locals():
+    code = _code("load 1\npop\nreturn\n", max_locals=2)
+    assert verify(code, is_static=True, nargs=2) == 1
+    with pytest.raises(VerifyError, match="parameter slots"):
+        verify(code, is_static=False, nargs=2)  # needs 3 slots
+
+
+def test_handler_entered_with_one_value():
+    b = CodeBuilder()
+    b.label("s")
+    b.emit(Op.ICONST, 1)
+    b.emit(Op.POP)
+    b.label("e")
+    b.emit(Op.GOTO, "out")
+    b.label("h")
+    b.emit(Op.POP)          # the exception object
+    b.label("out")
+    b.emit(Op.RETURN)
+    b.exception_region("s", "e", "h")
+    assert verify(b.assemble()) >= 1
+
+
+def test_invoke_stack_effect_resolution():
+    static = ins(Op.INVOKESTATIC, "Math.imax/2/1")
+    assert stack_effect(static) == (2, 1)
+    virtual = ins(Op.INVOKEVIRTUAL, "Thing.poke/1/0")
+    assert stack_effect(virtual) == (2, 0)  # receiver + 1 arg
+
+
+def test_invoke_underflow():
+    code = _code("""
+        iconst 1
+        invokestatic Math.imax/2/1
+        pop
+        return
+    """)
+    with pytest.raises(VerifyError, match="pops 2"):
+        verify(code)
+
+
+def test_vreturn_requires_value():
+    code = _code("vreturn\n")
+    with pytest.raises(VerifyError):
+        verify(code)
+
+
+def test_unreachable_code_is_ignored():
+    code = _code("""
+        return
+        iadd
+    """)
+    assert verify(code) == 0
+
+
+def test_branch_target_merges_consistent_loop():
+    code = _code("""
+        iconst 0
+        store 0
+      top:
+        load 0
+        iconst 100
+        if_icmp ge done
+        iinc 0 1
+        goto top
+      done:
+        return
+    """, max_locals=1)
+    assert verify(code) == 2

@@ -1,0 +1,124 @@
+"""Class registry: linking, resolution, hierarchy queries."""
+
+import pytest
+
+from repro.bytecode.assembler import assemble
+from repro.classfile.loader import ClassRegistry
+from repro.classfile.model import JClass, JField, JMethod
+from repro.errors import ClassFormatError, LinkageError
+
+
+def _ret():
+    return assemble("return\n", max_locals=4)
+
+
+def _registry():
+    reg = ClassRegistry()
+    animal = JClass("Animal", "Object")
+    animal.add_field(JField("legs", "int"))
+    animal.add_field(JField("kingdom", "str", is_static=True))
+    animal.add_method(JMethod("speak", 0, False, _ret()))
+    dog = JClass("Dog", "Animal")
+    dog.add_field(JField("name", "str"))
+    dog.add_method(JMethod("speak", 0, False, _ret()))
+    dog.add_method(JMethod("fetch", 1, False, _ret()))
+    reg.register(animal)
+    reg.register(dog)
+    return reg
+
+
+def test_object_exists_by_default():
+    reg = ClassRegistry()
+    assert reg.resolve("Object").name == "Object"
+    assert reg.lookup_method("Object", "<init>", 0) is not None
+
+
+def test_resolve_unknown_class():
+    with pytest.raises(LinkageError, match="unknown class"):
+        ClassRegistry().resolve("Ghost")
+
+
+def test_register_twice_rejected():
+    reg = ClassRegistry()
+    reg.register(JClass("A"))
+    with pytest.raises(ClassFormatError):
+        reg.register(JClass("A"))
+
+
+def test_unknown_superclass_detected_at_link():
+    reg = ClassRegistry()
+    reg.register(JClass("Orphan", "Missing"))
+    with pytest.raises(LinkageError, match="unknown class 'Missing'"):
+        reg.resolve("Orphan")
+
+
+def test_inheritance_cycle_detected():
+    reg = ClassRegistry()
+    reg.register(JClass("A", "B"))
+    reg.register(JClass("B", "A"))
+    with pytest.raises(LinkageError, match="cycle"):
+        reg.resolve("A")
+
+
+def test_virtual_lookup_prefers_override():
+    reg = _registry()
+    assert reg.lookup_method("Dog", "speak", 0).declaring_class.name == "Dog"
+    assert reg.lookup_method("Animal", "speak", 0).declaring_class.name \
+        == "Animal"
+
+
+def test_lookup_walks_to_superclass():
+    reg = _registry()
+    assert reg.lookup_method("Dog", "<init>", 0).declaring_class.name \
+        == "Object"
+
+
+def test_lookup_respects_arity():
+    reg = _registry()
+    assert reg.lookup_method("Dog", "fetch", 1).nargs == 1
+    with pytest.raises(LinkageError):
+        reg.lookup_method("Dog", "fetch", 2)
+
+
+def test_lookup_method_cache_consistency():
+    reg = _registry()
+    first = reg.lookup_method("Dog", "speak", 0)
+    assert reg.lookup_method("Dog", "speak", 0) is first
+
+
+def test_field_lookup_inherited():
+    reg = _registry()
+    assert reg.lookup_field("Dog", "legs").name == "legs"
+    with pytest.raises(LinkageError):
+        reg.lookup_field("Dog", "tail")
+
+
+def test_instance_fields_root_first_order():
+    reg = _registry()
+    names = [f.name for f in reg.instance_fields("Dog")]
+    assert names == ["legs", "name"]  # statics excluded
+
+
+def test_is_subtype():
+    reg = _registry()
+    assert reg.is_subtype("Dog", "Animal")
+    assert reg.is_subtype("Dog", "Object")
+    assert reg.is_subtype("Dog", "Dog")
+    assert not reg.is_subtype("Animal", "Dog")
+    with pytest.raises(LinkageError):
+        reg.is_subtype("Ghost", "Object")
+
+
+def test_class_names_sorted():
+    reg = _registry()
+    assert reg.class_names() == sorted(reg.class_names())
+    assert "Object" in reg.class_names()
+
+
+def test_registering_invalidates_cache():
+    reg = _registry()
+    reg.lookup_method("Dog", "speak", 0)
+    cat = JClass("Cat", "Animal")
+    reg.register(cat)
+    assert reg.lookup_method("Cat", "speak", 0).declaring_class.name \
+        == "Animal"

@@ -1,0 +1,90 @@
+"""Class/method/field model invariants."""
+
+import pytest
+
+from repro.bytecode.assembler import assemble
+from repro.classfile.model import (
+    JClass, JField, JMethod, default_value, OBJECT_CLASS,
+)
+from repro.errors import ClassFormatError, VerifyError
+
+
+def _ret():
+    return assemble("return\n", max_locals=4)
+
+
+def test_default_values():
+    assert default_value("int") == 0
+    assert default_value("float") == 0.0
+    assert default_value("str") == ""
+    assert default_value("ref") is None
+    with pytest.raises(ClassFormatError):
+        default_value("long")
+
+
+def test_field_type_validation():
+    assert JField("x", "int").type == "int"
+    with pytest.raises(ClassFormatError):
+        JField("x", "double")
+
+
+def test_method_native_xor_code():
+    with pytest.raises(ClassFormatError, match="no body"):
+        JMethod("m", 0, False)
+    with pytest.raises(ClassFormatError, match="must not carry code"):
+        JMethod("m", 0, False, _ret(), is_native=True)
+    assert JMethod("m", 0, False, is_native=True).code is None
+
+
+def test_method_negative_arity():
+    with pytest.raises(ClassFormatError):
+        JMethod("m", -1, False, _ret())
+
+
+def test_method_verifies_body_at_construction():
+    bad = assemble("iadd\nreturn\n")
+    with pytest.raises(VerifyError, match="'m'"):
+        JMethod("m", 0, False, bad)
+
+
+def test_method_signature_uses_declaring_class():
+    cls = JClass("Widget", "Object")
+    m = JMethod("poke", 2, False, _ret(), is_static=True)
+    cls.add_method(m)
+    assert m.qualified_name == "Widget.poke"
+    assert m.signature == "Widget.poke/2"
+
+
+def test_duplicate_method_same_arity_rejected():
+    cls = JClass("A", "Object")
+    cls.add_method(JMethod("m", 1, False, _ret(), is_static=True))
+    with pytest.raises(ClassFormatError, match="duplicate"):
+        cls.add_method(JMethod(
+            "m", 1, True, assemble("iconst 0\nvreturn\n", max_locals=1),
+            is_static=True,
+        ))
+
+
+def test_overload_by_arity_allowed():
+    cls = JClass("A", "Object")
+    cls.add_method(JMethod("m", 0, False, _ret(), is_static=True))
+    cls.add_method(JMethod("m", 1, False, _ret(), is_static=True))
+    assert ("m", 0) in cls.methods and ("m", 1) in cls.methods
+
+
+def test_duplicate_field_rejected():
+    cls = JClass("A", "Object")
+    cls.add_field(JField("x", "int"))
+    with pytest.raises(ClassFormatError):
+        cls.add_field(JField("x", "float"))
+
+
+def test_root_class_has_no_super():
+    assert JClass(OBJECT_CLASS).super_name is None
+    assert JClass("Child").super_name == OBJECT_CLASS
+    assert JClass("Child", "").super_name == OBJECT_CLASS
+
+
+def test_class_requires_name():
+    with pytest.raises(ClassFormatError):
+        JClass("")

@@ -1,0 +1,67 @@
+"""Logging channel: buffering, flush policy, crash semantics."""
+
+from repro.env.channel import Channel
+
+
+def test_records_buffer_until_batch_full():
+    ch = Channel(batch_records=3)
+    ch.send_record(b"a")
+    ch.send_record(b"b")
+    assert ch.delivered == []
+    assert ch.pending_records == 2
+    ch.send_record(b"c")       # batch full -> auto flush
+    assert ch.delivered == [b"a", b"b", b"c"]
+    assert ch.pending_records == 0
+    assert ch.messages_sent == 1
+    assert ch.records_sent == 3
+    assert ch.bytes_sent == 3
+
+
+def test_explicit_flush():
+    ch = Channel(batch_records=100)
+    ch.send_record(b"xy")
+    ch.flush()
+    assert ch.delivered == [b"xy"]
+    assert ch.messages_sent == 1
+    ch.flush()  # empty flush is a no-op
+    assert ch.messages_sent == 1
+
+
+def test_flush_and_wait_ack_counts_acks():
+    ch = Channel()
+    ch.send_record(b"r")
+    ch.flush_and_wait_ack()
+    assert ch.acks_received == 1
+    assert ch.delivered == [b"r"]
+
+
+def test_crash_loses_buffered_records():
+    ch = Channel(batch_records=100)
+    ch.send_record(b"delivered")
+    ch.flush()
+    ch.send_record(b"lost1")
+    ch.send_record(b"lost2")
+    ch.crash_primary()
+    assert ch.backup_log() == [b"delivered"]
+    # Post-crash sends are ignored (the sender is dead).
+    ch.send_record(b"zombie")
+    ch.flush()
+    assert ch.backup_log() == [b"delivered"]
+
+
+def test_flush_observer_invoked():
+    seen = []
+    ch = Channel(batch_records=2)
+    ch.on_flush = lambda n, nbytes: seen.append((n, nbytes))
+    ch.send_record(b"aa")
+    ch.send_record(b"bbb")
+    assert seen == [(2, 5)]
+
+
+def test_ack_observer_invoked():
+    hits = []
+    ch = Channel()
+    ch.on_ack_wait = lambda: hits.append(1)
+    ch.send_record(b"x")
+    ch.flush_and_wait_ack()
+    assert hits == [1]

@@ -1,0 +1,106 @@
+"""Simulated file system: modes, offsets, stable contents."""
+
+import pytest
+
+from repro.env.filesystem import FileSystem, JavaIOError
+
+
+def test_write_and_read_back():
+    fs = FileSystem()
+    h = fs.open("a.txt", "w")
+    h.write("hello\nworld\n")
+    r = fs.open("a.txt", "r")
+    assert r.read_line() == "hello"
+    assert r.read_line() == "world"
+    assert r.read_line() == ""
+
+
+def test_open_read_missing_file():
+    with pytest.raises(JavaIOError, match="no such file"):
+        FileSystem().open("ghost", "r")
+
+
+def test_open_w_truncates():
+    fs = FileSystem()
+    fs.put("a", "old contents")
+    fs.open("a", "w")
+    assert fs.contents("a") == ""
+
+
+def test_open_append_positions_at_end():
+    fs = FileSystem()
+    fs.put("a", "one\n")
+    h = fs.open("a", "a")
+    h.write("two\n")
+    assert fs.contents("a") == "one\ntwo\n"
+
+
+def test_rplus_preserves_contents():
+    fs = FileSystem()
+    fs.put("a", "abcdef")
+    h = fs.open("a", "r+")
+    h.seek(2)
+    h.write("XY")
+    assert fs.contents("a") == "abXYef"
+
+
+def test_write_past_end_zero_fills():
+    fs = FileSystem()
+    h = fs.open("a", "w")
+    h.seek(3)
+    h.write("x")
+    assert fs.contents("a") == "\0\0\0x"
+
+
+def test_read_only_handle_rejects_write():
+    fs = FileSystem()
+    fs.put("a", "data")
+    h = fs.open("a", "r")
+    with pytest.raises(JavaIOError, match="not writable"):
+        h.write("nope")
+
+
+def test_read_char_sequence_and_eof():
+    fs = FileSystem()
+    fs.put("a", "hi")
+    h = fs.open("a", "r")
+    assert h.read_char() == ord("h")
+    assert h.read_char() == ord("i")
+    assert h.read_char() == -1
+    assert h.read_char() == -1
+
+
+def test_seek_and_tell():
+    fs = FileSystem()
+    fs.put("a", "0123456789")
+    h = fs.open("a", "r")
+    h.seek(5)
+    assert h.tell() == 5
+    assert h.read_char() == ord("5")
+    with pytest.raises(JavaIOError):
+        h.seek(-1)
+
+
+def test_bad_open_mode():
+    with pytest.raises(JavaIOError, match="bad open mode"):
+        FileSystem().open("a", "rw")
+
+
+def test_size_exists_delete():
+    fs = FileSystem()
+    fs.put("a", "xyz")
+    assert fs.exists("a")
+    assert fs.size("a") == 3
+    fs.delete("a")
+    assert not fs.exists("a")
+    with pytest.raises(JavaIOError):
+        fs.size("a")
+    with pytest.raises(JavaIOError):
+        fs.delete("a")
+
+
+def test_paths_sorted():
+    fs = FileSystem()
+    fs.put("b", "")
+    fs.put("a", "")
+    assert fs.paths() == ["a", "b"]

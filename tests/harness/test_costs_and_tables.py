@@ -1,0 +1,88 @@
+"""Cost model arithmetic and table rendering."""
+
+import pytest
+
+from repro.harness.costs import DEFAULT_COST_MODEL, CostModel
+from repro.harness.tables import averages, render_table
+from repro.replication.metrics import ReplicationMetrics
+
+
+def _metrics(**kw):
+    m = ReplicationMetrics()
+    for key, value in kw.items():
+        setattr(m, key, value)
+    return m
+
+
+def test_base_time_weights_heavy_ops_and_natives():
+    model = CostModel()
+    plain = model.base_time(_metrics(instructions=1000))
+    heavy = model.base_time(_metrics(instructions=1000, heavy_ops=500))
+    nativ = model.base_time(_metrics(instructions=1000, native_calls=10))
+    assert plain == 1000
+    assert heavy == 1000 + 500 * model.heavy_extra
+    assert nativ == 1000 + 10 * model.native_call
+
+
+def test_lock_sync_breakdown_components():
+    model = CostModel()
+    m = _metrics(
+        instructions=1000, lock_records=10, id_maps=2,
+        messages_sent=3, bytes_sent=100, ack_waits=1,
+        natives_intercepted=4, native_result_records=4, se_records=1,
+    )
+    b = model.primary_breakdown(m, "lock_sync")
+    assert b["base"] == 1000
+    assert b["communication"] == 3 * model.msg_fixed + 100 * model.per_byte
+    assert b["pessimistic"] == model.ack_rtt
+    assert b["lock_acquire"] == 12 * model.lock_record
+    assert "rescheduling" not in b
+    assert b["misc"] > 0
+
+
+def test_thread_sched_breakdown_has_tracking_cost():
+    model = CostModel()
+    m = _metrics(instructions=1000, cf_changes=200, schedule_records=5)
+    b = model.primary_breakdown(m, "thread_sched")
+    assert b["rescheduling"] == 5 * model.sched_record
+    expected_tracking = (1000 * model.per_instr_tracking
+                         + 200 * model.per_cf_tracking)
+    assert b["misc"] == pytest.approx(expected_tracking)
+    assert "lock_acquire" not in b
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError):
+        CostModel().primary_breakdown(_metrics(), "quantum")
+
+
+def test_backup_time_charges_replay():
+    model = CostModel()
+    m = _metrics(instructions=1000, records_replayed=10)
+    assert model.backup_time(m) == 1000 + 10 * model.replay_record
+
+
+def test_primary_time_is_breakdown_sum():
+    model = DEFAULT_COST_MODEL
+    m = _metrics(instructions=500, lock_records=5, messages_sent=1,
+                 bytes_sent=50)
+    assert model.primary_time(m, "lock_sync") == pytest.approx(
+        sum(model.primary_breakdown(m, "lock_sync").values())
+    )
+
+
+def test_render_table_alignment():
+    text = render_table("Title", ["Name", "A", "B"],
+                        [["row1", 1, 2.5], ["longer-row", 30, 4]])
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert lines[2].startswith("-")        # separator under the header
+    assert "row1" in lines[3]
+    assert "2.50" in lines[3]
+    assert "longer-row" in lines[4]
+
+
+def test_averages():
+    data = {w: {"total": i + 1.0} for i, w in enumerate(
+        ("jess", "jack", "compress", "db", "mpegaudio", "mtrt"))}
+    assert averages(data, "total") == pytest.approx(3.5)

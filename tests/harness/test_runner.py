@@ -1,0 +1,73 @@
+"""Experiment runner: five configurations, cross-checks, caching."""
+
+import pytest
+
+from repro.harness import runner as runner_mod
+from repro.harness.runner import get_run, run_workload
+from repro.harness.tables import (
+    fig2_data,
+    fig3_data,
+    fig4_data,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_table2,
+    table2_data,
+)
+from repro.workloads import BY_NAME
+
+
+@pytest.fixture(scope="module")
+def db_run():
+    runner_mod.clear_cache()
+    return get_run("db", "test")
+
+
+def test_run_workload_produces_all_five_configs(db_run):
+    assert db_run.baseline.instructions > 0
+    assert db_run.lock_sync.primary.lock_records > 0
+    assert db_run.lock_sync.backup.records_replayed > 0
+    assert db_run.thread_sched.primary.instructions > 0
+    assert db_run.thread_sched.backup.records_replayed > 0
+
+
+def test_backup_digests_match(db_run):
+    assert db_run.lock_sync.backup_digest_matches
+    assert db_run.thread_sched.backup_digest_matches
+
+
+def test_replicated_output_matches_baseline(db_run):
+    assert db_run.lock_sync.primary_console == db_run.baseline_console
+    assert db_run.thread_sched.primary_console == db_run.baseline_console
+
+
+def test_cache_returns_same_object(db_run):
+    assert get_run("db", "test") is db_run
+    runner_mod.clear_cache()
+    assert get_run("db", "test") is not db_run
+
+
+def test_tables_render_with_partial_runs():
+    runner_mod.clear_cache()
+    runs = {name: get_run(name, "test") for name in BY_NAME}
+    t2 = render_table2(runs)
+    assert "Locks Acquired" in t2 and "mpegaudio" in t2
+    for renderer in (render_fig2, render_fig3, render_fig4):
+        text = renderer(runs)
+        assert "jess" in text
+
+    data2 = table2_data(runs)
+    assert data2["db"]["locks_acquired"] > data2["compress"]["locks_acquired"]
+
+    f2 = fig2_data(runs)
+    for name, bars in f2.items():
+        for bar, value in bars.items():
+            assert value >= 0.99, (name, bar)  # at least baseline cost
+
+    f3 = fig3_data(runs)
+    f4 = fig4_data(runs)
+    for name in BY_NAME:
+        assert f3[name]["total"] == pytest.approx(
+            sum(v for k, v in f3[name].items() if k != "total"), rel=1e-6
+        )
+        assert f4[name]["rescheduling"] >= 0

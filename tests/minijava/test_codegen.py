@@ -1,0 +1,347 @@
+"""Code generation, validated by executing compiled programs."""
+
+from tests.util import run_expect, run_minijava
+
+
+def test_while_break_continue():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                int sum = 0;
+                int i = 0;
+                while (true) {
+                    i = i + 1;
+                    if (i > 10) { break; }
+                    if (i % 2 == 0) { continue; }
+                    sum = sum + i;
+                }
+                System.println(sum);
+            }
+        }
+    """, "25")
+
+
+def test_for_loop_with_continue():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                int sum = 0;
+                for (int i = 0; i < 10; i++) {
+                    if (i == 5) { continue; }
+                    sum += i;
+                }
+                System.println(sum);
+            }
+        }
+    """, "40")
+
+
+def test_nested_loops_break_inner_only():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                int count = 0;
+                for (int i = 0; i < 3; i++) {
+                    for (int j = 0; j < 10; j++) {
+                        if (j == 2) { break; }
+                        count++;
+                    }
+                }
+                System.println(count);
+            }
+        }
+    """, "6")
+
+
+def test_short_circuit_evaluation():
+    run_expect("""
+        class Main {
+            static int calls;
+            static boolean noisy(boolean v) { calls++; return v; }
+            static void main(String[] args) {
+                boolean a = noisy(false) && noisy(true);
+                System.println(calls);
+                boolean b = noisy(true) || noisy(false);
+                System.println(calls);
+                System.println(a + "," + b);
+            }
+        }
+    """, "1", "2", "false,true")
+
+
+def test_ternary_with_coercion():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                float f = true ? 1 : 2.5;
+                int i = false ? 10 : 20;
+                System.println(f + "," + i);
+            }
+        }
+    """, "1.0,20")
+
+
+def test_boolean_materialization():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                boolean b = 3 < 5;
+                boolean c = !(2 == 2);
+                System.println(b);
+                System.println(c);
+            }
+        }
+    """, "true", "false")
+
+
+def test_unary_operators():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                int x = 5;
+                System.println(-x);
+                System.println(~x);
+                float f = 2.5;
+                System.println(-f);
+            }
+        }
+    """, "-5", "-6", "-2.5")
+
+
+def test_string_concat_all_scalar_types():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                System.println("i=" + 1 + " f=" + 0.5 + " b=" + (1 < 2)
+                    + " s=" + "x");
+            }
+        }
+    """, "i=1 f=0.5 b=true s=x")
+
+
+def test_string_comparisons():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                String a = "apple";
+                System.println(a == "apple");
+                System.println(a != "banana");
+                System.println(a < "banana");
+                System.println(a.equals("app" + "le"));
+            }
+        }
+    """, "true", "true", "true", "true")
+
+
+def test_compound_assignment_on_fields_and_arrays():
+    run_expect("""
+        class Box { int v; }
+        class Main {
+            static int counter;
+            static void main(String[] args) {
+                Box b = new Box();
+                b.v += 3;
+                b.v *= 4;
+                int[] a = new int[2];
+                a[1] += 7;
+                counter -= 2;
+                System.println(b.v + "," + a[1] + "," + counter);
+            }
+        }
+    """, "12,7,-2")
+
+
+def test_int_float_promotion_in_expressions():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                float f = 1 / 2;       // int division, then widen
+                float g = 1 / 2.0;     // float division
+                System.println(f + "," + g);
+            }
+        }
+    """, "0.0,0.5")
+
+
+def test_try_catch_catches_subtype():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                try {
+                    throw new NumberFormatException("bad digit");
+                } catch (RuntimeException e) {
+                    System.println("caught: " + e.getMessage());
+                }
+            }
+        }
+    """, "caught: bad digit")
+
+
+def test_try_catch_misses_unrelated_type():
+    result, _, env = run_minijava("""
+        class Main {
+            static void main(String[] args) {
+                try {
+                    throw new RuntimeException("boom");
+                } catch (IOException e) {
+                    System.println("wrong");
+                }
+            }
+        }
+    """)
+    assert result.uncaught[0][1] == "RuntimeException"
+    assert env.console.lines() == []
+
+
+def test_exception_propagates_through_frames():
+    run_expect("""
+        class Main {
+            static void deep(int n) {
+                if (n == 0) { throw new IllegalStateException("bottom"); }
+                deep(n - 1);
+            }
+            static void main(String[] args) {
+                try { deep(5); }
+                catch (IllegalStateException e) {
+                    System.println(e.getMessage());
+                }
+            }
+        }
+    """, "bottom")
+
+
+def test_custom_exception_classes():
+    run_expect("""
+        class AppError extends Exception {
+            int code;
+        }
+        class Main {
+            static void main(String[] args) {
+                try {
+                    AppError e = new AppError("custom");
+                    e.code = 7;
+                    throw e;
+                } catch (AppError e) {
+                    System.println(e.getMessage() + "/" + e.code);
+                }
+            }
+        }
+    """, "custom/7")
+
+
+def test_catch_variable_scoped_to_handler():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                String e = "outer";
+                try { throw new RuntimeException("inner"); }
+                catch (RuntimeException ex) { System.println(ex.getMessage()); }
+                System.println(e);
+            }
+        }
+    """, "inner", "outer")
+
+
+def test_jagged_2d_array():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                int[][] grid = new int[3][];
+                for (int i = 0; i < 3; i++) {
+                    grid[i] = new int[i + 1];
+                    grid[i][i] = i * 10;
+                }
+                System.println(grid[2][2] + "," + grid[1].length);
+            }
+        }
+    """, "20,2")
+
+
+def test_instanceof_and_cast_flow():
+    run_expect("""
+        class Shape { }
+        class Circle extends Shape { int r; }
+        class Square extends Shape { int side; }
+        class Main {
+            static int measure(Shape s) {
+                if (s instanceof Circle) {
+                    Circle c = (Circle) s;
+                    return c.r * 3;
+                }
+                Square q = (Square) s;
+                return q.side * 4;
+            }
+            static void main(String[] args) {
+                Circle c = new Circle(); c.r = 5;
+                Square q = new Square(); q.side = 2;
+                System.println(measure(c) + "," + measure(q));
+            }
+        }
+    """, "15,8")
+
+
+def test_static_initializer_with_computation():
+    run_expect("""
+        class Tables {
+            static int[] squares = makeSquares();
+            static int[] makeSquares() {
+                int[] t = new int[10];
+                for (int i = 0; i < 10; i++) { t[i] = i * i; }
+                return t;
+            }
+        }
+        class Main {
+            static void main(String[] args) {
+                System.println(Tables.squares[7]);
+            }
+        }
+    """, "49")
+
+
+def test_missing_return_yields_default():
+    # Control can fall off the end; codegen's fallback returns a default.
+    run_expect("""
+        class Main {
+            static int weird(boolean b) {
+                if (b) { return 5; }
+                // falls through
+            }
+            static void main(String[] args) {
+                System.println(weird(true) + "," + weird(false));
+            }
+        }
+    """, "5,0")
+
+
+def test_char_literals_are_ints():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                int c = 'A';
+                System.println(c + "," + ('z' - 'a'));
+            }
+        }
+    """, "65,25")
+
+
+def test_hex_literals_and_shifts():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                int mask = 0xFF00;
+                System.println((mask >> 8) + "," + (mask >>> 8)
+                    + "," + (1 << 10));
+            }
+        }
+    """, "255,255,1024")
+
+
+def test_deep_expression_nesting():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                int v = ((1 + 2) * (3 + 4) - (5 - (6 / 2))) * 2;
+                System.println(v);
+            }
+        }
+    """, "38")

@@ -1,0 +1,99 @@
+"""Application-provided native classes (compiler extension point)."""
+
+import pytest
+
+from repro.env.environment import Environment
+from repro.errors import CompileError
+from repro.minijava import compile_program
+from repro.minijava.extensions import (
+    NativeClassSpec,
+    NativeMethodSpec,
+    parse_type_name,
+)
+from repro.minijava.types import (
+    BOOL, FLOAT, INT, STRING, VOID, ArrayType, ClassType,
+)
+from repro.runtime.jvm import JVM
+from repro.runtime.natives import NativeSpec
+from repro.runtime.stdlib import build_natives
+
+
+def test_parse_type_name():
+    assert parse_type_name("int") is INT
+    assert parse_type_name("float") is FLOAT
+    assert parse_type_name("boolean") is BOOL
+    assert parse_type_name("String") is STRING
+    assert parse_type_name("void") is VOID
+    assert parse_type_name("Widget") is ClassType("Widget")
+    assert parse_type_name("int[]") is ArrayType(INT)
+    assert parse_type_name("String[][]") is ArrayType(ArrayType(STRING))
+    with pytest.raises(CompileError):
+        parse_type_name("void[]")
+    with pytest.raises(CompileError):
+        parse_type_name("")
+
+
+def _device():
+    return NativeClassSpec("Device", methods=(
+        NativeMethodSpec("poke", ("int", "String"), "int"),
+    ))
+
+
+def test_native_class_callable_from_minijava():
+    registry = compile_program("""
+        class Main {
+            static void main(String[] args) {
+                System.println(Device.poke(2, "xy"));
+            }
+        }
+    """, native_classes=[_device()])
+
+    natives = build_natives()
+    natives.register(NativeSpec(
+        "Device.poke/2", lambda ctx, r, a: a[0] * len(a[1]),
+    ))
+    env = Environment()
+    jvm = JVM(registry, natives, env.attach("p"))
+    result = jvm.run("Main")
+    assert result.ok
+    assert env.console.lines() == ["4"]
+
+
+def test_native_class_is_type_checked():
+    with pytest.raises(CompileError, match="argument"):
+        compile_program("""
+            class Main {
+                static void main(String[] args) {
+                    Device.poke("wrong", "types");
+                }
+            }
+        """, native_classes=[_device()])
+    with pytest.raises(CompileError, match="no static method"):
+        compile_program("""
+            class Main {
+                static void main(String[] args) { Device.zap(); }
+            }
+        """, native_classes=[_device()])
+
+
+def test_native_class_cannot_shadow_stdlib():
+    clash = NativeClassSpec("System")
+    with pytest.raises(CompileError, match="collides"):
+        compile_program(
+            "class Main { static void main(String[] args) { } }",
+            native_classes=[clash],
+        )
+
+
+def test_unimplemented_native_fails_at_invocation():
+    from repro.errors import NativeError
+
+    registry = compile_program("""
+        class Main {
+            static void main(String[] args) { Device.poke(1, "a"); }
+        }
+    """, native_classes=[_device()])
+    env = Environment()
+    jvm = JVM(registry, build_natives(), env.attach("p"))
+    with pytest.raises(NativeError, match="unsatisfied"):
+        jvm.run("Main")

@@ -1,0 +1,104 @@
+"""MiniJava lexer."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.minijava.lexer import tokenize
+
+
+def _kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)[:-1]]
+
+
+def test_keywords_vs_identifiers():
+    assert _kinds("class Foo") == [("kw", "class"), ("ident", "Foo")]
+    assert _kinds("classy") == [("ident", "classy")]
+
+
+def test_numbers():
+    assert _kinds("42 0x1F 3.14 1e3 2.5e-2 7f") == [
+        ("int", "42"), ("int", "0x1F"), ("float", "3.14"),
+        ("float", "1e3"), ("float", "2.5e-2"), ("float", "7"),
+    ]
+
+
+def test_number_followed_by_dot_method():
+    # "1." without a digit after must not become a float.
+    kinds = _kinds("x.length")
+    assert kinds == [("ident", "x"), ("op", "."), ("ident", "length")]
+
+
+def test_string_literals_with_escapes():
+    tokens = tokenize(r'"a\nb\t\"c\\"')
+    assert tokens[0].kind == "string"
+    assert tokens[0].text == 'a\nb\t"c\\'
+
+
+def test_unterminated_string():
+    with pytest.raises(CompileError, match="unterminated"):
+        tokenize('"abc')
+
+
+def test_newline_in_string():
+    with pytest.raises(CompileError):
+        tokenize('"ab\ncd"')
+
+
+def test_char_literals():
+    tokens = tokenize(r"'a' '\n' '\\'")
+    assert [(t.kind, t.text) for t in tokens[:-1]] == [
+        ("char", "a"), ("char", "\n"), ("char", "\\"),
+    ]
+
+
+def test_bad_char_literal():
+    with pytest.raises(CompileError):
+        tokenize("''")
+    with pytest.raises(CompileError):
+        tokenize("'ab'")
+
+
+def test_comments():
+    assert _kinds("a // line comment\nb") == [("ident", "a"), ("ident", "b")]
+    assert _kinds("a /* block\n comment */ b") == [
+        ("ident", "a"), ("ident", "b"),
+    ]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(CompileError, match="unterminated block"):
+        tokenize("/* never ends")
+
+
+def test_multichar_operators_longest_match():
+    assert _kinds("a >>> b >> c > d") == [
+        ("ident", "a"), ("op", ">>>"), ("ident", "b"), ("op", ">>"),
+        ("ident", "c"), ("op", ">"), ("ident", "d"),
+    ]
+    assert _kinds("x <= y == z && w") == [
+        ("ident", "x"), ("op", "<="), ("ident", "y"), ("op", "=="),
+        ("ident", "z"), ("op", "&&"), ("ident", "w"),
+    ]
+
+
+def test_positions():
+    tokens = tokenize("ab\n  cd")
+    assert (tokens[0].line, tokens[0].col) == (1, 1)
+    assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+
+def test_position_after_block_comment():
+    tokens = tokenize("/* x\ny */ z")
+    assert tokens[0].text == "z"
+    assert tokens[0].line == 2
+
+
+def test_unknown_character():
+    with pytest.raises(CompileError, match="unexpected character"):
+        tokenize("a $ b")
+
+
+def test_eof_token():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == "eof"

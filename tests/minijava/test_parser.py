@@ -1,0 +1,187 @@
+"""MiniJava parser: structure and diagnostics."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.minijava import ast
+from repro.minijava.parser import parse
+
+
+def _main_body(stmts):
+    return parse(
+        "class Main { static void main(String[] args) { %s } }" % stmts
+    ).classes[0].methods[0].body
+
+
+def test_class_structure():
+    prog = parse("""
+        class Animal {
+            int legs;
+            static String kingdom;
+            Animal(int legs) { this.legs = legs; }
+            int getLegs() { return legs; }
+            static void reset() { }
+        }
+        class Dog extends Animal {
+            Dog() { super(4); }
+        }
+    """)
+    animal, dog = prog.classes
+    assert animal.name == "Animal"
+    assert dog.superclass == "Animal"
+    assert [f.name for f in animal.fields] == ["legs", "kingdom"]
+    assert animal.fields[1].is_static
+    names = [m.name for m in animal.methods]
+    assert names == ["<init>", "getLegs", "reset"]
+    assert animal.methods[2].is_static
+    assert isinstance(dog.methods[0].body[0], ast.SuperCall)
+
+
+def test_modifiers_accepted_and_ignored():
+    prog = parse("""
+        public final class A {
+            private int x;
+            public synchronized int get() { return x; }
+            protected static final void poke() { }
+        }
+    """)
+    cls = prog.classes[0]
+    assert cls.methods[0].is_synchronized
+    assert cls.methods[1].is_static
+
+
+def test_array_types():
+    prog = parse("class A { int[][] grid; float[] row; }")
+    grid, row = prog.classes[0].fields
+    assert grid.type == ast.TypeName("int", 2)
+    assert row.type == ast.TypeName("float", 1)
+
+
+def test_operator_precedence():
+    body = _main_body("int x = 1 + 2 * 3;")
+    expr = body[0].initializer
+    assert isinstance(expr, ast.Binary) and expr.op == "+"
+    assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+
+def test_precedence_comparison_binds_looser_than_shift():
+    body = _main_body("boolean b = 1 << 2 < 10;")
+    expr = body[0].initializer
+    assert expr.op == "<"
+    assert expr.left.op == "<<"
+
+
+def test_logical_operators_short_circuit_shape():
+    body = _main_body("boolean b = true || false && true;")
+    expr = body[0].initializer
+    assert expr.op == "||"
+    assert expr.right.op == "&&"
+
+
+def test_ternary():
+    body = _main_body("int x = true ? 1 : 2;")
+    assert isinstance(body[0].initializer, ast.Ternary)
+
+
+def test_compound_assignment_desugars():
+    body = _main_body("int x = 0; x += 5; x++;")
+    plus = body[1]
+    assert isinstance(plus, ast.Assign)
+    assert isinstance(plus.value, ast.Binary) and plus.value.op == "+"
+    inc = body[2]
+    assert isinstance(inc.value.right, ast.IntLit)
+
+
+def test_for_loop_parts():
+    body = _main_body("for (int i = 0; i < 3; i++) { }")
+    loop = body[0]
+    assert isinstance(loop, ast.For)
+    assert isinstance(loop.init, ast.VarDecl)
+    assert isinstance(loop.cond, ast.Binary)
+    assert isinstance(loop.update, ast.Assign)
+
+
+def test_for_loop_empty_parts():
+    loop = _main_body("for (;;) { break; }")[0]
+    assert loop.init is None and loop.cond is None and loop.update is None
+
+
+def test_if_without_braces():
+    body = _main_body("if (true) return; else return;")
+    assert isinstance(body[0], ast.If)
+    assert len(body[0].then_body) == 1
+
+
+def test_try_catch():
+    stmt = _main_body(
+        "try { int x = 1; } catch (IOException e) { return; }"
+    )[0]
+    assert isinstance(stmt, ast.TryCatch)
+    assert stmt.exc_class == "IOException"
+    assert stmt.exc_name == "e"
+
+
+def test_synchronized_statement():
+    stmt = _main_body("synchronized (this) { int x = 1; }")[0]
+    assert isinstance(stmt, ast.Synchronized)
+
+
+def test_new_object_and_array():
+    body = _main_body("Object o = new Object(); int[] a = new int[5];")
+    assert isinstance(body[0].initializer, ast.NewObject)
+    arr = body[1].initializer
+    assert isinstance(arr, ast.NewArray)
+    assert arr.elem == ast.TypeName("int", 0)
+
+
+def test_jagged_array_new():
+    body = _main_body("int[][] g = new int[3][];")
+    assert body[0].initializer.elem == ast.TypeName("int", 1)
+
+
+def test_cast_vs_parenthesized_expression():
+    body = _main_body("int x = (int) 2.5; int y = (x) + 1;")
+    assert isinstance(body[0].initializer, ast.Cast)
+    assert isinstance(body[1].initializer, ast.Binary)
+
+
+def test_instanceof():
+    stmt = _main_body("boolean b = this instanceof Main;")[0]
+    assert isinstance(stmt.initializer, ast.InstanceOf)
+
+
+def test_method_call_chains():
+    body = _main_body('int n = "abc".trim().length();')
+    call = body[0].initializer
+    assert isinstance(call, ast.Call)
+    assert call.method_name == "length"
+    assert isinstance(call.obj, ast.Call)
+
+
+def test_field_and_index_chains():
+    body = _main_body("int v = a.b[1].c;")
+    access = body[0].initializer
+    assert isinstance(access, ast.FieldAccess)
+    assert isinstance(access.obj, ast.Index)
+
+
+@pytest.mark.parametrize("bad,message", [
+    ("class", "expected"),
+    ("class A {", "expected"),
+    ("class A { int }", "expected"),
+    ("class A { void f() { int = 5; } }", "expected"),
+    ("class A { void f() { if true) { } } }", "expected"),
+    ("class A { void f() { return 1 } }", "expected"),
+])
+def test_syntax_errors_raise_compile_error(bad, message):
+    with pytest.raises(CompileError, match=message):
+        parse(bad)
+
+
+def test_error_carries_position():
+    try:
+        parse("class A {\n  int x\n}")
+    except CompileError as err:
+        assert "3:" in str(err) or "2:" in str(err)
+    else:
+        pytest.fail("expected CompileError")

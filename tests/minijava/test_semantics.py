@@ -1,0 +1,280 @@
+"""MiniJava type checking: acceptance and rejection."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.minijava.parser import parse
+from repro.minijava.semantics import Checker
+
+
+def check(source):
+    return Checker(parse(source)).check()
+
+
+def reject(source, pattern):
+    with pytest.raises(CompileError, match=pattern):
+        check(source)
+
+
+def _main(stmts):
+    return "class Main { static void main(String[] args) { %s } }" % stmts
+
+
+# ----------------------------------------------------------------------
+# Classes and hierarchy
+# ----------------------------------------------------------------------
+
+def test_redefining_builtin_class_rejected():
+    reject("class Thread { }", "redefines")
+
+
+def test_reserved_type_name():
+    reject("class int { }", "expected")  # parser already refuses
+
+
+def test_unknown_superclass():
+    reject("class A extends Ghost { }", "unknown class")
+
+
+def test_inheritance_cycle():
+    reject("class A extends B { } class B extends A { }", "cycle")
+
+
+def test_incompatible_override():
+    reject("""
+        class A { int f() { return 1; } }
+        class B extends A { float f() { return 1.0; } }
+    """, "incompatible")
+
+
+def test_compatible_override_ok():
+    check("""
+        class A { int f() { return 1; } }
+        class B extends A { int f() { return 2; } }
+    """)
+
+
+def test_duplicate_field_and_method():
+    reject("class A { int x; float x; }", "duplicate field")
+    reject("class A { void f() { } void f() { } }", "duplicate method")
+
+
+def test_overload_by_arity_accepted():
+    check("class A { void f() { } void f(int x) { } }")
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+def test_condition_must_be_boolean():
+    reject(_main("if (1) { }"), "boolean")
+    reject(_main("while (0) { }"), "boolean")
+    reject(_main('for (int i = 0; i + 1; i++) { }'), "boolean")
+
+
+def test_break_outside_loop():
+    reject(_main("break;"), "outside")
+    reject(_main("continue;"), "outside")
+
+
+def test_return_type_checked():
+    reject("class A { int f() { return; } }", "must return int")
+    reject("class A { void f() { return 1; } }", "void method")
+    reject("class A { int f() { return \"s\"; } }", "cannot return")
+
+
+def test_int_widens_to_float():
+    check("class A { float f() { return 1; } }")
+    check(_main("float x = 3;"))
+
+
+def test_float_does_not_narrow_implicitly():
+    reject(_main("int x = 1.5;"), "cannot assign")
+
+
+def test_duplicate_variable_in_scope():
+    reject(_main("int x = 1; int x = 2;"), "already defined")
+
+
+def test_shadowing_in_nested_scope_rejected():
+    reject(_main("int x = 1; if (true) { int x = 2; }"), "already defined")
+
+
+def test_fresh_scope_after_block():
+    check(_main("if (true) { int x = 1; } if (true) { int x = 2; }"))
+
+
+def test_throw_requires_throwable():
+    reject(_main("throw new Object();"), "non-Throwable")
+    check(_main("throw new RuntimeException(\"x\");"))
+
+
+def test_catch_requires_throwable():
+    reject(_main("try { } catch (Thread t) { }"), "non-Throwable")
+
+
+def test_synchronized_needs_reference():
+    reject(_main("synchronized (5) { }"), "cannot synchronize")
+    check(_main("synchronized (new Object()) { }"))
+
+
+def test_super_call_only_first_in_ctor():
+    reject("""
+        class A { }
+        class B extends A {
+            B() { int x = 1; super(); }
+        }
+    """, "first statement")
+    reject(_main("super();"), "only allowed in constructors")
+
+
+def test_expression_statement_must_be_call():
+    reject(_main("1 + 2;"), "must be a call")
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+def test_this_in_static_context():
+    reject(_main("Object o = this;"), "static context")
+
+
+def test_instance_field_from_static_context():
+    reject("""
+        class A {
+            int x;
+            static int f() { return x; }
+        }
+    """, "static context")
+
+
+def test_unknown_name():
+    reject(_main("int x = ghost;"), "unknown name")
+
+
+def test_arithmetic_type_errors():
+    reject(_main('int x = 1 + new Object().hashCode() * "s".length() + "a" - 1;'),
+           "arithmetic|concatenate|cannot")
+    reject(_main("boolean b = true + false;"), "cannot|arithmetic|concatenate")
+    reject(_main('int x = "a" * 2;'), "arithmetic")
+
+
+def test_string_concat_accepts_scalars():
+    check(_main('String s = "v=" + 1 + "," + 2.5 + "," + true;'))
+
+
+def test_comparison_types():
+    reject(_main("boolean b = new Object() < new Object();"), "comparison")
+    check(_main('boolean b = "a" < "b";'))
+    check(_main("boolean b = 1 < 2.5;"))
+
+
+def test_equality_types():
+    check(_main("boolean b = new Object() == null;"))
+    reject(_main("boolean b = new Object() == 1;"), "cannot compare")
+    reject(_main('boolean b = "s" == null;'), "cannot compare")
+
+
+def test_logical_ops_need_booleans():
+    reject(_main("boolean b = 1 && true;"), "logical")
+
+
+def test_bitwise_on_booleans_allowed():
+    check(_main("boolean b = true & false;"))
+    reject(_main("int x = 1 & true;"), "bitwise")
+
+
+def test_array_typing():
+    # indexing a freshly allocated array is legal and yields the element
+    check(_main("int x = new int[2][0] + 1;"))
+    reject(_main("int[] a = new int[2]; int x = a[true];"), "index")
+    reject(_main("int x = 5; int y = x[0];"), "cannot index")
+    check(_main("int[] a = new int[2]; int x = a[1] + a.length;"))
+
+
+def test_array_length_is_read_only():
+    reject(_main("int[] a = new int[2]; a.length = 5;"),
+           "cannot assign to array length")
+
+
+def test_call_resolution_errors():
+    reject(_main("Object o = new Object(); o.fly();"), "no method")
+    reject(_main("Math.sqrt(1.0, 2.0);"), "no static method")
+    reject(_main("int x = Math.sqrt(4.0).explode();"),
+           "cannot call a method")
+
+
+def test_argument_types_checked():
+    reject(_main('Math.sqrt("four");'), "argument")
+    check(_main("Math.sqrt(4);"))  # int widens to float
+
+
+def test_instance_call_on_static_rejected():
+    reject("""
+        class A { static int f() { return 1; } }
+        class Main {
+            static void main(String[] args) {
+                A a = new A();
+                int x = a.f();
+            }
+        }
+    """, "must be called as")
+
+
+def test_constructor_arity_checked():
+    # Documented deviation: constructor lookup walks the superclass
+    # chain by arity, so new A() resolves Object's default constructor.
+    check("""
+        class A { A(int x) { } }
+        class Main {
+            static void main(String[] args) { A a = new A(); }
+        }
+    """)
+    # But an arity that exists nowhere in the chain is rejected.
+    reject("""
+        class A { A(int x) { } }
+        class Main {
+            static void main(String[] args) { A a = new A(1, 2, 3); }
+        }
+    """, "no constructor")
+
+
+def test_cast_rules():
+    check(_main("int x = (int) 2.5; float f = (float) 2;"))
+    check("""
+        class A { }
+        class B extends A { }
+        class Main {
+            static void main(String[] args) {
+                A a = new B();
+                B b = (B) a;
+            }
+        }
+    """)
+    reject(_main('int x = (int) "s";'), "cannot cast")
+
+
+def test_ternary_typing():
+    check(_main("int x = true ? 1 : 2;"))
+    check(_main("float f = true ? 1 : 2.5;"))
+    reject(_main('int x = true ? 1 : "s";'), "incompatible ternary")
+
+
+def test_string_sugar_resolution():
+    check(_main('int n = "abc".length() + "abc".indexOf("b");'))
+    reject(_main('"abc".explode();'), "no method")
+
+
+def test_string_equals_builtin():
+    program = check(_main('boolean b = "a".equals("b");'))
+    call = program.classes[0].methods[0].body[0].initializer
+    assert call.builtin == "streq"
+
+
+def test_null_assignable_to_refs_not_scalars():
+    check(_main("Object o = null;"))
+    check(_main("int[] a = null;"))
+    reject(_main("int x = null;"), "cannot assign")
+    reject(_main("String s = null;"), "cannot assign")  # strings are values

@@ -1,0 +1,81 @@
+"""Cross-checks between the compiler's builtin signature table, the
+runtime class registry, and the native registry.
+
+The checker's view of the standard library
+(:func:`repro.minijava.types.builtin_class_signatures`) must agree with
+what actually exists at run time, or programs would typecheck and then
+fail to link.
+"""
+
+from repro.minijava.types import (
+    BUILTIN_FIELDS,
+    BUILTIN_HIERARCHY,
+    builtin_class_signatures,
+)
+from repro.runtime.stdlib import default_natives, new_program_registry
+
+
+def test_every_builtin_class_exists_in_registry():
+    registry = new_program_registry()
+    for name in BUILTIN_HIERARCHY:
+        assert registry.has_class(name), name
+
+
+def test_hierarchy_matches_registry():
+    registry = new_program_registry()
+    for name, parent in BUILTIN_HIERARCHY.items():
+        cls = registry.resolve(name)
+        assert cls.super_name == parent, name
+
+
+def test_every_builtin_signature_resolves():
+    registry = new_program_registry()
+    for owner, methods in builtin_class_signatures().items():
+        for (name, arity), sig in methods.items():
+            method = registry.lookup_method(owner, name, arity)
+            assert method.nargs == arity, f"{owner}.{name}"
+            assert method.returns == sig.returns, f"{owner}.{name}"
+            assert method.is_static == sig.is_static, f"{owner}.{name}"
+
+
+def test_every_declared_native_has_an_implementation_or_intrinsic():
+    from repro.env.environment import Environment
+    from repro.runtime.jvm import JVM
+
+    registry = new_program_registry()
+    natives = default_natives()
+    jvm = JVM(registry, natives, Environment().attach("x"))
+    missing = []
+    for class_name in registry.class_names():
+        cls = registry.resolve(class_name)
+        for (name, arity), method in cls.methods.items():
+            if not method.is_native:
+                continue
+            if (class_name, name, arity) in jvm.intrinsics:
+                continue
+            if not natives.has(method.signature):
+                missing.append(method.signature)
+    assert missing == []
+
+
+def test_builtin_fields_exist():
+    registry = new_program_registry()
+    for owner, fields in BUILTIN_FIELDS.items():
+        for fname in fields:
+            assert registry.lookup_field(owner, fname).name == fname
+
+
+def test_string_sugar_targets_exist():
+    from repro.minijava.types import STRING_SUGAR
+
+    registry = new_program_registry()
+    for (_, arity), (target, extra, _ret) in STRING_SUGAR.items():
+        method = registry.lookup_method("Strings", target, 1 + len(extra))
+        assert method.is_native
+
+
+def test_nondeterministic_native_count_is_small():
+    """The paper: 'fewer than 100 native methods are non-deterministic'
+    in the JRE; our standard library keeps the same property."""
+    table = default_natives().nondeterministic_signatures()
+    assert 0 < len(table) < 100

@@ -1,0 +1,72 @@
+"""Log shipping, output commit, and crash injection."""
+
+import pytest
+
+from repro.env.channel import Channel
+from repro.errors import PrimaryCrashed
+from repro.replication.commit import CrashInjector, LogShipper
+from repro.replication.metrics import ReplicationMetrics
+from repro.replication.records import IdMap, decode_record
+
+
+def _shipper(batch=10, crash_at=None):
+    channel = Channel(batch_records=batch)
+    metrics = ReplicationMetrics()
+    shipper = LogShipper(channel, metrics, CrashInjector(crash_at))
+    return channel, metrics, shipper
+
+
+def test_records_reach_backup_after_flush():
+    channel, metrics, shipper = _shipper()
+    shipper.log(IdMap(1, (0,), 1))
+    assert channel.delivered == []
+    channel.flush()
+    assert decode_record(channel.delivered[0]) == IdMap(1, (0,), 1)
+    assert metrics.messages_sent == 1
+    assert metrics.records_sent == 1
+    assert metrics.bytes_sent > 0
+
+
+def test_output_commit_flushes_and_waits():
+    channel, metrics, shipper = _shipper(batch=100)
+    shipper.log(IdMap(1, (0,), 1))
+    shipper.output_commit()
+    assert len(channel.delivered) == 1
+    assert metrics.output_commits == 1
+    assert metrics.ack_waits == 1
+
+
+def test_batch_auto_flush_counts_messages():
+    channel, metrics, shipper = _shipper(batch=3)
+    for i in range(7):
+        shipper.log(IdMap(i, (0,), i))
+    assert metrics.messages_sent == 2          # two full batches
+    assert channel.pending_records == 1
+
+
+def test_crash_injector_fires_at_exact_event():
+    channel, metrics, shipper = _shipper(crash_at=3)
+    shipper.log(IdMap(1, (0,), 1))
+    shipper.log(IdMap(2, (0,), 2))
+    with pytest.raises(PrimaryCrashed):
+        shipper.log(IdMap(3, (0,), 3))
+    assert shipper.injector.fired
+    assert shipper.injector.events == 3
+    assert shipper.injector.trace == ["log:IdMap"] * 3
+
+
+def test_crash_injector_disabled_by_default():
+    injector = CrashInjector()
+    for i in range(100):
+        injector.step("x")
+    assert not injector.fired
+
+
+def test_commit_is_a_crash_event():
+    channel, metrics, shipper = _shipper(crash_at=2)
+    shipper.log(IdMap(1, (0,), 1))
+    with pytest.raises(PrimaryCrashed):
+        shipper.output_commit()
+    # The flush never happened: the record is lost with the primary.
+    channel.crash_primary()
+    assert channel.backup_log() == []

@@ -1,0 +1,53 @@
+"""Heartbeat failure detector."""
+
+import pytest
+
+from repro.replication.failure import FailureDetector
+
+
+def test_no_false_positive_while_heartbeats_flow():
+    d = FailureDetector(timeout_intervals=2)
+    for _ in range(20):
+        d.heartbeat()
+        assert d.interval() is False
+    assert not d.suspected
+
+
+def test_detects_after_timeout_intervals():
+    d = FailureDetector(timeout_intervals=3)
+    d.heartbeat()
+    assert d.interval() is False   # beat seen
+    assert d.interval() is False   # silent 1
+    assert d.interval() is False   # silent 2
+    assert d.interval() is True    # silent 3 -> suspected
+    assert d.suspected
+
+
+def test_silence_counter_resets_on_heartbeat():
+    d = FailureDetector(timeout_intervals=2)
+    d.heartbeat()
+    d.interval()
+    d.interval()          # silent 1
+    d.heartbeat()
+    assert d.interval() is False  # reset
+    assert d.silent_intervals == 0
+
+
+def test_await_detection_counts_intervals():
+    d = FailureDetector(timeout_intervals=4)
+    assert d.await_detection() == 4
+
+
+def test_await_detection_gives_up():
+    class Immortal(FailureDetector):
+        def interval(self):
+            self.heartbeat()
+            return super().interval()
+
+    with pytest.raises(RuntimeError):
+        Immortal(timeout_intervals=3).await_detection(max_intervals=10)
+
+
+def test_invalid_timeout():
+    with pytest.raises(ValueError):
+        FailureDetector(timeout_intervals=0)

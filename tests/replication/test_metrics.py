@@ -1,0 +1,29 @@
+"""Replication metrics accounting."""
+
+from repro.replication.metrics import ReplicationMetrics
+
+
+def test_records_logged_sums_all_record_kinds():
+    m = ReplicationMetrics()
+    m.lock_records = 10
+    m.id_maps = 2
+    m.schedule_records = 3
+    m.native_result_records = 4
+    m.se_records = 5
+    m.output_commits = 1
+    assert m.records_logged == 25
+
+
+def test_as_dict_round_trips_counters():
+    m = ReplicationMetrics(role="backup")
+    m.outputs_suppressed = 7
+    m.extra["custom"] = 3
+    d = m.as_dict()
+    assert d["outputs_suppressed"] == 7
+    assert d["custom"] == 3
+    assert "lock_records" in d
+
+
+def test_defaults_are_zero():
+    m = ReplicationMetrics()
+    assert all(v == 0 for v in m.as_dict().values())

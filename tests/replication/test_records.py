@@ -1,0 +1,93 @@
+"""Log record serialization round trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReplicationError
+from repro.replication.records import (
+    IdMap,
+    LockAcqRecord,
+    NativeResultRecord,
+    OutputIntentRecord,
+    ScheduleRecord,
+    SideEffectRecord,
+    decode_record,
+    encode,
+)
+
+_vids = st.lists(st.integers(0, 50), min_size=1, max_size=4).map(tuple)
+
+
+def _round(record):
+    decoded = decode_record(encode(record))
+    assert decoded == record
+    return decoded
+
+
+def test_id_map():
+    _round(IdMap(12, (0, 1), 34))
+
+
+def test_lock_acq():
+    _round(LockAcqRecord((0, 2, 1), 99, 7, 12345))
+
+
+def test_schedule_record():
+    rec = _round(ScheduleRecord(1000, 17, 4, -1, (0, 1), (0,)))
+    assert rec.progress == (1000, 17, 4)
+
+
+def test_schedule_record_negative_pc():
+    # terminated threads report pc_off -1
+    _round(ScheduleRecord(5, -1, 2, 3, (0,), (0, 1)))
+
+
+def test_native_result_with_exception_and_arrays():
+    _round(NativeResultRecord(
+        (0,), 3, "Files.readLine/1", "line text",
+        ("IOException", "gone"), {0: [1, 2, 3], 2: ["a", "b"]},
+    ))
+
+
+def test_native_result_value_kinds():
+    for value in (None, 42, -1, 2.5, "s", [1, 2]):
+        _round(NativeResultRecord((0,), 1, "X.f/0", value))
+
+
+def test_output_intent():
+    _round(OutputIntentRecord((0, 4), 9, "System.println/1"))
+
+
+def test_side_effect_record():
+    _round(SideEffectRecord("file", {"op": "open", "fd": 3,
+                                     "path": "x.txt", "offset": 0}))
+
+
+def test_decode_garbage():
+    with pytest.raises(ReplicationError):
+        decode_record(b"\x63junk")
+
+
+def test_decode_trailing_bytes():
+    data = encode(IdMap(1, (0,), 1)) + b"\x00"
+    with pytest.raises(ReplicationError, match="trailing"):
+        decode_record(data)
+
+
+@given(_vids, st.integers(0, 10**6), st.integers(0, 10**4),
+       st.integers(0, 10**7))
+def test_lock_record_property(vid, t_asn, l_id, l_asn):
+    _round(LockAcqRecord(vid, t_asn, l_id, l_asn))
+
+
+@given(st.integers(0, 10**9), st.integers(-1, 10**4), st.integers(0, 10**6),
+       st.integers(-1, 10**6), _vids, _vids)
+def test_schedule_record_property(br, pc, mon, l_asn, t_id, prev):
+    _round(ScheduleRecord(br, pc, mon, l_asn, t_id, prev))
+
+
+@given(st.dictionaries(st.text(max_size=10), st.one_of(
+    st.integers(-10**9, 10**9), st.text(max_size=20), st.none(),
+), max_size=5))
+def test_side_effect_payload_property(payload):
+    _round(SideEffectRecord("h", payload))

@@ -1,0 +1,152 @@
+"""Side-effect handlers: log/receive/restore/test/confirm."""
+
+import pytest
+
+from repro.env.environment import Environment
+from repro.errors import ReplicationError
+from repro.replication.records import SideEffectRecord
+from repro.replication.sehandlers import (
+    ConsoleSEHandler,
+    FileSEHandler,
+    SideEffectHandler,
+    SideEffectManager,
+)
+from repro.runtime.natives import NativeOutcome
+from repro.runtime.stdlib import default_natives
+
+
+def _spec(sig):
+    return default_natives().lookup(sig)
+
+
+def test_file_handler_logs_open_and_writes():
+    env = Environment()
+    session = env.attach("p")
+    handler = FileSEHandler()
+    fd = session.open("f.txt", "w")
+    payload = handler.log(session, _spec("Files.open/2"), None,
+                          ["f.txt", "w"], NativeOutcome(value=fd))
+    assert payload == {"op": "open", "fd": fd, "path": "f.txt",
+                       "mode": "w", "offset": 0}
+    session.handle(fd).write("hello")
+    payload = handler.log(session, _spec("Files.write/2"), None,
+                          [fd, "hello"], NativeOutcome())
+    assert payload == {"op": "pos", "fd": fd, "offset": 5}
+
+
+def test_file_handler_ignores_failed_calls():
+    env = Environment()
+    session = env.attach("p")
+    handler = FileSEHandler()
+    outcome = NativeOutcome(exception=("IOException", "nope"))
+    assert handler.log(session, _spec("Files.open/2"), None,
+                       ["x", "r"], outcome) is None
+
+
+def test_file_state_compression_and_restore():
+    """receive() folds many writes into one offset per fd — the paper's
+    compression example — and restore() rebuilds the fd table."""
+    handler = FileSEHandler()
+    state = {}
+    handler.receive(state, {"op": "open", "fd": 3, "path": "f",
+                            "mode": "w", "offset": 0})
+    for offset in (5, 11, 40):
+        handler.receive(state, {"op": "pos", "fd": 3, "offset": offset})
+    assert state == {3: {"path": "f", "mode": "w", "offset": 40}}
+
+    env = Environment()
+    env.fs.put("f", "x" * 50)
+    session = env.attach("backup")
+    handler.restore(session, state)
+    assert session.handle(3).tell() == 40
+
+
+def test_file_close_removes_state():
+    handler = FileSEHandler()
+    state = {}
+    handler.receive(state, {"op": "open", "fd": 3, "path": "f",
+                            "mode": "w", "offset": 0})
+    handler.receive(state, {"op": "close", "fd": 3})
+    assert state == {}
+
+
+def test_file_write_test_detects_completion():
+    handler = FileSEHandler()
+    env = Environment()
+    state = {3: {"path": "f", "mode": "w", "offset": 4}}
+    spec = _spec("Files.write/2")
+
+    env.fs.put("f", "abcdWXYZ")        # the write DID land at offset 4
+    assert handler.test(env, state, spec, [3, "WXYZ"]) is True
+
+    env.fs.put("f", "abcd")            # the write never happened
+    assert handler.test(env, state, spec, [3, "WXYZ"]) is False
+
+    env.fs.put("f", "abcdWX")          # partial? (cannot happen, but safe)
+    assert handler.test(env, state, spec, [3, "WXYZ"]) is False
+
+
+def test_file_write_confirm_advances_offset():
+    handler = FileSEHandler()
+    env = Environment()
+    env.fs.put("f", "abcdWXYZ")
+    session = env.attach("b")
+    session.restore_fd(3, "f", 4, "w")
+    state = {3: {"path": "f", "mode": "w", "offset": 4}}
+    handler.confirm(session, state, _spec("Files.write/2"), [3, "WXYZ"])
+    assert state[3]["offset"] == 8
+    assert session.handle(3).tell() == 8
+
+
+def test_console_handler_position_tracking():
+    handler = ConsoleSEHandler()
+    env = Environment()
+    session = env.attach("p")
+    session.console_write("hello\n")
+    payload = handler.log(session, _spec("System.println/1"), None,
+                          ["hello"], NativeOutcome())
+    assert payload == {"op": "pos", "pos": 6}
+
+    state = {}
+    handler.receive(state, payload)
+    # Uncertain println("x"): did it land?
+    assert handler.test(env, state, _spec("System.println/1"), ["x"]) is False
+    env.console.write("x\n")
+    assert handler.test(env, state, _spec("System.println/1"), ["x"]) is True
+
+
+def test_manager_routes_and_restores_once():
+    manager = SideEffectManager()
+    manager.receive(SideEffectRecord("file", {
+        "op": "open", "fd": 3, "path": "f", "mode": "w", "offset": 2,
+    }))
+    env = Environment()
+    env.fs.put("f", "xxxx")
+    session = env.attach("b")
+    manager.restore(session)
+    assert session.handle(3).tell() == 2
+    assert manager.restored
+    manager.restore(session)  # second call is a no-op
+
+
+def test_manager_rejects_unknown_and_duplicate_handlers():
+    manager = SideEffectManager()
+    with pytest.raises(ReplicationError, match="R6"):
+        manager.handler("quantum")
+    with pytest.raises(ReplicationError, match="twice"):
+        manager.add_handler(FileSEHandler())
+
+    class Nameless(SideEffectHandler):
+        name = ""
+
+    with pytest.raises(ReplicationError, match="name"):
+        manager.add_handler(Nameless())
+
+
+def test_custom_application_handler_can_be_added():
+    class MyHandler(SideEffectHandler):
+        name = "myapp"
+
+    manager = SideEffectManager()
+    manager.add_handler(MyHandler())
+    assert manager.handler("myapp").name == "myapp"

@@ -1,0 +1,46 @@
+"""Frame construction and invariants."""
+
+import pytest
+
+from repro.bytecode.assembler import assemble
+from repro.classfile.model import JMethod
+from repro.runtime.frames import Frame
+
+
+def _method(max_locals=4, nargs=1, static=False):
+    code = assemble("load 0\npop\nreturn\n", max_locals=max_locals)
+    return JMethod("m", nargs, False, code, is_static=static)
+
+
+def test_args_fill_leading_slots():
+    frame = Frame(_method(), ["receiver", 42])
+    assert frame.locals[:2] == ["receiver", 42]
+    assert frame.locals[2:] == [None, None]
+
+
+def test_frame_starts_at_pc_zero_with_empty_stack():
+    frame = Frame(_method(), [None])
+    assert frame.pc == 0
+    assert frame.stack == []
+    assert frame.sync_object is None
+    assert frame.held_monitors == []
+
+
+def test_push_pop():
+    frame = Frame(_method(), [None])
+    frame.push(1)
+    frame.push("two")
+    assert frame.pop() == "two"
+    assert frame.pop() == 1
+
+
+def test_native_methods_never_get_frames():
+    native = JMethod("n", 0, False, is_native=True)
+    with pytest.raises(AssertionError):
+        Frame(native, [])
+
+
+def test_repr_names_method_and_pc():
+    frame = Frame(_method(), [None])
+    assert "m" in repr(frame)
+    assert "pc=0" in repr(frame)

@@ -1,0 +1,204 @@
+"""Garbage collection: reachability, soft/weak references, finalizers."""
+
+import pytest
+
+from repro.errors import RestrictionViolation
+from repro.runtime.jvm import JVMConfig
+from tests.util import run_expect, run_minijava
+
+
+def test_collect_frees_garbage():
+    result, jvm, _ = run_minijava("""
+        class Blob { int[] payload; }
+        class Main {
+            static void main(String[] args) {
+                for (int i = 0; i < 50; i++) {
+                    Blob b = new Blob();
+                    b.payload = new int[100];
+                }
+                System.gc();
+            }
+        }
+    """)
+    assert result.ok
+    assert jvm.collector.stats.collections >= 1
+    assert jvm.collector.stats.objects_freed >= 90  # blobs + arrays
+
+
+def test_reachable_objects_survive():
+    run_expect("""
+        class Node { Node next; int value; }
+        class Main {
+            static Node head;
+            static void main(String[] args) {
+                for (int i = 0; i < 10; i++) {
+                    Node n = new Node();
+                    n.value = i; n.next = head; head = n;
+                }
+                System.gc();
+                int sum = 0;
+                Node n = head;
+                while (n != null) { sum = sum + n.value; n = n.next; }
+                System.println(sum);
+            }
+        }
+    """, "45")
+
+
+def test_gc_triggered_by_allocation_pressure():
+    config = JVMConfig(heap_gc_threshold=5_000, max_instructions=5_000_000)
+    result, jvm, _ = run_minijava("""
+        class Main {
+            static void main(String[] args) {
+                for (int i = 0; i < 100; i++) {
+                    int[] junk = new int[100];
+                    junk[0] = i;
+                }
+                System.println("done");
+            }
+        }
+    """, config=config)
+    assert result.ok
+    assert jvm.collector.stats.collections >= 1
+
+
+def test_soft_references_strong_by_default():
+    """The paper's mitigation (§4.3): soft referents are never collected,
+    so cache behaviour cannot diverge between replicas."""
+    config = JVMConfig(heap_gc_threshold=4_000, max_instructions=5_000_000)
+    result, _, env = run_minijava("""
+        class Main {
+            static void main(String[] args) {
+                SoftReference cache = new SoftReference(new Object());
+                for (int i = 0; i < 200; i++) {
+                    int[] junk = new int[50];
+                    junk[0] = i;
+                }
+                System.gc();
+                System.println(cache.get() != null);
+            }
+        }
+    """, config=config)
+    assert result.ok
+    assert env.console.lines() == ["true"]
+
+
+def test_soft_references_cleared_when_mitigation_disabled():
+    config = JVMConfig(soft_refs_strong=False, max_instructions=5_000_000)
+    result, jvm, env = run_minijava("""
+        class Main {
+            static void main(String[] args) {
+                SoftReference cache = new SoftReference(new Object());
+                System.gc();
+                System.println(cache.get() != null);
+            }
+        }
+    """, config=config)
+    assert result.ok
+    assert env.console.lines() == ["false"]
+    assert jvm.collector.stats.soft_refs_cleared == 1
+
+
+def test_weak_reference_cleared_when_unreachable():
+    config = JVMConfig(soft_refs_strong=False, max_instructions=5_000_000)
+    result, _, env = run_minijava("""
+        class Main {
+            static void main(String[] args) {
+                Object keep = new Object();
+                WeakReference alive = new WeakReference(keep);
+                WeakReference dead = new WeakReference(new Object());
+                System.gc();
+                System.println(alive.get() != null);
+                System.println(dead.get() != null);
+            }
+        }
+    """, config=config)
+    assert result.ok
+    assert env.console.lines() == ["true", "false"]
+
+
+def test_refs_natives_build_references():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                Object target = new Object();
+                SoftReference s = Refs.soft(target);
+                System.println(s.get() == target);
+            }
+        }
+    """, "true")
+
+
+def test_finalizer_runs_on_collection():
+    result, jvm, env = run_minijava("""
+        class Tracked {
+            static int finalized;
+            void finalize() { finalized = finalized + 1; }
+        }
+        class Main {
+            static void main(String[] args) {
+                for (int i = 0; i < 5; i++) {
+                    Tracked t = new Tracked();
+                }
+                System.gc();
+                System.println(Tracked.finalized);
+            }
+        }
+    """)
+    assert result.ok
+    # At least the four unreachable ones (the last local may pin one).
+    assert int(env.console.lines()[0]) >= 4
+    assert jvm.collector.stats.finalizers_run >= 4
+
+
+def test_finalizer_may_not_touch_monitors():
+    source = """
+        class Bad {
+            static Object lock = new Object();
+            void finalize() { synchronized (lock) { } }
+        }
+        class Main {
+            static void main(String[] args) {
+                Bad b = new Bad();
+                b = null;
+                System.gc();
+            }
+        }
+    """
+    with pytest.raises(RestrictionViolation, match="finalizer"):
+        run_minijava(source)
+
+
+def test_finalizer_may_not_do_io():
+    source = """
+        class Bad {
+            void finalize() { System.println("side effect!"); }
+        }
+        class Main {
+            static void main(String[] args) {
+                Bad b = new Bad();
+                b = null;
+                System.gc();
+            }
+        }
+    """
+    with pytest.raises(RestrictionViolation):
+        run_minijava(source)
+
+
+def test_objects_on_operand_stack_are_roots():
+    # An object that exists only on a frame's operand stack must survive.
+    run_expect("""
+        class Box { int v; }
+        class Main {
+            static Box mk() {
+                Box b = new Box();
+                b.v = 7;
+                System.gc();
+                return b;
+            }
+            static void main(String[] args) {
+                System.println(mk().v);
+            }
+        }
+    """, "7")

@@ -1,0 +1,85 @@
+"""Heap allocation and accounting."""
+
+import pytest
+
+from repro.classfile.loader import ClassRegistry
+from repro.classfile.model import JClass, JField
+from repro.errors import ReproError
+from repro.runtime.heap import Heap
+from repro.runtime.values import JArray, JObject
+
+
+def _registry():
+    reg = ClassRegistry()
+    box = JClass("Box", "Object")
+    box.add_field(JField("a", "int"))
+    box.add_field(JField("b", "str"))
+    box.add_field(JField("s", "int", is_static=True))
+    reg.register(box)
+    return reg
+
+
+def test_alloc_object_default_fields():
+    heap = Heap(_registry())
+    obj = heap.alloc_object("Box")
+    assert obj.fields == {"a": 0, "b": ""}  # statics excluded
+    assert obj.class_name == "Box"
+
+
+def test_oids_are_sequential():
+    heap = Heap(_registry())
+    oids = [heap.alloc_object("Box").oid for _ in range(3)]
+    assert oids == [1, 2, 3]
+    arr = heap.alloc_array("int", 2)
+    assert arr.oid == 4
+
+
+def test_array_defaults_by_type():
+    heap = Heap(_registry())
+    assert heap.alloc_array("int", 2).data == [0, 0]
+    assert heap.alloc_array("float", 1).data == [0.0]
+    assert heap.alloc_array("str", 1).data == [""]
+    assert heap.alloc_array("ref", 1).data == [None]
+
+
+def test_negative_array_is_internal_error():
+    # callers must raise the Java exception before reaching the heap
+    with pytest.raises(ReproError):
+        Heap(_registry()).alloc_array("int", -1)
+
+
+def test_gc_requested_at_threshold():
+    heap = Heap(_registry(), gc_threshold_cells=50)
+    assert not heap.gc_requested
+    heap.alloc_array("int", 100)
+    assert heap.gc_requested
+
+
+def test_cells_accounting():
+    heap = Heap(_registry())
+    obj = heap.alloc_object("Box")      # header(2) + 2 fields = 4
+    arr = heap.alloc_array("int", 10)   # header(2) + 10 = 12
+    assert heap.used_cells == 16
+    assert Heap.cells_of(obj) == 4
+    assert Heap.cells_of(arr) == 12
+
+
+def test_replace_live_resets_request():
+    heap = Heap(_registry(), gc_threshold_cells=10)
+    survivor = heap.alloc_object("Box")
+    heap.alloc_array("int", 100)
+    assert heap.gc_requested
+    before = heap.used_cells
+    freed = heap.replace_live([survivor], Heap.cells_of(survivor))
+    assert freed == before - Heap.cells_of(survivor)
+    assert heap.used_cells == 4
+    assert not heap.gc_requested
+    assert len(heap) == 1
+
+
+def test_total_allocations_survives_gc():
+    heap = Heap(_registry())
+    for _ in range(5):
+        heap.alloc_object("Box")
+    heap.replace_live([], 0)
+    assert heap.total_allocations == 5

@@ -1,0 +1,278 @@
+"""Bytecode semantics, exercised through small assembled programs."""
+
+import pytest
+
+from repro.errors import LinkageError, ReproError
+from tests.util import run_asm_main
+
+
+def _out(body, max_locals=4):
+    result, jvm, env = run_asm_main(body, max_locals=max_locals)
+    assert result.ok, result.uncaught
+    return env.console.lines()
+
+
+def _print_int(expr_asm):
+    return _out(f"{expr_asm}\ni2s\ninvokestatic System.println/1/0\nreturn\n")
+
+
+def test_int_arithmetic():
+    assert _print_int("iconst 7\niconst 3\niadd") == ["10"]
+    assert _print_int("iconst 7\niconst 3\nisub") == ["4"]
+    assert _print_int("iconst 7\niconst 3\nimul") == ["21"]
+    assert _print_int("iconst 7\niconst 3\nidiv") == ["2"]
+    assert _print_int("iconst 7\niconst 3\nirem") == ["1"]
+    assert _print_int("iconst 7\nineg") == ["-7"]
+
+
+def test_int_overflow_wraps():
+    assert _print_int("iconst 2147483647\niconst 1\niadd") == ["-2147483648"]
+
+
+def test_bitwise_ops():
+    assert _print_int("iconst 12\niconst 10\niand") == ["8"]
+    assert _print_int("iconst 12\niconst 10\nior") == ["14"]
+    assert _print_int("iconst 12\niconst 10\nixor") == ["6"]
+    assert _print_int("iconst 1\niconst 4\nishl") == ["16"]
+    assert _print_int("iconst -8\niconst 1\nishr") == ["-4"]
+    assert _print_int("iconst -1\niconst 28\niushr") == ["15"]
+
+
+def test_float_arithmetic_and_conversions():
+    assert _out("""
+        fconst 2.5
+        fconst 1.5
+        fadd
+        f2i
+        i2s
+        invokestatic System.println/1/0
+        iconst 3
+        i2f
+        fconst 2.0
+        fdiv
+        f2s
+        invokestatic System.println/1/0
+        return
+    """) == ["4", "1.5"]
+
+
+def test_float_div_by_zero_is_infinite_not_trap():
+    lines = _out("""
+        fconst 1.0
+        fconst 0.0
+        fdiv
+        f2s
+        invokestatic System.println/1/0
+        return
+    """)
+    assert lines == ["inf"]
+
+
+def test_string_ops():
+    assert _out("""
+        sconst "foo"
+        sconst "bar"
+        sconcat
+        invokestatic System.println/1/0
+        sconst "42"
+        s2i
+        iconst 1
+        iadd
+        i2s
+        invokestatic System.println/1/0
+        return
+    """) == ["foobar", "43"]
+
+
+def test_s2i_failure_raises_java_exception():
+    result, _, env = run_asm_main("""
+        sconst "nope"
+        s2i
+        pop
+        return
+    """)
+    assert result.uncaught
+    assert result.uncaught[0][1] == "NumberFormatException"
+
+
+def test_locals_and_iinc():
+    assert _out("""
+        iconst 5
+        store 0
+        iinc 0 3
+        load 0
+        i2s
+        invokestatic System.println/1/0
+        return
+    """) == ["8"]
+
+
+def test_stack_manipulation():
+    assert _print_int("iconst 1\niconst 2\nswap\nisub") == ["1"]
+    assert _print_int("iconst 3\ndup\nimul") == ["9"]
+    # dup_x1: [a b] -> [b a b]
+    assert _out("""
+        iconst 2
+        iconst 5
+        dup_x1
+        pop
+        pop
+        i2s
+        invokestatic System.println/1/0
+        return
+    """) == ["5"]
+
+
+def test_conditionals():
+    assert _out("""
+        iconst 1
+        if ne yes
+        sconst "no"
+        goto done
+      yes:
+        sconst "yes"
+      done:
+        invokestatic System.println/1/0
+        return
+    """) == ["yes"]
+
+
+def test_null_checks_raise_npe():
+    for body in (
+        "aconst_null\ngetfield x\npop\nreturn",
+        "aconst_null\narraylength\npop\nreturn",
+        "aconst_null\niconst 0\narrload\npop\nreturn",
+        "aconst_null\nmonitorenter\nreturn",
+    ):
+        result, _, _ = run_asm_main(body)
+        assert result.uncaught, body
+        assert result.uncaught[0][1] == "NullPointerException", body
+
+
+def test_div_by_zero():
+    result, _, _ = run_asm_main("iconst 1\niconst 0\nidiv\npop\nreturn")
+    assert result.uncaught[0][1] == "ArithmeticException"
+
+
+def test_arrays():
+    assert _out("""
+        iconst 3
+        newarray int
+        store 0
+        load 0
+        iconst 1
+        iconst 42
+        arrstore
+        load 0
+        iconst 1
+        arrload
+        i2s
+        invokestatic System.println/1/0
+        load 0
+        arraylength
+        i2s
+        invokestatic System.println/1/0
+        return
+    """) == ["42", "3"]
+
+
+def test_array_defaults():
+    assert _out("""
+        iconst 2
+        newarray str
+        iconst 0
+        arrload
+        sconst "<empty>"
+        sconcat
+        invokestatic System.println/1/0
+        return
+    """) == ["<empty>"]
+
+
+def test_array_index_out_of_bounds():
+    result, _, _ = run_asm_main("""
+        iconst 2
+        newarray int
+        iconst 5
+        arrload
+        pop
+        return
+    """)
+    assert result.uncaught[0][1] == "ArrayIndexOutOfBoundsException"
+
+
+def test_negative_array_size():
+    result, _, _ = run_asm_main("iconst -1\nnewarray int\npop\nreturn")
+    assert result.uncaught[0][1] == "NegativeArraySizeException"
+
+
+def test_new_object_and_fields():
+    from repro.classfile.model import JClass, JField
+    box = JClass("Box", "Object")
+    box.add_field(JField("value", "int"))
+    lines_result = run_asm_main("""
+        new Box
+        store 0
+        load 0
+        iconst 99
+        putfield value
+        load 0
+        getfield value
+        i2s
+        invokestatic System.println/1/0
+        return
+    """, extra_classes=[box])
+    result, _, env = lines_result
+    assert result.ok
+    assert env.console.lines() == ["99"]
+
+
+def test_getfield_unknown_field_is_internal_error():
+    with pytest.raises(LinkageError):
+        run_asm_main("""
+            new Object
+            dup
+            invokespecial Object.<init>/0/0
+            getfield ghost
+            pop
+            return
+        """)
+
+
+def test_instanceof_and_checkcast():
+    assert _out("""
+        new Thread
+        instanceof Object
+        i2s
+        invokestatic System.println/1/0
+        new Object
+        instanceof Thread
+        i2s
+        invokestatic System.println/1/0
+        aconst_null
+        instanceof Object
+        i2s
+        invokestatic System.println/1/0
+        return
+    """) == ["1", "0", "0"]
+
+
+def test_checkcast_failure():
+    result, _, _ = run_asm_main("""
+        new Object
+        checkcast Thread
+        pop
+        return
+    """)
+    assert result.uncaught[0][1] == "ClassCastException"
+
+
+def test_checkcast_null_passes():
+    result, _, _ = run_asm_main("aconst_null\ncheckcast Thread\npop\nreturn")
+    assert result.ok
+
+
+def test_operand_stack_underflow_caught_by_verifier():
+    # The verifier rejects underflowing bodies before they can run.
+    with pytest.raises(ReproError, match="pops 1"):
+        run_asm_main("pop\nreturn")

@@ -1,0 +1,188 @@
+"""Method invocation: dispatch, constructors, overloads, returns."""
+
+from tests.util import run_expect, run_minijava
+
+
+def test_virtual_dispatch_uses_dynamic_type():
+    run_expect("""
+        class Animal { String speak() { return "..."; } }
+        class Dog extends Animal { String speak() { return "woof"; } }
+        class Main {
+            static void main(String[] args) {
+                Animal a = new Dog();
+                System.println(a.speak());
+            }
+        }
+    """, "woof")
+
+
+def test_super_call_is_statically_bound():
+    run_expect("""
+        class Animal { String speak() { return "generic"; } }
+        class Dog extends Animal {
+            String speak() { return super.speak() + "+woof"; }
+        }
+        class Main {
+            static void main(String[] args) {
+                System.println(new Dog().speak());
+            }
+        }
+    """, "generic+woof")
+
+
+def test_constructor_chains_to_super():
+    run_expect("""
+        class Base {
+            int x;
+            Base() { x = 10; }
+        }
+        class Derived extends Base {
+            int y;
+            Derived() { y = x + 5; }
+        }
+        class Main {
+            static void main(String[] args) {
+                Derived d = new Derived();
+                System.println(d.x + "," + d.y);
+            }
+        }
+    """, "10,15")
+
+
+def test_explicit_super_constructor_args():
+    run_expect("""
+        class Base {
+            int x;
+            Base(int x) { this.x = x; }
+        }
+        class Derived extends Base {
+            Derived() { super(7); }
+        }
+        class Main {
+            static void main(String[] args) {
+                System.println(new Derived().x);
+            }
+        }
+    """, "7")
+
+
+def test_overload_by_arity():
+    run_expect("""
+        class Calc {
+            int add(int a) { return a + 1; }
+            int add(int a, int b) { return a + b; }
+        }
+        class Main {
+            static void main(String[] args) {
+                Calc c = new Calc();
+                System.println(c.add(5) + "," + c.add(5, 6));
+            }
+        }
+    """, "6,11")
+
+
+def test_recursion():
+    run_expect("""
+        class Main {
+            static int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            static void main(String[] args) {
+                System.println(fib(15));
+            }
+        }
+    """, "610")
+
+
+def test_mutual_recursion_across_classes():
+    run_expect("""
+        class Even {
+            static boolean check(int n) {
+                if (n == 0) { return true; }
+                return Odd.check(n - 1);
+            }
+        }
+        class Odd {
+            static boolean check(int n) {
+                if (n == 0) { return false; }
+                return Even.check(n - 1);
+            }
+        }
+        class Main {
+            static void main(String[] args) {
+                System.println(Even.check(10) + "," + Even.check(7));
+            }
+        }
+    """, "true,false")
+
+
+def test_npe_on_null_receiver():
+    result, _, _ = run_minijava("""
+        class Box { int get() { return 1; } }
+        class Main {
+            static void main(String[] args) {
+                Box b = null;
+                System.println(b.get());
+            }
+        }
+    """)
+    assert result.uncaught[0][1] == "NullPointerException"
+
+
+def test_unqualified_instance_call_uses_this():
+    run_expect("""
+        class Counter {
+            int n;
+            void bump() { n = n + 1; }
+            int twice() { bump(); bump(); return n; }
+        }
+        class Main {
+            static void main(String[] args) {
+                System.println(new Counter().twice());
+            }
+        }
+    """, "2")
+
+
+def test_return_value_discarded_in_statement():
+    run_expect("""
+        class Main {
+            static int noisy() { System.println("called"); return 42; }
+            static void main(String[] args) {
+                noisy();
+                System.println("done");
+            }
+        }
+    """, "called", "done")
+
+
+def test_object_identity_methods():
+    result, _, env = run_minijava("""
+        class Main {
+            static void main(String[] args) {
+                Object a = new Object();
+                Object b = new Object();
+                System.println(a.equals(a));
+                System.println(a.equals(b));
+                System.println(a.hashCode() == a.hashCode());
+                System.println(a.hashCode() == b.hashCode());
+            }
+        }
+    """)
+    assert result.ok
+    assert env.console.lines() == ["true", "false", "true", "false"]
+
+
+def test_to_string_is_class_at_oid():
+    result, _, env = run_minijava("""
+        class Widget { }
+        class Main {
+            static void main(String[] args) {
+                Widget w = new Widget();
+                System.println(w.toString().startsWith("Widget@"));
+            }
+        }
+    """)
+    assert result.ok
+    assert env.console.lines() == ["true"]

@@ -1,0 +1,190 @@
+"""JVM facade: statics, class init, digests, config guards."""
+
+import pytest
+
+from repro.env.environment import Environment
+from repro.errors import LinkageError, ReproError
+from repro.minijava import compile_program
+from repro.runtime.jvm import JVM, JVMConfig
+from repro.runtime.stdlib import default_natives
+from tests.util import run_expect, run_minijava
+
+
+def test_static_fields_shared_across_instances():
+    run_expect("""
+        class Counter {
+            static int total;
+            void bump() { total = total + 1; }
+        }
+        class Main {
+            static void main(String[] args) {
+                new Counter().bump();
+                new Counter().bump();
+                System.println(Counter.total);
+            }
+        }
+    """, "2")
+
+
+def test_static_field_inherited_slot_is_shared():
+    run_expect("""
+        class Base { static int shared; }
+        class Derived extends Base {
+            static void poke() { shared = 42; }
+        }
+        class Main {
+            static void main(String[] args) {
+                Derived.poke();
+                System.println(Base.shared);
+            }
+        }
+    """, "42")
+
+
+def test_static_initializers_run_before_main():
+    run_expect("""
+        class Config {
+            static int answer = 6 * 7;
+            static String name = "config-" + answer;
+        }
+        class Main {
+            static void main(String[] args) {
+                System.println(Config.name);
+            }
+        }
+    """, "config-42")
+
+
+def test_state_digest_deterministic():
+    source = """
+        class Main {
+            static int x;
+            static void main(String[] args) { x = 5; }
+        }
+    """
+    digests = {run_minijava(source)[1].state_digest() for _ in range(3)}
+    assert len(digests) == 1
+
+
+def test_state_digest_sensitive_to_heap_contents():
+    base = """
+        class Main {{
+            static int[] data;
+            static void main(String[] args) {{
+                data = new int[3];
+                data[1] = {v};
+            }}
+        }}
+    """
+    d1 = run_minijava(base.format(v=1))[1].state_digest()
+    d2 = run_minijava(base.format(v=2))[1].state_digest()
+    assert d1 != d2
+
+
+def test_state_digest_handles_cycles():
+    result, jvm, _ = run_minijava("""
+        class Node { Node next; }
+        class Main {
+            static Node ring;
+            static void main(String[] args) {
+                Node a = new Node(); Node b = new Node();
+                a.next = b; b.next = a;
+                ring = a;
+            }
+        }
+    """)
+    assert result.ok
+    assert jvm.state_digest()  # terminates and yields a hash
+
+
+def test_max_instructions_guard():
+    config = JVMConfig(max_instructions=10_000)
+    with pytest.raises(ReproError, match="instruction limit"):
+        run_minijava("""
+            class Main {
+                static void main(String[] args) {
+                    while (true) { }
+                }
+            }
+        """, config=config)
+
+
+def test_missing_main_class():
+    registry = compile_program(
+        "class Helper { static int f() { return 1; } }"
+    )
+    env = Environment()
+    jvm = JVM(registry, default_natives(), env.attach("x"))
+    with pytest.raises(LinkageError):
+        jvm.run("Helper")
+
+
+def test_main_receives_args_array():
+    source = """
+        class Main {
+            static void main(String[] args) {
+                System.println(args.length + ":" + args[0]);
+            }
+        }
+    """
+    registry = compile_program(source)
+    env = Environment()
+    jvm = JVM(registry, default_natives(), env.attach("x"))
+    result = jvm.run("Main", ["hello", "world"])
+    assert result.ok
+    assert env.console.lines() == ["2:hello"]
+
+
+def test_double_bootstrap_rejected():
+    registry = compile_program(
+        "class Main { static void main(String[] args) { } }"
+    )
+    env = Environment()
+    jvm = JVM(registry, default_natives(), env.attach("x"))
+    jvm.run("Main")
+    with pytest.raises(ReproError, match="already bootstrapped"):
+        jvm.bootstrap("Main")
+
+
+def test_identical_initial_state_across_jvm_instances():
+    """Two JVMs over the same registry + same seeds are replicas: they
+    must produce identical digests after identical runs."""
+    source = """
+        class Main {
+            static int acc;
+            static void main(String[] args) {
+                for (int i = 0; i < 100; i++) { acc = acc + i; }
+            }
+        }
+    """
+    registry = compile_program(source)
+    digests = set()
+    for _ in range(2):
+        env = Environment()
+        jvm = JVM(registry, default_natives(), env.attach("p"),
+                  JVMConfig(scheduler_seed=9))
+        jvm.run("Main")
+        digests.add(jvm.state_digest())
+    assert len(digests) == 1
+
+
+def test_out_of_memory_error():
+    config = JVMConfig(
+        heap_gc_threshold=2_000, heap_max_cells=4_000,
+        max_instructions=10_000_000,
+    )
+    result, _, _ = run_minijava("""
+        class Node { Node next; int[] payload; }
+        class Main {
+            static Node head;
+            static void main(String[] args) {
+                while (true) {
+                    Node n = new Node();
+                    n.payload = new int[100];
+                    n.next = head;
+                    head = n;
+                }
+            }
+        }
+    """, config=config)
+    assert result.uncaught[0][1] == "OutOfMemoryError"

@@ -1,0 +1,241 @@
+"""Monitor semantics: mutual exclusion, recursion, wait/notify."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.runtime.jvm import JVMConfig
+from tests.util import run_expect, run_minijava
+
+
+def test_synchronized_method_mutual_exclusion():
+    run_expect("""
+        class Counter {
+            int n;
+            synchronized void add() { n = n + 1; }
+            synchronized int get() { return n; }
+        }
+        class Worker extends Thread {
+            Counter c;
+            Worker(Counter c) { this.c = c; }
+            void run() { for (int i = 0; i < 400; i++) { c.add(); } }
+        }
+        class Main {
+            static void main(String[] args) {
+                Counter c = new Counter();
+                Worker a = new Worker(c); Worker b = new Worker(c);
+                a.start(); b.start(); a.join(); b.join();
+                System.println(c.get());
+            }
+        }
+    """, "800")
+
+
+def test_monitor_recursion():
+    run_expect("""
+        class R {
+            synchronized int outer() { return inner() + 1; }
+            synchronized int inner() { return 10; }
+        }
+        class Main {
+            static void main(String[] args) {
+                System.println(new R().outer());
+            }
+        }
+    """, "11")
+
+
+def test_synchronized_block_released_on_exception():
+    run_expect("""
+        class Main {
+            static Object lock = new Object();
+            static void boom() {
+                synchronized (lock) { throw new RuntimeException("x"); }
+            }
+            static void main(String[] args) {
+                try { boom(); } catch (RuntimeException e) { }
+                synchronized (lock) { System.println("reacquired"); }
+            }
+        }
+    """, "reacquired")
+
+
+def test_synchronized_method_released_on_exception():
+    run_expect("""
+        class R {
+            synchronized void boom() { throw new RuntimeException("x"); }
+            synchronized String ok() { return "ok"; }
+        }
+        class Main {
+            static void main(String[] args) {
+                R r = new R();
+                try { r.boom(); } catch (RuntimeException e) { }
+                System.println(r.ok());
+            }
+        }
+    """, "ok")
+
+
+def test_wait_notify_producer_consumer():
+    run_expect("""
+        class Cell {
+            int value;
+            boolean full;
+            synchronized void put(int v) {
+                while (full) { this.wait(); }
+                value = v; full = true;
+                this.notifyAll();
+            }
+            synchronized int take() {
+                while (!full) { this.wait(); }
+                full = false;
+                this.notifyAll();
+                return value;
+            }
+        }
+        class Producer extends Thread {
+            Cell cell; int n;
+            Producer(Cell c, int n) { cell = c; this.n = n; }
+            void run() { for (int i = 1; i <= n; i++) { cell.put(i); } }
+        }
+        class Main {
+            static void main(String[] args) {
+                Cell cell = new Cell();
+                Producer p = new Producer(cell, 5);
+                p.start();
+                int sum = 0;
+                for (int i = 0; i < 5; i++) { sum = sum + cell.take(); }
+                p.join();
+                System.println(sum);
+            }
+        }
+    """, "15")
+
+
+def test_wait_without_monitor_raises():
+    result, _, _ = run_minijava("""
+        class Main {
+            static void main(String[] args) {
+                Object o = new Object();
+                o.wait();
+            }
+        }
+    """)
+    assert result.uncaught[0][1] == "IllegalMonitorStateException"
+
+
+def test_notify_without_monitor_raises():
+    result, _, _ = run_minijava("""
+        class Main {
+            static void main(String[] args) {
+                Object o = new Object();
+                o.notify();
+            }
+        }
+    """)
+    assert result.uncaught[0][1] == "IllegalMonitorStateException"
+
+
+def test_notify_wakes_single_waiter_fifo():
+    run_expect("""
+        class Gate {
+            int woken;
+            synchronized void park(int id) {
+                this.wait();
+                woken = woken * 10 + id;
+            }
+            synchronized void release() { this.notify(); }
+            synchronized int order() { return woken; }
+        }
+        class Waiter extends Thread {
+            Gate g; int id;
+            Waiter(Gate g, int id) { this.g = g; this.id = id; }
+            void run() { g.park(id); }
+        }
+        class Main {
+            static void main(String[] args) {
+                Gate g = new Gate();
+                Waiter a = new Waiter(g, 1);
+                Waiter b = new Waiter(g, 2);
+                a.start();
+                // give a a head start so it waits first
+                while (!a.isAlive()) { Thread.yield(); }
+                Thread.sleep(5);
+                b.start();
+                Thread.sleep(5);
+                g.release();
+                a.join();
+                g.release();
+                b.join();
+                System.println(g.order());
+            }
+        }
+    """, "12")
+
+
+def test_timed_wait_times_out():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                Object o = new Object();
+                synchronized (o) {
+                    o.timedWait(5);
+                }
+                System.println("woke");
+            }
+        }
+    """, "woke")
+
+
+def test_deadlock_detected():
+    source = """
+        class Main {
+            static void main(String[] args) {
+                Object o = new Object();
+                synchronized (o) { o.wait(); }
+            }
+        }
+    """
+    with pytest.raises(DeadlockError):
+        run_minijava(source)
+
+
+def test_two_lock_deadlock_detected():
+    source = """
+        class Grabber extends Thread {
+            Object first; Object second;
+            Grabber(Object a, Object b) { first = a; second = b; }
+            void run() {
+                synchronized (first) {
+                    Thread.sleep(5);
+                    synchronized (second) { }
+                }
+            }
+        }
+        class Main {
+            static void main(String[] args) {
+                Object a = new Object(); Object b = new Object();
+                Grabber g1 = new Grabber(a, b);
+                Grabber g2 = new Grabber(b, a);
+                g1.start(); g2.start();
+                g1.join(); g2.join();
+            }
+        }
+    """
+    with pytest.raises(DeadlockError):
+        run_minijava(source)
+
+
+def test_lock_statistics_exposed():
+    result, jvm, _ = run_minijava("""
+        class Main {
+            static void main(String[] args) {
+                Object a = new Object(); Object b = new Object();
+                for (int i = 0; i < 3; i++) { synchronized (a) { } }
+                synchronized (b) { }
+            }
+        }
+    """)
+    assert result.ok
+    assert jvm.sync.total_acquisitions == 4
+    assert jvm.sync.monitors_created == 2
+    assert jvm.sync.largest_l_asn == 3

@@ -1,0 +1,54 @@
+"""Monitor data structure invariants."""
+
+from repro.runtime.monitors import AdmissionController, Monitor, get_monitor
+from repro.runtime.threads import JavaThread
+from repro.runtime.values import JArray, JObject
+
+
+def test_monitor_initial_state():
+    m = Monitor()
+    assert m.is_free()
+    assert m.owner is None
+    assert m.recursion == 0
+    assert m.l_id is None
+    assert m.l_asn == 0
+    assert not m.entry_queue and not m.wait_set
+
+
+def test_get_monitor_is_lazy_and_cached():
+    obj = JObject("X", {}, 1)
+    assert obj.monitor is None
+    m = get_monitor(obj)
+    assert obj.monitor is m
+    assert get_monitor(obj) is m
+
+
+def test_arrays_have_monitors_too():
+    arr = JArray("int", [1, 2], 3)
+    assert get_monitor(arr) is arr.monitor
+
+
+def test_is_held_by():
+    m = Monitor()
+    t = JavaThread((0,), None)
+    assert not m.is_held_by(t)
+    m.owner = t
+    assert m.is_held_by(t)
+    assert not m.is_free()
+
+
+def test_default_admission_controller_admits_everyone():
+    ctrl = AdmissionController()
+    t = JavaThread((0,), None)
+    m = Monitor()
+    assert ctrl.may_acquire(t, m) is True
+    ctrl.on_acquired(t, m)   # no-ops must not raise
+    ctrl.on_released(t, m)
+
+
+def test_monitor_repr_mentions_owner():
+    m = Monitor()
+    assert "owner=-" in repr(m)
+    t = JavaThread((0, 1), None)
+    m.owner = t
+    assert "t0.1" in repr(m)

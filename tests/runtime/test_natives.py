@@ -1,0 +1,200 @@
+"""Native interface: registry, annotations, R2/R3/R5 enforcement."""
+
+import pytest
+
+from repro.errors import NativeError
+from repro.runtime.natives import (
+    JavaThrow,
+    NativeContext,
+    NativeRegistry,
+    NativeSpec,
+    call_native,
+)
+from repro.runtime.stdlib import default_natives
+from tests.util import run_expect, run_minijava
+
+
+def test_registry_lookup_and_duplicates():
+    reg = NativeRegistry()
+    spec = NativeSpec("X.f/0", lambda ctx, r, a: 1)
+    reg.register(spec)
+    assert reg.lookup("X.f/0") is spec
+    assert reg.has("X.f/0")
+    with pytest.raises(NativeError, match="twice"):
+        reg.register(NativeSpec("X.f/0", lambda ctx, r, a: 2))
+    with pytest.raises(NativeError, match="unsatisfied"):
+        reg.lookup("X.g/0")
+
+
+def test_r5_enforced_at_registration():
+    with pytest.raises(NativeError, match="R5"):
+        NativeSpec("X.out/0", lambda ctx, r, a: None, is_output=True)
+    # idempotent or testable outputs are fine
+    NativeSpec("X.out/0", lambda ctx, r, a: None, is_output=True,
+               idempotent=True)
+    NativeSpec("X.out2/0", lambda ctx, r, a: None, is_output=True,
+               testable=True)
+
+
+def test_nondeterministic_hash_table_contents():
+    table = default_natives().nondeterministic_signatures()
+    assert "System.currentTimeMillis/0" in table
+    assert "Files.readLine/1" in table
+    assert "Env.randomInt/1" in table
+    assert "Math.sqrt/1" not in table
+    assert table == sorted(table)
+
+
+def test_output_signatures():
+    outputs = default_natives().output_signatures()
+    assert "System.println/1" in outputs
+    assert "Files.write/2" in outputs
+    assert "Files.readLine/1" not in outputs
+
+
+def test_r2_deterministic_native_cannot_read_clock():
+    """A native annotated deterministic trips the gate if it reads the
+    environment — the paper's R2/R3, enforced mechanically."""
+    source = """
+        class Main {
+            static void main(String[] args) {
+                System.println(Strings.length("xx"));
+            }
+        }
+    """
+    # Sanity: normal run works.
+    result, jvm, _ = run_minijava(source)
+    assert result.ok
+
+    # Now a rogue deterministic native that reads the clock.
+    rogue = NativeSpec("Rogue.now/0", lambda ctx, r, a: ctx.clock_ms())
+    ctx = NativeContext(jvm, jvm.main_thread, rogue)
+    with pytest.raises(NativeError, match="R2/R3"):
+        rogue.impl(ctx, None, [])
+
+
+def test_non_output_native_cannot_mutate_environment():
+    result, jvm, _ = run_minijava(
+        "class Main { static void main(String[] args) { } }"
+    )
+    rogue = NativeSpec("Rogue.mutate/0",
+                       lambda ctx, r, a: ctx.output_target())
+    ctx = NativeContext(jvm, jvm.main_thread, rogue)
+    with pytest.raises(NativeError, match="R5"):
+        rogue.impl(ctx, None, [])
+
+
+def test_java_throw_becomes_outcome_exception():
+    def impl(ctx, receiver, args):
+        raise JavaThrow("IOException", "disk on fire")
+
+    spec = NativeSpec("X.f/0", impl)
+    outcome = call_native(spec, None, None, [])
+    assert outcome.exception == ("IOException", "disk on fire")
+    assert outcome.value is None
+
+
+def test_log_arrays_captures_out_params():
+    from repro.runtime.values import JArray
+
+    def impl(ctx, receiver, args):
+        args[0].data[0] = 99
+        return None
+
+    spec = NativeSpec("X.fill/1", impl, log_arrays=True)
+    arr = JArray("int", [0, 0], 1)
+    outcome = call_native(spec, None, None, [arr])
+    assert outcome.array_results == {0: [99, 0]}
+
+
+def test_arraycopy():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                int[] src = new int[5];
+                for (int i = 0; i < 5; i++) { src[i] = i * i; }
+                int[] dst = new int[5];
+                System.arraycopy(src, 1, dst, 0, 3);
+                System.println(dst[0] + "," + dst[1] + "," + dst[2]);
+            }
+        }
+    """, "1,4,9")
+
+
+def test_arraycopy_bounds_checked():
+    result, _, _ = run_minijava("""
+        class Main {
+            static void main(String[] args) {
+                int[] a = new int[2];
+                int[] b = new int[2];
+                System.arraycopy(a, 0, b, 0, 5);
+            }
+        }
+    """)
+    assert result.uncaught[0][1] == "ArrayIndexOutOfBoundsException"
+
+
+def test_string_natives():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                String s = "  Hello World  ";
+                System.println(s.trim());
+                System.println(s.trim().toUpperCase());
+                System.println(Strings.fromChar('A' + 2));
+                System.println("banana".indexOf("na"));
+                System.println("xy".repeat(3));
+            }
+        }
+    """, "Hello World", "HELLO WORLD", "C", "2", "xyxyxy")
+
+
+def test_string_hash_matches_java():
+    # Java: "Hello".hashCode() == 69609650
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                System.println("Hello".hashCode());
+            }
+        }
+    """, "69609650")
+
+
+def test_string_chars_round_trip():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                int[] chars = "abc".toChars();
+                chars[0] = chars[0] + 1;
+                System.println(Strings.fromChars(chars, 3));
+            }
+        }
+    """, "bbc")
+
+
+def test_math_natives():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                System.println((int) Math.sqrt(49.0));
+                System.println((int) Math.pow(2.0, 10.0));
+                System.println(Math.imax(3, 9) + Math.imin(3, 9));
+                System.println((int) Math.floor(2.7));
+                System.println((int) Math.fabs(-4.0));
+            }
+        }
+    """, "7", "1024", "12", "2", "4")
+
+
+def test_env_randomness_is_session_seeded():
+    source = """
+        class Main {
+            static void main(String[] args) {
+                System.println(Env.randomInt(1000000));
+            }
+        }
+    """
+    _, _, env1 = run_minijava(source)
+    _, _, env2 = run_minijava(source)
+    # Same session seed -> same draw (determinism per process).
+    assert env1.console.transcript() == env2.console.transcript()

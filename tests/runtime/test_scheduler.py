@@ -1,0 +1,143 @@
+"""Scheduler unit behaviour: quanta, queues, timers, liveness."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.runtime.scheduler import ScheduleController, Scheduler, SliceEnd
+from repro.runtime.threads import JavaThread, ThreadState
+
+
+def _scheduler(controller=None):
+    clock = {"now": 0.0}
+    sched = Scheduler(lambda: clock["now"], controller)
+    return sched, clock
+
+
+def _runnable(vid=(0,), **kw):
+    t = JavaThread(vid, None, **kw)
+    t.state = ThreadState.RUNNABLE
+    return t
+
+
+def test_quantum_jitter_is_seeded():
+    a = ScheduleController(seed=1, quantum_base=50, quantum_jitter=20)
+    b = ScheduleController(seed=1, quantum_base=50, quantum_jitter=20)
+    c = ScheduleController(seed=2, quantum_base=50, quantum_jitter=20)
+    t = _runnable()
+    seq_a = [a.quantum(t) for _ in range(20)]
+    seq_b = [b.quantum(t) for _ in range(20)]
+    seq_c = [c.quantum(t) for _ in range(20)]
+    assert seq_a == seq_b
+    assert seq_a != seq_c
+    assert all(50 <= q <= 70 for q in seq_a)
+
+
+def test_zero_jitter_is_fixed_quantum():
+    ctrl = ScheduleController(seed=0, quantum_base=42, quantum_jitter=0)
+    assert {ctrl.quantum(_runnable()) for _ in range(5)} == {42}
+
+
+def test_pick_skips_stale_queue_entries():
+    sched, _ = _scheduler()
+    t1, t2 = _runnable((0,)), _runnable((0, 0))
+    sched.register(t1)
+    sched.register(t2)
+    sched.make_runnable(t1)
+    sched.make_runnable(t2)
+    t1.state = ThreadState.BLOCKED   # went stale while queued
+    assert sched.pick() is t2
+
+
+def test_pick_counts_reschedules_only_on_switch():
+    sched, _ = _scheduler()
+    t1 = _runnable()
+    sched.register(t1)
+    sched.make_runnable(t1)
+    assert sched.pick() is t1
+    assert sched.reschedules == 1
+    sched.requeue_current(t1)
+    assert sched.pick() is t1
+    assert sched.reschedules == 1   # same thread: no switch
+
+
+def test_on_switch_receives_previous_and_reason():
+    calls = []
+
+    class Spy(ScheduleController):
+        def on_switch(self, prev, reason, next_thread):
+            calls.append((prev, reason, next_thread))
+
+    sched, _ = _scheduler(Spy())
+    t1, t2 = _runnable((0,)), _runnable((0, 0))
+    for t in (t1, t2):
+        sched.register(t)
+        sched.make_runnable(t)
+    sched.pick()
+    sched.last_reason = SliceEnd.QUANTUM
+    sched.requeue_current(t1)
+    sched.pick()
+    assert calls[0] == (None, None, t1)
+    assert calls[1] == (t1, SliceEnd.QUANTUM, t2)
+
+
+def test_make_runnable_ignores_terminated():
+    sched, _ = _scheduler()
+    t = JavaThread((0,), None)
+    t.state = ThreadState.TERMINATED
+    sched.register(t)
+    sched.make_runnable(t)
+    assert not sched.runnable
+
+
+def test_make_runnable_deduplicates():
+    sched, _ = _scheduler()
+    t = _runnable()
+    sched.register(t)
+    sched.make_runnable(t)
+    sched.make_runnable(t)
+    assert len(sched.runnable) == 1
+
+
+def test_timers_wake_in_virtual_time():
+    sched, clock = _scheduler()
+    t = JavaThread((0,), None)
+    t.state = ThreadState.TIMED_WAITING
+    t.wakeup_time = 100.0
+    sched.register(t)
+
+    class _Sync:
+        woken = []
+
+        def timeout_waiter(self, thread):
+            self.woken.append(thread)
+
+    sync = _Sync()
+    sched.wake_expired_timers(sync)
+    assert sync.woken == []
+    clock["now"] = 150.0
+    sched.wake_expired_timers(sync)
+    assert sync.woken == [t]
+    assert sched.earliest_wakeup() == 100.0
+
+
+def test_live_application_threads_excludes_daemons_and_system():
+    sched, _ = _scheduler()
+    app = _runnable((0,))
+    daemon = _runnable((0, 0), is_daemon=True)
+    system = _runnable((0, 1), is_system=True)
+    for t in (app, daemon, system):
+        sched.register(t)
+    assert sched.live_application_threads() == [app]
+
+
+def test_assert_progress_possible():
+    sched, _ = _scheduler()
+    t = JavaThread((0,), None)
+    t.state = ThreadState.BLOCKED
+    sched.register(t)
+    with pytest.raises(DeadlockError, match="blocked"):
+        sched.assert_progress_possible()
+    t.state = ThreadState.TIMED_WAITING
+    sched.assert_progress_possible()   # timers can still fire
+    t.state = ThreadState.TERMINATED
+    sched.assert_progress_possible()   # nothing alive: no deadlock

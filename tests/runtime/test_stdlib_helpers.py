@@ -1,0 +1,90 @@
+"""stdlib helpers and the bytecode-bodied builtin methods."""
+
+from repro.runtime.stdlib import text_of
+from repro.runtime.values import JArray, JObject
+from tests.util import run_expect, run_minijava
+
+
+def test_text_of_scalars():
+    assert text_of(None) == "null"
+    assert text_of(42) == "42"
+    assert text_of(-1) == "-1"
+    assert text_of(2.5) == "2.5"
+    assert text_of("s") == "s"
+
+
+def test_text_of_references():
+    assert text_of(JObject("Foo", {}, 7)) == "Foo@7"
+    assert text_of(JArray("int", [], 9)) == "array@9"
+
+
+def test_throwable_get_message():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                Throwable t = new Exception("why not");
+                System.println(t.getMessage());
+            }
+        }
+    """, "why not")
+
+
+def test_exception_message_field_accessible():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                Exception e = new Exception("m");
+                System.println(e.message);
+            }
+        }
+    """, "m")
+
+
+def test_runtime_exception_chain_getmessage_inherited():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                try { throw new IllegalStateException("oops"); }
+                catch (Exception e) { System.println(e.getMessage()); }
+            }
+        }
+    """, "oops")
+
+
+def test_thread_default_run_is_noop():
+    run_expect("""
+        class Plain extends Thread { }
+        class Main {
+            static void main(String[] args) {
+                Plain p = new Plain();
+                p.start();
+                p.join();
+                System.println("joined");
+            }
+        }
+    """, "joined")
+
+
+def test_reference_classes_constructor_and_get():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                Object target = new Object();
+                WeakReference w = new WeakReference(target);
+                System.println(w.get() == target);
+            }
+        }
+    """, "true")
+
+
+def test_exception_hierarchy_runtime_visible():
+    result, jvm, _ = run_minijava(
+        "class Main { static void main(String[] args) { } }"
+    )
+    reg = jvm.registry
+    assert reg.is_subtype("NumberFormatException", "IllegalArgumentException")
+    assert reg.is_subtype("IllegalArgumentException", "RuntimeException")
+    assert reg.is_subtype("RuntimeException", "Exception")
+    assert reg.is_subtype("OutOfMemoryError", "Error")
+    assert reg.is_subtype("Error", "Throwable")
+    assert not reg.is_subtype("Error", "Exception")

@@ -1,0 +1,201 @@
+"""SyncManager unit behaviour: admission, parking, counters."""
+
+import pytest
+
+from repro.errors import RestrictionViolation
+from repro.runtime.monitors import AdmissionController, get_monitor
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.sync import EnterResult, SyncManager
+from repro.runtime.threads import JavaThread, ThreadState
+from repro.runtime.values import JObject
+
+
+def _setup():
+    sched = Scheduler(lambda: 0.0)
+    sync = SyncManager(sched)
+    return sched, sync
+
+
+def _thread(vid=(0,)):
+    t = JavaThread(vid, None)
+    t.state = ThreadState.RUNNABLE
+    return t
+
+
+def _obj(oid=1):
+    return JObject("Object", {}, oid)
+
+
+def test_acquire_free_monitor():
+    _, sync = _setup()
+    t, o = _thread(), _obj()
+    assert sync.enter(t, o) is EnterResult.ACQUIRED
+    m = o.monitor
+    assert m.owner is t
+    assert m.recursion == 1
+    assert (t.t_asn, t.mon_cnt, m.l_asn) == (1, 1, 1)
+    assert sync.total_acquisitions == 1
+
+
+def test_recursive_acquire_does_not_log_a_new_acquisition():
+    _, sync = _setup()
+    t, o = _thread(), _obj()
+    sync.enter(t, o)
+    sync.enter(t, o)
+    m = o.monitor
+    assert m.recursion == 2
+    assert t.t_asn == 1            # still one logical acquisition
+    assert t.mon_cnt == 2          # but two monitor events
+    assert sync.total_acquisitions == 1
+
+
+def test_contended_enter_blocks_and_release_wakes():
+    sched, sync = _setup()
+    a, b, o = _thread((0,)), _thread((0, 0)), _obj()
+    sched.register(a)
+    sched.register(b)
+    sync.enter(a, o)
+    assert sync.enter(b, o) is EnterResult.BLOCKED
+    assert b.state is ThreadState.BLOCKED
+    assert b in o.monitor.entry_queue
+
+    assert sync.exit(a, o) is True
+    assert o.monitor.owner is None
+    assert b.state is ThreadState.RUNNABLE   # woken to retry
+
+
+def test_exit_by_non_owner_fails():
+    _, sync = _setup()
+    a, b, o = _thread((0,)), _thread((0, 0)), _obj()
+    sync.enter(a, o)
+    assert sync.exit(b, o) is False
+    assert sync.exit(b, _obj(2)) is False    # no monitor at all
+
+
+def test_admission_controller_can_park():
+    class Veto(AdmissionController):
+        allow = False
+
+        def may_acquire(self, thread, monitor):
+            return self.allow
+
+    sched, sync = _setup()
+    veto = Veto()
+    sync.admission = veto
+    t, o = _thread(), _obj()
+    sched.register(t)
+    assert sync.enter(t, o) is EnterResult.PARKED
+    assert t.state is ThreadState.PARKED
+    assert sync.parked_threads == [t]
+
+    veto.allow = True
+    sync.reevaluate_parked()
+    assert t.state is ThreadState.RUNNABLE   # retries when scheduled
+    assert sync.enter(t, o) is EnterResult.ACQUIRED
+
+
+def test_wait_releases_fully_and_reenter_restores_recursion():
+    sched, sync = _setup()
+    t, o = _thread(), _obj()
+    sched.register(t)
+    sync.enter(t, o)
+    sync.enter(t, o)          # recursion 2
+    assert sync.wait(t, o, None) is True
+    m = o.monitor
+    assert m.owner is None
+    assert t in m.wait_set
+    assert t.saved_recursion == 2
+    assert t.state is ThreadState.WAITING
+
+    waker = _thread((0, 0))
+    sched.register(waker)
+    sync.enter(waker, o)
+    assert sync.notify(waker, o, all_waiters=False) is True
+    assert t.reacquiring
+    sync.exit(waker, o)
+
+    assert sync.reenter_after_wait(t, o) is EnterResult.ACQUIRED
+    assert m.owner is t
+    assert m.recursion == 2
+
+
+def test_wait_requires_ownership():
+    _, sync = _setup()
+    t, o = _thread(), _obj()
+    assert sync.wait(t, o, None) is False
+    assert sync.notify(t, o, all_waiters=True) is False
+
+
+def test_notify_fifo_single():
+    sched, sync = _setup()
+    owner = _thread((0,))
+    w1, w2 = _thread((0, 0)), _thread((0, 1))
+    for t in (owner, w1, w2):
+        sched.register(t)
+    o = _obj()
+    # both wait (each must own the monitor first)
+    for w in (w1, w2):
+        sync.enter(w, o)
+        sync.wait(w, o, None)
+    sync.enter(owner, o)
+    sync.notify(owner, o, all_waiters=False)
+    assert w1.reacquiring and not w2.reacquiring   # FIFO
+
+
+def test_notify_wakes_all_flag():
+    sched, sync = _setup()
+    sync.notify_wakes_all = True
+    owner = _thread((0,))
+    w1, w2 = _thread((0, 0)), _thread((0, 1))
+    for t in (owner, w1, w2):
+        sched.register(t)
+    o = _obj()
+    for w in (w1, w2):
+        sync.enter(w, o)
+        sync.wait(w, o, None)
+    sync.enter(owner, o)
+    sync.notify(owner, o, all_waiters=False)   # behaves like notifyAll
+    assert w1.reacquiring and w2.reacquiring
+
+
+def test_timed_wait_sets_deadline():
+    sched, sync = _setup()
+    t, o = _thread(), _obj()
+    sched.register(t)
+    sync.enter(t, o)
+    sync.wait(t, o, 500)
+    assert t.state is ThreadState.TIMED_WAITING
+    assert t.wakeup_time == 500.0
+
+
+def test_timeout_waiter_leaves_wait_set():
+    sched, sync = _setup()
+    t, o = _thread(), _obj()
+    sched.register(t)
+    sync.enter(t, o)
+    sync.wait(t, o, 100)
+    sync.timeout_waiter(t)
+    assert t not in o.monitor.wait_set
+    assert t.reacquiring
+    assert t.state is ThreadState.RUNNABLE
+
+
+def test_forbid_sync_raises_restriction():
+    _, sync = _setup()
+    t, o = _thread(), _obj()
+    t.forbid_sync = True
+    with pytest.raises(RestrictionViolation):
+        sync.enter(t, o)
+
+
+def test_monitor_statistics():
+    _, sync = _setup()
+    t = _thread()
+    o1, o2 = _obj(1), _obj(2)
+    for _ in range(3):
+        sync.enter(t, o1)
+        sync.exit(t, o1)
+    sync.enter(t, o2)
+    assert sync.monitors_created == 2
+    assert sync.largest_l_asn == 3
+    assert sync.total_acquisitions == 4

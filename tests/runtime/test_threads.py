@@ -1,0 +1,234 @@
+"""Thread lifecycle, virtual ids, scheduling behaviour."""
+
+import pytest
+
+from repro.errors import RestrictionViolation
+from repro.runtime.threads import ROOT_VID
+from tests.util import run_expect, run_minijava
+
+
+def test_start_join_is_alive():
+    run_expect("""
+        class W extends Thread {
+            int done;
+            void run() { done = 1; }
+        }
+        class Main {
+            static void main(String[] args) {
+                W w = new W();
+                System.println(w.isAlive());
+                w.start();
+                w.join();
+                System.println(w.isAlive());
+                System.println(w.done);
+            }
+        }
+    """, "false", "false", "1")
+
+
+def test_join_on_unstarted_thread_returns_immediately():
+    run_expect("""
+        class W extends Thread { }
+        class Main {
+            static void main(String[] args) {
+                W w = new W();
+                w.join();
+                System.println("ok");
+            }
+        }
+    """, "ok")
+
+
+def test_double_start_raises():
+    result, _, _ = run_minijava("""
+        class W extends Thread { void run() { } }
+        class Main {
+            static void main(String[] args) {
+                W w = new W();
+                w.start();
+                w.start();
+            }
+        }
+    """)
+    assert result.uncaught[0][1] == "IllegalStateException"
+
+
+def test_thread_stop_is_restricted_r1():
+    with pytest.raises(RestrictionViolation, match="R1"):
+        run_minijava("""
+            class W extends Thread { void run() { } }
+            class Main {
+                static void main(String[] args) {
+                    W w = new W();
+                    w.start();
+                    w.stop();
+                }
+            }
+        """)
+
+
+def test_virtual_thread_ids_follow_spawn_order():
+    result, jvm, _ = run_minijava("""
+        class W extends Thread {
+            void run() { }
+        }
+        class Main {
+            static void main(String[] args) {
+                W a = new W(); W b = new W();
+                a.start(); b.start();
+                a.join(); b.join();
+            }
+        }
+    """)
+    assert result.ok
+    vids = sorted(jvm.threads_by_vid)
+    assert ROOT_VID in vids
+    assert (0, 0) in vids and (0, 1) in vids
+
+
+def test_nested_spawn_vids():
+    result, jvm, _ = run_minijava("""
+        class Inner extends Thread {
+            void run() { }
+        }
+        class Outer extends Thread {
+            void run() {
+                Inner i = new Inner();
+                i.start();
+                i.join();
+            }
+        }
+        class Main {
+            static void main(String[] args) {
+                Outer o = new Outer();
+                o.start();
+                o.join();
+            }
+        }
+    """)
+    assert result.ok
+    assert (0, 0, 0) in jvm.threads_by_vid  # child of the first child
+
+
+def test_daemon_thread_does_not_block_exit():
+    result, _, env = run_minijava("""
+        class Spinner extends Thread {
+            void run() {
+                while (true) { Thread.yield(); }
+            }
+        }
+        class Main {
+            static void main(String[] args) {
+                Spinner s = new Spinner();
+                s.setDaemon(true);
+                s.start();
+                System.println("main done");
+            }
+        }
+    """)
+    assert result.ok
+    assert env.console.lines() == ["main done"]
+
+
+def test_sleep_orders_by_virtual_time():
+    run_expect("""
+        class Sleeper extends Thread {
+            int ms; String tag;
+            Sleeper(int ms, String tag) { this.ms = ms; this.tag = tag; }
+            void run() {
+                Thread.sleep(ms);
+                System.println(tag);
+            }
+        }
+        class Main {
+            static void main(String[] args) {
+                Sleeper slow = new Sleeper(200, "slow");
+                Sleeper fast = new Sleeper(50, "fast");
+                slow.start(); fast.start();
+                slow.join(); fast.join();
+            }
+        }
+    """, "fast", "slow")
+
+
+def test_uncaught_exception_kills_thread_only():
+    result, _, env = run_minijava("""
+        class Bomb extends Thread {
+            void run() { throw new RuntimeException("boom"); }
+        }
+        class Main {
+            static void main(String[] args) {
+                Bomb b = new Bomb();
+                b.start();
+                b.join();
+                System.println("main survived");
+            }
+        }
+    """)
+    assert result.outcome == "completed"
+    assert env.console.lines() == ["main survived"]
+    assert ("t0.0", "RuntimeException", "boom") in result.uncaught
+
+
+def test_current_thread_identity():
+    run_expect("""
+        class Main {
+            static void main(String[] args) {
+                Thread me = Thread.currentThread();
+                System.println(me == Thread.currentThread());
+            }
+        }
+    """, "true")
+
+
+def test_scheduler_seed_changes_interleaving_of_racy_program():
+    source = """
+        class Racer extends Thread {
+            static String trace = "";
+            String tag;
+            Racer(String tag) { this.tag = tag; }
+            void run() {
+                for (int i = 0; i < 50; i++) { trace = trace + tag; }
+            }
+        }
+        class Main {
+            static void main(String[] args) {
+                Racer a = new Racer("a"); Racer b = new Racer("b");
+                a.start(); b.start(); a.join(); b.join();
+                System.println(Racer.trace);
+            }
+        }
+    """
+    outputs = set()
+    for seed in (1, 2, 3, 4, 5):
+        _, _, env = run_minijava(source, seed=seed)
+        outputs.add(env.console.transcript())
+    # The threat model: different schedules -> different interleavings.
+    assert len(outputs) > 1
+
+
+def test_same_seed_is_deterministic():
+    source = """
+        class Racer extends Thread {
+            static int shared;
+            void run() {
+                for (int i = 0; i < 100; i++) { shared = shared + 1; }
+                System.println("at " + shared);
+            }
+        }
+        class Main {
+            static void main(String[] args) {
+                Racer a = new Racer(); Racer b = new Racer();
+                a.start(); b.start(); a.join(); b.join();
+                System.println(Racer.shared);
+            }
+        }
+    """
+    transcripts = set()
+    digests = set()
+    for _ in range(3):
+        _, jvm, env = run_minijava(source, seed=42)
+        transcripts.add(env.console.transcript())
+        digests.add(jvm.state_digest())
+    assert len(transcripts) == 1
+    assert len(digests) == 1

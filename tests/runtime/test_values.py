@@ -1,0 +1,125 @@
+"""Java value semantics: 32-bit arithmetic, type conformance."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.values import (
+    JArray,
+    JObject,
+    conforms,
+    describe,
+    is_reference,
+    java_div,
+    java_rem,
+    java_shl,
+    java_shr,
+    java_ushr,
+    type_token_of,
+    wrap_int,
+)
+
+INT_MIN = -(2 ** 31)
+INT_MAX = 2 ** 31 - 1
+
+
+def test_wrap_int_identity_in_range():
+    for v in (0, 1, -1, INT_MIN, INT_MAX):
+        assert wrap_int(v) == v
+
+
+def test_wrap_int_overflow():
+    assert wrap_int(INT_MAX + 1) == INT_MIN
+    assert wrap_int(INT_MIN - 1) == INT_MAX
+    assert wrap_int(2 ** 32) == 0
+    assert wrap_int(0x9FFFFFFFF) == wrap_int(0xFFFFFFFF)
+
+
+@given(st.integers())
+def test_wrap_int_always_in_range(v):
+    assert INT_MIN <= wrap_int(v) <= INT_MAX
+
+
+@given(st.integers(INT_MIN, INT_MAX), st.integers(INT_MIN, INT_MAX))
+def test_wrap_add_matches_two_complement(a, b):
+    assert wrap_int(a + b) == wrap_int(wrap_int(a) + wrap_int(b))
+
+
+def test_java_div_truncates_toward_zero():
+    assert java_div(7, 2) == 3
+    assert java_div(-7, 2) == -3
+    assert java_div(7, -2) == -3
+    assert java_div(-7, -2) == 3
+
+
+def test_java_div_min_int_overflow():
+    # Java: Integer.MIN_VALUE / -1 == Integer.MIN_VALUE (wraps).
+    assert java_div(INT_MIN, -1) == INT_MIN
+
+
+def test_java_rem_sign_follows_dividend():
+    assert java_rem(7, 3) == 1
+    assert java_rem(-7, 3) == -1
+    assert java_rem(7, -3) == 1
+    assert java_rem(-7, -3) == -1
+
+
+@given(st.integers(INT_MIN, INT_MAX),
+       st.integers(INT_MIN, INT_MAX).filter(lambda b: b != 0))
+def test_div_rem_identity(a, b):
+    assert wrap_int(java_div(a, b) * b + java_rem(a, b)) == a
+
+
+def test_shifts_mask_count():
+    assert java_shl(1, 33) == 2       # 33 & 31 == 1
+    assert java_shr(-8, 1) == -4      # arithmetic
+    assert java_ushr(-1, 28) == 0xF   # logical
+
+
+def test_ushr_zero_count():
+    assert java_ushr(-1, 32) == -1    # 32 & 31 == 0
+
+
+def test_type_tokens():
+    assert type_token_of(3) == "int"
+    assert type_token_of(True) == "int"
+    assert type_token_of(2.5) == "float"
+    assert type_token_of("s") == "str"
+    assert type_token_of(None) == "ref"
+    obj = JObject("Foo", {}, 1)
+    arr = JArray("int", [1], 2)
+    assert type_token_of(obj) == "ref"
+    assert type_token_of(arr) == "ref"
+    with pytest.raises(TypeError):
+        type_token_of([1, 2])
+
+
+def test_conforms():
+    obj = JObject("Foo", {}, 1)
+    assert conforms(1, "int")
+    assert not conforms(True, "int")   # bools never flow into fields
+    assert conforms(1.0, "float")
+    assert not conforms(1, "float")
+    assert conforms("x", "str")
+    assert conforms(None, "ref")
+    assert conforms(obj, "ref")
+    assert not conforms(obj, "int")
+    assert not conforms(1, "quux")
+
+
+def test_is_reference():
+    assert is_reference(JObject("A", {}, 1))
+    assert is_reference(JArray("ref", [], 2))
+    assert not is_reference(None)
+    assert not is_reference("string")
+
+
+def test_describe():
+    assert describe(None) == "null"
+    assert describe(5) == "int 5"
+    assert "Foo#3" in describe(JObject("Foo", {}, 3))
+
+
+def test_array_len_and_repr():
+    arr = JArray("float", [0.0] * 4, 9)
+    assert len(arr) == 4
+    assert "float[4]" in repr(arr)

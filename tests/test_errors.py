@@ -1,0 +1,45 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_is_a_repro_error():
+    for cls in (
+        errors.BytecodeError, errors.VerifyError, errors.ClassFormatError,
+        errors.LinkageError, errors.CompileError, errors.NativeError,
+        errors.RestrictionViolation, errors.UncaughtJavaException,
+        errors.DeadlockError, errors.ReplicationError, errors.RecoveryError,
+        errors.PrimaryCrashed,
+    ):
+        assert issubclass(cls, errors.ReproError), cls
+
+
+def test_verify_error_is_bytecode_error():
+    assert issubclass(errors.VerifyError, errors.BytecodeError)
+
+
+def test_recovery_error_is_replication_error():
+    assert issubclass(errors.RecoveryError, errors.ReplicationError)
+
+
+def test_compile_error_location():
+    err = errors.CompileError("bad thing", 4, 7)
+    assert "at 4:7" in str(err)
+    assert (err.line, err.col) == (4, 7)
+    assert str(errors.CompileError("something broke")) == "something broke"
+
+
+def test_restriction_violation_names_the_rule():
+    err = errors.RestrictionViolation("R1", "Thread.stop used")
+    assert err.restriction == "R1"
+    assert "R1 violated" in str(err)
+
+
+def test_uncaught_java_exception_fields():
+    err = errors.UncaughtJavaException("IOException", "disk gone")
+    assert err.class_name == "IOException"
+    assert "IOException: disk gone" in str(err)
+    bare = errors.UncaughtJavaException("Error")
+    assert str(bare) == "Error"

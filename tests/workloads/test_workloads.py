@@ -1,0 +1,105 @@
+"""Workload programs: compile, run, and exhibit their Table 2 profiles."""
+
+import pytest
+
+from repro.env.environment import Environment
+from repro.replication.machine import ReplicaSettings, run_unreplicated
+from repro.workloads import ALL_WORKLOADS, BY_NAME
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """One baseline run per workload at the test profile."""
+    results = {}
+    for w in ALL_WORKLOADS:
+        env = Environment()
+        w.prepare_env(env, "test")
+        result, jvm = run_unreplicated(w.compile("test"), w.main_class,
+                                       env=env)
+        assert result.ok, (w.name, result.uncaught)
+        results[w.name] = (result, jvm, env)
+    return results
+
+
+def test_registry_has_six_paper_benchmarks():
+    assert sorted(BY_NAME) == [
+        "compress", "db", "jack", "jess", "mpegaudio", "mtrt",
+    ]
+
+
+def test_all_workloads_complete(runs):
+    for name, (result, _, env) in runs.items():
+        assert result.ok
+        assert env.console.lines(), name  # each prints a checksum line
+
+
+def test_only_mtrt_is_multithreaded(runs):
+    for w in ALL_WORKLOADS:
+        result = runs[w.name][0]
+        if w.name == "mtrt":
+            assert w.multithreaded
+            assert result.reschedules > 10
+        else:
+            assert not w.multithreaded
+            assert result.reschedules <= 2
+
+
+def test_db_has_most_lock_acquisitions(runs):
+    locks = {name: r.lock_acquisitions for name, (r, _, _) in runs.items()}
+    assert locks["db"] == max(locks.values())
+    assert locks["db"] > 10 * locks["compress"]
+
+
+def test_jack_locks_most_distinct_objects(runs):
+    objects = {name: jvm.sync.monitors_created
+               for name, (_, jvm, _) in runs.items()}
+    assert objects["jack"] == max(objects.values())
+    assert objects["jack"] > 100
+
+
+def test_compress_and_mpegaudio_have_few_locks(runs):
+    for name in ("compress", "mpegaudio"):
+        assert runs[name][0].lock_acquisitions < 50, name
+
+
+def test_db_largest_l_asn_is_hot_monitor(runs):
+    _, jvm, _ = runs["db"]
+    # a single hot monitor: largest l_asn ~ total acquisitions
+    assert jvm.sync.largest_l_asn > 0.9 * jvm.sync.total_acquisitions
+
+
+def test_workloads_deterministic_across_scheduler_seeds(runs):
+    """All six workloads are race-free: their console output must not
+    depend on the scheduler seed (R4A sanity for lock-sync)."""
+    for w in ALL_WORKLOADS:
+        outputs = set()
+        for seed in (11, 77):
+            env = Environment()
+            w.prepare_env(env, "test")
+            run_unreplicated(w.compile("test"), w.main_class, env=env,
+                             settings=ReplicaSettings(seed, 0, 5))
+            outputs.add(env.console.transcript())
+        assert len(outputs) == 1, f"{w.name} output depends on schedule"
+
+
+def test_profiles_exist_for_test_and_bench():
+    for w in ALL_WORKLOADS:
+        for profile in ("test", "bench"):
+            params = w.params_for(profile)
+            assert params, (w.name, profile)
+        with pytest.raises(KeyError):
+            w.params_for("gigantic")
+
+
+def test_bench_profile_is_larger_than_test():
+    for w in ALL_WORKLOADS:
+        test_p = w.params_for("test")
+        bench_p = w.params_for("bench")
+        assert any(bench_p[k] > test_p[k] for k in test_p), w.name
+
+
+def test_setup_populates_input_files():
+    for w in ALL_WORKLOADS:
+        env = Environment()
+        w.prepare_env(env, "test")
+        assert env.fs.paths(), w.name
