@@ -1,0 +1,78 @@
+"""Output-commit latency as a function of the link's round-trip time.
+
+The paper's output-commit protocol stalls the primary until the backup
+acks the flushed log (§4.1) — on their single-switch LAN that wait was
+negligible.  With the transport pluggable, we can ask what the
+protocol costs on links it was *not* designed for: the benchmark sweeps
+the injected one-way latency of a clean :class:`FaultyTransport` and
+reports the ack wait per output commit, which should track the injected
+RTT (2x one-way) almost exactly — the protocol adds nothing on top.
+
+A lossy row at the end shows what retransmissions do to the same
+figure: each dropped DATA message costs a retry timeout, not just an
+RTT, so the per-commit wait jumps disproportionately.
+"""
+
+from repro.harness.tables import render_table
+from repro.replication.transport import FaultProfile, FaultyTransport
+
+#: Injected one-way latencies, in virtual-clock ticks.
+LATENCIES = (0.0, 2.0, 8.0, 32.0, 128.0)
+
+
+def _commit_wait(template, profile, seed=17):
+    machine = template.clone(transport=FaultyTransport(profile, seed=seed))
+    result = machine.run("Main")
+    assert result.outcome == "primary_completed"
+    metrics = machine.primary_metrics
+    assert metrics.output_commits > 0
+    return metrics, metrics.ack_wait_time / metrics.output_commits
+
+
+def test_commit_latency_tracks_injected_rtt(benchmark, bench_profile,
+                                            commit_heavy_template,
+                                            save_result):
+    def sweep():
+        rows = {}
+        for latency in LATENCIES:
+            profile = FaultProfile(latency=latency,
+                                   retry_timeout=8 * latency + 40.0)
+            rows[latency] = _commit_wait(commit_heavy_template, profile)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lossy_metrics, lossy_wait = _commit_wait(
+        commit_heavy_template,
+        FaultProfile(latency=8.0, drop_rate=0.3, retry_timeout=60.0),
+    )
+
+    table = [
+        [f"{latency:g}", f"{2 * latency:g}", metrics.output_commits,
+         f"{wait:.1f}", metrics.retransmits]
+        for latency, (metrics, wait) in sorted(rows.items())
+    ]
+    table.append(["8 (30% loss)", "16+", lossy_metrics.output_commits,
+                  f"{lossy_wait:.1f}", lossy_metrics.retransmits])
+    save_result("transport_commit_latency", render_table(
+        "Output-commit ack wait vs injected link RTT (virtual ticks)",
+        ["One-way latency", "RTT", "Commits", "Wait/commit", "Retransmits"],
+        table,
+    ))
+
+    waits = [wait for _, (_, wait) in sorted(rows.items())]
+    assert waits == sorted(waits)                  # monotone in RTT
+    for latency, (metrics, wait) in rows.items():
+        assert metrics.retransmits == 0            # clean link
+        # The measured wait is the RTT minus the send's own clock tick
+        # (the flush advances virtual time before the wait starts).
+        assert wait >= 2 * latency - 2
+    # The protocol's own contribution stays flat: going from RTT 4 to
+    # RTT 256 raises the wait by (close to) exactly the RTT difference.
+    overhead_low = rows[2.0][1] - 4.0
+    overhead_high = rows[128.0][1] - 256.0
+    assert abs(overhead_high - overhead_low) <= 0.25 * rows[128.0][1]
+    # Loss costs more than latency: the lossy link's per-commit wait
+    # exceeds the clean link's at the same injected latency.
+    assert lossy_wait > rows[8.0][1]
+    assert lossy_metrics.retransmits > 0

@@ -24,6 +24,36 @@ def bench_profile():
 
 
 @pytest.fixture(scope="session")
+def commit_heavy_template():
+    """A completed reference machine for transport benchmarks.
+
+    A machine runs once; configuration sweeps stamp out fresh machines
+    with :meth:`ReplicatedJVM.clone` (same program, new environment and
+    transport) instead of re-constructing by hand.
+    """
+    from repro.env.environment import Environment
+    from repro.minijava import compile_program
+    from repro.replication.machine import ReplicatedJVM
+
+    source = """
+    class Main {
+        static void main(String[] args) {
+            int fd = Files.open("commits.txt", "w");
+            for (int i = 0; i < 12; i++) {
+                Files.writeLine(fd, "row " + i);
+                System.println("commit " + i);
+            }
+            Files.close(fd);
+        }
+    }
+    """
+    machine = ReplicatedJVM(compile_program(source), env=Environment())
+    result = machine.run("Main")
+    assert result.outcome == "primary_completed"
+    return machine
+
+
+@pytest.fixture(scope="session")
 def save_result():
     os.makedirs(RESULTS_DIR, exist_ok=True)
 

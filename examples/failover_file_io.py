@@ -43,18 +43,11 @@ class Main {
 """
 
 
-def run_once(crash_at=None):
-    env = Environment()
-    machine = ReplicatedJVM(compile_program(SOURCE), env=env,
-                            crash_at=crash_at)
-    result = machine.run("Main")
-    return env, machine, result
-
-
 def main() -> None:
-    env, machine, result = run_once()
-    reference = env.fs.contents("ledger.txt")
-    total_events = machine.shipper.injector.events
+    template = ReplicatedJVM(compile_program(SOURCE), env=Environment())
+    template.run("Main")
+    reference = template.env.fs.contents("ledger.txt")
+    total_events = template.shipper.injector.events
     print("== reference ledger (no failure) ==")
     print(reference)
     print(f"execution spans {total_events} crash-injectable events\n")
@@ -62,9 +55,11 @@ def main() -> None:
     failures = 0
     reexecuted = tested = 0
     for crash_at in range(1, total_events + 1):
-        env, machine, result = run_once(crash_at)
+        # A machine runs once; clone() stamps out the next configuration.
+        machine = template.clone(crash_at=crash_at)
+        result = machine.run("Main")
         assert result.failed_over
-        ledger = env.fs.contents("ledger.txt")
+        ledger = machine.env.fs.contents("ledger.txt")
         status = "OK " if ledger == reference else "BAD"
         if ledger != reference:
             failures += 1

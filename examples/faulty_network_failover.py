@@ -1,0 +1,106 @@
+"""Failover over a bad network: fault injection meets output commit.
+
+The paper ships the log over a link it trusts (its FT-JVM pairs sat on
+one switch).  This repository makes the link pluggable: here the same
+workload runs over increasingly hostile :class:`FaultyTransport`
+profiles — injected latency, drops, duplicates, reordering — and over
+a real localhost TCP socket.  Two things to watch:
+
+* **Safety is free.**  Output commit already waits for an ack, and the
+  transport only acks a contiguous prefix, so every profile recovers
+  to the exact same stable state.  The crash sweep below checks this
+  at every other event.
+* **Performance is not.**  Retransmits and round-trip waits show up in
+  the metrics; the table prints what each profile costs.
+
+Run:  python examples/faulty_network_failover.py
+"""
+
+from repro import (
+    Environment,
+    FAULT_PROFILES,
+    FaultyTransport,
+    ReplicatedJVM,
+    compile_program,
+)
+
+SOURCE = """
+class Main {
+    static void main(String[] args) {
+        int fd = Files.open("journal.txt", "w");
+        int h = 7;
+        for (int i = 0; i < 6; i++) {
+            h = h * 31 + i;
+            Files.writeLine(fd, "entry " + i + " h=" + h);
+            System.println("committed " + i);
+        }
+        Files.close(fd);
+        System.println("done h=" + h);
+    }
+}
+"""
+
+
+def main() -> None:
+    template = ReplicatedJVM(compile_program(SOURCE), env=Environment())
+    template.run("Main")
+    reference = template.env.snapshot_stable()
+    events = template.shipper.injector.events
+    print(f"reference run: {events} crash-injectable events, "
+          f"journal.txt = {len(template.env.fs.contents('journal.txt'))} "
+          f"bytes\n")
+
+    header = (f"{'profile':10s} {'sweeps':>6s} {'divergent':>9s} "
+              f"{'retransmits':>11s} {'dropped':>7s} {'ack wait':>9s} "
+              f"{'stalls':>6s}")
+    print(header)
+    print("-" * len(header))
+    for name in sorted(FAULT_PROFILES):
+        profile = FAULT_PROFILES[name]
+        divergent = sweeps = 0
+        retransmits = dropped = stalls = 0
+        ack_wait = 0.0
+        for crash_at in range(1, events + 1, 2):
+            machine = template.clone(
+                crash_at=crash_at,
+                transport=FaultyTransport(profile, seed=811 * crash_at),
+            )
+            result = machine.run("Main")
+            assert result.failed_over
+            sweeps += 1
+            if machine.env.snapshot_stable() != reference:
+                divergent += 1
+            metrics = machine.primary_metrics
+            retransmits += metrics.retransmits
+            dropped += metrics.messages_dropped
+            stalls += metrics.backpressure_stalls
+            ack_wait += metrics.ack_wait_time
+        print(f"{name:10s} {sweeps:>6d} {divergent:>9d} "
+              f"{retransmits:>11d} {dropped:>7d} {ack_wait:>9.0f} "
+              f"{stalls:>6d}")
+
+    print("\nevery profile recovered the exact reference state — the "
+          "network can only slow the primary down, never break "
+          "exactly-once.")
+
+    # The same run over a real TCP connection on localhost.
+    try:
+        socket_clone = template.clone(crash_at=events // 2,
+                                      transport="socket")
+    except Exception as exc:          # no sockets in this sandbox
+        print(f"\n(socket demo skipped: {exc})")
+        return
+    try:
+        result = socket_clone.run("Main")
+        assert result.failed_over
+        assert socket_clone.env.snapshot_stable() == reference
+        rtt = socket_clone.primary_metrics.ack_wait_time
+        print(f"\nsocket transport: failover mid-run over real TCP, "
+              f"identical state, {rtt * 1e6:.0f} µs spent in "
+              f"output-commit round trips.")
+    finally:
+        socket_clone.close()
+
+
+if __name__ == "__main__":
+    main()

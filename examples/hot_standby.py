@@ -47,20 +47,17 @@ class Main {
 """
 
 
-def run_with(hot: bool, crash_at: int):
-    env = Environment()
-    machine = ReplicatedJVM(compile_program(SOURCE), env=env,
-                            strategy="lock_sync", hot_backup=hot,
-                            crash_at=crash_at)
+def run_with(probe, hot: bool, crash_at: int):
+    machine = probe.clone(hot_backup=hot, crash_at=crash_at)
     result = machine.run("Main")
     assert result.failed_over and result.final_result.ok
     total = machine.backup_jvm.instructions
     post_crash = total - (machine.hot_precrash_instructions if hot else 0)
-    return env, total, post_crash
+    return machine.env, total, post_crash
 
 
 def main() -> None:
-    # Find a late crash point.
+    # Find a late crash point; the probe then serves as clone template.
     probe = ReplicatedJVM(compile_program(SOURCE), env=Environment(),
                           strategy="lock_sync")
     probe.run("Main")
@@ -68,8 +65,10 @@ def main() -> None:
     print(f"crashing the primary at event {crash_at} "
           f"(just before its final output)\n")
 
-    env_cold, cold_total, cold_post = run_with(hot=False, crash_at=crash_at)
-    env_hot, hot_total, hot_post = run_with(hot=True, crash_at=crash_at)
+    env_cold, cold_total, cold_post = run_with(probe, hot=False,
+                                               crash_at=crash_at)
+    env_hot, hot_total, hot_post = run_with(probe, hot=True,
+                                            crash_at=crash_at)
 
     assert env_cold.snapshot_stable() == env_hot.snapshot_stable()
     print("final state identical for both backup kinds:")

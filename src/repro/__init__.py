@@ -21,6 +21,7 @@ from repro.errors import (
     ReproError, CompileError, BytecodeError, VerifyError, ClassFormatError,
     LinkageError, NativeError, RestrictionViolation, UncaughtJavaException,
     DeadlockError, ReplicationError, RecoveryError, PrimaryCrashed,
+    TransportError, AlreadyRanError,
 )
 from repro.env import Environment, Channel
 from repro.minijava import compile_program
@@ -30,6 +31,9 @@ from repro.runtime import (
 from repro.replication import (
     ReplicatedJVM, FailoverResult, ReplicaSettings, run_unreplicated,
     SideEffectHandler,
+    CoordinationStrategy, register_strategy, strategy_names,
+    Transport, InMemoryTransport, FaultyTransport, SocketTransport,
+    FaultProfile, FAULT_PROFILES,
 )
 from repro.workloads import ALL_WORKLOADS, BY_NAME
 from repro.harness import CostModel, DEFAULT_COST_MODEL, get_all_runs
@@ -41,12 +45,16 @@ __all__ = [
     "ClassFormatError", "LinkageError", "NativeError",
     "RestrictionViolation", "UncaughtJavaException", "DeadlockError",
     "ReplicationError", "RecoveryError", "PrimaryCrashed",
+    "TransportError", "AlreadyRanError",
     "Environment", "Channel",
     "compile_program",
     "JVM", "JVMConfig", "RunResult", "default_natives",
     "new_program_registry",
     "ReplicatedJVM", "FailoverResult", "ReplicaSettings",
     "run_unreplicated", "SideEffectHandler",
+    "CoordinationStrategy", "register_strategy", "strategy_names",
+    "Transport", "InMemoryTransport", "FaultyTransport", "SocketTransport",
+    "FaultProfile", "FAULT_PROFILES",
     "ALL_WORKLOADS", "BY_NAME",
     "CostModel", "DEFAULT_COST_MODEL", "get_all_runs",
     "__version__",

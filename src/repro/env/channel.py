@@ -5,10 +5,16 @@ sends them to the backup either periodically (when the buffer fills) or
 on an output commit, in which case it waits for an acknowledgment
 (pessimistic logging).  The backup keeps its log in volatile memory.
 
-Failure semantics match a real TCP link under fail-stop: records still
-sitting in the primary's buffer when it crashes are *lost*; records
-that were flushed are delivered.  The output-commit protocol makes this
-safe — output happens only after the covering flush is acknowledged.
+The channel owns *batching policy and wire counters*; how messages
+actually move is delegated to a pluggable
+:class:`~repro.replication.transport.Transport`.  With the default
+:class:`~repro.replication.transport.InMemoryTransport` the failure
+semantics match a reliable link under fail-stop: records still sitting
+in the primary's buffer when it crashes are *lost*; records that were
+flushed are delivered.  Faulty and socket transports refine this (see
+the transport module's docstring); in every case the output-commit
+protocol stays safe because output happens only after the covering
+flush is *acknowledged by the transport*.
 
 The channel also keeps the wire-level counters (messages, records,
 bytes) that Table 2 and the communication-overhead components of
@@ -21,12 +27,14 @@ from typing import Callable, List, Optional
 
 
 class Channel:
-    """One simulated primary→backup link."""
+    """One primary→backup link: batching in front of a transport."""
 
-    def __init__(self, batch_records: int = 64) -> None:
-        #: Records flushed and acknowledged — what the backup's log
-        #: transfer thread has appended to its in-memory log.
-        self.delivered: List[bytes] = []
+    def __init__(self, batch_records: int = 64, transport=None) -> None:
+        if transport is None:
+            from repro.replication.transport import InMemoryTransport
+            transport = InMemoryTransport()
+        #: The message-moving layer (in-memory, fault-injected, socket).
+        self.transport = transport
         #: Records buffered at the primary, not yet flushed.
         self._buffer: List[bytes] = []
         #: Flush automatically once this many records are buffered
@@ -34,7 +42,7 @@ class Channel:
         self.batch_records = batch_records
         self.closed = False
 
-        # Wire counters.
+        # Wire counters (messages *accepted by the transport*).
         self.messages_sent = 0
         self.records_sent = 0
         self.bytes_sent = 0
@@ -49,6 +57,11 @@ class Channel:
         self.before_flush: Optional[Callable[[], None]] = None
         #: Optional observer invoked at every synchronous ack wait.
         self.on_ack_wait: Optional[Callable[[], None]] = None
+
+    @property
+    def delivered(self) -> List[bytes]:
+        """Records the backup's log receiver has appended, in order."""
+        return self.transport.delivered
 
     # ------------------------------------------------------------------
     def send_record(self, payload: bytes) -> None:
@@ -73,24 +86,45 @@ class Channel:
         self.bytes_sent += n_bytes
         if self.on_flush is not None:
             self.on_flush(len(self._buffer), n_bytes)
-        self.delivered.extend(self._buffer)
+        self.transport.send(self._buffer)
         self._buffer.clear()
 
-    def flush_and_wait_ack(self) -> None:
+    def flush_and_wait_ack(self) -> float:
         """Output commit: flush everything and wait for the backup's
-        acknowledgment (the pessimistic wait of Figures 3/4)."""
+        acknowledgment (the pessimistic wait of Figures 3/4).  Returns
+        the measured round-trip wait (0.0 on the in-memory transport).
+        """
         if self.closed:
-            return
+            return 0.0
         self.flush()
+        rtt = self.transport.wait_ack()
         self.acks_received += 1
         if self.on_ack_wait is not None:
             self.on_ack_wait()
+        return rtt
+
+    def heartbeat(self) -> None:
+        """Ship one transport-level I-am-alive message (never logged,
+        never counted in the wire counters — the failure detector keys
+        off these at the backup side)."""
+        if self.closed:
+            return
+        self.transport.send_heartbeat()
 
     # ------------------------------------------------------------------
+    def settle(self) -> None:
+        """Graceful completion: flush and let the transport push until
+        everything sent has been delivered (retransmitting if needed).
+        Does not count as an output-commit ack wait."""
+        self.flush()
+        self.transport.settle()
+
     def crash_primary(self) -> None:
-        """Fail-stop the sender: unflushed records are lost forever."""
+        """Fail-stop the sender: unflushed records are lost forever;
+        whatever the transport already has in flight may still arrive."""
         self._buffer.clear()
         self.closed = True
+        self.transport.crash_sender()
 
     @property
     def pending_records(self) -> int:
@@ -98,4 +132,5 @@ class Channel:
 
     def backup_log(self) -> List[bytes]:
         """The log as the backup sees it after the primary's failure."""
+        self.transport.drain()
         return list(self.delivered)

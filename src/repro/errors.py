@@ -89,6 +89,20 @@ class RecoveryError(ReplicationError):
     """Backup replay diverged from the primary's logged execution."""
 
 
+class TransportError(ReplicationError):
+    """The log transport failed: ack timeout, dead link, bad framing."""
+
+
+class AlreadyRanError(ReplicationError):
+    """:meth:`ReplicatedJVM.run` was called a second time.
+
+    A ReplicatedJVM is single-shot — its channel, crash injector, and
+    metrics all hold state from the first run.  Use
+    :meth:`ReplicatedJVM.clone` to build a fresh machine with the same
+    configuration.
+    """
+
+
 class PrimaryCrashed(ReproError):
     """Internal control-flow signal: the fail-stop point was reached.
 

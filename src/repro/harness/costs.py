@@ -45,6 +45,12 @@ class CostModel:
     per_byte: float = 11.0          # per payload byte
     ack_rtt: float = 30000.0        # output-commit stall (LAN round trip)
 
+    # --- transport faults (all zero-contribution on the default
+    # --- in-memory transport) -------------------------------------------
+    retransmit_msg: float = 2500.0  # a resent message re-pays the wire cost
+    rtt_wait_unit: float = 250.0    # per simulated tick inside an ack wait
+    backpressure_wait: float = 600.0  # per stall on the bounded send buffer
+
     # --- bookkeeping: replicated lock acquisition ------------------------
     lock_record: float = 22.0       # build + buffer one acquisition record
     id_map: float = 22.0
@@ -77,8 +83,13 @@ class CostModel:
         communication = (
             metrics.messages_sent * self.msg_fixed
             + metrics.bytes_sent * self.per_byte
+            + metrics.retransmits * self.retransmit_msg
+            + metrics.backpressure_stalls * self.backpressure_wait
         )
-        pessimistic = metrics.ack_waits * self.ack_rtt
+        pessimistic = (
+            metrics.ack_waits * self.ack_rtt
+            + metrics.ack_wait_time * self.rtt_wait_unit
+        )
         misc = (
             metrics.natives_intercepted * self.native_check
             + metrics.native_result_records * self.result_record

@@ -2,16 +2,28 @@
 
 from repro.replication.machine import (
     ReplicatedJVM, FailoverResult, ReplicaSettings, run_unreplicated,
-    DEFAULT_PRIMARY, DEFAULT_BACKUP, STRATEGIES, parse_log,
+    DEFAULT_PRIMARY, DEFAULT_BACKUP, STRATEGIES, ParsedLog, parse_log,
+    register_log_record,
 )
 from repro.replication.metrics import ReplicationMetrics
 from repro.replication.records import (
     IdMap, LockAcqRecord, LockIntervalRecord, ScheduleRecord,
     NativeResultRecord, OutputIntentRecord, SideEffectRecord,
-    encode, decode_record,
+    encode, decode_record, register_record_kind, FIRST_CUSTOM_KIND,
 )
 from repro.replication.commit import LogShipper, CrashInjector
 from repro.replication.failure import FailureDetector
+from repro.replication.strategy import (
+    CoordinationStrategy, PrimaryDriver, BackupDriver,
+    AdmissionPrimaryDriver, AdmissionBackupDriver,
+    SchedulerPrimaryDriver, SchedulerBackupDriver,
+    LockSyncStrategy, ThreadSchedStrategy, LockIntervalsStrategy,
+    register_strategy, resolve_strategy, strategy_names,
+)
+from repro.replication.transport import (
+    Transport, TransportStats, InMemoryTransport, FaultyTransport,
+    SocketTransport, FaultProfile, FAULT_PROFILES, make_transport,
+)
 from repro.replication.lock_sync import PrimaryLockSync, BackupLockSync
 from repro.replication.lock_intervals import (
     PrimaryIntervalLockSync, BackupIntervalLockSync,
@@ -26,11 +38,20 @@ from repro.replication.sehandlers import (
 
 __all__ = [
     "ReplicatedJVM", "FailoverResult", "ReplicaSettings", "run_unreplicated",
-    "DEFAULT_PRIMARY", "DEFAULT_BACKUP", "STRATEGIES", "parse_log",
+    "DEFAULT_PRIMARY", "DEFAULT_BACKUP", "STRATEGIES",
+    "ParsedLog", "parse_log", "register_log_record",
     "ReplicationMetrics",
     "IdMap", "LockAcqRecord", "ScheduleRecord", "NativeResultRecord",
     "OutputIntentRecord", "SideEffectRecord", "encode", "decode_record",
+    "register_record_kind", "FIRST_CUSTOM_KIND",
     "LogShipper", "CrashInjector", "FailureDetector",
+    "CoordinationStrategy", "PrimaryDriver", "BackupDriver",
+    "AdmissionPrimaryDriver", "AdmissionBackupDriver",
+    "SchedulerPrimaryDriver", "SchedulerBackupDriver",
+    "LockSyncStrategy", "ThreadSchedStrategy", "LockIntervalsStrategy",
+    "register_strategy", "resolve_strategy", "strategy_names",
+    "Transport", "TransportStats", "InMemoryTransport", "FaultyTransport",
+    "SocketTransport", "FaultProfile", "FAULT_PROFILES", "make_transport",
     "PrimaryLockSync", "BackupLockSync",
     "PrimaryIntervalLockSync", "BackupIntervalLockSync",
     "LockIntervalRecord",

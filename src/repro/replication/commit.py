@@ -65,10 +65,14 @@ class LogShipper:
 
     def output_commit(self) -> None:
         """Flush everything logged so far and wait for the ack.  Only
-        after this returns may the output command execute."""
+        after this returns may the output command execute.  The ack is
+        an explicit transport-level message, so the measured wait is a
+        true round trip (zero on the in-memory transport)."""
         self.metrics.output_commits += 1
         self.injector.step("commit")
-        self._channel.flush_and_wait_ack()
+        rtt = self._channel.flush_and_wait_ack()
+        if rtt:
+            self.metrics.ack_wait_time += rtt
 
     # ------------------------------------------------------------------
     def _on_flush(self, n_records: int, n_bytes: int) -> None:

@@ -13,19 +13,31 @@ deterministically, so the detector's role is observability: tests
 assert that detection happens after the configured number of silent
 intervals and never while heartbeats are flowing (no false positives
 under a fail-stop model).
+
+The detector counts heartbeats *as the backup sees them*.  When bound
+to a transport heartbeat source (the replicated machine passes
+``source=lambda: transport.stats.heartbeats_delivered``), it keys off
+missed transport-level heartbeats — a heartbeat the network dropped is
+a heartbeat the detector never saw.  Without a source it counts its
+own :meth:`heartbeat` calls (the original in-process mode, still used
+by unit tests and standalone detectors).
 """
 
 from __future__ import annotations
+
+from typing import Callable, Optional
 
 
 class FailureDetector:
     """Heartbeat-counting failure detector."""
 
-    def __init__(self, timeout_intervals: int = 3) -> None:
+    def __init__(self, timeout_intervals: int = 3,
+                 source: Optional[Callable[[], int]] = None) -> None:
         if timeout_intervals < 1:
             raise ValueError("timeout_intervals must be >= 1")
         self.timeout_intervals = timeout_intervals
         self.heartbeats = 0
+        self._source = source
         self._beats_at_last_interval = 0
         self.silent_intervals = 0
         self.suspected = False
@@ -36,13 +48,21 @@ class FailureDetector:
         """The primary is alive (called from its run loop)."""
         self.heartbeats += 1
 
+    def observed_heartbeats(self) -> int:
+        """Heartbeats visible at the backup: the transport's delivered
+        count when bound to one, else the in-process counter."""
+        if self._source is not None:
+            return self._source()
+        return self.heartbeats
+
     # -- backup side ----------------------------------------------------
     def interval(self) -> bool:
         """One detection interval elapsed; returns True when the
         primary becomes suspected."""
         self.intervals_observed += 1
-        if self.heartbeats > self._beats_at_last_interval:
-            self._beats_at_last_interval = self.heartbeats
+        beats = self.observed_heartbeats()
+        if beats > self._beats_at_last_interval:
+            self._beats_at_last_interval = beats
             self.silent_intervals = 0
         else:
             self.silent_intervals += 1

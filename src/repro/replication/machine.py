@@ -1,42 +1,43 @@
 """The fault-tolerant JVM facade: primary-backup replication.
 
-:class:`ReplicatedJVM` wires a program, an environment, and a strategy
-("lock_sync" or "thread_sched") into the paper's architecture:
+:class:`ReplicatedJVM` wires a program, an environment, a coordination
+strategy, and a log transport into the paper's architecture:
 
 * the **primary** executes the program with the strategy's hooks
   installed, buffering log records over the channel and performing
   output commit before every output command;
 * the **backup is cold**: during normal operation it only accumulates
-  the log (the channel's delivered list).  When the primary fail-stops
-  (via :class:`~repro.replication.commit.CrashInjector`), the failure
-  detector fires and a fresh JVM is built from the *identical initial
-  state* (same class registry), which replays the log — reproducing
-  lock acquisitions or the thread schedule, adopting native results,
-  restoring volatile environment state through side-effect handlers,
-  and resolving the one uncertain output — then continues live as the
-  new sole machine.
+  the log (the transport's delivered list).  When the primary
+  fail-stops (via :class:`~repro.replication.commit.CrashInjector`),
+  the failure detector fires and a fresh JVM is built from the
+  *identical initial state* (same class registry), which replays the
+  log — reproducing lock acquisitions or the thread schedule, adopting
+  native results, restoring volatile environment state through
+  side-effect handlers, and resolving the one uncertain output — then
+  continues live as the new sole machine.
 
 Primary and backup deliberately differ in scheduler seed, clock offset,
 and entropy seed: replication must succeed *despite* divergent
 non-determinism, which is the paper's entire point.
+
+Strategies resolve through the registry in
+:mod:`repro.replication.strategy` (``register_strategy`` adds new ones
+without editing this file); transports through
+:mod:`repro.replication.transport` (in-memory by default, seeded fault
+injection and real localhost TCP as alternatives).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Type
 
 from repro.classfile.loader import ClassRegistry
 from repro.env.channel import Channel
 from repro.env.environment import Environment
-from repro.errors import PrimaryCrashed, ReplicationError
+from repro.errors import AlreadyRanError, PrimaryCrashed, ReplicationError
 from repro.replication.commit import CrashInjector, LogShipper
 from repro.replication.failure import FailureDetector
-from repro.replication.lock_intervals import (
-    BackupIntervalLockSync,
-    PrimaryIntervalLockSync,
-)
-from repro.replication.lock_sync import BackupLockSync, PrimaryLockSync
 from repro.replication.metrics import ReplicationMetrics
 from repro.replication.ndnatives import BackupNativePolicy, PrimaryNativePolicy
 from repro.replication.records import (
@@ -50,16 +51,22 @@ from repro.replication.records import (
     decode_record,
 )
 from repro.replication.sehandlers import SideEffectHandler, SideEffectManager
-from repro.replication.thread_sched import (
-    BackupSchedController,
-    PrimarySchedController,
+from repro.replication.strategy import (
+    CoordinationStrategy,
+    register_strategy,
+    resolve_strategy,
+    strategy_names,
 )
+from repro.replication.transport import Transport, make_transport
 from repro.runtime.jvm import JVM, JVMConfig, RunHooks, RunResult
 from repro.runtime.natives import NativeRegistry
-from repro.runtime.scheduler import ScheduleController
 from repro.runtime.stdlib import default_natives
 
+#: The built-in strategy names (kept for back-compat; the live set is
+#: :func:`repro.replication.strategy.strategy_names`).
 STRATEGIES = ("lock_sync", "thread_sched", "lock_intervals")
+
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -104,17 +111,22 @@ class FailoverResult:
 
 
 class _HeartbeatHooks(RunHooks):
-    """Drive the failure detector from the primary's run loop."""
+    """Ship transport-level heartbeats from the primary's run loop;
+    the failure detector counts them as the backup sees them."""
 
-    def __init__(self, detector: FailureDetector) -> None:
-        self._detector = detector
+    def __init__(self, channel: Channel) -> None:
+        self._channel = channel
 
     def on_slice_end(self, jvm, thread, reason) -> None:
-        self._detector.heartbeat()
+        self._channel.heartbeat()
 
 
 @dataclass
-class _ParsedLog:
+class ParsedLog:
+    """The delivered log, partitioned by record type.  Plug-in record
+    types land in :attr:`extra` (keyed by class name) unless a parse
+    rule was registered via :func:`register_log_record`."""
+
     id_maps: List[IdMap] = field(default_factory=list)
     lock_acqs: List[LockAcqRecord] = field(default_factory=list)
     schedules: List[ScheduleRecord] = field(default_factory=list)
@@ -126,31 +138,56 @@ class _ParsedLog:
     )
     intervals: List[LockIntervalRecord] = field(default_factory=list)
     side_effects: List[SideEffectRecord] = field(default_factory=list)
+    extra: Dict[str, list] = field(default_factory=dict)
     total: int = 0
 
 
-def parse_log(raw_records: List[bytes]) -> _ParsedLog:
-    """Decode and partition the delivered log."""
-    parsed = _ParsedLog()
+#: Back-compat alias (parse_log used to return a private class).
+_ParsedLog = ParsedLog
+
+
+_PARSE_RULES: Dict[Type, Callable[[ParsedLog, object], None]] = {
+    IdMap: lambda p, r: p.id_maps.append(r),
+    LockAcqRecord: lambda p, r: p.lock_acqs.append(r),
+    ScheduleRecord: lambda p, r: p.schedules.append(r),
+    NativeResultRecord:
+        lambda p, r: p.results.setdefault(r.t_id, []).append(r),
+    OutputIntentRecord:
+        lambda p, r: p.intents.setdefault(r.t_id, []).append(r),
+    LockIntervalRecord: lambda p, r: p.intervals.append(r),
+    SideEffectRecord: lambda p, r: p.side_effects.append(r),
+}
+
+
+def register_log_record(record_type: Type,
+                        rule: Optional[Callable[[ParsedLog, object], None]]
+                        = None) -> None:
+    """Give a plug-in record type a home in :class:`ParsedLog`.
+
+    ``rule(parsed, record)`` buckets one decoded record; with no rule
+    the record goes to ``parsed.extra[record_type.__name__]`` (which is
+    also where unregistered types land, so calling this is optional —
+    it exists to let plug-ins claim a custom bucket or redirect a type).
+    """
+    if rule is None:
+        name = record_type.__name__
+        rule = lambda p, r: p.extra.setdefault(name, []).append(r)  # noqa: E731
+    _PARSE_RULES[record_type] = rule
+
+
+def parse_log(raw_records: List[bytes]) -> ParsedLog:
+    """Decode and partition the delivered log.  Dispatch is by record
+    type through a rule table, so strategy plug-ins can register new
+    record types without touching this function."""
+    parsed = ParsedLog()
     for data in raw_records:
         record = decode_record(data)
         parsed.total += 1
-        if isinstance(record, IdMap):
-            parsed.id_maps.append(record)
-        elif isinstance(record, LockAcqRecord):
-            parsed.lock_acqs.append(record)
-        elif isinstance(record, ScheduleRecord):
-            parsed.schedules.append(record)
-        elif isinstance(record, NativeResultRecord):
-            parsed.results.setdefault(record.t_id, []).append(record)
-        elif isinstance(record, OutputIntentRecord):
-            parsed.intents.setdefault(record.t_id, []).append(record)
-        elif isinstance(record, LockIntervalRecord):
-            parsed.intervals.append(record)
-        elif isinstance(record, SideEffectRecord):
-            parsed.side_effects.append(record)
-        else:  # pragma: no cover - decode_record already rejects junk
-            raise ReplicationError(f"unknown record {record!r}")
+        rule = _PARSE_RULES.get(type(record))
+        if rule is not None:
+            rule(parsed, record)
+        else:
+            parsed.extra.setdefault(type(record).__name__, []).append(record)
     return parsed
 
 
@@ -163,7 +200,7 @@ class ReplicatedJVM:
         natives: Optional[NativeRegistry] = None,
         env: Optional[Environment] = None,
         *,
-        strategy: str = "lock_sync",
+        strategy="lock_sync",
         crash_at: Optional[int] = None,
         primary: ReplicaSettings = DEFAULT_PRIMARY,
         backup: ReplicaSettings = DEFAULT_BACKUP,
@@ -172,21 +209,24 @@ class ReplicatedJVM:
         detector_timeout: int = 3,
         se_handlers: Optional[List[SideEffectHandler]] = None,
         hot_backup: bool = False,
+        transport=None,
     ) -> None:
-        if strategy not in STRATEGIES:
-            raise ReplicationError(
-                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
-            )
+        self._strategy = resolve_strategy(strategy)
         self.registry = registry
         self.natives = natives or default_natives()
         self.env = env or Environment()
-        self.strategy = strategy
         self.crash_at = crash_at
         self.primary_settings = primary
         self.backup_settings = backup
         self.base_config = jvm_config or JVMConfig()
-        self.channel = Channel(batch_records=batch_records)
-        self.detector = FailureDetector(detector_timeout)
+        self._transport_spec = transport
+        self.transport = make_transport(transport)
+        self.channel = Channel(batch_records=batch_records,
+                               transport=self.transport)
+        self.detector = FailureDetector(
+            detector_timeout,
+            source=lambda: self.transport.stats.heartbeats_delivered,
+        )
         self._extra_se_handlers = list(se_handlers or [])
 
         self.hot_backup = hot_backup
@@ -195,9 +235,60 @@ class ReplicatedJVM:
         self.primary_metrics = ReplicationMetrics(role="primary")
         self.backup_metrics: Optional[ReplicationMetrics] = None
         self.shipper: Optional[LogShipper] = None
+        self._backup_driver = None
+        self._ran = False
         self._fed_records = 0
         self._hot_result: Optional[RunResult] = None
         self.hot_precrash_instructions = 0
+
+    @property
+    def strategy(self) -> str:
+        """Name of the resolved coordination strategy."""
+        return self._strategy.name
+
+    # ==================================================================
+    # Lifecycle
+    # ==================================================================
+    def clone(self, *, env: Optional[Environment] = None, crash_at=_UNSET,
+              hot_backup=_UNSET, transport=_UNSET, strategy=_UNSET,
+              detector_timeout=_UNSET) -> "ReplicatedJVM":
+        """A fresh, runnable machine with this one's configuration.
+
+        A ReplicatedJVM is single-shot (:class:`AlreadyRanError`);
+        crash-point sweeps and benchmark repetitions clone the template
+        instead of hand re-constructing it.  The clone gets a *new*
+        environment (pass ``env=`` to supply one) and a fresh transport
+        of the same configuration; keyword overrides adjust the copy.
+        """
+        if transport is _UNSET:
+            spec = self._transport_spec
+            if isinstance(spec, str) or callable(spec):
+                transport = spec          # re-buildable by make_transport
+            else:
+                transport = self.transport.fresh()
+        return ReplicatedJVM(
+            self.registry,
+            natives=self.natives,
+            env=env or Environment(),
+            strategy=self._strategy if strategy is _UNSET else strategy,
+            crash_at=self.crash_at if crash_at is _UNSET else crash_at,
+            primary=self.primary_settings,
+            backup=self.backup_settings,
+            jvm_config=self.base_config,
+            batch_records=self.channel.batch_records,
+            detector_timeout=(self.detector.timeout_intervals
+                              if detector_timeout is _UNSET
+                              else detector_timeout),
+            se_handlers=list(self._extra_se_handlers),
+            hot_backup=(self.hot_backup if hot_backup is _UNSET
+                        else hot_backup),
+            transport=transport,
+        )
+
+    def close(self) -> None:
+        """Release transport resources (socket transports hold a
+        listener and a receiver thread); the delivered log survives."""
+        self.transport.close()
 
     # ==================================================================
     # Construction of the two replicas
@@ -224,23 +315,11 @@ class ReplicatedJVM:
         jvm.native_policy = PrimaryNativePolicy(
             self.shipper, self.primary_metrics, se_manager
         )
-        if self.strategy == "lock_sync":
-            jvm.sync.admission = PrimaryLockSync(
-                self.shipper, self.primary_metrics
-            )
-        elif self.strategy == "lock_intervals":
-            jvm.sync.admission = PrimaryIntervalLockSync(
-                self.shipper, self.primary_metrics
-            )
-        else:
-            jvm.scheduler.controller = PrimarySchedController(
-                settings.scheduler_seed,
-                config.quantum_base,
-                config.quantum_jitter,
-                self.shipper,
-                self.primary_metrics,
-            )
-        jvm.run_hooks = _HeartbeatHooks(self.detector)
+        driver = self._strategy.make_primary(
+            self.shipper, self.primary_metrics, settings, config
+        )
+        driver.install(jvm)
+        jvm.run_hooks = _HeartbeatHooks(self.channel)
         self.primary_jvm = jvm
         return jvm
 
@@ -266,36 +345,10 @@ class ReplicatedJVM:
         policy.hold_when_drained = self.hot_backup
         jvm.native_policy = policy
         self._backup_se_manager = se_manager
-        if self.strategy == "lock_sync":
-            admission = BackupLockSync(
-                parsed.id_maps, parsed.lock_acqs, metrics
-            )
-            admission.hold_when_drained = self.hot_backup
-            jvm.sync.admission = admission
-            # During replay, notify wakes every waiter; the admission
-            # controller then enforces the logged re-acquisition order
-            # (guarded-wait programs are immune to the extra wakeups).
-            jvm.sync.notify_wakes_all = True
-        elif self.strategy == "lock_intervals":
-            admission = BackupIntervalLockSync(
-                parsed.intervals, metrics
-            )
-            admission.hold_when_drained = self.hot_backup
-            jvm.sync.admission = admission
-            jvm.sync.notify_wakes_all = True
-        else:
-            controller = BackupSchedController(
-                parsed.schedules,
-                ScheduleController(
-                    settings.scheduler_seed,
-                    config.quantum_base,
-                    config.quantum_jitter,
-                ),
-                metrics,
-            )
-            controller.jvm = jvm
-            controller.hold_when_drained = self.hot_backup
-            jvm.scheduler.controller = controller
+        driver = self._strategy.make_backup(parsed, metrics, settings, config)
+        driver.install(jvm)
+        driver.set_hold(self.hot_backup)
+        self._backup_driver = driver
         self.backup_jvm = jvm
         return jvm
 
@@ -312,10 +365,11 @@ class ReplicatedJVM:
         (the paper's 'keeping the backup updated would require only
         minor modifications'), so recovery at failover is nearly
         instantaneous — only the undelivered tail remains."""
-        if getattr(self, "_ran", False):
-            raise ReplicationError(
-                "ReplicatedJVM.run() may only be called once; construct a "
-                "fresh machine for another run"
+        if self._ran:
+            raise AlreadyRanError(
+                "ReplicatedJVM.run() may only be called once; use "
+                "ReplicatedJVM.clone() to build a fresh machine with "
+                "the same configuration"
             )
         self._ran = True
         primary = self._build_primary()
@@ -331,7 +385,7 @@ class ReplicatedJVM:
             self.channel.on_flush = pumping_flush
         try:
             result = primary.run(main_class, args)
-            self.channel.flush()
+            self.channel.settle()
             self._finish_metrics(primary, self.primary_metrics)
             backup_result = None
             if self.hot_backup:
@@ -391,14 +445,7 @@ class ReplicatedJVM:
             self.backup_jvm.native_policy.extend(
                 parsed.results, parsed.intents
             )
-            if self.strategy in ("lock_sync",):
-                self.backup_jvm.sync.admission.extend(
-                    parsed.id_maps, parsed.lock_acqs
-                )
-            elif self.strategy == "lock_intervals":
-                self.backup_jvm.sync.admission.extend(parsed.intervals)
-            else:
-                self.backup_jvm.scheduler.controller.extend(parsed.schedules)
+            self._backup_driver.extend_from(parsed)
             self.backup_jvm.sync.reevaluate_parked()
         result = self.backup_jvm.run_to_completion(pause_on_starvation=True)
         if result is not None:
@@ -410,12 +457,9 @@ class ReplicatedJVM:
         if self._hot_result is None:
             backup = self.backup_jvm
             backup.native_policy.hold_when_drained = False
-            admission = backup.sync.admission
-            if hasattr(admission, "hold_when_drained"):
-                admission.hold_when_drained = False
+            self._backup_driver.set_hold(False)
             controller = backup.scheduler.controller
             if hasattr(controller, "hold_when_drained"):
-                controller.hold_when_drained = False
                 controller.starving = False
             backup.sync.reevaluate_parked()
             self._hot_result = backup.run_to_completion()
@@ -432,7 +476,7 @@ class ReplicatedJVM:
         ``primary_completed``.
         """
         if self.channel.pending_records:
-            self.channel.flush()
+            self.channel.settle()
         backup = self._build_backup()
         result = backup.run(main_class, args)
         self._finish_metrics(backup, self.backup_metrics)
@@ -448,6 +492,14 @@ class ReplicatedJVM:
         metrics.objects_locked = jvm.sync.monitors_created
         metrics.largest_l_asn = jvm.sync.largest_l_asn
         metrics.reschedules = jvm.scheduler.reschedules
+        if metrics.role == "primary":
+            stats = self.transport.stats
+            metrics.retransmits = stats.retransmits
+            metrics.messages_dropped = stats.messages_dropped
+            metrics.messages_duplicated = stats.messages_duplicated
+            metrics.backpressure_stalls = stats.backpressure_stalls
+            metrics.heartbeats_sent = stats.heartbeats_sent
+            metrics.heartbeats_delivered = stats.heartbeats_delivered
 
 
 def run_unreplicated(

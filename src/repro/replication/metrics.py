@@ -39,6 +39,16 @@ class ReplicationMetrics:
     bytes_sent: int = 0
     ack_waits: int = 0
 
+    # --- Transport-level (zero on the in-memory transport) ------------
+    retransmits: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    backpressure_stalls: int = 0
+    #: measured round-trip time spent inside output-commit ack waits
+    ack_wait_time: float = 0.0
+    heartbeats_sent: int = 0
+    heartbeats_delivered: int = 0
+
     # --- Execution ----------------------------------------------------
     instructions: int = 0
     cf_changes: int = 0              # br_cnt sum over threads
@@ -71,7 +81,9 @@ class ReplicationMetrics:
                 "id_maps", "schedule_records", "native_result_records",
                 "se_records", "objects_locked", "locks_acquired",
                 "largest_l_asn", "reschedules", "messages_sent",
-                "records_sent", "bytes_sent", "ack_waits", "instructions",
+                "records_sent", "bytes_sent", "ack_waits", "retransmits",
+                "messages_dropped", "messages_duplicated",
+                "backpressure_stalls", "instructions",
                 "cf_changes", "records_replayed", "outputs_suppressed",
                 "outputs_tested", "outputs_reexecuted",
             )

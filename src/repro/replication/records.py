@@ -216,6 +216,30 @@ _READERS = {
     _KIND_LOCK_INTERVAL: LockIntervalRecord.read,
 }
 
+#: Kinds below this value are reserved for the core protocol.
+FIRST_CUSTOM_KIND = 64
+
+
+def register_record_kind(kind: int, reader, *, replace: bool = False) -> int:
+    """Register a decoder for a plug-in record kind.
+
+    Strategy plug-ins ship their own record types alongside their
+    strategy: the record's ``write`` method must emit
+    ``uvarint(kind)`` first, and ``reader(r)`` must consume exactly the
+    rest.  Custom kinds start at :data:`FIRST_CUSTOM_KIND`; the core
+    kinds cannot be replaced unless ``replace=True``.  Returns the kind
+    for convenience.
+    """
+    if kind < FIRST_CUSTOM_KIND and not replace:
+        raise ReplicationError(
+            f"record kind {kind} is reserved for the core protocol "
+            f"(custom kinds start at {FIRST_CUSTOM_KIND})"
+        )
+    if kind in _READERS and not replace:
+        raise ReplicationError(f"record kind {kind} already registered")
+    _READERS[kind] = reader
+    return kind
+
 
 def encode(record) -> bytes:
     """Serialize one record to its wire form."""

@@ -1,0 +1,270 @@
+"""Replica-coordination strategies behind a pluggable registry.
+
+The paper evaluates two ways to make the replicas agree on thread
+interleaving — replicated lock synchronization (§4.2) and replicated
+thread scheduling (§4.3) — and sketches a third (§6, logical lock
+intervals).  This module turns "which strategy" from a string literal
+baked into the machine into a registry of :class:`CoordinationStrategy`
+objects, so third-party strategies plug in without editing
+``machine.py``:
+
+* a strategy exposes ``make_primary(shipper, metrics, settings,
+  config)`` and ``make_backup(parsed_log, metrics, settings, config)``,
+  each returning a *driver* with an ``install(jvm)`` hook that wires
+  the strategy's controllers into a JVM;
+* backup drivers additionally support ``extend_from(parsed)`` (hot
+  backup: newly delivered records stream in) and ``set_hold(flag)``
+  (hold-when-drained mode while the primary is still alive);
+* :func:`register_strategy` adds a strategy under its ``name``;
+  ``ReplicatedJVM(strategy="name")`` resolves through the registry, so
+  existing string names keep working.
+
+Plug-ins that need their own log record types register a wire decoder
+with :func:`repro.replication.records.register_record_kind` and a
+parse bucket with :func:`repro.replication.machine.register_log_record`
+— the parsed log exposes unclaimed record types in ``parsed.extra``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ReplicationError
+from repro.replication.lock_intervals import (
+    BackupIntervalLockSync,
+    PrimaryIntervalLockSync,
+)
+from repro.replication.lock_sync import BackupLockSync, PrimaryLockSync
+from repro.replication.thread_sched import (
+    BackupSchedController,
+    PrimarySchedController,
+)
+from repro.runtime.scheduler import ScheduleController
+
+
+# ======================================================================
+# Drivers: what make_primary / make_backup return
+# ======================================================================
+class PrimaryDriver:
+    """Installs a strategy's primary-side hooks into a JVM."""
+
+    def install(self, jvm) -> None:
+        raise NotImplementedError
+
+
+class BackupDriver:
+    """Installs a strategy's backup-side replay hooks into a JVM."""
+
+    def install(self, jvm) -> None:
+        raise NotImplementedError
+
+    def extend_from(self, parsed) -> None:
+        """Hot backup: feed newly delivered (parsed) log records."""
+
+    def set_hold(self, hold: bool) -> None:
+        """Hot backup: pause instead of failing when the log drains."""
+
+
+class AdmissionPrimaryDriver(PrimaryDriver):
+    """Primary driver for strategies that govern monitor admission."""
+
+    def __init__(self, admission) -> None:
+        self.admission = admission
+
+    def install(self, jvm) -> None:
+        jvm.sync.admission = self.admission
+
+
+class AdmissionBackupDriver(BackupDriver):
+    """Backup driver for admission-based strategies.  During replay,
+    notify wakes every waiter; the admission controller then enforces
+    the logged re-acquisition order (guarded-wait programs are immune
+    to the extra wakeups)."""
+
+    def __init__(self, admission, extend: Callable = None) -> None:
+        self.admission = admission
+        self._extend = extend
+
+    def install(self, jvm) -> None:
+        jvm.sync.admission = self.admission
+        jvm.sync.notify_wakes_all = True
+
+    def extend_from(self, parsed) -> None:
+        if self._extend is not None:
+            self._extend(parsed)
+
+    def set_hold(self, hold: bool) -> None:
+        self.admission.hold_when_drained = hold
+
+
+class SchedulerPrimaryDriver(PrimaryDriver):
+    """Primary driver for strategies that own the thread scheduler."""
+
+    def __init__(self, controller) -> None:
+        self.controller = controller
+
+    def install(self, jvm) -> None:
+        jvm.scheduler.controller = self.controller
+
+
+class SchedulerBackupDriver(BackupDriver):
+    def __init__(self, controller, extend: Callable = None) -> None:
+        self.controller = controller
+        self._extend = extend
+
+    def install(self, jvm) -> None:
+        self.controller.jvm = jvm
+        jvm.scheduler.controller = self.controller
+
+    def extend_from(self, parsed) -> None:
+        if self._extend is not None:
+            self._extend(parsed)
+
+    def set_hold(self, hold: bool) -> None:
+        self.controller.hold_when_drained = hold
+
+
+# ======================================================================
+# The protocol and the built-in strategies
+# ======================================================================
+class CoordinationStrategy:
+    """Base/protocol for replica-coordination strategies.
+
+    Subclasses define ``name`` and the two factories.  ``settings`` is
+    the replica's :class:`~repro.replication.machine.ReplicaSettings`,
+    ``config`` the :class:`~repro.runtime.jvm.JVMConfig` — both are
+    provided so strategies can seed their own controllers.
+    """
+
+    name: str = ""
+
+    def make_primary(self, shipper, metrics, settings, config) -> PrimaryDriver:
+        raise NotImplementedError
+
+    def make_backup(self, parsed_log, metrics, settings, config) -> BackupDriver:
+        raise NotImplementedError
+
+
+class LockSyncStrategy(CoordinationStrategy):
+    """Replicated lock synchronization (§4.2): one record per monitor
+    acquisition."""
+
+    name = "lock_sync"
+
+    def make_primary(self, shipper, metrics, settings, config):
+        return AdmissionPrimaryDriver(PrimaryLockSync(shipper, metrics))
+
+    def make_backup(self, parsed_log, metrics, settings, config):
+        admission = BackupLockSync(
+            parsed_log.id_maps, parsed_log.lock_acqs, metrics
+        )
+        return AdmissionBackupDriver(
+            admission,
+            extend=lambda p: admission.extend(p.id_maps, p.lock_acqs),
+        )
+
+
+class ThreadSchedStrategy(CoordinationStrategy):
+    """Replicated thread scheduling (§4.3): one record per scheduling
+    decision, replayed at exact progress points."""
+
+    name = "thread_sched"
+
+    def make_primary(self, shipper, metrics, settings, config):
+        return SchedulerPrimaryDriver(PrimarySchedController(
+            settings.scheduler_seed,
+            config.quantum_base,
+            config.quantum_jitter,
+            shipper,
+            metrics,
+        ))
+
+    def make_backup(self, parsed_log, metrics, settings, config):
+        controller = BackupSchedController(
+            parsed_log.schedules,
+            ScheduleController(
+                settings.scheduler_seed,
+                config.quantum_base,
+                config.quantum_jitter,
+            ),
+            metrics,
+        )
+        return SchedulerBackupDriver(
+            controller, extend=lambda p: controller.extend(p.schedules)
+        )
+
+
+class LockIntervalsStrategy(CoordinationStrategy):
+    """Logical lock intervals (§6): consecutive acquisitions by one
+    thread coalesce into a single interval record."""
+
+    name = "lock_intervals"
+
+    def make_primary(self, shipper, metrics, settings, config):
+        return AdmissionPrimaryDriver(
+            PrimaryIntervalLockSync(shipper, metrics)
+        )
+
+    def make_backup(self, parsed_log, metrics, settings, config):
+        admission = BackupIntervalLockSync(parsed_log.intervals, metrics)
+        return AdmissionBackupDriver(
+            admission, extend=lambda p: admission.extend(p.intervals)
+        )
+
+
+# ======================================================================
+# Registry
+# ======================================================================
+_REGISTRY: Dict[str, CoordinationStrategy] = {}
+
+
+def register_strategy(strategy: CoordinationStrategy, *,
+                      replace: bool = False) -> CoordinationStrategy:
+    """Register a strategy under ``strategy.name``.  Third-party
+    strategies registered here run through :class:`ReplicatedJVM`
+    without any core edits.  Returns the strategy for decorator-ish
+    chaining."""
+    name = getattr(strategy, "name", "")
+    if not name:
+        raise ReplicationError(
+            f"strategy {strategy!r} has no name; set a class-level "
+            f"``name`` attribute"
+        )
+    if name in _REGISTRY and not replace:
+        raise ReplicationError(
+            f"strategy {name!r} already registered (pass replace=True "
+            f"to override)"
+        )
+    _REGISTRY[name] = strategy
+    return strategy
+
+
+def resolve_strategy(spec) -> CoordinationStrategy:
+    """Turn a strategy spec — a registered name or a strategy object —
+    into a :class:`CoordinationStrategy`."""
+    if isinstance(spec, str):
+        strategy = _REGISTRY.get(spec)
+        if strategy is None:
+            raise ReplicationError(
+                f"unknown strategy {spec!r}; expected one of "
+                f"{strategy_names()} (register_strategy adds new ones)"
+            )
+        return strategy
+    if hasattr(spec, "make_primary") and hasattr(spec, "make_backup"):
+        return spec
+    raise ReplicationError(
+        f"strategy spec {spec!r} is neither a registered name nor a "
+        f"CoordinationStrategy"
+    )
+
+
+def strategy_names() -> Tuple[str, ...]:
+    """Registered strategy names, built-ins first."""
+    builtins = ("lock_sync", "thread_sched", "lock_intervals")
+    extras = tuple(sorted(set(_REGISTRY) - set(builtins)))
+    return tuple(n for n in builtins if n in _REGISTRY) + extras
+
+
+register_strategy(LockSyncStrategy())
+register_strategy(ThreadSchedStrategy())
+register_strategy(LockIntervalsStrategy())

@@ -1,0 +1,608 @@
+"""Pluggable primary→backup transports for the log channel.
+
+The paper runs its two replicas on separate machines over 100 Mbps
+Ethernet; the log channel's behavior — ack round trips, message loss,
+reordering — is where the output-commit economics of Figures 3/4 come
+from.  This module isolates *how messages move* behind a small
+interface so the rest of the replication layer (Channel, LogShipper,
+FailureDetector, ReplicatedJVM) is transport-generic:
+
+* :class:`InMemoryTransport` — instant, loss-free delivery.  The
+  default; byte-for-byte equivalent to the original in-process list.
+* :class:`FaultyTransport` — a deterministic, seeded network simulator
+  with latency, jitter, drops, duplication and reordering, plus the
+  sender-side machinery a real link needs: per-message sequence
+  numbers, cumulative acks, retransmission with timeout and
+  exponential backoff, and a bounded send window that exerts
+  backpressure on the primary.
+* :class:`SocketTransport` — a real TCP connection over localhost with
+  the backup's log receiver on its own thread, framed with the same
+  varint encoding as the log records (:mod:`repro.replication.wire`).
+
+Delivery semantics under fail-stop, per transport:
+
+* in-memory: every flushed record is delivered; buffered records die
+  with the primary (the original model).
+* faulty: the delivered log is always a *contiguous prefix* of the
+  flushed message sequence.  A message arrives only when every earlier
+  message has arrived (the receiver holds out-of-order arrivals);
+  messages dropped on the wire and never retransmitted before the
+  crash are lost together with everything after them.  An ack for
+  message *n* therefore proves messages 1..n are in the backup's log —
+  exactly the property output commit needs.
+* socket: TCP gives loss-free ordered delivery; bytes still in flight
+  when the sender's socket closes are delivered before EOF, so flushed
+  records are delivered, as in the in-memory model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import socket
+import threading
+import time
+from dataclasses import dataclass, replace
+from random import Random
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.replication.wire import Reader, Writer
+
+_FRAME_DATA = 1
+_FRAME_HEARTBEAT = 2
+_FRAME_ACK = 3
+
+
+@dataclass
+class TransportStats:
+    """Transport-level counters, beyond the Channel's wire counters."""
+
+    retransmits: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_reordered: int = 0
+    backpressure_stalls: int = 0
+    #: Simulated (faulty) or wall-clock (socket) time spent inside
+    #: output-commit ack waits — the true round-trip component.
+    ack_wait_time: float = 0.0
+    acks_delivered: int = 0
+    heartbeats_sent: int = 0
+    heartbeats_delivered: int = 0
+
+
+class Transport:
+    """Base transport: moves framed record batches primary→backup.
+
+    Subclasses must deliver records into :attr:`delivered` (the
+    backup's in-memory log) such that ``delivered`` is always a prefix
+    of the concatenation of all sent batches.
+    """
+
+    def __init__(self) -> None:
+        #: The backup's log: records delivered, in order.
+        self.delivered: List[bytes] = []
+        self.stats = TransportStats()
+        self.closed = False
+
+    # -- sender side ---------------------------------------------------
+    def send(self, records: List[bytes]) -> None:
+        """Ship one batch (a flushed buffer) toward the backup."""
+        raise NotImplementedError
+
+    def wait_ack(self) -> float:
+        """Block until every sent batch is acknowledged; returns the
+        time spent waiting (the output-commit round trip)."""
+        raise NotImplementedError
+
+    def send_heartbeat(self) -> None:
+        """I-am-alive datagram; never enters the record log."""
+        raise NotImplementedError
+
+    def crash_sender(self) -> None:
+        """Fail-stop the sender.  In-flight data may still arrive;
+        nothing is retransmitted afterwards."""
+        self.closed = True
+
+    # -- receiver side -------------------------------------------------
+    def drain(self) -> None:
+        """Let everything already in flight arrive (no retransmits)."""
+
+    def settle(self) -> None:
+        """Cooperative completion: the sender is alive and idle, so
+        push retransmissions until everything sent is delivered."""
+        self.drain()
+
+    def close(self) -> None:
+        """Release transport resources; the delivered log survives."""
+        self.closed = True
+
+    def fresh(self) -> "Transport":
+        """A new, unused transport with the same configuration (used
+        by :meth:`ReplicatedJVM.clone`)."""
+        raise NotImplementedError
+
+
+class InMemoryTransport(Transport):
+    """Zero-latency loss-free delivery — the original channel model."""
+
+    def send(self, records: List[bytes]) -> None:
+        if self.closed:
+            return
+        self.delivered.extend(records)
+
+    def wait_ack(self) -> float:
+        self.stats.acks_delivered += 1
+        return 0.0
+
+    def send_heartbeat(self) -> None:
+        if self.closed:
+            return
+        self.stats.heartbeats_sent += 1
+        self.stats.heartbeats_delivered += 1
+
+    def fresh(self) -> "InMemoryTransport":
+        return InMemoryTransport()
+
+
+# ======================================================================
+# Deterministic fault injection
+# ======================================================================
+@dataclass(frozen=True)
+class FaultProfile:
+    """Knobs of the simulated link.  Rates are probabilities in [0, 1];
+    times are abstract ticks (the cost model scales them)."""
+
+    name: str = "clean"
+    drop_rate: float = 0.0        # message vanishes on the wire
+    dup_rate: float = 0.0         # message arrives twice
+    reorder_rate: float = 0.0     # message takes a slow path (overtaken)
+    latency: float = 4.0          # one-way delay
+    jitter: float = 0.0           # uniform extra delay in [0, jitter]
+    retry_timeout: float = 40.0   # retransmit deadline after send
+    backoff: float = 2.0          # timeout multiplier per retry
+    max_retries: int = 12         # attempts before the link is declared dead
+    window: int = 16              # bounded send buffer (unacked messages)
+
+
+#: Built-in fault profiles used by tests, examples and benchmarks.
+FAULT_PROFILES: Dict[str, FaultProfile] = {
+    "clean": FaultProfile(name="clean"),
+    "slow": FaultProfile(name="slow", latency=40.0, jitter=10.0),
+    "lossy": FaultProfile(name="lossy", drop_rate=0.25, jitter=2.0),
+    "flaky": FaultProfile(name="flaky", drop_rate=0.15, dup_rate=0.2,
+                          jitter=3.0),
+    "jittery": FaultProfile(name="jittery", reorder_rate=0.4, jitter=12.0),
+    "chaotic": FaultProfile(name="chaotic", drop_rate=0.2, dup_rate=0.15,
+                            reorder_rate=0.3, latency=8.0, jitter=8.0,
+                            window=4),
+}
+
+
+class FaultyTransport(Transport):
+    """Seeded network simulator with retransmission and backpressure.
+
+    Time is virtual: it advances when the sender waits (ack waits,
+    backpressure stalls) and by a small fixed cost per send, and the
+    event queue (arrivals, acks) is processed whenever the clock moves.
+    Two transports built with the same profile and seed behave
+    identically — fault schedules are reproducible by construction.
+    """
+
+    _ARRIVE, _ACK, _HEARTBEAT = 0, 1, 2
+
+    def __init__(self, profile: Optional[FaultProfile] = None, *,
+                 seed: int = 20030622, send_cost: float = 1.0,
+                 **overrides) -> None:
+        super().__init__()
+        profile = profile or FaultProfile()
+        if overrides:
+            profile = replace(profile, **overrides)
+        self.profile = profile
+        self.seed = seed
+        self.send_cost = send_cost
+        self._rng = Random(seed)
+        self.now = 0.0
+        self._events: List[Tuple[float, int, int, int, List[bytes]]] = []
+        self._tiebreak = 0
+        # Sender state.
+        self._next_seq = 0
+        #: seq -> [records, n_attempts, timeout_at]
+        self._unacked: Dict[int, list] = {}
+        self._acked_through = -1
+        # Receiver state.
+        self._expected = 0
+        self._held: Dict[int, List[bytes]] = {}
+
+    # -- virtual network internals -------------------------------------
+    def _schedule(self, delay: float, kind: int, seq: int,
+                  records: List[bytes]) -> None:
+        self._tiebreak += 1
+        heapq.heappush(
+            self._events, (self.now + delay, self._tiebreak, kind, seq, records)
+        )
+
+    def _one_way_delay(self) -> float:
+        p = self.profile
+        delay = p.latency + self._rng.uniform(0.0, p.jitter)
+        if p.reorder_rate and self._rng.random() < p.reorder_rate:
+            # The slow path: enough extra delay that a later message
+            # can overtake this one.
+            delay += p.latency + p.jitter + self._rng.uniform(0.0, 4 * p.jitter)
+        return delay
+
+    def _transmit(self, seq: int) -> None:
+        """Put one (re)transmission of message ``seq`` on the wire."""
+        pending = self._unacked[seq]
+        pending[1] += 1
+        if pending[1] > 1:
+            self.stats.retransmits += 1
+        timeout = self.profile.retry_timeout * (
+            self.profile.backoff ** (pending[1] - 1)
+        )
+        pending[2] = self.now + timeout
+        if self._rng.random() < self.profile.drop_rate:
+            self.stats.messages_dropped += 1
+        else:
+            self._schedule(self._one_way_delay(), self._ARRIVE, seq, pending[0])
+        if self.profile.dup_rate and self._rng.random() < self.profile.dup_rate:
+            self.stats.messages_duplicated += 1
+            self._schedule(self._one_way_delay(), self._ARRIVE, seq, pending[0])
+
+    def _receive(self, seq: int, records: List[bytes]) -> None:
+        if seq < self._expected:
+            # Duplicate of something already in the log: re-ack.
+            self._send_ack()
+            return
+        if seq > self._expected:
+            if seq not in self._held:
+                self.stats.messages_reordered += 1
+                self._held[seq] = records
+            return
+        self.delivered.extend(records)
+        self._expected += 1
+        while self._expected in self._held:
+            self.delivered.extend(self._held.pop(self._expected))
+            self._expected += 1
+        self._send_ack()
+
+    def _send_ack(self) -> None:
+        """Cumulative ack for everything contiguously delivered."""
+        if self._rng.random() < self.profile.drop_rate:
+            self.stats.messages_dropped += 1
+            return
+        self._schedule(self._one_way_delay(), self._ACK,
+                       self._expected - 1, [])
+
+    def _handle(self, kind: int, seq: int, records: List[bytes]) -> None:
+        if kind == self._ARRIVE:
+            self._receive(seq, records)
+        elif kind == self._ACK:
+            if seq > self._acked_through:
+                self._acked_through = seq
+                self.stats.acks_delivered += 1
+                for acked in [s for s in self._unacked if s <= seq]:
+                    del self._unacked[acked]
+        else:
+            self.stats.heartbeats_delivered += 1
+
+    def _process_due(self) -> None:
+        while self._events and self._events[0][0] <= self.now:
+            _, _, kind, seq, records = heapq.heappop(self._events)
+            self._handle(kind, seq, records)
+
+    def _advance_one_step(self, allow_retransmit: bool) -> bool:
+        """Move the clock to the next arrival or retransmit deadline.
+        Returns False when nothing can make progress."""
+        next_event = self._events[0][0] if self._events else None
+        next_timeout = None
+        if allow_retransmit and self._unacked:
+            next_timeout = min(p[2] for p in self._unacked.values())
+        if next_event is None and next_timeout is None:
+            return False
+        if next_timeout is None or (next_event is not None
+                                    and next_event <= next_timeout):
+            self.now = max(self.now, next_event)
+            self._process_due()
+            return True
+        self.now = max(self.now, next_timeout)
+        for seq, pending in sorted(self._unacked.items()):
+            if pending[2] <= self.now:
+                if pending[1] > self.profile.max_retries:
+                    raise TransportError(
+                        f"message {seq} unacknowledged after "
+                        f"{self.profile.max_retries} retries — link dead"
+                    )
+                self._transmit(seq)
+        self._process_due()
+        return True
+
+    # -- Transport interface -------------------------------------------
+    def send(self, records: List[bytes]) -> None:
+        if self.closed:
+            return
+        while len(self._unacked) >= self.profile.window:
+            # Bounded send buffer: the primary stalls until an ack
+            # frees a slot (backpressure).
+            self.stats.backpressure_stalls += 1
+            if not self._advance_one_step(allow_retransmit=True):
+                raise TransportError(
+                    "send window full and the link is silent"
+                )
+        seq = self._next_seq
+        self._next_seq += 1
+        self._unacked[seq] = [list(records), 0, 0.0]
+        self._transmit(seq)
+        self.now += self.send_cost
+        self._process_due()
+
+    def wait_ack(self) -> float:
+        if self.closed:
+            return 0.0
+        target = self._next_seq - 1
+        started = self.now
+        while self._acked_through < target:
+            if not self._advance_one_step(allow_retransmit=True):
+                raise TransportError("awaiting ack on a silent link")
+        waited = self.now - started
+        self.stats.ack_wait_time += waited
+        return waited
+
+    def send_heartbeat(self) -> None:
+        if self.closed:
+            return
+        self.stats.heartbeats_sent += 1
+        if self._rng.random() < self.profile.drop_rate:
+            return
+        self._schedule(self._one_way_delay(), self._HEARTBEAT, 0, [])
+        self._process_due()
+
+    def crash_sender(self) -> None:
+        super().crash_sender()
+        self._unacked.clear()
+        self.drain()
+
+    def drain(self) -> None:
+        """Everything already on the wire arrives; no retransmissions,
+        so messages dropped before the crash stay lost (and block any
+        later messages — the contiguous-prefix rule)."""
+        while self._events:
+            time, _, kind, seq, records = heapq.heappop(self._events)
+            self.now = max(self.now, time)
+            self._handle(kind, seq, records)
+
+    def settle(self) -> None:
+        if self.closed:
+            self.drain()
+            return
+        target = self._next_seq - 1
+        while self._acked_through < target:
+            if not self._advance_one_step(allow_retransmit=True):
+                raise TransportError("settle on a silent link")
+        self.drain()
+
+    def fresh(self) -> "FaultyTransport":
+        return FaultyTransport(self.profile, seed=self.seed,
+                               send_cost=self.send_cost)
+
+
+# ======================================================================
+# Real sockets
+# ======================================================================
+def _read_uvarint(sock: socket.socket) -> Optional[int]:
+    """Read one varint from a blocking socket; None on clean EOF."""
+    shift = 0
+    value = 0
+    while True:
+        byte = sock.recv(1)
+        if not byte:
+            return None if shift == 0 else value
+        value |= (byte[0] & 0x7F) << shift
+        if not byte[0] & 0x80:
+            return value
+        shift += 7
+        if shift > 63:
+            raise TransportError("varint too long on socket")
+
+
+def _uvarint_bytes(value: int) -> bytes:
+    return Writer().uvarint(value).bytes()
+
+
+class SocketTransport(Transport):
+    """Real TCP over localhost; the backup's log receiver runs on its
+    own thread and acks every data frame it appends.
+
+    Frames reuse the varint wire format: both directions carry a
+    sequence of ``uvarint(length) || payload`` where payload is built
+    with :class:`~repro.replication.wire.Writer` —
+    data frames ``(type=1, seq, count, count×(len, bytes))``,
+    heartbeats ``(type=2)``, acks ``(type=3, cumulative_seq)``.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 *, timeout: float = 10.0) -> None:
+        super().__init__()
+        self.timeout = timeout
+        self._cv = threading.Condition()
+        self._next_seq = 0
+        self._acked_through = -1
+        self._records_sent = 0
+        self._eof = False
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind((host, port))
+        self._listener.listen(1)
+        self.address = self._listener.getsockname()
+        self._sender: Optional[socket.socket] = None
+        self._receiver_sock: Optional[socket.socket] = None
+        self._thread = threading.Thread(
+            target=self._receiver_loop, name="backup-log-receiver",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # -- receiver thread -----------------------------------------------
+    def _receiver_loop(self) -> None:
+        try:
+            conn, _ = self._listener.accept()
+        except OSError:
+            return
+        self._receiver_sock = conn
+        expected = 0
+        try:
+            while True:
+                payload = self._read_frame(conn)
+                if payload is None:
+                    break
+                r = Reader(payload)
+                frame_type = r.uvarint()
+                if frame_type == _FRAME_DATA:
+                    seq = r.uvarint()
+                    count = r.uvarint()
+                    records = [r.raw(r.uvarint()) for _ in range(count)]
+                    with self._cv:
+                        if seq < expected:      # TCP never duplicates,
+                            continue            # but be defensive
+                        expected = seq + 1
+                        self.delivered.extend(records)
+                        self._cv.notify_all()
+                    ack = Writer().uvarint(_FRAME_ACK).uvarint(seq).bytes()
+                    conn.sendall(_uvarint_bytes(len(ack)) + ack)
+                elif frame_type == _FRAME_HEARTBEAT:
+                    with self._cv:
+                        self.stats.heartbeats_delivered += 1
+        except OSError:
+            pass
+        finally:
+            with self._cv:
+                self._eof = True
+                self._cv.notify_all()
+
+    @staticmethod
+    def _read_frame(conn: socket.socket) -> Optional[bytes]:
+        length = _read_uvarint(conn)
+        if length is None:
+            return None
+        payload = b""
+        while len(payload) < length:
+            chunk = conn.recv(length - len(payload))
+            if not chunk:
+                return None
+            payload += chunk
+        return payload
+
+    # -- sender side ---------------------------------------------------
+    def _connect(self) -> socket.socket:
+        if self._sender is None:
+            self._sender = socket.create_connection(
+                self.address, timeout=self.timeout
+            )
+        return self._sender
+
+    def _send_frame(self, payload: bytes) -> None:
+        try:
+            self._connect().sendall(_uvarint_bytes(len(payload)) + payload)
+        except OSError as exc:
+            raise TransportError(f"socket send failed: {exc}") from exc
+
+    def send(self, records: List[bytes]) -> None:
+        if self.closed:
+            return
+        w = Writer()
+        w.uvarint(_FRAME_DATA).uvarint(self._next_seq).uvarint(len(records))
+        for record in records:
+            w.uvarint(len(record)).raw(record)
+        self._send_frame(w.bytes())
+        self._next_seq += 1
+        self._records_sent += len(records)
+
+    def send_heartbeat(self) -> None:
+        if self.closed:
+            return
+        self.stats.heartbeats_sent += 1
+        self._send_frame(Writer().uvarint(_FRAME_HEARTBEAT).bytes())
+
+    def wait_ack(self) -> float:
+        if self.closed or self._next_seq == 0:
+            return 0.0
+        target = self._next_seq - 1
+        started = time.monotonic()
+        sock = self._connect()
+        sock.settimeout(self.timeout)
+        while self._acked_through < target:
+            try:
+                payload = self._read_frame(sock)
+            except socket.timeout:
+                raise TransportError("timed out waiting for backup ack")
+            except OSError as exc:
+                raise TransportError(f"ack read failed: {exc}") from exc
+            if payload is None:
+                raise TransportError("backup closed the link mid-ack")
+            r = Reader(payload)
+            if r.uvarint() == _FRAME_ACK:
+                self._acked_through = max(self._acked_through, r.uvarint())
+                self.stats.acks_delivered += 1
+        waited = time.monotonic() - started
+        self.stats.ack_wait_time += waited
+        return waited
+
+    # -- completion ----------------------------------------------------
+    def crash_sender(self) -> None:
+        super().crash_sender()
+        if self._sender is not None:
+            try:
+                self._sender.close()   # flushes in-flight bytes, then EOF
+            except OSError:
+                pass
+        self.drain()
+
+    def drain(self) -> None:
+        deadline = time.monotonic() + self.timeout
+        with self._cv:
+            while len(self.delivered) < self._records_sent and not self._eof:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TransportError("receiver did not drain in time")
+                self._cv.wait(remaining)
+
+    def close(self) -> None:
+        super().close()
+        for sock in (self._sender, self._receiver_sock, self._listener):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        self._thread.join(timeout=1.0)
+
+    def fresh(self) -> "SocketTransport":
+        return SocketTransport(timeout=self.timeout)
+
+
+def make_transport(spec=None) -> Transport:
+    """Build a transport from a spec: ``None`` (in-memory default), a
+    :class:`Transport` instance, a zero-argument factory, a fault
+    profile name from :data:`FAULT_PROFILES`, or ``"memory"`` /
+    ``"socket"``."""
+    if spec is None:
+        return InMemoryTransport()
+    if isinstance(spec, Transport):
+        return spec
+    if callable(spec):
+        transport = spec()
+        if not isinstance(transport, Transport):
+            raise TransportError(
+                f"transport factory returned {transport!r}, not a Transport"
+            )
+        return transport
+    if isinstance(spec, str):
+        if spec == "memory":
+            return InMemoryTransport()
+        if spec == "socket":
+            return SocketTransport()
+        if spec in FAULT_PROFILES:
+            return FaultyTransport(FAULT_PROFILES[spec])
+        raise TransportError(
+            f"unknown transport {spec!r}; expected 'memory', 'socket', or "
+            f"a fault profile from {sorted(FAULT_PROFILES)}"
+        )
+    raise TransportError(f"cannot build a transport from {spec!r}")

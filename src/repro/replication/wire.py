@@ -124,6 +124,9 @@ class Reader:
     def f64(self) -> float:
         return struct.unpack("<d", self._take(8))[0]
 
+    def raw(self, n: int) -> bytes:
+        return self._take(n)
+
     def text(self) -> str:
         return self._take(self.uvarint()).decode("utf-8")
 

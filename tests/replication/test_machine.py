@@ -3,7 +3,7 @@
 import pytest
 
 from repro.env.environment import Environment
-from repro.errors import ReplicationError
+from repro.errors import AlreadyRanError, ReplicationError
 from repro.minijava import compile_program
 from repro.replication.machine import (
     ReplicaSettings,
@@ -139,3 +139,58 @@ def test_custom_application_side_effect_handler():
         result = machine.run("Main")
         assert result.final_result.ok, crash_at
         assert env.fs.contents("beeps.txt") == "!" * 5, crash_at
+
+
+# ======================================================================
+# Lifecycle: one machine, one run; clone() for the next one
+# ======================================================================
+PRINTER = """
+class Main {
+    static void main(String[] args) {
+        for (int i = 0; i < 3; i++) { System.println("n=" + i); }
+    }
+}
+"""
+
+
+def test_second_run_raises_already_ran():
+    machine = ReplicatedJVM(compile_program(PRINTER), env=Environment())
+    machine.run("Main")
+    with pytest.raises(AlreadyRanError, match="clone"):
+        machine.run("Main")
+
+
+def test_already_ran_is_a_replication_error():
+    assert issubclass(AlreadyRanError, ReplicationError)
+
+
+def test_clone_is_fresh_and_runnable():
+    machine = ReplicatedJVM(compile_program(PRINTER), env=Environment())
+    first = machine.run("Main")
+    clone = machine.clone()
+    second = clone.run("Main")
+    assert second.outcome == first.outcome
+    assert clone.env is not machine.env
+    assert clone.env.console.lines() == machine.env.console.lines()
+    assert clone.strategy == machine.strategy
+
+
+def test_clone_overrides_selected_knobs():
+    machine = ReplicatedJVM(compile_program(PRINTER), env=Environment(),
+                            crash_at=None, detector_timeout=3)
+    machine.run("Main")
+    clone = machine.clone(crash_at=2, detector_timeout=5)
+    result = clone.run("Main")
+    assert result.failed_over
+    assert result.detection_intervals == 5
+    assert clone.env.console.lines() == machine.env.console.lines()
+    # Untouched knobs carry over.
+    later = machine.clone()
+    assert later.crash_at is None
+
+
+def test_clone_before_run_is_allowed():
+    machine = ReplicatedJVM(compile_program(PRINTER), env=Environment())
+    clone = machine.clone(crash_at=1)
+    assert clone.run("Main").failed_over
+    assert machine.run("Main").outcome == "primary_completed"

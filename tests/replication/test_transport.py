@@ -1,0 +1,235 @@
+"""Transport layer: in-memory equivalence, fault injection, framing.
+
+The load-bearing property: whatever the fault profile, the backup's
+delivered log is always a *contiguous prefix* of the record stream the
+primary flushed — and with retries allowed to finish (settle), it is
+the whole stream.  Output commit's safety rests on this plus real acks.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.env.channel import Channel
+from repro.errors import TransportError
+from repro.replication.transport import (
+    FAULT_PROFILES,
+    FaultProfile,
+    FaultyTransport,
+    InMemoryTransport,
+    make_transport,
+)
+
+
+# ======================================================================
+# In-memory transport: the original channel model, bit for bit
+# ======================================================================
+def test_in_memory_transport_delivers_instantly():
+    t = InMemoryTransport()
+    t.send([b"a", b"b"])
+    assert t.delivered == [b"a", b"b"]
+    assert t.wait_ack() == 0.0
+    assert t.stats.retransmits == 0
+    assert t.stats.ack_wait_time == 0.0
+
+
+def test_default_channel_uses_in_memory_transport():
+    ch = Channel()
+    assert isinstance(ch.transport, InMemoryTransport)
+    ch.send_record(b"x")
+    ch.flush()
+    assert ch.delivered == [b"x"]
+
+
+def test_channel_counters_identical_across_transports():
+    """Wire counters live in the Channel and count accepted messages,
+    so they are transport-invariant (the Table 2 economics don't change
+    when the link degrades — only the fault counters do)."""
+    payloads = [bytes([i]) * (i + 1) for i in range(10)]
+
+    def run(transport):
+        ch = Channel(batch_records=3, transport=transport)
+        for p in payloads:
+            ch.send_record(p)
+        ch.flush_and_wait_ack()
+        return (ch.messages_sent, ch.records_sent, ch.bytes_sent,
+                ch.acks_received)
+
+    mem = run(InMemoryTransport())
+    faulty = run(FaultyTransport(FAULT_PROFILES["lossy"], seed=5))
+    assert mem == faulty
+
+
+def test_heartbeats_bypass_wire_counters():
+    ch = Channel()
+    ch.heartbeat()
+    ch.heartbeat()
+    assert ch.messages_sent == 0
+    assert ch.transport.stats.heartbeats_sent == 2
+    assert ch.transport.stats.heartbeats_delivered == 2
+
+
+# ======================================================================
+# Fault injection
+# ======================================================================
+def test_faulty_transport_is_deterministic():
+    def run():
+        t = FaultyTransport(FAULT_PROFILES["chaotic"], seed=99)
+        for i in range(30):
+            t.send([bytes([i])])
+            if i % 5 == 4:
+                t.wait_ack()
+        t.settle()
+        return list(t.delivered), vars(t.stats).copy()
+
+    first = run()
+    second = run()
+    assert first == second
+
+
+def test_drops_force_retransmission():
+    t = FaultyTransport(FaultProfile(drop_rate=0.5, latency=2.0), seed=3)
+    for i in range(20):
+        t.send([bytes([i])])
+    t.wait_ack()
+    assert t.delivered == [bytes([i]) for i in range(20)]
+    assert t.stats.retransmits > 0
+    assert t.stats.messages_dropped > 0
+
+
+def test_dead_link_raises_after_max_retries():
+    t = FaultyTransport(
+        FaultProfile(drop_rate=1.0, max_retries=2, retry_timeout=4.0), seed=1
+    )
+    t.send([b"x"])
+    with pytest.raises(TransportError, match="retries"):
+        t.wait_ack()
+
+
+def test_bounded_window_exerts_backpressure():
+    t = FaultyTransport(
+        FaultProfile(window=2, latency=50.0, retry_timeout=500.0), seed=7
+    )
+    for i in range(8):
+        t.send([bytes([i])])
+    assert t.stats.backpressure_stalls > 0
+    t.settle()
+    assert t.delivered == [bytes([i]) for i in range(8)]
+
+
+def test_reordering_never_reorders_the_log():
+    t = FaultyTransport(FAULT_PROFILES["jittery"], seed=11)
+    sent = [bytes([i]) for i in range(40)]
+    for record in sent:
+        t.send([record])
+    t.settle()
+    assert t.delivered == sent
+    assert t.stats.messages_reordered > 0
+
+
+def test_crash_delivers_in_flight_prefix_only():
+    """At fail-stop, in-flight messages may still land, but a dropped
+    message is a wall: nothing after it enters the log."""
+    t = FaultyTransport(FaultProfile(drop_rate=0.4, latency=3.0), seed=13)
+    sent = [bytes([i]) for i in range(30)]
+    for record in sent:
+        t.send([record])
+    t.crash_sender()
+    assert t.delivered == sent[:len(t.delivered)]
+    assert len(t.delivered) < len(sent)   # seed 13 drops something
+    # Post-crash sends are ignored (the sender is dead).
+    t.send([b"zombie"])
+    assert b"zombie" not in t.delivered
+
+
+def test_heartbeats_can_be_lost():
+    t = FaultyTransport(FaultProfile(drop_rate=1.0), seed=2)
+    for _ in range(5):
+        t.send_heartbeat()
+    assert t.stats.heartbeats_sent == 5
+    assert t.stats.heartbeats_delivered == 0
+
+
+def test_fresh_reproduces_configuration():
+    t = FaultyTransport(FAULT_PROFILES["lossy"], seed=42)
+    t.send([b"x"])
+    t.wait_ack()
+    clone = t.fresh()
+    assert clone.profile == t.profile
+    assert clone.seed == t.seed
+    assert clone.delivered == []
+
+
+def test_make_transport_specs():
+    assert isinstance(make_transport(None), InMemoryTransport)
+    assert isinstance(make_transport("memory"), InMemoryTransport)
+    faulty = make_transport("chaotic")
+    assert isinstance(faulty, FaultyTransport)
+    assert faulty.profile.name == "chaotic"
+    passthrough = InMemoryTransport()
+    assert make_transport(passthrough) is passthrough
+    assert isinstance(make_transport(InMemoryTransport), InMemoryTransport)
+    with pytest.raises(TransportError, match="unknown transport"):
+        make_transport("carrier-pigeon")
+
+
+# ======================================================================
+# The prefix property, property-based
+# ======================================================================
+@settings(deadline=None, max_examples=60)
+@given(
+    records=st.lists(st.binary(min_size=1, max_size=6), min_size=1,
+                     max_size=40),
+    seed=st.integers(min_value=0, max_value=2**16),
+    drop=st.floats(min_value=0.0, max_value=0.45),
+    dup=st.floats(min_value=0.0, max_value=0.45),
+    reorder=st.floats(min_value=0.0, max_value=0.5),
+    commit_every=st.integers(min_value=1, max_value=7),
+    crash=st.booleans(),
+)
+def test_any_profile_preserves_prefix_semantics(records, seed, drop, dup,
+                                                reorder, commit_every,
+                                                crash):
+    """For any seeded drop/reorder/dup profile with retries enabled,
+    the delivered log is a prefix of what the in-memory transport
+    delivers — and the full log once the sender settles."""
+    profile = FaultProfile(drop_rate=drop, dup_rate=dup,
+                           reorder_rate=reorder, jitter=3.0,
+                           retry_timeout=30.0, max_retries=40)
+    mem = InMemoryTransport()
+    faulty = FaultyTransport(profile, seed=seed)
+    for i, record in enumerate(records):
+        mem.send([record])
+        faulty.send([record])
+        if (i + 1) % commit_every == 0:
+            faulty.wait_ack()
+        assert faulty.delivered == mem.delivered[:len(faulty.delivered)]
+    if crash:
+        faulty.crash_sender()
+        assert faulty.delivered == mem.delivered[:len(faulty.delivered)]
+    else:
+        faulty.settle()
+        assert faulty.delivered == mem.delivered
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    batch=st.integers(min_value=1, max_value=9),
+    profile=st.sampled_from(sorted(FAULT_PROFILES)),
+)
+def test_channel_over_faulty_transport_matches_in_memory(seed, batch,
+                                                         profile):
+    """Same records, same batching: after settle, a faulty channel's
+    backup log is byte-identical to the in-memory channel's."""
+    payloads = [bytes([i, i]) for i in range(25)]
+    mem_ch = Channel(batch_records=batch)
+    faulty_ch = Channel(
+        batch_records=batch,
+        transport=FaultyTransport(FAULT_PROFILES[profile], seed=seed),
+    )
+    for p in payloads:
+        mem_ch.send_record(p)
+        faulty_ch.send_record(p)
+    mem_ch.settle()
+    faulty_ch.settle()
+    assert faulty_ch.backup_log() == mem_ch.backup_log()
