@@ -11,6 +11,10 @@ Commands:
 * ``bench [--profile P] [--experiment E]`` — regenerate the paper's
   tables and figures.
 * ``workloads`` — list the SPEC JVM98-analogue workloads.
+* ``conform [--workload W ...] [--quick]`` — exhaustive crash-point
+  conformance sweep: every crash event index × strategy × transport,
+  checking digest equality, the log prefix property, and exactly-once
+  outputs; optionally writes a JSON report.
 """
 
 from __future__ import annotations
@@ -54,7 +58,8 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
     env = Environment()
     machine = ReplicatedJVM(registry, env=env, strategy=args.strategy,
                             crash_at=args.crash_at,
-                            hot_backup=args.hot)
+                            hot_backup=args.hot,
+                            digest_interval=args.digest_interval)
     result = machine.run(args.main, args.args)
     sys.stdout.write(env.console.transcript())
     print(f"[outcome={result.outcome}"
@@ -66,7 +71,53 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
     print(f"[records={metrics.records_logged} "
           f"messages={metrics.messages_sent} bytes={metrics.bytes_sent} "
           f"commits={metrics.output_commits}]", file=sys.stderr)
+    if args.digest_interval is not None:
+        print(f"[digests={metrics.digest_records} "
+              f"digest_bytes={metrics.digest_bytes}]", file=sys.stderr)
     return 0 if result.final_result.ok else 1
+
+
+def _cmd_conform(args: argparse.Namespace) -> int:
+    from repro.conform.report import build_report, render_report, write_report
+    from repro.conform.sweep import SweepConfig, run_sweep
+    from repro.conform.workloads import get_workload, workload_names
+
+    if args.list:
+        for name in workload_names():
+            workload = get_workload(name)
+            print(f"{name:10s} {workload.description}")
+        return 0
+
+    workloads = args.workload or (
+        ["counter"] if args.quick else list(workload_names())
+    )
+    transports = args.transport or (
+        ["memory", "faulty:flaky"] if args.quick
+        else ["memory", "faulty:flaky", "faulty:lossy"]
+    )
+    config = SweepConfig(
+        workloads=workloads,
+        strategies=args.strategy or ["lock_sync", "thread_sched"],
+        transports=transports,
+        seed=args.seed,
+        digest_interval=args.digest_interval or 2,
+        stride=args.stride,
+        workers=args.workers,
+        shrink=not args.no_shrink,
+    )
+
+    def progress(cell) -> None:
+        status = "ok" if cell.ok else f"{len(cell.failures)} FAILURES"
+        print(f"[{cell.workload} {cell.strategy} {cell.transport}: "
+              f"{cell.crash_points} crash points {status}]",
+              file=sys.stderr)
+
+    cells = run_sweep(config, progress=progress)
+    report = build_report(config, cells)
+    if args.json:
+        write_report(args.json, report)
+    print(render_report(report))
+    return 0 if report["ok"] else 1
 
 
 def _cmd_disasm(args: argparse.Namespace) -> int:
@@ -146,6 +197,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--hot", action="store_true",
                        help="keep the backup updated during normal "
                             "operation (hot standby)")
+    p_rep.add_argument("--digest-interval", type=int, default=None,
+                       metavar="N",
+                       help="emit a state-digest record every N "
+                            "replicated scheduling events (plus one at "
+                            "exit); the backup verifies them during "
+                            "replay")
     p_rep.set_defaults(fn=_cmd_replicate)
 
     p_dis = sub.add_parser("disasm", help="show compiled bytecode")
@@ -163,6 +220,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_wl = sub.add_parser("workloads", help="list benchmark workloads")
     p_wl.set_defaults(fn=_cmd_workloads)
+
+    p_conf = sub.add_parser(
+        "conform",
+        help="exhaustive crash-point conformance sweep",
+    )
+    p_conf.add_argument("--workload", action="append", default=None,
+                        help="conform workload name (repeatable; "
+                             "--list shows them)")
+    p_conf.add_argument("--quick", action="store_true",
+                        help="small pinned matrix for CI smoke runs "
+                             "(counter workload, memory + seeded flaky "
+                             "transports)")
+    p_conf.add_argument("--strategy", action="append", default=None,
+                        choices=("lock_sync", "thread_sched"),
+                        help="strategies to sweep (repeatable; default "
+                             "both)")
+    p_conf.add_argument("--transport", action="append", default=None,
+                        metavar="T",
+                        help="'memory' or 'faulty:<profile>' "
+                             "(repeatable)")
+    p_conf.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="crash points checked in N parallel "
+                             "processes (0 = inline)")
+    p_conf.add_argument("--stride", type=int, default=1, metavar="N",
+                        help="check every Nth crash index (failures "
+                             "are shrunk back to the minimal point)")
+    p_conf.add_argument("--seed", type=int, default=20030622,
+                        help="seed for the faulty transports' fault "
+                             "schedules")
+    p_conf.add_argument("--digest-interval", type=int, default=None,
+                        metavar="N",
+                        help="schedule records per periodic digest "
+                             "(default 2)")
+    p_conf.add_argument("--no-shrink", action="store_true",
+                        help="report the first failing point as-is")
+    p_conf.add_argument("--json", default=None, metavar="PATH",
+                        help="write the machine-readable report here")
+    p_conf.add_argument("--list", action="store_true",
+                        help="list conform workloads and exit")
+    p_conf.set_defaults(fn=_cmd_conform)
 
     return parser
 

@@ -1,0 +1,49 @@
+"""Exhaustive crash-point conformance harness.
+
+``python -m repro conform`` sweeps *every* crash event index for a
+workload × strategy × transport matrix, asserting at each point that
+the failover preserved the paper's guarantees:
+
+* **digest equality** — the backup's final recomputed state digest
+  matches a failure-free reference run (and every periodic
+  :class:`~repro.replication.digest.DigestRecord` verified during
+  replay);
+* **log prefix property** — the delivered log at the crash is a
+  contiguous prefix of the reference run's delivered log;
+* **output-commit safety** — console and file outputs are exactly the
+  reference outputs: nothing lost, nothing duplicated.
+
+See :mod:`repro.conform.sweep` for the engine and
+:mod:`repro.conform.report` for the JSON report schema.
+"""
+
+from repro.conform.report import (
+    REPORT_VERSION,
+    build_report,
+    render_report,
+    write_report,
+)
+from repro.conform.sweep import (
+    CellResult,
+    Reference,
+    SweepConfig,
+    check_crash_point,
+    make_cell_spec,
+    reference_run,
+    run_sweep,
+    shrink_failure,
+    sweep_cell,
+)
+from repro.conform.workloads import (
+    ConformWorkload,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "ConformWorkload", "get_workload", "workload_names",
+    "SweepConfig", "Reference", "CellResult", "make_cell_spec",
+    "reference_run", "check_crash_point", "shrink_failure",
+    "sweep_cell", "run_sweep",
+    "REPORT_VERSION", "build_report", "render_report", "write_report",
+]

@@ -1,0 +1,100 @@
+"""Machine-readable conformance report.
+
+Schema (version 1)::
+
+    {
+      "version": 1,
+      "tool": "repro conform",
+      "config": {
+        "workloads": [...], "strategies": [...], "transports": [...],
+        "seed": int, "digest_interval": int, "stride": int
+      },
+      "cells": [
+        {
+          "workload": str, "strategy": str, "transport": str,
+          "total_events": int,      # crash indices in the reference run
+          "crash_points": int,      # indices actually swept
+          "failures": [
+            {
+              "crash_at": int,
+              "kind": "divergence" | "output_mismatch" | "log_prefix"
+                      | "no_failover" | "error",
+              "detail": str,
+              "components": [str, ...],   # divergence only
+              "epoch": int,               # divergence only
+              "shrunk_from": int          # when the shrinker reduced it
+            }, ...
+          ],
+          "ok": bool
+        }, ...
+      ],
+      "totals": {"cells": int, "crash_points": int, "failures": int},
+      "ok": bool
+    }
+
+The tier-2 pytest wrapper (``tests/conform``) and CI's ``--quick``
+smoke job both consume this structure.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.conform.sweep import CellResult, SweepConfig
+
+REPORT_VERSION = 1
+
+
+def build_report(config: SweepConfig,
+                 cells: List[CellResult]) -> Dict[str, Any]:
+    return {
+        "version": REPORT_VERSION,
+        "tool": "repro conform",
+        "config": {
+            "workloads": list(config.workloads),
+            "strategies": list(config.strategies),
+            "transports": list(config.transports),
+            "seed": config.seed,
+            "digest_interval": config.digest_interval,
+            "stride": config.stride,
+        },
+        "cells": [cell.as_dict() for cell in cells],
+        "totals": {
+            "cells": len(cells),
+            "crash_points": sum(c.crash_points for c in cells),
+            "failures": sum(len(c.failures) for c in cells),
+        },
+        "ok": all(cell.ok for cell in cells),
+    }
+
+
+def write_report(path: str, report: Dict[str, Any]) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable summary of a report dict."""
+    lines = []
+    for cell in report["cells"]:
+        status = "ok" if cell["ok"] else f"{len(cell['failures'])} FAILURES"
+        lines.append(
+            f"{cell['workload']:8s} {cell['strategy']:12s} "
+            f"{cell['transport']:14s} "
+            f"{cell['crash_points']:4d}/{cell['total_events']:<4d} "
+            f"crash points  {status}"
+        )
+        for entry in cell["failures"]:
+            lines.append(
+                f"    crash_at={entry['crash_at']} {entry['kind']}: "
+                f"{entry['detail']}"
+            )
+    totals = report["totals"]
+    verdict = "PASS" if report["ok"] else "FAIL"
+    lines.append(
+        f"{verdict}: {totals['crash_points']} crash points across "
+        f"{totals['cells']} cells, {totals['failures']} failure(s)"
+    )
+    return "\n".join(lines)

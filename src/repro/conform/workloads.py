@@ -1,0 +1,146 @@
+"""Micro workloads for the conformance sweep.
+
+These are deliberately tiny — the sweep runs one full replicated
+execution *per crash event index per matrix cell*, so a workload with a
+few hundred events already means hundreds of runs.  Each workload still
+exercises a distinct slice of the protocol:
+
+* ``hello``   — single-threaded console output (output commit only);
+* ``counter`` — two worker threads contending on one synchronized
+  object (lock records / schedule records, join, notify);
+* ``fileio``  — file open/write/close plus console output (side-effect
+  handlers, uncertain-output testing, volatile fd state).
+
+Workloads shrink the scheduling quantum so multi-threaded runs produce
+a meaningful number of scheduling decisions (and therefore digest
+epochs) within a small instruction budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.classfile.loader import ClassRegistry
+from repro.minijava import compile_program
+from repro.runtime.jvm import JVMConfig
+
+
+@dataclass(frozen=True)
+class ConformWorkload:
+    """One sweepable program plus the JVM tuning it runs under."""
+
+    name: str
+    description: str
+    source: str
+    main_class: str = "Main"
+    quantum_base: int = 20
+    quantum_jitter: int = 8
+
+    def jvm_config(self) -> JVMConfig:
+        return JVMConfig(
+            quantum_base=self.quantum_base,
+            quantum_jitter=self.quantum_jitter,
+            max_instructions=2_000_000,
+        )
+
+    def registry(self) -> ClassRegistry:
+        """Compile the workload (cached per process — the sweep builds
+        many machines from the same program)."""
+        cached = _REGISTRY_CACHE.get(self.name)
+        if cached is None:
+            cached = _REGISTRY_CACHE[self.name] = compile_program(self.source)
+        return cached
+
+
+_REGISTRY_CACHE: Dict[str, ClassRegistry] = {}
+
+
+_HELLO = ConformWorkload(
+    name="hello",
+    description="single-threaded console output",
+    source="""
+class Main {
+    static void main() {
+        int total = 0;
+        int i = 0;
+        while (i < 5) { total = total + i * i; i = i + 1; }
+        System.println("squares=" + total);
+        System.println("done");
+    }
+}
+""",
+)
+
+
+_COUNTER = ConformWorkload(
+    name="counter",
+    description="two threads contending on a synchronized counter",
+    source="""
+class Counter {
+    int value;
+    synchronized void inc() { this.value = this.value + 1; }
+    synchronized int get() { return this.value; }
+}
+class Worker extends Thread {
+    Counter counter;
+    int reps;
+    Worker(Counter c, int reps) { this.counter = c; this.reps = reps; }
+    void run() {
+        int i = 0;
+        while (i < this.reps) { this.counter.inc(); i = i + 1; }
+    }
+}
+class Main {
+    static void main() {
+        Counter c = new Counter();
+        Worker a = new Worker(c, 6);
+        Worker b = new Worker(c, 6);
+        a.start();
+        b.start();
+        a.join();
+        b.join();
+        System.println("total=" + c.get());
+    }
+}
+""",
+)
+
+
+_FILEIO = ConformWorkload(
+    name="fileio",
+    description="file writes with output commit and fd restoration",
+    source="""
+class Main {
+    static void main() {
+        int fd = Files.open("out.txt", "w");
+        int i = 0;
+        while (i < 4) {
+            Files.writeLine(fd, "line " + i);
+            i = i + 1;
+        }
+        Files.close(fd);
+        System.println("wrote 4 lines");
+    }
+}
+""",
+)
+
+
+_WORKLOADS: Dict[str, ConformWorkload] = {
+    w.name: w for w in (_HELLO, _COUNTER, _FILEIO)
+}
+
+
+def workload_names() -> Tuple[str, ...]:
+    return tuple(sorted(_WORKLOADS))
+
+
+def get_workload(name: str) -> ConformWorkload:
+    workload = _WORKLOADS.get(name)
+    if workload is None:
+        raise KeyError(
+            f"unknown conform workload {name!r}; expected one of "
+            f"{', '.join(workload_names())}"
+        )
+    return workload

@@ -89,6 +89,32 @@ class RecoveryError(ReplicationError):
     """Backup replay diverged from the primary's logged execution."""
 
 
+class DivergenceError(RecoveryError):
+    """The backup's recomputed state digest does not match the
+    primary's :class:`~repro.replication.digest.DigestRecord`.
+
+    Raised at the *first* divergent digest epoch instead of letting the
+    replay silently finish with wrong output.
+
+    Attributes:
+        epoch: the digest epoch (count of replicated scheduling events,
+            or 0 for the final end-of-run digest) at which primary and
+            backup first disagree.
+        components: names of the mismatched digest components
+            (``heap``, ``frames``, ``monitors``, ``sched``, ``env``).
+    """
+
+    def __init__(self, epoch: int, components, detail: str = "") -> None:
+        names = ", ".join(components)
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"replica state diverged at digest epoch {epoch}: "
+            f"mismatched component(s): {names}{suffix}"
+        )
+        self.epoch = epoch
+        self.components = tuple(components)
+
+
 class TransportError(ReplicationError):
     """The log transport failed: ack timeout, dead link, bad framing."""
 

@@ -60,6 +60,11 @@ class CostModel:
     per_instr_tracking: float = 0.40   # pc_off update per bytecode
     per_cf_tracking: float = 0.55      # br_cnt update per control-flow change
 
+    # --- divergence detection --------------------------------------------
+    digest_record: float = 180.0    # hash the reachable state at a slice
+                                    # boundary (digest bytes additionally
+                                    # pay per_byte through bytes_sent)
+
     # --- native interception ---------------------------------------------
     native_check: float = 8.0       # hash-table lookup per nd/output native
     result_record: float = 25.0     # build one native-result record
@@ -94,6 +99,7 @@ class CostModel:
             metrics.natives_intercepted * self.native_check
             + metrics.native_result_records * self.result_record
             + metrics.se_records * self.se_record
+            + metrics.digest_records * self.digest_record
         )
         breakdown = {
             "base": self.base_time(metrics),

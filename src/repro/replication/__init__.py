@@ -12,6 +12,10 @@ from repro.replication.records import (
     encode, decode_record, register_record_kind, FIRST_CUSTOM_KIND,
 )
 from repro.replication.commit import LogShipper, CrashInjector
+from repro.replication.digest import (
+    StateDigest, DigestRecord, DigestEmitter, DigestVerifier,
+    compute_state_digest, KIND_DIGEST,
+)
 from repro.replication.failure import FailureDetector
 from repro.replication.strategy import (
     CoordinationStrategy, PrimaryDriver, BackupDriver,
@@ -45,6 +49,8 @@ __all__ = [
     "OutputIntentRecord", "SideEffectRecord", "encode", "decode_record",
     "register_record_kind", "FIRST_CUSTOM_KIND",
     "LogShipper", "CrashInjector", "FailureDetector",
+    "StateDigest", "DigestRecord", "DigestEmitter", "DigestVerifier",
+    "compute_state_digest", "KIND_DIGEST",
     "CoordinationStrategy", "PrimaryDriver", "BackupDriver",
     "AdmissionPrimaryDriver", "AdmissionBackupDriver",
     "SchedulerPrimaryDriver", "SchedulerBackupDriver",

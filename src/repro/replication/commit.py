@@ -54,6 +54,9 @@ class LogShipper:
         self._channel = channel
         self.metrics = metrics
         self.injector = injector or CrashInjector()
+        #: Optional observer invoked after every record is logged
+        #: (e.g. the digest emitter counts scheduling records here).
+        self.on_record = None
         channel.on_flush = self._on_flush
         channel.on_ack_wait = self._on_ack
 
@@ -62,6 +65,8 @@ class LogShipper:
         """Buffer one record for shipment to the backup."""
         self.injector.step(f"log:{type(record).__name__}")
         self._channel.send_record(encode(record))
+        if self.on_record is not None:
+            self.on_record(record)
 
     def output_commit(self) -> None:
         """Flush everything logged so far and wait for the ack.  Only

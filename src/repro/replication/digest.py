@@ -1,0 +1,427 @@
+"""Deterministic state digests: lockstep divergence detection.
+
+The paper's correctness argument rests on the backup reaching a state
+*identical* to the primary's; until now the repo only checked
+end-of-run outputs.  This module adds the missing verification layer
+(HyCoR-style lockstep state comparison): the primary periodically
+digests its replicated state and ships a :class:`DigestRecord` through
+the ordinary log; the backup recomputes the digest at the equivalent
+point of its replay and raises
+:class:`~repro.errors.DivergenceError` at the *first* divergent epoch,
+naming the mismatched component, instead of silently finishing with
+wrong output.
+
+Digest structure
+----------------
+A :class:`StateDigest` is a set of independent 128-bit component
+digests, each an *order-insensitive* combination (sum mod 2**128) of
+per-item hashes, so the result does not depend on heap allocation
+order, thread registration order, or visit order:
+
+* ``heap``     — every object/array reachable from the statics and the
+  live thread stacks, hashed by content with references named by
+  deterministic visit ids (never by replica-local oids);
+* ``frames``   — per-thread call stacks: method, pc, operand stack and
+  locals;
+* ``monitors`` — monitor tables of all reachable objects and the class
+  locks: acquisition counts, owner, queued/waiting threads;
+* ``sched``    — per-thread scheduler-visible progress: ``br_cnt``,
+  ``mon_cnt``, ``t_asn``, instruction count, terminated-or-live, plus
+  uncaught exceptions;
+* ``env``      — the stable environment snapshot
+  (:meth:`~repro.env.environment.Environment.stable_digest`).
+
+Epochs
+------
+Component digests are only comparable at points where the replication
+strategy guarantees replicas pass through identical global states:
+
+* **Replicated thread scheduling** replays the full interleaving, so
+  every scheduling decision is such a point.  The primary emits a
+  digest after every ``interval``-th
+  :class:`~repro.replication.records.ScheduleRecord` (epoch = number of
+  schedule records logged); the backup compares when its replay
+  controller has consumed the same number of records — true lockstep.
+* **Replicated lock synchronization** replicates only the lock order;
+  mid-run global states differ between replicas.  Digests are compared
+  at the quiescent end-of-run point (the *final* digest, epoch 0 on
+  the wire's ``final`` flag), which is exactly the state a failover
+  would expose.
+
+The ``env`` component is only compared on final digests: during replay
+the shared environment already holds the primary's *later* writes, so a
+mid-run comparison would be vacuous or false-positive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import DivergenceError
+from repro.replication.records import (
+    KIND_DIGEST,
+    ScheduleRecord,
+    register_record_kind,
+)
+from repro.replication.wire import Reader, Writer
+
+_MASK = (1 << 128) - 1
+
+#: Component names, in canonical (wire and report) order.
+COMPONENTS = ("heap", "frames", "monitors", "sched", "env")
+
+#: Components compared during mid-run (lockstep) epochs; ``env`` is
+#: final-only (see module docstring).
+LOCKSTEP_COMPONENTS = ("heap", "frames", "monitors", "sched")
+
+
+def _h(token: str) -> int:
+    """128-bit hash of one item token."""
+    return int.from_bytes(
+        hashlib.sha256(token.encode("utf-8", "surrogatepass")).digest()[:16],
+        "big",
+    )
+
+
+def _combine(hashes: Iterable[int]) -> int:
+    """Order-insensitive combination of item hashes."""
+    total = 0
+    for value in hashes:
+        total = (total + value) & _MASK
+    return total
+
+
+@dataclass(frozen=True)
+class StateDigest:
+    """Component digests of one replica's state at one epoch."""
+
+    components: Tuple[Tuple[str, int], ...]
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.components)
+
+    def hex(self) -> Dict[str, str]:
+        return {name: f"{value:032x}" for name, value in self.components}
+
+    def diff(self, other: "StateDigest",
+             names: Tuple[str, ...] = COMPONENTS) -> List[str]:
+        """Names of components present in both digests that differ."""
+        mine, theirs = self.as_dict(), other.as_dict()
+        return [
+            name for name in names
+            if name in mine and name in theirs and mine[name] != theirs[name]
+        ]
+
+
+def _scalar_token(value: Any, ref_id: Callable[[Any], int]) -> str:
+    from repro.runtime.values import JArray, JObject
+
+    if value is None:
+        return "null"
+    if isinstance(value, (JObject, JArray)):
+        return f"@{ref_id(value)}"
+    if isinstance(value, float):
+        return f"f{value!r}"
+    if isinstance(value, str):
+        return f"s{value!r}"
+    return f"i{value}"
+
+
+def compute_state_digest(jvm, env=None, *,
+                         include_env: bool = True) -> StateDigest:
+    """Digest all replication-relevant state of one JVM instance.
+
+    Reachability starts from the statics (sorted) and the live thread
+    stacks (sorted by vid), so visit ids — the replica-independent
+    names for heap references — are identical on any replica in an
+    equivalent state, regardless of allocation order or oids.
+    """
+    from repro.runtime.monitors import Monitor
+    from repro.runtime.values import JArray, JObject
+
+    visit_ids: Dict[int, int] = {}
+    pending: List[Any] = []
+
+    def ref_id(obj: Any) -> int:
+        key = id(obj)
+        vid = visit_ids.get(key)
+        if vid is None:
+            vid = visit_ids[key] = len(visit_ids)
+            pending.append(obj)
+        return vid
+
+    def token(value: Any) -> str:
+        return _scalar_token(value, ref_id)
+
+    heap_items: List[int] = []
+    frame_items: List[int] = []
+    monitor_items: List[int] = []
+    sched_items: List[int] = []
+
+    # --- roots: statics (sorted), then threads (sorted by vid) --------
+    for (class_name, field_name) in sorted(jvm.statics):
+        value = jvm.statics[(class_name, field_name)]
+        heap_items.append(
+            _h(f"static:{class_name}.{field_name}={token(value)}")
+        )
+
+    threads = sorted(
+        (t for t in jvm.scheduler.threads if not t.is_system),
+        key=lambda t: t.vid,
+    )
+    for thread in threads:
+        alive = "live" if thread.alive else "terminated"
+        sched_items.append(_h(
+            f"thread:{thread.vid}:{alive}:br={thread.br_cnt}"
+            f":mon={thread.mon_cnt}:asn={thread.t_asn}"
+            f":instr={thread.instructions}"
+        ))
+        if thread.thread_object is not None:
+            ref_id(thread.thread_object)
+        for depth, frame in enumerate(thread.frames):
+            locals_tok = ",".join(token(v) for v in frame.locals)
+            stack_tok = ",".join(token(v) for v in frame.stack)
+            held = ",".join(f"@{ref_id(o)}" for o in frame.held_monitors)
+            sync = (f"@{ref_id(frame.sync_object)}"
+                    if frame.sync_object is not None else "-")
+            frame_items.append(_h(
+                f"frame:{thread.vid}:{depth}:{frame.method.signature}"
+                f":pc={frame.pc}"
+                f":L[{locals_tok}]:S[{stack_tok}]:H[{held}]:sync={sync}"
+            ))
+        if thread.pending_exception is not None:
+            ref_id(thread.pending_exception)
+
+    for vid_str, class_name, message in jvm.uncaught:
+        sched_items.append(_h(f"uncaught:{vid_str}:{class_name}:{message}"))
+
+    # --- breadth-first expansion over reachable objects ---------------
+    def monitor_token(owner_id: int, monitor: Monitor) -> str:
+        owner = (monitor.owner.vid if monitor.owner is not None
+                 and not monitor.owner.is_system else "-")
+        entry = ",".join(str(t.vid) for t in monitor.entry_queue)
+        waiters = ",".join(str(t.vid) for t in monitor.wait_set)
+        return (
+            f"monitor:@{owner_id}:asn={monitor.l_asn}:owner={owner}"
+            f":rec={monitor.recursion}:entry=[{entry}]:wait=[{waiters}]"
+        )
+
+    cursor = 0
+    while cursor < len(pending):
+        obj = pending[cursor]
+        my_id = visit_ids[id(obj)]
+        cursor += 1
+        if isinstance(obj, JArray):
+            body = ",".join(token(v) for v in obj.data)
+            heap_items.append(_h(f"array:@{my_id}:{obj.elem_type}:[{body}]"))
+        else:
+            body = ",".join(
+                f"{name}={token(obj.fields[name])}"
+                for name in sorted(obj.fields)
+            )
+            heap_items.append(
+                _h(f"object:@{my_id}:{obj.class_name}:{{{body}}}")
+            )
+        monitor = getattr(obj, "monitor", None)
+        if monitor is not None and monitor.l_asn > 0:
+            monitor_items.append(_h(monitor_token(my_id, monitor)))
+
+    # Class locks are reachable by name, not by reference; their
+    # monitors carry static-synchronized state.
+    for class_name in sorted(jvm._class_locks):
+        lock = jvm._class_locks[class_name]
+        monitor = getattr(lock, "monitor", None)
+        if monitor is not None and monitor.l_asn > 0:
+            monitor_items.append(
+                _h(f"classlock:{class_name}:"
+                   + monitor_token(-1, monitor).replace("monitor:@-1:", ""))
+            )
+
+    components = [
+        ("heap", _combine(heap_items)),
+        ("frames", _combine(frame_items)),
+        ("monitors", _combine(monitor_items)),
+        ("sched", _combine(sched_items)),
+    ]
+    if include_env and env is not None:
+        components.append(("env", _h("env:" + env.stable_digest())))
+    return StateDigest(tuple(components))
+
+
+# ======================================================================
+# The wire record
+# ======================================================================
+@dataclass(frozen=True)
+class DigestRecord:
+    """One digest checkpoint shipped primary → backup.
+
+    ``epoch`` counts the replicated scheduling events preceding the
+    checkpoint (schedule records under replicated thread scheduling);
+    ``final`` marks the end-of-run digest every strategy emits.
+    """
+
+    epoch: int
+    final: bool
+    components: Tuple[Tuple[str, int], ...]
+
+    def write(self, w: Writer) -> None:
+        w.uvarint(KIND_DIGEST).uvarint(self.epoch)
+        w.uvarint(1 if self.final else 0)
+        w.uvarint(len(self.components))
+        for name, value in self.components:
+            w.text(name)
+            w.raw(value.to_bytes(16, "big"))
+
+    @staticmethod
+    def read(r: Reader) -> "DigestRecord":
+        epoch = r.uvarint()
+        final = bool(r.uvarint())
+        count = r.uvarint()
+        components = tuple(
+            (r.text(), int.from_bytes(r.raw(16), "big"))
+            for _ in range(count)
+        )
+        return DigestRecord(epoch, final, components)
+
+    @property
+    def digest(self) -> StateDigest:
+        return StateDigest(self.components)
+
+
+register_record_kind(KIND_DIGEST, DigestRecord.read, core=True)
+
+
+# ======================================================================
+# Primary side
+# ======================================================================
+class DigestEmitter:
+    """Observes the primary's log stream and injects digest records.
+
+    Installed as the shipper's ``on_record`` observer: under a lockstep
+    strategy it counts schedule records and, every ``interval``-th one,
+    computes the state digest and logs a :class:`DigestRecord`.  The
+    machine additionally calls :meth:`emit_final` from the primary's
+    exit hook, so every completed run carries an end-of-run digest
+    (including the stable environment component).
+    """
+
+    def __init__(self, shipper, metrics, env, *,
+                 interval: Optional[int], lockstep: bool) -> None:
+        self._shipper = shipper
+        self._metrics = metrics
+        self._env = env
+        self.interval = interval
+        self.lockstep = lockstep
+        self.epoch = 0
+        #: Set by the machine once the primary JVM exists.
+        self.jvm = None
+        self._emitting = False
+
+    def _log_digest(self, record: DigestRecord) -> None:
+        from repro.replication.records import encode
+
+        self._emitting = True
+        try:
+            self._metrics.digest_records += 1
+            self._metrics.digest_bytes += len(encode(record))
+            self._shipper.log(record)
+        finally:
+            self._emitting = False
+
+    def observe(self, record) -> None:
+        """Shipper observer: one record was just logged."""
+        if self._emitting or not isinstance(record, ScheduleRecord):
+            return
+        self.epoch += 1
+        if not self.lockstep or not self.interval or self.jvm is None:
+            return
+        if self.epoch % self.interval:
+            return
+        digest = compute_state_digest(self.jvm, self._env)
+        self._log_digest(DigestRecord(self.epoch, False, digest.components))
+
+    def emit_final(self) -> None:
+        """End-of-run digest (the machine's exit hook)."""
+        if self.jvm is None:
+            return
+        digest = compute_state_digest(self.jvm, self._env)
+        self._log_digest(DigestRecord(self.epoch, True, digest.components))
+
+
+# ======================================================================
+# Backup side
+# ======================================================================
+class DigestVerifier:
+    """Recomputes and compares digests during backup replay.
+
+    Periodic (lockstep) records are checked at the first slice boundary
+    where the strategy's replay has consumed ``epoch`` schedule records
+    — the exact execution point where the primary emitted them.  The
+    final record is checked when the backup's run loop exits.  A
+    mismatch raises :class:`~repro.errors.DivergenceError` naming the
+    first divergent epoch and components.
+    """
+
+    def __init__(self, records: List[DigestRecord], env, *,
+                 epoch_source: Optional[Callable[[], int]] = None) -> None:
+        self._pending: List[DigestRecord] = sorted(
+            (r for r in records if not r.final), key=lambda r: r.epoch
+        )
+        finals = [r for r in records if r.final]
+        self._final: Optional[DigestRecord] = finals[-1] if finals else None
+        self._env = env
+        self._epoch_source = epoch_source
+        self.epochs_verified = 0
+        self.final_verified = False
+
+    def extend(self, records: List[DigestRecord]) -> None:
+        """Feed newly delivered digest records (hot backup)."""
+        for record in records:
+            if record.final:
+                self._final = record
+            else:
+                self._pending.append(record)
+        self._pending.sort(key=lambda r: r.epoch)
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending) + (1 if self._final is not None else 0)
+
+    def _compare(self, record: DigestRecord, jvm,
+                 names: Tuple[str, ...]) -> None:
+        include_env = "env" in names
+        local = compute_state_digest(jvm, self._env,
+                                     include_env=include_env)
+        mismatched = record.digest.diff(local, names)
+        if mismatched:
+            expected = record.digest.hex()
+            got = local.hex()
+            detail = "; ".join(
+                f"{name}: primary={expected[name]} backup={got[name]}"
+                for name in mismatched
+            )
+            raise DivergenceError(record.epoch, mismatched, detail)
+        self.epochs_verified += 1
+
+    def check_slice(self, jvm) -> None:
+        """Compare every pending lockstep record whose epoch the replay
+        has reached (called from the backup's slice-end hook)."""
+        if self._epoch_source is None or not self._pending:
+            return
+        consumed = self._epoch_source()
+        while self._pending and self._pending[0].epoch <= consumed:
+            record = self._pending.pop(0)
+            self._compare(record, jvm, LOCKSTEP_COMPONENTS)
+
+    def check_final(self, jvm) -> None:
+        """Compare the end-of-run digest (called from the exit hook)."""
+        self.check_slice(jvm)
+        if self._final is None:
+            return
+        record, self._final = self._final, None
+        names = LOCKSTEP_COMPONENTS + (("env",) if self._env is not None
+                                       else ())
+        self._compare(record, jvm, names)
+        self.final_verified = True

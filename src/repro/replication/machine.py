@@ -37,6 +37,11 @@ from repro.env.channel import Channel
 from repro.env.environment import Environment
 from repro.errors import AlreadyRanError, PrimaryCrashed, ReplicationError
 from repro.replication.commit import CrashInjector, LogShipper
+from repro.replication.digest import (
+    DigestEmitter,
+    DigestRecord,
+    DigestVerifier,
+)
 from repro.replication.failure import FailureDetector
 from repro.replication.metrics import ReplicationMetrics
 from repro.replication.ndnatives import BackupNativePolicy, PrimaryNativePolicy
@@ -121,6 +126,30 @@ class _HeartbeatHooks(RunHooks):
         self._channel.heartbeat()
 
 
+class _PrimaryHooks(_HeartbeatHooks):
+    """Heartbeats plus the end-of-run state digest."""
+
+    def __init__(self, channel: Channel, emitter: DigestEmitter) -> None:
+        super().__init__(channel)
+        self._emitter = emitter
+
+    def on_exit(self, jvm, result) -> None:
+        self._emitter.emit_final()
+
+
+class _VerifierHooks(RunHooks):
+    """Backup-side digest comparison at slice boundaries and exit."""
+
+    def __init__(self, verifier: DigestVerifier) -> None:
+        self._verifier = verifier
+
+    def on_slice_end(self, jvm, thread, reason) -> None:
+        self._verifier.check_slice(jvm)
+
+    def on_exit(self, jvm, result) -> None:
+        self._verifier.check_final(jvm)
+
+
 @dataclass
 class ParsedLog:
     """The delivered log, partitioned by record type.  Plug-in record
@@ -138,6 +167,7 @@ class ParsedLog:
     )
     intervals: List[LockIntervalRecord] = field(default_factory=list)
     side_effects: List[SideEffectRecord] = field(default_factory=list)
+    digests: List[DigestRecord] = field(default_factory=list)
     extra: Dict[str, list] = field(default_factory=dict)
     total: int = 0
 
@@ -156,6 +186,7 @@ _PARSE_RULES: Dict[Type, Callable[[ParsedLog, object], None]] = {
         lambda p, r: p.intents.setdefault(r.t_id, []).append(r),
     LockIntervalRecord: lambda p, r: p.intervals.append(r),
     SideEffectRecord: lambda p, r: p.side_effects.append(r),
+    DigestRecord: lambda p, r: p.digests.append(r),
 }
 
 
@@ -210,6 +241,7 @@ class ReplicatedJVM:
         se_handlers: Optional[List[SideEffectHandler]] = None,
         hot_backup: bool = False,
         transport=None,
+        digest_interval: Optional[int] = None,
     ) -> None:
         self._strategy = resolve_strategy(strategy)
         self.registry = registry
@@ -228,6 +260,12 @@ class ReplicatedJVM:
             source=lambda: self.transport.stats.heartbeats_delivered,
         )
         self._extra_se_handlers = list(se_handlers or [])
+        #: Emit a :class:`DigestRecord` every N replicated scheduling
+        #: events (plus one final digest at primary exit).  ``None``
+        #: disables digest checkpoints entirely.
+        self.digest_interval = digest_interval
+        self._digest_emitter: Optional[DigestEmitter] = None
+        self._digest_verifier: Optional[DigestVerifier] = None
 
         self.hot_backup = hot_backup
         self.primary_jvm: Optional[JVM] = None
@@ -251,14 +289,18 @@ class ReplicatedJVM:
     # ==================================================================
     def clone(self, *, env: Optional[Environment] = None, crash_at=_UNSET,
               hot_backup=_UNSET, transport=_UNSET, strategy=_UNSET,
-              detector_timeout=_UNSET) -> "ReplicatedJVM":
+              detector_timeout=_UNSET,
+              digest_interval=_UNSET) -> "ReplicatedJVM":
         """A fresh, runnable machine with this one's configuration.
 
         A ReplicatedJVM is single-shot (:class:`AlreadyRanError`);
         crash-point sweeps and benchmark repetitions clone the template
         instead of hand re-constructing it.  The clone gets a *new*
-        environment (pass ``env=`` to supply one) and a fresh transport
-        of the same configuration; keyword overrides adjust the copy.
+        environment (pass ``env=`` to supply one), a fresh transport of
+        the same configuration, and *fresh* side-effect handlers
+        (``SideEffectHandler.fresh()``), so no run-accumulated handler
+        or fault-counter state leaks between sweep iterations; keyword
+        overrides adjust the copy.
         """
         if transport is _UNSET:
             spec = self._transport_spec
@@ -279,10 +321,13 @@ class ReplicatedJVM:
             detector_timeout=(self.detector.timeout_intervals
                               if detector_timeout is _UNSET
                               else detector_timeout),
-            se_handlers=list(self._extra_se_handlers),
+            se_handlers=[h.fresh() for h in self._extra_se_handlers],
             hot_backup=(self.hot_backup if hot_backup is _UNSET
                         else hot_backup),
             transport=transport,
+            digest_interval=(self.digest_interval
+                             if digest_interval is _UNSET
+                             else digest_interval),
         )
 
     def close(self) -> None:
@@ -319,7 +364,18 @@ class ReplicatedJVM:
             self.shipper, self.primary_metrics, settings, config
         )
         driver.install(jvm)
-        jvm.run_hooks = _HeartbeatHooks(self.channel)
+        if self.digest_interval is not None:
+            emitter = DigestEmitter(
+                self.shipper, self.primary_metrics, self.env,
+                interval=self.digest_interval,
+                lockstep=self._strategy.lockstep_digest,
+            )
+            emitter.jvm = jvm
+            self.shipper.on_record = emitter.observe
+            self._digest_emitter = emitter
+            jvm.run_hooks = _PrimaryHooks(self.channel, emitter)
+        else:
+            jvm.run_hooks = _HeartbeatHooks(self.channel)
         self.primary_jvm = jvm
         return jvm
 
@@ -349,6 +405,13 @@ class ReplicatedJVM:
         driver.install(jvm)
         driver.set_hold(self.hot_backup)
         self._backup_driver = driver
+        if self.digest_interval is not None:
+            verifier = DigestVerifier(
+                parsed.digests, self.env,
+                epoch_source=driver.digest_epoch_source(),
+            )
+            self._digest_verifier = verifier
+            jvm.run_hooks = _VerifierHooks(verifier)
         self.backup_jvm = jvm
         return jvm
 
@@ -446,6 +509,8 @@ class ReplicatedJVM:
                 parsed.results, parsed.intents
             )
             self._backup_driver.extend_from(parsed)
+            if self._digest_verifier is not None and parsed.digests:
+                self._digest_verifier.extend(parsed.digests)
             self.backup_jvm.sync.reevaluate_parked()
         result = self.backup_jvm.run_to_completion(pause_on_starvation=True)
         if result is not None:

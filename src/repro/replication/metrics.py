@@ -27,6 +27,8 @@ class ReplicationMetrics:
     schedule_records: int = 0
     native_result_records: int = 0
     se_records: int = 0
+    digest_records: int = 0          # state-digest checkpoints emitted
+    digest_bytes: int = 0            # wire bytes spent on digests
     #: distinct objects whose monitor was ever acquired
     objects_locked: int = 0
     locks_acquired: int = 0
@@ -79,7 +81,8 @@ class ReplicationMetrics:
             for name in (
                 "natives_intercepted", "output_commits", "lock_records",
                 "id_maps", "schedule_records", "native_result_records",
-                "se_records", "objects_locked", "locks_acquired",
+                "se_records", "digest_records", "digest_bytes",
+                "objects_locked", "locks_acquired",
                 "largest_l_asn", "reschedules", "messages_sent",
                 "records_sent", "bytes_sent", "ack_waits", "retransmits",
                 "messages_dropped", "messages_duplicated",

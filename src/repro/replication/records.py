@@ -37,6 +37,9 @@ _KIND_NATIVE_RESULT = 4
 _KIND_OUTPUT_INTENT = 5
 _KIND_SIDE_EFFECT = 6
 _KIND_LOCK_INTERVAL = 7
+#: Reserved for :class:`repro.replication.digest.DigestRecord`, which
+#: registers its reader on import (core=True) to avoid a module cycle.
+KIND_DIGEST = 8
 
 
 @dataclass(frozen=True)
@@ -220,17 +223,20 @@ _READERS = {
 FIRST_CUSTOM_KIND = 64
 
 
-def register_record_kind(kind: int, reader, *, replace: bool = False) -> int:
+def register_record_kind(kind: int, reader, *, replace: bool = False,
+                         core: bool = False) -> int:
     """Register a decoder for a plug-in record kind.
 
     Strategy plug-ins ship their own record types alongside their
     strategy: the record's ``write`` method must emit
     ``uvarint(kind)`` first, and ``reader(r)`` must consume exactly the
     rest.  Custom kinds start at :data:`FIRST_CUSTOM_KIND`; the core
-    kinds cannot be replaced unless ``replace=True``.  Returns the kind
+    kinds cannot be replaced unless ``replace=True``.  ``core=True``
+    lets an in-tree protocol module claim a *reserved but unassigned*
+    kind (it never overwrites an existing reader).  Returns the kind
     for convenience.
     """
-    if kind < FIRST_CUSTOM_KIND and not replace:
+    if kind < FIRST_CUSTOM_KIND and not (replace or core):
         raise ReplicationError(
             f"record kind {kind} is reserved for the core protocol "
             f"(custom kinds start at {FIRST_CUSTOM_KIND})"

@@ -26,6 +26,7 @@ user-supplied handlers.
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Dict, List, Optional
 
 from repro.env.environment import Environment, EnvSession
@@ -44,6 +45,15 @@ class SideEffectHandler:
     """Base handler; subclasses override what they need."""
 
     name = ""
+
+    def fresh(self) -> "SideEffectHandler":
+        """A handler instance fit for a brand-new machine.
+
+        :meth:`ReplicatedJVM.clone` calls this so any state a stateful
+        handler accumulated during a run cannot leak into the next
+        sweep iteration.  The default shallow copy suits stateless
+        handlers; handlers with mutable attributes should override."""
+        return copy.copy(self)
 
     def log(self, session: EnvSession, spec: NativeSpec, receiver,
             args: List[Any], outcome: NativeOutcome) -> Optional[Dict[str, Any]]:

@@ -64,6 +64,12 @@ class BackupDriver:
     def set_hold(self, hold: bool) -> None:
         """Hot backup: pause instead of failing when the log drains."""
 
+    def digest_epoch_source(self):
+        """Callable returning the replay's current digest epoch (number
+        of replicated scheduling events consumed), or ``None`` if the
+        strategy does not support lockstep digest comparison."""
+        return None
+
 
 class AdmissionPrimaryDriver(PrimaryDriver):
     """Primary driver for strategies that govern monitor admission."""
@@ -123,6 +129,9 @@ class SchedulerBackupDriver(BackupDriver):
     def set_hold(self, hold: bool) -> None:
         self.controller.hold_when_drained = hold
 
+    def digest_epoch_source(self):
+        return lambda: self.controller.consumed
+
 
 # ======================================================================
 # The protocol and the built-in strategies
@@ -137,6 +146,13 @@ class CoordinationStrategy:
     """
 
     name: str = ""
+
+    #: True when the strategy replicates the full thread interleaving,
+    #: making replica states comparable at every scheduling decision —
+    #: the precondition for periodic (lockstep) digest records.
+    #: Strategies that replicate only lock order compare digests at the
+    #: quiescent end of the run instead.
+    lockstep_digest: bool = False
 
     def make_primary(self, shipper, metrics, settings, config) -> PrimaryDriver:
         raise NotImplementedError
@@ -169,6 +185,7 @@ class ThreadSchedStrategy(CoordinationStrategy):
     decision, replayed at exact progress points."""
 
     name = "thread_sched"
+    lockstep_digest = True
 
     def make_primary(self, shipper, metrics, settings, config):
         return SchedulerPrimaryDriver(PrimarySchedController(

@@ -85,6 +85,9 @@ class BackupSchedController(ScheduleController):
         #: True while the controller is waiting for more log (read by
         #: the run loop's pause logic).
         self.starving = False
+        #: Schedule records consumed so far — the replay's digest epoch
+        #: (read by :class:`repro.replication.digest.DigestVerifier`).
+        self.consumed = 0
 
     def extend(self, records: List[ScheduleRecord]) -> None:
         """Append newly delivered schedule records (hot backup feed)."""
@@ -157,6 +160,7 @@ class BackupSchedController(ScheduleController):
             )
         self._records.popleft()
         self._metrics.records_replayed += 1
+        self.consumed += 1
         self._current_vid = record.t_id
         if not self._records:
             # Paper: after the last record, the primary's intended next
