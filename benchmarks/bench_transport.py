@@ -19,6 +19,23 @@ from repro.replication.transport import FaultProfile, FaultyTransport
 #: Injected one-way latencies, in virtual-clock ticks.
 LATENCIES = (0.0, 2.0, 8.0, 32.0, 128.0)
 
+#: Program used by the checkpoint-transfer benchmark — enough heap and
+#: output traffic that the shipped snapshot spans several chunks.
+_CKPT_SOURCE = """
+class Main {
+    static void main(String[] args) {
+        int[] data = new int[96];
+        for (int i = 0; i < 96; i++) { data[i] = i * i; }
+        int fd = Files.open("ckpt.txt", "w");
+        for (int i = 0; i < 6; i++) {
+            Files.writeLine(fd, "row " + data[i]);
+        }
+        Files.close(fd);
+        System.println("sum " + data[95]);
+    }
+}
+"""
+
 
 def _commit_wait(template, profile, seed=17):
     machine = template.clone(transport=FaultyTransport(profile, seed=seed))
@@ -76,3 +93,81 @@ def test_commit_latency_tracks_injected_rtt(benchmark, bench_profile,
     # exceeds the clean link's at the same injected latency.
     assert lossy_wait > rows[8.0][1]
     assert lossy_metrics.retransmits > 0
+
+
+def _chained_failover(latency, *, crash_at=12, chunk_bytes=256, seed=23):
+    """One supervised run with a seeded generation-0 crash over a clean
+    link with the given one-way latency.  Returns (group, result)."""
+    from repro.env.environment import Environment
+    from repro.minijava import compile_program
+    from repro.replication.supervisor import ReplicaGroup
+
+    profile = FaultProfile(latency=latency,
+                           retry_timeout=8 * latency + 40.0)
+    group = ReplicaGroup(
+        compile_program(_CKPT_SOURCE),
+        env=Environment(),
+        strategy="lock_sync",
+        crash_schedule={0: crash_at},
+        transport=lambda generation: FaultyTransport(
+            profile, seed=seed + 97 * generation),
+        chunk_bytes=chunk_bytes,
+        batch_records=1,
+    )
+    return group, group.run("Main")
+
+
+def test_checkpoint_transfer_cost_tracks_rtt(benchmark, bench_profile,
+                                             save_result):
+    """Checkpoint state transfer: bytes shipped are a property of the
+    program state (invariant under link latency), while the transfer
+    commit's stall tracks the round-trip time like any other ack."""
+    from repro.harness.costs import DEFAULT_COST_MODEL
+
+    def sweep():
+        rows = {}
+        for latency in LATENCIES:
+            group, result = _chained_failover(latency)
+            assert result.outcome == "completed"
+            assert result.failures_survived == 1
+            rows[latency] = (group, result)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = []
+    for latency, (group, result) in sorted(rows.items()):
+        chunks = sum(r.checkpoint_chunks for r in group.reports)
+        transfer_wait = sum(
+            r.primary_metrics.checkpoint_transfer_wait
+            for r in group.reports if r.primary_metrics is not None
+        )
+        priced = sum(
+            DEFAULT_COST_MODEL.checkpoint_component(r.primary_metrics)
+            for r in group.reports if r.primary_metrics is not None
+        )
+        table.append([
+            f"{latency:g}", result.final_generation + 1, chunks,
+            result.checkpoint_bytes_shipped,
+            f"{transfer_wait:.1f}", f"{priced:.0f}",
+        ])
+    save_result("transport_checkpoint_transfer", render_table(
+        "Checkpoint state transfer vs injected link latency",
+        ["One-way latency", "Generations", "Chunks", "Bytes",
+         "Transfer wait", "Priced capture cost"],
+        table,
+    ))
+
+    byte_counts = {result.checkpoint_bytes_shipped
+                   for _, result in rows.values()}
+    assert len(byte_counts) == 1               # bytes invariant under RTT
+    waits = [
+        sum(r.primary_metrics.checkpoint_transfer_wait
+            for r in group.reports if r.primary_metrics is not None)
+        for _, (group, _) in sorted(rows.items())
+    ]
+    assert waits == sorted(waits)              # wait monotone in RTT
+    assert waits[-1] > waits[0]                # and actually moves
+    # Pricing is charged per chunk/byte, so it is also RTT-invariant.
+    assert DEFAULT_COST_MODEL.checkpoint_component(
+        rows[0.0][0].reports[0].primary_metrics) > 0

@@ -30,6 +30,7 @@ from repro.runtime import (
 )
 from repro.replication import (
     ReplicatedJVM, FailoverResult, ReplicaSettings, run_unreplicated,
+    ReplicaGroup, GroupResult, GenerationReport,
     SideEffectHandler,
     CoordinationStrategy, register_strategy, strategy_names,
     Transport, InMemoryTransport, FaultyTransport, SocketTransport,
@@ -51,6 +52,7 @@ __all__ = [
     "JVM", "JVMConfig", "RunResult", "default_natives",
     "new_program_registry",
     "ReplicatedJVM", "FailoverResult", "ReplicaSettings",
+    "ReplicaGroup", "GroupResult", "GenerationReport",
     "run_unreplicated", "SideEffectHandler",
     "CoordinationStrategy", "register_strategy", "strategy_names",
     "Transport", "InMemoryTransport", "FaultyTransport", "SocketTransport",

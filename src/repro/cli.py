@@ -14,7 +14,11 @@ Commands:
 * ``conform [--workload W ...] [--quick]`` — exhaustive crash-point
   conformance sweep: every crash event index × strategy × transport,
   checking digest equality, the log prefix property, and exactly-once
-  outputs; optionally writes a JSON report.
+  outputs; optionally writes a JSON report.  With ``--chained`` the
+  sweep runs through the replica-group supervisor instead, crashing
+  every event index of every generation down to ``--depth`` (including
+  mid-checkpoint-transfer) and additionally asserting stale-epoch
+  records are fenced.
 """
 
 from __future__ import annotations
@@ -95,6 +99,36 @@ def _cmd_conform(args: argparse.Namespace) -> int:
         ["memory", "faulty:flaky"] if args.quick
         else ["memory", "faulty:flaky", "faulty:lossy"]
     )
+
+    if args.chained:
+        from repro.conform.chained import ChainedConfig, run_chained_sweep
+        from repro.conform.report import (
+            build_chained_report, render_chained_report,
+        )
+
+        chained_config = ChainedConfig(
+            workloads=workloads,
+            strategies=args.strategy or ["lock_sync", "thread_sched"],
+            transports=transports,
+            depth=args.depth,
+            seed=args.seed,
+            stride=args.stride,
+        )
+
+        def chained_progress(cell) -> None:
+            status = ("ok" if cell.ok
+                      else f"{len(cell.failures)} FAILURES")
+            print(f"[{cell.workload} {cell.strategy} {cell.transport}: "
+                  f"{cell.crash_points} chained crash points {status}]",
+                  file=sys.stderr)
+
+        cells = run_chained_sweep(chained_config, progress=chained_progress)
+        report = build_chained_report(chained_config, cells)
+        if args.json:
+            write_report(args.json, report)
+        print(render_chained_report(report))
+        return 0 if report["ok"] else 1
+
     config = SweepConfig(
         workloads=workloads,
         strategies=args.strategy or ["lock_sync", "thread_sched"],
@@ -255,6 +289,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 2)")
     p_conf.add_argument("--no-shrink", action="store_true",
                         help="report the first failing point as-is")
+    p_conf.add_argument("--chained", action="store_true",
+                        help="sweep chained failovers through the "
+                             "replica-group supervisor: crash every "
+                             "event index of every generation "
+                             "(including mid-checkpoint-transfer) and "
+                             "assert exactly-once output and digest "
+                             "equality against an unreplicated run")
+    p_conf.add_argument("--depth", type=int, default=2, metavar="K",
+                        help="generations to sweep in --chained mode "
+                             "(default 2)")
     p_conf.add_argument("--json", default=None, metavar="PATH",
                         help="write the machine-readable report here")
     p_conf.add_argument("--list", action="store_true",

@@ -17,9 +17,21 @@ See :mod:`repro.conform.sweep` for the engine and
 :mod:`repro.conform.report` for the JSON report schema.
 """
 
+from repro.conform.chained import (
+    ChainCellResult,
+    ChainedConfig,
+    ChainLayer,
+    chained_reference,
+    check_chain,
+    make_chained_spec,
+    run_chained_sweep,
+    sweep_chained_cell,
+)
 from repro.conform.report import (
     REPORT_VERSION,
+    build_chained_report,
     build_report,
+    render_chained_report,
     render_report,
     write_report,
 )
@@ -46,4 +58,8 @@ __all__ = [
     "reference_run", "check_crash_point", "shrink_failure",
     "sweep_cell", "run_sweep",
     "REPORT_VERSION", "build_report", "render_report", "write_report",
+    "ChainedConfig", "ChainCellResult", "ChainLayer",
+    "make_chained_spec", "chained_reference", "check_chain",
+    "sweep_chained_cell", "run_chained_sweep",
+    "build_chained_report", "render_chained_report",
 ]

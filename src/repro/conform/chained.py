@@ -1,0 +1,396 @@
+"""Chained-failover conformance: crash every generation, everywhere.
+
+The single-failover sweep (:mod:`repro.conform.sweep`) proves the
+backup can take over from *one* crash at any event index.  This module
+proves the **re-integration loop**: a :class:`ReplicaGroup` that
+checkpoints its state to a fresh backup each generation must survive a
+crash at *every event index of every generation* — including indices
+that land inside the checkpoint transfer itself — and still produce
+
+* byte-identical stable outputs (console transcript, file contents) to
+  an unreplicated run — the exactly-once obligation compounded across
+  failovers;
+* a final state digest equal to the unreplicated run's;
+* the same uncaught-exception log.
+
+The sweep is layered.  Layer *g* pins the crash points of generations
+``0..g-1`` (so every run reproduces the same prefix of history), runs
+one crash-free *pilot* to count generation *g*'s injector events, then
+re-runs the chain once per index.  Indices at or below the checkpoint
+transfer (``chunks + 1`` events: one per chunk plus the commit) kill
+the primary mid-transfer, exercising the torn-transfer path: the old
+basis must stand, and the deposed primary's delivered chunks must be
+*fenced* — the report accumulates the fence counters as proof.
+
+Each layer's pin is chosen just past the transfer, so deeper layers
+chain "normal" mid-execution failovers.  A layer with no events (the
+pinned prefix already finishes during recovery replay) ends the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.conform.workloads import get_workload
+from repro.env.environment import Environment
+from repro.errors import ReproError
+from repro.replication.digest import StateDigest, compute_state_digest
+from repro.replication.machine import run_unreplicated
+from repro.replication.supervisor import GroupResult, ReplicaGroup
+from repro.replication.transport import FAULT_PROFILES, FaultyTransport
+
+#: Small chunks + per-record flushing make the transfer span several
+#: injector events, so mid-transfer crash indices actually exist.
+DEFAULT_CHUNK_BYTES = 512
+DEFAULT_BATCH_RECORDS = 1
+
+
+# ======================================================================
+# Cell specs and group construction
+# ======================================================================
+def make_chained_spec(workload: str, strategy: str, transport: str,
+                      *, depth: int = 2, seed: int = 20030622,
+                      chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+                      batch_records: int = DEFAULT_BATCH_RECORDS
+                      ) -> Dict[str, Any]:
+    """One chained-matrix cell as a plain dict.  ``transport`` uses the
+    same syntax as the single-failover sweep (``"memory"`` or
+    ``"faulty:<profile>"``); each generation gets its own seeded
+    instance so fault schedules stay reproducible per epoch."""
+    if transport != "memory":
+        kind, _, profile = transport.partition(":")
+        profile = profile or "flaky"
+        if kind != "faulty" or profile not in FAULT_PROFILES:
+            raise ReproError(
+                f"unknown conform transport {transport!r}; expected "
+                f"'memory' or 'faulty:<profile>' with a profile from "
+                f"{sorted(FAULT_PROFILES)}"
+            )
+    return {
+        "workload": workload,
+        "strategy": strategy,
+        "transport": transport,
+        "depth": depth,
+        "seed": seed,
+        "chunk_bytes": chunk_bytes,
+        "batch_records": batch_records,
+    }
+
+
+def _transport_factory(spec: Dict[str, Any]):
+    transport = spec["transport"]
+    if transport == "memory":
+        return None
+    _, _, profile = transport.partition(":")
+    profile = profile or "flaky"
+    seed = spec["seed"]
+    return lambda generation: FaultyTransport(
+        FAULT_PROFILES[profile], seed=seed + 97 * generation
+    )
+
+
+def build_group(spec: Dict[str, Any],
+                crash_schedule: List[int]) -> Tuple[ReplicaGroup, Environment]:
+    """A fresh replica group for one cell and one chain of crashes."""
+    workload = get_workload(spec["workload"])
+    env = Environment()
+    group = ReplicaGroup(
+        workload.registry(),
+        env=env,
+        strategy=spec["strategy"],
+        crash_schedule=list(crash_schedule),
+        max_failures=len(crash_schedule) + 2,
+        transport=_transport_factory(spec),
+        jvm_config=workload.jvm_config(),
+        batch_records=spec["batch_records"],
+        chunk_bytes=spec["chunk_bytes"],
+    )
+    return group, env
+
+
+# ======================================================================
+# Reference run
+# ======================================================================
+@dataclass
+class ChainReference:
+    """The unreplicated oracle every chain is compared against."""
+
+    final_digest: Tuple[Tuple[str, int], ...]
+    stable: Dict[str, str]
+    uncaught: List[Tuple[str, str, str]]
+
+
+def chained_reference(spec: Dict[str, Any]) -> ChainReference:
+    workload = get_workload(spec["workload"])
+    env = Environment()
+    result, jvm = run_unreplicated(
+        workload.registry(), workload.main_class,
+        env=env, jvm_config=workload.jvm_config(),
+    )
+    digest = compute_state_digest(jvm, env)
+    return ChainReference(
+        final_digest=digest.components,
+        stable=env.snapshot_stable(),
+        uncaught=list(result.uncaught),
+    )
+
+
+# ======================================================================
+# One chain of crashes
+# ======================================================================
+def _fenced_total(result: GroupResult) -> int:
+    return result.records_fenced
+
+
+def check_chain(spec: Dict[str, Any], crash_schedule: List[int],
+                reference: ChainReference) -> Optional[Dict[str, Any]]:
+    """Run the chain; ``None`` means every invariant held, otherwise a
+    failure dict for the report."""
+    workload = get_workload(spec["workload"])
+    crash_at = crash_schedule[-1] if crash_schedule else None
+
+    def failure(kind: str, detail: str, **extra) -> Dict[str, Any]:
+        entry = {
+            "crash_schedule": list(crash_schedule),
+            "crash_at": crash_at,
+            "kind": kind,
+            "detail": detail,
+        }
+        entry.update(extra)
+        return entry
+
+    group, env = build_group(spec, crash_schedule)
+    try:
+        result = group.run(workload.main_class)
+    except ReproError as err:
+        return failure("error", f"{type(err).__name__}: {err}")
+
+    if result.failures_survived != len(crash_schedule):
+        return failure(
+            "no_failover",
+            f"scheduled {len(crash_schedule)} crash(es) but "
+            f"{result.failures_survived} failover(s) happened",
+        )
+
+    # --- exactly-once outputs, compounded across failovers ------------
+    if list(result.result.uncaught) != reference.uncaught:
+        return failure(
+            "output_mismatch",
+            f"uncaught exceptions differ: {result.result.uncaught} "
+            f"!= {reference.uncaught}",
+        )
+    stable = env.snapshot_stable()
+    if stable != reference.stable:
+        changed = sorted(
+            key for key in set(stable) | set(reference.stable)
+            if stable.get(key) != reference.stable.get(key)
+        )
+        return failure(
+            "output_mismatch",
+            f"stable environment differs from the unreplicated "
+            f"reference in {changed}",
+        )
+
+    # --- final state digest -------------------------------------------
+    final = compute_state_digest(group.final_jvm, env)
+    mismatched = StateDigest(reference.final_digest).diff(final)
+    if mismatched:
+        return failure(
+            "divergence",
+            f"final state digest differs from the unreplicated "
+            f"reference in component(s) {', '.join(mismatched)}",
+            components=mismatched,
+        )
+    return None
+
+
+# ======================================================================
+# Layered sweep
+# ======================================================================
+@dataclass
+class ChainLayer:
+    """One generation's full crash-index sweep under a pinned prefix."""
+
+    generation: int
+    pinned: List[int]
+    total_events: int
+    #: Events that land inside the checkpoint transfer (chunks + the
+    #: transfer commit); crash indices <= this are mid-transfer kills.
+    transfer_events: int
+    crash_points: int
+    failures: List[Dict[str, Any]]
+    #: Fence-counter sum over every run of this layer — proof that the
+    #: deposed primaries' records were discarded, not adopted.
+    records_fenced: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "generation": self.generation,
+            "pinned": list(self.pinned),
+            "total_events": self.total_events,
+            "transfer_events": self.transfer_events,
+            "crash_points": self.crash_points,
+            "records_fenced": self.records_fenced,
+            "failures": self.failures,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class ChainCellResult:
+    """Outcome of one chained matrix cell."""
+
+    workload: str
+    strategy: str
+    transport: str
+    depth: int
+    layers: List[ChainLayer]
+    errors: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors and all(layer.ok for layer in self.layers)
+
+    @property
+    def crash_points(self) -> int:
+        return sum(layer.crash_points for layer in self.layers)
+
+    @property
+    def failures(self) -> List[Dict[str, Any]]:
+        collected = list(self.errors)
+        for layer in self.layers:
+            collected.extend(layer.failures)
+        return collected
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "strategy": self.strategy,
+            "transport": self.transport,
+            "depth": self.depth,
+            "crash_points": self.crash_points,
+            "layers": [layer.as_dict() for layer in self.layers],
+            "errors": self.errors,
+            "ok": self.ok,
+        }
+
+
+def _pilot(spec: Dict[str, Any],
+           pinned: List[int]) -> Optional[GroupResult]:
+    """Run the pinned prefix with no further crash, to measure the next
+    generation's event count (and that the chain still completes)."""
+    workload = get_workload(spec["workload"])
+    group, _ = build_group(spec, pinned)
+    return group.run(workload.main_class)
+
+
+def sweep_chained_cell(spec: Dict[str, Any], *, stride: int = 1,
+                       progress=None) -> ChainCellResult:
+    """Sweep every crash index of every generation up to ``depth``."""
+    reference = chained_reference(spec)
+    depth = spec["depth"]
+    result = ChainCellResult(
+        workload=spec["workload"],
+        strategy=spec["strategy"],
+        transport=spec["transport"],
+        depth=depth,
+        layers=[],
+    )
+    pinned: List[int] = []
+
+    for generation in range(depth):
+        try:
+            pilot = _pilot(spec, pinned)
+        except ReproError as err:
+            result.errors.append({
+                "crash_schedule": list(pinned),
+                "kind": "error",
+                "detail": f"pilot failed: {type(err).__name__}: {err}",
+            })
+            break
+        report = pilot.generations[generation]
+        if report.outcome == "completed_in_recovery" or report.events == 0:
+            # The pinned prefix already finishes during recovery
+            # replay: generation `generation` never runs a primary, so
+            # there is nothing left to crash.
+            break
+        total_events = report.events
+        transfer_events = report.checkpoint_chunks + 1
+        failures: List[Dict[str, Any]] = []
+        fenced = 0
+        points = list(range(1, total_events + 1, max(1, stride)))
+        for crash_at in points:
+            schedule = pinned + [crash_at]
+            entry = check_chain(spec, schedule, reference)
+            if entry is not None:
+                failures.append(entry)
+            if progress is not None:
+                progress(generation, crash_at, entry)
+        # One representative mid-transfer run per layer, kept for its
+        # fence counters (every index <= transfer_events tears the
+        # transfer; the counters prove the leavings were discarded).
+        if transfer_events >= 1 and not failures:
+            group, _ = build_group(spec, pinned + [transfer_events])
+            workload = get_workload(spec["workload"])
+            fenced = _fenced_total(group.run(workload.main_class))
+        result.layers.append(ChainLayer(
+            generation=generation,
+            pinned=list(pinned),
+            total_events=total_events,
+            transfer_events=transfer_events,
+            crash_points=len(points),
+            failures=failures,
+            records_fenced=fenced,
+        ))
+        if failures:
+            break
+        # Chain the next layer just past the transfer: a "normal"
+        # post-re-integration crash with a few execution events behind
+        # it when the generation is long enough.
+        pinned.append(min(transfer_events + 2, total_events))
+
+    return result
+
+
+@dataclass
+class ChainedConfig:
+    """What to sweep and how deep."""
+
+    workloads: List[str]
+    strategies: List[str] = field(
+        default_factory=lambda: ["lock_sync", "thread_sched"]
+    )
+    transports: List[str] = field(
+        default_factory=lambda: ["memory", "faulty:flaky"]
+    )
+    depth: int = 2
+    seed: int = 20030622
+    stride: int = 1
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    batch_records: int = DEFAULT_BATCH_RECORDS
+
+
+def run_chained_sweep(config: ChainedConfig, *,
+                      progress=None) -> List[ChainCellResult]:
+    """Sweep the full chained matrix; one cell result per combination."""
+    results = []
+    for workload in config.workloads:
+        for strategy in config.strategies:
+            for transport in config.transports:
+                spec = make_chained_spec(
+                    workload, strategy, transport,
+                    depth=config.depth,
+                    seed=config.seed,
+                    chunk_bytes=config.chunk_bytes,
+                    batch_records=config.batch_records,
+                )
+                cell = sweep_chained_cell(spec, stride=config.stride)
+                if progress is not None:
+                    progress(cell)
+                results.append(cell)
+    return results

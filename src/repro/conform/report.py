@@ -41,6 +41,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
+from repro.conform.chained import ChainCellResult, ChainedConfig
 from repro.conform.sweep import CellResult, SweepConfig
 
 REPORT_VERSION = 1
@@ -67,6 +68,71 @@ def build_report(config: SweepConfig,
         },
         "ok": all(cell.ok for cell in cells),
     }
+
+
+def build_chained_report(config: ChainedConfig,
+                         cells: List[ChainCellResult]) -> Dict[str, Any]:
+    """Chained-failover variant of the report: one cell per matrix
+    combination, one layer per swept generation."""
+    return {
+        "version": REPORT_VERSION,
+        "tool": "repro conform --chained",
+        "config": {
+            "workloads": list(config.workloads),
+            "strategies": list(config.strategies),
+            "transports": list(config.transports),
+            "depth": config.depth,
+            "seed": config.seed,
+            "stride": config.stride,
+            "chunk_bytes": config.chunk_bytes,
+            "batch_records": config.batch_records,
+        },
+        "cells": [cell.as_dict() for cell in cells],
+        "totals": {
+            "cells": len(cells),
+            "crash_points": sum(c.crash_points for c in cells),
+            "failures": sum(len(c.failures) for c in cells),
+            "records_fenced": sum(
+                layer.records_fenced for c in cells for layer in c.layers
+            ),
+        },
+        "ok": all(cell.ok for cell in cells),
+    }
+
+
+def render_chained_report(report: Dict[str, Any]) -> str:
+    """Human-readable summary of a chained report dict."""
+    lines = []
+    for cell in report["cells"]:
+        status = "ok" if cell["ok"] else f"{len(cell['errors']) + sum(len(l['failures']) for l in cell['layers'])} FAILURES"
+        lines.append(
+            f"{cell['workload']:8s} {cell['strategy']:12s} "
+            f"{cell['transport']:14s} depth={cell['depth']} "
+            f"{cell['crash_points']:4d} crash points  {status}"
+        )
+        for layer in cell["layers"]:
+            lines.append(
+                f"    gen {layer['generation']}: "
+                f"{layer['crash_points']}/{layer['total_events']} indices "
+                f"(transfer={layer['transfer_events']}, "
+                f"pinned={layer['pinned']}, "
+                f"fenced={layer['records_fenced']})"
+            )
+            for entry in layer["failures"]:
+                lines.append(
+                    f"        chain={entry['crash_schedule']} "
+                    f"{entry['kind']}: {entry['detail']}"
+                )
+        for entry in cell["errors"]:
+            lines.append(f"    {entry['kind']}: {entry['detail']}")
+    totals = report["totals"]
+    verdict = "PASS" if report["ok"] else "FAIL"
+    lines.append(
+        f"{verdict}: {totals['crash_points']} chained crash points across "
+        f"{totals['cells']} cells, {totals['failures']} failure(s), "
+        f"{totals['records_fenced']} stale record(s) fenced"
+    )
+    return "\n".join(lines)
 
 
 def write_report(path: str, report: Dict[str, Any]) -> None:

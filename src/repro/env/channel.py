@@ -41,6 +41,13 @@ class Channel:
         #: (the paper's "sends them periodically or on an output commit").
         self.batch_records = batch_records
         self.closed = False
+        #: When > 0, auto-flush is deferred: records buffered inside an
+        #: atomic section are delivered together or lost together (a
+        #: native's completion marker and its side-effect record must
+        #: never be split by a flush boundary — a crash between them
+        #: would tell the backup the output happened while losing the
+        #: state needed to take over after it).
+        self._atomic_depth = 0
 
         # Wire counters (messages *accepted by the transport*).
         self.messages_sent = 0
@@ -69,7 +76,21 @@ class Channel:
         if self.closed:
             return
         self._buffer.append(payload)
-        if len(self._buffer) >= self.batch_records:
+        if len(self._buffer) >= self.batch_records \
+                and self._atomic_depth == 0:
+            self.flush()
+
+    def begin_atomic(self) -> None:
+        """Defer auto-flush until the matching :meth:`end_atomic`."""
+        self._atomic_depth += 1
+
+    def end_atomic(self, flush: bool = True) -> None:
+        """Close an atomic section.  With ``flush=False`` (the crash
+        unwind path) the deferred records stay buffered — and are thus
+        lost with the primary — instead of being pushed out mid-death."""
+        self._atomic_depth = max(0, self._atomic_depth - 1)
+        if flush and self._atomic_depth == 0 \
+                and len(self._buffer) >= self.batch_records:
             self.flush()
 
     def flush(self) -> None:
@@ -125,6 +146,13 @@ class Channel:
         self._buffer.clear()
         self.closed = True
         self.transport.crash_sender()
+
+    def truncate_delivered(self, n_records: int) -> None:
+        """Drop the first ``n_records`` delivered records — the log-
+        truncation rule: once a checkpoint covering them is safely at
+        the backup, replay starts from the snapshot and the prefix is
+        dead weight on both sides."""
+        self.transport.truncate(n_records)
 
     @property
     def pending_records(self) -> int:

@@ -65,6 +65,14 @@ class CostModel:
                                     # boundary (digest bytes additionally
                                     # pay per_byte through bytes_sent)
 
+    # --- checkpoint transfer (replica-group re-integration) --------------
+    checkpoint_chunk: float = 90.0   # serialize + frame one chunk record
+    checkpoint_byte: float = 2.5     # walk/encode one byte of JVM state
+                                     # (wire bytes additionally pay
+                                     # per_byte through bytes_sent)
+    checkpoint_restore: float = 4000.0  # rebuild heap/frames/monitors
+                                        # from an adopted snapshot
+
     # --- native interception ---------------------------------------------
     native_check: float = 8.0       # hash-table lookup per nd/output native
     result_record: float = 25.0     # build one native-result record
@@ -106,6 +114,11 @@ class CostModel:
             "communication": communication,
             "pessimistic": pessimistic,
         }
+        # Re-integration work is only present for supervised replica
+        # groups; single-failover runs keep their original components.
+        ckpt = self.checkpoint_component(metrics)
+        if ckpt:
+            breakdown["checkpoint"] = ckpt
         if strategy == "lock_sync":
             breakdown["lock_acquire"] = (
                 metrics.lock_records * self.lock_record
@@ -123,6 +136,17 @@ class CostModel:
         else:
             raise ValueError(f"unknown strategy {strategy!r}")
         return breakdown
+
+    def checkpoint_component(self, metrics: ReplicationMetrics) -> float:
+        """Cost of taking, framing, and shipping checkpoints (zero when
+        the run never checkpointed).  Wire bytes and the commit's ack
+        stall are charged where every other byte and ack is charged —
+        this component covers the state capture itself."""
+        return (
+            metrics.checkpoint_records * self.checkpoint_chunk
+            + metrics.checkpoint_bytes * self.checkpoint_byte
+            + metrics.checkpoints_restored * self.checkpoint_restore
+        )
 
     def backup_time(self, metrics: ReplicationMetrics) -> float:
         """Replay time at the backup: re-execution plus record matching

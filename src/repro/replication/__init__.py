@@ -9,9 +9,19 @@ from repro.replication.metrics import ReplicationMetrics
 from repro.replication.records import (
     IdMap, LockAcqRecord, LockIntervalRecord, ScheduleRecord,
     NativeResultRecord, OutputIntentRecord, SideEffectRecord,
+    EpochRecord, KIND_EPOCH,
     encode, decode_record, register_record_kind, FIRST_CUSTOM_KIND,
 )
-from repro.replication.commit import LogShipper, CrashInjector
+from repro.replication.commit import LogShipper, CrashInjector, EpochFence
+from repro.replication.checkpoint import (
+    Checkpoint, CheckpointAssembler, CheckpointChunkRecord,
+    take_checkpoint, restore_checkpoint, first_dispatch_vid,
+    DEFAULT_CHUNK_BYTES,
+)
+from repro.replication.supervisor import (
+    ReplicaGroup, GroupResult, GenerationReport,
+    default_generation_settings,
+)
 from repro.replication.digest import (
     StateDigest, DigestRecord, DigestEmitter, DigestVerifier,
     compute_state_digest, KIND_DIGEST,
@@ -48,6 +58,12 @@ __all__ = [
     "IdMap", "LockAcqRecord", "ScheduleRecord", "NativeResultRecord",
     "OutputIntentRecord", "SideEffectRecord", "encode", "decode_record",
     "register_record_kind", "FIRST_CUSTOM_KIND",
+    "EpochRecord", "KIND_EPOCH", "EpochFence",
+    "Checkpoint", "CheckpointAssembler", "CheckpointChunkRecord",
+    "take_checkpoint", "restore_checkpoint", "first_dispatch_vid",
+    "DEFAULT_CHUNK_BYTES",
+    "ReplicaGroup", "GroupResult", "GenerationReport",
+    "default_generation_settings",
     "LogShipper", "CrashInjector", "FailureDetector",
     "StateDigest", "DigestRecord", "DigestEmitter", "DigestVerifier",
     "compute_state_digest", "KIND_DIGEST",

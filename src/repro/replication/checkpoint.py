@@ -1,0 +1,838 @@
+"""Checkpoint state transfer: a complete, wire-framed JVM snapshot.
+
+Re-integrating a fresh backup after a failover needs more than the log:
+the new backup never saw the beginning of the run, so the promoted
+primary must hand it a *snapshot* of everything the replica state
+machine contains — heap (including unreachable objects, so allocation
+counters and GC trigger points survive exactly), statics, every thread
+with its frames and progress counters, monitor ownership and queues,
+the scheduler's runnable order, virtual time, the side-effect manager's
+volatile-state bookkeeping, and the stable-environment image for
+cold-site priming.
+
+The snapshot is serialized with the same compact wire format as log
+records and shipped as a sequence of
+:class:`CheckpointChunkRecord` messages *through the ordinary log
+channel*, so chunk transfer inherits the channel's flush/ack protocol
+and the crash injector's event counter (a transfer can be killed
+mid-flight and must be restartable).  The assembled checkpoint embeds
+the sender's :class:`~repro.replication.digest.StateDigest`; the
+receiver re-derives the digest from the *restored* JVM and refuses a
+snapshot whose digest does not match — a corrupted or torn transfer is
+detected, never silently adopted.
+
+Two invariants make restore exact rather than approximate:
+
+* **oids are preserved** — references serialize as allocation-order
+  object ids and every heap object (garbage included) crosses the
+  wire, so ``used_cells``, allocation counters, and identity-hash
+  values are bit-identical after restore;
+* **thread registration order is preserved** — the scheduler wakes
+  expired timers by walking ``scheduler.threads`` in registration
+  order, so the snapshot serializes threads in exactly that order.
+
+Lock *ids* (``l_id``) are deliberately not checkpointed: they are a
+per-generation naming scheme assigned by the active coordination
+strategy, and each promotion renames from scratch (``l_asn`` counters,
+which the digest covers, are preserved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReplicationError
+from repro.replication.digest import StateDigest, compute_state_digest
+from repro.replication.records import (
+    KIND_CHECKPOINT_CHUNK,
+    register_record_kind,
+)
+from repro.replication.wire import Reader, Writer
+from repro.runtime.frames import Frame
+from repro.runtime.jvm import JVM
+from repro.runtime.monitors import get_monitor
+from repro.runtime.scheduler import SliceEnd
+from repro.runtime.threads import ROOT_VID, JavaThread, ThreadState
+from repro.runtime.values import JArray, JObject
+
+Vid = Tuple[int, ...]
+
+#: Bump when the snapshot layout changes incompatibly.
+_STATE_VERSION = 1
+
+#: Default chunk payload size.  Small enough that a transfer spans many
+#: flushes (so mid-transfer crash points exist), large enough that the
+#: chunk framing overhead stays negligible.
+DEFAULT_CHUNK_BYTES = 2048
+
+
+# ======================================================================
+# Tagged value codec
+# ======================================================================
+# The log-record codec (wire.Writer.value) deliberately rejects heap
+# references — they never leave a replica during normal logging.  A
+# checkpoint is the one place references *must* cross the wire, as
+# allocation-order oids, alongside the nested dict/bytes shapes that
+# side-effect handler state uses.
+
+_V_NONE = 0
+_V_INT = 1
+_V_FLOAT = 2
+_V_STR = 3
+_V_BOOL = 4
+_V_BYTES = 5
+_V_LIST = 6
+_V_DICT = 7
+_V_REF = 8
+
+
+def _write_value(w: Writer, v: Any) -> None:
+    if v is None:
+        w.uvarint(_V_NONE)
+    elif isinstance(v, bool):
+        w.uvarint(_V_BOOL).uvarint(1 if v else 0)
+    elif isinstance(v, int):
+        w.uvarint(_V_INT).svarint(v)
+    elif isinstance(v, float):
+        w.uvarint(_V_FLOAT).f64(v)
+    elif isinstance(v, str):
+        w.uvarint(_V_STR).text(v)
+    elif isinstance(v, bytes):
+        w.uvarint(_V_BYTES).uvarint(len(v)).raw(v)
+    elif isinstance(v, (JObject, JArray)):
+        w.uvarint(_V_REF).uvarint(v.oid)
+    elif isinstance(v, (list, tuple)):
+        w.uvarint(_V_LIST).uvarint(len(v))
+        for item in v:
+            _write_value(w, item)
+    elif isinstance(v, dict):
+        w.uvarint(_V_DICT).uvarint(len(v))
+        for key, item in v.items():
+            _write_value(w, key)
+            _write_value(w, item)
+    else:
+        raise ReplicationError(
+            f"checkpoint cannot serialize value of type {type(v).__name__}"
+        )
+
+
+def _read_value(r: Reader, resolve: Callable[[int], Any]) -> Any:
+    tag = r.uvarint()
+    if tag == _V_NONE:
+        return None
+    if tag == _V_BOOL:
+        return bool(r.uvarint())
+    if tag == _V_INT:
+        return r.svarint()
+    if tag == _V_FLOAT:
+        return r.f64()
+    if tag == _V_STR:
+        return r.text()
+    if tag == _V_BYTES:
+        return r.raw(r.uvarint())
+    if tag == _V_REF:
+        return resolve(r.uvarint())
+    if tag == _V_LIST:
+        return [_read_value(r, resolve) for _ in range(r.uvarint())]
+    if tag == _V_DICT:
+        out: Dict[Any, Any] = {}
+        for _ in range(r.uvarint()):
+            key = _read_value(r, resolve)
+            out[key] = _read_value(r, resolve)
+        return out
+    raise ReplicationError(f"unknown checkpoint value tag {tag}")
+
+
+def _no_refs(_oid: int) -> Any:
+    raise ReplicationError("heap reference outside heap section")
+
+
+def _write_opt_vid(w: Writer, vid: Optional[Vid]) -> None:
+    if vid is None:
+        w.uvarint(0)
+    else:
+        w.uvarint(1).vid(vid)
+
+
+def _read_opt_vid(r: Reader) -> Optional[Vid]:
+    return r.vid() if r.uvarint() else None
+
+
+# ======================================================================
+# Wire records
+# ======================================================================
+@dataclass(frozen=True)
+class CheckpointChunkRecord:
+    """One slice of an encoded checkpoint, shipped through the log.
+
+    Chunks are idempotent and unordered on arrival: the assembler keys
+    them by ``(generation, index)`` and ignores duplicates, so a
+    transfer interrupted by a connection reset (or restarted whole by a
+    re-promoted primary) converges to the same snapshot."""
+
+    generation: int
+    index: int
+    total: int
+    data: bytes
+
+    def write(self, w: Writer) -> None:
+        w.uvarint(KIND_CHECKPOINT_CHUNK).uvarint(self.generation)
+        w.uvarint(self.index).uvarint(self.total)
+        w.uvarint(len(self.data)).raw(self.data)
+
+    @staticmethod
+    def read(r: Reader) -> "CheckpointChunkRecord":
+        generation = r.uvarint()
+        index = r.uvarint()
+        total = r.uvarint()
+        return CheckpointChunkRecord(
+            generation, index, total, r.raw(r.uvarint())
+        )
+
+
+register_record_kind(KIND_CHECKPOINT_CHUNK, CheckpointChunkRecord.read,
+                     core=True)
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """An encoded snapshot plus the digest it must restore to."""
+
+    generation: int
+    digest: StateDigest
+    payload: bytes
+
+    # ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        w = Writer()
+        w.uvarint(self.generation)
+        w.uvarint(len(self.digest.components))
+        for name, value in self.digest.components:
+            w.text(name).raw(value.to_bytes(16, "big"))
+        w.uvarint(len(self.payload)).raw(self.payload)
+        return w.bytes()
+
+    @staticmethod
+    def decode(data: bytes) -> "Checkpoint":
+        r = Reader(data)
+        generation = r.uvarint()
+        components = []
+        for _ in range(r.uvarint()):
+            name = r.text()
+            components.append((name, int.from_bytes(r.raw(16), "big")))
+        payload = r.raw(r.uvarint())
+        if not r.exhausted:
+            raise ReplicationError("trailing bytes after checkpoint")
+        return Checkpoint(generation, StateDigest(tuple(components)), payload)
+
+    # ------------------------------------------------------------------
+    def to_chunks(self, chunk_bytes: int = DEFAULT_CHUNK_BYTES
+                  ) -> List[CheckpointChunkRecord]:
+        """Frame the encoded checkpoint for shipment through the log."""
+        if chunk_bytes <= 0:
+            raise ReplicationError("chunk size must be positive")
+        encoded = self.encode()
+        total = max(1, -(-len(encoded) // chunk_bytes))
+        return [
+            CheckpointChunkRecord(
+                self.generation, index, total,
+                encoded[index * chunk_bytes:(index + 1) * chunk_bytes],
+            )
+            for index in range(total)
+        ]
+
+    @property
+    def byte_size(self) -> int:
+        return len(self.payload)
+
+    def state(self) -> "_SnapshotState":
+        """Decode the payload into its structured form (tests, env
+        priming).  Heap references resolve to freshly built shell
+        objects, not to any live JVM."""
+        return _read_state(self.payload)
+
+
+class CheckpointAssembler:
+    """Receive-side reassembly of chunked checkpoints.
+
+    Duplicate chunks (retransmission, restarted transfer) are ignored;
+    a chunk whose ``total`` disagrees with the first chunk seen for its
+    generation marks the transfer corrupt.  ``feed`` returns the
+    decoded :class:`Checkpoint` exactly once, when the last missing
+    chunk arrives."""
+
+    def __init__(self) -> None:
+        self._partial: Dict[int, Tuple[int, Dict[int, bytes]]] = {}
+        self._done: Dict[int, bool] = {}
+
+    def feed(self, record: CheckpointChunkRecord) -> Optional[Checkpoint]:
+        gen = record.generation
+        if self._done.get(gen):
+            return None
+        total, chunks = self._partial.setdefault(gen, (record.total, {}))
+        if total != record.total:
+            raise ReplicationError(
+                f"checkpoint transfer for generation {gen} is inconsistent: "
+                f"chunk claims {record.total} total, transfer began with "
+                f"{total}"
+            )
+        if not 0 <= record.index < total:
+            raise ReplicationError(
+                f"checkpoint chunk index {record.index} out of range "
+                f"0..{total - 1}"
+            )
+        chunks.setdefault(record.index, record.data)
+        if len(chunks) < total:
+            return None
+        encoded = b"".join(chunks[i] for i in range(total))
+        checkpoint = Checkpoint.decode(encoded)
+        if checkpoint.generation != gen:
+            raise ReplicationError(
+                f"checkpoint generation mismatch: chunks say {gen}, "
+                f"payload says {checkpoint.generation}"
+            )
+        self._done[gen] = True
+        del self._partial[gen]
+        return checkpoint
+
+    def pending(self, generation: int) -> int:
+        """Chunks received so far for an incomplete transfer."""
+        entry = self._partial.get(generation)
+        return len(entry[1]) if entry else 0
+
+    def discard(self, generation: int) -> None:
+        """Drop a torn transfer (its primary died mid-flight)."""
+        self._partial.pop(generation, None)
+
+
+# ======================================================================
+# Snapshot: serialize
+# ======================================================================
+def take_checkpoint(jvm: JVM, se_manager, *, generation: int,
+                    env_snapshot: Optional[Dict[str, str]] = None
+                    ) -> Checkpoint:
+    """Snapshot ``jvm`` (plus side-effect-handler state) as of now.
+
+    Must be taken at a *quiescent point* — bootstrap, or a paused run
+    loop — so no thread is mid-slice.  The embedded digest is computed
+    from the same state the payload serializes, which is what lets the
+    receiver verify the restore."""
+    digest = compute_state_digest(jvm, include_env=False)
+    payload = _write_state(jvm, se_manager, env_snapshot or {})
+    return Checkpoint(generation, digest, payload)
+
+
+def _write_state(jvm: JVM, se_manager,
+                 env_snapshot: Dict[str, str]) -> bytes:
+    w = Writer()
+    w.uvarint(_STATE_VERSION)
+
+    # --- machine counters / virtual time ------------------------------
+    w.uvarint(jvm.instructions).uvarint(jvm.heavy_ops)
+    w.uvarint(jvm.native_calls)
+    w.f64(jvm._time_skew_ms)
+
+    # --- heap: shells, then contents (so references resolve) ----------
+    heap = jvm.heap
+    objects = list(heap.objects)
+    w.uvarint(heap._next_oid).uvarint(heap.total_allocations)
+    w.uvarint(heap.used_cells).uvarint(1 if heap.gc_requested else 0)
+    w.uvarint(len(objects))
+    for obj in objects:
+        if isinstance(obj, JArray):
+            w.uvarint(1).uvarint(obj.oid).text(obj.elem_type)
+        else:
+            w.uvarint(0).uvarint(obj.oid).text(obj.class_name)
+    monitor_oid: Dict[int, int] = {}
+    for obj in objects:
+        if isinstance(obj, JArray):
+            w.uvarint(len(obj.data))
+            for v in obj.data:
+                _write_value(w, v)
+        else:
+            w.uvarint(len(obj.fields))
+            for name, v in obj.fields.items():
+                w.text(name)
+                _write_value(w, v)
+        monitor = obj.monitor
+        if monitor is not None and (
+            monitor.owner is not None or monitor.recursion
+            or monitor.entry_queue or monitor.wait_set or monitor.l_asn
+        ):
+            monitor_oid[id(monitor)] = obj.oid
+            w.uvarint(1)
+            _write_opt_vid(
+                w, monitor.owner.vid if monitor.owner is not None else None
+            )
+            w.uvarint(monitor.recursion).uvarint(monitor.l_asn)
+            w.uvarint(len(monitor.entry_queue))
+            for t in monitor.entry_queue:
+                w.vid(t.vid)
+            w.uvarint(len(monitor.wait_set))
+            for t in monitor.wait_set:
+                w.vid(t.vid)
+        else:
+            if monitor is not None:
+                monitor_oid[id(monitor)] = obj.oid
+            w.uvarint(0)
+
+    # --- statics -------------------------------------------------------
+    w.uvarint(len(jvm.statics))
+    for (class_name, field_name) in sorted(jvm.statics):
+        w.text(class_name).text(field_name)
+        _write_value(w, jvm.statics[(class_name, field_name)])
+
+    # --- threads, in scheduler registration order ----------------------
+    threads = list(jvm.scheduler.threads)
+    w.uvarint(len(threads))
+    for t in threads:
+        w.vid(t.vid).text(t.name)
+        flags = (
+            (1 if t.is_daemon else 0)
+            | (2 if t.is_system else 0)
+            | (4 if t.reacquiring else 0)
+            | (8 if t.in_native else 0)
+            | (16 if t.forbid_sync else 0)
+            | (32 if t.forbid_env else 0)
+        )
+        w.uvarint(flags).text(t.state.value)
+        w.uvarint(t.br_cnt).uvarint(t.mon_cnt).uvarint(t.t_asn)
+        w.uvarint(t.instructions).uvarint(t.children_spawned)
+        w.uvarint(t.saved_recursion)
+        if t.wakeup_time is None:
+            w.uvarint(0)
+        else:
+            w.uvarint(1).f64(t.wakeup_time)
+        blocked = t.blocked_on
+        if blocked is None:
+            w.uvarint(0)
+        else:
+            oid = monitor_oid.get(id(blocked))
+            if oid is None:
+                raise ReplicationError(
+                    f"{t.vid_str} blocks on a monitor owned by no heap "
+                    f"object — cannot checkpoint"
+                )
+            w.uvarint(1).uvarint(oid)
+        if t.thread_object is None:
+            w.uvarint(0)
+        else:
+            w.uvarint(1).uvarint(t.thread_object.oid)
+        _write_value(w, t.pending_exception)
+        w.uvarint(len(t.joiners))
+        for joiner in t.joiners:
+            w.vid(joiner.vid)
+        w.uvarint(len(t.frames))
+        for frame in t.frames:
+            method = frame.method
+            w.text(method.declaring_class.name).text(method.name)
+            w.uvarint(method.nargs).uvarint(frame.pc)
+            w.uvarint(len(frame.locals))
+            for v in frame.locals:
+                _write_value(w, v)
+            w.uvarint(len(frame.stack))
+            for v in frame.stack:
+                _write_value(w, v)
+            if frame.sync_object is None:
+                w.uvarint(0)
+            else:
+                w.uvarint(1).uvarint(frame.sync_object.oid)
+            w.uvarint(len(frame.held_monitors))
+            for obj in frame.held_monitors:
+                w.uvarint(obj.oid)
+
+    # --- scheduler ------------------------------------------------------
+    scheduler = jvm.scheduler
+    w.uvarint(len(scheduler.runnable))
+    for t in scheduler.runnable:
+        w.vid(t.vid)
+    _write_opt_vid(
+        w, scheduler.current.vid if scheduler.current is not None else None
+    )
+    if scheduler.last_reason is None:
+        w.uvarint(0)
+    else:
+        w.uvarint(1).text(scheduler.last_reason.value)
+    w.uvarint(scheduler.reschedules).uvarint(scheduler.slices)
+
+    # --- sync manager ---------------------------------------------------
+    sync = jvm.sync
+    w.uvarint(1 if sync.notify_wakes_all else 0)
+    w.uvarint(sync.total_acquisitions).uvarint(sync.monitors_created)
+    w.uvarint(sync.largest_l_asn)
+    parked = sync.parked_threads
+    w.uvarint(len(parked))
+    for t in parked:
+        w.vid(t.vid)
+
+    # --- naming tables / misc ------------------------------------------
+    w.uvarint(len(jvm._class_locks))
+    for name in sorted(jvm._class_locks):
+        w.text(name).uvarint(jvm._class_locks[name].oid)
+    w.uvarint(len(jvm._daemon_requests))
+    for oid in sorted(jvm._daemon_requests):
+        w.uvarint(oid).uvarint(1 if jvm._daemon_requests[oid] else 0)
+    w.uvarint(len(jvm.uncaught))
+    for vid_str, class_name, message in jvm.uncaught:
+        w.text(vid_str).text(class_name).text(message)
+    _write_opt_vid(
+        w, jvm.main_thread.vid if jvm.main_thread is not None else None
+    )
+
+    # --- side-effect handler state / stable environment ----------------
+    _write_value(w, se_manager.snapshot())
+    _write_value(w, dict(env_snapshot))
+    return w.bytes()
+
+
+# ======================================================================
+# Snapshot: structured read
+# ======================================================================
+class _SnapshotState:
+    """The decoded payload, with heap objects materialized as shells."""
+
+    def __init__(self) -> None:
+        self.instructions = 0
+        self.heavy_ops = 0
+        self.native_calls = 0
+        self.time_skew_ms = 0.0
+        self.next_oid = 1
+        self.total_allocations = 0
+        self.used_cells = 0
+        self.gc_requested = False
+        self.objects: List[Any] = []
+        self.by_oid: Dict[int, Any] = {}
+        #: (oid, owner_vid, recursion, l_asn, entry_vids, wait_vids)
+        self.monitors: List[Tuple] = []
+        self.statics: Dict[Tuple[str, str], Any] = {}
+        #: Per-thread dicts, in registration order.
+        self.threads: List[Dict[str, Any]] = []
+        self.runnable_vids: List[Vid] = []
+        self.current_vid: Optional[Vid] = None
+        self.last_reason: Optional[str] = None
+        self.reschedules = 0
+        self.slices = 0
+        self.notify_wakes_all = False
+        self.total_acquisitions = 0
+        self.monitors_created = 0
+        self.largest_l_asn = 0
+        self.parked_vids: List[Vid] = []
+        self.class_locks: Dict[str, int] = {}
+        self.daemon_requests: Dict[int, bool] = {}
+        self.uncaught: List[Tuple[str, str, str]] = []
+        self.main_vid: Optional[Vid] = None
+        self.se_state: Dict[str, Dict[str, Any]] = {}
+        self.env_snapshot: Dict[str, str] = {}
+
+
+def _read_state(payload: bytes) -> _SnapshotState:
+    r = Reader(payload)
+    version = r.uvarint()
+    if version != _STATE_VERSION:
+        raise ReplicationError(
+            f"checkpoint state version {version} is not supported "
+            f"(expected {_STATE_VERSION})"
+        )
+    s = _SnapshotState()
+    s.instructions = r.uvarint()
+    s.heavy_ops = r.uvarint()
+    s.native_calls = r.uvarint()
+    s.time_skew_ms = r.f64()
+
+    # --- heap shells ----------------------------------------------------
+    s.next_oid = r.uvarint()
+    s.total_allocations = r.uvarint()
+    s.used_cells = r.uvarint()
+    s.gc_requested = bool(r.uvarint())
+    n_objects = r.uvarint()
+    for _ in range(n_objects):
+        kind = r.uvarint()
+        oid = r.uvarint()
+        if kind == 1:
+            obj: Any = JArray(r.text(), [], oid)
+        else:
+            obj = JObject(r.text(), {}, oid)
+        s.objects.append(obj)
+        s.by_oid[oid] = obj
+
+    def resolve(oid: int) -> Any:
+        try:
+            return s.by_oid[oid]
+        except KeyError:
+            raise ReplicationError(
+                f"checkpoint references unknown oid {oid}"
+            ) from None
+
+    # --- heap contents --------------------------------------------------
+    for obj in s.objects:
+        if isinstance(obj, JArray):
+            obj.data[:] = [
+                _read_value(r, resolve) for _ in range(r.uvarint())
+            ]
+        else:
+            for _ in range(r.uvarint()):
+                name = r.text()
+                obj.fields[name] = _read_value(r, resolve)
+        if r.uvarint():
+            owner_vid = _read_opt_vid(r)
+            recursion = r.uvarint()
+            l_asn = r.uvarint()
+            entry = [r.vid() for _ in range(r.uvarint())]
+            waiters = [r.vid() for _ in range(r.uvarint())]
+            s.monitors.append(
+                (obj.oid, owner_vid, recursion, l_asn, entry, waiters)
+            )
+
+    # --- statics --------------------------------------------------------
+    for _ in range(r.uvarint()):
+        class_name = r.text()
+        field_name = r.text()
+        s.statics[(class_name, field_name)] = _read_value(r, resolve)
+
+    # --- threads --------------------------------------------------------
+    for _ in range(r.uvarint()):
+        t: Dict[str, Any] = {}
+        t["vid"] = r.vid()
+        t["name"] = r.text()
+        flags = r.uvarint()
+        t["is_daemon"] = bool(flags & 1)
+        t["is_system"] = bool(flags & 2)
+        t["reacquiring"] = bool(flags & 4)
+        t["in_native"] = bool(flags & 8)
+        t["forbid_sync"] = bool(flags & 16)
+        t["forbid_env"] = bool(flags & 32)
+        t["state"] = r.text()
+        t["br_cnt"] = r.uvarint()
+        t["mon_cnt"] = r.uvarint()
+        t["t_asn"] = r.uvarint()
+        t["instructions"] = r.uvarint()
+        t["children_spawned"] = r.uvarint()
+        t["saved_recursion"] = r.uvarint()
+        t["wakeup_time"] = r.f64() if r.uvarint() else None
+        t["blocked_on_oid"] = r.uvarint() if r.uvarint() else None
+        t["thread_object_oid"] = r.uvarint() if r.uvarint() else None
+        t["pending_exception"] = _read_value(r, resolve)
+        t["joiner_vids"] = [r.vid() for _ in range(r.uvarint())]
+        frames = []
+        for _ in range(r.uvarint()):
+            f: Dict[str, Any] = {}
+            f["class"] = r.text()
+            f["method"] = r.text()
+            f["nargs"] = r.uvarint()
+            f["pc"] = r.uvarint()
+            f["locals"] = [
+                _read_value(r, resolve) for _ in range(r.uvarint())
+            ]
+            f["stack"] = [
+                _read_value(r, resolve) for _ in range(r.uvarint())
+            ]
+            f["sync_oid"] = r.uvarint() if r.uvarint() else None
+            f["held_oids"] = [r.uvarint() for _ in range(r.uvarint())]
+            frames.append(f)
+        t["frames"] = frames
+        s.threads.append(t)
+
+    # --- scheduler / sync / misc ---------------------------------------
+    s.runnable_vids = [r.vid() for _ in range(r.uvarint())]
+    s.current_vid = _read_opt_vid(r)
+    s.last_reason = r.text() if r.uvarint() else None
+    s.reschedules = r.uvarint()
+    s.slices = r.uvarint()
+    s.notify_wakes_all = bool(r.uvarint())
+    s.total_acquisitions = r.uvarint()
+    s.monitors_created = r.uvarint()
+    s.largest_l_asn = r.uvarint()
+    s.parked_vids = [r.vid() for _ in range(r.uvarint())]
+    for _ in range(r.uvarint()):
+        name = r.text()
+        s.class_locks[name] = r.uvarint()
+    for _ in range(r.uvarint()):
+        oid = r.uvarint()
+        s.daemon_requests[oid] = bool(r.uvarint())
+    for _ in range(r.uvarint()):
+        s.uncaught.append((r.text(), r.text(), r.text()))
+    s.main_vid = _read_opt_vid(r)
+    s.se_state = _read_value(r, _no_refs)
+    s.env_snapshot = _read_value(r, _no_refs)
+    if not r.exhausted:
+        raise ReplicationError("trailing bytes after checkpoint state")
+    return s
+
+
+# ======================================================================
+# Snapshot: restore
+# ======================================================================
+def restore_checkpoint(checkpoint: Checkpoint, registry, natives, session,
+                       config=None, *, name: str = "restored",
+                       se_manager=None) -> JVM:
+    """Materialize a fresh JVM from a checkpoint and verify its digest.
+
+    Raises :class:`~repro.errors.ReplicationError` if the state digest
+    re-derived from the restored machine differs from the digest the
+    sender embedded — the transfer (or this restore) corrupted state
+    and the snapshot must not be adopted."""
+    state = _read_state(checkpoint.payload)
+    jvm = JVM(registry, natives, session, config, name=name)
+    _apply_state(jvm, state)
+    if se_manager is not None:
+        se_manager.restore_snapshot(state.se_state)
+    actual = compute_state_digest(jvm, include_env=False)
+    mismatched = actual.diff(checkpoint.digest)
+    if mismatched:
+        raise ReplicationError(
+            f"checkpoint restore diverged in component(s) "
+            f"{', '.join(mismatched)} for generation "
+            f"{checkpoint.generation} — refusing the snapshot"
+        )
+    return jvm
+
+
+def _apply_state(jvm: JVM, s: _SnapshotState) -> None:
+    # --- heap -----------------------------------------------------------
+    heap = jvm.heap
+    heap.objects = list(s.objects)
+    heap._next_oid = s.next_oid
+    heap.used_cells = s.used_cells
+    heap.total_allocations = s.total_allocations
+    heap.gc_requested = s.gc_requested
+
+    # --- statics (constructor seeded defaults; overwrite) ---------------
+    for key, value in s.statics.items():
+        jvm.statics[key] = value
+
+    # --- threads, registered in snapshot order ---------------------------
+    threads_by_vid: Dict[Vid, JavaThread] = {}
+    for t in s.threads:
+        thread = JavaThread(
+            t["vid"], None, name=t["name"],
+            is_daemon=t["is_daemon"], is_system=t["is_system"],
+        )
+        thread.state = ThreadState(t["state"])
+        thread.br_cnt = t["br_cnt"]
+        thread.mon_cnt = t["mon_cnt"]
+        thread.t_asn = t["t_asn"]
+        thread.instructions = t["instructions"]
+        thread.children_spawned = t["children_spawned"]
+        thread.saved_recursion = t["saved_recursion"]
+        thread.wakeup_time = t["wakeup_time"]
+        thread.reacquiring = t["reacquiring"]
+        thread.in_native = t["in_native"]
+        thread.forbid_sync = t["forbid_sync"]
+        thread.forbid_env = t["forbid_env"]
+        thread.pending_exception = t["pending_exception"]
+        if t["thread_object_oid"] is not None:
+            thread.thread_object = s.by_oid[t["thread_object_oid"]]
+            jvm.threads_by_oid[t["thread_object_oid"]] = thread
+        for f in t["frames"]:
+            method = jvm.registry.lookup_method(
+                f["class"], f["method"], f["nargs"]
+            )
+            frame = Frame(method, [])
+            frame.locals = list(f["locals"])
+            frame.stack = list(f["stack"])
+            frame.pc = f["pc"]
+            if f["sync_oid"] is not None:
+                frame.sync_object = s.by_oid[f["sync_oid"]]
+            frame.held_monitors = [s.by_oid[oid] for oid in f["held_oids"]]
+            thread.frames.append(frame)
+        jvm.scheduler.register(thread)
+        jvm.threads_by_vid[thread.vid] = thread
+        threads_by_vid[thread.vid] = thread
+
+    def thread_of(vid: Vid) -> JavaThread:
+        try:
+            return threads_by_vid[vid]
+        except KeyError:
+            raise ReplicationError(
+                f"checkpoint references unknown thread "
+                f"t{'.'.join(map(str, vid))}"
+            ) from None
+
+    # --- joiners (threads must all exist first) -------------------------
+    for t in s.threads:
+        thread = threads_by_vid[t["vid"]]
+        thread.joiners = [thread_of(vid) for vid in t["joiner_vids"]]
+
+    # --- monitors -------------------------------------------------------
+    for oid, owner_vid, recursion, l_asn, entry, waiters in s.monitors:
+        monitor = get_monitor(s.by_oid[oid])
+        monitor.owner = (
+            thread_of(owner_vid) if owner_vid is not None else None
+        )
+        monitor.recursion = recursion
+        monitor.l_asn = l_asn
+        monitor.entry_queue.extend(thread_of(vid) for vid in entry)
+        monitor.wait_set.extend(thread_of(vid) for vid in waiters)
+
+    # --- thread -> monitor references -----------------------------------
+    for t in s.threads:
+        if t["blocked_on_oid"] is not None:
+            # An admission-parked thread can reference a monitor with no
+            # serialized state of its own (nobody owns or queues on it
+            # yet); materialize it lazily, as the sync manager would.
+            monitor = get_monitor(s.by_oid[t["blocked_on_oid"]])
+            threads_by_vid[t["vid"]].blocked_on = monitor
+
+    # --- scheduler ------------------------------------------------------
+    scheduler = jvm.scheduler
+    scheduler.runnable.extend(thread_of(vid) for vid in s.runnable_vids)
+    scheduler.current = (
+        thread_of(s.current_vid) if s.current_vid is not None else None
+    )
+    scheduler.last_reason = (
+        SliceEnd(s.last_reason) if s.last_reason is not None else None
+    )
+    scheduler.reschedules = s.reschedules
+    scheduler.slices = s.slices
+
+    # --- sync manager ---------------------------------------------------
+    sync = jvm.sync
+    sync.notify_wakes_all = s.notify_wakes_all
+    sync.total_acquisitions = s.total_acquisitions
+    sync.monitors_created = s.monitors_created
+    sync.largest_l_asn = s.largest_l_asn
+    sync._parked.extend(thread_of(vid) for vid in s.parked_vids)
+
+    # --- misc ------------------------------------------------------------
+    jvm.instructions = s.instructions
+    jvm.heavy_ops = s.heavy_ops
+    jvm.native_calls = s.native_calls
+    jvm._time_skew_ms = s.time_skew_ms
+    jvm._class_locks.update(
+        (name, s.by_oid[oid]) for name, oid in s.class_locks.items()
+    )
+    jvm._daemon_requests.update(s.daemon_requests)
+    jvm.uncaught.extend(s.uncaught)
+    jvm.main_thread = (
+        thread_of(s.main_vid) if s.main_vid is not None else None
+    )
+    jvm._bootstrapped = True
+
+
+# ======================================================================
+def first_dispatch_vid(jvm: JVM) -> Vid:
+    """The thread a primary continuing from this state dispatches first.
+
+    Computed identically on the promoted primary and on a backup that
+    restored the matching checkpoint, so a schedule-replaying backup
+    knows which thread the (unlogged) first post-promotion dispatch
+    ran: the head of the runnable queue, else the timed-waiting thread
+    whose timer expires first (ties broken by registration order, the
+    order ``wake_expired_timers`` scans)."""
+    scheduler = jvm.scheduler
+    if scheduler.current is not None:
+        return scheduler.current.vid
+    if scheduler.runnable:
+        return scheduler.runnable[0].vid
+    best: Optional[JavaThread] = None
+    for t in scheduler.threads:
+        if (t.state is ThreadState.TIMED_WAITING
+                and t.wakeup_time is not None
+                and (best is None or t.wakeup_time < best.wakeup_time)):
+            best = t
+    if best is not None:
+        return best.vid
+    if jvm.main_thread is not None:
+        return jvm.main_thread.vid
+    return ROOT_VID

@@ -27,6 +27,9 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+#: Sentinel distinguishing "keep the current source" from "clear it".
+_UNSET: Optional[Callable[[], int]] = object()  # type: ignore[assignment]
+
 
 class FailureDetector:
     """Heartbeat-counting failure detector."""
@@ -42,6 +45,23 @@ class FailureDetector:
         self.silent_intervals = 0
         self.suspected = False
         self.intervals_observed = 0
+
+    def reset(self, source: Optional[Callable[[], int]] = _UNSET) -> None:
+        """Forget everything observed so far (new generation).
+
+        A replica group reuses one detector across failovers: after a
+        promotion the new primary/backup pair must start from a clean
+        slate — inheriting ``suspected`` or accumulated
+        ``silent_intervals`` from the deposed generation would fire a
+        false detection immediately.  Pass ``source`` to rebind the
+        heartbeat source to the new generation's transport."""
+        self.heartbeats = 0
+        self._beats_at_last_interval = 0
+        self.silent_intervals = 0
+        self.suspected = False
+        self.intervals_observed = 0
+        if source is not _UNSET:
+            self._source = source
 
     # -- primary side ---------------------------------------------------
     def heartbeat(self) -> None:

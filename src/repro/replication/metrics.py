@@ -57,6 +57,16 @@ class ReplicationMetrics:
     heavy_ops: int = 0               # array/float bytecodes
     native_calls: int = 0            # all native invocations
 
+    # --- Checkpoint transfer (replica-group re-integration) -----------
+    checkpoint_records: int = 0      # checkpoint chunk records shipped
+    checkpoint_bytes: int = 0        # wire bytes spent on checkpoints
+    checkpoints_shipped: int = 0     # complete checkpoints transferred
+    checkpoints_restored: int = 0    # checkpoints adopted by a replica
+    records_fenced: int = 0          # stale-epoch records discarded
+    records_truncated: int = 0       # log records dropped at a boundary
+    #: measured time spent shipping checkpoints (flush + ack)
+    checkpoint_transfer_wait: float = 0.0
+
     # --- Backup-only --------------------------------------------------
     records_replayed: int = 0
     outputs_suppressed: int = 0
@@ -89,6 +99,9 @@ class ReplicationMetrics:
                 "backpressure_stalls", "instructions",
                 "cf_changes", "records_replayed", "outputs_suppressed",
                 "outputs_tested", "outputs_reexecuted",
+                "checkpoint_records", "checkpoint_bytes",
+                "checkpoints_shipped", "checkpoints_restored",
+                "records_fenced", "records_truncated",
             )
         }
         base.update(self.extra)

@@ -85,17 +85,23 @@ class PrimaryNativePolicy:
         if not spec.deterministic:
             self._metrics.natives_intercepted += 1
 
-        self._shipper.log(NativeResultRecord(
-            thread.vid, seq, spec.signature, outcome.value,
-            outcome.exception, dict(outcome.array_results),
-        ))
-        self._metrics.native_result_records += 1
+        # The completion marker and its side-effect record are one
+        # atomic log unit: a crash must never deliver the marker (which
+        # makes the backup adopt the result and skip re-execution)
+        # while losing the side-effect state needed to continue.
+        with self._shipper.atomic():
+            self._shipper.log(NativeResultRecord(
+                thread.vid, seq, spec.signature, outcome.value,
+                outcome.exception, dict(outcome.array_results),
+            ))
+            self._metrics.native_result_records += 1
 
-        if spec.se_handler is not None:
-            record = self._se.log(jvm.session, spec, receiver, args, outcome)
-            if record is not None:
-                self._shipper.log(record)
-                self._metrics.se_records += 1
+            if spec.se_handler is not None:
+                record = self._se.log(jvm.session, spec, receiver, args,
+                                      outcome)
+                if record is not None:
+                    self._shipper.log(record)
+                    self._metrics.se_records += 1
         return outcome
 
 
@@ -118,6 +124,11 @@ class BackupNativePolicy:
         #: Hot-backup mode: never execute live; starve instead until
         #: the primary's record arrives (cleared at failover).
         self.hold_when_drained = False
+        #: Failover mode: the primary is gone, so an output intent with
+        #: no completion marker is the *uncertain tail* — admit it and
+        #: let the test/confirm/re-execute path resolve it instead of
+        #: starving while waiting for a marker that can never arrive.
+        self.tail_resolution = False
 
     def extend(self, results: Dict[Vid, List[NativeResultRecord]],
                intents: Dict[Vid, List[OutputIntentRecord]]) -> None:
@@ -143,9 +154,16 @@ class BackupNativePolicy:
             # the completion marker must be there too, or the output's
             # outcome is not yet known
             results = self._results.get(vid)
+            if not results and self.tail_resolution:
+                return False
             return not results
         results = self._results.get(vid)
         return not results
+
+    def has_uncertain_tail(self, vid: Vid) -> bool:
+        """True when ``vid``'s next replayed record is an output intent
+        with no matching completion marker — the uncertain tail."""
+        return bool(self._intents.get(vid)) and not self._results.get(vid)
 
     # ------------------------------------------------------------------
     def remaining(self) -> int:
@@ -160,6 +178,19 @@ class BackupNativePolicy:
 
     def _ensure_restored(self, jvm) -> None:
         self._se.restore(jvm.session)
+
+    def _refresh_se(self, jvm, spec, receiver, args,
+                    outcome: NativeOutcome) -> None:
+        """After executing (or confirming) an se-handled native locally,
+        fold post-execution reality back into our own handler state.
+        Without this, a checkpoint taken after promotion would carry the
+        dead primary's last-received state, and a later generation's
+        ``test()`` could wrongly confirm an output that never ran."""
+        if spec.se_handler is None:
+            return
+        record = self._se.log(jvm.session, spec, receiver, args, outcome)
+        if record is not None:
+            self._se.receive(record)
 
     @staticmethod
     def _adopt(record: NativeResultRecord, args) -> NativeOutcome:
@@ -204,13 +235,19 @@ class BackupNativePolicy:
                     if self._se.test(jvm.session.env, spec, list(args)):
                         self._se.confirm(jvm.session, spec, list(args))
                         self._metrics.outputs_suppressed += 1
-                        return NativeOutcome(value=None)
+                        outcome = NativeOutcome(value=None)
+                        self._refresh_se(jvm, spec, receiver, args, outcome)
+                        return outcome
                 # Idempotent (or test says incomplete): execute now.
                 self._metrics.outputs_reexecuted += 1
-                return call_native(spec, ctx, receiver, args)
+                outcome = call_native(spec, ctx, receiver, args)
+                self._refresh_se(jvm, spec, receiver, args, outcome)
+                return outcome
             # Past the end of the log: live execution.
             self._ensure_restored(jvm)
-            return call_native(spec, ctx, receiver, args)
+            outcome = call_native(spec, ctx, receiver, args)
+            self._refresh_se(jvm, spec, receiver, args, outcome)
+            return outcome
 
         # Non-deterministic input.
         results = self._results.get(vid)
@@ -225,4 +262,6 @@ class BackupNativePolicy:
             self._metrics.records_replayed += 1
             return self._adopt(record, args)
         self._ensure_restored(jvm)
-        return call_native(spec, ctx, receiver, args)
+        outcome = call_native(spec, ctx, receiver, args)
+        self._refresh_se(jvm, spec, receiver, args, outcome)
+        return outcome

@@ -40,6 +40,12 @@ _KIND_LOCK_INTERVAL = 7
 #: Reserved for :class:`repro.replication.digest.DigestRecord`, which
 #: registers its reader on import (core=True) to avoid a module cycle.
 KIND_DIGEST = 8
+#: :class:`EpochRecord` — the generation-stamped envelope every shipped
+#: record travels in once a replica group is running (split-brain guard).
+KIND_EPOCH = 9
+#: Reserved for :class:`repro.replication.checkpoint.CheckpointChunkRecord`,
+#: which registers its reader on import (core=True), like the digest.
+KIND_CHECKPOINT_CHUNK = 10
 
 
 @dataclass(frozen=True)
@@ -209,6 +215,36 @@ class LockIntervalRecord:
         return LockIntervalRecord(r.vid(), r.uvarint())
 
 
+@dataclass(frozen=True)
+class EpochRecord:
+    """Generation-stamped envelope around one encoded record.
+
+    Every record a replica-group primary ships is wrapped in the epoch
+    (generation number) under which that primary holds the primary
+    role.  The receive side *fences* on it: records stamped with a
+    stale epoch come from a deposed primary that does not yet know it
+    was deposed, and adopting them would corrupt the group (the
+    classic split-brain hazard).  ``payload`` is the complete wire
+    encoding of the inner record, decodable with
+    :func:`decode_record`."""
+
+    epoch: int
+    payload: bytes
+
+    def write(self, w: Writer) -> None:
+        w.uvarint(KIND_EPOCH).uvarint(self.epoch)
+        w.uvarint(len(self.payload)).raw(self.payload)
+
+    @staticmethod
+    def read(r: Reader) -> "EpochRecord":
+        epoch = r.uvarint()
+        return EpochRecord(epoch, r.raw(r.uvarint()))
+
+    def inner(self):
+        """Decode the wrapped record."""
+        return decode_record(self.payload)
+
+
 _READERS = {
     _KIND_ID_MAP: IdMap.read,
     _KIND_LOCK_ACQ: LockAcqRecord.read,
@@ -217,6 +253,7 @@ _READERS = {
     _KIND_OUTPUT_INTENT: OutputIntentRecord.read,
     _KIND_SIDE_EFFECT: SideEffectRecord.read,
     _KIND_LOCK_INTERVAL: LockIntervalRecord.read,
+    KIND_EPOCH: EpochRecord.read,
 }
 
 #: Kinds below this value are reserved for the core protocol.

@@ -236,3 +236,18 @@ class SideEffectManager:
 
     def state_of(self, name: str) -> Dict[str, Any]:
         return self._state[name]
+
+    # ------------------------------ checkpointing ----------------------
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Deep copy of every handler's compact state, for inclusion in
+        a checkpoint (the handler *instances* are not serialized — a
+        restoring replica re-creates them and adopts this state)."""
+        return copy.deepcopy(self._state)
+
+    def restore_snapshot(self, state: Dict[str, Dict[str, Any]]) -> None:
+        """Adopt a checkpointed state; the next :meth:`restore` call
+        rebuilds volatile environment state from it."""
+        for name in state:
+            self.handler(name)  # unknown handler → ReplicationError
+        self._state = copy.deepcopy(state)
+        self.restored = False

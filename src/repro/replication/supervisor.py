@@ -1,0 +1,563 @@
+"""Replica-group supervision: surviving repeated failures.
+
+:class:`~repro.replication.machine.ReplicatedJVM` proves the paper's
+core protocol for *one* failover: primary dies, cold backup replays the
+log, continues as the sole machine.  A real deployment cannot stop
+there — after the backup promotes, the system is running without a
+spare, and the next fault would be fatal.  :class:`ReplicaGroup` closes
+the loop with **checkpoint-based re-integration**:
+
+1. every *generation* (epoch) begins with the primary snapshotting its
+   complete state (:mod:`repro.replication.checkpoint`) and shipping it
+   through the ordinary log channel to a freshly spun-up backup;
+2. the backup reassembles the snapshot, restores it into a new JVM, and
+   *verifies the state digest* before adopting it — a torn or corrupted
+   transfer is rejected, not silently adopted;
+3. once the checkpoint is acknowledged, the log is truncated at the
+   checkpoint boundary on both sides: replay starts from the snapshot,
+   so the prefix is dead weight and the log no longer grows without
+   bound across the run;
+4. every shipped record travels inside an
+   :class:`~repro.replication.records.EpochRecord` envelope stamped
+   with the generation; the receive side fences out records from any
+   other generation, so a deposed primary that keeps transmitting
+   (split brain) is provably discarded;
+5. when the failure detector fires, the backup replays checkpoint +
+   post-checkpoint log, resolves the uncertain output exactly-once,
+   is promoted, and the cycle restarts at (1) with the next epoch.
+
+The transfer itself is crashable: checkpoint chunks pass through the
+same :class:`~repro.replication.commit.CrashInjector` event counter as
+log records, so a sweep can kill the primary mid-transfer.  Because
+chunk assembly is idempotent and the supervisor retains the previous
+generation's basis (checkpoint + fenced execution records) until the
+new transfer completes, a mid-transfer death re-runs recovery from the
+old basis — replay is deterministic, so the re-promoted replica reaches
+the identical state and simply re-ships its snapshot under a fresh
+epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.classfile.loader import ClassRegistry
+from repro.env.channel import Channel
+from repro.env.environment import Environment
+from repro.errors import (
+    AlreadyRanError,
+    PrimaryCrashed,
+    RecoveryError,
+    ReplicationError,
+)
+from repro.replication.checkpoint import (
+    DEFAULT_CHUNK_BYTES,
+    Checkpoint,
+    CheckpointAssembler,
+    CheckpointChunkRecord,
+    first_dispatch_vid,
+    restore_checkpoint,
+    take_checkpoint,
+)
+from repro.replication.commit import CrashInjector, EpochFence, LogShipper
+from repro.replication.failure import FailureDetector
+from repro.replication.machine import ReplicaSettings, parse_log
+from repro.replication.metrics import ReplicationMetrics
+from repro.replication.ndnatives import BackupNativePolicy, PrimaryNativePolicy
+from repro.replication.records import decode_record
+from repro.replication.sehandlers import SideEffectHandler, SideEffectManager
+from repro.replication.strategy import resolve_strategy
+from repro.replication.transport import Transport, make_transport
+from repro.runtime.jvm import JVM, JVMConfig, RunHooks, RunResult
+from repro.runtime.natives import NativeRegistry
+from repro.runtime.stdlib import default_natives
+
+
+def default_generation_settings(generation: int) -> ReplicaSettings:
+    """Per-generation non-determinism sources.  Each replica gets its
+    own scheduler seed, clock skew, and entropy stream — replication
+    must succeed despite them (restriction R0)."""
+    return ReplicaSettings(
+        scheduler_seed=101 + 91 * generation,
+        clock_offset_ms=13 * generation,
+        entropy_seed=7001 + 97 * generation,
+    )
+
+
+class _GroupHeartbeatHooks(RunHooks):
+    """Transport-level heartbeats from the active primary's run loop."""
+
+    def __init__(self, channel: Channel) -> None:
+        self._channel = channel
+
+    def on_slice_end(self, jvm, thread, reason) -> None:
+        self._channel.heartbeat()
+
+
+@dataclass
+class GenerationReport:
+    """What happened while one epoch's primary held the role."""
+
+    generation: int
+    outcome: str = "pending"
+    #: Injector event count at the crash (None when no crash fired).
+    crash_event: Optional[int] = None
+    #: Total injector events observed this generation.
+    events: int = 0
+    detection_intervals: Optional[int] = None
+    checkpoint_bytes: int = 0
+    checkpoint_chunks: int = 0
+    primary_metrics: Optional[ReplicationMetrics] = None
+    #: Metrics of the recovery replay that *produced* this generation's
+    #: primary (None for generation 0's fresh boot).
+    recovery_metrics: Optional[ReplicationMetrics] = None
+
+
+@dataclass
+class GroupResult:
+    """Outcome of one replica-group run."""
+
+    outcome: str                      # always "completed" on return
+    result: RunResult
+    generations: List[GenerationReport]
+    failures_survived: int
+
+    @property
+    def final_generation(self) -> int:
+        return self.generations[-1].generation
+
+    @property
+    def records_fenced(self) -> int:
+        total = 0
+        for report in self.generations:
+            for metrics in (report.primary_metrics, report.recovery_metrics):
+                if metrics is not None:
+                    total += metrics.records_fenced
+        return total
+
+    @property
+    def checkpoint_bytes_shipped(self) -> int:
+        return sum(r.checkpoint_bytes for r in self.generations
+                   if r.outcome != "completed_in_recovery")
+
+
+class ReplicaGroup:
+    """Primary + backup over a transport, surviving *k* failovers.
+
+    ``crash_schedule`` maps generation -> injector crash event (a dict,
+    or a sequence indexed by generation); generations without an entry
+    run until program completion.  Each generation gets a fresh
+    transport from ``transport`` (a spec string, a
+    :class:`~repro.replication.transport.Transport` template whose
+    ``fresh()`` re-arms it, or a ``factory(generation)`` callable — the
+    callable form is how sweeps give every generation deterministic,
+    distinct fault seeds)."""
+
+    def __init__(
+        self,
+        registry: ClassRegistry,
+        natives: Optional[NativeRegistry] = None,
+        env: Optional[Environment] = None,
+        *,
+        strategy="lock_sync",
+        crash_schedule=None,
+        max_failures: int = 8,
+        transport=None,
+        settings_for: Optional[Callable[[int], ReplicaSettings]] = None,
+        jvm_config: Optional[JVMConfig] = None,
+        batch_records: int = 64,
+        detector_timeout: int = 3,
+        se_handlers: Optional[List[SideEffectHandler]] = None,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> None:
+        self._strategy = resolve_strategy(strategy)
+        self.registry = registry
+        self.natives = natives or default_natives()
+        self.env = env or Environment()
+        self.crash_schedule = crash_schedule
+        self.max_failures = max_failures
+        self._transport_spec = transport
+        self._transport_template_used = False
+        self._settings_for = settings_for or default_generation_settings
+        self.base_config = jvm_config or JVMConfig()
+        self.batch_records = batch_records
+        self.detector = FailureDetector(detector_timeout)
+        self._extra_se_handlers = list(se_handlers or [])
+        self.chunk_bytes = chunk_bytes
+
+        #: Per-generation reports, appended as the run progresses.
+        self.reports: List[GenerationReport] = []
+        #: The machine that produced the final output (for digest checks).
+        self.final_jvm: Optional[JVM] = None
+
+        # --- recovery basis: everything the surviving side knows -------
+        #: Last checkpoint fully transferred and digest-verified.
+        self._ckpt: Optional[Checkpoint] = None
+        #: Epoch that shipped (and therefore stamps) the basis records.
+        self._ckpt_epoch = -1
+        #: Raw (still epoch-wrapped) records delivered after the basis
+        #: checkpoint, captured when that epoch's primary crashed.
+        self._exec_raw: List[bytes] = []
+        #: Raw leavings of deposed primaries whose transfer never
+        #: completed — retained only so the fence can provably discard
+        #: them at the next recovery.
+        self._stale_raw: List[bytes] = []
+        self._ran = False
+
+    @property
+    def strategy(self) -> str:
+        return self._strategy.name
+
+    # ==================================================================
+    # Plumbing
+    # ==================================================================
+    def _crash_at(self, generation: int) -> Optional[int]:
+        schedule = self.crash_schedule
+        if schedule is None:
+            return None
+        if isinstance(schedule, dict):
+            return schedule.get(generation)
+        if isinstance(schedule, (list, tuple)):
+            return (schedule[generation]
+                    if generation < len(schedule) else None)
+        raise ReplicationError(
+            "crash_schedule must be a dict or sequence of crash events"
+        )
+
+    def _make_transport(self, generation: int) -> Transport:
+        spec = self._transport_spec
+        if isinstance(spec, Transport):
+            if self._transport_template_used:
+                return spec.fresh()
+            self._transport_template_used = True
+            return spec
+        if callable(spec):
+            built = spec(generation)
+            return (built if isinstance(built, Transport)
+                    else make_transport(built))
+        return make_transport(spec)
+
+    def _make_se_manager(self) -> SideEffectManager:
+        manager = SideEffectManager()
+        for handler in self._extra_se_handlers:
+            manager.add_handler(handler.fresh())
+        return manager
+
+    def _config_for(self, generation: int) -> JVMConfig:
+        return replace(
+            self.base_config,
+            scheduler_seed=self._settings_for(generation).scheduler_seed,
+        )
+
+    @staticmethod
+    def _finish_metrics(jvm: JVM, metrics: ReplicationMetrics,
+                        transport: Optional[Transport] = None) -> None:
+        metrics.instructions = jvm.instructions
+        metrics.cf_changes = sum(t.br_cnt for t in jvm.scheduler.threads)
+        metrics.heavy_ops = jvm.heavy_ops
+        metrics.native_calls = jvm.native_calls
+        metrics.locks_acquired = jvm.sync.total_acquisitions
+        metrics.objects_locked = jvm.sync.monitors_created
+        metrics.largest_l_asn = jvm.sync.largest_l_asn
+        metrics.reschedules = jvm.scheduler.reschedules
+        if transport is not None:
+            stats = transport.stats
+            metrics.retransmits = stats.retransmits
+            metrics.messages_dropped = stats.messages_dropped
+            metrics.messages_duplicated = stats.messages_duplicated
+            metrics.backpressure_stalls = stats.backpressure_stalls
+            metrics.heartbeats_sent = stats.heartbeats_sent
+            metrics.heartbeats_delivered = stats.heartbeats_delivered
+
+    # ==================================================================
+    # Recovery (build the next primary from the basis)
+    # ==================================================================
+    def _has_uncertain_tail(self, policy: BackupNativePolicy,
+                            jvm: JVM) -> bool:
+        return any(
+            policy.has_uncertain_tail(t.vid) for t in jvm.scheduler.threads
+        )
+
+    def _recover(self, generation: int, main_class: str,
+                 args: Optional[List[str]]
+                 ) -> Tuple[JVM, SideEffectManager, Optional[RunResult],
+                            ReplicationMetrics]:
+        """Replay the basis into a promoted, quiescent machine.
+
+        Restores the basis checkpoint (or boots from the identical
+        initial state when no checkpoint ever completed), fences the
+        retained raw log down to the basis epoch, replays it in hold
+        mode, resolves the uncertain output tail exactly-once, and
+        applies promotion cleanup.  Returns the machine, its side-effect
+        manager, the program result if replay ran to completion (the
+        recovered machine finished as sole survivor), and the replay's
+        metrics."""
+        metrics = ReplicationMetrics(role="backup")
+        settings = self._settings_for(generation)
+        session = self.env.attach(
+            f"replica-g{generation}",
+            clock_offset_ms=settings.clock_offset_ms,
+            entropy_seed=settings.entropy_seed,
+        )
+        config = self._config_for(generation)
+        se_manager = self._make_se_manager()
+
+        fence = EpochFence(max(self._ckpt_epoch, 0), metrics)
+        inner = fence.filter_raw(list(self._exec_raw)
+                                 + list(self._stale_raw))
+
+        if self._ckpt is not None:
+            jvm = restore_checkpoint(
+                self._ckpt, self.registry, self.natives, session, config,
+                name=f"replica-g{generation}", se_manager=se_manager,
+            )
+            metrics.checkpoints_restored += 1
+        else:
+            jvm = JVM(self.registry, self.natives, session, config,
+                      name=f"replica-g{generation}")
+            jvm.bootstrap(main_class, args)
+
+        parsed = parse_log(inner)
+        for record in parsed.side_effects:
+            se_manager.receive(record)
+        policy = BackupNativePolicy(
+            parsed.results, parsed.intents, se_manager, metrics
+        )
+        policy.hold_when_drained = True
+        jvm.native_policy = policy
+        driver = self._strategy.make_backup(parsed, metrics, settings, config)
+        driver.install(jvm)
+        driver.set_hold(True)
+        controller = getattr(driver, "controller", None)
+        if controller is not None and hasattr(controller, "tail_gate"):
+            controller.tail_gate = policy.has_uncertain_tail
+        if (controller is not None and self._ckpt is not None
+                and hasattr(controller, "set_resume_vid")):
+            controller.set_resume_vid(first_dispatch_vid(jvm))
+        jvm.sync.reevaluate_parked()
+
+        result = jvm.run_to_completion(pause_on_starvation=True)
+        if result is None and self._has_uncertain_tail(policy, jvm):
+            # The paper's uncertain output: intent delivered, marker
+            # lost.  Admit exactly that native — the strategy keeps
+            # holding everything else — and let test/confirm/re-execute
+            # resolve it exactly-once.
+            policy.tail_resolution = True
+            if controller is not None and hasattr(controller, "starving"):
+                controller.starving = False
+            jvm.sync.reevaluate_parked()
+            result = jvm.run_to_completion(pause_on_starvation=True)
+        if result is None and policy.remaining():
+            raise RecoveryError(
+                f"recovery for generation {generation} stalled with "
+                f"{policy.remaining()} unreplayed native record(s)"
+            )
+        self._promote(jvm, se_manager)
+        return jvm, se_manager, result, metrics
+
+    def _promote(self, jvm: JVM, se_manager: SideEffectManager) -> None:
+        """Strip replay-era residue before the machine takes the
+        primary role (or is checkpointed as one)."""
+        # Lock ids are a per-generation naming scheme; the next
+        # generation's strategy assigns fresh ones.
+        for obj in jvm.heap.objects:
+            monitor = getattr(obj, "monitor", None)
+            if monitor is not None:
+                monitor.l_id = None
+        jvm.sync.notify_wakes_all = False
+        jvm.scheduler.release_current()
+        jvm.scheduler.last_reason = None
+        # Volatile environment state (open fds, console position) must
+        # be live before the promoted machine touches the environment;
+        # no-op if the uncertain-tail path already restored it.
+        se_manager.restore(jvm.session)
+
+    # ==================================================================
+    # State transfer (sender + receiver halves of re-integration)
+    # ==================================================================
+    def _adopt_checkpoint(self, channel: Channel,
+                          metrics: ReplicationMetrics, generation: int,
+                          n_chunks: int, shipper: LogShipper) -> None:
+        """The fresh backup's half: reassemble the delivered chunks,
+        verify the snapshot restores to the sender's digest, then
+        truncate the chunk prefix from the shared log."""
+        fence = EpochFence(generation, metrics)
+        assembler = CheckpointAssembler()
+        checkpoint: Optional[Checkpoint] = None
+        for data in fence.filter_raw(channel.backup_log()):
+            record = decode_record(data)
+            if isinstance(record, CheckpointChunkRecord):
+                assembled = assembler.feed(record)
+                if assembled is not None:
+                    checkpoint = assembled
+        if checkpoint is None:
+            raise ReplicationError(
+                f"checkpoint transfer for generation {generation} was "
+                f"acknowledged but never assembled"
+            )
+        # Digest verification by restore into a scratch machine: the
+        # snapshot is adopted only if it reproduces the sender's state.
+        verify_session = self.env.attach(f"verify-g{generation}")
+        try:
+            restore_checkpoint(
+                checkpoint, self.registry, self.natives, verify_session,
+                self._config_for(generation),
+                name=f"verify-g{generation}",
+                se_manager=self._make_se_manager(),
+            )
+        finally:
+            verify_session.destroy()
+        shipper.truncate_at_checkpoint(n_chunks)
+        self._ckpt = checkpoint
+        self._ckpt_epoch = generation
+        self._exec_raw = []
+        self._stale_raw = []
+
+    # ==================================================================
+    # The generation loop
+    # ==================================================================
+    def run(self, main_class: str, args: Optional[List[str]] = None
+            ) -> GroupResult:
+        """Run under supervision until the program completes, surviving
+        every scheduled failure along the way."""
+        if self._ran:
+            raise AlreadyRanError(
+                "ReplicaGroup.run() may only be called once; build a "
+                "fresh group for another run"
+            )
+        self._ran = True
+        jvm: Optional[JVM] = None
+        se_manager: Optional[SideEffectManager] = None
+        recovery_metrics: Optional[ReplicationMetrics] = None
+        failures = 0
+        generation = 0
+
+        while True:
+            if generation > self.max_failures:
+                raise ReplicationError(
+                    f"replica group exhausted its failover budget "
+                    f"({self.max_failures}) — giving up"
+                )
+            if jvm is None:
+                if generation == 0 and self._ckpt is None \
+                        and not self._stale_raw:
+                    # First boot: identical initial state, no replay.
+                    settings = self._settings_for(0)
+                    session = self.env.attach(
+                        "replica-g0",
+                        clock_offset_ms=settings.clock_offset_ms,
+                        entropy_seed=settings.entropy_seed,
+                    )
+                    jvm = JVM(self.registry, self.natives, session,
+                              self._config_for(0), name="replica-g0")
+                    jvm.bootstrap(main_class, args)
+                    se_manager = self._make_se_manager()
+                    recovery_metrics = None
+                else:
+                    jvm, se_manager, recovered, recovery_metrics = \
+                        self._recover(generation, main_class, args)
+                    if recovered is not None:
+                        # The program finished during replay: the
+                        # recovered machine is the sole survivor and
+                        # its output is final.
+                        self._finish_metrics(jvm, recovery_metrics)
+                        self.final_jvm = jvm
+                        self.reports.append(GenerationReport(
+                            generation=generation,
+                            outcome="completed_in_recovery",
+                            recovery_metrics=recovery_metrics,
+                        ))
+                        return GroupResult(
+                            "completed", recovered, self.reports, failures
+                        )
+
+            transport = self._make_transport(generation)
+            channel = Channel(batch_records=self.batch_records,
+                              transport=transport)
+            self.detector.reset(
+                source=(lambda t: lambda: t.stats.heartbeats_delivered)(
+                    transport
+                )
+            )
+            metrics = ReplicationMetrics(role="primary")
+            injector = CrashInjector(self._crash_at(generation))
+            shipper = LogShipper(channel, metrics, injector,
+                                 epoch=generation)
+
+            report = GenerationReport(generation=generation,
+                                      recovery_metrics=recovery_metrics)
+            recovery_metrics = None
+
+            # Quiescent snapshot first, then primary instrumentation —
+            # the checkpoint must not contain primary-side hooks.
+            checkpoint = take_checkpoint(
+                jvm, se_manager, generation=generation,
+                env_snapshot=self.env.snapshot_stable(),
+            )
+            chunks = checkpoint.to_chunks(self.chunk_bytes)
+            report.checkpoint_bytes = checkpoint.byte_size
+            report.checkpoint_chunks = len(chunks)
+
+            jvm.native_policy = PrimaryNativePolicy(
+                shipper, metrics, se_manager
+            )
+            driver = self._strategy.make_primary(
+                shipper, metrics, self._settings_for(generation),
+                self._config_for(generation),
+            )
+            driver.install(jvm)
+            jvm.run_hooks = _GroupHeartbeatHooks(channel)
+            jvm.sync.reevaluate_parked()
+
+            transfer_ok = False
+            try:
+                for chunk in chunks:
+                    shipper.log(chunk)
+                    metrics.checkpoint_records += 1
+                    metrics.checkpoint_bytes += len(chunk.data)
+                shipper.checkpoint_commit()
+                self._adopt_checkpoint(
+                    channel, metrics, generation, len(chunks), shipper
+                )
+                transfer_ok = True
+
+                result = jvm.run_to_completion()
+                channel.settle()
+                self._finish_metrics(jvm, metrics, transport)
+                report.outcome = "completed"
+                report.events = injector.events
+                report.primary_metrics = metrics
+                self.reports.append(report)
+                transport.close()
+                self.final_jvm = jvm
+                return GroupResult("completed", result, self.reports,
+                                   failures)
+            except PrimaryCrashed:
+                failures += 1
+                self._finish_metrics(jvm, metrics, transport)
+                report.outcome = ("crashed" if transfer_ok
+                                  else "crashed_in_transfer")
+                report.crash_event = injector.events
+                report.events = injector.events
+                report.primary_metrics = metrics
+                # Fail-stop: volatile state and buffered records die
+                # with the primary.
+                jvm.session.destroy()
+                channel.crash_primary()
+                report.detection_intervals = self.detector.await_detection()
+                raw = channel.backup_log()
+                if transfer_ok:
+                    # The fresh backup holds checkpoint + post-transfer
+                    # records: that is the new recovery basis.
+                    self._exec_raw = raw
+                    self._stale_raw = []
+                else:
+                    # Torn transfer: the old basis stands; these
+                    # stamped leavings exist only to be fenced.
+                    self._stale_raw.extend(raw)
+                self.reports.append(report)
+                transport.close()
+                jvm = None
+                se_manager = None
+                generation += 1

@@ -82,6 +82,14 @@ class BackupSchedController(ScheduleController):
         #: Hot-backup mode: when the record queue runs dry, report
         #: starvation instead of going live.
         self.hold_when_drained = False
+        #: Failover-time escape hatch for the *uncertain tail*: a
+        #: predicate on a vid, true while that thread's next native is
+        #: a delivered output intent with no completion marker.  In
+        #: hold mode the gated thread may run just far enough to
+        #: resolve the intent (test/confirm/re-execute) even though the
+        #: schedule log is drained — without it the replay would starve
+        #: one native short of the paper's exactly-once resolution.
+        self.tail_gate = None
         #: True while the controller is waiting for more log (read by
         #: the run loop's pause logic).
         self.starving = False
@@ -121,11 +129,17 @@ class BackupSchedController(ScheduleController):
             # Hot backup running the single-thread prefix unbounded: the
             # moment a second thread exists, further execution would
             # guess an interleaving — stop and wait for the record.
-            return (
+            if (
                 self.hold_when_drained
                 and self.jvm is not None
                 and self._live_app_threads() > 1
-            )
+            ):
+                # ... except the uncertain-tail thread, which must
+                # reach its native; preempt it the moment the tail is
+                # resolved.
+                return not (self.tail_gate is not None
+                            and self.tail_gate(thread.vid))
+            return False
         return thread.progress_point() == self._records[0].progress
 
     def on_slice_end(self, thread: JavaThread, reason: SliceEnd) -> None:
@@ -167,11 +181,36 @@ class BackupSchedController(ScheduleController):
             # thread must still be scheduled first.
             self._pending_live_vid = record.t_id
 
+    def set_resume_vid(self, vid) -> None:
+        """First dispatch of a checkpoint-restored replay: the thread
+        that was current at the snapshot, not necessarily main."""
+        self._current_vid = vid
+
     def pick_next(self, scheduler: Scheduler) -> Optional[JavaThread]:
         if not self._records and self.hold_when_drained:
             live = [t for t in scheduler.threads
                     if t.alive and not t.is_system]
             if len(live) > 1:
+                # With no schedule records at all (checkpoint-restored
+                # replay of a log that held none), the resume thread set
+                # via set_resume_vid is the one the tail gate applies to.
+                vid = (self._pending_live_vid
+                       if self._pending_live_vid is not None
+                       else self._current_vid)
+                if (vid is not None and self.tail_gate is not None
+                        and self.tail_gate(vid)):
+                    # Only the uncertain-tail thread may run, and only
+                    # until its intent resolves (should_preempt stops
+                    # it right after).
+                    thread = self.jvm.threads_by_vid.get(vid)
+                    if thread is not None:
+                        if (thread.state is ThreadState.TIMED_WAITING
+                                and thread.wakeup_time is not None):
+                            return None
+                        if thread.state is ThreadState.RUNNABLE:
+                            if thread in scheduler.runnable:
+                                scheduler.runnable.remove(thread)
+                            return thread
                 # Several threads but no record to bound the next slice:
                 # running any of them could overshoot the primary's
                 # schedule, so wait for more log.

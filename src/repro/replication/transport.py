@@ -68,6 +68,10 @@ class TransportStats:
     acks_delivered: int = 0
     heartbeats_sent: int = 0
     heartbeats_delivered: int = 0
+    #: Connection resets injected (socket transport fault injection).
+    connection_resets: int = 0
+    #: Successful sender reconnects after a reset.
+    reconnects: int = 0
 
 
 class Transport:
@@ -104,6 +108,11 @@ class Transport:
         self.closed = True
 
     # -- receiver side -------------------------------------------------
+    def truncate(self, n_records: int) -> None:
+        """Forget the first ``n_records`` delivered records (log
+        truncation at a checkpoint boundary)."""
+        del self.delivered[:n_records]
+
     def drain(self) -> None:
         """Let everything already in flight arrive (no retransmits)."""
 
@@ -417,17 +426,43 @@ class SocketTransport(Transport):
     with :class:`~repro.replication.wire.Writer` —
     data frames ``(type=1, seq, count, count×(len, bytes))``,
     heartbeats ``(type=2)``, acks ``(type=3, cumulative_seq)``.
+
+    Connection resets are survivable: the sender keeps every unacked
+    data frame in an outbox and, after a reset, reconnects and
+    retransmits the outbox in order; the receiver accepts successive
+    connections, keeps its cumulative ``expected`` sequence across
+    them, discards (and re-acks) duplicates, and never appends out of
+    order — so the delivered log stays a contiguous prefix of the sent
+    record sequence across any number of reconnects.  Seeded reset
+    injection (``reset_every`` / ``reset_rate`` + ``reset_seed``)
+    exercises exactly this path deterministically in tests.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 *, timeout: float = 10.0) -> None:
+                 *, timeout: float = 10.0,
+                 reset_every: Optional[int] = None,
+                 reset_rate: float = 0.0,
+                 reset_seed: int = 20030622) -> None:
         super().__init__()
         self.timeout = timeout
+        self.reset_every = reset_every
+        self.reset_rate = reset_rate
+        self.reset_seed = reset_seed
+        self._reset_rng = Random(reset_seed)
+        self._frames_since_reset = 0
         self._cv = threading.Condition()
         self._next_seq = 0
         self._acked_through = -1
         self._records_sent = 0
+        self._truncated = 0
         self._eof = False
+        #: seq -> encoded DATA frame payload, pruned as acks arrive;
+        #: retransmitted in order after a reconnect.
+        self._outbox: Dict[int, bytes] = {}
+        #: Receiver-side cumulative next-expected sequence; lives on
+        #: the instance so it survives connection turnover.
+        self._expected = 0
+        self._ever_connected = False
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.bind((host, port))
         self._listener.listen(1)
@@ -442,40 +477,54 @@ class SocketTransport(Transport):
 
     # -- receiver thread -----------------------------------------------
     def _receiver_loop(self) -> None:
-        try:
-            conn, _ = self._listener.accept()
-        except OSError:
-            return
-        self._receiver_sock = conn
-        expected = 0
-        try:
-            while True:
-                payload = self._read_frame(conn)
-                if payload is None:
-                    break
-                r = Reader(payload)
-                frame_type = r.uvarint()
-                if frame_type == _FRAME_DATA:
-                    seq = r.uvarint()
-                    count = r.uvarint()
-                    records = [r.raw(r.uvarint()) for _ in range(count)]
-                    with self._cv:
-                        if seq < expected:      # TCP never duplicates,
-                            continue            # but be defensive
-                        expected = seq + 1
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                break               # listener closed: shut down
+            self._receiver_sock = conn
+            try:
+                self._serve(conn)
+            except OSError:
+                pass                # connection reset: await the next one
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        with self._cv:
+            self._eof = True
+            self._cv.notify_all()
+
+    def _serve(self, conn: socket.socket) -> None:
+        while True:
+            payload = self._read_frame(conn)
+            if payload is None:
+                return
+            r = Reader(payload)
+            frame_type = r.uvarint()
+            if frame_type == _FRAME_DATA:
+                seq = r.uvarint()
+                count = r.uvarint()
+                records = [r.raw(r.uvarint()) for _ in range(count)]
+                with self._cv:
+                    if seq > self._expected:
+                        # A gap can't arise from TCP ordering; only a
+                        # confused sender.  Hold nothing, ack nothing —
+                        # the retransmission protocol will fill it in.
+                        continue
+                    if seq == self._expected:
+                        self._expected = seq + 1
                         self.delivered.extend(records)
                         self._cv.notify_all()
-                    ack = Writer().uvarint(_FRAME_ACK).uvarint(seq).bytes()
-                    conn.sendall(_uvarint_bytes(len(ack)) + ack)
-                elif frame_type == _FRAME_HEARTBEAT:
-                    with self._cv:
-                        self.stats.heartbeats_delivered += 1
-        except OSError:
-            pass
-        finally:
-            with self._cv:
-                self._eof = True
-                self._cv.notify_all()
+                    # seq < expected: duplicate after a reconnect — the
+                    # records are already in the log; just re-ack.
+                    acked = self._expected - 1
+                ack = Writer().uvarint(_FRAME_ACK).uvarint(acked).bytes()
+                conn.sendall(_uvarint_bytes(len(ack)) + ack)
+            elif frame_type == _FRAME_HEARTBEAT:
+                with self._cv:
+                    self.stats.heartbeats_delivered += 1
 
     @staticmethod
     def _read_frame(conn: socket.socket) -> Optional[bytes]:
@@ -491,18 +540,59 @@ class SocketTransport(Transport):
         return payload
 
     # -- sender side ---------------------------------------------------
+    def _drop_connection(self) -> None:
+        if self._sender is not None:
+            try:
+                self._sender.close()
+            except OSError:
+                pass
+            self._sender = None
+
     def _connect(self) -> socket.socket:
         if self._sender is None:
             self._sender = socket.create_connection(
                 self.address, timeout=self.timeout
             )
+            if self._ever_connected:
+                self.stats.reconnects += 1
+                # Retransmit every unacked data frame in order; the
+                # receiver re-acks duplicates and appends the rest, so
+                # the contiguous prefix resumes exactly where it broke.
+                for seq in sorted(self._outbox):
+                    frame = self._outbox[seq]
+                    self.stats.retransmits += 1
+                    self._sender.sendall(_uvarint_bytes(len(frame)) + frame)
+            self._ever_connected = True
         return self._sender
 
+    def _maybe_inject_reset(self) -> None:
+        if self.reset_every is None and not self.reset_rate:
+            return
+        self._frames_since_reset += 1
+        due = (self.reset_every is not None
+               and self._frames_since_reset >= self.reset_every)
+        if not due and self.reset_rate:
+            due = self._reset_rng.random() < self.reset_rate
+        if due:
+            # A graceful close still delivers the kernel-buffered bytes
+            # (so no data is torn mid-frame), but any ACKs in flight to
+            # us are gone — the reconnect path must cope with both.
+            self._frames_since_reset = 0
+            self.stats.connection_resets += 1
+            self._drop_connection()
+
     def _send_frame(self, payload: bytes) -> None:
-        try:
-            self._connect().sendall(_uvarint_bytes(len(payload)) + payload)
-        except OSError as exc:
-            raise TransportError(f"socket send failed: {exc}") from exc
+        frame = _uvarint_bytes(len(payload)) + payload
+        for attempt in (0, 1):
+            try:
+                self._connect().sendall(frame)
+                return
+            except OSError as exc:
+                self._drop_connection()
+                if attempt:
+                    raise TransportError(
+                        f"socket send failed: {exc}"
+                    ) from exc
 
     def send(self, records: List[bytes]) -> None:
         if self.closed:
@@ -511,9 +601,12 @@ class SocketTransport(Transport):
         w.uvarint(_FRAME_DATA).uvarint(self._next_seq).uvarint(len(records))
         for record in records:
             w.uvarint(len(record)).raw(record)
-        self._send_frame(w.bytes())
+        payload = w.bytes()
+        self._outbox[self._next_seq] = payload
+        self._send_frame(payload)
         self._next_seq += 1
         self._records_sent += len(records)
+        self._maybe_inject_reset()
 
     def send_heartbeat(self) -> None:
         if self.closed:
@@ -526,39 +619,66 @@ class SocketTransport(Transport):
             return 0.0
         target = self._next_seq - 1
         started = time.monotonic()
-        sock = self._connect()
-        sock.settimeout(self.timeout)
+        failures = 0
         while self._acked_through < target:
+            sock = self._connect()
+            sock.settimeout(self.timeout)
             try:
                 payload = self._read_frame(sock)
             except socket.timeout:
                 raise TransportError("timed out waiting for backup ack")
             except OSError as exc:
-                raise TransportError(f"ack read failed: {exc}") from exc
+                self._drop_connection()
+                failures += 1
+                if failures > 3:
+                    raise TransportError(f"ack read failed: {exc}") from exc
+                continue
             if payload is None:
-                raise TransportError("backup closed the link mid-ack")
+                # Our end of the link went away (e.g. an injected reset
+                # between send and wait): reconnect and retransmit.
+                self._drop_connection()
+                failures += 1
+                if failures > 3:
+                    raise TransportError("backup closed the link mid-ack")
+                continue
             r = Reader(payload)
             if r.uvarint() == _FRAME_ACK:
-                self._acked_through = max(self._acked_through, r.uvarint())
+                acked = r.uvarint()
+                if acked > self._acked_through:
+                    self._acked_through = acked
+                    for seq in [s for s in self._outbox if s <= acked]:
+                        del self._outbox[seq]
                 self.stats.acks_delivered += 1
         waited = time.monotonic() - started
         self.stats.ack_wait_time += waited
         return waited
 
     # -- completion ----------------------------------------------------
+    def truncate(self, n_records: int) -> None:
+        with self._cv:
+            del self.delivered[:n_records]
+            self._truncated += n_records
+
     def crash_sender(self) -> None:
         super().crash_sender()
-        if self._sender is not None:
-            try:
-                self._sender.close()   # flushes in-flight bytes, then EOF
-            except OSError:
-                pass
+        self._drop_connection()    # flushes in-flight bytes, then EOF
+        try:
+            self._listener.close()  # unblocks accept → receiver EOF
+        except OSError:
+            pass
+        self.drain()
+
+    def settle(self) -> None:
+        """The sender is alive: ack everything outstanding (forcing a
+        reconnect-retransmit round if a reset is pending), then drain."""
+        self.wait_ack()
         self.drain()
 
     def drain(self) -> None:
         deadline = time.monotonic() + self.timeout
         with self._cv:
-            while len(self.delivered) < self._records_sent and not self._eof:
+            while (len(self.delivered) + self._truncated < self._records_sent
+                   and not self._eof):
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise TransportError("receiver did not drain in time")
@@ -575,7 +695,10 @@ class SocketTransport(Transport):
         self._thread.join(timeout=1.0)
 
     def fresh(self) -> "SocketTransport":
-        return SocketTransport(timeout=self.timeout)
+        return SocketTransport(
+            timeout=self.timeout, reset_every=self.reset_every,
+            reset_rate=self.reset_rate, reset_seed=self.reset_seed,
+        )
 
 
 def make_transport(spec=None) -> Transport:

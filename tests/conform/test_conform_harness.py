@@ -131,3 +131,69 @@ def test_conform_cli_quick_smoke(tmp_path):
     report = json.loads(out.read_text())
     assert report["ok"] is True
     assert report["totals"]["failures"] == 0
+
+
+# ======================================================================
+# Chained-failover sweeps (replica-group supervisor)
+# ======================================================================
+CHAIN_CELL_KEYS = {"workload", "strategy", "transport", "depth",
+                   "crash_points", "layers", "errors", "ok"}
+
+
+def test_chained_report_schema_keys():
+    from repro.conform import (
+        ChainedConfig, build_chained_report, render_chained_report,
+        run_chained_sweep,
+    )
+    config = ChainedConfig(workloads=["hello"], transports=["memory"],
+                           strategies=["lock_sync"], depth=1, stride=4)
+    cells = run_chained_sweep(config)
+    report = build_chained_report(config, cells)
+    assert set(report) == REPORT_KEYS
+    assert report["tool"] == "repro conform --chained"
+    for cell in report["cells"]:
+        assert set(cell) == CHAIN_CELL_KEYS
+        for layer in cell["layers"]:
+            assert {"generation", "pinned", "total_events",
+                    "transfer_events", "crash_points", "failures",
+                    "records_fenced"} <= set(layer)
+    assert report["ok"] is True
+    assert "PASS" in render_chained_report(report)
+    assert json.loads(json.dumps(report)) == report
+
+
+@pytest.mark.conform
+@pytest.mark.slow
+@pytest.mark.parametrize("transport", ["memory", "faulty:flaky"])
+def test_chained_counter_sweep_passes(transport):
+    from repro.conform import make_chained_spec, sweep_chained_cell
+    spec = make_chained_spec("counter", "lock_sync", transport, depth=2)
+    cell = sweep_chained_cell(spec)
+    assert cell.ok, cell.as_dict()
+    assert cell.crash_points > 0
+    assert len(cell.layers) == 2
+    # Mid-transfer crash points were swept in every layer, and the
+    # fenced-record probe proved stale-epoch records are discarded.
+    for layer in cell.layers:
+        assert layer.transfer_events >= 2
+        assert layer.crash_points == layer.total_events
+    assert any(layer.records_fenced > 0 for layer in cell.layers[1:])
+
+
+@pytest.mark.conform
+@pytest.mark.slow
+def test_chained_conform_cli_smoke(tmp_path):
+    """The CI invocation: pinned seed, exit 0, valid JSON artifact."""
+    out = tmp_path / "chained.json"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "conform", "--chained",
+         "--workload", "counter", "--strategy", "lock_sync",
+         "--depth", "2", "--json", str(out)],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "PASS" in proc.stdout
+    report = json.loads(out.read_text())
+    assert report["ok"] is True
+    assert report["totals"]["failures"] == 0
+    assert report["totals"]["records_fenced"] > 0

@@ -1,0 +1,194 @@
+"""Round-trip fuzzing of the checkpoint wire format.
+
+The chunk framing and the snapshot envelope must be exact inverses:
+``Checkpoint -> to_chunks -> CheckpointAssembler -> Checkpoint`` is the
+identity for any payload, any chunk size, any delivery order, and any
+amount of duplication (retransmission after a torn transfer).  On top
+of the framing, two structurally interesting snapshots round-trip
+through a full restore: an (almost) empty heap right after bootstrap,
+and a machine frozen mid-``wait()`` with a thread parked on a monitor.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.env.environment import Environment
+from repro.errors import ReplicationError
+from repro.minijava import compile_program
+from repro.replication.checkpoint import (
+    Checkpoint,
+    CheckpointAssembler,
+    CheckpointChunkRecord,
+    restore_checkpoint,
+    take_checkpoint,
+)
+from repro.replication.digest import StateDigest, compute_state_digest
+from repro.replication.records import decode_record, encode
+from repro.replication.sehandlers import SideEffectManager
+from repro.runtime.jvm import JVM, RunHooks
+from repro.runtime.stdlib import default_natives
+
+digests = st.lists(
+    st.tuples(st.text(min_size=1, max_size=12),
+              st.integers(min_value=0, max_value=2**128 - 1)),
+    max_size=4,
+).map(lambda pairs: StateDigest(tuple(pairs)))
+
+
+# ======================================================================
+# Framing: encode/decode and chunk reassembly
+# ======================================================================
+@given(generation=st.integers(min_value=0, max_value=1000),
+       digest=digests, payload=st.binary(max_size=600))
+@settings(max_examples=60, deadline=None)
+def test_checkpoint_encode_decode_roundtrip(generation, digest, payload):
+    ckpt = Checkpoint(generation, digest, payload)
+    assert Checkpoint.decode(ckpt.encode()) == ckpt
+
+
+@given(generation=st.integers(min_value=0, max_value=50),
+       payload=st.binary(max_size=600),
+       chunk_bytes=st.integers(min_value=1, max_value=128),
+       data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_chunked_transfer_roundtrip_any_order(generation, payload,
+                                              chunk_bytes, data):
+    ckpt = Checkpoint(generation, StateDigest(()), payload)
+    chunks = ckpt.to_chunks(chunk_bytes)
+    # Each chunk survives the record wire format on its own.
+    chunks = [decode_record(encode(c)) for c in chunks]
+    order = data.draw(st.permutations(range(len(chunks))))
+
+    assembler = CheckpointAssembler()
+    for pos, index in enumerate(order):
+        got = assembler.feed(chunks[index])
+        if pos < len(order) - 1:
+            assert got is None
+            # Re-feeding an already-seen chunk (retransmission) is a
+            # no-op and never completes the transfer early.
+            assert assembler.feed(chunks[index]) is None
+        else:
+            assert got == ckpt
+    # Post-completion duplicates are ignored too.
+    assert assembler.feed(chunks[0]) is None
+
+
+@given(payload=st.binary(min_size=80, max_size=300))
+@settings(max_examples=20, deadline=None)
+def test_inconsistent_chunk_total_is_rejected(payload):
+    ckpt = Checkpoint(3, StateDigest(()), payload)
+    chunks = ckpt.to_chunks(32)
+    assert len(chunks) >= 2
+    assembler = CheckpointAssembler()
+    assembler.feed(chunks[0])
+    forged = CheckpointChunkRecord(3, chunks[1].index,
+                                   chunks[1].total + 1, chunks[1].data)
+    with pytest.raises(ReplicationError):
+        assembler.feed(forged)
+
+
+# ======================================================================
+# Full snapshots through a real restore
+# ======================================================================
+def _roundtrip(ckpt, registry, env):
+    """Ship through chunks, reassemble, restore into a fresh session."""
+    assembler = CheckpointAssembler()
+    restored = None
+    for chunk in ckpt.to_chunks(96):
+        got = assembler.feed(decode_record(encode(chunk)))
+        if got is not None:
+            restored = got
+    assert restored == ckpt
+    session = env.attach("restore-fuzz")
+    try:
+        se = SideEffectManager()
+        jvm = restore_checkpoint(restored, registry, default_natives(),
+                                 session, se_manager=se)
+        return compute_state_digest(jvm, include_env=False)
+    finally:
+        session.destroy()
+
+
+def test_empty_heap_snapshot_roundtrips():
+    registry = compile_program(
+        "class Main { static void main(String[] args) {} }")
+    env = Environment()
+    session = env.attach("origin")
+    jvm = JVM(registry, default_natives(), session)
+    jvm.bootstrap("Main", [])
+    ckpt = take_checkpoint(jvm, SideEffectManager(), generation=0)
+    assert _roundtrip(ckpt, registry, env).diff(ckpt.digest) == []
+
+
+def test_mid_monitor_wait_snapshot_roundtrips():
+    """Freeze a machine while a thread is parked in ``wait()`` and
+    round-trip it: waiter sets, monitor ownership, and the blocked
+    thread's frame stack must all survive the wire."""
+    registry = compile_program("""
+        class Gate {
+            synchronized void park() { this.wait(); }
+            synchronized void release() { this.notify(); }
+        }
+        class Waiter extends Thread {
+            Gate g;
+            Waiter(Gate g) { this.g = g; }
+            void run() { g.park(); }
+        }
+        class Main {
+            static void main(String[] args) {
+                Gate g = new Gate();
+                Waiter w = new Waiter(g);
+                w.start();
+                while (!w.isAlive()) { Thread.yield(); }
+                Thread.sleep(50);
+                g.release();
+                w.join();
+                System.println("released");
+            }
+        }
+    """)
+
+    class _Pause(Exception):
+        pass
+
+    class PauseOnWait(RunHooks):
+        def on_slice_end(self, jvm, thread, reason):
+            if any(t.state.name == "WAITING"
+                   for t in jvm.scheduler.threads):
+                raise _Pause()
+
+    env = Environment()
+    session = env.attach("origin")
+    jvm = JVM(registry, default_natives(), session)
+    jvm.run_hooks = PauseOnWait()
+    jvm.bootstrap("Main", [])
+    with pytest.raises(_Pause):
+        jvm.run_to_completion()
+    jvm.scheduler.release_current()
+
+    assert any(t.state.name == "WAITING" for t in jvm.scheduler.threads)
+    ckpt = take_checkpoint(jvm, SideEffectManager(), generation=1)
+    assert _roundtrip(ckpt, registry, env).diff(ckpt.digest) == []
+
+
+def test_tampered_digest_is_not_adopted():
+    """Verification on arrival: a checkpoint whose digest does not match
+    the state it restores to must be refused, not adopted."""
+    registry = compile_program(
+        "class Main { static void main(String[] args) {} }")
+    env = Environment()
+    session = env.attach("origin")
+    jvm = JVM(registry, default_natives(), session)
+    jvm.bootstrap("Main", [])
+    ckpt = take_checkpoint(jvm, SideEffectManager(), generation=0)
+    name, value = ckpt.digest.components[0]
+    forged = Checkpoint(0, StateDigest(
+        ((name, value ^ 1),) + ckpt.digest.components[1:]), ckpt.payload)
+
+    scratch = env.attach("victim")
+    try:
+        with pytest.raises(ReplicationError):
+            restore_checkpoint(forged, registry, default_natives(), scratch)
+    finally:
+        scratch.destroy()

@@ -70,3 +70,50 @@ def test_commit_is_a_crash_event():
     # The flush never happened: the record is lost with the primary.
     channel.crash_primary()
     assert channel.backup_log() == []
+
+
+# ======================================================================
+# Atomic log units (marker + side-effect record)
+# ======================================================================
+def test_atomic_section_defers_auto_flush():
+    channel, metrics, shipper = _shipper(batch=1)
+    with shipper.atomic():
+        shipper.log(IdMap(1, (0,), 1))
+        assert channel.delivered == []         # batch=1 would have flushed
+        shipper.log(IdMap(2, (0,), 2))
+        assert channel.delivered == []
+    # Closing the section flushes the whole unit as one message.
+    assert len(channel.delivered) == 2
+    assert metrics.messages_sent == 1
+
+
+def test_atomic_unit_is_lost_together_on_crash():
+    """A crash inside an atomic section must not push out the unit's
+    earlier records during the unwind — marker and side-effect record
+    are delivered together or lost together."""
+    channel, metrics, shipper = _shipper(batch=1, crash_at=2)
+    shipper.log(IdMap(1, (0,), 1))             # flushes (batch=1)
+    with pytest.raises(PrimaryCrashed):
+        with shipper.atomic():
+            shipper.log(IdMap(2, (0,), 2))     # buffered, held
+            shipper.log(IdMap(3, (0,), 3))     # injector fires here
+    channel.crash_primary()
+    assert len(channel.backup_log()) == 1      # only the pre-unit record
+
+
+def test_atomic_sections_nest():
+    channel, metrics, shipper = _shipper(batch=1)
+    with shipper.atomic():
+        shipper.log(IdMap(1, (0,), 1))
+        with shipper.atomic():
+            shipper.log(IdMap(2, (0,), 2))
+        assert channel.delivered == []         # inner close keeps holding
+    assert len(channel.delivered) == 2
+
+
+def test_atomic_noop_with_large_batch():
+    channel, metrics, shipper = _shipper(batch=100)
+    with shipper.atomic():
+        shipper.log(IdMap(1, (0,), 1))
+    assert channel.delivered == []             # batch not full: no flush
+    assert channel.pending_records == 1

@@ -51,3 +51,45 @@ def test_await_detection_gives_up():
 def test_invalid_timeout():
     with pytest.raises(ValueError):
         FailureDetector(timeout_intervals=0)
+
+
+# ======================================================================
+# reset(): one detector serving successive generations
+# ======================================================================
+def test_reset_clears_suspicion_and_counters():
+    """A replica group reuses one detector across failovers; a promoted
+    pair must not inherit the deposed generation's suspicion."""
+    d = FailureDetector(timeout_intervals=2)
+    assert d.await_detection() == 2
+    assert d.suspected
+    d.reset()
+    assert not d.suspected
+    assert d.silent_intervals == 0
+    assert d.intervals_observed == 0
+    d.heartbeat()
+    assert d.interval() is False               # no instant false positive
+
+
+def test_reset_without_argument_keeps_source():
+    beats = {"n": 1}
+    d = FailureDetector(timeout_intervals=2, source=lambda: beats["n"])
+    assert d.interval() is False
+    d.reset()
+    beats["n"] += 1
+    assert d.interval() is False               # still reading the source
+    assert d.observed_heartbeats() == beats["n"]
+
+
+def test_reset_rebinds_source_to_new_generation():
+    old = {"n": 100}
+    new = {"n": 0}
+    d = FailureDetector(timeout_intervals=2, source=lambda: old["n"])
+    d.await_detection()
+    d.reset(source=lambda: new["n"])
+    assert d.observed_heartbeats() == 0
+    new["n"] = 3
+    assert d.interval() is False
+    # And reset(source=None) drops back to the in-process counter.
+    d.reset(source=None)
+    d.heartbeat()
+    assert d.observed_heartbeats() == 1
