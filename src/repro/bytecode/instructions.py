@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Any, Tuple
 
@@ -101,6 +102,9 @@ class ExceptionEntry:
     class_name: str = "*"
 
 
+_code_uids = itertools.count()
+
+
 @dataclass
 class Code:
     """An assembled method body.
@@ -109,11 +113,18 @@ class Code:
         instructions: the instruction list; pcs are list indexes.
         max_locals: number of local-variable slots (params included).
         exception_table: ordered handler rows (first match wins).
+        uid: process-unique identity for decoded-stream caching.  An
+            interpreter keys its pre-decoded instruction streams by
+            ``uid`` rather than ``id(code)`` so a cache entry can never
+            be resurrected by address reuse after the code object dies.
     """
 
     instructions: list
     max_locals: int
     exception_table: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.uid = next(_code_uids)
 
     def __len__(self) -> int:
         return len(self.instructions)

@@ -16,6 +16,7 @@ bytecodes).  Opcodes carry metadata used throughout the system:
 from __future__ import annotations
 
 import enum
+import operator
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -145,6 +146,7 @@ class OpInfo:
     is_control_flow: bool = False
     is_branch: bool = False        # conditional or unconditional jump
     ends_block: bool = False       # control never falls through
+    is_monitor: bool = False       # monitorenter/monitorexit (ticks mon_cnt)
 
 
 _K = OperandKind
@@ -219,13 +221,24 @@ OP_INFO = {
     Op.INVOKESTATIC: OpInfo(-1, -1, (_K.METHOD,), is_control_flow=True),
     Op.RETURN: OpInfo(0, 0, (), is_control_flow=True, ends_block=True),
     Op.VRETURN: OpInfo(1, 0, (), is_control_flow=True, ends_block=True),
-    Op.MONITORENTER: OpInfo(1, 0, ()),
-    Op.MONITOREXIT: OpInfo(1, 0, ()),
+    Op.MONITORENTER: OpInfo(1, 0, (), is_monitor=True),
+    Op.MONITOREXIT: OpInfo(1, 0, (), is_monitor=True),
     Op.ATHROW: OpInfo(1, 0, (), is_control_flow=True, ends_block=True),
 }
 
 #: Comparison operator tokens accepted by IF/IF_ICMP/IF_FCMP/IF_SCMP.
 CMP_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+#: Token -> predicate table; the instruction decoder resolves the token
+#: once per code array so the hot loop never string-compares.
+CMP_FNS = {
+    "eq": operator.eq,
+    "ne": operator.ne,
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+}
 
 #: Array element type tokens accepted by NEWARRAY.
 ARRAY_TYPES = ("int", "float", "str", "ref")
@@ -233,18 +246,21 @@ ARRAY_TYPES = ("int", "float", "str", "ref")
 MNEMONIC_TO_OP = {op.value: op for op in Op}
 
 
+#: Opcodes at which the execution engine must return to the
+#: scheduler/replication layer: every ``br_cnt``-ticking control-flow
+#: change plus the monitor ops.  These — together with natives, output,
+#: and budget exhaustion, which only occur *inside* them — are exactly
+#: the events at which a replica's progress point can be observed or
+#: acted on, so they are the only legal yield points of the fast path.
+SAFEPOINT_EVENT_OPS = frozenset(
+    op for op, info in OP_INFO.items()
+    if info.is_control_flow or info.is_monitor
+)
+
+
 def compare(op: str, a, b) -> bool:
     """Evaluate a comparison token against two comparable values."""
-    if op == "eq":
-        return a == b
-    if op == "ne":
-        return a != b
-    if op == "lt":
-        return a < b
-    if op == "le":
-        return a <= b
-    if op == "gt":
-        return a > b
-    if op == "ge":
-        return a >= b
-    raise ValueError(f"unknown comparison operator {op!r}")
+    fn = CMP_FNS.get(op)
+    if fn is None:
+        raise ValueError(f"unknown comparison operator {op!r}")
+    return fn(a, b)

@@ -28,6 +28,10 @@ class ClassRegistry:
         self._classes: Dict[str, JClass] = {}
         self._linked = False
         self._method_cache: Dict[tuple, JMethod] = {}
+        #: Bumped on every (re)definition; interpreters compare it
+        #: against the version their inline caches were filled under
+        #: and drop them when it moves.
+        self.version = 0
         # The root class always exists with a default constructor.
         root = JClass(OBJECT_CLASS, None)
         root.add_method(
@@ -45,6 +49,7 @@ class ClassRegistry:
         self._classes[cls.name] = cls
         self._linked = False
         self._method_cache.clear()
+        self.version += 1
         return cls
 
     def register_all(self, classes: Iterable[JClass]) -> None:

@@ -99,6 +99,7 @@ def _cmd_conform(args: argparse.Namespace) -> int:
         ["memory", "faulty:flaky"] if args.quick
         else ["memory", "faulty:flaky", "faulty:lossy"]
     )
+    engines = ["step", "slice"] if args.engine == "both" else [args.engine]
 
     if args.chained:
         from repro.conform.chained import ChainedConfig, run_chained_sweep
@@ -113,12 +114,14 @@ def _cmd_conform(args: argparse.Namespace) -> int:
             depth=args.depth,
             seed=args.seed,
             stride=args.stride,
+            engines=engines,
         )
 
         def chained_progress(cell) -> None:
             status = ("ok" if cell.ok
                       else f"{len(cell.failures)} FAILURES")
-            print(f"[{cell.workload} {cell.strategy} {cell.transport}: "
+            print(f"[{cell.workload} {cell.strategy} {cell.transport} "
+                  f"{cell.engine}: "
                   f"{cell.crash_points} chained crash points {status}]",
                   file=sys.stderr)
 
@@ -138,11 +141,13 @@ def _cmd_conform(args: argparse.Namespace) -> int:
         stride=args.stride,
         workers=args.workers,
         shrink=not args.no_shrink,
+        engines=engines,
     )
 
     def progress(cell) -> None:
         status = "ok" if cell.ok else f"{len(cell.failures)} FAILURES"
-        print(f"[{cell.workload} {cell.strategy} {cell.transport}: "
+        print(f"[{cell.workload} {cell.strategy} {cell.transport} "
+              f"{cell.engine}: "
               f"{cell.crash_points} crash points {status}]",
               file=sys.stderr)
 
@@ -289,6 +294,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 2)")
     p_conf.add_argument("--no-shrink", action="store_true",
                         help="report the first failing point as-is")
+    p_conf.add_argument("--engine", choices=("step", "slice", "both"),
+                        default="slice",
+                        help="execution engine for the crash runs "
+                             "('both' sweeps each cell under the "
+                             "single-step and fast-path engines; the "
+                             "reference is always single-step)")
     p_conf.add_argument("--chained", action="store_true",
                         help="sweep chained failovers through the "
                              "replica-group supervisor: crash every "

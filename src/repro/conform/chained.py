@@ -52,8 +52,8 @@ DEFAULT_BATCH_RECORDS = 1
 def make_chained_spec(workload: str, strategy: str, transport: str,
                       *, depth: int = 2, seed: int = 20030622,
                       chunk_bytes: int = DEFAULT_CHUNK_BYTES,
-                      batch_records: int = DEFAULT_BATCH_RECORDS
-                      ) -> Dict[str, Any]:
+                      batch_records: int = DEFAULT_BATCH_RECORDS,
+                      engine: str = "slice") -> Dict[str, Any]:
     """One chained-matrix cell as a plain dict.  ``transport`` uses the
     same syntax as the single-failover sweep (``"memory"`` or
     ``"faulty:<profile>"``); each generation gets its own seeded
@@ -75,6 +75,7 @@ def make_chained_spec(workload: str, strategy: str, transport: str,
         "seed": seed,
         "chunk_bytes": chunk_bytes,
         "batch_records": batch_records,
+        "engine": engine,
     }
 
 
@@ -102,7 +103,7 @@ def build_group(spec: Dict[str, Any],
         crash_schedule=list(crash_schedule),
         max_failures=len(crash_schedule) + 2,
         transport=_transport_factory(spec),
-        jvm_config=workload.jvm_config(),
+        jvm_config=workload.jvm_config(spec.get("engine", "slice")),
         batch_records=spec["batch_records"],
         chunk_bytes=spec["chunk_bytes"],
     )
@@ -122,11 +123,13 @@ class ChainReference:
 
 
 def chained_reference(spec: Dict[str, Any]) -> ChainReference:
+    """Unreplicated oracle, always on the single-step engine so every
+    chained cell doubles as a cross-engine equivalence check."""
     workload = get_workload(spec["workload"])
     env = Environment()
     result, jvm = run_unreplicated(
         workload.registry(), workload.main_class,
-        env=env, jvm_config=workload.jvm_config(),
+        env=env, jvm_config=workload.jvm_config("step"),
     )
     digest = compute_state_digest(jvm, env)
     return ChainReference(
@@ -251,6 +254,7 @@ class ChainCellResult:
     depth: int
     layers: List[ChainLayer]
     errors: List[Dict[str, Any]] = field(default_factory=list)
+    engine: str = "slice"
 
     @property
     def ok(self) -> bool:
@@ -272,6 +276,7 @@ class ChainCellResult:
             "workload": self.workload,
             "strategy": self.strategy,
             "transport": self.transport,
+            "engine": self.engine,
             "depth": self.depth,
             "crash_points": self.crash_points,
             "layers": [layer.as_dict() for layer in self.layers],
@@ -300,6 +305,7 @@ def sweep_chained_cell(spec: Dict[str, Any], *, stride: int = 1,
         transport=spec["transport"],
         depth=depth,
         layers=[],
+        engine=spec.get("engine", "slice"),
     )
     pinned: List[int] = []
 
@@ -373,6 +379,7 @@ class ChainedConfig:
     stride: int = 1
     chunk_bytes: int = DEFAULT_CHUNK_BYTES
     batch_records: int = DEFAULT_BATCH_RECORDS
+    engines: List[str] = field(default_factory=lambda: ["slice"])
 
 
 def run_chained_sweep(config: ChainedConfig, *,
@@ -382,15 +389,17 @@ def run_chained_sweep(config: ChainedConfig, *,
     for workload in config.workloads:
         for strategy in config.strategies:
             for transport in config.transports:
-                spec = make_chained_spec(
-                    workload, strategy, transport,
-                    depth=config.depth,
-                    seed=config.seed,
-                    chunk_bytes=config.chunk_bytes,
-                    batch_records=config.batch_records,
-                )
-                cell = sweep_chained_cell(spec, stride=config.stride)
-                if progress is not None:
-                    progress(cell)
-                results.append(cell)
+                for engine in config.engines:
+                    spec = make_chained_spec(
+                        workload, strategy, transport,
+                        depth=config.depth,
+                        seed=config.seed,
+                        chunk_bytes=config.chunk_bytes,
+                        batch_records=config.batch_records,
+                        engine=engine,
+                    )
+                    cell = sweep_chained_cell(spec, stride=config.stride)
+                    if progress is not None:
+                        progress(cell)
+                    results.append(cell)
     return results

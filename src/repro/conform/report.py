@@ -7,11 +7,13 @@ Schema (version 1)::
       "tool": "repro conform",
       "config": {
         "workloads": [...], "strategies": [...], "transports": [...],
+        "engines": [...],
         "seed": int, "digest_interval": int, "stride": int
       },
       "cells": [
         {
           "workload": str, "strategy": str, "transport": str,
+          "engine": str,            # execution engine of the crash runs
           "total_events": int,      # crash indices in the reference run
           "crash_points": int,      # indices actually swept
           "failures": [
@@ -56,6 +58,7 @@ def build_report(config: SweepConfig,
             "workloads": list(config.workloads),
             "strategies": list(config.strategies),
             "transports": list(config.transports),
+            "engines": list(config.engines),
             "seed": config.seed,
             "digest_interval": config.digest_interval,
             "stride": config.stride,
@@ -81,6 +84,7 @@ def build_chained_report(config: ChainedConfig,
             "workloads": list(config.workloads),
             "strategies": list(config.strategies),
             "transports": list(config.transports),
+            "engines": list(config.engines),
             "depth": config.depth,
             "seed": config.seed,
             "stride": config.stride,
@@ -107,7 +111,8 @@ def render_chained_report(report: Dict[str, Any]) -> str:
         status = "ok" if cell["ok"] else f"{len(cell['errors']) + sum(len(l['failures']) for l in cell['layers'])} FAILURES"
         lines.append(
             f"{cell['workload']:8s} {cell['strategy']:12s} "
-            f"{cell['transport']:14s} depth={cell['depth']} "
+            f"{cell['transport']:14s} {cell.get('engine', 'step'):5s} "
+            f"depth={cell['depth']} "
             f"{cell['crash_points']:4d} crash points  {status}"
         )
         for layer in cell["layers"]:
@@ -148,7 +153,7 @@ def render_report(report: Dict[str, Any]) -> str:
         status = "ok" if cell["ok"] else f"{len(cell['failures'])} FAILURES"
         lines.append(
             f"{cell['workload']:8s} {cell['strategy']:12s} "
-            f"{cell['transport']:14s} "
+            f"{cell['transport']:14s} {cell.get('engine', 'step'):5s} "
             f"{cell['crash_points']:4d}/{cell['total_events']:<4d} "
             f"crash points  {status}"
         )

@@ -43,13 +43,16 @@ DEFAULT_DIGEST_INTERVAL = 2
 # ======================================================================
 def make_cell_spec(workload: str, strategy: str, transport: str,
                    *, seed: int = 20030622,
-                   digest_interval: int = DEFAULT_DIGEST_INTERVAL
-                   ) -> Dict[str, Any]:
+                   digest_interval: int = DEFAULT_DIGEST_INTERVAL,
+                   engine: str = "slice") -> Dict[str, Any]:
     """One matrix cell as a plain dict (crosses process boundaries).
 
     ``transport`` is ``"memory"`` or ``"faulty:<profile>"`` with a
     profile name from :data:`repro.replication.transport.FAULT_PROFILES`
     (the sweep seeds it so fault schedules are reproducible).
+    ``engine`` selects the execution engine for the crash runs; the
+    reference run always uses the single-step engine, so every swept
+    cell doubles as a cross-engine equivalence check.
     """
     if transport != "memory":
         kind, _, profile = transport.partition(":")
@@ -66,6 +69,7 @@ def make_cell_spec(workload: str, strategy: str, transport: str,
         "transport": transport,
         "seed": seed,
         "digest_interval": digest_interval,
+        "engine": engine,
     }
 
 
@@ -88,7 +92,7 @@ def build_machine(spec: Dict[str, Any],
         env=Environment(),
         strategy=spec["strategy"],
         crash_at=crash_at,
-        jvm_config=workload.jvm_config(),
+        jvm_config=workload.jvm_config(spec.get("engine", "slice")),
         transport=_transport_factory(spec),
         digest_interval=spec["digest_interval"],
     )
@@ -109,9 +113,15 @@ class Reference:
 
 
 def reference_run(spec: Dict[str, Any]) -> Reference:
-    """Run the cell once without a crash and capture the oracle."""
+    """Run the cell once without a crash and capture the oracle.
+
+    The reference always executes on the single-step engine regardless
+    of the cell's ``engine``: the crash runs must reproduce its digest,
+    log, and outputs bit-for-bit, so a fast-path cell is simultaneously
+    a crash-consistency check and a cross-engine equivalence check.
+    """
     workload = get_workload(spec["workload"])
-    machine = build_machine(spec)
+    machine = build_machine({**spec, "engine": "step"})
     result = machine.run(workload.main_class)
     if result.failed_over:
         raise ReproError("reference run unexpectedly failed over")
@@ -249,6 +259,7 @@ class SweepConfig:
     stride: int = 1
     workers: int = 0
     shrink: bool = True
+    engines: List[str] = field(default_factory=lambda: ["slice"])
 
 
 @dataclass
@@ -261,6 +272,7 @@ class CellResult:
     total_events: int
     crash_points: int
     failures: List[Dict[str, Any]]
+    engine: str = "slice"
 
     @property
     def ok(self) -> bool:
@@ -271,6 +283,7 @@ class CellResult:
             "workload": self.workload,
             "strategy": self.strategy,
             "transport": self.transport,
+            "engine": self.engine,
             "total_events": self.total_events,
             "crash_points": self.crash_points,
             "failures": self.failures,
@@ -313,6 +326,7 @@ def sweep_cell(spec: Dict[str, Any], *, stride: int = 1, workers: int = 0,
         total_events=reference.total_events,
         crash_points=len(points),
         failures=failures,
+        engine=spec.get("engine", "slice"),
     )
 
 
@@ -322,18 +336,20 @@ def run_sweep(config: SweepConfig, *, progress=None) -> List[CellResult]:
     for workload in config.workloads:
         for strategy in config.strategies:
             for transport in config.transports:
-                spec = make_cell_spec(
-                    workload, strategy, transport,
-                    seed=config.seed,
-                    digest_interval=config.digest_interval,
-                )
-                cell = sweep_cell(
-                    spec,
-                    stride=config.stride,
-                    workers=config.workers,
-                    shrink=config.shrink,
-                )
-                if progress is not None:
-                    progress(cell)
-                results.append(cell)
+                for engine in config.engines:
+                    spec = make_cell_spec(
+                        workload, strategy, transport,
+                        seed=config.seed,
+                        digest_interval=config.digest_interval,
+                        engine=engine,
+                    )
+                    cell = sweep_cell(
+                        spec,
+                        stride=config.stride,
+                        workers=config.workers,
+                        shrink=config.shrink,
+                    )
+                    if progress is not None:
+                        progress(cell)
+                    results.append(cell)
     return results

@@ -37,11 +37,12 @@ class ConformWorkload:
     quantum_base: int = 20
     quantum_jitter: int = 8
 
-    def jvm_config(self) -> JVMConfig:
+    def jvm_config(self, engine: str = "slice") -> JVMConfig:
         return JVMConfig(
             quantum_base=self.quantum_base,
             quantum_jitter=self.quantum_jitter,
             max_instructions=2_000_000,
+            engine=engine,
         )
 
     def registry(self) -> ClassRegistry:

@@ -59,6 +59,12 @@ class CostModel:
     sched_record: float = 150.0     # capture progress point + buffer
     per_instr_tracking: float = 0.40   # pc_off update per bytecode
     per_cf_tracking: float = 0.55      # br_cnt update per control-flow change
+    #: pc_off tracking under the batched ("slice") execution engine:
+    #: progress is only materialized at safe-point events, so the
+    #: per-bytecode charge shrinks to the amortized cost of keeping the
+    #: batch counter (the per-CF charge is unchanged — br_cnt still
+    #: ticks on every control-flow change).
+    per_instr_tracking_fast: float = 0.08
 
     # --- divergence detection --------------------------------------------
     digest_record: float = 180.0    # hash the reachable state at a slice
@@ -129,8 +135,13 @@ class CostModel:
             breakdown["rescheduling"] = (
                 metrics.schedule_records * self.sched_record
             )
+            instr_tracking = (
+                self.per_instr_tracking_fast
+                if metrics.engine == "slice"
+                else self.per_instr_tracking
+            )
             breakdown["misc"] = misc + (
-                metrics.instructions * self.per_instr_tracking
+                metrics.instructions * instr_tracking
                 + metrics.cf_changes * self.per_cf_tracking
             )
         else:

@@ -11,6 +11,13 @@ Both sides are implemented as
 SyncManager calls ``may_acquire`` before an acquisition can complete
 and ``on_acquired`` afterwards, which is precisely the seam the paper's
 modified JVM hooks.
+
+The batched execution engine does not change these semantics: monitor
+acquisitions only happen inside MONITORENTER and synchronized-INVOKE
+handlers, both of which are safe-point events the fast path dispatches
+one at a time (it never batches *through* them), so admission is
+consulted at exactly the same points, in the same order, as under the
+single-step engine.
 """
 
 from __future__ import annotations

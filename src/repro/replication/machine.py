@@ -551,6 +551,7 @@ class ReplicatedJVM:
     def _finish_metrics(self, jvm: JVM, metrics: ReplicationMetrics) -> None:
         metrics.instructions = jvm.instructions
         metrics.cf_changes = sum(t.br_cnt for t in jvm.scheduler.threads)
+        metrics.engine = jvm.config.engine
         metrics.heavy_ops = jvm.heavy_ops
         metrics.native_calls = jvm.native_calls
         metrics.locks_acquired = jvm.sync.total_acquisitions

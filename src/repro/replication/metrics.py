@@ -56,6 +56,10 @@ class ReplicationMetrics:
     cf_changes: int = 0              # br_cnt sum over threads
     heavy_ops: int = 0               # array/float bytecodes
     native_calls: int = 0            # all native invocations
+    #: Execution engine the run used ("step" or "slice"); the cost
+    #: model prices per-bytecode progress tracking differently when the
+    #: fast path only updates it at safe-point events.
+    engine: str = "step"
 
     # --- Checkpoint transfer (replica-group re-integration) -----------
     checkpoint_records: int = 0      # checkpoint chunk records shipped
@@ -104,5 +108,6 @@ class ReplicationMetrics:
                 "records_fenced", "records_truncated",
             )
         }
+        base["engine"] = self.engine
         base.update(self.extra)
         return base

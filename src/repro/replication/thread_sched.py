@@ -66,7 +66,19 @@ class PrimarySchedController(ScheduleController):
 
 
 class BackupSchedController(ScheduleController):
-    """Backup side: replay the primary's schedule, then go live."""
+    """Backup side: replay the primary's schedule, then go live.
+
+    Replay preemption works because every logged progress point is an
+    event boundary: the primary only ever deschedules a thread right
+    after a control-flow change (quantum expiry) or at a blocking
+    instruction with its counters undone, so the fast path's
+    event-boundary :meth:`should_preempt` checks observe every point
+    the primary could have logged.
+    """
+
+    #: Replay preemption is real here — the execution engine must call
+    #: :meth:`should_preempt` at every safe-point boundary.
+    needs_preempt_checks = True
 
     def __init__(self, records: List[ScheduleRecord],
                  fallback: ScheduleController,

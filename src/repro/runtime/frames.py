@@ -21,9 +21,14 @@ class Frame:
         held_monitors: objects whose monitors were entered via
             ``monitorenter`` inside this frame and not yet exited; used
             to unwind structured locking when an exception propagates.
+        decoded: the executing interpreter's pre-decoded stream for
+            this method's code, filled lazily on first dispatch and
+            cleared when the class registry's version moves.  Purely a
+            cache — never part of replicated or checkpointed state.
     """
 
-    __slots__ = ("method", "locals", "stack", "pc", "sync_object", "held_monitors")
+    __slots__ = ("method", "locals", "stack", "pc", "sync_object",
+                 "held_monitors", "decoded")
 
     def __init__(self, method: JMethod, args: List[Any]) -> None:
         code = method.code
@@ -36,6 +41,7 @@ class Frame:
         self.pc = 0
         self.sync_object: Optional[Any] = None
         self.held_monitors: List[Any] = []
+        self.decoded: Optional[list] = None
 
     def push(self, value: Any) -> None:
         self.stack.append(value)

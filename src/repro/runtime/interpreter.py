@@ -1,12 +1,28 @@
 """The bytecode execution engine (BEE).
 
 One :class:`Interpreter` instance executes bytecodes for every thread of
-one JVM; :meth:`Interpreter.step` runs exactly one instruction of one
-thread and reports how the thread's state changed.  The paper's model —
-"a set of cooperating state machines, each corresponding to an
-application thread" — maps onto this directly: the state machine's
-commands are bytecodes, its state variables are the frames, heap, and
-statics reachable from the thread.
+one JVM.  The paper's model — "a set of cooperating state machines,
+each corresponding to an application thread" — maps onto this directly:
+the state machine's commands are bytecodes, its state variables are the
+frames, heap, and statics reachable from the thread.
+
+The engine has a single execution semantics with two drivers:
+
+* :meth:`Interpreter.run_slice` is the fast path.  Each method's code
+  array is translated once into a *pre-decoded stream* of
+  ``(kind, bound_handler, decoded_operands)`` triples (cached per
+  interpreter, keyed by ``Code.uid``), and the inner loop executes
+  straight-line bytecodes back-to-back, returning to the
+  scheduler/replication layer only at *safe-point-relevant events*:
+  control-flow instructions that tick ``br_cnt``, monitor operations,
+  and budget exhaustion (natives and output only occur inside invokes,
+  which are control flow).  GC requests and replay-preemption checks
+  are honoured at every such boundary — see DESIGN.md, "The execution
+  fast path", for why those are the only points where they can matter.
+* :meth:`Interpreter.step` is the same engine with ``budget=1``: it
+  executes exactly one instruction and surfaces its result, restoring
+  the seed's per-instruction discipline for detached contexts and for
+  the ``engine="step"`` reference loop.
 
 Counter discipline (replication-critical):
 
@@ -21,17 +37,24 @@ Blocking instructions (``monitorenter``, synchronized-method entry,
 complete, so the thread retries the same instruction when rescheduled.
 This gives clean safe-point semantics: a thread's progress point
 ``(br_cnt, pc, mon_cnt)`` always identifies an instruction boundary.
+
+Inline caches: method resolution (static/special once, virtual
+monomorphic by receiver class), static-field slots, and
+instanceof/checkcast subtype answers are cached in the decoded
+operands; string/float/int constants are materialized at decode time.
+All of it is dropped when the class registry's version moves.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.bytecode.methodref import MethodRef, parse_method_ref
-from repro.bytecode.opcodes import OP_INFO, Op, compare
+from repro.bytecode.opcodes import CMP_FNS, OP_INFO, Op
 from repro.errors import LinkageError, ReproError
 from repro.runtime.frames import Frame
+from repro.runtime.scheduler import SliceEnd
 from repro.runtime.sync import EnterResult
 from repro.runtime.threads import JavaThread
 from repro.runtime.values import (
@@ -50,6 +73,15 @@ from repro.runtime.values import (
 #: Opcodes counted as control-flow changes for ``br_cnt``.
 CF_OPS = frozenset(op for op, info in OP_INFO.items() if info.is_control_flow)
 
+#: Decoded-stream instruction kinds.  Plain instructions may be batched
+#: between safe-point boundaries; the other two are safe-point events.
+_K_PLAIN = 0   # no br_cnt tick, no monitor effect
+_K_CF = 1      # control-flow change: ticks br_cnt
+_K_MON = 2     # monitorenter/monitorexit: may tick mon_cnt or block
+
+#: Effectively-unbounded default for quantum/budget.
+_UNLIMITED = 1 << 60
+
 
 class StepResult(enum.Enum):
     CONTINUE = "continue"
@@ -63,6 +95,31 @@ class StepResult(enum.Enum):
     STARVED = "starved"
 
 
+class _InvokeSite:
+    """Per-call-site inline cache for method resolution.
+
+    Static and special sites resolve once; virtual sites cache the last
+    receiver class seen (monomorphic inline cache).  The matching
+    intrinsic lookup is cached alongside the method so the hot path
+    never rebuilds the ``(class, name, nargs)`` key.  Sites live inside
+    an interpreter's decoded streams, so they can never leak a bound
+    method or intrinsic across replicas.
+    """
+
+    __slots__ = ("op", "ref", "nargs", "method", "intrinsic",
+                 "vclass", "vmethod", "vintrinsic")
+
+    def __init__(self, op: Op, ref: MethodRef) -> None:
+        self.op = op
+        self.ref = ref
+        self.nargs = ref.nargs
+        self.method = None        # static/special resolution
+        self.intrinsic = None
+        self.vclass: Optional[str] = None   # virtual: last receiver class
+        self.vmethod = None
+        self.vintrinsic = None
+
+
 class Interpreter:
     """Executes bytecodes against one JVM instance."""
 
@@ -73,27 +130,225 @@ class Interpreter:
         self._sync = jvm.sync
         self._ref_cache: Dict[str, MethodRef] = {}
         self._dispatch = self._build_dispatch()
+        self._decoders = self._build_decoders()
+        #: Decoded streams keyed by ``Code.uid`` — per interpreter, so
+        #: bound handlers and inline caches never cross replicas even
+        #: though the class registry (and its Code objects) are shared.
+        self._code_cache: Dict[int, list] = {}
+        self._new_checked: set = set()
+        self._registry_version = self._registry.version
 
     # ==================================================================
-    # Single-step execution
+    # The execution engine
     # ==================================================================
-    def step(self, thread: JavaThread) -> StepResult:
-        """Execute one instruction of ``thread``."""
-        frame = thread.frames[-1]
-        instr = frame.method.code.instructions[frame.pc]
-        op = instr.op
-        thread.instructions += 1
-        if op in CF_OPS:
-            thread.br_cnt += 1
-        handler = self._dispatch[op]
+    def run_slice(self, thread: JavaThread, *, quantum: int = _UNLIMITED,
+                  controller=None, budget: int = _UNLIMITED) -> SliceEnd:
+        """Run ``thread`` until a safe-point event ends the slice.
+
+        With a ``controller`` (the scheduler's), the engine honours the
+        full slice discipline: GC safe points and replay preemption are
+        checked at every event boundary, ``jvm.instructions`` advances,
+        and the slice ends on quantum exhaustion (measured in control
+        flow changes, like the legacy loop).  Without one (detached
+        contexts, :meth:`step`), the engine never collects, never
+        preempts, and leaves ``jvm.instructions`` alone — exactly the
+        seed's ``step()`` behaviour.
+
+        ``budget`` bounds the number of instructions executed;
+        exhaustion returns :data:`SliceEnd.BUDGET`, which only this
+        engine's callers observe (the JVM run loop never sees it).
+        """
+        if self._registry_version != self._registry.version:
+            self._invalidate_caches()
+        if quantum <= 0:
+            # The legacy loop noticed a degenerate quantum only after
+            # running one instruction; mirror that exactly.
+            end = self.run_slice(thread, controller=controller, budget=1)
+            return SliceEnd.QUANTUM if end is SliceEnd.BUDGET else end
+        jvm = self._jvm
+        heap = self._heap
+        track = controller is not None
+        check_preempt = track and controller.needs_preempt_checks
+        should_preempt = controller.should_preempt if check_preempt else None
+        frames = thread.frames
+        cache = self._code_cache
+        start_br = thread.br_cnt
+        rem = budget
+        pending = 0  # executed plain ops not yet flushed to jvm.instructions
         try:
-            result = handler(thread, frame, instr)
+            while True:
+                # ---- safe-point boundary: full checks ----------------
+                if track:
+                    if heap.gc_requested:
+                        if pending:
+                            jvm.instructions += pending
+                            pending = 0
+                        end = jvm.gc_safepoint(thread)
+                        if end is not None:
+                            return end
+                    if check_preempt and should_preempt(thread):
+                        return SliceEnd.CONTROLLER
+                frame = frames[-1]
+                stream = frame.decoded
+                if stream is None:
+                    code = frame.method.code
+                    stream = cache.get(code.uid)
+                    if stream is None:
+                        stream = self._decode(code)
+                    frame.decoded = stream
+                kind, handler, arg = stream[frame.pc]
+                if kind == _K_PLAIN:
+                    # ---- batch straight-line bytecodes ---------------
+                    # Per-thread accounting runs in a local and is
+                    # flushed at every batch exit: nothing inside a
+                    # plain handler can observe thread.instructions,
+                    # and the undo paths all live in event handlers.
+                    n = 0
+                    while True:
+                        n += 1
+                        result = handler(thread, frame, arg)
+                        if result is not None:
+                            break
+                        if n >= rem:
+                            thread.instructions += n
+                            pending += n
+                            return SliceEnd.BUDGET
+                        kind, handler, arg = stream[frame.pc]
+                        if kind != _K_PLAIN:
+                            result = None
+                            break
+                    thread.instructions += n
+                    pending += n
+                    rem -= n
+                    if result is None:
+                        continue  # event op next: boundary checks first
+                    if result is not StepResult.CONTINUE:
+                        return _SLICE_END_OF_RESULT[result]
+                    # An implicit exception transferred control without
+                    # ticking br_cnt; treat it as a boundary so the next
+                    # instruction gets full checks.
+                    if rem <= 0:
+                        return SliceEnd.BUDGET
+                    continue
+                # ---- safe-point event op (control flow / monitor) ----
+                thread.instructions += 1
+                if kind == _K_CF:
+                    thread.br_cnt += 1
+                if track:
+                    if pending:
+                        jvm.instructions += pending
+                        pending = 0
+                    result = handler(thread, frame, arg)
+                    jvm.instructions += 1
+                else:
+                    result = handler(thread, frame, arg)
+                if result is not None and result is not StepResult.CONTINUE:
+                    return _SLICE_END_OF_RESULT[result]
+                if thread.br_cnt - start_br >= quantum:
+                    return SliceEnd.QUANTUM
+                rem -= 1
+                if rem <= 0:
+                    return SliceEnd.BUDGET
         except IndexError:
+            frame = thread.frames[-1] if thread.frames else None
+            if frame is None or frame.pc >= len(frame.method.code.instructions):
+                raise
+            op = frame.method.code.instructions[frame.pc].op
             raise ReproError(
                 f"operand stack underflow at {frame.method.qualified_name}"
                 f":{frame.pc} ({op.value}) — verifier should have caught this"
             ) from None
-        return StepResult.CONTINUE if result is None else result
+        finally:
+            if pending and track:
+                jvm.instructions += pending
+
+    def step(self, thread: JavaThread) -> StepResult:
+        """Execute exactly one instruction of ``thread``.
+
+        A thin wrapper over :meth:`run_slice` with ``budget=1`` — the
+        slice engine is the only execution semantics.
+        """
+        return _STEP_OF_SLICE_END[self.run_slice(thread, budget=1)]
+
+    # ==================================================================
+    # Pre-decoded instruction streams
+    # ==================================================================
+    def _decode(self, code) -> list:
+        """Translate (and cache) one code array into its stream of
+        ``(kind, bound_handler, decoded_operands)`` triples."""
+        stream = [self._decode_instr(instr) for instr in code.instructions]
+        self._code_cache[code.uid] = stream
+        return stream
+
+    def _decode_instr(self, instr):
+        op = instr.op
+        info = OP_INFO[op]
+        if info.is_control_flow:
+            kind = _K_CF
+        elif info.is_monitor:
+            kind = _K_MON
+        else:
+            kind = _K_PLAIN
+        decoder = self._decoders.get(op)
+        arg = decoder(instr) if decoder is not None else None
+        return (kind, self._dispatch[op], arg)
+
+    def _build_decoders(self):
+        """Per-opcode operand pre-decoding: the hot loop never touches
+        ``Instruction`` objects or re-parses operand strings."""
+        def first(instr):
+            return instr.operands[0]
+
+        def all_operands(instr):
+            return instr.operands
+
+        def cmp_pair(instr):
+            cmp_op, target = instr.operands
+            return (CMP_FNS[cmp_op], target)
+
+        def static_cell(instr):
+            class_name, field_name = instr.operands
+            return [class_name, field_name, None]  # slot filled on first use
+
+        def type_cell(instr):
+            return [instr.operands[0], None, False]  # last class, last answer
+
+        def invoke_site(instr):
+            return _InvokeSite(instr.op, self._method_ref(instr.operands[0]))
+
+        d = {
+            op: first
+            for op in (
+                Op.ICONST, Op.FCONST, Op.SCONST, Op.LOAD, Op.STORE,
+                Op.GOTO, Op.IF_NULL, Op.IF_NONNULL, Op.IF_ACMP_EQ,
+                Op.IF_ACMP_NE, Op.NEW, Op.GETFIELD, Op.PUTFIELD,
+                Op.NEWARRAY,
+            )
+        }
+        d[Op.IINC] = all_operands
+        for op in (Op.IF, Op.IF_ICMP, Op.IF_FCMP, Op.IF_SCMP):
+            d[op] = cmp_pair
+        d[Op.GETSTATIC] = static_cell
+        d[Op.PUTSTATIC] = static_cell
+        d[Op.INSTANCEOF] = type_cell
+        d[Op.CHECKCAST] = type_cell
+        for op in (Op.INVOKEVIRTUAL, Op.INVOKESPECIAL, Op.INVOKESTATIC):
+            d[op] = invoke_site
+        return d
+
+    def _invalidate_caches(self) -> None:
+        """Drop all decoded streams and inline caches.
+
+        Called at slice entry whenever the class registry's version has
+        moved (class (re)definition): every cached stream may hold stale
+        method resolutions, and every live frame may point at one.
+        """
+        self._code_cache.clear()
+        self._new_checked.clear()
+        for t in self._jvm.scheduler.threads:
+            for fr in t.frames:
+                fr.decoded = None
+        self._registry_version = self._registry.version
 
     # ==================================================================
     # Java exception machinery
@@ -206,46 +461,49 @@ class Interpreter:
 
     # ==================================================================
     # Simple handlers
+    #
+    # Signature is (thread, frame, arg) where ``arg`` is the pre-decoded
+    # operand payload for the opcode (None when it has none).
     # ==================================================================
-    def _op_nop(self, thread, frame, instr):
+    def _op_nop(self, thread, frame, arg):
         frame.pc += 1
 
-    def _op_const(self, thread, frame, instr):
-        frame.stack.append(instr.operands[0])
+    def _op_const(self, thread, frame, value):
+        frame.stack.append(value)
         frame.pc += 1
 
-    def _op_aconst_null(self, thread, frame, instr):
+    def _op_aconst_null(self, thread, frame, arg):
         frame.stack.append(None)
         frame.pc += 1
 
-    def _op_load(self, thread, frame, instr):
-        frame.stack.append(frame.locals[instr.operands[0]])
+    def _op_load(self, thread, frame, slot):
+        frame.stack.append(frame.locals[slot])
         frame.pc += 1
 
-    def _op_store(self, thread, frame, instr):
-        frame.locals[instr.operands[0]] = frame.stack.pop()
+    def _op_store(self, thread, frame, slot):
+        frame.locals[slot] = frame.stack.pop()
         frame.pc += 1
 
-    def _op_iinc(self, thread, frame, instr):
-        slot, delta = instr.operands
+    def _op_iinc(self, thread, frame, arg):
+        slot, delta = arg
         frame.locals[slot] = wrap_int(frame.locals[slot] + delta)
         frame.pc += 1
 
-    def _op_pop(self, thread, frame, instr):
+    def _op_pop(self, thread, frame, arg):
         frame.stack.pop()
         frame.pc += 1
 
-    def _op_dup(self, thread, frame, instr):
+    def _op_dup(self, thread, frame, arg):
         frame.stack.append(frame.stack[-1])
         frame.pc += 1
 
-    def _op_dup_x1(self, thread, frame, instr):
+    def _op_dup_x1(self, thread, frame, arg):
         stack = frame.stack
         top = stack[-1]
         stack.insert(-2, top)
         frame.pc += 1
 
-    def _op_swap(self, thread, frame, instr):
+    def _op_swap(self, thread, frame, arg):
         stack = frame.stack
         stack[-1], stack[-2] = stack[-2], stack[-1]
         frame.pc += 1
@@ -256,7 +514,7 @@ class Interpreter:
     def _make_int_binop(self, fn, op):
         zero_div = op in (Op.IDIV, Op.IREM)
 
-        def handler(thread, frame, instr):
+        def handler(thread, frame, arg):
             stack = frame.stack
             b = stack.pop()
             a = stack.pop()
@@ -272,7 +530,7 @@ class Interpreter:
     def _make_float_binop(self, fn):
         jvm = self._jvm
 
-        def handler(thread, frame, instr):
+        def handler(thread, frame, arg):
             stack = frame.stack
             b = stack.pop()
             a = stack.pop()
@@ -282,33 +540,33 @@ class Interpreter:
 
         return handler
 
-    def _op_ineg(self, thread, frame, instr):
+    def _op_ineg(self, thread, frame, arg):
         frame.stack[-1] = wrap_int(-frame.stack[-1])
         frame.pc += 1
 
-    def _op_fneg(self, thread, frame, instr):
+    def _op_fneg(self, thread, frame, arg):
         frame.stack[-1] = -frame.stack[-1]
         frame.pc += 1
 
-    def _op_i2f(self, thread, frame, instr):
+    def _op_i2f(self, thread, frame, arg):
         frame.stack[-1] = float(frame.stack[-1])
         frame.pc += 1
 
-    def _op_f2i(self, thread, frame, instr):
+    def _op_f2i(self, thread, frame, arg):
         frame.stack[-1] = wrap_int(int(frame.stack[-1]))
         frame.pc += 1
 
     # ==================================================================
     # Strings
     # ==================================================================
-    def _op_sconcat(self, thread, frame, instr):
+    def _op_sconcat(self, thread, frame, arg):
         stack = frame.stack
         b = stack.pop()
         a = stack.pop()
         stack.append(a + b)
         frame.pc += 1
 
-    def _op_s2i(self, thread, frame, instr):
+    def _op_s2i(self, thread, frame, arg):
         text = frame.stack.pop()
         try:
             frame.stack.append(wrap_int(int(text.strip(), 10)))
@@ -318,11 +576,11 @@ class Interpreter:
             )
         frame.pc += 1
 
-    def _op_i2s(self, thread, frame, instr):
+    def _op_i2s(self, thread, frame, arg):
         frame.stack[-1] = str(frame.stack[-1])
         frame.pc += 1
 
-    def _op_f2s(self, thread, frame, instr):
+    def _op_f2s(self, thread, frame, arg):
         value = frame.stack[-1]
         frame.stack[-1] = repr(float(value))
         frame.pc += 1
@@ -330,95 +588,114 @@ class Interpreter:
     # ==================================================================
     # Control flow
     # ==================================================================
-    def _op_goto(self, thread, frame, instr):
-        frame.pc = instr.operands[0]
+    def _op_goto(self, thread, frame, target):
+        frame.pc = target
 
-    def _op_if_cmp(self, thread, frame, instr):
-        cmp_op, target = instr.operands
+    def _op_if_cmp(self, thread, frame, arg):
+        cmp_fn, target = arg
         b = frame.stack.pop()
         a = frame.stack.pop()
-        frame.pc = target if compare(cmp_op, a, b) else frame.pc + 1
+        frame.pc = target if cmp_fn(a, b) else frame.pc + 1
 
-    def _op_if(self, thread, frame, instr):
-        cmp_op, target = instr.operands
+    def _op_if(self, thread, frame, arg):
+        cmp_fn, target = arg
         a = frame.stack.pop()
-        frame.pc = target if compare(cmp_op, a, 0) else frame.pc + 1
+        frame.pc = target if cmp_fn(a, 0) else frame.pc + 1
 
-    def _op_if_null(self, thread, frame, instr):
-        frame.pc = instr.operands[0] if frame.stack.pop() is None else frame.pc + 1
+    def _op_if_null(self, thread, frame, target):
+        frame.pc = target if frame.stack.pop() is None else frame.pc + 1
 
-    def _op_if_nonnull(self, thread, frame, instr):
-        frame.pc = (
-            instr.operands[0] if frame.stack.pop() is not None else frame.pc + 1
-        )
+    def _op_if_nonnull(self, thread, frame, target):
+        frame.pc = target if frame.stack.pop() is not None else frame.pc + 1
 
-    def _op_if_acmp_eq(self, thread, frame, instr):
+    def _op_if_acmp_eq(self, thread, frame, target):
         b = frame.stack.pop()
         a = frame.stack.pop()
-        frame.pc = instr.operands[0] if a is b else frame.pc + 1
+        frame.pc = target if a is b else frame.pc + 1
 
-    def _op_if_acmp_ne(self, thread, frame, instr):
+    def _op_if_acmp_ne(self, thread, frame, target):
         b = frame.stack.pop()
         a = frame.stack.pop()
-        frame.pc = instr.operands[0] if a is not b else frame.pc + 1
+        frame.pc = target if a is not b else frame.pc + 1
 
     # ==================================================================
     # Objects and fields
     # ==================================================================
-    def _op_new(self, thread, frame, instr):
-        class_name = instr.operands[0]
-        self._registry.resolve(class_name)  # raises LinkageError if unknown
+    def _op_new(self, thread, frame, class_name):
+        if class_name not in self._new_checked:
+            self._registry.resolve(class_name)  # raises LinkageError if unknown
+            self._new_checked.add(class_name)
         frame.stack.append(self._heap.alloc_object(class_name))
         frame.pc += 1
 
-    def _op_getfield(self, thread, frame, instr):
+    def _op_getfield(self, thread, frame, name):
         obj = frame.stack.pop()
         if obj is None:
-            return self._npe(thread, f"getfield {instr.operands[0]}")
+            return self._npe(thread, f"getfield {name}")
         try:
-            frame.stack.append(obj.fields[instr.operands[0]])
+            frame.stack.append(obj.fields[name])
         except (KeyError, AttributeError):
             raise LinkageError(
-                f"no field {instr.operands[0]!r} on {describe(obj)}"
+                f"no field {name!r} on {describe(obj)}"
             ) from None
         frame.pc += 1
 
-    def _op_putfield(self, thread, frame, instr):
+    def _op_putfield(self, thread, frame, name):
         value = frame.stack.pop()
         obj = frame.stack.pop()
         if obj is None:
-            return self._npe(thread, f"putfield {instr.operands[0]}")
-        name = instr.operands[0]
+            return self._npe(thread, f"putfield {name}")
         if not isinstance(obj, JObject) or name not in obj.fields:
             raise LinkageError(f"no field {name!r} on {describe(obj)}")
         obj.fields[name] = value
         frame.pc += 1
 
-    def _op_getstatic(self, thread, frame, instr):
-        class_name, field_name = instr.operands
-        frame.stack.append(self._jvm.get_static(class_name, field_name))
+    def _op_getstatic(self, thread, frame, cell):
+        slot = cell[2]
+        if slot is None:
+            slot = self._jvm._static_slot(cell[0], cell[1])
+            cell[2] = slot
+        frame.stack.append(self._jvm.statics[slot])
         frame.pc += 1
 
-    def _op_putstatic(self, thread, frame, instr):
-        class_name, field_name = instr.operands
-        self._jvm.put_static(class_name, field_name, frame.stack.pop())
+    def _op_putstatic(self, thread, frame, cell):
+        slot = cell[2]
+        if slot is None:
+            slot = self._jvm._static_slot(cell[0], cell[1])
+            cell[2] = slot
+        self._jvm.statics[slot] = frame.stack.pop()
         frame.pc += 1
 
-    def _op_instanceof(self, thread, frame, instr):
+    def _op_instanceof(self, thread, frame, cell):
         value = frame.stack.pop()
-        frame.stack.append(1 if self._is_instance(value, instr.operands[0]) else 0)
+        frame.stack.append(1 if self._cached_instance(value, cell) else 0)
         frame.pc += 1
 
-    def _op_checkcast(self, thread, frame, instr):
+    def _op_checkcast(self, thread, frame, cell):
         value = frame.stack[-1]
-        if value is not None and not self._is_instance(value, instr.operands[0]):
+        if value is not None and not self._cached_instance(value, cell):
             frame.stack.pop()
             return self.throw_new(
                 thread,
                 "ClassCastException",
-                f"{describe(value)} cannot be cast to {instr.operands[0]}",
+                f"{describe(value)} cannot be cast to {cell[0]}",
             )
         frame.pc += 1
+
+    def _cached_instance(self, value, cell) -> bool:
+        """``value instanceof cell[0]``, memoizing the last receiver
+        class's answer in the cell (monomorphic type-check cache)."""
+        if value is None:
+            return False
+        if isinstance(value, JArray):
+            return cell[0] == "Object"
+        cls = value.class_name
+        if cls == cell[1]:
+            return cell[2]
+        answer = self._registry.is_subtype(cls, cell[0])
+        cell[1] = cls
+        cell[2] = answer
+        return answer
 
     def _is_instance(self, value, class_name: str) -> bool:
         if value is None:
@@ -430,16 +707,16 @@ class Interpreter:
     # ==================================================================
     # Arrays
     # ==================================================================
-    def _op_newarray(self, thread, frame, instr):
+    def _op_newarray(self, thread, frame, elem_type):
         length = frame.stack.pop()
         if length < 0:
             return self.throw_new(
                 thread, "NegativeArraySizeException", str(length)
             )
-        frame.stack.append(self._heap.alloc_array(instr.operands[0], length))
+        frame.stack.append(self._heap.alloc_array(elem_type, length))
         frame.pc += 1
 
-    def _op_arrload(self, thread, frame, instr):
+    def _op_arrload(self, thread, frame, arg):
         index = frame.stack.pop()
         arr = frame.stack.pop()
         if arr is None:
@@ -450,7 +727,7 @@ class Interpreter:
         self._jvm.heavy_ops += 1
         frame.pc += 1
 
-    def _op_arrstore(self, thread, frame, instr):
+    def _op_arrstore(self, thread, frame, arg):
         value = frame.stack.pop()
         index = frame.stack.pop()
         arr = frame.stack.pop()
@@ -467,7 +744,7 @@ class Interpreter:
         self._jvm.heavy_ops += 1
         frame.pc += 1
 
-    def _op_arraylength(self, thread, frame, instr):
+    def _op_arraylength(self, thread, frame, arg):
         arr = frame.stack.pop()
         if arr is None:
             return self._npe(thread, "arraylength")
@@ -487,7 +764,7 @@ class Interpreter:
     # ==================================================================
     # Monitors
     # ==================================================================
-    def _op_monitorenter(self, thread, frame, instr):
+    def _op_monitorenter(self, thread, frame, arg):
         obj = frame.stack[-1]  # popped only once acquisition completes
         if obj is None:
             frame.stack.pop()
@@ -508,7 +785,7 @@ class Interpreter:
             else StepResult.PARKED
         )
 
-    def _op_monitorexit(self, thread, frame, instr):
+    def _op_monitorexit(self, thread, frame, arg):
         obj = frame.stack.pop()
         if obj is None:
             return self._npe(thread, "monitorexit")
@@ -523,7 +800,7 @@ class Interpreter:
     # ==================================================================
     # Exceptions
     # ==================================================================
-    def _op_athrow(self, thread, frame, instr):
+    def _op_athrow(self, thread, frame, arg):
         exc = frame.stack.pop()
         if exc is None:
             return self._npe(thread, "athrow")
@@ -543,15 +820,22 @@ class Interpreter:
             self._ref_cache[operand] = ref
         return ref
 
-    def _op_invoke(self, thread, frame, instr):
-        ref = self._method_ref(instr.operands[0])
-        op = instr.op
+    def _op_invoke(self, thread, frame, site):
+        ref = site.ref
+        op = site.op
         stack = frame.stack
-        nargs = ref.nargs
+        nargs = site.nargs
 
         if op is Op.INVOKESTATIC:
             receiver = None
-            method = self._jvm.resolve_static_method(ref)
+            method = site.method
+            if method is None:
+                method = self._jvm.resolve_static_method(ref)
+                site.method = method
+                site.intrinsic = self._jvm.intrinsics.get(
+                    (method.declaring_class.name, method.name, nargs)
+                )
+            intrinsic = site.intrinsic
         else:
             receiver = stack[-1 - nargs]
             if receiver is None:
@@ -559,23 +843,37 @@ class Interpreter:
                 thread.br_cnt -= 1  # the call never happened
                 return self._npe(thread, f"invoke {ref.class_name}.{ref.method_name}")
             if op is Op.INVOKESPECIAL:
-                method = self._registry.lookup_method(
-                    ref.class_name, ref.method_name, nargs
-                )
+                method = site.method
+                if method is None:
+                    method = self._registry.lookup_method(
+                        ref.class_name, ref.method_name, nargs
+                    )
+                    site.method = method
+                    site.intrinsic = self._jvm.intrinsics.get(
+                        (method.declaring_class.name, method.name, nargs)
+                    )
+                intrinsic = site.intrinsic
             else:
                 dyn_class = (
                     "Object" if isinstance(receiver, JArray)
                     else receiver.class_name
                 )
-                method = self._registry.lookup_method(
-                    dyn_class, ref.method_name, nargs
-                )
+                if dyn_class == site.vclass:
+                    method = site.vmethod
+                    intrinsic = site.vintrinsic
+                else:
+                    method = self._registry.lookup_method(
+                        dyn_class, ref.method_name, nargs
+                    )
+                    intrinsic = self._jvm.intrinsics.get(
+                        (method.declaring_class.name, method.name, nargs)
+                    )
+                    site.vclass = dyn_class
+                    site.vmethod = method
+                    site.vintrinsic = intrinsic
 
         # Intrinsics (wait/notify/thread ops) manage the stack themselves
         # because several of them suspend mid-instruction.
-        intrinsic = self._jvm.intrinsics.get(
-            (method.declaring_class.name, method.name, nargs)
-        )
         if intrinsic is not None:
             return intrinsic(thread, frame, method, receiver, nargs)
 
@@ -627,10 +925,10 @@ class Interpreter:
     # ==================================================================
     # Returns
     # ==================================================================
-    def _op_return(self, thread, frame, instr):
+    def _op_return(self, thread, frame, arg):
         return self._do_return(thread, frame, None, push=False)
 
-    def _op_vreturn(self, thread, frame, instr):
+    def _op_vreturn(self, thread, frame, arg):
         return self._do_return(thread, frame, frame.stack.pop(), push=True)
 
     def _do_return(self, thread, frame, value, push: bool):
@@ -643,6 +941,26 @@ class Interpreter:
             caller.stack.append(value)
         caller.pc += 1
         return None
+
+
+_SLICE_END_OF_RESULT = {
+    StepResult.BLOCKED: SliceEnd.BLOCKED,
+    StepResult.WAITING: SliceEnd.WAITING,
+    StepResult.PARKED: SliceEnd.PARKED,
+    StepResult.YIELDED: SliceEnd.YIELDED,
+    StepResult.TERMINATED: SliceEnd.TERMINATED,
+    StepResult.STARVED: SliceEnd.STARVED,
+}
+
+_STEP_OF_SLICE_END = {
+    SliceEnd.BUDGET: StepResult.CONTINUE,
+    SliceEnd.BLOCKED: StepResult.BLOCKED,
+    SliceEnd.WAITING: StepResult.WAITING,
+    SliceEnd.PARKED: StepResult.PARKED,
+    SliceEnd.YIELDED: StepResult.YIELDED,
+    SliceEnd.TERMINATED: StepResult.TERMINATED,
+    SliceEnd.STARVED: StepResult.STARVED,
+}
 
 
 _INT_BINOPS = {

@@ -70,6 +70,12 @@ class JVMConfig:
     #: Upper bound on total executed instructions (None = unlimited);
     #: a guard rail for tests, not a semantic limit.
     max_instructions: Optional[int] = None
+    #: Execution engine driving each time slice: ``"slice"`` batches
+    #: straight-line bytecodes between safe-point events (the fast
+    #: path); ``"step"`` re-enters the engine per instruction with full
+    #: checks before each one (the seed's reference discipline).  Both
+    #: produce bit-identical digests, logs, and counters.
+    engine: str = "slice"
 
 
 @dataclass
@@ -131,6 +137,11 @@ class JVM:
         self.session = session
         self.config = config or JVMConfig()
         self.name = name
+        if self.config.engine not in ("step", "slice"):
+            raise ReproError(
+                f"unknown execution engine {self.config.engine!r}; "
+                f"expected 'step' or 'slice'"
+            )
 
         from repro.runtime.scheduler import ScheduleController
 
@@ -370,34 +381,54 @@ class JVM:
     def _run_slice(self, thread: JavaThread) -> None:
         controller = self.scheduler.controller
         quantum = controller.quantum(thread)
-        start_br = thread.br_cnt
-        interp = self.interpreter
-        step = interp.step
-        while True:
-            if self.heap.gc_requested:
-                freed = self.collector.collect()
-                self.run_hooks.on_gc(self, freed)
-                if self.heap.used_cells >= self.config.heap_max_cells:
-                    interp.throw_new(thread, "OutOfMemoryError", "heap")
-                    if not thread.alive:
-                        reason = SliceEnd.TERMINATED
-                        break
-            if controller.should_preempt(thread):
-                reason = SliceEnd.CONTROLLER
-                break
-            result = step(thread)
-            self.instructions += 1
-            if result is not StepResult.CONTINUE:
-                reason = _SLICE_END_OF_STEP[result]
-                break
-            if thread.br_cnt - start_br >= quantum:
-                reason = SliceEnd.QUANTUM
-                break
+        if self.config.engine == "slice":
+            reason = self.interpreter.run_slice(
+                thread, quantum=quantum, controller=controller
+            )
+        else:
+            reason = self._run_slice_stepwise(thread, controller, quantum)
         controller.on_slice_end(thread, reason)
         self.scheduler.last_reason = reason
         self.run_hooks.on_slice_end(self, thread, reason)
         if thread.state is ThreadState.RUNNABLE:
             self.scheduler.requeue_current(thread)
+
+    def _run_slice_stepwise(self, thread: JavaThread, controller,
+                            quantum: int) -> SliceEnd:
+        """The seed's per-instruction reference loop (``engine="step"``):
+        GC and preemption are checked before *every* instruction and the
+        engine is re-entered per bytecode.  Kept verbatim as the oracle
+        the fast path is differentially verified against."""
+        start_br = thread.br_cnt
+        step = self.interpreter.step
+        while True:
+            if self.heap.gc_requested:
+                end = self.gc_safepoint(thread)
+                if end is not None:
+                    return end
+            if controller.should_preempt(thread):
+                return SliceEnd.CONTROLLER
+            result = step(thread)
+            self.instructions += 1
+            if result is not StepResult.CONTINUE:
+                return _SLICE_END_OF_STEP[result]
+            if thread.br_cnt - start_br >= quantum:
+                return SliceEnd.QUANTUM
+
+    def gc_safepoint(self, thread: JavaThread) -> Optional[SliceEnd]:
+        """Collect at a safe point; handle the out-of-memory aftermath.
+
+        Returns the slice-ending reason when the collection killed the
+        thread (uncaught OutOfMemoryError), else None.  Shared by both
+        execution engines so the GC protocol cannot drift between them.
+        """
+        freed = self.collector.collect()
+        self.run_hooks.on_gc(self, freed)
+        if self.heap.used_cells >= self.config.heap_max_cells:
+            self.interpreter.throw_new(thread, "OutOfMemoryError", "heap")
+            if not thread.alive:
+                return SliceEnd.TERMINATED
+        return None
 
     # ==================================================================
     # Thread lifecycle callbacks (from the interpreter)

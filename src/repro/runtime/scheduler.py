@@ -50,10 +50,19 @@ class SliceEnd(enum.Enum):
     YIELDED = "yielded"          # Thread.yield
     TERMINATED = "terminated"    # thread finished
     STARVED = "starved"          # hot backup waiting for more log
+    BUDGET = "budget"            # run_slice instruction budget exhausted
+                                 # (internal to the execution engine;
+                                 # never reported by the JVM run loop)
 
 
 class ScheduleController:
     """Default policy: jittered round-robin."""
+
+    #: Whether :meth:`should_preempt` can ever return True.  The fast
+    #: path skips the call entirely at safe-point boundaries when this
+    #: is False (live schedulers preempt only on quantum exhaustion);
+    #: replaying backups override it to True.
+    needs_preempt_checks = False
 
     def __init__(self, seed: int = 0, quantum_base: int = 50,
                  quantum_jitter: int = 20) -> None:
@@ -68,7 +77,12 @@ class ScheduleController:
         return self.quantum_base + self._rng.randrange(self.quantum_jitter + 1)
 
     def should_preempt(self, thread: JavaThread) -> bool:
-        """Checked before every instruction; used by replay controllers."""
+        """Checked at safe-point boundaries; used by replay controllers.
+
+        Only controllers with ``needs_preempt_checks = True`` are
+        actually consulted — the stock policy preempts via the quantum
+        alone, so the engine elides the call.
+        """
         return False
 
     def pick_next(self, scheduler: "Scheduler") -> Optional[JavaThread]:

@@ -26,8 +26,8 @@ from repro.conform import (
 )
 
 REPORT_KEYS = {"version", "tool", "config", "cells", "totals", "ok"}
-CELL_KEYS = {"workload", "strategy", "transport", "total_events",
-             "crash_points", "failures", "ok"}
+CELL_KEYS = {"workload", "strategy", "transport", "engine",
+             "total_events", "crash_points", "failures", "ok"}
 
 
 # ======================================================================
@@ -136,8 +136,8 @@ def test_conform_cli_quick_smoke(tmp_path):
 # ======================================================================
 # Chained-failover sweeps (replica-group supervisor)
 # ======================================================================
-CHAIN_CELL_KEYS = {"workload", "strategy", "transport", "depth",
-                   "crash_points", "layers", "errors", "ok"}
+CHAIN_CELL_KEYS = {"workload", "strategy", "transport", "engine",
+                   "depth", "crash_points", "layers", "errors", "ok"}
 
 
 def test_chained_report_schema_keys():

@@ -26,4 +26,6 @@ def test_as_dict_round_trips_counters():
 
 def test_defaults_are_zero():
     m = ReplicationMetrics()
-    assert all(v == 0 for v in m.as_dict().values())
+    d = m.as_dict()
+    assert d.pop("engine") == "step"   # a label, not a counter
+    assert all(v == 0 for v in d.values())
