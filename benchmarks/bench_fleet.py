@@ -1,0 +1,168 @@
+"""Fleet serving benchmark: open-loop traffic over sharded replica groups.
+
+Two scenarios on the same seeded traffic schedule:
+
+* ``steady`` — every shard stays healthy; the latency distribution is
+  the fleet's baseline (routing + ingest wake-up + output-committed
+  reply per request);
+* ``crash_under_load`` — one shard's primary fail-stops mid-load; the
+  fleet keeps serving while that shard fails over, reconciles its
+  request port, and re-arms a fresh backup via checkpoint transfer.
+  The crash must cost *latency only*: both scenarios must commit every
+  request exactly once with responses matching the serial reference.
+
+Latency/throughput are simulated time (the cost model's bytecode
+equivalents over seeded arrivals — deterministic under the seed);
+``wall_seconds`` reports the real substrate cost of the run.
+
+Usable two ways:
+
+* as a script (CI's fleet-smoke job)::
+
+      PYTHONPATH=src python benchmarks/bench_fleet.py \
+          --json BENCH_fleet.json
+
+  exits non-zero when either scenario loses, duplicates, or corrupts a
+  response;
+
+* under pytest (``pytest benchmarks/bench_fleet.py``), honoring
+  ``REPRO_BENCH_PROFILE=test`` and writing both the rendered table and
+  ``BENCH_fleet.json`` to ``benchmarks/results/``.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+#: Traffic shapes per profile: the test profile proves the plumbing,
+#: the bench profile produces the numbers in README.md.
+_TRAFFIC = {
+    "test": {"n_shards": 3, "qps": 300.0, "n_requests": 120,
+             "n_clients": 4, "crash_at": 40},
+    "bench": {"n_shards": 3, "qps": 400.0, "n_requests": 500,
+              "n_clients": 8, "crash_at": 40},
+}
+
+#: The shard whose primary fail-stops in the crash scenario.
+_CRASH_SHARD = 1
+
+
+def _run_scenario(profile, crash):
+    from repro.fleet import Fleet, TrafficSpec
+    from repro.workloads import DB_SERVER
+
+    shape = _TRAFFIC[profile]
+    keyspace = int(DB_SERVER.params_for(profile)["keyspace"])
+    spec = TrafficSpec(qps=shape["qps"], n_requests=shape["n_requests"],
+                       n_clients=shape["n_clients"], keyspace=keyspace)
+    crash_for = None
+    if crash:
+        schedule = {0: shape["crash_at"]}
+        crash_for = (lambda s: schedule if s == _CRASH_SHARD else None)
+    start = time.perf_counter()
+    fleet = Fleet(shape["n_shards"], profile=profile,
+                  crash_schedule_for=crash_for)
+    metrics = fleet.serve_open_loop(spec)
+    wall = time.perf_counter() - start
+    report = metrics.as_dict()
+    report["wall_seconds"] = round(wall, 3)
+    return report
+
+
+def run_suite(profile="bench"):
+    """Both scenarios as a JSON-ready report dict."""
+    return {
+        "profile": profile,
+        "traffic": dict(_TRAFFIC[profile]),
+        "crash_shard": _CRASH_SHARD,
+        "scenarios": {
+            "steady": _run_scenario(profile, crash=False),
+            "crash_under_load": _run_scenario(profile, crash=True),
+        },
+    }
+
+
+def render(report):
+    from repro.harness.tables import render_table
+    rows = []
+    for name, cell in report["scenarios"].items():
+        rows.append([
+            name, cell["requests_offered"], cell["responses_committed"],
+            cell["failovers_absorbed"],
+            f"{cell['p50_latency_ms']:.3f}",
+            f"{cell['p99_latency_ms']:.3f}",
+            f"{cell['throughput_rps']:.1f}",
+            "yes" if cell["exactly_once"] else "NO",
+        ])
+    return render_table(
+        f"Fleet serving, simulated latency/throughput "
+        f"(profile={report['profile']}, "
+        f"{report['traffic']['n_shards']} shards)",
+        ["Scenario", "Offered", "Committed", "Failovers",
+         "p50 ms", "p99 ms", "rps", "Exactly-once"],
+        rows,
+    )
+
+
+def _violations(report):
+    return [
+        f"{name}: lost={cell['responses_lost']} "
+        f"dup={cell['responses_duplicated']} wrong={cell['responses_wrong']}"
+        for name, cell in report["scenarios"].items()
+        if not cell["exactly_once"]
+    ]
+
+
+# ----------------------------------------------------------------------
+# pytest entry point
+# ----------------------------------------------------------------------
+def test_fleet_bench(bench_profile, save_result):
+    report = run_suite(bench_profile)
+    save_result("fleet_serving", render(report))
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    with open(os.path.join(results_dir, "BENCH_fleet.json"), "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    assert not _violations(report)
+    crash = report["scenarios"]["crash_under_load"]
+    assert crash["failovers_absorbed"] >= 1
+    # The failover shows up as tail latency, never as lost work.
+    assert crash["p99_latency_ms"] > report["scenarios"]["steady"][
+        "p99_latency_ms"]
+
+
+# ----------------------------------------------------------------------
+# script entry point (CI fleet smoke)
+# ----------------------------------------------------------------------
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", default=os.environ.get(
+        "REPRO_BENCH_PROFILE", "bench"), choices=sorted(_TRAFFIC))
+    parser.add_argument("--json", default="BENCH_fleet.json",
+                        metavar="PATH", help="write the report here")
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.profile)
+    with open(args.json, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(render(report))
+    crash = report["scenarios"]["crash_under_load"]
+    print(f"crash-under-load: {crash['failovers_absorbed']} failover(s), "
+          f"{crash['requests_requeued']} request(s) requeued, "
+          f"p99 {crash['p99_latency_ms']:.1f}ms vs steady "
+          f"{report['scenarios']['steady']['p99_latency_ms']:.1f}ms")
+    bad = _violations(report)
+    if bad:
+        for line in bad:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

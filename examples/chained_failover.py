@@ -18,7 +18,8 @@ the survivors' work against a plain unreplicated run:
 Run:  python examples/chained_failover.py
 """
 
-from repro import Environment, FAULT_PROFILES, FaultyTransport, compile_program
+from repro import (Environment, FAULT_PROFILES, FaultyTransport,
+                   ReplicationConfig, compile_program)
 from repro.replication import ReplicaGroup, run_unreplicated
 from repro.replication.digest import compute_state_digest
 
@@ -56,12 +57,14 @@ def main() -> None:
     group = ReplicaGroup(
         registry,
         env=env,
-        strategy="lock_sync",
-        crash_schedule={0: 9, 1: 4, 2: 11},
-        transport=lambda generation: FaultyTransport(
-            FAULT_PROFILES["flaky"], seed=17 + 97 * generation),
-        batch_records=1,
-        chunk_bytes=256,
+        config=ReplicationConfig(
+            strategy="lock_sync",
+            crash_schedule={0: 9, 1: 4, 2: 11},
+            transport=lambda generation: FaultyTransport(
+                FAULT_PROFILES["flaky"], seed=17 + 97 * generation),
+            batch_records=1,
+            chunk_bytes=256,
+        ),
     )
     result = group.run("Main")
 

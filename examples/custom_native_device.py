@@ -10,7 +10,8 @@ whether a print completed, and sweep every crash point.
 Run:  python examples/custom_native_device.py
 """
 
-from repro import Environment, ReplicatedJVM, compile_program
+from repro import (Environment, ReplicatedJVM, ReplicationConfig,
+                   compile_program)
 from repro.minijava import NativeClassSpec, NativeMethodSpec
 from repro.replication import SideEffectHandler
 from repro.runtime.natives import NativeSpec
@@ -91,7 +92,8 @@ def main() -> None:
     registry, natives = build()
     env = Environment()
     machine = ReplicatedJVM(registry, natives=natives, env=env,
-                            se_handlers=[PrinterHandler()])
+                            config=ReplicationConfig(
+                                se_handlers=[PrinterHandler()]))
     machine.run("Main")
     reference = env.fs.contents("printer.spool")
     print("== reference spool ==")
@@ -103,8 +105,9 @@ def main() -> None:
         registry, natives = build()
         env = Environment()
         machine = ReplicatedJVM(registry, natives=natives, env=env,
-                                se_handlers=[PrinterHandler()],
-                                crash_at=crash_at)
+                                config=ReplicationConfig(
+                                    se_handlers=[PrinterHandler()],
+                                    crash_at=crash_at))
         result = machine.run("Main")
         assert result.failed_over
         if env.fs.contents("printer.spool") != reference:

@@ -11,7 +11,8 @@ executions exactly.
 Run:  python examples/data_race_demo.py
 """
 
-from repro import Environment, ReplicatedJVM, compile_program
+from repro import (Environment, ReplicatedJVM, ReplicationConfig,
+                   compile_program)
 from repro.replication import ReplicaSettings, run_unreplicated
 
 # Figure 1's shape: an unguarded null check around shared static state.
@@ -73,7 +74,8 @@ def main() -> None:
     print("\n== step 2: replicated thread scheduling handles it anyway ==")
     env = Environment()
     machine = ReplicatedJVM(compile_program(SOURCE), env=env,
-                            strategy="thread_sched")
+                            config=ReplicationConfig(
+                                strategy="thread_sched"))
     machine.run("Main")
     primary_digest = machine.primary_jvm.state_digest()
     primary_output = env.console.transcript().strip()

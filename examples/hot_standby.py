@@ -13,7 +13,8 @@ work each kind of backup performs *after* the crash.
 Run:  python examples/hot_standby.py
 """
 
-from repro import Environment, ReplicatedJVM, compile_program
+from repro import (Environment, ReplicatedJVM, ReplicationConfig,
+                   compile_program)
 
 SOURCE = """
 class Stats {
@@ -59,7 +60,7 @@ def run_with(probe, hot: bool, crash_at: int):
 def main() -> None:
     # Find a late crash point; the probe then serves as clone template.
     probe = ReplicatedJVM(compile_program(SOURCE), env=Environment(),
-                          strategy="lock_sync")
+                          config=ReplicationConfig(strategy="lock_sync"))
     probe.run("Main")
     crash_at = probe.shipper.injector.events - 1
     print(f"crashing the primary at event {crash_at} "

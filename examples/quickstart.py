@@ -7,7 +7,8 @@ the job with exactly-once output.
 Run:  python examples/quickstart.py
 """
 
-from repro import Environment, ReplicatedJVM, compile_program
+from repro import (Environment, ReplicatedJVM, ReplicationConfig,
+                   compile_program)
 
 SOURCE = """
 class Greeter {
@@ -32,7 +33,7 @@ def main() -> None:
     # --- 1. A failure-free replicated run. ----------------------------
     env = Environment()
     machine = ReplicatedJVM(compile_program(SOURCE), env=env,
-                            strategy="lock_sync")
+                            config=ReplicationConfig(strategy="lock_sync"))
     result = machine.run("Main")
     print("== failure-free run ==")
     print(env.console.transcript())
@@ -44,8 +45,9 @@ def main() -> None:
     # --- 2. Crash the primary halfway; the backup takes over. ---------
     env = Environment()
     machine = ReplicatedJVM(compile_program(SOURCE), env=env,
-                            strategy="lock_sync",
-                            crash_at=total_events // 2)
+                            config=ReplicationConfig(
+                                strategy="lock_sync",
+                                crash_at=total_events // 2))
     result = machine.run("Main")
     print("\n== run with a mid-execution fail-stop ==")
     print(env.console.transcript())

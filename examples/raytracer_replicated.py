@@ -12,7 +12,8 @@ state agreement; then it compares the simulated-time overheads.
 Run:  python examples/raytracer_replicated.py
 """
 
-from repro import DEFAULT_COST_MODEL, Environment, ReplicatedJVM
+from repro import (DEFAULT_COST_MODEL, Environment, ReplicatedJVM,
+                   ReplicationConfig)
 from repro.workloads import MTRT
 
 
@@ -20,7 +21,7 @@ def run_strategy(strategy: str):
     env = Environment()
     MTRT.prepare_env(env, "test")
     machine = ReplicatedJVM(MTRT.compile("test"), env=env,
-                            strategy=strategy)
+                            config=ReplicationConfig(strategy=strategy))
     result = machine.run(MTRT.main_class)
     assert result.final_result.ok
     output = env.console.transcript().strip()

@@ -8,11 +8,14 @@ scheduling.
 
 Quickstart::
 
-    from repro import compile_program, ReplicatedJVM, Environment
+    from repro import (
+        compile_program, ReplicatedJVM, ReplicationConfig, Environment,
+    )
 
     registry = compile_program(source_text)
     machine = ReplicatedJVM(registry, env=Environment(),
-                            strategy="thread_sched", crash_at=40)
+                            config=ReplicationConfig(
+                                strategy="thread_sched", crash_at=40))
     result = machine.run("Main")
     assert result.failed_over
 """
@@ -29,7 +32,8 @@ from repro.runtime import (
     JVM, JVMConfig, RunResult, default_natives, new_program_registry,
 )
 from repro.replication import (
-    ReplicatedJVM, FailoverResult, ReplicaSettings, run_unreplicated,
+    ReplicatedJVM, FailoverResult, ReplicaSettings, ReplicationConfig,
+    run_unreplicated,
     ReplicaGroup, GroupResult, GenerationReport,
     SideEffectHandler,
     CoordinationStrategy, register_strategy, strategy_names,
@@ -52,6 +56,7 @@ __all__ = [
     "JVM", "JVMConfig", "RunResult", "default_natives",
     "new_program_registry",
     "ReplicatedJVM", "FailoverResult", "ReplicaSettings",
+    "ReplicationConfig",
     "ReplicaGroup", "GroupResult", "GenerationReport",
     "run_unreplicated", "SideEffectHandler",
     "CoordinationStrategy", "register_strategy", "strategy_names",

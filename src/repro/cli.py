@@ -31,6 +31,7 @@ from repro.bytecode.assembler import disassemble
 from repro.env.environment import Environment
 from repro.errors import ReproError
 from repro.minijava import compile_program
+from repro.replication.config import ReplicationConfig
 from repro.replication.machine import ReplicatedJVM, run_unreplicated
 from repro.runtime.stdlib import new_program_registry
 
@@ -38,6 +39,78 @@ from repro.runtime.stdlib import new_program_registry
 def _load_source(path: str) -> str:
     with open(path) as fh:
         return fh.read()
+
+
+# ======================================================================
+# Shared replication flags
+# ======================================================================
+def transport_from_spec(spec: Optional[str], seed: int):
+    """Resolve a ``--transport`` spec into a
+    :class:`~repro.replication.config.ReplicationConfig` transport value:
+    ``None``/``"memory"`` -> in-memory default, ``"socket"`` -> loopback
+    TCP, ``"faulty:<profile>"`` -> a factory of seeded fault-injecting
+    transports (every generation's faults are reproducible)."""
+    from repro.replication.transport import FAULT_PROFILES, FaultyTransport
+
+    if spec is None or spec == "memory":
+        return None
+    if spec == "socket":
+        return "socket"
+    kind, _, profile = spec.partition(":")
+    profile = profile or "flaky"
+    if kind == "faulty" and profile in FAULT_PROFILES:
+        return lambda _gen=None: FaultyTransport(
+            FAULT_PROFILES[profile], seed=seed
+        )
+    raise ReproError(
+        f"unknown transport {spec!r}; expected 'memory', 'socket', or "
+        f"'faulty:<profile>' with a profile from "
+        f"{sorted(FAULT_PROFILES)}"
+    )
+
+
+def add_replication_options(
+    parser: argparse.ArgumentParser,
+    *,
+    repeatable: bool = False,
+    strategies: tuple = ("lock_sync", "thread_sched"),
+    default_strategy: str = "lock_sync",
+    engines: tuple = ("step", "slice"),
+    default_engine: str = "slice",
+    default_seed: int = 20030622,
+) -> argparse.ArgumentParser:
+    """The shared ``--strategy/--transport/--engine/--seed`` block.
+
+    Every subcommand that builds replicated machines (``replicate``,
+    ``conform``, ``fleet``) takes its flags from here, so they spell and
+    behave identically; ``repeatable`` switches to the append-style
+    variants the sweep matrix needs."""
+    if repeatable:
+        parser.add_argument("--strategy", action="append", default=None,
+                            choices=strategies,
+                            help="strategies to sweep (repeatable; "
+                                 "default all)")
+        parser.add_argument("--transport", action="append", default=None,
+                            metavar="T",
+                            help="'memory', 'socket', or "
+                                 "'faulty:<profile>' (repeatable)")
+    else:
+        parser.add_argument("--strategy", default=default_strategy,
+                            choices=strategies)
+        parser.add_argument("--transport", default=None, metavar="T",
+                            help="'memory' (default), 'socket', or "
+                                 "'faulty:<profile>'")
+    parser.add_argument("--engine", choices=engines,
+                        default=default_engine,
+                        help="execution engine: 'step' re-enters per "
+                             "bytecode, 'slice' batches to the next "
+                             "safe-point event"
+                             + (" ('both' sweeps each cell under both)"
+                                if "both" in engines else ""))
+    parser.add_argument("--seed", type=int, default=default_seed,
+                        help="seed for fault schedules and generated "
+                             "traffic")
+    return parser
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -58,12 +131,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_replicate(args: argparse.Namespace) -> int:
+    from repro.runtime.jvm import JVMConfig
+
     registry = compile_program(_load_source(args.file))
     env = Environment()
-    machine = ReplicatedJVM(registry, env=env, strategy=args.strategy,
-                            crash_at=args.crash_at,
-                            hot_backup=args.hot,
-                            digest_interval=args.digest_interval)
+    machine = ReplicatedJVM(registry, env=env, config=ReplicationConfig(
+        strategy=args.strategy, crash_at=args.crash_at,
+        hot_backup=args.hot, digest_interval=args.digest_interval,
+        transport=transport_from_spec(args.transport, args.seed),
+        jvm_config=JVMConfig(engine=args.engine),
+    ))
     result = machine.run(args.main, args.args)
     sys.stdout.write(env.console.transcript())
     print(f"[outcome={result.outcome}"
@@ -159,6 +236,60 @@ def _cmd_conform(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fleet import Fleet, TrafficSpec
+    from repro.runtime.jvm import JVMConfig
+    from repro.workloads import DB_SERVER
+
+    keyspace = args.keyspace
+    if keyspace is None:
+        keyspace = int(DB_SERVER.params_for(args.profile)["keyspace"])
+    spec = TrafficSpec(qps=args.qps, n_requests=args.requests,
+                       n_clients=args.clients, keyspace=keyspace,
+                       seed=args.seed)
+    crash_for = None
+    if args.crash_shard is not None:
+        if not 0 <= args.crash_shard < args.shards:
+            raise ReproError(
+                f"--crash-shard {args.crash_shard} out of range for "
+                f"{args.shards} shards"
+            )
+        schedule = {args.crash_generation: args.crash_at}
+        crash_for = (lambda s: schedule if s == args.crash_shard else None)
+    fleet = Fleet(
+        args.shards,
+        profile=args.profile,
+        config=ReplicationConfig(
+            strategy=args.strategy,
+            transport=transport_from_spec(args.transport, args.seed),
+            jvm_config=JVMConfig(engine=args.engine),
+        ),
+        crash_schedule_for=crash_for,
+    )
+    metrics = fleet.serve_open_loop(spec)
+    report = metrics.as_dict()
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    print(f"[fleet shards={metrics.n_shards} "
+          f"offered={metrics.requests_offered} "
+          f"committed={metrics.responses_committed} "
+          f"lost={metrics.responses_lost} "
+          f"duplicated={metrics.responses_duplicated} "
+          f"wrong={metrics.responses_wrong}]", file=sys.stderr)
+    print(f"[latency p50={metrics.p50_latency_ms:.3f}ms "
+          f"p99={metrics.p99_latency_ms:.3f}ms "
+          f"throughput={metrics.throughput_rps:.1f}rps "
+          f"makespan={metrics.makespan_ms:.1f}ms]", file=sys.stderr)
+    print(f"[failovers={metrics.failovers_absorbed} "
+          f"requeued={metrics.requests_requeued} "
+          f"exactly_once={metrics.exactly_once}]", file=sys.stderr)
+    return 0 if metrics.exactly_once else 1
+
+
 def _cmd_disasm(args: argparse.Namespace) -> int:
     registry = compile_program(_load_source(args.file))
     base = set(new_program_registry().class_names())
@@ -229,9 +360,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("file")
     p_rep.add_argument("--main", default="Main")
     p_rep.add_argument("--args", nargs="*", default=[])
-    p_rep.add_argument("--strategy", default="lock_sync",
-                       choices=("lock_sync", "thread_sched",
-                                "lock_intervals"))
+    add_replication_options(
+        p_rep, strategies=("lock_sync", "thread_sched", "lock_intervals"),
+    )
     p_rep.add_argument("--crash-at", type=int, default=None)
     p_rep.add_argument("--hot", action="store_true",
                        help="keep the backup updated during normal "
@@ -271,35 +402,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="small pinned matrix for CI smoke runs "
                              "(counter workload, memory + seeded flaky "
                              "transports)")
-    p_conf.add_argument("--strategy", action="append", default=None,
-                        choices=("lock_sync", "thread_sched"),
-                        help="strategies to sweep (repeatable; default "
-                             "both)")
-    p_conf.add_argument("--transport", action="append", default=None,
-                        metavar="T",
-                        help="'memory' or 'faulty:<profile>' "
-                             "(repeatable)")
+    add_replication_options(
+        p_conf, repeatable=True, engines=("step", "slice", "both"),
+    )
     p_conf.add_argument("--workers", type=int, default=0, metavar="N",
                         help="crash points checked in N parallel "
                              "processes (0 = inline)")
     p_conf.add_argument("--stride", type=int, default=1, metavar="N",
                         help="check every Nth crash index (failures "
                              "are shrunk back to the minimal point)")
-    p_conf.add_argument("--seed", type=int, default=20030622,
-                        help="seed for the faulty transports' fault "
-                             "schedules")
     p_conf.add_argument("--digest-interval", type=int, default=None,
                         metavar="N",
                         help="schedule records per periodic digest "
                              "(default 2)")
     p_conf.add_argument("--no-shrink", action="store_true",
                         help="report the first failing point as-is")
-    p_conf.add_argument("--engine", choices=("step", "slice", "both"),
-                        default="slice",
-                        help="execution engine for the crash runs "
-                             "('both' sweeps each cell under the "
-                             "single-step and fast-path engines; the "
-                             "reference is always single-step)")
     p_conf.add_argument("--chained", action="store_true",
                         help="sweep chained failovers through the "
                              "replica-group supervisor: crash every "
@@ -315,6 +432,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_conf.add_argument("--list", action="store_true",
                         help="list conform workloads and exit")
     p_conf.set_defaults(fn=_cmd_conform)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="serve open-loop traffic on a sharded replica fleet",
+    )
+    p_fleet.add_argument("--shards", type=int, default=3, metavar="N",
+                         help="replica groups, one keyspace shard each")
+    p_fleet.add_argument("--qps", type=float, default=400.0,
+                         help="open-loop arrival rate")
+    p_fleet.add_argument("--requests", type=int, default=500, metavar="N")
+    p_fleet.add_argument("--clients", type=int, default=8, metavar="N",
+                         help="simulated client ids issuing requests")
+    p_fleet.add_argument("--keyspace", type=int, default=None, metavar="K",
+                         help="traffic keyspace (default: the workload "
+                              "profile's)")
+    p_fleet.add_argument("--profile", default="test",
+                         choices=("test", "bench"))
+    p_fleet.add_argument("--crash-shard", type=int, default=None,
+                         metavar="S",
+                         help="inject a primary fail-stop on shard S "
+                              "mid-load")
+    p_fleet.add_argument("--crash-at", type=int, default=40, metavar="E",
+                         help="crash event index within the generation "
+                              "(with --crash-shard)")
+    p_fleet.add_argument("--crash-generation", type=int, default=0,
+                         metavar="G",
+                         help="generation to crash (with --crash-shard)")
+    p_fleet.add_argument("--json", default=None, metavar="PATH",
+                         help="write the fleet metrics report here")
+    add_replication_options(p_fleet)
+    p_fleet.set_defaults(fn=_cmd_fleet)
 
     return parser
 

@@ -36,6 +36,7 @@ from repro.conform.workloads import get_workload
 from repro.env.environment import Environment
 from repro.errors import ReproError
 from repro.replication.digest import StateDigest, compute_state_digest
+from repro.replication.config import ReplicationConfig
 from repro.replication.machine import run_unreplicated
 from repro.replication.supervisor import GroupResult, ReplicaGroup
 from repro.replication.transport import FAULT_PROFILES, FaultyTransport
@@ -99,13 +100,15 @@ def build_group(spec: Dict[str, Any],
     group = ReplicaGroup(
         workload.registry(),
         env=env,
-        strategy=spec["strategy"],
-        crash_schedule=list(crash_schedule),
-        max_failures=len(crash_schedule) + 2,
-        transport=_transport_factory(spec),
-        jvm_config=workload.jvm_config(spec.get("engine", "slice")),
-        batch_records=spec["batch_records"],
-        chunk_bytes=spec["chunk_bytes"],
+        config=ReplicationConfig(
+            strategy=spec["strategy"],
+            crash_schedule=list(crash_schedule),
+            max_failures=len(crash_schedule) + 2,
+            transport=_transport_factory(spec),
+            jvm_config=workload.jvm_config(spec.get("engine", "slice")),
+            batch_records=spec["batch_records"],
+            chunk_bytes=spec["chunk_bytes"],
+        ),
     )
     return group, env
 

@@ -30,6 +30,7 @@ from repro.conform.workloads import get_workload
 from repro.env.environment import Environment
 from repro.errors import DivergenceError, ReproError
 from repro.replication.digest import StateDigest, compute_state_digest
+from repro.replication.config import ReplicationConfig
 from repro.replication.machine import ReplicatedJVM
 from repro.replication.transport import FAULT_PROFILES, FaultyTransport
 
@@ -90,11 +91,13 @@ def build_machine(spec: Dict[str, Any],
     return ReplicatedJVM(
         workload.registry(),
         env=Environment(),
-        strategy=spec["strategy"],
-        crash_at=crash_at,
-        jvm_config=workload.jvm_config(spec.get("engine", "slice")),
-        transport=_transport_factory(spec),
-        digest_interval=spec["digest_interval"],
+        config=ReplicationConfig(
+            strategy=spec["strategy"],
+            crash_at=crash_at,
+            jvm_config=workload.jvm_config(spec.get("engine", "slice")),
+            transport=_transport_factory(spec),
+            digest_interval=spec["digest_interval"],
+        ),
     )
 
 

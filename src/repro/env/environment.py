@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 from repro.errors import ReproError
 from repro.env.filesystem import FileSystem, FileHandle
 from repro.env.console import Console
+from repro.env.port import RequestPort, ResponseLog, request_id
 
 
 class SessionDestroyed(ReproError):
@@ -37,8 +38,19 @@ class Environment:
     def __init__(self, seed: int = 0) -> None:
         self.fs = FileSystem()
         self.console = Console()
+        #: Named request queues (serving: one per keyspace shard).
+        self.ports: Dict[str, RequestPort] = {}
+        #: Stable exactly-once response store (serving).
+        self.responses = ResponseLog()
         self._seed = seed
         self._sessions: List["EnvSession"] = []
+
+    def port(self, name: str) -> RequestPort:
+        """The named request port, created on first use."""
+        port = self.ports.get(name)
+        if port is None:
+            port = self.ports[name] = RequestPort(name)
+        return port
 
     def attach(self, process_name: str, *, clock_offset_ms: int = 0,
                entropy_seed: Optional[int] = None) -> "EnvSession":
@@ -67,12 +79,23 @@ class Environment:
             h.update(self.fs.contents(path).encode())
             h.update(b"\0")
         h.update(self.console.transcript().encode())
+        # The response log is stable state; folded in only when serving
+        # so non-serving digests match historical values byte-for-byte.
+        if self.responses.count():
+            for rid, text in self.responses.items():
+                h.update(b"resp\0")
+                h.update(rid.encode())
+                h.update(b"\0")
+                h.update(text.encode())
+                h.update(b"\0")
         return h.hexdigest()
 
     def snapshot_stable(self) -> Dict[str, str]:
         """Copy of stable state for diffing in tests."""
         state = {f"file:{p}": self.fs.contents(p) for p in self.fs.paths()}
         state["console"] = self.console.transcript()
+        for rid, text in self.responses.items():
+            state[f"response:{rid}"] = text
         return state
 
 
@@ -164,6 +187,22 @@ class EnvSession:
         handle.mode = mode
         self._handles[fd] = handle
         self._next_fd = max(self._next_fd, fd + 1)
+
+    # ------------------------------------------------------------------
+    # Serving: request ingest (non-det input) and responses (output)
+    # ------------------------------------------------------------------
+    def recv_request(self, port_name: str) -> str:
+        """Consume the next pending request from a port — the live
+        ``Server.recv``.  The popped value is what gets logged, so a
+        recovering backup adopts it instead of re-consuming."""
+        self._check_alive()
+        return self.env.port(port_name).take()
+
+    def respond(self, request: str, text: str) -> int:
+        """Commit one response to the stable response log — the
+        ``Server.reply`` output; returns the log position after."""
+        self._check_alive()
+        return self.env.responses.commit(request_id(request), text)
 
     # ------------------------------------------------------------------
     # Console (stable transcript, volatile nothing)

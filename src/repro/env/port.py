@@ -1,0 +1,144 @@
+"""Request ports and the response log — the serving environment.
+
+A fleet turns the environment into a *service*: clients deposit
+requests into named :class:`RequestPort`\\ s (one per keyspace shard)
+and read responses from a single stable :class:`ResponseLog`.  The
+serving JVM consumes its port through the ``Server.recv`` native and
+answers through ``Server.reply``.
+
+Determinism and exactly-once rest on how the two halves are annotated:
+
+* ``Server.recv`` is a **non-deterministic input** (which request
+  arrives next depends on wall-clock arrival order, not on replica
+  state).  The primary's live call pops the port and the popped value
+  is logged as a :class:`~repro.replication.records.NativeResultRecord`;
+  a recovering backup *adopts* the logged value without touching the
+  port, so replay is deterministic and nothing is consumed twice.
+  Blocking is the :meth:`ingest_starved` gate below: when the port is
+  empty the interpreter parks the thread at a safe point (a STARVED
+  slice) instead of invoking the native, and
+  ``run_to_completion(pause_on_starvation=True)`` hands control back
+  to the router — the serving pump.
+
+* ``Server.reply`` is a **testable output** (R5).  The response log is
+  stable state — like the console transcript, a committed response
+  survives the crash of the replica that wrote it — so the backup's
+  uncertain-output test is a membership query: the reply completed iff
+  its request id is in the log.  :attr:`ResponseLog.duplicates` counts
+  double-commits and is the exactly-once oracle for tests.
+
+* Requests a dead primary consumed whose recv record never reached the
+  backup are *lost in flight*.  :attr:`RequestPort.consumed` keeps the
+  full consumption order so failover reconciliation (the supervisor)
+  can slice it against the surviving log and :meth:`RequestPort.requeue`
+  exactly the lost suffix, preserving order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+#: The request-ingest native gated by :func:`ingest_starved`.
+INGEST_SIGNATURE = "Server.recv/1"
+REPLY_SIGNATURE = "Server.reply/2"
+
+
+def request_id(request: str) -> str:
+    """The id of a request string — its first whitespace token."""
+    parts = request.split(None, 1)
+    return parts[0] if parts else ""
+
+
+class RequestPort:
+    """One shard's named request queue (environment state)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.pending: Deque[str] = deque()
+        #: Requests handed to the serving JVM, in consumption order.
+        #: Never truncated: failover reconciliation slices it against
+        #: the surviving log to find requests lost with the primary.
+        self.consumed: List[str] = []
+
+    def push(self, request: str) -> None:
+        """Router side: enqueue one request."""
+        self.pending.append(request)
+
+    def has_pending(self) -> bool:
+        return bool(self.pending)
+
+    def take(self) -> str:
+        """Serving side (the live ``Server.recv``): pop the next
+        request and remember it as consumed."""
+        if not self.pending:
+            return ""
+        request = self.pending.popleft()
+        self.consumed.append(request)
+        return request
+
+    def requeue(self, requests: List[str]) -> None:
+        """Put lost in-flight requests back at the *front* of the
+        queue, preserving their original order (failover
+        reconciliation)."""
+        for request in reversed(requests):
+            self.pending.appendleft(request)
+
+    def __len__(self) -> int:
+        return len(self.pending)
+
+
+class ResponseLog:
+    """Stable, exactly-once response store shared by the whole fleet."""
+
+    def __init__(self) -> None:
+        self._responses: Dict[str, str] = {}
+        self._order: List[str] = []
+        #: Commits for an id already answered.  Must stay 0 — the
+        #: exactly-once oracle asserted by the crash-under-load tests.
+        self.duplicates = 0
+
+    def commit(self, req_id: str, text: str) -> int:
+        """Commit one response; returns the log position *after* the
+        commit.  A second commit for the same id is counted, not
+        stored — the first answer stands."""
+        if req_id in self._responses:
+            self.duplicates += 1
+            return len(self._order)
+        self._responses[req_id] = text
+        self._order.append(req_id)
+        return len(self._order)
+
+    def has(self, req_id: str) -> bool:
+        return req_id in self._responses
+
+    def get(self, req_id: str) -> Optional[str]:
+        return self._responses.get(req_id)
+
+    def count(self) -> int:
+        return len(self._order)
+
+    def items(self) -> List[Tuple[str, str]]:
+        """Committed ``(request_id, response)`` pairs in commit order."""
+        return [(rid, self._responses[rid]) for rid in self._order]
+
+
+def ingest_starved(jvm, method, thread) -> bool:
+    """True when ``thread`` is about to invoke ``Server.recv`` and its
+    port has nothing pending.
+
+    Called from the native policies' ``would_starve`` hook, which the
+    interpreter consults *before* invoking a native: the thread parks
+    at a safe point (a STARVED slice) with the port-name argument
+    still on the operand stack, so the slice re-executes cleanly once
+    the router delivers the next request.
+    """
+    if method.signature != INGEST_SIGNATURE:
+        return False
+    frame = thread.frames[-1]
+    if not frame.stack:
+        return False
+    port_name = frame.stack[-1]
+    if not isinstance(port_name, str):
+        return False
+    return not jvm.session.env.port(port_name).has_pending()

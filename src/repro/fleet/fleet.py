@@ -1,0 +1,258 @@
+"""A sharded fleet of replica groups serving open-loop traffic.
+
+The fleet is the paper's architecture scaled out: N independent
+:class:`~repro.replication.supervisor.ReplicaGroup`\\ s, each the
+primary-backup pair (plus re-integration) for one hash shard of the
+keyspace, behind a request router.  Each shard runs the ``db_server``
+workload — a key-value server that parks at a safe-point event
+(``Server.recv``) whenever its request port is empty — so a shard is
+*resumable*: the router delivers a request, pumps the group to the next
+quiescent point, and the committed response appears in the shard's
+stable response log.
+
+A primary crash inside any pump is absorbed by the group's serving
+lifecycle (replay, uncertain-tail resolution, request-port
+reconciliation, checkpoint re-arm) while the other shards keep serving;
+the fleet only observes it as a latency spike on that shard.
+
+All shard transports register with one
+:class:`~repro.replication.transport.TransportMux`, so a group blocking
+on an output-commit ack services the *other* groups' transports from
+inside its wait loop — one event loop over all connections, no shard
+stalled behind another.
+
+Timing is simulated: request service cost is measured in executed
+bytecodes and priced through
+:class:`~repro.harness.costs.CostModel`, then converted to
+milliseconds; open-loop arrivals come from
+:mod:`repro.fleet.traffic`.  Queueing is real — a slow (or failing
+over) shard builds a backlog that later requests wait behind.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.env.environment import Environment
+from repro.errors import ReplicationError
+from repro.fleet.metrics import FleetServingMetrics, ShardServingMetrics
+from repro.fleet.traffic import (
+    Request,
+    TrafficSpec,
+    generate,
+    reference_responses,
+)
+from repro.harness.costs import CostModel
+from repro.replication.config import ReplicationConfig
+from repro.replication.supervisor import ReplicaGroup
+from repro.replication.transport import Transport, TransportMux, make_transport
+from repro.workloads import DB_SERVER
+from repro.workloads.base import Workload
+
+#: Simulated bytecode-equivalents per millisecond of serving time.
+UNITS_PER_MS = 5000.0
+
+
+def shard_of(key: int, n_shards: int) -> int:
+    """Hash-sharding of the keyspace: key -> owning group."""
+    return key % n_shards
+
+
+def key_of(request_text: str) -> int:
+    """Routing key of a ``"<rid> <op> <key> [<val>]"`` request."""
+    parts = request_text.split()
+    if len(parts) < 3:
+        raise ReplicationError(
+            f"unroutable request (want '<rid> <op> <key> [<val>]'): "
+            f"{request_text!r}"
+        )
+    try:
+        return int(parts[2])
+    except ValueError as exc:
+        raise ReplicationError(
+            f"unroutable request, non-integer key: {request_text!r}"
+        ) from exc
+
+
+class Fleet:
+    """N shard groups + router + mux, serving one keyspace."""
+
+    def __init__(
+        self,
+        n_shards: int = 3,
+        *,
+        workload: Workload = DB_SERVER,
+        profile: str = "test",
+        config: Optional[ReplicationConfig] = None,
+        crash_schedule_for: Optional[Callable[[int], object]] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ReplicationError("a fleet needs at least one shard")
+        self.n_shards = n_shards
+        self.workload = workload
+        self.profile = profile
+        self.port = str(workload.params_for(profile).get("port", "req"))
+        self.cost = cost_model or CostModel()
+        self.mux = TransportMux()
+        base = config or ReplicationConfig()
+        registry = workload.compile(profile)
+
+        self.groups: List[ReplicaGroup] = []
+        self._shard_transports: List[Optional[Transport]] = [None] * n_shards
+        for shard in range(n_shards):
+            env = Environment()
+            workload.prepare_env(env, profile)
+            overrides = {
+                "transport": self._muxed_factory(base.transport, shard),
+            }
+            if crash_schedule_for is not None:
+                overrides["crash_schedule"] = crash_schedule_for(shard)
+            group = ReplicaGroup(registry, env=env,
+                                 config=base.merged(**overrides))
+            self.groups.append(group)
+        self._started = False
+        #: Per-shard simulated time through which the shard is busy.
+        self._busy_until_ms = [0.0] * n_shards
+
+    # ------------------------------------------------------------------
+    def _muxed_factory(self, base_spec, shard: int):
+        """Wrap a transport spec so every transport any generation of
+        this shard builds is registered with the fleet-wide mux (and
+        the previous generation's is dropped)."""
+        def factory(generation: int) -> Transport:
+            if isinstance(base_spec, Transport):
+                transport = base_spec.fresh()
+            elif callable(base_spec):
+                built = base_spec(generation)
+                transport = (built if isinstance(built, Transport)
+                             else make_transport(built))
+            else:
+                transport = make_transport(base_spec)
+            old = self._shard_transports[shard]
+            if old is not None:
+                self.mux.unregister(old)
+            self.mux.register(transport)
+            self._shard_transports[shard] = transport
+            return transport
+        return factory
+
+    # ------------------------------------------------------------------
+    def route(self, request_text: str) -> int:
+        return shard_of(key_of(request_text), self.n_shards)
+
+    def start(self, main_class: Optional[str] = None) -> None:
+        """Boot and arm every shard group, parked at its request wait."""
+        if self._started:
+            return
+        self._started = True
+        for group in self.groups:
+            group.start_serving(main_class or self.workload.main_class,
+                                port=self.port)
+
+    def submit(self, request_text: str) -> int:
+        """Route a request to its shard's port; returns the shard."""
+        shard = self.route(request_text)
+        self.groups[shard].submit(request_text)
+        return shard
+
+    # ------------------------------------------------------------------
+    def serve_open_loop(
+        self,
+        traffic: Union[TrafficSpec, Sequence[Request]],
+    ) -> FleetServingMetrics:
+        """Drive one open-loop traffic run to completion and verify it.
+
+        Requests are delivered in arrival order; each delivery pumps
+        the owning shard to its next quiescent point, measuring service
+        cost in executed bytecodes (priced through the cost model) and
+        folding it into a per-shard busy clock — so queueing delay and
+        failover gaps show up in the latency distribution, exactly the
+        open-loop behavior a closed-loop driver would hide."""
+        self.start()
+        requests = (generate(traffic) if isinstance(traffic, TrafficSpec)
+                    else list(traffic))
+        fm = FleetServingMetrics(n_shards=self.n_shards,
+                                 requests_offered=len(requests))
+        shards = [ShardServingMetrics(shard=s) for s in range(self.n_shards)]
+
+        for req in requests:
+            shard = self.submit(req.text)
+            group = self.groups[shard]
+            sm = shards[shard]
+            sm.requests_routed += 1
+
+            failures_before = group.failures_survived
+            jvm_before = group.active_jvm
+            instr_before = jvm_before.instructions
+
+            still = group.pump()
+
+            crashes = group.failures_survived - failures_before
+            jvm_after = group.active_jvm if still else group.final_jvm
+            if jvm_after is jvm_before:
+                instr_delta = jvm_after.instructions - instr_before
+            else:
+                # Failed over: the instruction counter is continuous
+                # across checkpoint restore, so the delta still bounds
+                # the new work; never let clock go backwards.
+                instr_delta = max(
+                    0, (jvm_after.instructions if jvm_after is not None
+                        else instr_before) - instr_before
+                )
+            service_units = (
+                instr_delta * self.cost.instr_unit
+                + self.cost.request_overhead()
+                + crashes * self.cost.failover_gap
+            )
+            start_ms = max(req.arrival_ms, self._busy_until_ms[shard])
+            completion_ms = start_ms + service_units / UNITS_PER_MS
+            self._busy_until_ms[shard] = completion_ms
+            latency = completion_ms - req.arrival_ms
+            sm.latencies_ms.append(latency)
+            fm.latencies_ms.append(latency)
+            sm.failovers_absorbed += crashes
+            if completion_ms > fm.makespan_ms:
+                fm.makespan_ms = completion_ms
+
+        self.stop()
+        self._account(fm, shards, requests)
+        return fm
+
+    def stop(self) -> None:
+        """Deliver each shard its stop request and run it down."""
+        for shard, group in enumerate(self.groups):
+            if group.serve_result is None:
+                group.stop_serving(f"stop-{shard} halt {shard}")
+
+    # ------------------------------------------------------------------
+    def _account(self, fm: FleetServingMetrics,
+                 shards: List[ShardServingMetrics],
+                 requests: Sequence[Request]) -> None:
+        expected = reference_responses(requests)
+        by_shard: List[List[Request]] = [[] for _ in range(self.n_shards)]
+        for req in requests:
+            by_shard[shard_of(req.key, self.n_shards)].append(req)
+
+        for shard, group in enumerate(self.groups):
+            sm = shards[shard]
+            responses = group.env.responses
+            sm.duplicates = responses.duplicates
+            sm.generations = len(group.reports)
+            sm.requests_requeued = sum(
+                r.recovery_metrics.requests_requeued
+                for r in group.reports if r.recovery_metrics is not None
+            )
+            for req in by_shard[shard]:
+                answer = responses.get(req.rid)
+                if answer is None:
+                    fm.responses_lost += 1
+                elif answer != expected[req.rid]:
+                    fm.responses_wrong += 1
+                else:
+                    sm.responses_committed += 1
+            fm.responses_committed += sm.responses_committed
+            fm.responses_duplicated += sm.duplicates
+            fm.failovers_absorbed += sm.failovers_absorbed
+            fm.requests_requeued += sm.requests_requeued
+        fm.per_shard = shards

@@ -1,0 +1,110 @@
+"""Fleet-level serving metrics: latency, throughput, failovers.
+
+Per-replica event counters live in
+:class:`repro.replication.metrics.ReplicationMetrics` (including the
+serving counters ``requests_ingested`` / ``responses_committed`` /
+``requests_requeued``); this module aggregates them across shards and
+adds the traffic-facing view — latency percentiles over the simulated
+clock and sustained throughput — priced into simulated time by
+:meth:`repro.harness.costs.CostModel.fleet_breakdown`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 on no samples."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass
+class ShardServingMetrics:
+    """One shard group's slice of the traffic."""
+
+    shard: int
+    requests_routed: int = 0
+    responses_committed: int = 0
+    duplicates: int = 0
+    failovers_absorbed: int = 0
+    generations: int = 1
+    requests_requeued: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "shard": self.shard,
+            "requests_routed": self.requests_routed,
+            "responses_committed": self.responses_committed,
+            "duplicates": self.duplicates,
+            "failovers_absorbed": self.failovers_absorbed,
+            "generations": self.generations,
+            "requests_requeued": self.requests_requeued,
+            "p50_latency_ms": percentile(self.latencies_ms, 50),
+            "p99_latency_ms": percentile(self.latencies_ms, 99),
+        }
+
+
+@dataclass
+class FleetServingMetrics:
+    """The whole fleet's view of one traffic run."""
+
+    n_shards: int = 0
+    requests_offered: int = 0
+    responses_committed: int = 0
+    #: Requests that never got a committed response (must be 0).
+    responses_lost: int = 0
+    #: Responses committed more than once (must be 0).
+    responses_duplicated: int = 0
+    #: Responses whose text differs from the serial reference (must be 0).
+    responses_wrong: int = 0
+    failovers_absorbed: int = 0
+    requests_requeued: int = 0
+    #: Simulated wall-clock of the run (first arrival -> last completion).
+    makespan_ms: float = 0.0
+    latencies_ms: List[float] = field(default_factory=list)
+    per_shard: List[ShardServingMetrics] = field(default_factory=list)
+
+    @property
+    def p50_latency_ms(self) -> float:
+        return percentile(self.latencies_ms, 50)
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return percentile(self.latencies_ms, 99)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.makespan_ms <= 0:
+            return 0.0
+        return self.responses_committed / (self.makespan_ms / 1000.0)
+
+    @property
+    def exactly_once(self) -> bool:
+        return (self.responses_lost == 0 and self.responses_duplicated == 0
+                and self.responses_wrong == 0)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "n_shards": self.n_shards,
+            "requests_offered": self.requests_offered,
+            "responses_committed": self.responses_committed,
+            "responses_lost": self.responses_lost,
+            "responses_duplicated": self.responses_duplicated,
+            "responses_wrong": self.responses_wrong,
+            "failovers_absorbed": self.failovers_absorbed,
+            "requests_requeued": self.requests_requeued,
+            "makespan_ms": round(self.makespan_ms, 3),
+            "p50_latency_ms": round(self.p50_latency_ms, 3),
+            "p99_latency_ms": round(self.p99_latency_ms, 3),
+            "throughput_rps": round(self.throughput_rps, 1),
+            "exactly_once": self.exactly_once,
+            "per_shard": [s.as_dict() for s in self.per_shard],
+        }

@@ -25,6 +25,7 @@ from typing import Dict, List, Tuple
 
 from repro.env.environment import Environment
 from repro.harness.costs import CostModel
+from repro.replication.config import ReplicationConfig
 from repro.replication.machine import ReplicatedJVM
 from repro.replication.records import LockAcqRecord
 from repro.workloads.base import Workload
@@ -40,7 +41,8 @@ def buffering_sweep(workload: Workload, profile: str,
         workload.prepare_env(env, profile)
         machine = ReplicatedJVM(
             workload.compile(profile), env=env,
-            strategy="lock_sync", batch_records=batch,
+            config=ReplicationConfig(strategy="lock_sync",
+                                     batch_records=batch),
         )
         run = machine.run(workload.main_class)
         assert run.final_result.ok

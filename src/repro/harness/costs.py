@@ -87,6 +87,20 @@ class CostModel:
     # --- backup replay ----------------------------------------------------
     replay_record: float = 28.0     # match/consume one logged record
 
+    # --- fleet serving (per request, simulated "bytecode equivalents") ---
+    request_route: float = 40.0     # hash the key, pick the shard, enqueue
+    ingest_wakeup: float = 120.0    # unpark the server thread at its
+                                    # Server.recv safe-point event
+    response_commit: float = 60.0   # append the reply to the stable
+                                    # response log (the output commit's
+                                    # ack stall is priced via ack_rtt)
+    #: Flat serving gap charged to the in-flight request when its shard's
+    #: primary dies mid-service: detection timeout + backup promotion +
+    #: log replay + request-port reconciliation, before the first
+    #: post-failover response can commit.  The checkpoint-transfer work
+    #: of re-arming the *next* backup happens off the serving path.
+    failover_gap: float = 1_500_000.0
+
     # ------------------------------------------------------------------
     def base_time(self, metrics: ReplicationMetrics) -> float:
         """Execution time of the program itself on this substrate."""
@@ -170,6 +184,24 @@ class CostModel:
     def primary_time(self, metrics: ReplicationMetrics,
                      strategy: str) -> float:
         return sum(self.primary_breakdown(metrics, strategy).values())
+
+    # ------------------------------------------------------------------
+    def request_overhead(self) -> float:
+        """Fixed serving cost of one fleet request, beyond the bytecodes
+        the server program itself executes for it."""
+        return self.request_route + self.ingest_wakeup + self.response_commit
+
+    def fleet_breakdown(self, instructions: int, requests: int,
+                        failovers: int) -> Dict[str, float]:
+        """Serving-time components of one traffic run: program work,
+        per-request fleet plumbing, and failover gaps."""
+        return {
+            "base": instructions * self.instr_unit,
+            "routing": requests * self.request_route,
+            "ingest": requests * self.ingest_wakeup,
+            "response_commit": requests * self.response_commit,
+            "failover": failovers * self.failover_gap,
+        }
 
 
 DEFAULT_COST_MODEL = CostModel()

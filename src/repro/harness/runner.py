@@ -23,6 +23,7 @@ from typing import Dict, Tuple
 
 from repro.env.environment import Environment
 from repro.errors import ReproError
+from repro.replication.config import ReplicationConfig
 from repro.replication.machine import ReplicatedJVM, run_unreplicated
 from repro.replication.metrics import ReplicationMetrics
 from repro.workloads import ALL_WORKLOADS, BY_NAME
@@ -75,7 +76,8 @@ def _run_strategy(workload: Workload, profile: str,
     env = Environment()
     workload.prepare_env(env, profile)
     machine = ReplicatedJVM(
-        workload.compile(profile), env=env, strategy=strategy
+        workload.compile(profile), env=env,
+        config=ReplicationConfig(strategy=strategy),
     )
     result = machine.run(workload.main_class)
     if not result.final_result.ok:

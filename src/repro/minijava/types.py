@@ -198,6 +198,9 @@ def builtin_class_signatures() -> Dict[str, Dict[Tuple[str, int], MethodSig]]:
     add("Files", "exists", [STRING], BOOL, is_static=True)
     add("Files", "delete", [STRING], VOID, is_static=True)
 
+    add("Server", "recv", [STRING], STRING, is_static=True)
+    add("Server", "reply", [STRING, STRING], VOID, is_static=True)
+
     add("Refs", "soft", [OBJECT], ClassType("SoftReference"), is_static=True)
     add("Refs", "weak", [OBJECT], ClassType("WeakReference"), is_static=True)
     add("SoftReference", "<init>", [OBJECT], VOID)
@@ -235,6 +238,7 @@ BUILTIN_HIERARCHY = {
     "Math": "Object",
     "Env": "Object",
     "Files": "Object",
+    "Server": "Object",
     "Refs": "Object",
     "SoftReference": "Object",
     "WeakReference": "Object",

@@ -1,9 +1,11 @@
 """Primary-backup replication of the mini-JVM (the paper's contribution)."""
 
+from repro.replication.config import (
+    ReplicationConfig, ReplicaSettings, DEFAULT_PRIMARY, DEFAULT_BACKUP,
+)
 from repro.replication.machine import (
-    ReplicatedJVM, FailoverResult, ReplicaSettings, run_unreplicated,
-    DEFAULT_PRIMARY, DEFAULT_BACKUP, STRATEGIES, ParsedLog, parse_log,
-    register_log_record,
+    ReplicatedJVM, FailoverResult, run_unreplicated,
+    STRATEGIES, ParsedLog, parse_log, register_log_record,
 )
 from repro.replication.metrics import ReplicationMetrics
 from repro.replication.records import (
@@ -48,10 +50,12 @@ from repro.replication.thread_sched import (
 from repro.replication.ndnatives import PrimaryNativePolicy, BackupNativePolicy
 from repro.replication.sehandlers import (
     SideEffectHandler, SideEffectManager, FileSEHandler, ConsoleSEHandler,
+    ResponseSEHandler,
 )
 
 __all__ = [
     "ReplicatedJVM", "FailoverResult", "ReplicaSettings", "run_unreplicated",
+    "ReplicationConfig",
     "DEFAULT_PRIMARY", "DEFAULT_BACKUP", "STRATEGIES",
     "ParsedLog", "parse_log", "register_log_record",
     "ReplicationMetrics",
@@ -80,5 +84,5 @@ __all__ = [
     "PrimarySchedController", "BackupSchedController",
     "PrimaryNativePolicy", "BackupNativePolicy",
     "SideEffectHandler", "SideEffectManager", "FileSEHandler",
-    "ConsoleSEHandler",
+    "ConsoleSEHandler", "ResponseSEHandler",
 ]

@@ -1,0 +1,115 @@
+"""One configuration surface for the replication layer.
+
+:class:`ReplicatedJVM` and :class:`ReplicaGroup` grew overlapping
+constructor keyword lists (strategy, transport, batching, detector,
+crash injection, ...) that were spelled slightly differently at every
+call site.  :class:`ReplicationConfig` is the single object that now
+carries all of it: construct machines as
+``ReplicatedJVM(registry, env=env, config=ReplicationConfig(...))``.
+
+The old keyword arguments still work through a deprecation shim (they
+are merged into the config and a :class:`DeprecationWarning` is
+emitted); see DESIGN.md for the migration note.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from repro.runtime.jvm import JVMConfig
+
+
+@dataclass(frozen=True)
+class ReplicaSettings:
+    """Per-replica sources of non-determinism (deliberately different
+    between primary and backup — restriction R0's assumption that
+    replica environments are 'sufficiently different')."""
+
+    scheduler_seed: int
+    clock_offset_ms: int
+    entropy_seed: int
+
+
+DEFAULT_PRIMARY = ReplicaSettings(
+    scheduler_seed=101, clock_offset_ms=0, entropy_seed=7001
+)
+DEFAULT_BACKUP = ReplicaSettings(
+    scheduler_seed=202, clock_offset_ms=137, entropy_seed=9002
+)
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """Everything configurable about a replicated machine.
+
+    Shared knobs apply to both :class:`ReplicatedJVM` (one pair, one
+    run) and :class:`ReplicaGroup` (generations + re-integration); the
+    pair-only and group-only sections are ignored by the other class.
+    """
+
+    # -- shared ---------------------------------------------------------
+    #: Coordination strategy: a name from the strategy registry or a
+    #: CoordinationStrategy instance.
+    strategy: Any = "lock_sync"
+    #: Transport spec: None (in-memory), a profile name, "socket", a
+    #: Transport instance, or a factory (see ``make_transport``; groups
+    #: also accept a ``factory(generation)``).
+    transport: Any = None
+    #: Log records buffered per channel flush.
+    batch_records: int = 64
+    #: Missed heartbeat intervals before the failure detector fires.
+    detector_timeout: int = 3
+    #: Base JVM tunables (per-replica scheduler seeds are layered on).
+    jvm_config: Optional[JVMConfig] = None
+    #: Extra side-effect handlers beyond the stdlib's file/console/response.
+    se_handlers: Sequence[Any] = ()
+    #: Emit a DigestRecord every N replicated events (None = off).
+    digest_interval: Optional[int] = None
+
+    # -- pair only (ReplicatedJVM) --------------------------------------
+    #: Injector event at which the primary fail-stops (None = never).
+    crash_at: Optional[int] = None
+    #: Run the backup JVM during normal operation (replay-as-you-go).
+    hot_backup: bool = False
+    primary: ReplicaSettings = DEFAULT_PRIMARY
+    backup: ReplicaSettings = DEFAULT_BACKUP
+
+    # -- group only (ReplicaGroup) --------------------------------------
+    #: generation -> crash event (dict or sequence; None = no crashes).
+    crash_schedule: Any = None
+    #: Failover budget before the group gives up.
+    max_failures: int = 8
+    #: ``settings_for(generation)`` -> ReplicaSettings (None = default).
+    settings_for: Optional[Callable[[int], ReplicaSettings]] = None
+    #: Checkpoint transfer chunk size (None = DEFAULT_CHUNK_BYTES).
+    chunk_bytes: Optional[int] = None
+
+    def merged(self, **overrides) -> "ReplicationConfig":
+        """A copy with ``overrides`` applied; unknown names raise
+        ``TypeError`` (they would have been unknown kwargs before)."""
+        known = {f.name for f in fields(self)}
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise TypeError(
+                f"unknown replication option(s): {', '.join(unknown)}"
+            )
+        return replace(self, **overrides)
+
+
+def config_from_kwargs(config: Optional[ReplicationConfig],
+                       kwargs: dict, *, owner: str) -> ReplicationConfig:
+    """The deprecation shim: fold legacy constructor keywords into a
+    config, warning once per call site."""
+    base = config or ReplicationConfig()
+    if kwargs:
+        import warnings
+
+        warnings.warn(
+            f"passing replication options to {owner} as keyword "
+            f"arguments is deprecated; pass "
+            f"config=ReplicationConfig(...) instead",
+            DeprecationWarning, stacklevel=3,
+        )
+        base = base.merged(**kwargs)
+    return base

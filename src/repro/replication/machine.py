@@ -35,8 +35,16 @@ from typing import Callable, Dict, List, Optional, Tuple, Type
 from repro.classfile.loader import ClassRegistry
 from repro.env.channel import Channel
 from repro.env.environment import Environment
+from repro.env.port import INGEST_SIGNATURE, request_id
 from repro.errors import AlreadyRanError, PrimaryCrashed, ReplicationError
 from repro.replication.commit import CrashInjector, LogShipper
+from repro.replication.config import (
+    DEFAULT_BACKUP,
+    DEFAULT_PRIMARY,
+    ReplicaSettings,
+    ReplicationConfig,
+    config_from_kwargs,
+)
 from repro.replication.digest import (
     DigestEmitter,
     DigestRecord,
@@ -72,25 +80,6 @@ from repro.runtime.stdlib import default_natives
 STRATEGIES = ("lock_sync", "thread_sched", "lock_intervals")
 
 _UNSET = object()
-
-
-@dataclass(frozen=True)
-class ReplicaSettings:
-    """Per-replica sources of non-determinism (deliberately different
-    between primary and backup — restriction R0's assumption that
-    replica environments are 'sufficiently different')."""
-
-    scheduler_seed: int
-    clock_offset_ms: int
-    entropy_seed: int
-
-
-DEFAULT_PRIMARY = ReplicaSettings(
-    scheduler_seed=101, clock_offset_ms=0, entropy_seed=7001
-)
-DEFAULT_BACKUP = ReplicaSettings(
-    scheduler_seed=202, clock_offset_ms=137, entropy_seed=9002
-)
 
 
 @dataclass
@@ -231,43 +220,36 @@ class ReplicatedJVM:
         natives: Optional[NativeRegistry] = None,
         env: Optional[Environment] = None,
         *,
-        strategy="lock_sync",
-        crash_at: Optional[int] = None,
-        primary: ReplicaSettings = DEFAULT_PRIMARY,
-        backup: ReplicaSettings = DEFAULT_BACKUP,
-        jvm_config: Optional[JVMConfig] = None,
-        batch_records: int = 64,
-        detector_timeout: int = 3,
-        se_handlers: Optional[List[SideEffectHandler]] = None,
-        hot_backup: bool = False,
-        transport=None,
-        digest_interval: Optional[int] = None,
+        config: Optional[ReplicationConfig] = None,
+        **kwargs,
     ) -> None:
-        self._strategy = resolve_strategy(strategy)
+        config = config_from_kwargs(config, kwargs, owner="ReplicatedJVM")
+        self.config = config
+        self._strategy = resolve_strategy(config.strategy)
         self.registry = registry
         self.natives = natives or default_natives()
         self.env = env or Environment()
-        self.crash_at = crash_at
-        self.primary_settings = primary
-        self.backup_settings = backup
-        self.base_config = jvm_config or JVMConfig()
-        self._transport_spec = transport
-        self.transport = make_transport(transport)
-        self.channel = Channel(batch_records=batch_records,
+        self.crash_at = config.crash_at
+        self.primary_settings = config.primary
+        self.backup_settings = config.backup
+        self.base_config = config.jvm_config or JVMConfig()
+        self._transport_spec = config.transport
+        self.transport = make_transport(config.transport)
+        self.channel = Channel(batch_records=config.batch_records,
                                transport=self.transport)
         self.detector = FailureDetector(
-            detector_timeout,
+            config.detector_timeout,
             source=lambda: self.transport.stats.heartbeats_delivered,
         )
-        self._extra_se_handlers = list(se_handlers or [])
+        self._extra_se_handlers = list(config.se_handlers)
         #: Emit a :class:`DigestRecord` every N replicated scheduling
         #: events (plus one final digest at primary exit).  ``None``
         #: disables digest checkpoints entirely.
-        self.digest_interval = digest_interval
+        self.digest_interval = config.digest_interval
         self._digest_emitter: Optional[DigestEmitter] = None
         self._digest_verifier: Optional[DigestVerifier] = None
 
-        self.hot_backup = hot_backup
+        self.hot_backup = config.hot_backup
         self.primary_jvm: Optional[JVM] = None
         self.backup_jvm: Optional[JVM] = None
         self.primary_metrics = ReplicationMetrics(role="primary")
@@ -278,6 +260,14 @@ class ReplicatedJVM:
         self._fed_records = 0
         self._hot_result: Optional[RunResult] = None
         self.hot_precrash_instructions = 0
+        # -- serving lifecycle state --------------------------------------
+        self._serve_port: Optional[str] = None
+        self._serve_main: Optional[str] = None
+        self._serve_args: Optional[List[str]] = None
+        self._serve_result: Optional[FailoverResult] = None
+        self._active_jvm: Optional[JVM] = None
+        self._serve_crash_event: Optional[int] = None
+        self._serve_detection: Optional[int] = None
 
     @property
     def strategy(self) -> str:
@@ -308,26 +298,25 @@ class ReplicatedJVM:
                 transport = spec          # re-buildable by make_transport
             else:
                 transport = self.transport.fresh()
+        overrides = {
+            "transport": transport,
+            "se_handlers": tuple(h.fresh() for h in self._extra_se_handlers),
+        }
+        if strategy is not _UNSET:
+            overrides["strategy"] = strategy
+        if crash_at is not _UNSET:
+            overrides["crash_at"] = crash_at
+        if hot_backup is not _UNSET:
+            overrides["hot_backup"] = hot_backup
+        if detector_timeout is not _UNSET:
+            overrides["detector_timeout"] = detector_timeout
+        if digest_interval is not _UNSET:
+            overrides["digest_interval"] = digest_interval
         return ReplicatedJVM(
             self.registry,
             natives=self.natives,
             env=env or Environment(),
-            strategy=self._strategy if strategy is _UNSET else strategy,
-            crash_at=self.crash_at if crash_at is _UNSET else crash_at,
-            primary=self.primary_settings,
-            backup=self.backup_settings,
-            jvm_config=self.base_config,
-            batch_records=self.channel.batch_records,
-            detector_timeout=(self.detector.timeout_intervals
-                              if detector_timeout is _UNSET
-                              else detector_timeout),
-            se_handlers=[h.fresh() for h in self._extra_se_handlers],
-            hot_backup=(self.hot_backup if hot_backup is _UNSET
-                        else hot_backup),
-            transport=transport,
-            digest_interval=(self.digest_interval
-                             if digest_interval is _UNSET
-                             else digest_interval),
+            config=self.config.merged(**overrides),
         )
 
     def close(self) -> None:
@@ -546,6 +535,202 @@ class ReplicatedJVM:
         result = backup.run(main_class, args)
         self._finish_metrics(backup, self.backup_metrics)
         return result
+
+    # ==================================================================
+    # Serving lifecycle (resumable request/response operation)
+    # ==================================================================
+    def start_serving(self, main_class: str,
+                      args: Optional[List[str]] = None, *,
+                      port: str) -> None:
+        """Boot the primary and drive it to its first request wait.
+
+        Instead of one ``run()`` to completion, the machine alternates
+        between :meth:`serve`/:meth:`pump` (drive until it parks on an
+        empty request port — ``Server.recv`` at a safe point) and
+        delivery of new requests via :meth:`submit`.  A primary crash
+        during any pump fails over transparently: the backup replays
+        the delivered log, resolves the uncertain tail, reconciles the
+        request port (requests consumed by the dead primary whose recv
+        record never arrived are requeued), and continues serving."""
+        if self._ran:
+            raise AlreadyRanError(
+                "this ReplicatedJVM already ran; clone() a fresh machine"
+            )
+        if self.hot_backup:
+            raise ReplicationError(
+                "serving mode drives the backup only at failover; "
+                "hot_backup is not supported here"
+            )
+        self._ran = True
+        self._serve_port = port
+        self._serve_main = main_class
+        self._serve_args = list(args) if args else None
+        primary = self._build_primary()
+        primary.bootstrap(main_class, self._serve_args)
+        self._active_jvm = primary
+        self._pump()
+
+    @property
+    def serving(self) -> bool:
+        """True while the program is parked waiting for requests."""
+        return self._ran and self._serve_result is None \
+            and self._serve_port is not None
+
+    @property
+    def serve_result(self) -> Optional[FailoverResult]:
+        return self._serve_result
+
+    def submit(self, request: str) -> None:
+        """Queue a request without driving the machine."""
+        if self._serve_port is None:
+            raise ReplicationError(
+                "not serving: call start_serving() first"
+            )
+        self.env.port(self._serve_port).push(request)
+
+    def serve(self, request: str) -> Optional[str]:
+        """Deliver one request and pump until the machine parks again;
+        returns the committed response text (None if the program exited
+        without answering — e.g. a shutdown command)."""
+        self.submit(request)
+        self._pump()
+        return self.env.responses.get(request_id(request))
+
+    def pump(self) -> bool:
+        """Drive the active machine until it parks on an empty port or
+        the program completes.  Returns True while still serving."""
+        self._pump()
+        return self._serve_result is None
+
+    def stop_serving(self, stop_request: str) -> FailoverResult:
+        """Deliver ``stop_request`` and run the program to completion."""
+        self.submit(stop_request)
+        self._pump()
+        if self._serve_result is None:
+            raise ReplicationError(
+                "program still serving after stop request "
+                f"{stop_request!r}"
+            )
+        return self._serve_result
+
+    def _pump(self) -> None:
+        if self._serve_result is not None:
+            return
+        while True:
+            jvm = self._active_jvm
+            try:
+                result = jvm.run_to_completion(pause_on_starvation=True)
+            except PrimaryCrashed:
+                self._failover_serving()
+                if self._serve_result is not None:
+                    return
+                continue
+            if result is None:
+                return                     # parked, waiting for requests
+            if jvm is self.primary_jvm:
+                self.channel.settle()
+                self._finish_metrics(jvm, self.primary_metrics)
+                self._serve_result = FailoverResult(
+                    outcome="primary_completed",
+                    primary_result=result,
+                    backup_result=None,
+                    primary_metrics=self.primary_metrics,
+                    backup_metrics=self.backup_metrics,
+                )
+            else:
+                self._finish_metrics(jvm, self.backup_metrics)
+                self._serve_result = FailoverResult(
+                    outcome="failover_completed",
+                    primary_result=None,
+                    backup_result=result,
+                    primary_metrics=self.primary_metrics,
+                    backup_metrics=self.backup_metrics,
+                    crash_event=self._serve_crash_event,
+                    detection_intervals=self._serve_detection,
+                )
+            return
+
+    def _failover_serving(self) -> None:
+        """The serving-mode failover: replay, resolve the tail,
+        reconcile the request port, promote the backup to live serving."""
+        primary = self.primary_jvm
+        self._finish_metrics(primary, self.primary_metrics)
+        self._serve_crash_event = self.shipper.injector.events
+        primary.session.destroy()
+        self.channel.crash_primary()
+        self._serve_detection = self.detector.await_detection()
+
+        backup = self._build_backup()
+        policy = backup.native_policy
+        # Replay in hold mode: past-the-log execution must wait until
+        # the port has been reconciled, or a live recv could consume a
+        # request out of order with the requeued lost ones.
+        policy.hold_when_drained = True
+        self._backup_driver.set_hold(True)
+        backup.bootstrap(self._serve_main, self._serve_args)
+        result = backup.run_to_completion(pause_on_starvation=True)
+        if result is None and any(
+            policy.has_uncertain_tail(t.vid) for t in backup.scheduler.threads
+        ):
+            # Admit exactly the uncertain output — the strategy keeps
+            # holding everything else — and let test/confirm/re-execute
+            # resolve it exactly-once.
+            policy.tail_resolution = True
+            controller = backup.scheduler.controller
+            if hasattr(controller, "starving"):
+                controller.starving = False
+            backup.sync.reevaluate_parked()
+            result = backup.run_to_completion(pause_on_starvation=True)
+
+        self._reconcile_port()
+
+        policy.hold_when_drained = False
+        self._release_hold(backup)
+        self._active_jvm = backup
+        if result is not None:             # program finished during replay
+            self._finish_metrics(backup, self.backup_metrics)
+            self._serve_result = FailoverResult(
+                outcome="failover_completed",
+                primary_result=None,
+                backup_result=result,
+                primary_metrics=self.primary_metrics,
+                backup_metrics=self.backup_metrics,
+                crash_event=self._serve_crash_event,
+                detection_intervals=self._serve_detection,
+            )
+
+    def _release_hold(self, backup: JVM) -> None:
+        self._backup_driver.set_hold(False)
+        controller = backup.scheduler.controller
+        if hasattr(controller, "starving"):
+            controller.starving = False
+        backup.sync.reevaluate_parked()
+
+    def _reconcile_port(self) -> None:
+        """Exactly-once request consumption across the failover.
+
+        ``port.consumed`` counts live takes at the dead primary; the
+        surviving log holds a ``Server.recv`` result record for each
+        take whose log batch was flushed before the crash.  Every reply
+        forces an output commit first, so any *answered* request's recv
+        record is guaranteed delivered — the mismatch can only be
+        unanswered requests consumed in the crash window.  Those are
+        lost in flight: un-consume them (truncate ``consumed``) and
+        requeue them at the front, preserving arrival order."""
+        port = self.env.port(self._serve_port)
+        parsed = parse_log(self.channel.backup_log())
+        survived = sum(
+            1
+            for records in parsed.results.values()
+            for record in records
+            if record.signature == INGEST_SIGNATURE
+        )
+        lost = port.consumed[survived:]
+        if lost:
+            del port.consumed[survived:]
+            port.requeue(lost)
+            if self.backup_metrics is not None:
+                self.backup_metrics.requests_requeued += len(lost)
 
     # ==================================================================
     def _finish_metrics(self, jvm: JVM, metrics: ReplicationMetrics) -> None:

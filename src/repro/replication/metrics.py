@@ -77,6 +77,14 @@ class ReplicationMetrics:
     outputs_tested: int = 0
     outputs_reexecuted: int = 0
 
+    # --- Serving (request/response lifecycle) -------------------------
+    #: ``Server.recv`` takes executed live on this replica.
+    requests_ingested: int = 0
+    #: ``Server.reply`` outputs committed live on this replica.
+    responses_committed: int = 0
+    #: Requests found lost in flight at a failover and requeued.
+    requests_requeued: int = 0
+
     extra: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -106,6 +114,8 @@ class ReplicationMetrics:
                 "checkpoint_records", "checkpoint_bytes",
                 "checkpoints_shipped", "checkpoints_restored",
                 "records_fenced", "records_truncated",
+                "requests_ingested", "responses_committed",
+                "requests_requeued",
             )
         }
         base["engine"] = self.engine

@@ -28,6 +28,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Tuple
 
+from repro.env.port import (
+    INGEST_SIGNATURE,
+    REPLY_SIGNATURE,
+    ingest_starved,
+)
 from repro.errors import RecoveryError
 from repro.replication.commit import LogShipper
 from repro.replication.metrics import ReplicationMetrics
@@ -57,7 +62,9 @@ class PrimaryNativePolicy:
         self._seqs: Dict[Vid, int] = {}
 
     def would_starve(self, jvm, method, thread) -> bool:
-        return False
+        # A serving primary parks at the safe point when its request
+        # port is empty (the pump); everything else executes live.
+        return ingest_starved(jvm, method, thread)
 
     def _next_seq(self, vid: Vid) -> int:
         seq = self._seqs.get(vid, 0) + 1
@@ -84,6 +91,10 @@ class PrimaryNativePolicy:
         outcome = call_native(spec, ctx, receiver, args)
         if not spec.deterministic:
             self._metrics.natives_intercepted += 1
+        if spec.signature == INGEST_SIGNATURE:
+            self._metrics.requests_ingested += 1
+        elif spec.signature == REPLY_SIGNATURE:
+            self._metrics.responses_committed += 1
 
         # The completion marker and its side-effect record are one
         # atomic log unit: a crash must never deliver the marker (which
@@ -142,7 +153,9 @@ class BackupNativePolicy:
         """True when a hot backup must wait for the log to catch up
         before executing this native."""
         if not self.hold_when_drained:
-            return False
+            # Live execution past the log (promoted backup): only the
+            # serving ingest gate applies.
+            return ingest_starved(jvm, method, thread)
         spec = jvm.natives.lookup(method.signature)
         if not _interesting(spec):
             return False

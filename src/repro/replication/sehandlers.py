@@ -30,6 +30,7 @@ import copy
 from typing import Any, Dict, List, Optional
 
 from repro.env.environment import Environment, EnvSession
+from repro.env.port import request_id
 from repro.errors import ReplicationError
 from repro.replication.records import SideEffectRecord
 from repro.runtime.natives import NativeOutcome, NativeSpec
@@ -172,6 +173,28 @@ class ConsoleSEHandler(SideEffectHandler):
         return env.console.position() >= expected
 
 
+class ResponseSEHandler(SideEffectHandler):
+    """Manages ``Server.reply``: the response log is stable state, so
+    there is no volatile state to restore — only the membership query
+    that makes a reply *testable* (R5).  A response is keyed by its
+    request id, and the program answers each request once, so the
+    uncertain reply completed before the crash iff its id is in the
+    log."""
+
+    name = "response"
+
+    def log(self, session, spec, receiver, args, outcome):
+        if outcome.exception is not None:
+            return None
+        return {"op": "count", "count": session.env.responses.count()}
+
+    def receive(self, state, payload):
+        state["count"] = payload["count"]
+
+    def test(self, env, state, spec, args):
+        return env.responses.has(request_id(args[0]))
+
+
 class SideEffectManager:
     """Owns all handlers and their per-handler backup state."""
 
@@ -179,7 +202,8 @@ class SideEffectManager:
         self._handlers: Dict[str, SideEffectHandler] = {}
         self._state: Dict[str, Dict[str, Any]] = {}
         self.restored = False
-        for handler in (FileSEHandler(), ConsoleSEHandler()):
+        for handler in (FileSEHandler(), ConsoleSEHandler(),
+                        ResponseSEHandler()):
             self.add_handler(handler)
 
     def add_handler(self, handler: SideEffectHandler) -> None:

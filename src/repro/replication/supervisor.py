@@ -45,6 +45,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.classfile.loader import ClassRegistry
 from repro.env.channel import Channel
 from repro.env.environment import Environment
+from repro.env.port import INGEST_SIGNATURE
 from repro.errors import (
     AlreadyRanError,
     PrimaryCrashed,
@@ -61,8 +62,13 @@ from repro.replication.checkpoint import (
     take_checkpoint,
 )
 from repro.replication.commit import CrashInjector, EpochFence, LogShipper
+from repro.replication.config import (
+    ReplicaSettings,
+    ReplicationConfig,
+    config_from_kwargs,
+)
 from repro.replication.failure import FailureDetector
-from repro.replication.machine import ReplicaSettings, parse_log
+from repro.replication.machine import parse_log
 from repro.replication.metrics import ReplicationMetrics
 from repro.replication.ndnatives import BackupNativePolicy, PrimaryNativePolicy
 from repro.replication.records import decode_record
@@ -142,6 +148,25 @@ class GroupResult:
                    if r.outcome != "completed_in_recovery")
 
 
+@dataclass
+class _Generation:
+    """Everything one armed generation owns: the instrumented primary
+    and its channel-side plumbing.  Kept in one bundle so the crash
+    path (which can fire during transfer *or* during execution) always
+    has the right handles."""
+
+    generation: int
+    jvm: JVM
+    se_manager: SideEffectManager
+    transport: Transport
+    channel: Channel
+    metrics: ReplicationMetrics
+    injector: CrashInjector
+    shipper: LogShipper
+    report: GenerationReport
+    transfer_ok: bool = False
+
+
 class ReplicaGroup:
     """Primary + backup over a transport, surviving *k* failovers.
 
@@ -160,31 +185,26 @@ class ReplicaGroup:
         natives: Optional[NativeRegistry] = None,
         env: Optional[Environment] = None,
         *,
-        strategy="lock_sync",
-        crash_schedule=None,
-        max_failures: int = 8,
-        transport=None,
-        settings_for: Optional[Callable[[int], ReplicaSettings]] = None,
-        jvm_config: Optional[JVMConfig] = None,
-        batch_records: int = 64,
-        detector_timeout: int = 3,
-        se_handlers: Optional[List[SideEffectHandler]] = None,
-        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        config: Optional[ReplicationConfig] = None,
+        **kwargs,
     ) -> None:
-        self._strategy = resolve_strategy(strategy)
+        config = config_from_kwargs(config, kwargs, owner="ReplicaGroup")
+        self.config = config
+        self._strategy = resolve_strategy(config.strategy)
         self.registry = registry
         self.natives = natives or default_natives()
         self.env = env or Environment()
-        self.crash_schedule = crash_schedule
-        self.max_failures = max_failures
-        self._transport_spec = transport
+        self.crash_schedule = config.crash_schedule
+        self.max_failures = config.max_failures
+        self._transport_spec = config.transport
         self._transport_template_used = False
-        self._settings_for = settings_for or default_generation_settings
-        self.base_config = jvm_config or JVMConfig()
-        self.batch_records = batch_records
-        self.detector = FailureDetector(detector_timeout)
-        self._extra_se_handlers = list(se_handlers or [])
-        self.chunk_bytes = chunk_bytes
+        self._settings_for = config.settings_for or default_generation_settings
+        self.base_config = config.jvm_config or JVMConfig()
+        self.batch_records = config.batch_records
+        self.detector = FailureDetector(config.detector_timeout)
+        self._extra_se_handlers = list(config.se_handlers)
+        self.chunk_bytes = (DEFAULT_CHUNK_BYTES if config.chunk_bytes is None
+                            else config.chunk_bytes)
 
         #: Per-generation reports, appended as the run progresses.
         self.reports: List[GenerationReport] = []
@@ -204,6 +224,33 @@ class ReplicaGroup:
         #: them at the next recovery.
         self._stale_raw: List[bytes] = []
         self._ran = False
+        self._failures = 0
+
+        # --- serving lifecycle state -----------------------------------
+        #: Request port name when serving (None = classic run()).
+        self._serve_port: Optional[str] = None
+        #: ``len(port.consumed)`` at basis-checkpoint adoption: live
+        #: takes already accounted for by the checkpoint itself.
+        self._port_basis = 0
+        self._serve_main: Optional[str] = None
+        self._serve_args: Optional[List[str]] = None
+        self._serve_result: Optional[GroupResult] = None
+        self._gen: Optional[_Generation] = None
+        self._generation = 0
+
+    @property
+    def failures_survived(self) -> int:
+        return self._failures
+
+    @property
+    def generation(self) -> int:
+        """Epoch of the currently armed generation (serving mode)."""
+        return self._generation
+
+    @property
+    def active_jvm(self) -> Optional[JVM]:
+        """The machine currently holding the primary role, if armed."""
+        return self._gen.jvm if self._gen is not None else None
 
     @property
     def strategy(self) -> str:
@@ -319,6 +366,7 @@ class ReplicaGroup:
             jvm.bootstrap(main_class, args)
 
         parsed = parse_log(inner)
+        self._reconcile_port(parsed, metrics)
         for record in parsed.side_effects:
             se_manager.receive(record)
         policy = BackupNativePolicy(
@@ -413,10 +461,175 @@ class ReplicaGroup:
         self._ckpt_epoch = generation
         self._exec_raw = []
         self._stale_raw = []
+        if self._serve_port is not None:
+            # Every request consumed so far is baked into the basis
+            # checkpoint; only post-checkpoint recv records count at
+            # the next reconciliation.
+            self._port_basis = len(self.env.port(self._serve_port).consumed)
+
+    def _reconcile_port(self, parsed,
+                        metrics: Optional[ReplicationMetrics] = None
+                        ) -> None:
+        """Exactly-once request consumption across a failover.
+
+        ``port.consumed`` counts live takes since the run began; the
+        basis accounts for ``_port_basis`` of them (baked into the
+        checkpoint) plus one ``Server.recv`` result record per take
+        whose flush survived the crash.  Every reply performs output
+        commit first, so an *answered* request's recv record is always
+        delivered — the overhang can only be unanswered requests
+        consumed in the crash window.  Those are lost in flight:
+        un-consume them and requeue at the front, preserving order.
+        Re-running after a torn transfer is a no-op (same basis, no
+        takes in between)."""
+        if self._serve_port is None:
+            return
+        survived = sum(
+            1
+            for records in parsed.results.values()
+            for record in records
+            if record.signature == INGEST_SIGNATURE
+        )
+        port = self.env.port(self._serve_port)
+        accounted = self._port_basis + survived
+        lost = port.consumed[accounted:]
+        if lost:
+            del port.consumed[accounted:]
+            port.requeue(lost)
+            if metrics is not None:
+                metrics.requests_requeued += len(lost)
 
     # ==================================================================
     # The generation loop
     # ==================================================================
+    def _boot(self, main_class: str, args: Optional[List[str]]
+              ) -> Tuple[JVM, SideEffectManager]:
+        """Generation 0's fresh boot: identical initial state, no replay."""
+        settings = self._settings_for(0)
+        session = self.env.attach(
+            "replica-g0",
+            clock_offset_ms=settings.clock_offset_ms,
+            entropy_seed=settings.entropy_seed,
+        )
+        jvm = JVM(self.registry, self.natives, session,
+                  self._config_for(0), name="replica-g0")
+        jvm.bootstrap(main_class, args)
+        return jvm, self._make_se_manager()
+
+    def _arm(self, jvm: JVM, se_manager: SideEffectManager,
+             generation: int,
+             recovery_metrics: Optional[ReplicationMetrics]) -> _Generation:
+        """Instrument ``jvm`` as this generation's primary and perform
+        the checkpoint transfer to the fresh backup.  May raise
+        :class:`PrimaryCrashed` mid-transfer; ``self._gen`` is already
+        populated by then so the crash path has the handles."""
+        transport = self._make_transport(generation)
+        channel = Channel(batch_records=self.batch_records,
+                          transport=transport)
+        self.detector.reset(
+            source=(lambda t: lambda: t.stats.heartbeats_delivered)(
+                transport
+            )
+        )
+        metrics = ReplicationMetrics(role="primary")
+        injector = CrashInjector(self._crash_at(generation))
+        shipper = LogShipper(channel, metrics, injector, epoch=generation)
+        report = GenerationReport(generation=generation,
+                                  recovery_metrics=recovery_metrics)
+        gen = _Generation(generation, jvm, se_manager, transport, channel,
+                          metrics, injector, shipper, report)
+        self._gen = gen
+
+        # Quiescent snapshot first, then primary instrumentation —
+        # the checkpoint must not contain primary-side hooks.
+        checkpoint = take_checkpoint(
+            jvm, se_manager, generation=generation,
+            env_snapshot=self.env.snapshot_stable(),
+        )
+        chunks = checkpoint.to_chunks(self.chunk_bytes)
+        report.checkpoint_bytes = checkpoint.byte_size
+        report.checkpoint_chunks = len(chunks)
+
+        jvm.native_policy = PrimaryNativePolicy(shipper, metrics, se_manager)
+        driver = self._strategy.make_primary(
+            shipper, metrics, self._settings_for(generation),
+            self._config_for(generation),
+        )
+        driver.install(jvm)
+        jvm.run_hooks = _GroupHeartbeatHooks(channel)
+        jvm.sync.reevaluate_parked()
+
+        for chunk in chunks:
+            shipper.log(chunk)
+            metrics.checkpoint_records += 1
+            metrics.checkpoint_bytes += len(chunk.data)
+        shipper.checkpoint_commit()
+        self._adopt_checkpoint(channel, metrics, generation, len(chunks),
+                               shipper)
+        gen.transfer_ok = True
+        return gen
+
+    def _dispose_crash(self, gen: _Generation) -> None:
+        """Crash bookkeeping: metrics, report, basis capture, teardown."""
+        self._failures += 1
+        self._finish_metrics(gen.jvm, gen.metrics, gen.transport)
+        gen.report.outcome = ("crashed" if gen.transfer_ok
+                              else "crashed_in_transfer")
+        gen.report.crash_event = gen.injector.events
+        gen.report.events = gen.injector.events
+        gen.report.primary_metrics = gen.metrics
+        # Fail-stop: volatile state and buffered records die with the
+        # primary.
+        gen.jvm.session.destroy()
+        gen.channel.crash_primary()
+        gen.report.detection_intervals = self.detector.await_detection()
+        raw = gen.channel.backup_log()
+        if gen.transfer_ok:
+            # The fresh backup holds checkpoint + post-transfer
+            # records: that is the new recovery basis.
+            self._exec_raw = raw
+            self._stale_raw = []
+        else:
+            # Torn transfer: the old basis stands; these stamped
+            # leavings exist only to be fenced.
+            self._stale_raw.extend(raw)
+        self.reports.append(gen.report)
+        gen.transport.close()
+
+    def _complete(self, gen: _Generation, result: RunResult) -> GroupResult:
+        """Normal-completion bookkeeping for the active generation."""
+        gen.channel.settle()
+        self._finish_metrics(gen.jvm, gen.metrics, gen.transport)
+        gen.report.outcome = "completed"
+        gen.report.events = gen.injector.events
+        gen.report.primary_metrics = gen.metrics
+        self.reports.append(gen.report)
+        gen.transport.close()
+        self.final_jvm = gen.jvm
+        return GroupResult("completed", result, self.reports, self._failures)
+
+    def _complete_in_recovery(self, jvm: JVM, result: RunResult,
+                              generation: int,
+                              recovery_metrics: ReplicationMetrics
+                              ) -> GroupResult:
+        """The program finished during replay: the recovered machine is
+        the sole survivor and its output is final."""
+        self._finish_metrics(jvm, recovery_metrics)
+        self.final_jvm = jvm
+        self.reports.append(GenerationReport(
+            generation=generation,
+            outcome="completed_in_recovery",
+            recovery_metrics=recovery_metrics,
+        ))
+        return GroupResult("completed", result, self.reports, self._failures)
+
+    def _check_budget(self, generation: int) -> None:
+        if generation > self.max_failures:
+            raise ReplicationError(
+                f"replica group exhausted its failover budget "
+                f"({self.max_failures}) — giving up"
+            )
+
     def run(self, main_class: str, args: Optional[List[str]] = None
             ) -> GroupResult:
         """Run under supervision until the program completes, surviving
@@ -430,134 +643,148 @@ class ReplicaGroup:
         jvm: Optional[JVM] = None
         se_manager: Optional[SideEffectManager] = None
         recovery_metrics: Optional[ReplicationMetrics] = None
-        failures = 0
         generation = 0
 
         while True:
-            if generation > self.max_failures:
-                raise ReplicationError(
-                    f"replica group exhausted its failover budget "
-                    f"({self.max_failures}) — giving up"
-                )
+            self._check_budget(generation)
             if jvm is None:
                 if generation == 0 and self._ckpt is None \
                         and not self._stale_raw:
-                    # First boot: identical initial state, no replay.
-                    settings = self._settings_for(0)
-                    session = self.env.attach(
-                        "replica-g0",
-                        clock_offset_ms=settings.clock_offset_ms,
-                        entropy_seed=settings.entropy_seed,
-                    )
-                    jvm = JVM(self.registry, self.natives, session,
-                              self._config_for(0), name="replica-g0")
-                    jvm.bootstrap(main_class, args)
-                    se_manager = self._make_se_manager()
+                    jvm, se_manager = self._boot(main_class, args)
                     recovery_metrics = None
                 else:
                     jvm, se_manager, recovered, recovery_metrics = \
                         self._recover(generation, main_class, args)
                     if recovered is not None:
-                        # The program finished during replay: the
-                        # recovered machine is the sole survivor and
-                        # its output is final.
-                        self._finish_metrics(jvm, recovery_metrics)
-                        self.final_jvm = jvm
-                        self.reports.append(GenerationReport(
-                            generation=generation,
-                            outcome="completed_in_recovery",
-                            recovery_metrics=recovery_metrics,
-                        ))
-                        return GroupResult(
-                            "completed", recovered, self.reports, failures
+                        return self._complete_in_recovery(
+                            jvm, recovered, generation, recovery_metrics
                         )
-
-            transport = self._make_transport(generation)
-            channel = Channel(batch_records=self.batch_records,
-                              transport=transport)
-            self.detector.reset(
-                source=(lambda t: lambda: t.stats.heartbeats_delivered)(
-                    transport
-                )
-            )
-            metrics = ReplicationMetrics(role="primary")
-            injector = CrashInjector(self._crash_at(generation))
-            shipper = LogShipper(channel, metrics, injector,
-                                 epoch=generation)
-
-            report = GenerationReport(generation=generation,
-                                      recovery_metrics=recovery_metrics)
-            recovery_metrics = None
-
-            # Quiescent snapshot first, then primary instrumentation —
-            # the checkpoint must not contain primary-side hooks.
-            checkpoint = take_checkpoint(
-                jvm, se_manager, generation=generation,
-                env_snapshot=self.env.snapshot_stable(),
-            )
-            chunks = checkpoint.to_chunks(self.chunk_bytes)
-            report.checkpoint_bytes = checkpoint.byte_size
-            report.checkpoint_chunks = len(chunks)
-
-            jvm.native_policy = PrimaryNativePolicy(
-                shipper, metrics, se_manager
-            )
-            driver = self._strategy.make_primary(
-                shipper, metrics, self._settings_for(generation),
-                self._config_for(generation),
-            )
-            driver.install(jvm)
-            jvm.run_hooks = _GroupHeartbeatHooks(channel)
-            jvm.sync.reevaluate_parked()
-
-            transfer_ok = False
             try:
-                for chunk in chunks:
-                    shipper.log(chunk)
-                    metrics.checkpoint_records += 1
-                    metrics.checkpoint_bytes += len(chunk.data)
-                shipper.checkpoint_commit()
-                self._adopt_checkpoint(
-                    channel, metrics, generation, len(chunks), shipper
-                )
-                transfer_ok = True
-
+                gen = self._arm(jvm, se_manager, generation,
+                                recovery_metrics)
+                recovery_metrics = None
                 result = jvm.run_to_completion()
-                channel.settle()
-                self._finish_metrics(jvm, metrics, transport)
-                report.outcome = "completed"
-                report.events = injector.events
-                report.primary_metrics = metrics
-                self.reports.append(report)
-                transport.close()
-                self.final_jvm = jvm
-                return GroupResult("completed", result, self.reports,
-                                   failures)
+                return self._complete(gen, result)
             except PrimaryCrashed:
-                failures += 1
-                self._finish_metrics(jvm, metrics, transport)
-                report.outcome = ("crashed" if transfer_ok
-                                  else "crashed_in_transfer")
-                report.crash_event = injector.events
-                report.events = injector.events
-                report.primary_metrics = metrics
-                # Fail-stop: volatile state and buffered records die
-                # with the primary.
-                jvm.session.destroy()
-                channel.crash_primary()
-                report.detection_intervals = self.detector.await_detection()
-                raw = channel.backup_log()
-                if transfer_ok:
-                    # The fresh backup holds checkpoint + post-transfer
-                    # records: that is the new recovery basis.
-                    self._exec_raw = raw
-                    self._stale_raw = []
-                else:
-                    # Torn transfer: the old basis stands; these
-                    # stamped leavings exist only to be fenced.
-                    self._stale_raw.extend(raw)
-                self.reports.append(report)
-                transport.close()
+                self._dispose_crash(self._gen)
                 jvm = None
                 se_manager = None
                 generation += 1
+
+    # ==================================================================
+    # Serving lifecycle (resumable request/response operation)
+    # ==================================================================
+    def start_serving(self, main_class: str,
+                      args: Optional[List[str]] = None, *,
+                      port: str) -> None:
+        """Boot generation 0, arm it (checkpoint transfer to the fresh
+        backup), and drive it to its first request wait.
+
+        From here the group alternates between :meth:`submit` /
+        :meth:`pump` and failover: a primary crash during any pump is
+        absorbed transparently — recovery replays the basis, the
+        request port is reconciled for exactly-once consumption, the
+        promoted machine re-arms a fresh backup under the next epoch,
+        and serving resumes."""
+        if self._ran:
+            raise AlreadyRanError(
+                "this ReplicaGroup already ran; build a fresh group"
+            )
+        self._ran = True
+        self._serve_port = port
+        self._serve_main = main_class
+        self._serve_args = list(args) if args else None
+        jvm, se_manager = self._boot(main_class, self._serve_args)
+        self._arm_serving(jvm, se_manager, None)
+        self.pump()
+
+    @property
+    def serving(self) -> bool:
+        """True while the program is parked waiting for requests."""
+        return self._ran and self._serve_port is not None \
+            and self._serve_result is None
+
+    @property
+    def serve_result(self) -> Optional[GroupResult]:
+        return self._serve_result
+
+    def submit(self, request: str) -> None:
+        """Queue a request without driving the machine."""
+        if self._serve_port is None:
+            raise ReplicationError(
+                "not serving: call start_serving() first"
+            )
+        self.env.port(self._serve_port).push(request)
+
+    def serve(self, request: str) -> Optional[str]:
+        """Deliver one request and pump to the next quiescent point;
+        returns the committed response text (None if the program exited
+        without answering)."""
+        from repro.env.port import request_id
+
+        self.submit(request)
+        self.pump()
+        return self.env.responses.get(request_id(request))
+
+    def pump(self) -> bool:
+        """Drive the active generation until it parks on an empty port
+        or the program completes, absorbing any primary crash along the
+        way.  Returns True while still serving."""
+        if self._serve_result is not None:
+            return False
+        while True:
+            gen = self._gen
+            try:
+                result = gen.jvm.run_to_completion(pause_on_starvation=True)
+            except PrimaryCrashed:
+                self._dispose_crash(gen)
+                self._generation += 1
+                self._check_budget(self._generation)
+                jvm, se_manager, recovered, recovery_metrics = \
+                    self._recover(self._generation, self._serve_main,
+                                  self._serve_args)
+                if recovered is not None:
+                    self._serve_result = self._complete_in_recovery(
+                        jvm, recovered, self._generation, recovery_metrics
+                    )
+                    return False
+                self._arm_serving(jvm, se_manager, recovery_metrics)
+                if self._serve_result is not None:
+                    return False
+                continue
+            if result is None:
+                return True                # parked, waiting for requests
+            self._serve_result = self._complete(gen, result)
+            return False
+
+    def stop_serving(self, stop_request: str) -> GroupResult:
+        """Deliver ``stop_request`` and run the program to completion."""
+        self.submit(stop_request)
+        self.pump()
+        if self._serve_result is None:
+            raise ReplicationError(
+                f"group still serving after stop request {stop_request!r}"
+            )
+        return self._serve_result
+
+    def _arm_serving(self, jvm: JVM, se_manager: SideEffectManager,
+                     recovery_metrics: Optional[ReplicationMetrics]) -> None:
+        """Arm a generation for serving, absorbing crashes that strike
+        during the checkpoint transfer itself."""
+        while True:
+            try:
+                self._arm(jvm, se_manager, self._generation,
+                          recovery_metrics)
+                return
+            except PrimaryCrashed:
+                self._dispose_crash(self._gen)
+                self._generation += 1
+                self._check_budget(self._generation)
+                jvm, se_manager, recovered, recovery_metrics = \
+                    self._recover(self._generation, self._serve_main,
+                                  self._serve_args)
+                if recovered is not None:
+                    self._serve_result = self._complete_in_recovery(
+                        jvm, recovered, self._generation, recovery_metrics
+                    )
+                    return

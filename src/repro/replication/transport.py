@@ -33,6 +33,33 @@ Delivery semantics under fail-stop, per transport:
 * socket: TCP gives loss-free ordered delivery; bytes still in flight
   when the sender's socket closes are delivered before EOF, so flushed
   records are delivered, as in the in-memory model.
+
+Multiplexed operation
+---------------------
+
+The original interface was *blocking*: one connection per replica
+group, with :meth:`Transport.wait_ack` spinning the transport's own
+clock (or socket) until the ack arrived.  A fleet of replica groups
+cannot be built on that — one group stalled in an output-commit wait
+would freeze every other group's link.  The interface is therefore
+poll-driven:
+
+* :meth:`Transport.poll` advances the transport **without blocking**
+  (delivers due arrivals, processes acks, runs retransmit timers) and
+  reports whether anything progressed;
+* :meth:`Transport.send_nowait` ships a batch if the send window has
+  room, returning ``False`` instead of stalling under backpressure;
+* :attr:`Transport.on_deliver` / :attr:`Transport.on_ack` are
+  readiness callbacks fired when records land in the backup's log or
+  the cumulative ack advances;
+* :class:`TransportMux` is the one event loop servicing all group
+  connections: every registered transport's blocking waits service the
+  *other* members between their own poll steps, so a group waiting on
+  its ack keeps the rest of the fleet's frames moving.
+
+The blocking methods (``send``/``wait_ack``) remain, implemented on
+top of the poll layer, so single-group users (:class:`ReplicatedJVM`,
+the conformance sweeps) are unchanged.
 """
 
 from __future__ import annotations
@@ -43,7 +70,7 @@ import threading
 import time
 from dataclasses import dataclass, replace
 from random import Random
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import TransportError
 from repro.replication.wire import Reader, Writer
@@ -79,7 +106,9 @@ class Transport:
 
     Subclasses must deliver records into :attr:`delivered` (the
     backup's in-memory log) such that ``delivered`` is always a prefix
-    of the concatenation of all sent batches.
+    of the concatenation of all sent batches.  Delivery must go
+    through :meth:`_deliver` and ack advancement through
+    :meth:`_ack_advanced` so the readiness callbacks fire.
     """
 
     def __init__(self) -> None:
@@ -87,11 +116,57 @@ class Transport:
         self.delivered: List[bytes] = []
         self.stats = TransportStats()
         self.closed = False
+        #: Readiness callback ``(transport, n_new_records)`` fired when
+        #: records land in :attr:`delivered`.  The socket transport
+        #: fires it on its receiver thread.
+        self.on_deliver: Optional[Callable[["Transport", int], None]] = None
+        #: Readiness callback ``(transport, acked_through_seq)`` fired
+        #: when the cumulative ack advances.
+        self.on_ack: Optional[Callable[["Transport", int], None]] = None
+        #: Set by :meth:`TransportMux.register`: while this transport
+        #: blocks (ack wait, backpressure stall), it services the other
+        #: members of its mux so one stalled group cannot freeze the
+        #: rest of the fleet.
+        self.mux: Optional["TransportMux"] = None
+
+    # -- delivery/ack choke points (fire the readiness callbacks) ------
+    def _deliver(self, records: List[bytes]) -> None:
+        self.delivered.extend(records)
+        if self.on_deliver is not None and records:
+            self.on_deliver(self, len(records))
+
+    def _ack_advanced(self, through: int) -> None:
+        if self.on_ack is not None:
+            self.on_ack(self, through)
+
+    def _service_others(self) -> None:
+        """One idle step for the rest of the fleet (no-op unmuxed)."""
+        if self.mux is not None:
+            self.mux.poll_others(self)
 
     # -- sender side ---------------------------------------------------
     def send(self, records: List[bytes]) -> None:
-        """Ship one batch (a flushed buffer) toward the backup."""
+        """Ship one batch (a flushed buffer) toward the backup,
+        blocking under backpressure until the window has room."""
         raise NotImplementedError
+
+    def send_nowait(self, records: List[bytes]) -> bool:
+        """Ship one batch if the send window has room; returns
+        ``False`` (and ships nothing) when backpressured — the caller
+        should :meth:`poll` and retry.  Default: transports without a
+        bounded window never refuse."""
+        self.send(records)
+        return True
+
+    def poll(self) -> bool:
+        """Advance the transport without blocking: deliver due
+        arrivals, process acks, run retransmit timers.  Returns True
+        when anything progressed.  Default: nothing to advance."""
+        return False
+
+    def ack_pending(self) -> bool:
+        """True while some sent batch is not yet acknowledged."""
+        return False
 
     def wait_ack(self) -> float:
         """Block until every sent batch is acknowledged; returns the
@@ -134,10 +209,18 @@ class Transport:
 class InMemoryTransport(Transport):
     """Zero-latency loss-free delivery — the original channel model."""
 
+    def __init__(self) -> None:
+        super().__init__()
+        self._sent_batches = 0
+
     def send(self, records: List[bytes]) -> None:
         if self.closed:
             return
-        self.delivered.extend(records)
+        self._deliver(list(records))
+        self._sent_batches += 1
+        # Delivery is the ack on this transport: the batch is in the
+        # backup's log the moment send returns.
+        self._ack_advanced(self._sent_batches - 1)
 
     def wait_ack(self) -> float:
         self.stats.acks_delivered += 1
@@ -267,11 +350,12 @@ class FaultyTransport(Transport):
                 self.stats.messages_reordered += 1
                 self._held[seq] = records
             return
-        self.delivered.extend(records)
+        batch = list(records)
         self._expected += 1
         while self._expected in self._held:
-            self.delivered.extend(self._held.pop(self._expected))
+            batch.extend(self._held.pop(self._expected))
             self._expected += 1
+        self._deliver(batch)
         self._send_ack()
 
     def _send_ack(self) -> None:
@@ -291,6 +375,7 @@ class FaultyTransport(Transport):
                 self.stats.acks_delivered += 1
                 for acked in [s for s in self._unacked if s <= seq]:
                     del self._unacked[acked]
+                self._ack_advanced(seq)
         else:
             self.stats.heartbeats_delivered += 1
 
@@ -325,6 +410,15 @@ class FaultyTransport(Transport):
         self._process_due()
         return True
 
+    def _admit(self, records: List[bytes]) -> None:
+        """Accept one batch into the send window and transmit it."""
+        seq = self._next_seq
+        self._next_seq += 1
+        self._unacked[seq] = [list(records), 0, 0.0]
+        self._transmit(seq)
+        self.now += self.send_cost
+        self._process_due()
+
     # -- Transport interface -------------------------------------------
     def send(self, records: List[bytes]) -> None:
         if self.closed:
@@ -333,16 +427,31 @@ class FaultyTransport(Transport):
             # Bounded send buffer: the primary stalls until an ack
             # frees a slot (backpressure).
             self.stats.backpressure_stalls += 1
+            self._service_others()
             if not self._advance_one_step(allow_retransmit=True):
                 raise TransportError(
                     "send window full and the link is silent"
                 )
-        seq = self._next_seq
-        self._next_seq += 1
-        self._unacked[seq] = [list(records), 0, 0.0]
-        self._transmit(seq)
-        self.now += self.send_cost
-        self._process_due()
+        self._admit(records)
+
+    def send_nowait(self, records: List[bytes]) -> bool:
+        if self.closed:
+            return True
+        if len(self._unacked) >= self.profile.window:
+            self.stats.backpressure_stalls += 1
+            return False
+        self._admit(records)
+        return True
+
+    def poll(self) -> bool:
+        if self.closed:
+            return False
+        if not self._events and not self._unacked:
+            return False
+        return self._advance_one_step(allow_retransmit=True)
+
+    def ack_pending(self) -> bool:
+        return self._acked_through < self._next_seq - 1
 
     def wait_ack(self) -> float:
         if self.closed:
@@ -350,6 +459,7 @@ class FaultyTransport(Transport):
         target = self._next_seq - 1
         started = self.now
         while self._acked_through < target:
+            self._service_others()
             if not self._advance_one_step(allow_retransmit=True):
                 raise TransportError("awaiting ack on a silent link")
         waited = self.now - started
@@ -417,6 +527,21 @@ def _uvarint_bytes(value: int) -> bytes:
     return Writer().uvarint(value).bytes()
 
 
+def _buf_uvarint(buf: bytes) -> Optional[Tuple[int, int]]:
+    """Parse one varint from the head of ``buf``; returns
+    ``(value, bytes_consumed)`` or ``None`` when incomplete."""
+    shift = 0
+    value = 0
+    for i, byte in enumerate(buf):
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, i + 1
+        shift += 7
+        if shift > 63:
+            raise TransportError("varint too long on socket")
+    return None
+
+
 class SocketTransport(Transport):
     """Real TCP over localhost; the backup's log receiver runs on its
     own thread and acks every data frame it appends.
@@ -459,6 +584,10 @@ class SocketTransport(Transport):
         #: seq -> encoded DATA frame payload, pruned as acks arrive;
         #: retransmitted in order after a reconnect.
         self._outbox: Dict[int, bytes] = {}
+        #: Sender-side buffer of ack bytes read off the socket; frames
+        #: are parsed out of it as they complete, so ack reads can be
+        #: non-blocking (the poll layer) without tearing frames.
+        self._ack_buf = b""
         #: Receiver-side cumulative next-expected sequence; lives on
         #: the instance so it survives connection turnover.
         self._expected = 0
@@ -513,13 +642,18 @@ class SocketTransport(Transport):
                         # confused sender.  Hold nothing, ack nothing —
                         # the retransmission protocol will fill it in.
                         continue
+                    appended = 0
                     if seq == self._expected:
                         self._expected = seq + 1
                         self.delivered.extend(records)
+                        appended = len(records)
                         self._cv.notify_all()
                     # seq < expected: duplicate after a reconnect — the
                     # records are already in the log; just re-ack.
                     acked = self._expected - 1
+                # NB: fires on the receiver thread, outside the lock.
+                if appended and self.on_deliver is not None:
+                    self.on_deliver(self, appended)
                 ack = Writer().uvarint(_FRAME_ACK).uvarint(acked).bytes()
                 conn.sendall(_uvarint_bytes(len(ack)) + ack)
             elif frame_type == _FRAME_HEARTBEAT:
@@ -547,6 +681,8 @@ class SocketTransport(Transport):
             except OSError:
                 pass
             self._sender = None
+        # A partial ack frame from the dead connection is garbage.
+        self._ack_buf = b""
 
     def _connect(self) -> socket.socket:
         if self._sender is None:
@@ -614,26 +750,98 @@ class SocketTransport(Transport):
         self.stats.heartbeats_sent += 1
         self._send_frame(Writer().uvarint(_FRAME_HEARTBEAT).bytes())
 
+    def _parse_ack_frames(self) -> bool:
+        """Consume complete frames from the ack buffer; True when the
+        cumulative ack advanced."""
+        advanced = False
+        while True:
+            head = _buf_uvarint(self._ack_buf)
+            if head is None:
+                return advanced
+            length, consumed = head
+            if len(self._ack_buf) < consumed + length:
+                return advanced
+            payload = self._ack_buf[consumed:consumed + length]
+            self._ack_buf = self._ack_buf[consumed + length:]
+            r = Reader(payload)
+            if r.uvarint() != _FRAME_ACK:
+                continue
+            acked = r.uvarint()
+            self.stats.acks_delivered += 1
+            if acked > self._acked_through:
+                self._acked_through = acked
+                for seq in [s for s in self._outbox if s <= acked]:
+                    del self._outbox[seq]
+                self._ack_advanced(acked)
+                advanced = True
+
+    def _recv_ack_bytes(self, timeout: float) -> str:
+        """Pull whatever ack bytes the socket has into the buffer
+        within ``timeout`` seconds (0 = non-blocking).  Returns
+        ``"data"``, ``"idle"`` (nothing arrived) or ``"eof"``.
+        Non-timeout ``OSError`` propagates to the caller."""
+        sock = self._connect()
+        sock.settimeout(timeout)
+        try:
+            chunk = sock.recv(65536)
+        except (socket.timeout, BlockingIOError, InterruptedError):
+            return "idle"
+        finally:
+            try:
+                sock.settimeout(self.timeout)
+            except OSError:
+                pass
+        if not chunk:
+            return "eof"
+        self._ack_buf += chunk
+        return "data"
+
+    def poll(self) -> bool:
+        """Non-blocking ack pump: drain available ack bytes and
+        process complete frames.  Connection trouble here is left for
+        the blocking paths (send/wait_ack) to repair."""
+        if self.closed or not self.ack_pending():
+            return False
+        progressed = self._parse_ack_frames()
+        try:
+            status = self._recv_ack_bytes(0.0)
+        except OSError:
+            self._drop_connection()
+            return progressed
+        if status == "eof":
+            self._drop_connection()
+            return progressed
+        return self._parse_ack_frames() or progressed
+
+    def ack_pending(self) -> bool:
+        return self._acked_through < self._next_seq - 1
+
     def wait_ack(self) -> float:
         if self.closed or self._next_seq == 0:
             return 0.0
         target = self._next_seq - 1
         started = time.monotonic()
+        deadline = started + self.timeout
         failures = 0
         while self._acked_through < target:
-            sock = self._connect()
-            sock.settimeout(self.timeout)
-            try:
-                payload = self._read_frame(sock)
-            except socket.timeout:
+            if self._parse_ack_frames():
+                continue
+            self._service_others()
+            # Muxed: short reads so the rest of the fleet keeps moving,
+            # bounded by an overall deadline.  Unmuxed: one blocking
+            # read with the full timeout, as before.
+            if self.mux is not None and time.monotonic() > deadline:
                 raise TransportError("timed out waiting for backup ack")
+            read_timeout = 0.05 if self.mux is not None else self.timeout
+            try:
+                status = self._recv_ack_bytes(read_timeout)
             except OSError as exc:
                 self._drop_connection()
                 failures += 1
                 if failures > 3:
                     raise TransportError(f"ack read failed: {exc}") from exc
                 continue
-            if payload is None:
+            if status == "eof":
                 # Our end of the link went away (e.g. an injected reset
                 # between send and wait): reconnect and retransmit.
                 self._drop_connection()
@@ -641,14 +849,8 @@ class SocketTransport(Transport):
                 if failures > 3:
                     raise TransportError("backup closed the link mid-ack")
                 continue
-            r = Reader(payload)
-            if r.uvarint() == _FRAME_ACK:
-                acked = r.uvarint()
-                if acked > self._acked_through:
-                    self._acked_through = acked
-                    for seq in [s for s in self._outbox if s <= acked]:
-                        del self._outbox[seq]
-                self.stats.acks_delivered += 1
+            if status == "idle" and self.mux is None:
+                raise TransportError("timed out waiting for backup ack")
         waited = time.monotonic() - started
         self.stats.ack_wait_time += waited
         return waited
@@ -699,6 +901,69 @@ class SocketTransport(Transport):
             timeout=self.timeout, reset_every=self.reset_every,
             reset_rate=self.reset_rate, reset_seed=self.reset_seed,
         )
+
+
+# ======================================================================
+# Multiplexing
+# ======================================================================
+class TransportMux:
+    """One event loop servicing every replica group's connection.
+
+    Register each group's transport.  Two things follow:
+
+    * :meth:`poll` advances every member one non-blocking step — the
+      fleet's idle loop;
+    * while any member *blocks* (an output-commit ack wait, a send
+      backpressure stall), it calls :meth:`poll_others` between its own
+      steps, so one stalled group's link never freezes the rest of the
+      fleet's frames.
+    """
+
+    def __init__(self) -> None:
+        self._members: List[Transport] = []
+
+    def register(self, transport: Transport) -> Transport:
+        if transport not in self._members:
+            self._members.append(transport)
+            transport.mux = self
+        return transport
+
+    def unregister(self, transport: Transport) -> None:
+        if transport in self._members:
+            self._members.remove(transport)
+        if transport.mux is self:
+            transport.mux = None
+
+    def members(self) -> List[Transport]:
+        return list(self._members)
+
+    def poll(self) -> bool:
+        """One non-blocking service step over all members, in
+        registration order.  True when any member progressed."""
+        progressed = False
+        for transport in list(self._members):
+            if not transport.closed and transport.poll():
+                progressed = True
+        return progressed
+
+    def poll_others(self, busy: Transport) -> bool:
+        """Service every member except ``busy`` (called from inside
+        ``busy``'s blocking wait)."""
+        progressed = False
+        for transport in list(self._members):
+            if transport is busy or transport.closed:
+                continue
+            if transport.poll():
+                progressed = True
+        return progressed
+
+    def ack_pending(self) -> bool:
+        return any(t.ack_pending() for t in self._members)
+
+    def close(self) -> None:
+        for transport in list(self._members):
+            transport.close()
+        self._members.clear()
 
 
 def make_transport(spec=None) -> Transport:

@@ -103,8 +103,10 @@ class DirectNativePolicy:
 
     def would_starve(self, jvm: "JVM", method, thread) -> bool:
         """Hot backups pause on natives whose record is missing; live
-        execution never does."""
-        return False
+        execution pauses only on an empty request port (serving)."""
+        from repro.env.port import ingest_starved
+
+        return ingest_starved(jvm, method, thread)
 
 
 class RunHooks:

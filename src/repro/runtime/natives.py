@@ -160,6 +160,12 @@ class NativeContext:
         self._require_nondeterministic("file data")
         return self.jvm.session
 
+    def request_input(self):
+        """The session, for consuming a request port (a non-det input:
+        which request arrives next depends on arrival order)."""
+        self._require_nondeterministic("the request port")
+        return self.jvm.session
+
     # -- Output to the environment (R5 gate) ----------------------------
     def output_target(self):
         """The session, for mutating the environment."""

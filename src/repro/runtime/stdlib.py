@@ -177,6 +177,11 @@ def install_stdlib(registry: ClassRegistry) -> ClassRegistry:
         files_cls.add_method(_native(name, nargs, returns))
     registry.register(files_cls)
 
+    server_cls = JClass("Server", "Object")
+    server_cls.add_method(_native("recv", 1, True))
+    server_cls.add_method(_native("reply", 2, False))
+    registry.register(server_cls)
+
     refs_cls = JClass("Refs", "Object")
     refs_cls.add_method(_native("soft", 1, True))
     refs_cls.add_method(_native("weak", 1, True))
@@ -284,6 +289,15 @@ def _str_from_chars(ctx, receiver, args):
     return "".join(chr(c) for c in arr.data[:length])
 
 
+def _server_recv(ctx, receiver, args):
+    return ctx.request_input().recv_request(args[0])
+
+
+def _server_reply(ctx, receiver, args):
+    ctx.output_target().respond(args[0], args[1])
+    return None
+
+
 def _refs_make(class_name: str):
     def impl(ctx, receiver, args):
         ref = ctx.alloc_object(class_name)
@@ -364,6 +378,14 @@ def build_natives() -> NativeRegistry:
     register("Math.imin/2", lambda ctx, r, a: min(a[0], a[1]))
     register("Math.imax/2", lambda ctx, r, a: max(a[0], a[1]))
     register("Math.iabs/1", lambda ctx, r, a: abs(a[0]))
+
+    # --- Serving: request ingest (non-det input) and replies (R5). -----
+    # Which request arrives next is arrival-order non-determinism, so
+    # recv results are logged and adopted on replay; reply commits to
+    # the stable response log, so it is testable by membership.
+    register("Server.recv/1", _server_recv, deterministic=False)
+    register("Server.reply/2", _server_reply,
+             is_output=True, testable=True, se_handler="response")
 
     register("Refs.soft/1", _refs_make("SoftReference"))
     register("Refs.weak/1", _refs_make("WeakReference"))

@@ -113,3 +113,104 @@ WORKLOAD = Workload(
     source=_source,
     setup=_setup,
 )
+
+
+# ======================================================================
+# db_server — the serving variant: a key-value store behind a request
+# port.  ``Server.recv`` blocks (parks at a safe-point event) until the
+# router delivers the next request, so the program runs open-ended and
+# the fleet drives it with :meth:`ReplicaGroup.serve`.  Requests are
+# ``"<rid> <op> <key> [<val>]"``; every request gets exactly one
+# ``Server.reply``.
+# ======================================================================
+_SERVER_SOURCE = """
+class Kv {{
+    int[] vals;
+    boolean[] present;
+
+    Kv(int capacity) {{
+        vals = new int[capacity];
+        present = new boolean[capacity];
+    }}
+
+    synchronized String put(int k, int v) {{
+        vals[k] = v; present[k] = true;
+        return "stored";
+    }}
+
+    synchronized String get(int k) {{
+        if (present[k]) {{ return "v=" + vals[k]; }}
+        return "miss";
+    }}
+
+    synchronized String add(int k, int d) {{
+        vals[k] = vals[k] + d; present[k] = true;
+        return "v=" + vals[k];
+    }}
+}}
+
+class Main {{
+    static int parseInt(String s) {{
+        int v = 0;
+        for (int i = 0; i < s.length(); i++) {{
+            v = v * 10 + (Strings.charAt(s, i) - 48);
+        }}
+        return v;
+    }}
+
+    static void main(String[] args) {{
+        Kv store = new Kv({keyspace});
+        boolean run = true;
+        int served = 0;
+        while (run) {{
+            String req = Server.recv("{port}");
+            if (req.startsWith("stop")) {{
+                run = false;
+            }} else {{
+                int s1 = req.indexOf(" ");
+                String body = req.substring(s1 + 1, req.length());
+                int s2 = body.indexOf(" ");
+                String op = body.substring(0, s2);
+                String rest = body.substring(s2 + 1, body.length());
+                int s3 = rest.indexOf(" ");
+                int key;
+                int val;
+                if (s3 < 0) {{
+                    key = parseInt(rest);
+                    val = 0;
+                }} else {{
+                    key = parseInt(rest.substring(0, s3));
+                    val = parseInt(rest.substring(s3 + 1, rest.length()));
+                }}
+                String resp;
+                if (op.equals("put")) {{
+                    resp = store.put(key, val);
+                }} else if (op.equals("add")) {{
+                    resp = store.add(key, val);
+                }} else {{
+                    resp = store.get(key);
+                }}
+                Server.reply(req, resp);
+                served = served + 1;
+            }}
+        }}
+        System.println("kv served " + served);
+    }}
+}}
+"""
+
+
+def _server_source(params):
+    return _SERVER_SOURCE.format(**params)
+
+
+SERVER_WORKLOAD = Workload(
+    name="db_server",
+    description="long-running key-value server fed through a request "
+                "port (the fleet's per-shard workload)",
+    params={
+        "test": {"keyspace": 64, "port": "req"},
+        "bench": {"keyspace": 512, "port": "req"},
+    },
+    source=_server_source,
+)

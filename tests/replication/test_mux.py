@@ -1,0 +1,202 @@
+"""Multiplexed transport operation: many group connections, one loop.
+
+The fleet hangs every replica group's connection off a single
+``TransportMux``.  The properties that make that safe:
+
+* frames from different groups never cross connections — each
+  transport's delivered log depends only on what *it* was sent;
+* one group blocking (ack wait, backpressure stall) services the other
+  members between its own steps, so a stalled link never freezes the
+  rest of the fleet;
+* fault injection (drops, dups, reordering) composes with muxing: the
+  per-group contiguous-prefix rule — the foundation of output commit —
+  holds for every member independently.
+"""
+
+import pytest
+
+from repro.replication.transport import (
+    FAULT_PROFILES,
+    FaultProfile,
+    FaultyTransport,
+    InMemoryTransport,
+    TransportMux,
+)
+
+
+def _batches(tag, n):
+    return [[f"{tag}{i}".encode()] for i in range(n)]
+
+
+def _flat(batches):
+    return [rec for batch in batches for rec in batch]
+
+
+# ======================================================================
+# Frame isolation
+# ======================================================================
+def test_interleaved_frames_stay_on_their_connection():
+    """Batches from three groups interleaved through one mux arrive
+    complete, in order, and only on their own connection."""
+    mux = TransportMux()
+    transports = [
+        mux.register(FaultyTransport(FAULT_PROFILES["flaky"], seed=40 + i))
+        for i in range(3)
+    ]
+    plans = [_batches(tag, 12) for tag in ("a", "b", "c")]
+    # Round-robin interleave: group 0 frame 0, group 1 frame 0, ...
+    for i in range(12):
+        for t, plan in zip(transports, plans):
+            while not t.send_nowait(plan[i]):
+                mux.poll()
+    for t in transports:
+        t.settle()
+    for t, plan in zip(transports, plans):
+        assert t.delivered == _flat(plan)
+
+
+def test_mux_poll_advances_every_member():
+    mux = TransportMux()
+    slow = mux.register(FaultyTransport(FaultProfile(latency=30.0), seed=1))
+    fast = mux.register(FaultyTransport(FaultProfile(latency=2.0), seed=2))
+    slow.send_nowait([b"s"])
+    fast.send_nowait([b"f"])
+    for _ in range(200):
+        if not mux.poll() and not mux.ack_pending():
+            break
+    assert slow.delivered == [b"s"]
+    assert fast.delivered == [b"f"]
+    assert not mux.ack_pending()
+
+
+# ======================================================================
+# A stalled member never freezes the rest
+# ======================================================================
+def test_backpressured_member_services_others():
+    """While one member spins in a backpressure stall, its blocking
+    ``send`` keeps polling the other members — their frames land even
+    though nobody polls them directly."""
+    mux = TransportMux()
+    stalled = mux.register(FaultyTransport(
+        FaultProfile(window=1, latency=80.0, retry_timeout=400.0), seed=3,
+    ))
+    bystander = mux.register(FaultyTransport(
+        FaultProfile(latency=30.0), seed=4,
+    ))
+    for batch in _batches("b", 5):
+        bystander.send_nowait(batch)
+    # Sending advances the bystander's clock by far less than its
+    # latency: nothing has been delivered yet.
+    assert bystander.delivered == []
+
+    stalled.send([b"x0"])
+    stalled.send([b"x1"])       # window full: blocks until x0's ack
+    assert stalled.stats.backpressure_stalls > 0
+    # The bystander's frames moved while the stalled member blocked —
+    # nobody polled it directly, the stall's wait loop serviced it.
+    assert bystander.delivered
+    bystander.settle()
+    assert bystander.delivered == _flat(_batches("b", 5))
+
+
+def test_ack_wait_services_others():
+    mux = TransportMux()
+    waiter = mux.register(FaultyTransport(
+        FaultProfile(latency=60.0), seed=5,
+    ))
+    bystander = mux.register(FaultyTransport(
+        FaultProfile(latency=2.0), seed=6,
+    ))
+    for batch in _batches("b", 4):
+        bystander.send_nowait(batch)
+    waiter.send([b"w"])
+    waited = waiter.wait_ack()
+    assert waited > 0
+    assert waiter.delivered == [b"w"]
+    assert bystander.delivered == _flat(_batches("b", 4))
+
+
+def test_unmuxed_transport_blocking_still_works():
+    """The mux hook is optional: an unregistered transport's blocking
+    waits behave exactly as before."""
+    t = FaultyTransport(FaultProfile(latency=10.0), seed=7)
+    assert t.mux is None
+    t.send([b"x"])
+    assert t.wait_ack() > 0
+    assert t.delivered == [b"x"]
+
+
+# ======================================================================
+# Faults compose with muxing
+# ======================================================================
+def test_faulty_members_drop_and_duplicate_independently():
+    """Seeded fault schedules stay per-connection under the mux: each
+    member sees its own drops/dups, and settling still delivers every
+    member's stream exactly once, in order."""
+    mux = TransportMux()
+    members = [
+        mux.register(FaultyTransport(
+            FaultProfile(drop_rate=0.3, dup_rate=0.3, latency=4.0,
+                         retry_timeout=30.0),
+            seed=100 + i,
+        ))
+        for i in range(3)
+    ]
+    plans = [_batches(f"m{i}", 20) for i in range(3)]
+    for i in range(20):
+        for t, plan in zip(members, plans):
+            while not t.send_nowait(plan[i]):
+                mux.poll()
+        mux.poll()
+    for t in members:
+        t.settle()
+    assert sum(t.stats.messages_dropped for t in members) > 0
+    assert sum(t.stats.messages_duplicated for t in members) > 0
+    for t, plan in zip(members, plans):
+        assert t.delivered == _flat(plan)
+
+
+@pytest.mark.parametrize("profile", ["lossy", "flaky", "jittery"])
+def test_per_group_prefix_property_under_mux(profile):
+    """Crash every member mid-stream: each delivered log is a
+    contiguous prefix of that member's own flushed stream (the
+    output-commit invariant), regardless of the other members."""
+    mux = TransportMux()
+    members = [
+        mux.register(FaultyTransport(FAULT_PROFILES[profile],
+                                     seed=7000 + i))
+        for i in range(3)
+    ]
+    plans = [_batches(f"g{i}", 25) for i in range(3)]
+    for i in range(25):
+        for t, plan in zip(members, plans):
+            while not t.send_nowait(plan[i]):
+                mux.poll()
+    for t in members:
+        t.crash_sender()
+    for t, plan in zip(members, plans):
+        sent = _flat(plan)
+        assert t.delivered == sent[:len(t.delivered)]
+
+
+def test_unregister_detaches_the_mux_hook():
+    mux = TransportMux()
+    t = mux.register(InMemoryTransport())
+    assert t.mux is mux
+    mux.unregister(t)
+    assert t.mux is None
+    assert t not in mux.members()
+
+
+def test_readiness_callbacks_fire_under_mux_polling():
+    mux = TransportMux()
+    t = mux.register(FaultyTransport(FaultProfile(latency=5.0), seed=9))
+    delivered, acked = [], []
+    t.on_deliver = lambda _t, n: delivered.append(n)
+    t.on_ack = lambda _t, through: acked.append(through)
+    t.send_nowait([b"a", b"b"])
+    for _ in range(100):
+        if not mux.poll() and not mux.ack_pending():
+            break
+    assert sum(delivered) == 2
+    assert acked and acked[-1] == 0
