@@ -184,6 +184,8 @@ def _cmd_conform(args: argparse.Namespace) -> int:
             build_chained_report, render_chained_report,
         )
 
+        intervals = [None if n == 0 else n
+                     for n in (args.checkpoint_interval or [0])]
         chained_config = ChainedConfig(
             workloads=workloads,
             strategies=args.strategy or ["lock_sync", "thread_sched"],
@@ -192,13 +194,16 @@ def _cmd_conform(args: argparse.Namespace) -> int:
             seed=args.seed,
             stride=args.stride,
             engines=engines,
+            checkpoint_intervals=intervals,
         )
 
         def chained_progress(cell) -> None:
             status = ("ok" if cell.ok
                       else f"{len(cell.failures)} FAILURES")
+            ckpt = ("off" if cell.checkpoint_interval is None
+                    else cell.checkpoint_interval)
             print(f"[{cell.workload} {cell.strategy} {cell.transport} "
-                  f"{cell.engine}: "
+                  f"{cell.engine} ckpt={ckpt}: "
                   f"{cell.crash_points} chained crash points {status}]",
                   file=sys.stderr)
 
@@ -427,6 +432,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_conf.add_argument("--depth", type=int, default=2, metavar="K",
                         help="generations to sweep in --chained mode "
                              "(default 2)")
+    p_conf.add_argument("--checkpoint-interval", action="append",
+                        type=int, default=None, metavar="N", dest="checkpoint_interval",
+                        help="steady-state checkpoint interval(s) to add "
+                             "to the --chained matrix (repeatable; each "
+                             "value sweeps the crash indices with delta "
+                             "checkpointing every N slices and checks "
+                             "that recovery replay stays bounded by the "
+                             "retained-log high-water mark; 0 = off)")
     p_conf.add_argument("--json", default=None, metavar="PATH",
                         help="write the machine-readable report here")
     p_conf.add_argument("--list", action="store_true",

@@ -45,6 +45,10 @@ from repro.replication.transport import FAULT_PROFILES, FaultyTransport
 #: injector events, so mid-transfer crash indices actually exist.
 DEFAULT_CHUNK_BYTES = 512
 DEFAULT_BATCH_RECORDS = 1
+#: Extra records the bounded-replay check tolerates beyond the crashed
+#: primary's retained high-water mark: the gauge samples once per
+#: slice, so records logged inside the crashing slice trail it.
+_REPLAY_SLACK = 32
 
 
 # ======================================================================
@@ -54,7 +58,9 @@ def make_chained_spec(workload: str, strategy: str, transport: str,
                       *, depth: int = 2, seed: int = 20030622,
                       chunk_bytes: int = DEFAULT_CHUNK_BYTES,
                       batch_records: int = DEFAULT_BATCH_RECORDS,
-                      engine: str = "slice") -> Dict[str, Any]:
+                      engine: str = "slice",
+                      checkpoint_interval: Optional[int] = None
+                      ) -> Dict[str, Any]:
     """One chained-matrix cell as a plain dict.  ``transport`` uses the
     same syntax as the single-failover sweep (``"memory"`` or
     ``"faulty:<profile>"``); each generation gets its own seeded
@@ -77,6 +83,7 @@ def make_chained_spec(workload: str, strategy: str, transport: str,
         "chunk_bytes": chunk_bytes,
         "batch_records": batch_records,
         "engine": engine,
+        "checkpoint_interval": checkpoint_interval,
     }
 
 
@@ -108,6 +115,7 @@ def build_group(spec: Dict[str, Any],
             jvm_config=workload.jvm_config(spec.get("engine", "slice")),
             batch_records=spec["batch_records"],
             chunk_bytes=spec["chunk_bytes"],
+            checkpoint_interval=spec.get("checkpoint_interval"),
         ),
     )
     return group, env
@@ -208,6 +216,34 @@ def check_chain(spec: Dict[str, Any], crash_schedule: List[int],
             f"reference in component(s) {', '.join(mismatched)}",
             components=mismatched,
         )
+
+    # --- bounded recovery replay (steady checkpointing only) ----------
+    if spec.get("checkpoint_interval") is not None:
+        reports = result.generations
+        for prev, cur in zip(reports, reports[1:]):
+            if (prev.primary_metrics is None
+                    or cur.recovery_metrics is None
+                    or prev.steady_checkpoints == 0):
+                continue
+            if prev.primary_metrics.records_truncated == 0:
+                return failure(
+                    "unbounded_replay",
+                    f"generation {prev.generation} adopted "
+                    f"{prev.steady_checkpoints} steady checkpoint(s) but "
+                    f"never truncated its log",
+                )
+            budget = (prev.primary_metrics.retained_records_max
+                      + _REPLAY_SLACK)
+            tail = cur.recovery_metrics.recovery_tail_records
+            if tail > budget:
+                return failure(
+                    "unbounded_replay",
+                    f"generation {cur.generation} replayed {tail} tail "
+                    f"record(s), beyond the crashed primary's retained "
+                    f"high-water mark "
+                    f"{prev.primary_metrics.retained_records_max} "
+                    f"(+{_REPLAY_SLACK} slack)",
+                )
     return None
 
 
@@ -229,6 +265,10 @@ class ChainLayer:
     #: Fence-counter sum over every run of this layer — proof that the
     #: deposed primaries' records were discarded, not adopted.
     records_fenced: int
+    #: Steady checkpoints the pilot's generation adopted (0 with
+    #: checkpointing off) — proof the swept crash indices include
+    #: mid-delta-transfer kills when the interval is set.
+    steady_checkpoints: int = 0
 
     @property
     def ok(self) -> bool:
@@ -242,6 +282,7 @@ class ChainLayer:
             "transfer_events": self.transfer_events,
             "crash_points": self.crash_points,
             "records_fenced": self.records_fenced,
+            "steady_checkpoints": self.steady_checkpoints,
             "failures": self.failures,
             "ok": self.ok,
         }
@@ -258,6 +299,7 @@ class ChainCellResult:
     layers: List[ChainLayer]
     errors: List[Dict[str, Any]] = field(default_factory=list)
     engine: str = "slice"
+    checkpoint_interval: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -280,6 +322,7 @@ class ChainCellResult:
             "strategy": self.strategy,
             "transport": self.transport,
             "engine": self.engine,
+            "checkpoint_interval": self.checkpoint_interval,
             "depth": self.depth,
             "crash_points": self.crash_points,
             "layers": [layer.as_dict() for layer in self.layers],
@@ -309,6 +352,7 @@ def sweep_chained_cell(spec: Dict[str, Any], *, stride: int = 1,
         depth=depth,
         layers=[],
         engine=spec.get("engine", "slice"),
+        checkpoint_interval=spec.get("checkpoint_interval"),
     )
     pinned: List[int] = []
 
@@ -355,6 +399,7 @@ def sweep_chained_cell(spec: Dict[str, Any], *, stride: int = 1,
             crash_points=len(points),
             failures=failures,
             records_fenced=fenced,
+            steady_checkpoints=report.steady_checkpoints,
         ))
         if failures:
             break
@@ -383,6 +428,14 @@ class ChainedConfig:
     chunk_bytes: int = DEFAULT_CHUNK_BYTES
     batch_records: int = DEFAULT_BATCH_RECORDS
     engines: List[str] = field(default_factory=lambda: ["slice"])
+    #: Steady-state checkpoint intervals to sweep (``None`` = off): the
+    #: bounded-log dimension of the matrix.  With an interval set, the
+    #: crash indices swept per generation include kills inside delta
+    #: emissions, and every recovery's replayed tail is checked against
+    #: the crashed primary's retained-log high-water mark.
+    checkpoint_intervals: List[Optional[int]] = field(
+        default_factory=lambda: [None]
+    )
 
 
 def run_chained_sweep(config: ChainedConfig, *,
@@ -393,16 +446,19 @@ def run_chained_sweep(config: ChainedConfig, *,
         for strategy in config.strategies:
             for transport in config.transports:
                 for engine in config.engines:
-                    spec = make_chained_spec(
-                        workload, strategy, transport,
-                        depth=config.depth,
-                        seed=config.seed,
-                        chunk_bytes=config.chunk_bytes,
-                        batch_records=config.batch_records,
-                        engine=engine,
-                    )
-                    cell = sweep_chained_cell(spec, stride=config.stride)
-                    if progress is not None:
-                        progress(cell)
-                    results.append(cell)
+                    for interval in config.checkpoint_intervals:
+                        spec = make_chained_spec(
+                            workload, strategy, transport,
+                            depth=config.depth,
+                            seed=config.seed,
+                            chunk_bytes=config.chunk_bytes,
+                            batch_records=config.batch_records,
+                            engine=engine,
+                            checkpoint_interval=interval,
+                        )
+                        cell = sweep_chained_cell(spec,
+                                                  stride=config.stride)
+                        if progress is not None:
+                            progress(cell)
+                        results.append(cell)
     return results

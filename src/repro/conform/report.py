@@ -90,6 +90,7 @@ def build_chained_report(config: ChainedConfig,
             "stride": config.stride,
             "chunk_bytes": config.chunk_bytes,
             "batch_records": config.batch_records,
+            "checkpoint_intervals": list(config.checkpoint_intervals),
         },
         "cells": [cell.as_dict() for cell in cells],
         "totals": {
@@ -98,6 +99,10 @@ def build_chained_report(config: ChainedConfig,
             "failures": sum(len(c.failures) for c in cells),
             "records_fenced": sum(
                 layer.records_fenced for c in cells for layer in c.layers
+            ),
+            "steady_checkpoints": sum(
+                layer.steady_checkpoints
+                for c in cells for layer in c.layers
             ),
         },
         "ok": all(cell.ok for cell in cells),
@@ -109,9 +114,11 @@ def render_chained_report(report: Dict[str, Any]) -> str:
     lines = []
     for cell in report["cells"]:
         status = "ok" if cell["ok"] else f"{len(cell['errors']) + sum(len(l['failures']) for l in cell['layers'])} FAILURES"
+        interval = cell.get("checkpoint_interval")
         lines.append(
             f"{cell['workload']:8s} {cell['strategy']:12s} "
             f"{cell['transport']:14s} {cell.get('engine', 'step'):5s} "
+            f"ckpt={'off' if interval is None else interval:<4} "
             f"depth={cell['depth']} "
             f"{cell['crash_points']:4d} crash points  {status}"
         )
@@ -121,7 +128,8 @@ def render_chained_report(report: Dict[str, Any]) -> str:
                 f"{layer['crash_points']}/{layer['total_events']} indices "
                 f"(transfer={layer['transfer_events']}, "
                 f"pinned={layer['pinned']}, "
-                f"fenced={layer['records_fenced']})"
+                f"fenced={layer['records_fenced']}, "
+                f"steady={layer.get('steady_checkpoints', 0)})"
             )
             for entry in layer["failures"]:
                 lines.append(

@@ -78,6 +78,10 @@ class CostModel:
                                      # per_byte through bytes_sent)
     checkpoint_restore: float = 4000.0  # rebuild heap/frames/monitors
                                         # from an adopted snapshot
+    #: Compose one delta checkpoint onto the retained basis (steady
+    #: state incremental checkpointing; the delta's chunks and bytes
+    #: are priced like full-checkpoint chunks and bytes).
+    delta_compose: float = 800.0
 
     # --- native interception ---------------------------------------------
     native_check: float = 8.0       # hash-table lookup per nd/output native
@@ -170,6 +174,9 @@ class CostModel:
         return (
             metrics.checkpoint_records * self.checkpoint_chunk
             + metrics.checkpoint_bytes * self.checkpoint_byte
+            + metrics.delta_records * self.checkpoint_chunk
+            + metrics.delta_bytes * self.checkpoint_byte
+            + metrics.deltas_composed * self.delta_compose
             + metrics.checkpoints_restored * self.checkpoint_restore
         )
 

@@ -31,10 +31,24 @@ Two invariants make restore exact rather than approximate:
   expired timers by walking ``scheduler.threads`` in registration
   order, so the snapshot serializes threads in exactly that order.
 
-Lock *ids* (``l_id``) are deliberately not checkpointed: they are a
-per-generation naming scheme assigned by the active coordination
-strategy, and each promotion renames from scratch (``l_asn`` counters,
-which the digest covers, are preserved).
+Lock *ids* (``l_id``) are a per-generation naming scheme assigned by
+the active coordination strategy, and each promotion renames from
+scratch (``l_asn`` counters, which the digest covers, are preserved).
+Since v2 they *are* serialized: steady-state checkpoint adoption
+truncates the log mid-generation, which can drop the IdMap records
+that named locks first acquired before the checkpoint — the restored
+state must therefore carry those names so the retained log tail stays
+resolvable.  Promotion still strips them.
+
+Steady-state incremental checkpoints (:class:`DeltaCheckpoint`) reuse
+the same state layout but serialize only the heap objects mutated
+since the heap's last ``advance_era()`` plus the oids freed since
+then; the (small) non-heap sections ship whole.
+:func:`compose_delta` merges a delta onto a decoded base snapshot and
+re-encodes a full :class:`Checkpoint` whose embedded digest is the
+digest the primary computed at delta capture time — so composition
+errors are caught exactly like torn transfers, by digest mismatch on
+restore.
 """
 
 from __future__ import annotations
@@ -46,6 +60,7 @@ from repro.errors import ReplicationError
 from repro.replication.digest import StateDigest, compute_state_digest
 from repro.replication.records import (
     KIND_CHECKPOINT_CHUNK,
+    KIND_CHECKPOINT_DELTA,
     register_record_kind,
 )
 from repro.replication.wire import Reader, Writer
@@ -59,7 +74,9 @@ from repro.runtime.values import JArray, JObject
 Vid = Tuple[int, ...]
 
 #: Bump when the snapshot layout changes incompatibly.
-_STATE_VERSION = 1
+#: v2: monitor blocks carry the optional l_id; a native-seq table and
+#: the capture-time schedule epoch joined the non-heap sections.
+_STATE_VERSION = 2
 
 #: Default chunk payload size.  Small enough that a transfer spans many
 #: flushes (so mid-transfer crash points exist), large enough that the
@@ -196,17 +213,57 @@ register_record_kind(KIND_CHECKPOINT_CHUNK, CheckpointChunkRecord.read,
 
 
 @dataclass(frozen=True)
+class DeltaChunkRecord:
+    """One slice of an encoded delta checkpoint.
+
+    Like :class:`CheckpointChunkRecord` but keyed by ``(generation,
+    seq)`` — a primary emits many deltas per generation.  Deliberately
+    *not* given a parse rule in the machine's log parser: a torn delta
+    in a crashed primary's log tail is simply ignored by recovery."""
+
+    generation: int
+    seq: int
+    index: int
+    total: int
+    data: bytes
+
+    def write(self, w: Writer) -> None:
+        w.uvarint(KIND_CHECKPOINT_DELTA).uvarint(self.generation)
+        w.uvarint(self.seq).uvarint(self.index).uvarint(self.total)
+        w.uvarint(len(self.data)).raw(self.data)
+
+    @staticmethod
+    def read(r: Reader) -> "DeltaChunkRecord":
+        generation = r.uvarint()
+        seq = r.uvarint()
+        index = r.uvarint()
+        total = r.uvarint()
+        return DeltaChunkRecord(generation, seq, index, total,
+                                r.raw(r.uvarint()))
+
+
+register_record_kind(KIND_CHECKPOINT_DELTA, DeltaChunkRecord.read,
+                     core=True)
+
+
+@dataclass(frozen=True)
 class Checkpoint:
-    """An encoded snapshot plus the digest it must restore to."""
+    """An encoded snapshot plus the digest it must restore to.
+
+    ``sched_epoch`` is the primary's count of shipped ScheduleRecords
+    at capture time: after steady-state log truncation the retained
+    tail's DigestRecords still carry absolute epochs, so a replaying
+    backup offsets its consumed-record count by this value."""
 
     generation: int
     digest: StateDigest
     payload: bytes
+    sched_epoch: int = 0
 
     # ------------------------------------------------------------------
     def encode(self) -> bytes:
         w = Writer()
-        w.uvarint(self.generation)
+        w.uvarint(self.generation).uvarint(self.sched_epoch)
         w.uvarint(len(self.digest.components))
         for name, value in self.digest.components:
             w.text(name).raw(value.to_bytes(16, "big"))
@@ -217,6 +274,7 @@ class Checkpoint:
     def decode(data: bytes) -> "Checkpoint":
         r = Reader(data)
         generation = r.uvarint()
+        sched_epoch = r.uvarint()
         components = []
         for _ in range(r.uvarint()):
             name = r.text()
@@ -224,7 +282,8 @@ class Checkpoint:
         payload = r.raw(r.uvarint())
         if not r.exhausted:
             raise ReplicationError("trailing bytes after checkpoint")
-        return Checkpoint(generation, StateDigest(tuple(components)), payload)
+        return Checkpoint(generation, StateDigest(tuple(components)),
+                          payload, sched_epoch)
 
     # ------------------------------------------------------------------
     def to_chunks(self, chunk_bytes: int = DEFAULT_CHUNK_BYTES
@@ -306,12 +365,408 @@ class CheckpointAssembler:
         self._partial.pop(generation, None)
 
 
+@dataclass(frozen=True)
+class DeltaCheckpoint:
+    """An incremental snapshot since a base checkpoint.
+
+    ``seq`` numbers the checkpoint stream within a generation (the
+    arm-time full checkpoint is seq 0); ``base_seq`` names the state
+    this delta applies to, letting the adopter refuse out-of-order
+    composition.  ``digest`` is the digest of the *complete* state at
+    capture — what the composed full checkpoint must restore to."""
+
+    generation: int
+    seq: int
+    base_seq: int
+    sched_epoch: int
+    digest: StateDigest
+    payload: bytes
+
+    # ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        w = Writer()
+        w.uvarint(self.generation).uvarint(self.seq)
+        w.uvarint(self.base_seq).uvarint(self.sched_epoch)
+        w.uvarint(len(self.digest.components))
+        for name, value in self.digest.components:
+            w.text(name).raw(value.to_bytes(16, "big"))
+        w.uvarint(len(self.payload)).raw(self.payload)
+        return w.bytes()
+
+    @staticmethod
+    def decode(data: bytes) -> "DeltaCheckpoint":
+        r = Reader(data)
+        generation = r.uvarint()
+        seq = r.uvarint()
+        base_seq = r.uvarint()
+        sched_epoch = r.uvarint()
+        components = []
+        for _ in range(r.uvarint()):
+            name = r.text()
+            components.append((name, int.from_bytes(r.raw(16), "big")))
+        payload = r.raw(r.uvarint())
+        if not r.exhausted:
+            raise ReplicationError("trailing bytes after delta checkpoint")
+        return DeltaCheckpoint(generation, seq, base_seq, sched_epoch,
+                               StateDigest(tuple(components)), payload)
+
+    # ------------------------------------------------------------------
+    def to_chunks(self, chunk_bytes: int = DEFAULT_CHUNK_BYTES
+                  ) -> List[DeltaChunkRecord]:
+        if chunk_bytes <= 0:
+            raise ReplicationError("chunk size must be positive")
+        encoded = self.encode()
+        total = max(1, -(-len(encoded) // chunk_bytes))
+        return [
+            DeltaChunkRecord(
+                self.generation, self.seq, index, total,
+                encoded[index * chunk_bytes:(index + 1) * chunk_bytes],
+            )
+            for index in range(total)
+        ]
+
+    @property
+    def byte_size(self) -> int:
+        return len(self.payload)
+
+
+class DeltaAssembler:
+    """Receive-side reassembly of chunked delta checkpoints, keyed by
+    ``(generation, seq)`` with the same idempotence rules as
+    :class:`CheckpointAssembler`."""
+
+    def __init__(self) -> None:
+        self._partial: Dict[Tuple[int, int], Tuple[int, Dict[int, bytes]]] = {}
+        self._done: Dict[Tuple[int, int], bool] = {}
+
+    def feed(self, record: DeltaChunkRecord) -> Optional[DeltaCheckpoint]:
+        key = (record.generation, record.seq)
+        if self._done.get(key):
+            return None
+        total, chunks = self._partial.setdefault(key, (record.total, {}))
+        if total != record.total:
+            raise ReplicationError(
+                f"delta transfer {key} is inconsistent: chunk claims "
+                f"{record.total} total, transfer began with {total}"
+            )
+        if not 0 <= record.index < total:
+            raise ReplicationError(
+                f"delta chunk index {record.index} out of range "
+                f"0..{total - 1}"
+            )
+        chunks.setdefault(record.index, record.data)
+        if len(chunks) < total:
+            return None
+        encoded = b"".join(chunks[i] for i in range(total))
+        delta = DeltaCheckpoint.decode(encoded)
+        if (delta.generation, delta.seq) != key:
+            raise ReplicationError(
+                f"delta identity mismatch: chunks say {key}, payload "
+                f"says {(delta.generation, delta.seq)}"
+            )
+        self._done[key] = True
+        del self._partial[key]
+        return delta
+
+
 # ======================================================================
 # Snapshot: serialize
 # ======================================================================
+def _monitor_live(monitor) -> bool:
+    return bool(
+        monitor.owner is not None or monitor.recursion
+        or monitor.entry_queue or monitor.wait_set or monitor.l_asn
+        or monitor.l_id is not None
+    )
+
+
+def _monitor_tuple(oid: int, monitor) -> Tuple:
+    return (
+        oid,
+        monitor.owner.vid if monitor.owner is not None else None,
+        monitor.recursion,
+        monitor.l_asn,
+        monitor.l_id,
+        [t.vid for t in monitor.entry_queue],
+        [t.vid for t in monitor.wait_set],
+    )
+
+
+def _thread_dict(t: JavaThread) -> Dict[str, Any]:
+    blocked = t.blocked_on
+    if blocked is None:
+        blocked_oid = None
+    else:
+        if blocked.obj is None:
+            raise ReplicationError(
+                f"{t.vid_str} blocks on a monitor owned by no heap "
+                f"object — cannot checkpoint"
+            )
+        blocked_oid = blocked.obj.oid
+    frames = []
+    for frame in t.frames:
+        method = frame.method
+        frames.append({
+            "class": method.declaring_class.name,
+            "method": method.name,
+            "nargs": method.nargs,
+            "pc": frame.pc,
+            "locals": list(frame.locals),
+            "stack": list(frame.stack),
+            "sync_oid": (frame.sync_object.oid
+                         if frame.sync_object is not None else None),
+            "held_oids": [obj.oid for obj in frame.held_monitors],
+        })
+    return {
+        "vid": t.vid,
+        "name": t.name,
+        "is_daemon": t.is_daemon,
+        "is_system": t.is_system,
+        "reacquiring": t.reacquiring,
+        "in_native": t.in_native,
+        "forbid_sync": t.forbid_sync,
+        "forbid_env": t.forbid_env,
+        "state": t.state.value,
+        "br_cnt": t.br_cnt,
+        "mon_cnt": t.mon_cnt,
+        "t_asn": t.t_asn,
+        "instructions": t.instructions,
+        "children_spawned": t.children_spawned,
+        "saved_recursion": t.saved_recursion,
+        "wakeup_time": t.wakeup_time,
+        "blocked_on_oid": blocked_oid,
+        "thread_object_oid": (t.thread_object.oid
+                              if t.thread_object is not None else None),
+        "pending_exception": t.pending_exception,
+        "joiner_vids": [j.vid for j in t.joiners],
+        "frames": frames,
+    }
+
+
+def _capture_state(jvm: JVM, se_manager, env_snapshot: Dict[str, str],
+                   native_seqs: Optional[Dict[Vid, int]],
+                   include_heap: bool = True) -> "_SnapshotState":
+    """Build the structured snapshot of a live JVM.
+
+    ``include_heap=False`` skips the O(heap) object walk — delta
+    captures stream the dirty objects directly and only need the
+    (small) non-heap sections here."""
+    s = _SnapshotState()
+    s.instructions = jvm.instructions
+    s.heavy_ops = jvm.heavy_ops
+    s.native_calls = jvm.native_calls
+    s.time_skew_ms = jvm._time_skew_ms
+
+    heap = jvm.heap
+    s.next_oid = heap._next_oid
+    s.total_allocations = heap.total_allocations
+    s.used_cells = heap.used_cells
+    s.gc_requested = heap.gc_requested
+    if include_heap:
+        s.objects = list(heap.objects)
+        s.by_oid = {obj.oid: obj for obj in s.objects}
+        for obj in s.objects:
+            monitor = obj.monitor
+            if monitor is not None and _monitor_live(monitor):
+                s.monitors.append(_monitor_tuple(obj.oid, monitor))
+
+    s.statics = dict(jvm.statics)
+    for t in jvm.scheduler.threads:
+        s.threads.append(_thread_dict(t))
+
+    scheduler = jvm.scheduler
+    s.runnable_vids = [t.vid for t in scheduler.runnable]
+    s.current_vid = (scheduler.current.vid
+                     if scheduler.current is not None else None)
+    s.last_reason = (scheduler.last_reason.value
+                     if scheduler.last_reason is not None else None)
+    s.reschedules = scheduler.reschedules
+    s.slices = scheduler.slices
+
+    sync = jvm.sync
+    s.notify_wakes_all = sync.notify_wakes_all
+    s.total_acquisitions = sync.total_acquisitions
+    s.monitors_created = sync.monitors_created
+    s.largest_l_asn = sync.largest_l_asn
+    s.parked_vids = [t.vid for t in sync.parked_threads]
+
+    s.native_seqs = dict(native_seqs or {})
+    s.class_locks = {name: obj.oid
+                     for name, obj in jvm._class_locks.items()}
+    s.daemon_requests = dict(jvm._daemon_requests)
+    s.uncaught = list(jvm.uncaught)
+    s.main_vid = (jvm.main_thread.vid
+                  if jvm.main_thread is not None else None)
+    s.se_state = se_manager.snapshot()
+    s.env_snapshot = dict(env_snapshot)
+    return s
+
+
+def _write_object_shell(w: Writer, obj: Any) -> None:
+    if isinstance(obj, JArray):
+        w.uvarint(1).uvarint(obj.oid).text(obj.elem_type)
+    else:
+        w.uvarint(0).uvarint(obj.oid).text(obj.class_name)
+
+
+def _write_object_body(w: Writer, obj: Any,
+                       monitor_block: Optional[Tuple]) -> None:
+    if isinstance(obj, JArray):
+        w.uvarint(len(obj.data))
+        for v in obj.data:
+            _write_value(w, v)
+    else:
+        w.uvarint(len(obj.fields))
+        for name, v in obj.fields.items():
+            w.text(name)
+            _write_value(w, v)
+    if monitor_block is None:
+        w.uvarint(0)
+        return
+    _, owner_vid, recursion, l_asn, l_id, entry, waiters = monitor_block
+    w.uvarint(1)
+    _write_opt_vid(w, owner_vid)
+    w.uvarint(recursion).uvarint(l_asn)
+    if l_id is None:
+        w.uvarint(0)
+    else:
+        w.uvarint(1).uvarint(l_id)
+    w.uvarint(len(entry))
+    for vid in entry:
+        w.vid(vid)
+    w.uvarint(len(waiters))
+    for vid in waiters:
+        w.vid(vid)
+
+
+def _write_nonheap(w: Writer, s: "_SnapshotState") -> None:
+    # --- statics -------------------------------------------------------
+    w.uvarint(len(s.statics))
+    for (class_name, field_name) in sorted(s.statics):
+        w.text(class_name).text(field_name)
+        _write_value(w, s.statics[(class_name, field_name)])
+
+    # --- threads, in scheduler registration order ----------------------
+    w.uvarint(len(s.threads))
+    for t in s.threads:
+        w.vid(t["vid"]).text(t["name"])
+        flags = (
+            (1 if t["is_daemon"] else 0)
+            | (2 if t["is_system"] else 0)
+            | (4 if t["reacquiring"] else 0)
+            | (8 if t["in_native"] else 0)
+            | (16 if t["forbid_sync"] else 0)
+            | (32 if t["forbid_env"] else 0)
+        )
+        w.uvarint(flags).text(t["state"])
+        w.uvarint(t["br_cnt"]).uvarint(t["mon_cnt"]).uvarint(t["t_asn"])
+        w.uvarint(t["instructions"]).uvarint(t["children_spawned"])
+        w.uvarint(t["saved_recursion"])
+        if t["wakeup_time"] is None:
+            w.uvarint(0)
+        else:
+            w.uvarint(1).f64(t["wakeup_time"])
+        if t["blocked_on_oid"] is None:
+            w.uvarint(0)
+        else:
+            w.uvarint(1).uvarint(t["blocked_on_oid"])
+        if t["thread_object_oid"] is None:
+            w.uvarint(0)
+        else:
+            w.uvarint(1).uvarint(t["thread_object_oid"])
+        _write_value(w, t["pending_exception"])
+        w.uvarint(len(t["joiner_vids"]))
+        for vid in t["joiner_vids"]:
+            w.vid(vid)
+        w.uvarint(len(t["frames"]))
+        for f in t["frames"]:
+            w.text(f["class"]).text(f["method"])
+            w.uvarint(f["nargs"]).uvarint(f["pc"])
+            w.uvarint(len(f["locals"]))
+            for v in f["locals"]:
+                _write_value(w, v)
+            w.uvarint(len(f["stack"]))
+            for v in f["stack"]:
+                _write_value(w, v)
+            if f["sync_oid"] is None:
+                w.uvarint(0)
+            else:
+                w.uvarint(1).uvarint(f["sync_oid"])
+            w.uvarint(len(f["held_oids"]))
+            for oid in f["held_oids"]:
+                w.uvarint(oid)
+
+    # --- scheduler ------------------------------------------------------
+    w.uvarint(len(s.runnable_vids))
+    for vid in s.runnable_vids:
+        w.vid(vid)
+    _write_opt_vid(w, s.current_vid)
+    if s.last_reason is None:
+        w.uvarint(0)
+    else:
+        w.uvarint(1).text(s.last_reason)
+    w.uvarint(s.reschedules).uvarint(s.slices)
+
+    # --- sync manager ---------------------------------------------------
+    w.uvarint(1 if s.notify_wakes_all else 0)
+    w.uvarint(s.total_acquisitions).uvarint(s.monitors_created)
+    w.uvarint(s.largest_l_asn)
+    w.uvarint(len(s.parked_vids))
+    for vid in s.parked_vids:
+        w.vid(vid)
+
+    # --- native sequence counters (v2) ---------------------------------
+    w.uvarint(len(s.native_seqs))
+    for vid in sorted(s.native_seqs):
+        w.vid(vid).uvarint(s.native_seqs[vid])
+
+    # --- naming tables / misc ------------------------------------------
+    w.uvarint(len(s.class_locks))
+    for name in sorted(s.class_locks):
+        w.text(name).uvarint(s.class_locks[name])
+    w.uvarint(len(s.daemon_requests))
+    for oid in sorted(s.daemon_requests):
+        w.uvarint(oid).uvarint(1 if s.daemon_requests[oid] else 0)
+    w.uvarint(len(s.uncaught))
+    for vid_str, class_name, message in s.uncaught:
+        w.text(vid_str).text(class_name).text(message)
+    _write_opt_vid(w, s.main_vid)
+
+    # --- side-effect handler state / stable environment ----------------
+    _write_value(w, s.se_state)
+    _write_value(w, dict(s.env_snapshot))
+
+
+def _encode_state(s: "_SnapshotState") -> bytes:
+    """Serialize a structured snapshot to the full-checkpoint payload.
+
+    The single encoder for both live captures and delta composition:
+    ``_read_state(_encode_state(s))`` round-trips."""
+    w = Writer()
+    w.uvarint(_STATE_VERSION)
+    w.uvarint(s.instructions).uvarint(s.heavy_ops)
+    w.uvarint(s.native_calls)
+    w.f64(s.time_skew_ms)
+
+    # --- heap: shells, then contents (so references resolve) ----------
+    objects = list(s.objects)
+    w.uvarint(s.next_oid).uvarint(s.total_allocations)
+    w.uvarint(s.used_cells).uvarint(1 if s.gc_requested else 0)
+    w.uvarint(len(objects))
+    for obj in objects:
+        _write_object_shell(w, obj)
+    monitors_by_oid = {m[0]: m for m in s.monitors}
+    for obj in objects:
+        _write_object_body(w, obj, monitors_by_oid.get(obj.oid))
+
+    _write_nonheap(w, s)
+    return w.bytes()
+
+
 def take_checkpoint(jvm: JVM, se_manager, *, generation: int,
-                    env_snapshot: Optional[Dict[str, str]] = None
-                    ) -> Checkpoint:
+                    env_snapshot: Optional[Dict[str, str]] = None,
+                    native_seqs: Optional[Dict[Vid, int]] = None,
+                    sched_epoch: int = 0) -> Checkpoint:
     """Snapshot ``jvm`` (plus side-effect-handler state) as of now.
 
     Must be taken at a *quiescent point* — bootstrap, or a paused run
@@ -319,171 +774,145 @@ def take_checkpoint(jvm: JVM, se_manager, *, generation: int,
     from the same state the payload serializes, which is what lets the
     receiver verify the restore."""
     digest = compute_state_digest(jvm, include_env=False)
-    payload = _write_state(jvm, se_manager, env_snapshot or {})
-    return Checkpoint(generation, digest, payload)
+    state = _capture_state(jvm, se_manager, env_snapshot or {}, native_seqs)
+    return Checkpoint(generation, digest, _encode_state(state), sched_epoch)
 
 
-def _write_state(jvm: JVM, se_manager,
-                 env_snapshot: Dict[str, str]) -> bytes:
+def take_delta_checkpoint(jvm: JVM, se_manager, *, generation: int,
+                          seq: int, base_seq: int, sched_epoch: int = 0,
+                          env_snapshot: Optional[Dict[str, str]] = None,
+                          native_seqs: Optional[Dict[Vid, int]] = None
+                          ) -> DeltaCheckpoint:
+    """Capture the state changed since the heap's last ``advance_era()``.
+
+    Serializes only dirty heap objects (``mut_era >= era``) and the
+    freed-oid set; non-heap sections (threads, scheduler, statics, sync,
+    handler state) ship whole — they are small next to the heap.  The
+    caller advances the heap era once the delta is safely adopted."""
+    digest = compute_state_digest(jvm, include_env=False)
+    heap = jvm.heap
     w = Writer()
     w.uvarint(_STATE_VERSION)
-
-    # --- machine counters / virtual time ------------------------------
     w.uvarint(jvm.instructions).uvarint(jvm.heavy_ops)
     w.uvarint(jvm.native_calls)
     w.f64(jvm._time_skew_ms)
 
-    # --- heap: shells, then contents (so references resolve) ----------
-    heap = jvm.heap
-    objects = list(heap.objects)
     w.uvarint(heap._next_oid).uvarint(heap.total_allocations)
     w.uvarint(heap.used_cells).uvarint(1 if heap.gc_requested else 0)
-    w.uvarint(len(objects))
-    for obj in objects:
-        if isinstance(obj, JArray):
-            w.uvarint(1).uvarint(obj.oid).text(obj.elem_type)
-        else:
-            w.uvarint(0).uvarint(obj.oid).text(obj.class_name)
-    monitor_oid: Dict[int, int] = {}
-    for obj in objects:
-        if isinstance(obj, JArray):
-            w.uvarint(len(obj.data))
-            for v in obj.data:
-                _write_value(w, v)
-        else:
-            w.uvarint(len(obj.fields))
-            for name, v in obj.fields.items():
-                w.text(name)
-                _write_value(w, v)
+    freed = sorted(heap.freed_oids())
+    w.uvarint(len(freed))
+    for oid in freed:
+        w.uvarint(oid)
+    dirty = list(heap.dirty_objects())
+    w.uvarint(len(dirty))
+    for obj in dirty:
+        _write_object_shell(w, obj)
+    for obj in dirty:
         monitor = obj.monitor
-        if monitor is not None and (
-            monitor.owner is not None or monitor.recursion
-            or monitor.entry_queue or monitor.wait_set or monitor.l_asn
-        ):
-            monitor_oid[id(monitor)] = obj.oid
-            w.uvarint(1)
-            _write_opt_vid(
-                w, monitor.owner.vid if monitor.owner is not None else None
-            )
-            w.uvarint(monitor.recursion).uvarint(monitor.l_asn)
-            w.uvarint(len(monitor.entry_queue))
-            for t in monitor.entry_queue:
-                w.vid(t.vid)
-            w.uvarint(len(monitor.wait_set))
-            for t in monitor.wait_set:
-                w.vid(t.vid)
-        else:
-            if monitor is not None:
-                monitor_oid[id(monitor)] = obj.oid
-            w.uvarint(0)
+        block = (_monitor_tuple(obj.oid, monitor)
+                 if monitor is not None and _monitor_live(monitor)
+                 else None)
+        _write_object_body(w, obj, block)
 
-    # --- statics -------------------------------------------------------
-    w.uvarint(len(jvm.statics))
-    for (class_name, field_name) in sorted(jvm.statics):
-        w.text(class_name).text(field_name)
-        _write_value(w, jvm.statics[(class_name, field_name)])
+    s = _capture_state(jvm, se_manager, env_snapshot or {}, native_seqs,
+                       include_heap=False)
+    _write_nonheap(w, s)
+    return DeltaCheckpoint(generation, seq, base_seq, sched_epoch,
+                           digest, w.bytes())
 
-    # --- threads, in scheduler registration order ----------------------
-    threads = list(jvm.scheduler.threads)
-    w.uvarint(len(threads))
-    for t in threads:
-        w.vid(t.vid).text(t.name)
-        flags = (
-            (1 if t.is_daemon else 0)
-            | (2 if t.is_system else 0)
-            | (4 if t.reacquiring else 0)
-            | (8 if t.in_native else 0)
-            | (16 if t.forbid_sync else 0)
-            | (32 if t.forbid_env else 0)
+
+def compose_delta(base: Checkpoint, delta: DeltaCheckpoint) -> Checkpoint:
+    """Merge a delta onto a full checkpoint, yielding a full checkpoint.
+
+    Pure state-level surgery — no JVM involved, so any replica (or the
+    conform harness) can maintain a recovery basis from the checkpoint
+    stream.  Correctness is *checked*, not assumed: the result embeds
+    the digest the primary computed over its complete state at delta
+    capture, and restore refuses the snapshot on any mismatch."""
+    if delta.generation != base.generation:
+        raise ReplicationError(
+            f"delta generation {delta.generation} does not match base "
+            f"checkpoint generation {base.generation}"
         )
-        w.uvarint(flags).text(t.state.value)
-        w.uvarint(t.br_cnt).uvarint(t.mon_cnt).uvarint(t.t_asn)
-        w.uvarint(t.instructions).uvarint(t.children_spawned)
-        w.uvarint(t.saved_recursion)
-        if t.wakeup_time is None:
-            w.uvarint(0)
-        else:
-            w.uvarint(1).f64(t.wakeup_time)
-        blocked = t.blocked_on
-        if blocked is None:
-            w.uvarint(0)
-        else:
-            oid = monitor_oid.get(id(blocked))
-            if oid is None:
+    s = _read_state(base.payload)
+    r = Reader(delta.payload)
+    version = r.uvarint()
+    if version != _STATE_VERSION:
+        raise ReplicationError(
+            f"delta state version {version} is not supported "
+            f"(expected {_STATE_VERSION})"
+        )
+    s.instructions = r.uvarint()
+    s.heavy_ops = r.uvarint()
+    s.native_calls = r.uvarint()
+    s.time_skew_ms = r.f64()
+    s.next_oid = r.uvarint()
+    s.total_allocations = r.uvarint()
+    s.used_cells = r.uvarint()
+    s.gc_requested = bool(r.uvarint())
+
+    freed = {r.uvarint() for _ in range(r.uvarint())}
+    for oid in freed:
+        s.by_oid.pop(oid, None)
+
+    # Dirty shells: update in place where the oid exists (clean objects'
+    # references to it stay valid), create otherwise.
+    dirty_objs: List[Any] = []
+    dirty_oids = set()
+    for _ in range(r.uvarint()):
+        kind = r.uvarint()
+        oid = r.uvarint()
+        type_name = r.text()
+        existing = s.by_oid.get(oid)
+        if existing is not None:
+            if (1 if isinstance(existing, JArray) else 0) != kind:
                 raise ReplicationError(
-                    f"{t.vid_str} blocks on a monitor owned by no heap "
-                    f"object — cannot checkpoint"
+                    f"delta re-types oid {oid} — oids are never reused, "
+                    f"refusing composition"
                 )
-            w.uvarint(1).uvarint(oid)
-        if t.thread_object is None:
-            w.uvarint(0)
+            obj = existing
+        elif kind == 1:
+            obj = JArray(type_name, [], oid)
+            s.by_oid[oid] = obj
         else:
-            w.uvarint(1).uvarint(t.thread_object.oid)
-        _write_value(w, t.pending_exception)
-        w.uvarint(len(t.joiners))
-        for joiner in t.joiners:
-            w.vid(joiner.vid)
-        w.uvarint(len(t.frames))
-        for frame in t.frames:
-            method = frame.method
-            w.text(method.declaring_class.name).text(method.name)
-            w.uvarint(method.nargs).uvarint(frame.pc)
-            w.uvarint(len(frame.locals))
-            for v in frame.locals:
-                _write_value(w, v)
-            w.uvarint(len(frame.stack))
-            for v in frame.stack:
-                _write_value(w, v)
-            if frame.sync_object is None:
-                w.uvarint(0)
-            else:
-                w.uvarint(1).uvarint(frame.sync_object.oid)
-            w.uvarint(len(frame.held_monitors))
-            for obj in frame.held_monitors:
-                w.uvarint(obj.oid)
+            obj = JObject(type_name, {}, oid)
+            s.by_oid[oid] = obj
+        dirty_objs.append(obj)
+        dirty_oids.add(oid)
 
-    # --- scheduler ------------------------------------------------------
-    scheduler = jvm.scheduler
-    w.uvarint(len(scheduler.runnable))
-    for t in scheduler.runnable:
-        w.vid(t.vid)
-    _write_opt_vid(
-        w, scheduler.current.vid if scheduler.current is not None else None
-    )
-    if scheduler.last_reason is None:
-        w.uvarint(0)
-    else:
-        w.uvarint(1).text(scheduler.last_reason.value)
-    w.uvarint(scheduler.reschedules).uvarint(scheduler.slices)
+    def resolve(oid: int) -> Any:
+        try:
+            return s.by_oid[oid]
+        except KeyError:
+            raise ReplicationError(
+                f"delta references unknown oid {oid}"
+            ) from None
 
-    # --- sync manager ---------------------------------------------------
-    sync = jvm.sync
-    w.uvarint(1 if sync.notify_wakes_all else 0)
-    w.uvarint(sync.total_acquisitions).uvarint(sync.monitors_created)
-    w.uvarint(sync.largest_l_asn)
-    parked = sync.parked_threads
-    w.uvarint(len(parked))
-    for t in parked:
-        w.vid(t.vid)
+    delta_monitors: List[Tuple] = []
+    for obj in dirty_objs:
+        if isinstance(obj, JObject):
+            obj.fields.clear()
+        _read_object_body(r, obj, resolve, delta_monitors)
 
-    # --- naming tables / misc ------------------------------------------
-    w.uvarint(len(jvm._class_locks))
-    for name in sorted(jvm._class_locks):
-        w.text(name).uvarint(jvm._class_locks[name].oid)
-    w.uvarint(len(jvm._daemon_requests))
-    for oid in sorted(jvm._daemon_requests):
-        w.uvarint(oid).uvarint(1 if jvm._daemon_requests[oid] else 0)
-    w.uvarint(len(jvm.uncaught))
-    for vid_str, class_name, message in jvm.uncaught:
-        w.text(vid_str).text(class_name).text(message)
-    _write_opt_vid(
-        w, jvm.main_thread.vid if jvm.main_thread is not None else None
-    )
+    # Monitor blocks: the sync layer dirties an object on every monitor
+    # transition, so the delta's blocks fully cover changed monitors;
+    # base blocks survive only for untouched, unfreed objects.
+    s.monitors = [
+        m for m in s.monitors
+        if m[0] not in dirty_oids and m[0] not in freed
+    ] + delta_monitors
 
-    # --- side-effect handler state / stable environment ----------------
-    _write_value(w, se_manager.snapshot())
-    _write_value(w, dict(env_snapshot))
-    return w.bytes()
+    # The live heap list is ascending-oid (allocation appends, GC keeps
+    # relative order), so rebuilding sorted reproduces it exactly.
+    s.objects = sorted(s.by_oid.values(), key=lambda obj: obj.oid)
+
+    # Non-heap sections replace the base's wholesale.
+    _read_nonheap(r, s, resolve)
+    if not r.exhausted:
+        raise ReplicationError("trailing bytes after delta state")
+
+    return Checkpoint(delta.generation, delta.digest, _encode_state(s),
+                      delta.sched_epoch)
 
 
 # ======================================================================
@@ -503,7 +932,7 @@ class _SnapshotState:
         self.gc_requested = False
         self.objects: List[Any] = []
         self.by_oid: Dict[int, Any] = {}
-        #: (oid, owner_vid, recursion, l_asn, entry_vids, wait_vids)
+        #: (oid, owner_vid, recursion, l_asn, l_id, entry_vids, wait_vids)
         self.monitors: List[Tuple] = []
         self.statics: Dict[Tuple[str, str], Any] = {}
         #: Per-thread dicts, in registration order.
@@ -518,12 +947,39 @@ class _SnapshotState:
         self.monitors_created = 0
         self.largest_l_asn = 0
         self.parked_vids: List[Vid] = []
+        #: Per-thread native sequence counters at capture (v2): a
+        #: backup seeded from this state must continue the primary's
+        #: native numbering, not restart at zero.
+        self.native_seqs: Dict[Vid, int] = {}
         self.class_locks: Dict[str, int] = {}
         self.daemon_requests: Dict[int, bool] = {}
         self.uncaught: List[Tuple[str, str, str]] = []
         self.main_vid: Optional[Vid] = None
         self.se_state: Dict[str, Dict[str, Any]] = {}
         self.env_snapshot: Dict[str, str] = {}
+
+
+def _read_object_body(r: Reader, obj: Any, resolve: Callable[[int], Any],
+                      monitors_out: List[Tuple]) -> None:
+    """Read one object's contents + optional monitor block."""
+    if isinstance(obj, JArray):
+        obj.data[:] = [
+            _read_value(r, resolve) for _ in range(r.uvarint())
+        ]
+    else:
+        for _ in range(r.uvarint()):
+            name = r.text()
+            obj.fields[name] = _read_value(r, resolve)
+    if r.uvarint():
+        owner_vid = _read_opt_vid(r)
+        recursion = r.uvarint()
+        l_asn = r.uvarint()
+        l_id = r.uvarint() if r.uvarint() else None
+        entry = [r.vid() for _ in range(r.uvarint())]
+        waiters = [r.vid() for _ in range(r.uvarint())]
+        monitors_out.append(
+            (obj.oid, owner_vid, recursion, l_asn, l_id, entry, waiters)
+        )
 
 
 def _read_state(payload: bytes) -> _SnapshotState:
@@ -566,31 +1022,27 @@ def _read_state(payload: bytes) -> _SnapshotState:
 
     # --- heap contents --------------------------------------------------
     for obj in s.objects:
-        if isinstance(obj, JArray):
-            obj.data[:] = [
-                _read_value(r, resolve) for _ in range(r.uvarint())
-            ]
-        else:
-            for _ in range(r.uvarint()):
-                name = r.text()
-                obj.fields[name] = _read_value(r, resolve)
-        if r.uvarint():
-            owner_vid = _read_opt_vid(r)
-            recursion = r.uvarint()
-            l_asn = r.uvarint()
-            entry = [r.vid() for _ in range(r.uvarint())]
-            waiters = [r.vid() for _ in range(r.uvarint())]
-            s.monitors.append(
-                (obj.oid, owner_vid, recursion, l_asn, entry, waiters)
-            )
+        _read_object_body(r, obj, resolve, s.monitors)
 
+    _read_nonheap(r, s, resolve)
+    if not r.exhausted:
+        raise ReplicationError("trailing bytes after checkpoint state")
+    return s
+
+
+def _read_nonheap(r: Reader, s: _SnapshotState,
+                  resolve: Callable[[int], Any]) -> None:
+    """Read the non-heap sections into ``s``, replacing wholesale (the
+    delta-composition path reuses a base state object)."""
     # --- statics --------------------------------------------------------
+    s.statics = {}
     for _ in range(r.uvarint()):
         class_name = r.text()
         field_name = r.text()
         s.statics[(class_name, field_name)] = _read_value(r, resolve)
 
     # --- threads --------------------------------------------------------
+    s.threads = []
     for _ in range(r.uvarint()):
         t: Dict[str, Any] = {}
         t["vid"] = r.vid()
@@ -644,20 +1096,24 @@ def _read_state(payload: bytes) -> _SnapshotState:
     s.monitors_created = r.uvarint()
     s.largest_l_asn = r.uvarint()
     s.parked_vids = [r.vid() for _ in range(r.uvarint())]
+    s.native_seqs = {}
+    for _ in range(r.uvarint()):
+        vid = r.vid()
+        s.native_seqs[vid] = r.uvarint()
+    s.class_locks = {}
     for _ in range(r.uvarint()):
         name = r.text()
         s.class_locks[name] = r.uvarint()
+    s.daemon_requests = {}
     for _ in range(r.uvarint()):
         oid = r.uvarint()
         s.daemon_requests[oid] = bool(r.uvarint())
+    s.uncaught = []
     for _ in range(r.uvarint()):
         s.uncaught.append((r.text(), r.text(), r.text()))
     s.main_vid = _read_opt_vid(r)
     s.se_state = _read_value(r, _no_refs)
     s.env_snapshot = _read_value(r, _no_refs)
-    if not r.exhausted:
-        raise ReplicationError("trailing bytes after checkpoint state")
-    return s
 
 
 # ======================================================================
@@ -755,13 +1211,14 @@ def _apply_state(jvm: JVM, s: _SnapshotState) -> None:
         thread.joiners = [thread_of(vid) for vid in t["joiner_vids"]]
 
     # --- monitors -------------------------------------------------------
-    for oid, owner_vid, recursion, l_asn, entry, waiters in s.monitors:
+    for oid, owner_vid, recursion, l_asn, l_id, entry, waiters in s.monitors:
         monitor = get_monitor(s.by_oid[oid])
         monitor.owner = (
             thread_of(owner_vid) if owner_vid is not None else None
         )
         monitor.recursion = recursion
         monitor.l_asn = l_asn
+        monitor.l_id = l_id
         monitor.entry_queue.extend(thread_of(vid) for vid in entry)
         monitor.wait_set.extend(thread_of(vid) for vid in waiters)
 

@@ -66,6 +66,15 @@ class ReplicationConfig:
     se_handlers: Sequence[Any] = ()
     #: Emit a DigestRecord every N replicated events (None = off).
     digest_interval: Optional[int] = None
+    #: Steady-state incremental checkpointing: capture a delta
+    #: checkpoint every N execution slices (None = off).  The backup
+    #: side adopts each checkpoint and truncates its retained log to
+    #: the tail, bounding both log memory and recovery replay.
+    checkpoint_interval: Optional[int] = None
+    #: Verify every adopted checkpoint by restoring it into a scratch
+    #: JVM and comparing digests (catches composition bugs; costs one
+    #: restore per adoption — disable for throughput benchmarks).
+    verify_checkpoints: bool = True
 
     # -- pair only (ReplicatedJVM) --------------------------------------
     #: Injector event at which the primary fail-stops (None = never).
@@ -84,6 +93,10 @@ class ReplicationConfig:
     settings_for: Optional[Callable[[int], ReplicaSettings]] = None
     #: Checkpoint transfer chunk size (None = DEFAULT_CHUNK_BYTES).
     chunk_bytes: Optional[int] = None
+    #: Number of recovery bases maintained from the checkpoint stream.
+    #: Every adopted checkpoint re-arms all k bases, so after a crash
+    #: any of them can seed the next generation's backup.
+    k_backups: int = 1
 
     def merged(self, **overrides) -> "ReplicationConfig":
         """A copy with ``overrides`` applied; unknown names raise

@@ -53,6 +53,11 @@ from repro.replication.digest import (
 from repro.replication.failure import FailureDetector
 from repro.replication.metrics import ReplicationMetrics
 from repro.replication.ndnatives import BackupNativePolicy, PrimaryNativePolicy
+from repro.replication.checkpoint import (
+    Checkpoint,
+    first_dispatch_vid,
+    restore_checkpoint,
+)
 from repro.replication.records import (
     IdMap,
     LockAcqRecord,
@@ -64,6 +69,7 @@ from repro.replication.records import (
     decode_record,
 )
 from repro.replication.sehandlers import SideEffectHandler, SideEffectManager
+from repro.replication.steady import SteadyCheckpointer, SteadyHooks
 from repro.replication.strategy import (
     CoordinationStrategy,
     register_strategy,
@@ -249,6 +255,24 @@ class ReplicatedJVM:
         self._digest_emitter: Optional[DigestEmitter] = None
         self._digest_verifier: Optional[DigestVerifier] = None
 
+        #: Steady-state incremental checkpointing: emit a delta
+        #: checkpoint every N slices and truncate the delivered log at
+        #: each adoption (None = off; the log grows for the whole run).
+        self.checkpoint_interval = config.checkpoint_interval
+        if config.hot_backup and config.checkpoint_interval is not None:
+            raise ReplicationError(
+                "hot_backup replays the delivered log as it arrives; "
+                "steady-state checkpoint truncation would drop records "
+                "out from under it — use one or the other"
+            )
+        self._steady: Optional[SteadyCheckpointer] = None
+        self._primary_se_manager: Optional[SideEffectManager] = None
+        self._backup_from_basis = False
+        self._verify_sessions = 0
+        #: ``len(port.consumed)`` at the last checkpoint adoption: live
+        #: takes already baked into the basis snapshot (serving mode).
+        self._port_basis = 0
+
         self.hot_backup = config.hot_backup
         self.primary_jvm: Optional[JVM] = None
         self.backup_jvm: Optional[JVM] = None
@@ -280,7 +304,8 @@ class ReplicatedJVM:
     def clone(self, *, env: Optional[Environment] = None, crash_at=_UNSET,
               hot_backup=_UNSET, transport=_UNSET, strategy=_UNSET,
               detector_timeout=_UNSET,
-              digest_interval=_UNSET) -> "ReplicatedJVM":
+              digest_interval=_UNSET, checkpoint_interval=_UNSET,
+              verify_checkpoints=_UNSET) -> "ReplicatedJVM":
         """A fresh, runnable machine with this one's configuration.
 
         A ReplicatedJVM is single-shot (:class:`AlreadyRanError`);
@@ -312,6 +337,10 @@ class ReplicatedJVM:
             overrides["detector_timeout"] = detector_timeout
         if digest_interval is not _UNSET:
             overrides["digest_interval"] = digest_interval
+        if checkpoint_interval is not _UNSET:
+            overrides["checkpoint_interval"] = checkpoint_interval
+        if verify_checkpoints is not _UNSET:
+            overrides["verify_checkpoints"] = verify_checkpoints
         return ReplicatedJVM(
             self.registry,
             natives=self.natives,
@@ -346,6 +375,7 @@ class ReplicatedJVM:
             self.channel, self.primary_metrics, CrashInjector(self.crash_at)
         )
         se_manager = self._make_se_manager()
+        self._primary_se_manager = se_manager
         jvm.native_policy = PrimaryNativePolicy(
             self.shipper, self.primary_metrics, se_manager
         )
@@ -365,8 +395,44 @@ class ReplicatedJVM:
             jvm.run_hooks = _PrimaryHooks(self.channel, emitter)
         else:
             jvm.run_hooks = _HeartbeatHooks(self.channel)
+        if self.checkpoint_interval is not None:
+            self._steady = SteadyCheckpointer(
+                self.shipper, self.channel, self.primary_metrics,
+                se_manager,
+                interval=self.checkpoint_interval,
+                env_snapshot=self.env.snapshot_stable,
+                verify_restore=(self._verify_adopted
+                                if self.config.verify_checkpoints else None),
+                on_adopt=self._on_steady_adopt,
+            )
+            jvm.run_hooks = SteadyHooks(jvm.run_hooks, self._steady)
         self.primary_jvm = jvm
         return jvm
+
+    def _verify_adopted(self, checkpoint: Checkpoint) -> None:
+        """Restore the composed checkpoint into a scratch machine —
+        :func:`restore_checkpoint` re-derives the state digest and
+        refuses the snapshot on any mismatch, so a composition bug is
+        caught at adoption, not at the next failover."""
+        self._verify_sessions += 1
+        session = self.env.attach(f"ckpt-verify-{self._verify_sessions}")
+        try:
+            restore_checkpoint(
+                checkpoint, self.registry, self.natives, session,
+                replace(self.base_config,
+                        scheduler_seed=self.backup_settings.scheduler_seed),
+                name="ckpt-verify", se_manager=self._make_se_manager(),
+            )
+        finally:
+            session.destroy()
+
+    def _on_steady_adopt(self, checkpoint: Checkpoint, delta) -> None:
+        if self._serve_port is not None:
+            # Requests consumed so far are baked into the basis; only
+            # post-checkpoint recv records count at reconciliation.
+            self._port_basis = len(
+                self.env.port(self._serve_port).consumed
+            )
 
     def _build_backup(self) -> JVM:
         settings = self.backup_settings
@@ -376,28 +442,63 @@ class ReplicatedJVM:
             entropy_seed=settings.entropy_seed,
         )
         config = replace(self.base_config, scheduler_seed=settings.scheduler_seed)
-        jvm = JVM(self.registry, self.natives, session, config, name="backup")
         metrics = ReplicationMetrics(role="backup")
         self.backup_metrics = metrics
+        se_manager = self._make_se_manager()
+
+        basis = self._steady.basis if self._steady is not None else None
+        self._backup_from_basis = basis is not None
+        if basis is not None:
+            # Steady-state recovery: restore the last adopted checkpoint
+            # (digest-verified) and replay only the retained tail.
+            jvm = restore_checkpoint(
+                basis, self.registry, self.natives, session, config,
+                name="backup", se_manager=se_manager,
+            )
+            metrics.checkpoints_restored += 1
+        else:
+            jvm = JVM(self.registry, self.natives, session, config,
+                      name="backup")
 
         parsed = parse_log(self.channel.backup_log())
-        se_manager = self._make_se_manager()
+        metrics.recovery_tail_records = parsed.total
         for record in parsed.side_effects:
             se_manager.receive(record)
         policy = BackupNativePolicy(
             parsed.results, parsed.intents, se_manager, metrics
         )
         policy.hold_when_drained = self.hot_backup
+        if basis is not None:
+            policy.seed_seqs(basis.state().native_seqs)
         jvm.native_policy = policy
         self._backup_se_manager = se_manager
         driver = self._strategy.make_backup(parsed, metrics, settings, config)
         driver.install(jvm)
         driver.set_hold(self.hot_backup)
         self._backup_driver = driver
+        if basis is not None:
+            # The snapshot was captured with the descheduled thread
+            # still `current`; replay resumes by dispatching it first
+            # (the tail's first ScheduleRecord deschedules it at the
+            # captured progress point), then normalizes the scheduler
+            # the same way the primary's requeue did.
+            controller = getattr(driver, "controller", None)
+            if controller is not None \
+                    and hasattr(controller, "set_resume_vid"):
+                controller.set_resume_vid(first_dispatch_vid(jvm))
+            jvm.scheduler.release_current()
+            jvm.sync.reevaluate_parked()
         if self.digest_interval is not None:
+            source = driver.digest_epoch_source()
+            if basis is not None and source is not None:
+                # Retained DigestRecords carry absolute epochs; the
+                # replay's consumed count restarts at the truncation
+                # point, so offset it by the basis capture epoch.
+                base_epoch = basis.sched_epoch
+                tail_source = source
+                source = lambda: base_epoch + tail_source()  # noqa: E731
             verifier = DigestVerifier(
-                parsed.digests, self.env,
-                epoch_source=driver.digest_epoch_source(),
+                parsed.digests, self.env, epoch_source=source,
             )
             self._digest_verifier = verifier
             jvm.run_hooks = _VerifierHooks(verifier)
@@ -467,7 +568,12 @@ class ReplicatedJVM:
             backup_result = self._finish_hot_backup()
         else:
             backup = self._build_backup()
-            backup_result = backup.run(main_class, args)
+            if self._backup_from_basis:
+                # The basis checkpoint already contains the bootstrapped
+                # (mid-run) state; re-bootstrapping would corrupt it.
+                backup_result = backup.run_to_completion()
+            else:
+                backup_result = backup.run(main_class, args)
             self._finish_metrics(backup, self.backup_metrics)
         return FailoverResult(
             outcome="failover_completed",
@@ -532,7 +638,10 @@ class ReplicatedJVM:
         if self.channel.pending_records:
             self.channel.settle()
         backup = self._build_backup()
-        result = backup.run(main_class, args)
+        if self._backup_from_basis:
+            result = backup.run_to_completion()
+        else:
+            result = backup.run(main_class, args)
         self._finish_metrics(backup, self.backup_metrics)
         return result
 
@@ -620,6 +729,13 @@ class ReplicatedJVM:
             jvm = self._active_jvm
             try:
                 result = jvm.run_to_completion(pause_on_starvation=True)
+                if (result is None and self._steady is not None
+                        and jvm is self.primary_jvm):
+                    # Parked on the empty request port: a quiescent
+                    # point — emit a checkpoint if the interval elapsed.
+                    # A crash injected mid-emission lands in the
+                    # failover path below, like any other.
+                    self._steady.note_park(jvm)
             except PrimaryCrashed:
                 self._failover_serving()
                 if self._serve_result is not None:
@@ -667,7 +783,11 @@ class ReplicatedJVM:
         # request out of order with the requeued lost ones.
         policy.hold_when_drained = True
         self._backup_driver.set_hold(True)
-        backup.bootstrap(self._serve_main, self._serve_args)
+        controller = getattr(self._backup_driver, "controller", None)
+        if controller is not None and hasattr(controller, "tail_gate"):
+            controller.tail_gate = policy.has_uncertain_tail
+        if not self._backup_from_basis:
+            backup.bootstrap(self._serve_main, self._serve_args)
         result = backup.run_to_completion(pause_on_starvation=True)
         if result is None and any(
             policy.has_uncertain_tail(t.vid) for t in backup.scheduler.threads
@@ -725,9 +845,13 @@ class ReplicatedJVM:
             for record in records
             if record.signature == INGEST_SIGNATURE
         )
-        lost = port.consumed[survived:]
+        # Takes before the last adopted checkpoint were truncated out of
+        # the log but are baked into the recovery basis — already
+        # accounted for, not lost.
+        accounted = self._port_basis + survived
+        lost = port.consumed[accounted:]
         if lost:
-            del port.consumed[survived:]
+            del port.consumed[accounted:]
             port.requeue(lost)
             if self.backup_metrics is not None:
                 self.backup_metrics.requests_requeued += len(lost)

@@ -71,6 +71,18 @@ class ReplicationMetrics:
     #: measured time spent shipping checkpoints (flush + ack)
     checkpoint_transfer_wait: float = 0.0
 
+    # --- Steady-state incremental checkpoints --------------------------
+    delta_records: int = 0           # delta chunk records shipped
+    delta_bytes: int = 0             # wire bytes spent on delta chunks
+    deltas_shipped: int = 0          # complete delta checkpoints acked
+    deltas_composed: int = 0         # deltas composed onto a basis
+    #: high-water mark of the retained (delivered + buffered) log —
+    #: with checkpointing on, bounded by the emission interval.
+    retained_records_max: int = 0
+    #: log records in the retained tail at recovery time (backup role):
+    #: the replay work a promoted backup actually performed.
+    recovery_tail_records: int = 0
+
     # --- Backup-only --------------------------------------------------
     records_replayed: int = 0
     outputs_suppressed: int = 0
@@ -114,6 +126,9 @@ class ReplicationMetrics:
                 "checkpoint_records", "checkpoint_bytes",
                 "checkpoints_shipped", "checkpoints_restored",
                 "records_fenced", "records_truncated",
+                "delta_records", "delta_bytes", "deltas_shipped",
+                "deltas_composed", "retained_records_max",
+                "recovery_tail_records",
                 "requests_ingested", "responses_committed",
                 "requests_requeued",
             )

@@ -71,6 +71,12 @@ class PrimaryNativePolicy:
         self._seqs[vid] = seq
         return seq
 
+    def native_seqs(self) -> Dict[Vid, int]:
+        """Per-thread native sequence counters, snapshotted for a
+        checkpoint: a backup seeded from that state must continue the
+        primary's numbering, not restart at zero."""
+        return dict(self._seqs)
+
     def invoke(self, jvm, spec, thread, receiver, args) -> NativeOutcome:
         ctx = NativeContext(jvm, thread, spec)
         if not _interesting(spec):
@@ -188,6 +194,17 @@ class BackupNativePolicy:
         seq = self._seqs.get(vid, 0) + 1
         self._seqs[vid] = seq
         return seq
+
+    def seed_seqs(self, seqs: Dict[Vid, int]) -> None:
+        """Adopt the checkpointed per-thread native numbering: a replay
+        that starts from a mid-run snapshot resumes the primary's
+        counters, so the retained tail's records (whose ``seq`` fields
+        are absolute) line up with re-executed invocations."""
+        self._seqs.update(seqs)
+
+    def native_seqs(self) -> Dict[Vid, int]:
+        """Per-thread native sequence counters (see the primary's)."""
+        return dict(self._seqs)
 
     def _ensure_restored(self, jvm) -> None:
         self._se.restore(jvm.session)

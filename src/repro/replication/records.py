@@ -46,6 +46,9 @@ KIND_EPOCH = 9
 #: Reserved for :class:`repro.replication.checkpoint.CheckpointChunkRecord`,
 #: which registers its reader on import (core=True), like the digest.
 KIND_CHECKPOINT_CHUNK = 10
+#: Reserved for :class:`repro.replication.checkpoint.DeltaChunkRecord`
+#: (steady-state incremental checkpoints), registered the same way.
+KIND_CHECKPOINT_DELTA = 11
 
 
 @dataclass(frozen=True)

@@ -57,6 +57,8 @@ from repro.replication.checkpoint import (
     Checkpoint,
     CheckpointAssembler,
     CheckpointChunkRecord,
+    DeltaCheckpoint,
+    compose_delta,
     first_dispatch_vid,
     restore_checkpoint,
     take_checkpoint,
@@ -73,6 +75,7 @@ from repro.replication.metrics import ReplicationMetrics
 from repro.replication.ndnatives import BackupNativePolicy, PrimaryNativePolicy
 from repro.replication.records import decode_record
 from repro.replication.sehandlers import SideEffectHandler, SideEffectManager
+from repro.replication.steady import SteadyCheckpointer, SteadyHooks
 from repro.replication.strategy import resolve_strategy
 from repro.replication.transport import Transport, make_transport
 from repro.runtime.jvm import JVM, JVMConfig, RunHooks, RunResult
@@ -118,6 +121,9 @@ class GenerationReport:
     #: Metrics of the recovery replay that *produced* this generation's
     #: primary (None for generation 0's fresh boot).
     recovery_metrics: Optional[ReplicationMetrics] = None
+    #: Steady-state delta checkpoints adopted while this generation
+    #: held the primary role (0 when checkpoint_interval is off).
+    steady_checkpoints: int = 0
 
 
 @dataclass
@@ -165,6 +171,8 @@ class _Generation:
     shipper: LogShipper
     report: GenerationReport
     transfer_ok: bool = False
+    #: Steady-state emitter, installed once the arm transfer completes.
+    steady: Optional[SteadyCheckpointer] = None
 
 
 class ReplicaGroup:
@@ -205,6 +213,12 @@ class ReplicaGroup:
         self._extra_se_handlers = list(config.se_handlers)
         self.chunk_bytes = (DEFAULT_CHUNK_BYTES if config.chunk_bytes is None
                             else config.chunk_bytes)
+        self.checkpoint_interval = config.checkpoint_interval
+        self.k_backups = config.k_backups
+        if self.k_backups < 1:
+            raise ReplicationError(
+                f"k_backups must be at least 1, got {self.k_backups}"
+            )
 
         #: Per-generation reports, appended as the run progresses.
         self.reports: List[GenerationReport] = []
@@ -214,6 +228,13 @@ class ReplicaGroup:
         # --- recovery basis: everything the surviving side knows -------
         #: Last checkpoint fully transferred and digest-verified.
         self._ckpt: Optional[Checkpoint] = None
+        #: The k recovery bases, all re-armed from the same checkpoint
+        #: stream: every adopted checkpoint (arm-time full or steady
+        #: delta) updates each slot independently, so after a crash any
+        #: slot can seed the next generation's backup.
+        self._backup_bases: List[Checkpoint] = []
+        #: Scratch-restore sessions attached for steady verification.
+        self._verify_sessions = 0
         #: Epoch that shipped (and therefore stamps) the basis records.
         self._ckpt_epoch = -1
         #: Raw (still epoch-wrapped) records delivered after the basis
@@ -366,6 +387,7 @@ class ReplicaGroup:
             jvm.bootstrap(main_class, args)
 
         parsed = parse_log(inner)
+        metrics.recovery_tail_records = parsed.total
         self._reconcile_port(parsed, metrics)
         for record in parsed.side_effects:
             se_manager.receive(record)
@@ -373,6 +395,11 @@ class ReplicaGroup:
             parsed.results, parsed.intents, se_manager, metrics
         )
         policy.hold_when_drained = True
+        if self._ckpt is not None:
+            # A steady (mid-generation) basis carries the crashed
+            # primary's per-thread native numbering; the tail's records
+            # hold absolute seqs, so replay must resume the counters.
+            policy.seed_seqs(self._ckpt.state().native_seqs)
         jvm.native_policy = policy
         driver = self._strategy.make_backup(parsed, metrics, settings, config)
         driver.install(jvm)
@@ -383,6 +410,12 @@ class ReplicaGroup:
         if (controller is not None and self._ckpt is not None
                 and hasattr(controller, "set_resume_vid")):
             controller.set_resume_vid(first_dispatch_vid(jvm))
+        if self._ckpt is not None:
+            # A steady basis was captured with the descheduled thread
+            # still `current`; the resume vid is recorded above, so
+            # normalize the scheduler exactly as the primary's requeue
+            # did (no-op for quiescent arm-time checkpoints).
+            jvm.scheduler.release_current()
         jvm.sync.reevaluate_parked()
 
         result = jvm.run_to_completion(pause_on_starvation=True)
@@ -458,6 +491,7 @@ class ReplicaGroup:
             verify_session.destroy()
         shipper.truncate_at_checkpoint(n_chunks)
         self._ckpt = checkpoint
+        self._backup_bases = [checkpoint] * self.k_backups
         self._ckpt_epoch = generation
         self._exec_raw = []
         self._stale_raw = []
@@ -465,6 +499,50 @@ class ReplicaGroup:
             # Every request consumed so far is baked into the basis
             # checkpoint; only post-checkpoint recv records count at
             # the next reconciliation.
+            self._port_basis = len(self.env.port(self._serve_port).consumed)
+
+    def _verify_steady(self, checkpoint: Checkpoint) -> None:
+        """Scratch-restore an adopted steady checkpoint —
+        :func:`restore_checkpoint` re-derives the state digest and
+        refuses the snapshot on any mismatch, so a delta-composition
+        bug is caught at adoption, not at the next failover."""
+        self._verify_sessions += 1
+        session = self.env.attach(f"steady-verify-{self._verify_sessions}")
+        try:
+            restore_checkpoint(
+                checkpoint, self.registry, self.natives, session,
+                self._config_for(self._generation),
+                name="steady-verify", se_manager=self._make_se_manager(),
+            )
+        finally:
+            session.destroy()
+
+    def _adopt_steady(self, composed: Checkpoint,
+                      delta: Optional[DeltaCheckpoint]) -> None:
+        """Re-arm every recovery basis from the checkpoint stream: the
+        delta composes onto each retained slot independently, and all
+        k results must agree with the adopted snapshot — composition
+        is pure state surgery, so a disagreement is a corruption."""
+        if delta is not None:
+            slots = [compose_delta(base, delta)
+                     for base in self._backup_bases]
+        else:
+            slots = [composed] * self.k_backups
+        for index, slot in enumerate(slots):
+            if slot.digest != composed.digest:
+                raise ReplicationError(
+                    f"recovery basis slot {index} diverged after delta "
+                    f"seq {delta.seq}: digest {slot.digest.hex()} != "
+                    f"adopted {composed.digest.hex()}"
+                )
+        self._backup_bases = slots
+        self._ckpt = composed
+        if self._gen is not None:
+            self._gen.report.steady_checkpoints += 1
+        if self._serve_port is not None:
+            # Requests consumed so far are baked into the new basis;
+            # only post-checkpoint recv records count at the next
+            # reconciliation.
             self._port_basis = len(self.env.port(self._serve_port).consumed)
 
     def _reconcile_port(self, parsed,
@@ -546,6 +624,10 @@ class ReplicaGroup:
             jvm, se_manager, generation=generation,
             env_snapshot=self.env.snapshot_stable(),
         )
+        if self.checkpoint_interval is not None:
+            # Open the dirty window at the capture point: everything
+            # mutated from here on belongs to the first steady delta.
+            jvm.heap.advance_era()
         chunks = checkpoint.to_chunks(self.chunk_bytes)
         report.checkpoint_bytes = checkpoint.byte_size
         report.checkpoint_chunks = len(chunks)
@@ -567,6 +649,24 @@ class ReplicaGroup:
         self._adopt_checkpoint(channel, metrics, generation, len(chunks),
                                shipper)
         gen.transfer_ok = True
+        if self.checkpoint_interval is not None:
+            # Steady-state emission only once the arm transfer is fully
+            # adopted: a truncation can therefore never race the
+            # re-integration transfer — the log the arm chunks travel
+            # through is only ever cut at the adoption boundary itself.
+            gen.steady = SteadyCheckpointer(
+                shipper, channel, metrics, se_manager,
+                interval=self.checkpoint_interval,
+                generation=generation,
+                chunk_bytes=self.chunk_bytes,
+                basis=self._ckpt,
+                env_snapshot=self.env.snapshot_stable,
+                verify_restore=(self._verify_steady
+                                if self.config.verify_checkpoints
+                                else None),
+                on_adopt=self._adopt_steady,
+            )
+            jvm.run_hooks = SteadyHooks(jvm.run_hooks, gen.steady)
         return gen
 
     def _dispose_crash(self, gen: _Generation) -> None:
@@ -736,6 +836,12 @@ class ReplicaGroup:
             gen = self._gen
             try:
                 result = gen.jvm.run_to_completion(pause_on_starvation=True)
+                if result is None and gen.steady is not None:
+                    # Parked on the empty request port: a quiescent
+                    # point — emit if the interval elapsed.  A crash
+                    # injected mid-emission falls through to the
+                    # failover arm below, like any other.
+                    gen.steady.note_park(gen.jvm)
             except PrimaryCrashed:
                 self._dispose_crash(gen)
                 self._generation += 1

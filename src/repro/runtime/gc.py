@@ -91,6 +91,7 @@ class Collector:
                 referent = obj.fields.get(_REFERENT_FIELD)
                 if referent is not None and not referent.gc_mark:
                     obj.fields[_REFERENT_FIELD] = None
+                    obj.mut_era = heap.era
                     if obj.class_name == SOFT_REF_CLASS:
                         self.stats.soft_refs_cleared += 1
                     else:

@@ -6,11 +6,21 @@ Memory pressure is modelled by *cells*: each object costs a number of
 cells proportional to its field/element count; crossing the configured
 threshold triggers a synchronous collection at the next allocation
 (a safe point), mirroring how Sun's JVM collects during allocation.
+
+Dirty-object tracking for incremental checkpoints: the heap carries an
+*era* counter that the replication layer advances at every adopted
+checkpoint.  Mutation sites (field/array stores, monitor state changes,
+GC referent clearing) stamp the object's ``mut_era`` with the current
+era, so a delta checkpoint is exactly the objects with
+``mut_era >= era`` at capture time plus the oids freed since the last
+capture.  Tracking is free until :meth:`Heap.advance_era` is first
+called — unreplicated and non-checkpointing runs never pay for the
+freed-oid set.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, Iterator, List, Set
 
 from repro.classfile.loader import ClassRegistry
 from repro.classfile.model import default_value
@@ -38,6 +48,13 @@ class Heap:
         self.gc_requested = False
         #: Allocation counter (survives GC; used by benchmarks/metrics).
         self.total_allocations = 0
+        #: Mutation era for delta checkpoints.  Objects whose
+        #: ``mut_era`` is >= this value have been touched since the
+        #: last :meth:`advance_era`.
+        self.era = 0
+        #: Only maintained once checkpointing starts (see module doc).
+        self.track_freed = False
+        self._freed: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Allocation
@@ -66,11 +83,34 @@ class Heap:
         return oid
 
     def _track(self, obj: Any, cells: int) -> None:
+        obj.mut_era = self.era
         self.objects.append(obj)
         self.used_cells += cells
         self.total_allocations += 1
         if self.used_cells >= self.gc_threshold_cells:
             self.gc_requested = True
+
+    # ------------------------------------------------------------------
+    # Dirty-object tracking (incremental checkpoints)
+    # ------------------------------------------------------------------
+    def advance_era(self) -> None:
+        """Start a new mutation era (called after a checkpoint capture).
+
+        Objects allocated or mutated from now on are dirty relative to
+        the capture; oids freed from now on are recorded.
+        """
+        self.era += 1
+        self.track_freed = True
+        self._freed.clear()
+
+    def dirty_objects(self) -> Iterator[Any]:
+        """Live objects mutated or allocated in the current era."""
+        era = self.era
+        return (obj for obj in self.objects if obj.mut_era >= era)
+
+    def freed_oids(self) -> Set[int]:
+        """Oids collected since the last :meth:`advance_era`."""
+        return set(self._freed)
 
     # ------------------------------------------------------------------
     # Accounting used by the collector
@@ -84,6 +124,11 @@ class Heap:
     def replace_live(self, live: List[Any], live_cells: int) -> int:
         """Install the survivor list after a sweep; returns cells freed."""
         freed = self.used_cells - live_cells
+        if self.track_freed:
+            survivors = {id(obj) for obj in live}
+            self._freed.update(
+                obj.oid for obj in self.objects if id(obj) not in survivors
+            )
         self.objects = live
         self.used_cells = live_cells
         self.gc_requested = False

@@ -648,6 +648,7 @@ class Interpreter:
         if not isinstance(obj, JObject) or name not in obj.fields:
             raise LinkageError(f"no field {name!r} on {describe(obj)}")
         obj.fields[name] = value
+        obj.mut_era = self._heap.era
         frame.pc += 1
 
     def _op_getstatic(self, thread, frame, cell):
@@ -741,6 +742,7 @@ class Interpreter:
                 f"{arr.elem_type}[]"
             )
         arr.data[index] = value
+        arr.mut_era = self._heap.era
         self._jvm.heavy_ops += 1
         frame.pc += 1
 

@@ -157,6 +157,7 @@ class JVM:
             ),
         )
         self.sync = SyncManager(self.scheduler)
+        self.sync.heap = self.heap
         self.collector = Collector(self)
         self.interpreter = Interpreter(self)
         self.native_policy = DirectNativePolicy()

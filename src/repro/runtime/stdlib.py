@@ -241,6 +241,7 @@ def _arraycopy(ctx, receiver, args):
     ):
         raise JavaThrow("ArrayIndexOutOfBoundsException", "arraycopy")
     dst.data[dst_pos:dst_pos + length] = src.data[src_pos:src_pos + length]
+    dst.mut_era = ctx.jvm.heap.era
     return None
 
 

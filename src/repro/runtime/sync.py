@@ -45,6 +45,10 @@ class SyncManager:
 
     def __init__(self, scheduler: "Scheduler") -> None:
         self._scheduler = scheduler
+        #: Set by the JVM after construction; monitor state lives on
+        #: heap objects, so monitor transitions must stamp the object's
+        #: mutation era for delta checkpoints.
+        self.heap = None
         self.admission: AdmissionController = AdmissionController()
         #: Threads parked by the admission controller, re-evaluated
         #: after every monitor event (acquire/release/log progress).
@@ -61,6 +65,12 @@ class SyncManager:
         self.monitors_created = 0
         #: Largest l_asn observed on any single monitor (Table 2 row).
         self.largest_l_asn = 0
+
+    def _touch(self, monitor: Monitor) -> None:
+        """Mark the monitor's heap object dirty in the current era."""
+        heap = self.heap
+        if heap is not None and monitor.obj is not None:
+            monitor.obj.mut_era = heap.era
 
     # ------------------------------------------------------------------
     # monitorenter
@@ -79,6 +89,7 @@ class SyncManager:
         if monitor.owner is thread:
             monitor.recursion += 1
             thread.mon_cnt += 1
+            self._touch(monitor)
             return EnterResult.ACQUIRED
         if monitor.owner is not None:
             self._block(thread, monitor)
@@ -94,6 +105,7 @@ class SyncManager:
     ) -> None:
         monitor.owner = thread
         monitor.recursion = recursion
+        self._touch(monitor)
         if monitor.l_asn == 0:
             self.monitors_created += 1
         monitor.l_asn += 1
@@ -108,6 +120,7 @@ class SyncManager:
     def _block(self, thread: JavaThread, monitor: Monitor) -> None:
         if thread not in monitor.entry_queue:
             monitor.entry_queue.append(thread)
+            self._touch(monitor)
         thread.state = ThreadState.BLOCKED
         thread.blocked_on = monitor
 
@@ -127,6 +140,7 @@ class SyncManager:
             return False
         thread.mon_cnt += 1
         monitor.recursion -= 1
+        self._touch(monitor)
         if monitor.recursion == 0:
             monitor.owner = None
             self.admission.on_released(thread, monitor)
@@ -137,6 +151,8 @@ class SyncManager:
     def _wake_entry_queue(self, monitor: Monitor) -> None:
         """Make every contender runnable; they retry their acquisition
         when scheduled (FIFO runnable queue keeps this deterministic)."""
+        if monitor.entry_queue:
+            self._touch(monitor)
         while monitor.entry_queue:
             contender = monitor.entry_queue.popleft()
             if contender.state is ThreadState.BLOCKED:
@@ -155,6 +171,7 @@ class SyncManager:
         monitor.recursion = 0
         monitor.owner = None
         monitor.wait_set.append(thread)
+        self._touch(monitor)
         thread.blocked_on = monitor
         if timeout_ms is not None and timeout_ms > 0:
             thread.state = ThreadState.TIMED_WAITING
@@ -196,6 +213,7 @@ class SyncManager:
         for _ in range(count):
             waiter = monitor.wait_set.popleft()
             self._resume_waiter(waiter)
+        self._touch(monitor)
         return True
 
     def timeout_waiter(self, thread: JavaThread) -> None:
@@ -204,6 +222,7 @@ class SyncManager:
         monitor = thread.blocked_on
         if monitor is not None and thread in monitor.wait_set:
             monitor.wait_set.remove(thread)
+            self._touch(monitor)
             self._resume_waiter(thread)
         else:
             # plain Thread.sleep

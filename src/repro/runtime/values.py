@@ -67,7 +67,8 @@ class JObject:
             which the integration tests exploit via state digests.
     """
 
-    __slots__ = ("class_name", "fields", "oid", "monitor", "gc_mark")
+    __slots__ = ("class_name", "fields", "oid", "monitor", "gc_mark",
+                 "mut_era")
 
     def __init__(self, class_name: str, fields: Dict[str, Any], oid: int) -> None:
         self.class_name = class_name
@@ -75,6 +76,10 @@ class JObject:
         self.oid = oid
         self.monitor = None  # lazily created Monitor
         self.gc_mark = False
+        #: Heap era of the last mutation (allocation counts).  Never
+        #: digested or shipped — delta checkpoints compare it against
+        #: Heap.era to pick dirty objects.
+        self.mut_era = 0
 
     def __repr__(self) -> str:
         return f"<{self.class_name}#{self.oid}>"
@@ -88,7 +93,8 @@ class JArray:
         data: the backing list.
     """
 
-    __slots__ = ("elem_type", "data", "oid", "monitor", "gc_mark")
+    __slots__ = ("elem_type", "data", "oid", "monitor", "gc_mark",
+                 "mut_era")
 
     def __init__(self, elem_type: str, data: List[Any], oid: int) -> None:
         self.elem_type = elem_type
@@ -96,6 +102,7 @@ class JArray:
         self.oid = oid
         self.monitor = None
         self.gc_mark = False
+        self.mut_era = 0
 
     def __len__(self) -> int:
         return len(self.data)

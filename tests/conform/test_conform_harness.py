@@ -137,7 +137,8 @@ def test_conform_cli_quick_smoke(tmp_path):
 # Chained-failover sweeps (replica-group supervisor)
 # ======================================================================
 CHAIN_CELL_KEYS = {"workload", "strategy", "transport", "engine",
-                   "depth", "crash_points", "layers", "errors", "ok"}
+                   "depth", "checkpoint_interval", "crash_points",
+                   "layers", "errors", "ok"}
 
 
 def test_chained_report_schema_keys():
@@ -156,7 +157,7 @@ def test_chained_report_schema_keys():
         for layer in cell["layers"]:
             assert {"generation", "pinned", "total_events",
                     "transfer_events", "crash_points", "failures",
-                    "records_fenced"} <= set(layer)
+                    "records_fenced", "steady_checkpoints"} <= set(layer)
     assert report["ok"] is True
     assert "PASS" in render_chained_report(report)
     assert json.loads(json.dumps(report)) == report

@@ -20,8 +20,11 @@ from repro.replication.checkpoint import (
     Checkpoint,
     CheckpointAssembler,
     CheckpointChunkRecord,
+    DeltaAssembler,
+    compose_delta,
     restore_checkpoint,
     take_checkpoint,
+    take_delta_checkpoint,
 )
 from repro.replication.digest import StateDigest, compute_state_digest
 from repro.replication.records import decode_record, encode
@@ -170,6 +173,169 @@ def test_mid_monitor_wait_snapshot_roundtrips():
     assert any(t.state.name == "WAITING" for t in jvm.scheduler.threads)
     ckpt = take_checkpoint(jvm, SideEffectManager(), generation=1)
     assert _roundtrip(ckpt, registry, env).diff(ckpt.digest) == []
+
+
+# ======================================================================
+# Incremental checkpoints: delta composition ≡ fresh full capture
+# ======================================================================
+MUTATOR = """
+    class Node { int v; Node next; }
+    class Main {
+        static Node head;
+        static int total;
+        static void main(String[] args) {
+            int[] arr = new int[24];
+            for (int i = 0; i < 400; i++) {
+                Node n = new Node();
+                n.v = i; n.next = head; head = n;
+                arr[i % 24] = arr[(i + 7) % 24] + i;
+                if (i % 3 == 0) { head = head.next; }
+                total = total + arr[i % 24];
+            }
+            System.println(total);
+        }
+    }
+"""
+
+
+class _Paused(Exception):
+    pass
+
+
+class _PauseAfter(RunHooks):
+    """Stop the run loop after a budget of execution slices."""
+
+    def __init__(self) -> None:
+        self.budget = 0
+
+    def on_slice_end(self, jvm, thread, reason):
+        if self.budget <= 0:
+            return
+        self.budget -= 1
+        if self.budget == 0:
+            raise _Paused()
+
+
+def _run_slices(jvm, hooks, n) -> bool:
+    """Advance ``n`` slices; True if the program finished instead."""
+    hooks.budget = n
+    try:
+        jvm.run_to_completion()
+    except _Paused:
+        jvm.scheduler.release_current()
+        return False
+    return True
+
+
+@pytest.fixture(scope="module")
+def mutator_registry():
+    return compile_program(MUTATOR)
+
+
+@given(boundaries=st.lists(st.integers(min_value=1, max_value=5),
+                           min_size=2, max_size=5),
+       chunk_bytes=st.integers(min_value=16, max_value=512))
+@settings(max_examples=12, deadline=None)
+def test_delta_chain_composes_to_fresh_full(mutator_registry, boundaries,
+                                            chunk_bytes):
+    """The bounded-log invariant, state-level: a full snapshot plus any
+    chain of delta checkpoints, each framed through the chunk wire
+    format and composed in order, is *byte-identical* to a fresh full
+    checkpoint captured at the same execution point — dirty-object
+    tracking missed nothing, freed oids were dropped, and composition
+    reproduced the heap walk exactly."""
+    env = Environment()
+    session = env.attach("delta-fuzz")
+    try:
+        jvm = JVM(mutator_registry, default_natives(), session)
+        hooks = _PauseAfter()
+        jvm.run_hooks = hooks
+        jvm.bootstrap("Main", [])
+
+        _run_slices(jvm, hooks, boundaries[0])
+        se = SideEffectManager()
+        basis = take_checkpoint(jvm, se, generation=7, sched_epoch=0)
+        jvm.heap.advance_era()
+
+        for seq, steps in enumerate(boundaries[1:], start=1):
+            done = _run_slices(jvm, hooks, steps)
+            delta = take_delta_checkpoint(
+                jvm, se, generation=7, seq=seq, base_seq=seq - 1,
+                sched_epoch=seq,
+            )
+            # The delta must survive its own chunk framing before it
+            # may touch the basis.
+            assembler = DeltaAssembler()
+            reassembled = None
+            for chunk in delta.to_chunks(chunk_bytes):
+                got = assembler.feed(decode_record(encode(chunk)))
+                if got is not None:
+                    reassembled = got
+            assert reassembled == delta
+
+            basis = compose_delta(basis, reassembled)
+            fresh = take_checkpoint(jvm, se, generation=7, sched_epoch=seq)
+            assert basis.digest.diff(fresh.digest) == []
+            assert basis.payload == fresh.payload
+            jvm.heap.advance_era()
+            if done:
+                break
+    finally:
+        session.destroy()
+
+
+def test_composed_checkpoint_restores_and_verifies(mutator_registry):
+    """A composed snapshot passes the restore-time digest check — the
+    adoption path's gate — and the restored machine finishes the
+    program with the same output as an undisturbed run."""
+    env = Environment()
+    session = env.attach("origin")
+    jvm = JVM(mutator_registry, default_natives(), session)
+    hooks = _PauseAfter()
+    jvm.run_hooks = hooks
+    jvm.bootstrap("Main", [])
+
+    _run_slices(jvm, hooks, 2)
+    se = SideEffectManager()
+    basis = take_checkpoint(jvm, se, generation=0)
+    jvm.heap.advance_era()
+    _run_slices(jvm, hooks, 3)
+    delta = take_delta_checkpoint(jvm, se, generation=0, seq=1, base_seq=0)
+    composed = compose_delta(basis, delta)
+
+    scratch = env.attach("adopted")
+    try:
+        restored = restore_checkpoint(composed, mutator_registry,
+                                      default_natives(), scratch,
+                                      se_manager=SideEffectManager())
+        result = restored.run_to_completion()
+        assert result.ok
+    finally:
+        scratch.destroy()
+    # The originating machine, left undisturbed, prints the same total.
+    jvm.run_hooks = RunHooks()
+    assert jvm.run_to_completion().ok
+    lines = env.console.lines()
+    assert len(lines) == 2 and lines[0] == lines[1]
+
+
+def test_out_of_order_delta_is_refused(mutator_registry):
+    """Composing a delta onto a basis it was not captured against must
+    fail loudly: generation and base-seq checks are load-bearing."""
+    env = Environment()
+    session = env.attach("origin")
+    jvm = JVM(mutator_registry, default_natives(), session)
+    hooks = _PauseAfter()
+    jvm.run_hooks = hooks
+    jvm.bootstrap("Main", [])
+    _run_slices(jvm, hooks, 2)
+    se = SideEffectManager()
+    basis = take_checkpoint(jvm, se, generation=3)
+    jvm.heap.advance_era()
+    _run_slices(jvm, hooks, 2)
+    delta = take_delta_checkpoint(jvm, se, generation=4, seq=1, base_seq=0)
+    with pytest.raises(ReplicationError, match="generation"):
+        compose_delta(basis, delta)
 
 
 def test_tampered_digest_is_not_adopted():
