@@ -178,6 +178,36 @@ def _cmd_conform(args: argparse.Namespace) -> int:
     )
     engines = ["step", "slice"] if args.engine == "both" else [args.engine]
 
+    if args.byzantine:
+        from repro.conform.byzantine import ByzantineConfig, run_byzantine_sweep
+        from repro.conform.report import (
+            build_byzantine_report, render_byzantine_report,
+        )
+
+        byz_config = ByzantineConfig(
+            workloads=workloads,
+            n_members=args.members,
+            seed=args.seed,
+            digest_interval=args.digest_interval or 2,
+            stride=args.stride,
+            engine=engines[0],
+            variants="step+slice" if args.variants else None,
+        )
+
+        def byzantine_progress(cell) -> None:
+            status = "ok" if cell.ok else f"{len(cell.failures)} FAILURES"
+            print(f"[{cell.workload} n={args.members} {cell.engine} "
+                  f"variants={cell.variants or 'off'}: "
+                  f"{cell.cells} seeded lies {status}]",
+                  file=sys.stderr)
+
+        cells = run_byzantine_sweep(byz_config, progress=byzantine_progress)
+        report = build_byzantine_report(byz_config, cells)
+        if args.json:
+            write_report(args.json, report)
+        print(render_byzantine_report(report))
+        return 0 if report["ok"] else 1
+
     if args.chained:
         from repro.conform.chained import ChainedConfig, run_chained_sweep
         from repro.conform.report import (
@@ -440,6 +470,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "checkpointing every N slices and checks "
                              "that recovery replay stays bounded by the "
                              "retained-log high-water mark; 0 = off)")
+    p_conf.add_argument("--byzantine", action="store_true",
+                        help="sweep seeded Byzantine corruptions through "
+                             "the quorum-voting group: for every digest "
+                             "epoch and output the honest group "
+                             "certifies, re-run with a lying proposer "
+                             "and a bit-flipped follower, asserting the "
+                             "liar is outvoted, quarantined, and "
+                             "re-armed with outputs byte-identical to "
+                             "an unreplicated run")
+    p_conf.add_argument("--variants", action="store_true",
+                        help="run --byzantine cells under the "
+                             "step+slice multi-variant engine guard "
+                             "(alarms only on engine-correlated "
+                             "divergence)")
+    p_conf.add_argument("--members", type=int, default=3, metavar="N",
+                        help="voting group size for --byzantine "
+                             "(odd, n = 2f+1; default 3)")
     p_conf.add_argument("--json", default=None, metavar="PATH",
                         help="write the machine-readable report here")
     p_conf.add_argument("--list", action="store_true",

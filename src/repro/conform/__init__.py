@@ -17,6 +17,16 @@ See :mod:`repro.conform.sweep` for the engine and
 :mod:`repro.conform.report` for the JSON report schema.
 """
 
+from repro.conform.byzantine import (
+    ByzantineCellResult,
+    ByzantineConfig,
+    ByzantineReference,
+    byzantine_reference,
+    check_corruption,
+    make_byzantine_spec,
+    run_byzantine_sweep,
+    sweep_byzantine_cell,
+)
 from repro.conform.chained import (
     ChainCellResult,
     ChainedConfig,
@@ -29,8 +39,10 @@ from repro.conform.chained import (
 )
 from repro.conform.report import (
     REPORT_VERSION,
+    build_byzantine_report,
     build_chained_report,
     build_report,
+    render_byzantine_report,
     render_chained_report,
     render_report,
     write_report,
@@ -62,4 +74,8 @@ __all__ = [
     "make_chained_spec", "chained_reference", "check_chain",
     "sweep_chained_cell", "run_chained_sweep",
     "build_chained_report", "render_chained_report",
+    "ByzantineConfig", "ByzantineCellResult", "ByzantineReference",
+    "make_byzantine_spec", "byzantine_reference", "check_corruption",
+    "sweep_byzantine_cell", "run_byzantine_sweep",
+    "build_byzantine_report", "render_byzantine_report",
 ]

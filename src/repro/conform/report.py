@@ -43,6 +43,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
+from repro.conform.byzantine import ByzantineCellResult, ByzantineConfig
 from repro.conform.chained import ChainCellResult, ChainedConfig
 from repro.conform.sweep import CellResult, SweepConfig
 
@@ -144,6 +145,61 @@ def render_chained_report(report: Dict[str, Any]) -> str:
         f"{verdict}: {totals['crash_points']} chained crash points across "
         f"{totals['cells']} cells, {totals['failures']} failure(s), "
         f"{totals['records_fenced']} stale record(s) fenced"
+    )
+    return "\n".join(lines)
+
+
+def build_byzantine_report(config: ByzantineConfig,
+                           cells: List[ByzantineCellResult]
+                           ) -> Dict[str, Any]:
+    """Byzantine-corruption variant of the report: one cell per
+    workload, one seeded lie per (artifact, lying-member role)."""
+    return {
+        "version": REPORT_VERSION,
+        "tool": "repro conform --byzantine",
+        "config": {
+            "workloads": list(config.workloads),
+            "n_members": config.n_members,
+            "seed": config.seed,
+            "digest_interval": config.digest_interval,
+            "stride": config.stride,
+            "engine": config.engine,
+            "variants": config.variants,
+            "follower_member": config.follower_member,
+        },
+        "cells": [cell.as_dict() for cell in cells],
+        "totals": {
+            "cells": len(cells),
+            "corruption_points": sum(c.cells for c in cells),
+            "failures": sum(len(c.failures) for c in cells),
+        },
+        "ok": all(cell.ok for cell in cells),
+    }
+
+
+def render_byzantine_report(report: Dict[str, Any]) -> str:
+    """Human-readable summary of a byzantine report dict."""
+    lines = []
+    for cell in report["cells"]:
+        status = "ok" if cell["ok"] else f"{len(cell['failures'])} FAILURES"
+        variants = cell.get("variants") or "off"
+        lines.append(
+            f"{cell['workload']:8s} n={report['config']['n_members']} "
+            f"{cell['engine']:5s} variants={variants:10s} "
+            f"{cell['cells']:3d} lies "
+            f"({cell['digest_epochs']} digest epochs, "
+            f"{cell['output_ordinals']} outputs)  {status}"
+        )
+        for entry in cell["failures"]:
+            lines.append(
+                f"    lie={tuple(entry['lie'])} member={entry['lie_member']} "
+                f"({entry['role']}) {entry['kind']}: {entry['detail']}"
+            )
+    totals = report["totals"]
+    verdict = "PASS" if report["ok"] else "FAIL"
+    lines.append(
+        f"{verdict}: {totals['corruption_points']} seeded lies across "
+        f"{totals['cells']} cells, {totals['failures']} failure(s)"
     )
     return "\n".join(lines)
 

@@ -129,9 +129,51 @@ class AlreadyRanError(ReplicationError):
     """
 
 
+class QuorumLostError(ReplicationError):
+    """A voting group could not assemble ``f+1`` matching votes.
+
+    Under the ``n = 2f+1`` sizing this means more than ``f`` members are
+    convicted or disagree — beyond the fault budget the group was
+    configured to tolerate, so no output can be safely released.
+    """
+
+
+class VariantDivergenceError(ReplicationError):
+    """The multi-variant (step/slice engine) lockstep guard tripped and
+    the group was configured ``variant_fail_stop=True``.
+
+    Attributes:
+        divergence: the structured
+            :class:`~repro.replication.voting.VariantDivergence` event.
+    """
+
+    def __init__(self, divergence) -> None:
+        super().__init__(f"multi-variant execution diverged: {divergence}")
+        self.divergence = divergence
+
+
 class PrimaryCrashed(ReproError):
     """Internal control-flow signal: the fail-stop point was reached.
 
     Raised by the crash injector to unwind the primary's execution loop.
     Never visible to user code; the harness catches it at the top level.
     """
+
+
+class PrimaryOutvoted(ReproError):
+    """Internal control-flow signal: the proposing member of a voting
+    group was outvoted by a quorum of its peers.
+
+    Raised from the quorum gate (before any output is released) to
+    unwind the proposer's execution loop; the
+    :class:`~repro.replication.voting.VotingGroup` catches it, deposes
+    the liar, and promotes a member of the certified majority.  Never
+    visible to user code.
+
+    Attributes:
+        verdict: the tally verdict that convicted the proposer.
+    """
+
+    def __init__(self, verdict=None) -> None:
+        super().__init__(f"proposer outvoted by quorum: {verdict}")
+        self.verdict = verdict

@@ -243,6 +243,11 @@ class Fleet:
                 r.recovery_metrics.requests_requeued
                 for r in group.reports if r.recovery_metrics is not None
             )
+            for report in group.reports:
+                for replica_metrics in (report.primary_metrics,
+                                        report.recovery_metrics):
+                    if replica_metrics is not None:
+                        sm.absorb_replica_counters(replica_metrics)
             for req in by_shard[shard]:
                 answer = responses.get(req.rid)
                 if answer is None:
@@ -255,4 +260,7 @@ class Fleet:
             fm.responses_duplicated += sm.duplicates
             fm.failovers_absorbed += sm.failovers_absorbed
             fm.requests_requeued += sm.requests_requeued
+            fm.members_quarantined += sm.members_quarantined
+            fm.members_rearmed += sm.members_rearmed
+            fm.variant_divergences += sm.variant_divergences
         fm.per_shard = shards

@@ -36,7 +36,20 @@ class ShardServingMetrics:
     failovers_absorbed: int = 0
     generations: int = 1
     requests_requeued: int = 0
+    members_quarantined: int = 0
+    members_rearmed: int = 0
+    variant_divergences: int = 0
     latencies_ms: List[float] = field(default_factory=list)
+
+    def absorb_replica_counters(self, metrics) -> None:
+        """Fold one replica's Byzantine counters into this shard's
+        view.  ``getattr`` with a default keeps this a no-op for
+        metrics objects predating the voting counters."""
+        self.members_quarantined += getattr(metrics,
+                                            "members_quarantined", 0)
+        self.members_rearmed += getattr(metrics, "members_rearmed", 0)
+        self.variant_divergences += getattr(metrics,
+                                            "variant_divergences", 0)
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -47,6 +60,9 @@ class ShardServingMetrics:
             "failovers_absorbed": self.failovers_absorbed,
             "generations": self.generations,
             "requests_requeued": self.requests_requeued,
+            "members_quarantined": self.members_quarantined,
+            "members_rearmed": self.members_rearmed,
+            "variant_divergences": self.variant_divergences,
             "p50_latency_ms": percentile(self.latencies_ms, 50),
             "p99_latency_ms": percentile(self.latencies_ms, 99),
         }
@@ -67,6 +83,11 @@ class FleetServingMetrics:
     responses_wrong: int = 0
     failovers_absorbed: int = 0
     requests_requeued: int = 0
+    #: Byzantine-mode counters, summed across shards (all zero for
+    #: crash-fault-only fleets).
+    members_quarantined: int = 0
+    members_rearmed: int = 0
+    variant_divergences: int = 0
     #: Simulated wall-clock of the run (first arrival -> last completion).
     makespan_ms: float = 0.0
     latencies_ms: List[float] = field(default_factory=list)
@@ -101,6 +122,9 @@ class FleetServingMetrics:
             "responses_wrong": self.responses_wrong,
             "failovers_absorbed": self.failovers_absorbed,
             "requests_requeued": self.requests_requeued,
+            "members_quarantined": self.members_quarantined,
+            "members_rearmed": self.members_rearmed,
+            "variant_divergences": self.variant_divergences,
             "makespan_ms": round(self.makespan_ms, 3),
             "p50_latency_ms": round(self.p50_latency_ms, 3),
             "p99_latency_ms": round(self.p99_latency_ms, 3),

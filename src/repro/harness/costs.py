@@ -83,6 +83,17 @@ class CostModel:
     #: are priced like full-checkpoint chunks and bytes).
     delta_compose: float = 800.0
 
+    # --- quorum voting (Byzantine mode) -----------------------------------
+    vote_record: float = 45.0       # build + buffer one ballot record
+                                    # (vote bytes additionally pay
+                                    # per_byte through bytes_sent)
+    cert_check: float = 18.0        # tally lookup + certificate match
+                                    # per quorum decision
+    output_gate: float = 35.0       # hold one output at the commit gate
+                                    # until its certificate lands (the
+                                    # ack stall itself is priced via
+                                    # ack_rtt like every other commit)
+
     # --- native interception ---------------------------------------------
     native_check: float = 8.0       # hash-table lookup per nd/output native
     result_record: float = 25.0     # build one native-result record
@@ -143,6 +154,11 @@ class CostModel:
         ckpt = self.checkpoint_component(metrics)
         if ckpt:
             breakdown["checkpoint"] = ckpt
+        # Ballot traffic only exists for quorum-voting groups; crash
+        # fault runs keep their original components.
+        voting = self.voting_component(metrics)
+        if voting:
+            breakdown["voting"] = voting
         if strategy == "lock_sync":
             breakdown["lock_acquire"] = (
                 metrics.lock_records * self.lock_record
@@ -178,6 +194,17 @@ class CostModel:
             + metrics.delta_bytes * self.checkpoint_byte
             + metrics.deltas_composed * self.delta_compose
             + metrics.checkpoints_restored * self.checkpoint_restore
+        )
+
+    def voting_component(self, metrics: ReplicationMetrics) -> float:
+        """Cost of casting ballots, tallying certificates, and gating
+        outputs on quorum (zero for any non-voting run).  Vote wire
+        bytes are charged where every other byte is charged — this
+        component covers building the ballots and running the tally."""
+        return (
+            getattr(metrics, "votes_cast", 0) * self.vote_record
+            + getattr(metrics, "quorum_certs", 0) * self.cert_check
+            + getattr(metrics, "outputs_gated", 0) * self.output_gate
         )
 
     def backup_time(self, metrics: ReplicationMetrics) -> float:

@@ -66,6 +66,13 @@ class LogShipper:
         #: Optional observer invoked after every record is logged
         #: (e.g. the digest emitter counts scheduling records here).
         self.on_record = None
+        #: Optional quorum gate invoked at the end of every
+        #: :meth:`output_commit`, after the flush+ack round trip but
+        #: before the caller is allowed to execute the output command.
+        #: A voting group installs its certificate check here: the gate
+        #: raises (:class:`~repro.errors.PrimaryOutvoted`,
+        #: :class:`~repro.errors.QuorumLostError`) to veto the release.
+        self.commit_gate = None
         channel.on_flush = self._on_flush
         channel.on_ack_wait = self._on_ack
 
@@ -112,6 +119,8 @@ class LogShipper:
         rtt = self._channel.flush_and_wait_ack()
         if rtt:
             self.metrics.ack_wait_time += rtt
+        if self.commit_gate is not None:
+            self.commit_gate()
 
     def checkpoint_commit(self) -> None:
         """Flush a fully-logged checkpoint and wait for the ack.

@@ -98,6 +98,33 @@ class ReplicationConfig:
     #: any of them can seed the next generation's backup.
     k_backups: int = 1
 
+    # -- voting only (VotingGroup) --------------------------------------
+    #: Byzantine mode: run ``n_members = 2f+1`` replicas that ballot on
+    #: epoch digests and output payloads; no output is released without
+    #: a quorum certificate, and an outvoted member is quarantined and
+    #: re-armed through the checkpoint-transfer path.
+    voting: bool = False
+    #: Group size; must be odd (n = 2f+1).  f = (n-1)//2 members may
+    #: lie or flip bits without the group losing exactly-once outputs.
+    n_members: int = 3
+    #: Multi-variant execution guard: ``"step+slice"`` pins members to
+    #: alternating execution engines so any engine-specific miscompute
+    #: is outvoted *and* reported as a VariantDivergence.  None runs
+    #: every member on the configured base engine.
+    variants: Optional[str] = None
+    #: Escalate a VariantDivergence from an alarm to a raised
+    #: :class:`~repro.errors.VariantDivergenceError` (fail-stop MVEE).
+    variant_fail_stop: bool = False
+    #: Seeded corruption injector: ``("digest", epoch)``,
+    #: ``("digest", epoch, component)``, ``("output", ordinal)`` or
+    #: ``("output", ordinal, arg_index)`` — flips one byte of the named
+    #: digest component / output payload argument at that point, on
+    #: member ``lie_member``.  Deterministic and replayable.
+    lie_at: Optional[Tuple] = None
+    #: Which member the corruption injector runs on (0 = the proposer,
+    #: i.e. a lying primary; >0 = a bit-flipped follower).
+    lie_member: int = 0
+
     def merged(self, **overrides) -> "ReplicationConfig":
         """A copy with ``overrides`` applied; unknown names raise
         ``TypeError`` (they would have been unknown kwargs before)."""

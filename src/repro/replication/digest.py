@@ -114,6 +114,19 @@ class StateDigest:
             if name in mine and name in theirs and mine[name] != theirs[name]
         ]
 
+    def fingerprint(self, names: Tuple[str, ...] = COMPONENTS) -> int:
+        """A single 128-bit value summarizing the selected components.
+
+        Voting members ballot on this scalar rather than the full
+        component tuple: it is stable across replicas in equivalent
+        states (component digests are), order-independent of ``names``
+        permutations is *not* required (names come from one canonical
+        constant), and any single-component difference changes it."""
+        mine = self.as_dict()
+        w = "|".join(f"{name}={mine[name]:032x}" for name in names
+                     if name in mine)
+        return _h("fp:" + w)
+
 
 def _scalar_token(value: Any, ref_id: Callable[[Any], int]) -> str:
     from repro.runtime.values import JArray, JObject

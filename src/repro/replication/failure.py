@@ -44,7 +44,10 @@ class FailureDetector:
         self._beats_at_last_interval = 0
         self.silent_intervals = 0
         self.suspected = False
+        self.convicted = False
+        self.conviction_reason = ""
         self.intervals_observed = 0
+        self.suspicions_cleared = 0
 
     def reset(self, source: Optional[Callable[[], int]] = _UNSET) -> None:
         """Forget everything observed so far (new generation).
@@ -59,6 +62,8 @@ class FailureDetector:
         self._beats_at_last_interval = 0
         self.silent_intervals = 0
         self.suspected = False
+        self.convicted = False
+        self.conviction_reason = ""
         self.intervals_observed = 0
         if source is not _UNSET:
             self._source = source
@@ -77,18 +82,58 @@ class FailureDetector:
 
     # -- backup side ----------------------------------------------------
     def interval(self) -> bool:
-        """One detection interval elapsed; returns True when the
-        primary becomes suspected."""
+        """One detection interval elapsed; returns True while the
+        member is suspected or convicted.
+
+        Suspicion is *recoverable*: a transient hiccup (scheduling
+        stall, slow network) silences the heartbeats for a few
+        intervals, but once beats resume the member was merely slow,
+        not faulty, and the suspicion clears.  Conviction — set by
+        :meth:`convict` when a member is outvoted or fenced — is
+        permanent until :meth:`rearm`; resumed heartbeats never clear
+        it, because a liar is perfectly capable of beating on time.
+        """
         self.intervals_observed += 1
         beats = self.observed_heartbeats()
         if beats > self._beats_at_last_interval:
             self._beats_at_last_interval = beats
             self.silent_intervals = 0
+            if self.suspected and not self.convicted:
+                self.suspected = False
+                self.suspicions_cleared += 1
         else:
             self.silent_intervals += 1
             if self.silent_intervals >= self.timeout_intervals:
                 self.suspected = True
-        return self.suspected
+        return self.suspected or self.convicted
+
+    def absolve(self) -> None:
+        """Clear a live suspicion out-of-band (the member's latest
+        digest vote matched the quorum certificate, so it is provably
+        healthy even if its heartbeats are lagging).  No-op once
+        convicted."""
+        if self.convicted or not self.suspected:
+            return
+        self.suspected = False
+        self.silent_intervals = 0
+        self.suspicions_cleared += 1
+
+    def convict(self, reason: str = "") -> None:
+        """Permanently mark the member faulty (outvoted, equivocated,
+        or fenced).  Unlike suspicion this survives resumed heartbeats
+        and only :meth:`rearm` lifts it."""
+        self.convicted = True
+        self.conviction_reason = reason
+        self.suspected = True
+
+    def rearm(self) -> None:
+        """The member was rebuilt from a verified checkpoint: lift the
+        conviction and start counting from a clean slate."""
+        self.convicted = False
+        self.conviction_reason = ""
+        self.suspected = False
+        self.silent_intervals = 0
+        self._beats_at_last_interval = self.observed_heartbeats()
 
     def await_detection(self, max_intervals: int = 1_000) -> int:
         """Run intervals until suspicion fires; returns how many were

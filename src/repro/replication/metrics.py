@@ -89,6 +89,19 @@ class ReplicationMetrics:
     outputs_tested: int = 0
     outputs_reexecuted: int = 0
 
+    # --- Quorum voting (Byzantine mode) --------------------------------
+    votes_cast: int = 0              # ballots tallied (all members)
+    vote_bytes: int = 0              # wire bytes spent on vote records
+    quorum_certs: int = 0            # certificates formed (f+1 matches)
+    outputs_gated: int = 0           # outputs held for a quorum check
+    members_suspected: int = 0       # recoverable heartbeat suspicions
+    suspicions_cleared: int = 0      # suspicions absolved by resumed
+                                     # beats or a matching vote
+    members_quarantined: int = 0     # convictions (outvoted/equivocated)
+    members_rearmed: int = 0         # convicted members rebuilt from a
+                                     # verified checkpoint
+    variant_divergences: int = 0     # MVEE guard alarms
+
     # --- Serving (request/response lifecycle) -------------------------
     #: ``Server.recv`` takes executed live on this replica.
     requests_ingested: int = 0
@@ -131,6 +144,10 @@ class ReplicationMetrics:
                 "recovery_tail_records",
                 "requests_ingested", "responses_committed",
                 "requests_requeued",
+                "votes_cast", "vote_bytes", "quorum_certs",
+                "outputs_gated", "members_suspected",
+                "suspicions_cleared", "members_quarantined",
+                "members_rearmed", "variant_divergences",
             )
         }
         base["engine"] = self.engine

@@ -60,6 +60,13 @@ class PrimaryNativePolicy:
         self._metrics = metrics
         self._se = se_manager
         self._seqs: Dict[Vid, int] = {}
+        #: Optional voting hook, called with ``(jvm, spec, thread,
+        #: receiver, args, seq)`` before an output's intent is logged.
+        #: The voting group casts the proposer's payload ballot here —
+        #: and the seeded corruption injector mutates ``args`` in place
+        #: here, so a lying proposer proposes (and votes for) a payload
+        #: its peers will outvote before it can execute.
+        self.on_output_propose = None
 
     def would_starve(self, jvm, method, thread) -> bool:
         # A serving primary parks at the safe point when its request
@@ -84,6 +91,8 @@ class PrimaryNativePolicy:
 
         seq = self._next_seq(thread.vid)
         if spec.is_output:
+            if self.on_output_propose is not None:
+                self.on_output_propose(jvm, spec, thread, receiver, args, seq)
             # Pessimistic logging: nothing reaches the environment until
             # the backup has everything needed to reproduce our state.
             self._shipper.log(OutputIntentRecord(
@@ -146,6 +155,13 @@ class BackupNativePolicy:
         #: let the test/confirm/re-execute path resolve it instead of
         #: starving while waiting for a marker that can never arrive.
         self.tail_resolution = False
+        #: Optional voting hook, called with ``(jvm, spec, method,
+        #: thread, intent)`` each time a hot follower holds at an
+        #: output whose intent arrived but whose completion marker has
+        #: not: the exact point where this replica has independently
+        #: recomputed the output's payload and can ballot on it before
+        #: the proposer is allowed to release it.
+        self.on_output_hold = None
 
     def extend(self, results: Dict[Vid, List[NativeResultRecord]],
                intents: Dict[Vid, List[OutputIntentRecord]]) -> None:
@@ -175,6 +191,8 @@ class BackupNativePolicy:
             results = self._results.get(vid)
             if not results and self.tail_resolution:
                 return False
+            if not results and self.on_output_hold is not None:
+                self.on_output_hold(jvm, spec, method, thread, queue[0])
             return not results
         results = self._results.get(vid)
         return not results

@@ -49,6 +49,10 @@ KIND_CHECKPOINT_CHUNK = 10
 #: Reserved for :class:`repro.replication.checkpoint.DeltaChunkRecord`
 #: (steady-state incremental checkpoints), registered the same way.
 KIND_CHECKPOINT_DELTA = 11
+#: Reserved for :class:`repro.replication.voting.VoteRecord` (quorum
+#: ballots over digest/output fingerprints), registered on import with
+#: ``core=True`` like the digest and checkpoint kinds.
+KIND_VOTE = 12
 
 
 @dataclass(frozen=True)

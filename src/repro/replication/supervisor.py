@@ -104,6 +104,84 @@ class _GroupHeartbeatHooks(RunHooks):
         self._channel.heartbeat()
 
 
+# ======================================================================
+# Membership state machine (quorum-voting groups)
+# ======================================================================
+class MemberState:
+    """Lifecycle states of one voting-group member.
+
+    ``HEALTHY → SUSPECTED`` on missed heartbeats and back on resumed
+    beats or a quorum-matching vote (a slow member is not a faulty
+    member); ``→ CONVICTED`` only on hard evidence — outvoted by a
+    quorum certificate, equivocation, or an explicit fence — and then
+    only a checkpoint re-arm returns it to ``HEALTHY``.
+    """
+
+    HEALTHY = "healthy"
+    SUSPECTED = "suspected"
+    CONVICTED = "convicted"
+
+
+@dataclass
+class MemberSlot:
+    """Bookkeeping for one member slot of a voting group.
+
+    The slot's identity (index, pinned execution engine) outlives any
+    one incarnation of the member: quarantine destroys the runtime but
+    keeps the slot, and a re-arm builds a fresh runtime into it.
+    """
+
+    index: int
+    engine: str
+    detector: FailureDetector
+    state: str = MemberState.HEALTHY
+    role: str = "follower"               # "proposer" | "follower"
+    conviction: str = ""
+    #: How many times this slot's runtime has been (re)built — used to
+    #: give every incarnation a distinct environment session name.
+    incarnation: int = 0
+    quarantines: int = 0
+    rearms: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        return self.state != MemberState.CONVICTED
+
+    def suspect(self) -> bool:
+        """Mark suspected; returns True on a fresh HEALTHY→SUSPECTED
+        transition (convicted members stay convicted)."""
+        if self.state != MemberState.HEALTHY:
+            return False
+        self.state = MemberState.SUSPECTED
+        return True
+
+    def absolve(self) -> bool:
+        """A suspected member proved itself (resumed beats or a vote
+        matching the quorum certificate); returns True if a suspicion
+        was actually cleared."""
+        if self.state != MemberState.SUSPECTED:
+            return False
+        self.state = MemberState.HEALTHY
+        self.detector.absolve()
+        return True
+
+    def convict(self, reason: str) -> None:
+        """Hard evidence of a fault: permanent until :meth:`rearm`."""
+        if self.state == MemberState.CONVICTED:
+            return
+        self.state = MemberState.CONVICTED
+        self.conviction = reason
+        self.quarantines += 1
+        self.detector.convict(reason)
+
+    def rearm(self) -> None:
+        """Rebuilt from a digest-verified checkpoint: clean slate."""
+        self.state = MemberState.HEALTHY
+        self.conviction = ""
+        self.rearms += 1
+        self.detector.rearm()
+
+
 @dataclass
 class GenerationReport:
     """What happened while one epoch's primary held the role."""

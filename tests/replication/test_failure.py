@@ -93,3 +93,66 @@ def test_reset_rebinds_source_to_new_generation():
     d.reset(source=None)
     d.heartbeat()
     assert d.observed_heartbeats() == 1
+
+
+# ======================================================================
+# suspected vs convicted: slow is not faulty
+# ======================================================================
+def test_suspicion_clears_when_heartbeats_resume():
+    """A transient hiccup silences the beats long enough to suspect the
+    member; once they resume, it was merely slow — the suspicion clears
+    and no permanent state is left behind."""
+    d = FailureDetector(timeout_intervals=2)
+    d.heartbeat()
+    d.interval()
+    assert d.await_detection() >= 2            # hiccup -> suspected
+    assert d.suspected and not d.convicted
+    d.heartbeat()                              # beats resume
+    assert d.interval() is False               # recoverable: cleared
+    assert not d.suspected
+    assert d.suspicions_cleared == 1
+    assert d.silent_intervals == 0
+
+
+def test_absolve_clears_suspicion_out_of_band():
+    """A matching digest vote proves the member healthy even while its
+    heartbeats lag (the quorum absolves it before the next beat)."""
+    d = FailureDetector(timeout_intervals=1)
+    assert d.interval() is True
+    d.absolve()
+    assert not d.suspected
+    assert d.suspicions_cleared == 1
+    # Absolving an unsuspected member is a no-op, not a double-count.
+    d.absolve()
+    assert d.suspicions_cleared == 1
+
+
+def test_conviction_survives_resumed_heartbeats():
+    """A liar beats on time: resumed heartbeats must never lift a
+    conviction, and absolve() must refuse too."""
+    d = FailureDetector(timeout_intervals=2)
+    d.convict("outvoted on digest epoch 4")
+    assert d.convicted and d.suspected
+    for _ in range(5):
+        d.heartbeat()
+        assert d.interval() is True            # still out of the group
+    assert d.convicted
+    d.absolve()
+    assert d.convicted and d.suspected         # no out-of-band pardon
+    assert d.conviction_reason == "outvoted on digest epoch 4"
+
+
+def test_rearm_lifts_conviction_cleanly():
+    """Only the checkpoint-transfer re-arm path lifts a conviction; the
+    detector restarts from the current heartbeat watermark so the
+    quarantine gap is not counted as silence."""
+    d = FailureDetector(timeout_intervals=2)
+    for _ in range(4):
+        d.heartbeat()
+    d.convict("equivocated")
+    d.rearm()
+    assert not d.convicted and not d.suspected
+    assert d.conviction_reason == ""
+    assert d.interval() is False               # watermark: no false alarm
+    d.heartbeat()
+    assert d.interval() is False

@@ -1,0 +1,201 @@
+"""Property-based testing of the quorum tally.
+
+The :class:`~repro.replication.voting.QuorumTally` is the safety core
+of Byzantine mode: every output release hangs off one of its
+certificates.  Hypothesis explores the edge cases a scenario test
+would hand-pick:
+
+* the **f = 0 degenerate group** (n = 1) where every vote is its own
+  quorum;
+* **tie impossibility** — with at most two distinct values among
+  ``2f + 1`` voters, exactly one value can reach ``f + 1`` matching
+  votes, so a formed certificate is unique and final;
+* **duplicate and reordered ballots** — the certificate (and the set
+  of outvoted members) is independent of delivery order, and a
+  replayed duplicate is idempotent;
+* the **wire round trip** — ballots framed as
+  :class:`~repro.replication.voting.VoteRecord` survive a seeded
+  faulty transport (drops + retransmit, duplication, reordering) and
+  tally to the same certificate;
+* **checkpoint-truncation boundaries** — votes crossing
+  :meth:`~repro.replication.voting.QuorumTally.truncate_below` are
+  dropped below the floor and untouched above it, and stragglers from
+  truncated eras can never resurrect a slot.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.replication.records import decode_record, encode
+from repro.replication.transport import FaultyTransport
+from repro.replication.voting import QuorumTally, Vote, VoteRecord
+
+#: Group sizes under test: degenerate, the paper-plus-one triple, and
+#: one larger quorum.
+GROUP_SIZES = (1, 3, 5)
+
+
+def _ballots(n, values):
+    """One vote per member: member i votes values[i]."""
+    return [Vote(i, 0, "digest", (7,), value)
+            for i, value in enumerate(values)]
+
+
+def _tally_all(n, votes):
+    tally = QuorumTally(n)
+    verdicts = []
+    for vote in votes:
+        verdicts.extend(tally.add(vote))
+    return tally, verdicts
+
+
+# ======================================================================
+# f = 0: the degenerate single-member group
+# ======================================================================
+@given(value=st.integers(0, 2 ** 128 - 1))
+def test_single_member_vote_is_its_own_quorum(value):
+    tally, verdicts = _tally_all(1, _ballots(1, [value]))
+    cert = tally.certificate(("digest", 0, (7,)))
+    assert cert is not None and cert.value == value
+    assert cert.voters == (0,)
+    assert [v.kind for v in verdicts] == ["certified"]
+
+
+# ======================================================================
+# Tie impossibility under 2f + 1
+# ======================================================================
+@given(
+    n=st.sampled_from(GROUP_SIZES),
+    choices=st.lists(st.booleans(), min_size=5, max_size=5),
+)
+def test_two_values_cannot_both_reach_quorum(n, choices):
+    """However 2f+1 voters split between two values, exactly one side
+    reaches f+1: a certificate always forms, is unique, and the losing
+    side has at most f members — all of them outvoted."""
+    values = [100 if choices[i % len(choices)] else 200 for i in range(n)]
+    tally, verdicts = _tally_all(n, _ballots(n, values))
+    cert = tally.certificate(("digest", 0, (7,)))
+    assert cert is not None                      # no hung ballot
+    winners = [i for i in range(n) if values[i] == cert.value]
+    losers = [i for i in range(n) if values[i] != cert.value]
+    assert len(winners) >= tally.quorum
+    assert len(losers) <= tally.f
+    assert len([v for v in verdicts if v.kind == "certified"]) == 1
+    assert sorted(v.member for v in verdicts
+                  if v.kind == "outvoted") == losers
+
+
+# ======================================================================
+# Order independence, duplicates
+# ======================================================================
+@given(
+    n=st.sampled_from(GROUP_SIZES),
+    data=st.data(),
+)
+@settings(max_examples=60)
+def test_certificate_is_order_independent(n, data):
+    values = [data.draw(st.sampled_from([100, 200]), label=f"v{i}")
+              for i in range(n)]
+    votes = _ballots(n, values)
+    shuffled = data.draw(st.permutations(votes))
+    # Interleave duplicates of already-cast votes.
+    duplicated = []
+    for vote in shuffled:
+        duplicated.append(vote)
+        if duplicated and data.draw(st.booleans()):
+            duplicated.append(data.draw(st.sampled_from(duplicated)))
+    base, base_verdicts = _tally_all(n, votes)
+    perm, perm_verdicts = _tally_all(n, duplicated)
+    key = ("digest", 0, (7,))
+    assert base.certificate(key).value == perm.certificate(key).value
+    assert (sorted(v.member for v in base_verdicts if v.kind == "outvoted")
+            == sorted(v.member for v in perm_verdicts
+                      if v.kind == "outvoted"))
+    # Each member is ruled on at most once, however often its vote
+    # was replayed.
+    assert perm.votes_accepted == n
+    assert perm.votes_ignored == len(duplicated) - n
+
+
+@given(n=st.sampled_from((3, 5)))
+def test_equivocation_is_ruled_exactly_once(n):
+    tally = QuorumTally(n)
+    first = Vote(0, 0, "digest", (7,), 100)
+    second = Vote(0, 0, "digest", (7,), 200)
+    assert tally.add(first) == []
+    verdicts = tally.add(second)
+    assert [v.kind for v in verdicts] == ["equivocation"]
+    assert verdicts[0].member == 0
+    # Replaying either value yields no further ruling.
+    assert tally.add(second) == []
+    assert all(v.kind != "equivocation" for v in tally.add(first))
+
+
+# ======================================================================
+# The wire round trip over a faulty transport
+# ======================================================================
+@given(
+    seed=st.integers(0, 2 ** 16),
+    values=st.lists(st.sampled_from([100, 200]), min_size=3, max_size=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_votes_survive_faulty_transport(seed, values):
+    """Frame each ballot as a VoteRecord, ship the batches through a
+    seeded lossy/duplicating/reordering link, settle, decode what
+    arrived, and tally: same certificate as the direct feed."""
+    records = [VoteRecord(i, 0, "digest", (7,), v)
+               for i, v in enumerate(values)]
+    transport = FaultyTransport(seed=seed, drop_rate=0.2, dup_rate=0.2,
+                                reorder_rate=0.3)
+    for record in records:
+        transport.send([encode(record)])
+    transport.settle()
+    transport.close()
+
+    arrived = [decode_record(raw) for raw in transport.delivered]
+    assert [(r.member, r.value) for r in arrived] \
+        == [(r.member, r.value) for r in records]   # prefix property held
+
+    tally = QuorumTally(3)
+    for r in arrived:
+        tally.add(Vote(r.member, r.era, r.subject, r.index, r.value,
+                       r.engine))
+    direct, _ = _tally_all(3, _ballots(3, values))
+    key = ("digest", 0, (7,))
+    assert tally.certificate(key).value == direct.certificate(key).value
+
+
+# ======================================================================
+# Votes crossing a truncation boundary
+# ======================================================================
+@given(
+    floor=st.integers(1, 4),
+    eras=st.lists(st.integers(0, 5), min_size=1, max_size=12),
+)
+def test_truncation_drops_only_older_eras(floor, eras):
+    tally = QuorumTally(3)
+    for era in eras:
+        for member in range(3):
+            tally.add(Vote(member, era, "digest", (era,), 1000 + era))
+    tally.truncate_below(floor)
+    for era in set(eras):
+        cert = tally.certificate(("digest", era, (era,)))
+        if era >= floor:
+            assert cert is not None and cert.value == 1000 + era
+        else:
+            assert cert is None
+    # Stragglers below the floor are ignored — they can neither form a
+    # slot nor a certificate.
+    ignored_before = tally.votes_ignored
+    for member in range(3):
+        tally.add(Vote(member, floor - 1, "digest", (99,), 555))
+    assert tally.votes_ignored == ignored_before + 3
+    assert tally.certificate(("digest", floor - 1, (99,))) is None
+    assert tally.uncertified(floor - 1) == []
+
+
+def test_even_group_sizes_rejected():
+    from repro.errors import ReplicationError
+    for n in (0, 2, 4):
+        with pytest.raises(ReplicationError):
+            QuorumTally(n)
