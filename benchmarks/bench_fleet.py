@@ -51,8 +51,9 @@ _TRAFFIC = {
 _CRASH_SHARD = 1
 
 
-def _run_scenario(profile, crash):
+def _run_scenario(profile, crash, voting=False):
     from repro.fleet import Fleet, TrafficSpec
+    from repro.replication.config import ReplicationConfig
     from repro.workloads import DB_SERVER
 
     shape = _TRAFFIC[profile]
@@ -63,9 +64,13 @@ def _run_scenario(profile, crash):
     if crash:
         schedule = {0: shape["crash_at"]}
         crash_for = (lambda s: schedule if s == _CRASH_SHARD else None)
+    config = None
+    if voting:
+        config = ReplicationConfig(voting=True, n_members=3,
+                                   strategy="thread_sched")
     start = time.perf_counter()
     fleet = Fleet(shape["n_shards"], profile=profile,
-                  crash_schedule_for=crash_for)
+                  config=config, crash_schedule_for=crash_for)
     metrics = fleet.serve_open_loop(spec)
     wall = time.perf_counter() - start
     report = metrics.as_dict()
@@ -73,16 +78,24 @@ def _run_scenario(profile, crash):
     return report
 
 
-def run_suite(profile="bench"):
-    """Both scenarios as a JSON-ready report dict."""
+def run_suite(profile="bench", voting=False):
+    """Both scenarios (plus the voting fleet when asked) as a
+    JSON-ready report dict."""
+    scenarios = {
+        "steady": _run_scenario(profile, crash=False),
+        "crash_under_load": _run_scenario(profile, crash=True),
+    }
+    if voting:
+        # Same traffic, every shard a 3-member quorum-voting group:
+        # the price of balloting every digest epoch and holding each
+        # output for an f+1 certificate, on the same simulated clock.
+        scenarios["voting_steady"] = _run_scenario(
+            profile, crash=False, voting=True)
     return {
         "profile": profile,
         "traffic": dict(_TRAFFIC[profile]),
         "crash_shard": _CRASH_SHARD,
-        "scenarios": {
-            "steady": _run_scenario(profile, crash=False),
-            "crash_under_load": _run_scenario(profile, crash=True),
-        },
+        "scenarios": scenarios,
     }
 
 
@@ -121,7 +134,7 @@ def _violations(report):
 # pytest entry point
 # ----------------------------------------------------------------------
 def test_fleet_bench(bench_profile, save_result):
-    report = run_suite(bench_profile)
+    report = run_suite(bench_profile, voting=True)
     save_result("fleet_serving", render(report))
     results_dir = os.path.join(os.path.dirname(__file__), "results")
     with open(os.path.join(results_dir, "BENCH_fleet.json"), "w") as fh:
@@ -144,9 +157,12 @@ def main(argv=None):
         "REPRO_BENCH_PROFILE", "bench"), choices=sorted(_TRAFFIC))
     parser.add_argument("--json", default="BENCH_fleet.json",
                         metavar="PATH", help="write the report here")
+    parser.add_argument("--voting", action="store_true",
+                        help="add a quorum-voting fleet scenario "
+                             "(3-member groups per shard) to the report")
     args = parser.parse_args(argv)
 
-    report = run_suite(args.profile)
+    report = run_suite(args.profile, voting=args.voting)
     with open(args.json, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
@@ -156,6 +172,13 @@ def main(argv=None):
           f"{crash['requests_requeued']} request(s) requeued, "
           f"p99 {crash['p99_latency_ms']:.1f}ms vs steady "
           f"{report['scenarios']['steady']['p99_latency_ms']:.1f}ms")
+    if args.voting:
+        v = report["scenarios"]["voting_steady"]
+        print(f"voting fleet: p50 {v['p50_latency_ms']:.3f}ms "
+              f"p99 {v['p99_latency_ms']:.3f}ms "
+              f"{v['throughput_rps']:.1f}rps "
+              f"({v['votes_cast']} votes, {v['quorum_certs']} certs, "
+              f"{v['outputs_gated']} outputs gated)")
     bad = _violations(report)
     if bad:
         for line in bad:

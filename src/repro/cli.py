@@ -271,6 +271,61 @@ def _cmd_conform(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _parse_lie_spec(text: str):
+    """``digest:EPOCH`` / ``output:ORDINAL`` -> a config ``lie_at``."""
+    kind, sep, num = text.partition(":")
+    if not sep or kind not in ("digest", "output"):
+        raise ReproError(
+            f"--lie-spec wants 'digest:EPOCH' or 'output:ORDINAL', "
+            f"got {text!r}"
+        )
+    try:
+        return (kind, int(num))
+    except ValueError:
+        raise ReproError(
+            f"--lie-spec target must be an integer, got {text!r}"
+        ) from None
+
+
+def _parse_outage(text: str):
+    """``START:END[:DIR]`` -> a :class:`LinkOutage`."""
+    from repro.replication.transport import LinkOutage
+
+    parts = text.split(":")
+    if len(parts) not in (2, 3):
+        raise ReproError(
+            f"--outage wants 'START:END[:both|fwd|rev]', got {text!r}"
+        )
+    try:
+        start, end = float(parts[0]), float(parts[1])
+    except ValueError:
+        raise ReproError(
+            f"--outage window must be numeric ticks, got {text!r}"
+        ) from None
+    return LinkOutage(start, end, parts[2] if len(parts) == 3 else "both")
+
+
+def _parse_member_partition(text: str):
+    """``MEMBER:START:END[:UNIT]`` -> a :class:`MemberPartition`."""
+    from repro.replication.transport import MemberPartition
+
+    parts = text.split(":")
+    if len(parts) not in (3, 4):
+        raise ReproError(
+            f"--member-partition wants 'MEMBER:START:END[:records|time]', "
+            f"got {text!r}"
+        )
+    try:
+        member = int(parts[0])
+        start, end = float(parts[1]), float(parts[2])
+    except ValueError:
+        raise ReproError(
+            f"--member-partition fields must be numeric, got {text!r}"
+        ) from None
+    return MemberPartition(member, start, end,
+                           parts[3] if len(parts) == 4 else "records")
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     import json
 
@@ -286,6 +341,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                        seed=args.seed)
     crash_for = None
     if args.crash_shard is not None:
+        if args.voting:
+            raise ReproError(
+                "--crash-shard injects fail-stop, but a voting fleet "
+                "convicts on evidence; seed a liar with --lie-shard and "
+                "--lie-spec instead"
+            )
         if not 0 <= args.crash_shard < args.shards:
             raise ReproError(
                 f"--crash-shard {args.crash_shard} out of range for "
@@ -293,15 +354,74 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             )
         schedule = {args.crash_generation: args.crash_at}
         crash_for = (lambda s: schedule if s == args.crash_shard else None)
+
+    lie_at = None
+    if not args.voting:
+        for flag, value in (("--members", args.members != 3),
+                            ("--variants", args.variants),
+                            ("--lie-shard", args.lie_shard is not None),
+                            ("--lie-spec", args.lie_spec is not None)):
+            if value:
+                raise ReproError(f"{flag} only makes sense with --voting")
+    else:
+        if args.members < 3 or args.members % 2 == 0:
+            raise ReproError(
+                f"a voting fleet needs an odd member count of at least "
+                f"3 (n = 2f + 1), got {args.members}"
+            )
+        if (args.lie_spec is None) != (args.lie_shard is None):
+            raise ReproError(
+                "--lie-shard and --lie-spec come as a pair: the shard "
+                "that lies and where it lies"
+            )
+        if args.lie_spec is not None:
+            lie_at = _parse_lie_spec(args.lie_spec)
+
+    transport_for = None
+    base_spec = transport_from_spec(args.transport, args.seed)
+    if args.outage or args.member_partition:
+        if args.chaos_shard is None:
+            raise ReproError(
+                "--outage/--member-partition describe the chaos "
+                "schedule; pick the shard with --chaos-shard"
+            )
+    if args.chaos_shard is not None:
+        from repro.replication.transport import ChaosTransport
+
+        if not 0 <= args.chaos_shard < args.shards:
+            raise ReproError(
+                f"--chaos-shard {args.chaos_shard} out of range for "
+                f"{args.shards} shards"
+            )
+        chaos = ChaosTransport(
+            seed=args.seed,
+            outages=tuple(_parse_outage(t) for t in (args.outage or ())),
+            member_partitions=tuple(
+                _parse_member_partition(t)
+                for t in (args.member_partition or ())
+            ),
+        )
+        transport_for = (lambda s: chaos if s == args.chaos_shard
+                         else base_spec)
+
     fleet = Fleet(
         args.shards,
         profile=args.profile,
         config=ReplicationConfig(
-            strategy=args.strategy,
-            transport=transport_from_spec(args.transport, args.seed),
+            # Voting needs the lockstep strategy (per-epoch digest
+            # ballots); the flag is forced rather than surfaced.
+            strategy="thread_sched" if args.voting else args.strategy,
+            transport=base_spec,
             jvm_config=JVMConfig(engine=args.engine),
+            voting=args.voting,
+            n_members=args.members,
+            variants="step+slice" if args.variants else None,
+            lie_at=lie_at,
+            lie_member=args.lie_member,
         ),
         crash_schedule_for=crash_for,
+        lie_shard=args.lie_shard,
+        transport_for=transport_for,
     )
     metrics = fleet.serve_open_loop(spec)
     report = metrics.as_dict()
@@ -322,6 +442,19 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     print(f"[failovers={metrics.failovers_absorbed} "
           f"requeued={metrics.requests_requeued} "
           f"exactly_once={metrics.exactly_once}]", file=sys.stderr)
+    if args.voting:
+        print(f"[voting members={args.members} "
+              f"votes={metrics.votes_cast} "
+              f"certs={metrics.quorum_certs} "
+              f"gated={metrics.outputs_gated} "
+              f"quarantined={metrics.members_quarantined} "
+              f"rearmed={metrics.members_rearmed} "
+              f"suspected={metrics.members_suspected} "
+              f"cleared={metrics.suspicions_cleared} "
+              f"demotions={metrics.engine_demotions}"
+              + (f" degraded_to={metrics.degraded_to}"
+                 if metrics.degraded_to else "")
+              + "]", file=sys.stderr)
     return 0 if metrics.exactly_once else 1
 
 
@@ -519,6 +652,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--crash-generation", type=int, default=0,
                          metavar="G",
                          help="generation to crash (with --crash-shard)")
+    p_fleet.add_argument("--voting", action="store_true",
+                         help="run every shard as an n-member quorum-"
+                              "voting group (Byzantine fault model) "
+                              "instead of a primary-backup pair")
+    p_fleet.add_argument("--members", type=int, default=3, metavar="N",
+                         help="voting group size per shard (odd, "
+                              "n = 2f+1; with --voting; default 3)")
+    p_fleet.add_argument("--variants", action="store_true",
+                         help="arm the step+slice multi-variant engine "
+                              "guard on every voting shard (a confirmed "
+                              "engine-correlated divergence demotes the "
+                              "whole fleet to the step engine)")
+    p_fleet.add_argument("--lie-shard", type=int, default=None,
+                         metavar="S",
+                         help="seed one Byzantine liar on shard S "
+                              "(with --voting and --lie-spec)")
+    p_fleet.add_argument("--lie-spec", default=None, metavar="KIND:N",
+                         help="where the liar lies: 'digest:EPOCH' or "
+                              "'output:ORDINAL' (serving traffic is "
+                              "single-threaded, so only output lies "
+                              "fire under load)")
+    p_fleet.add_argument("--lie-member", type=int, default=0, metavar="M",
+                         help="which member of the lying shard lies "
+                              "(0 = the proposer; default 0)")
+    p_fleet.add_argument("--chaos-shard", type=int, default=None,
+                         metavar="S",
+                         help="run shard S on a seeded ChaosTransport "
+                              "carrying the --outage/--member-partition "
+                              "schedule")
+    p_fleet.add_argument("--outage", action="append", default=None,
+                         metavar="START:END[:DIR]",
+                         help="cut the chaos shard's link over a "
+                              "virtual-time window; DIR is 'both' "
+                              "(default), 'fwd', or the asymmetric "
+                              "'rev' (repeatable)")
+    p_fleet.add_argument("--member-partition", action="append",
+                         default=None, metavar="M:START:END[:UNIT]",
+                         help="partition member M of the chaos shard "
+                              "from the delivered log; UNIT is "
+                              "'records' (default) or 'time' "
+                              "(repeatable)")
     p_fleet.add_argument("--json", default=None, metavar="PATH",
                          help="write the fleet metrics report here")
     add_replication_options(p_fleet)

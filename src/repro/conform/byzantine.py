@@ -74,7 +74,8 @@ def make_byzantine_spec(workload: str, *, n_members: int = 3,
 def build_group(spec: Dict[str, Any],
                 env: Environment,
                 lie_at: Optional[Tuple] = None,
-                lie_member: int = 0) -> VotingGroup:
+                lie_member: int = 0,
+                lie_specs: Tuple = ()) -> VotingGroup:
     workload = get_workload(spec["workload"])
     return VotingGroup(
         workload.registry(),
@@ -88,6 +89,7 @@ def build_group(spec: Dict[str, Any],
             variants=spec.get("variants"),
             lie_at=lie_at,
             lie_member=lie_member,
+            lie_specs=tuple(lie_specs),
         ),
     )
 
@@ -163,9 +165,18 @@ def byzantine_reference(spec: Dict[str, Any]) -> ByzantineReference:
 # ======================================================================
 def _check_result(spec: Dict[str, Any], result: VotingResult,
                   env: Environment, reference: ByzantineReference,
-                  expected_liar: Optional[int]) -> List[Dict[str, Any]]:
-    """Assert one run's obligations; returns failure dicts (empty=ok)."""
+                  expected_liar) -> List[Dict[str, Any]]:
+    """Assert one run's obligations; returns failure dicts (empty=ok).
+
+    ``expected_liar`` is ``None`` (honest run), one member index, or a
+    list of indices for simultaneous liars (``f >= 2`` cells)."""
     failures: List[Dict[str, Any]] = []
+    if expected_liar is None:
+        expected_liars: List[int] = []
+    elif isinstance(expected_liar, int):
+        expected_liars = [expected_liar]
+    else:
+        expected_liars = sorted(expected_liar)
 
     def failure(kind: str, detail: str) -> None:
         failures.append({"kind": kind, "detail": detail})
@@ -195,7 +206,7 @@ def _check_result(spec: Dict[str, Any], result: VotingResult,
                 f"in component(s) {', '.join(mismatched)}")
 
     liars = [incident.member for incident in result.incidents]
-    if expected_liar is None:
+    if not expected_liars:
         if liars:
             failure("false_positive",
                     f"honest run quarantined member(s) {liars}")
@@ -204,12 +215,12 @@ def _check_result(spec: Dict[str, Any], result: VotingResult,
                     f"honest run raised {len(result.divergences)} "
                     f"variant divergence(s)")
     else:
-        if liars != [expected_liar]:
+        if sorted(liars) != expected_liars:
             failure("wrong_conviction",
-                    f"expected exactly member {expected_liar} "
-                    f"quarantined, got {liars}")
+                    f"expected exactly member(s) {expected_liars} "
+                    f"quarantined, got {sorted(liars)}")
         innocents = [d.member for d in result.divergences
-                     if d.member != expected_liar]
+                     if d.member not in expected_liars]
         if innocents:
             failure("false_alarm",
                     f"variant guard blamed innocent member(s) "
@@ -218,16 +229,26 @@ def _check_result(spec: Dict[str, Any], result: VotingResult,
 
 
 def check_corruption(spec: Dict[str, Any], reference: ByzantineReference,
-                     lie_at: Tuple, lie_member: int
+                     lie_at: Tuple, lie_member: int,
+                     extra_lies: Tuple = ()
                      ) -> Optional[Dict[str, Any]]:
-    """Run one seeded-lie cell; ``None`` means every invariant held."""
+    """Run one seeded-lie cell; ``None`` means every invariant held.
+
+    ``extra_lies`` are additional simultaneous ``(lie_at, lie_member)``
+    pairs — with ``n_members = 5`` (f = 2) the group must convict every
+    liar at once without losing exactly-once outputs."""
     workload = get_workload(spec["workload"])
     env = Environment()
-    group = build_group(spec, env, lie_at=lie_at, lie_member=lie_member)
-    role = "proposer" if lie_member == 0 else "follower"
+    group = build_group(spec, env, lie_at=lie_at, lie_member=lie_member,
+                        lie_specs=extra_lies)
+    liars = sorted({lie_member} | {m for _, m in extra_lies})
+    role = "proposer" if 0 in liars else "follower"
+    if len(liars) > 1:
+        role += "s" if role == "follower" else "+follower"
 
     def failure(kind: str, detail: str) -> Dict[str, Any]:
         return {"lie": list(lie_at), "lie_member": lie_member,
+                "extra_lies": [[list(a), m] for a, m in extra_lies],
                 "role": role, "kind": kind, "detail": detail}
 
     try:
@@ -235,16 +256,17 @@ def check_corruption(spec: Dict[str, Any], reference: ByzantineReference,
     except ReproError as err:
         return failure("error", f"{type(err).__name__}: {err}")
 
-    if not group.injector.fired:
+    n_lies = 1 + len(extra_lies)
+    if len(group.injector.fired) != n_lies:
         return failure("lie_not_injected",
-                       f"corruption {lie_at} on member {lie_member} "
-                       f"never fired")
+                       f"{n_lies} corruption(s) armed on member(s) "
+                       f"{liars} but only {group.injector.fired} fired")
     checks = _check_result(spec, result, env, reference,
-                           expected_liar=lie_member)
+                           expected_liar=liars)
     if checks:
         first = checks[0]
         return failure(first["kind"], first["detail"])
-    if role == "proposer" and result.final_era < 1 \
+    if 0 in liars and result.final_era < 1 \
             and result.outcome != "completed_in_recovery":
         return failure("no_deposition",
                        "a lying proposer completed era 0 unchallenged")
@@ -302,7 +324,11 @@ def sweep_byzantine_cell(spec: Dict[str, Any], *, stride: int = 1,
                          follower_member: int = 1,
                          progress=None) -> ByzantineCellResult:
     """Sweep every observed artifact of one workload, lying once as
-    the proposer and once as a follower per artifact."""
+    the proposer and once as a follower per artifact.  With
+    ``n_members >= 5`` (f = 2) each artifact also gets two
+    *simultaneous*-liar cells: proposer + follower lying at once, and
+    two followers lying at once — every liar must be convicted in one
+    era."""
     reference = byzantine_reference(spec)
     stride = max(1, stride)
     epochs = reference.digest_epochs[::stride]
@@ -310,17 +336,28 @@ def sweep_byzantine_cell(spec: Dict[str, Any], *, stride: int = 1,
         epochs = epochs + [reference.final_epoch]
     ordinals = reference.output_ordinals[::stride]
 
-    lies: List[Tuple[Tuple, int]] = []
+    dual = spec["n_members"] >= 5
+    second = follower_member + 1
+    lies: List[Tuple[Tuple, int, Tuple]] = []
     for epoch in epochs:
-        lies.append((("digest", epoch), 0))
-        lies.append((("digest", epoch), follower_member))
+        target = ("digest", epoch)
+        lies.append((target, 0, ()))
+        lies.append((target, follower_member, ()))
+        if dual:
+            lies.append((target, 0, ((target, follower_member),)))
+            lies.append((target, follower_member, ((target, second),)))
     for ordinal in ordinals:
-        lies.append((("output", ordinal), 0))
-        lies.append((("output", ordinal), follower_member))
+        target = ("output", ordinal)
+        lies.append((target, 0, ()))
+        lies.append((target, follower_member, ()))
+        if dual:
+            lies.append((target, 0, ((target, follower_member),)))
+            lies.append((target, follower_member, ((target, second),)))
 
     failures: List[Dict[str, Any]] = []
-    for lie_at, lie_member in lies:
-        entry = check_corruption(spec, reference, lie_at, lie_member)
+    for lie_at, lie_member, extra in lies:
+        entry = check_corruption(spec, reference, lie_at, lie_member,
+                                 extra)
         if entry is not None:
             failures.append(entry)
         if progress is not None:

@@ -8,6 +8,7 @@ serial reference answers; :mod:`~repro.fleet.metrics` reports latency
 percentiles, throughput, and the exactly-once verdict.
 """
 
+from repro.fleet.degradation import DegradationController
 from repro.fleet.fleet import UNITS_PER_MS, Fleet, key_of, shard_of
 from repro.fleet.metrics import (
     FleetServingMetrics,
@@ -23,6 +24,7 @@ from repro.fleet.traffic import (
 )
 
 __all__ = [
+    "DegradationController",
     "Fleet",
     "FleetServingMetrics",
     "Request",

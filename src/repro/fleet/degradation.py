@@ -1,0 +1,53 @@
+"""Fleet-level graceful degradation.
+
+The MVEE guard (``variants="step+slice"``) turns an engine-specific
+miscompute into a :class:`~repro.replication.voting.VariantDivergence`:
+an outvoted ballot whose execution engine differs from every engine in
+the certifying majority.  One shard outvoting the bad engine keeps
+*that* shard correct, but the faulty engine is a fleet-wide liability —
+every shard running it is one quorum away from the same alarm.
+
+:class:`DegradationController` is the fleet's response policy: it
+subscribes to every shard group's ``on_divergence`` hook, and once the
+evidence is confirmed (``confirm_after`` alarms; the default 1 treats a
+single engine-correlated divergence as proof, which it is — the guard
+already filtered out member-correlated faults) it asks **every** shard
+to demote itself to the oracle engine.  Demotion is cooperative: each
+group lands it at its own next replayable safe-point boundary, via the
+same checkpoint-transfer path a quarantine re-arm uses, so no request
+is lost or duplicated and the fleet keeps serving throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class DegradationController:
+    """Consumes divergence alarms; demotes the whole fleet once."""
+
+    fleet: object
+    #: Engine the fleet falls back to ("step" is the reference oracle).
+    target_engine: str = "step"
+    #: Alarms required before the fleet-wide demotion triggers.
+    confirm_after: int = 1
+    #: Every (shard, VariantDivergence) observed, in arrival order.
+    divergences: List[Tuple[int, object]] = field(default_factory=list)
+    demoted: bool = False
+
+    def on_divergence(self, shard: int, divergence) -> None:
+        """One shard's MVEE guard fired; demote when confirmed."""
+        self.divergences.append((shard, divergence))
+        if not self.demoted and len(self.divergences) >= self.confirm_after:
+            self.demote()
+
+    def demote(self) -> None:
+        """Ask every shard group to rebuild onto the target engine at
+        its next safe-point.  Idempotent."""
+        if self.demoted:
+            return
+        self.demoted = True
+        for group in self.fleet.groups:
+            group.request_demotion(self.target_engine)

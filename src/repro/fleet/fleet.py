@@ -35,6 +35,7 @@ from typing import Callable, List, Optional, Sequence, Union
 
 from repro.env.environment import Environment
 from repro.errors import ReplicationError
+from repro.fleet.degradation import DegradationController
 from repro.fleet.metrics import FleetServingMetrics, ShardServingMetrics
 from repro.fleet.traffic import (
     Request,
@@ -46,6 +47,7 @@ from repro.harness.costs import CostModel
 from repro.replication.config import ReplicationConfig
 from repro.replication.supervisor import ReplicaGroup
 from repro.replication.transport import Transport, TransportMux, make_transport
+from repro.replication.voting import VotingGroup
 from repro.workloads import DB_SERVER
 from repro.workloads.base import Workload
 
@@ -86,6 +88,8 @@ class Fleet:
         config: Optional[ReplicationConfig] = None,
         crash_schedule_for: Optional[Callable[[int], object]] = None,
         cost_model: Optional[CostModel] = None,
+        lie_shard: Optional[int] = None,
+        transport_for: Optional[Callable[[int], object]] = None,
     ) -> None:
         if n_shards < 1:
             raise ReplicationError("a fleet needs at least one shard")
@@ -96,21 +100,56 @@ class Fleet:
         self.cost = cost_model or CostModel()
         self.mux = TransportMux()
         base = config or ReplicationConfig()
+        self.voting = bool(base.voting)
+        if self.voting and crash_schedule_for is not None:
+            raise ReplicationError(
+                "voting shards convict on evidence, not injected "
+                "fail-stop; drop crash_schedule_for (seed a liar with "
+                "lie_shard + lie_at instead)"
+            )
+        if lie_shard is not None and not 0 <= lie_shard < n_shards:
+            raise ReplicationError(
+                f"lie_shard {lie_shard} out of range for {n_shards} shards"
+            )
         registry = workload.compile(profile)
 
-        self.groups: List[ReplicaGroup] = []
+        self.groups: List = []
         self._shard_transports: List[Optional[Transport]] = [None] * n_shards
         for shard in range(n_shards):
             env = Environment()
             workload.prepare_env(env, profile)
+            spec = (transport_for(shard) if transport_for is not None
+                    else base.transport)
             overrides = {
-                "transport": self._muxed_factory(base.transport, shard),
+                "transport": self._muxed_factory(spec, shard),
             }
-            if crash_schedule_for is not None:
-                overrides["crash_schedule"] = crash_schedule_for(shard)
-            group = ReplicaGroup(registry, env=env,
-                                 config=base.merged(**overrides))
+            if self.voting:
+                if lie_shard is not None and shard != lie_shard:
+                    # The seeded liar lives on exactly one shard; the
+                    # others run honest.
+                    overrides["lie_at"] = None
+                    overrides["lie_specs"] = ()
+                group = VotingGroup(registry, env=env,
+                                    config=base.merged(**overrides))
+            else:
+                if crash_schedule_for is not None:
+                    overrides["crash_schedule"] = crash_schedule_for(shard)
+                group = ReplicaGroup(registry, env=env,
+                                     config=base.merged(**overrides))
             self.groups.append(group)
+
+        #: Graceful degradation: one controller subscribed to every
+        #: voting shard's MVEE guard; a confirmed engine-correlated
+        #: divergence anywhere demotes the whole fleet to the oracle
+        #: engine at each shard's next safe-point.
+        self.degradation: Optional[DegradationController] = None
+        if self.voting:
+            self.degradation = DegradationController(self)
+            for shard, group in enumerate(self.groups):
+                group.on_divergence = (
+                    lambda div, s=shard:
+                    self.degradation.on_divergence(s, div)
+                )
         self._started = False
         #: Per-shard simulated time through which the shard is busy.
         self._busy_until_ms = [0.0] * n_shards
@@ -244,10 +283,19 @@ class Fleet:
                 for r in group.reports if r.recovery_metrics is not None
             )
             for report in group.reports:
-                for replica_metrics in (report.primary_metrics,
-                                        report.recovery_metrics):
+                # GenerationReport calls it primary_metrics; an era's
+                # EraReport calls it proposer_metrics.
+                for replica_metrics in (
+                    getattr(report, "primary_metrics", None)
+                    or getattr(report, "proposer_metrics", None),
+                    report.recovery_metrics,
+                ):
                     if replica_metrics is not None:
                         sm.absorb_replica_counters(replica_metrics)
+            if self.voting:
+                # Quorum counters are group-owned, not per-era.
+                sm.absorb_replica_counters(group.metrics)
+                sm.engine = group.base_config.engine
             for req in by_shard[shard]:
                 answer = responses.get(req.rid)
                 if answer is None:
@@ -263,4 +311,12 @@ class Fleet:
             fm.members_quarantined += sm.members_quarantined
             fm.members_rearmed += sm.members_rearmed
             fm.variant_divergences += sm.variant_divergences
+            fm.members_suspected += sm.members_suspected
+            fm.suspicions_cleared += sm.suspicions_cleared
+            fm.engine_demotions += sm.engine_demotions
+            fm.votes_cast += sm.votes_cast
+            fm.quorum_certs += sm.quorum_certs
+            fm.outputs_gated += sm.outputs_gated
+        if self.degradation is not None and self.degradation.demoted:
+            fm.degraded_to = self.degradation.target_engine
         fm.per_shard = shards

@@ -39,17 +39,27 @@ class ShardServingMetrics:
     members_quarantined: int = 0
     members_rearmed: int = 0
     variant_divergences: int = 0
+    #: Quorum-voting counters (all zero for crash-fault-only shards).
+    votes_cast: int = 0
+    quorum_certs: int = 0
+    outputs_gated: int = 0
+    members_suspected: int = 0
+    suspicions_cleared: int = 0
+    engine_demotions: int = 0
+    #: Execution engine the shard ended the run on ("" = non-voting).
+    engine: str = ""
     latencies_ms: List[float] = field(default_factory=list)
 
     def absorb_replica_counters(self, metrics) -> None:
         """Fold one replica's Byzantine counters into this shard's
         view.  ``getattr`` with a default keeps this a no-op for
         metrics objects predating the voting counters."""
-        self.members_quarantined += getattr(metrics,
-                                            "members_quarantined", 0)
-        self.members_rearmed += getattr(metrics, "members_rearmed", 0)
-        self.variant_divergences += getattr(metrics,
-                                            "variant_divergences", 0)
+        for name in ("members_quarantined", "members_rearmed",
+                     "variant_divergences", "votes_cast", "quorum_certs",
+                     "outputs_gated", "members_suspected",
+                     "suspicions_cleared", "engine_demotions"):
+            setattr(self, name,
+                    getattr(self, name) + getattr(metrics, name, 0))
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -63,6 +73,13 @@ class ShardServingMetrics:
             "members_quarantined": self.members_quarantined,
             "members_rearmed": self.members_rearmed,
             "variant_divergences": self.variant_divergences,
+            "votes_cast": self.votes_cast,
+            "quorum_certs": self.quorum_certs,
+            "outputs_gated": self.outputs_gated,
+            "members_suspected": self.members_suspected,
+            "suspicions_cleared": self.suspicions_cleared,
+            "engine_demotions": self.engine_demotions,
+            "engine": self.engine,
             "p50_latency_ms": percentile(self.latencies_ms, 50),
             "p99_latency_ms": percentile(self.latencies_ms, 99),
         }
@@ -88,6 +105,14 @@ class FleetServingMetrics:
     members_quarantined: int = 0
     members_rearmed: int = 0
     variant_divergences: int = 0
+    votes_cast: int = 0
+    quorum_certs: int = 0
+    outputs_gated: int = 0
+    members_suspected: int = 0
+    suspicions_cleared: int = 0
+    engine_demotions: int = 0
+    #: Engine the fleet degraded to ("" = never demoted).
+    degraded_to: str = ""
     #: Simulated wall-clock of the run (first arrival -> last completion).
     makespan_ms: float = 0.0
     latencies_ms: List[float] = field(default_factory=list)
@@ -125,6 +150,13 @@ class FleetServingMetrics:
             "members_quarantined": self.members_quarantined,
             "members_rearmed": self.members_rearmed,
             "variant_divergences": self.variant_divergences,
+            "votes_cast": self.votes_cast,
+            "quorum_certs": self.quorum_certs,
+            "outputs_gated": self.outputs_gated,
+            "members_suspected": self.members_suspected,
+            "suspicions_cleared": self.suspicions_cleared,
+            "engine_demotions": self.engine_demotions,
+            "degraded_to": self.degraded_to,
             "makespan_ms": round(self.makespan_ms, 3),
             "p50_latency_ms": round(self.p50_latency_ms, 3),
             "p99_latency_ms": round(self.p99_latency_ms, 3),

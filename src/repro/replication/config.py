@@ -124,6 +124,12 @@ class ReplicationConfig:
     #: Which member the corruption injector runs on (0 = the proposer,
     #: i.e. a lying primary; >0 = a bit-flipped follower).
     lie_member: int = 0
+    #: Additional simultaneous liars: a sequence of ``(lie_at,
+    #: lie_member)`` pairs layered on top of ``lie_at``/``lie_member``.
+    #: With ``n_members = 5`` (f = 2) the group must convict two
+    #: simultaneous liars in one era without losing exactly-once
+    #: outputs.
+    lie_specs: Sequence[Tuple] = ()
 
     def merged(self, **overrides) -> "ReplicationConfig":
         """A copy with ``overrides`` applied; unknown names raise

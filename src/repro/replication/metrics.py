@@ -101,6 +101,10 @@ class ReplicationMetrics:
     members_rearmed: int = 0         # convicted members rebuilt from a
                                      # verified checkpoint
     variant_divergences: int = 0     # MVEE guard alarms
+    #: Graceful degradations: the whole group rebuilt onto the oracle
+    #: engine at a safe-point boundary after a confirmed
+    #: engine-correlated divergence.
+    engine_demotions: int = 0
 
     # --- Serving (request/response lifecycle) -------------------------
     #: ``Server.recv`` takes executed live on this replica.
@@ -148,6 +152,7 @@ class ReplicationMetrics:
                 "outputs_gated", "members_suspected",
                 "suspicions_cleared", "members_quarantined",
                 "members_rearmed", "variant_divergences",
+                "engine_demotions",
             )
         }
         base["engine"] = self.engine

@@ -379,14 +379,27 @@ class FaultyTransport(Transport):
         else:
             self.stats.heartbeats_delivered += 1
 
-    def _process_due(self) -> None:
+    def _process_due(self, limit: Optional[int] = None) -> int:
+        """Handle events due at the current clock; at most ``limit`` of
+        them when given (the poll path's fairness bound — blocking
+        paths drain unbounded as before).  Returns the count handled."""
+        handled = 0
         while self._events and self._events[0][0] <= self.now:
+            if limit is not None and handled >= limit:
+                break
             _, _, kind, seq, records = heapq.heappop(self._events)
             self._handle(kind, seq, records)
+            handled += 1
+        return handled
 
-    def _advance_one_step(self, allow_retransmit: bool) -> bool:
+    def _advance_one_step(self, allow_retransmit: bool,
+                          drain_limit: Optional[int] = None) -> bool:
         """Move the clock to the next arrival or retransmit deadline.
         Returns False when nothing can make progress."""
+        if drain_limit is not None and self._process_due(drain_limit):
+            # A backlog left by a previous bounded drain: hand out the
+            # next slice before moving the clock again.
+            return True
         next_event = self._events[0][0] if self._events else None
         next_timeout = None
         if allow_retransmit and self._unacked:
@@ -396,7 +409,7 @@ class FaultyTransport(Transport):
         if next_timeout is None or (next_event is not None
                                     and next_event <= next_timeout):
             self.now = max(self.now, next_event)
-            self._process_due()
+            self._process_due(drain_limit)
             return True
         self.now = max(self.now, next_timeout)
         for seq, pending in sorted(self._unacked.items()):
@@ -407,7 +420,7 @@ class FaultyTransport(Transport):
                         f"{self.profile.max_retries} retries — link dead"
                     )
                 self._transmit(seq)
-        self._process_due()
+        self._process_due(drain_limit)
         return True
 
     def _admit(self, records: List[bytes]) -> None:
@@ -443,12 +456,20 @@ class FaultyTransport(Transport):
         self._admit(records)
         return True
 
+    #: Max events one :meth:`poll` call may handle.  A mux iterates
+    #: members calling poll once each; without the bound, a member
+    #: sitting on a large due backlog (e.g. a post-heal thundering
+    #: herd) would monopolize the whole mux pass and starve the other
+    #: groups' readiness callbacks.
+    poll_drain_limit: int = 8
+
     def poll(self) -> bool:
         if self.closed:
             return False
         if not self._events and not self._unacked:
             return False
-        return self._advance_one_step(allow_retransmit=True)
+        return self._advance_one_step(allow_retransmit=True,
+                                      drain_limit=self.poll_drain_limit)
 
     def ack_pending(self) -> bool:
         return self._acked_through < self._next_seq - 1
@@ -502,6 +523,245 @@ class FaultyTransport(Transport):
     def fresh(self) -> "FaultyTransport":
         return FaultyTransport(self.profile, seed=self.seed,
                                send_cost=self.send_cost)
+
+
+# ======================================================================
+# Seeded chaos: partitions, flaps, asymmetric links
+# ======================================================================
+@dataclass(frozen=True)
+class LinkOutage:
+    """One scheduled cut of the whole link, in virtual-time ticks.
+
+    ``direction`` selects which half of the link is severed:
+    ``"both"`` is a symmetric partition, ``"fwd"`` cuts data and
+    heartbeats (primary→backup) while acks still flow, ``"rev"`` is the
+    *asymmetric* case the paper's fail-stop model cannot express — data
+    keeps arriving but every ack vanishes, so the sender's output
+    commit stalls across the window and resumes at the heal.
+    """
+
+    start: float
+    end: float
+    direction: str = "both"        # "both" | "fwd" | "rev"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("both", "fwd", "rev"):
+            raise TransportError(
+                f"outage direction must be 'both', 'fwd' or 'rev', "
+                f"got {self.direction!r}"
+            )
+        if self.end <= self.start:
+            raise TransportError(
+                f"outage window must be non-empty, got "
+                f"[{self.start}, {self.end})"
+            )
+
+    def cuts(self, direction: str, at: float) -> bool:
+        return (self.start <= at < self.end
+                and self.direction in ("both", direction))
+
+
+def link_flaps(start: float, count: int, down: float, up: float,
+               direction: str = "both") -> Tuple[LinkOutage, ...]:
+    """A flapping link: ``count`` outages of length ``down`` separated
+    by ``up`` ticks of healthy link, beginning at ``start``."""
+    if count < 1 or down <= 0 or up < 0:
+        raise TransportError(
+            f"flap schedule needs count>=1, down>0, up>=0; got "
+            f"count={count} down={down} up={up}"
+        )
+    return tuple(
+        LinkOutage(start + i * (down + up), start + i * (down + up) + down,
+                   direction)
+        for i in range(count)
+    )
+
+
+@dataclass(frozen=True)
+class MemberPartition:
+    """One voting-group member cut off from the delivered log.
+
+    The transport cannot see group membership, so the window is
+    *published* (:meth:`ChaosTransport.blocked_members`) and enforced
+    by the consumer: a :class:`~repro.replication.voting.VotingGroup`
+    stops feeding a blocked member, its feed offset freezes, suspicion
+    accrues from the silence, and the backlog floods in at the heal.
+    ``unit="records"`` windows are measured in delivered-log length
+    (deterministic under load, heals only as traffic flows);
+    ``unit="time"`` windows are virtual-time ticks (heal even while an
+    output-commit gate starves — see ``chaos_advance``).
+    """
+
+    member: int
+    start: float
+    end: float
+    unit: str = "records"          # "records" | "time"
+
+    def __post_init__(self) -> None:
+        if self.unit not in ("records", "time"):
+            raise TransportError(
+                f"partition unit must be 'records' or 'time', "
+                f"got {self.unit!r}"
+            )
+        if self.end <= self.start:
+            raise TransportError(
+                f"partition window must be non-empty, got "
+                f"[{self.start}, {self.end})"
+            )
+
+
+@dataclass
+class ChaosStats:
+    """What the chaos schedule actually did to the link."""
+
+    #: Transmissions eaten by an active outage (not lossy-link drops:
+    #: they neither consume retry attempts nor back off the timer).
+    partition_drops: int = 0
+    #: Acks eaten by a rev/both outage.
+    acks_cut: int = 0
+    #: Heartbeats eaten by a fwd/both outage.
+    heartbeats_cut: int = 0
+    #: Clock jumps made by ``chaos_advance`` (gate-starvation waits).
+    boundary_jumps: int = 0
+
+
+class ChaosTransport(FaultyTransport):
+    """A :class:`FaultyTransport` under a deterministic chaos schedule.
+
+    On top of the seeded lossy-link model this injects *scheduled*
+    faults: whole-link outages (symmetric or per-direction), link
+    flaps (:func:`link_flaps`), per-direction latency/jitter
+    overrides, and member-level partitions published to the voting
+    layer.  Every schedule is plain data evaluated against the
+    virtual clock, so two transports with the same schedule and seed
+    misbehave identically.
+
+    A transmission eaten by an outage is not a lossy-link drop: the
+    retransmit timer re-arms at the *base* cadence and the attempt
+    budget is untouched — a partitioned link is down, not dead, and
+    must come back at the heal instead of tripping ``max_retries``
+    mid-window.
+    """
+
+    def __init__(self, profile: Optional[FaultProfile] = None, *,
+                 seed: int = 20030622, send_cost: float = 1.0,
+                 outages: Tuple[LinkOutage, ...] = (),
+                 member_partitions: Tuple[MemberPartition, ...] = (),
+                 fwd_latency: Optional[float] = None,
+                 rev_latency: Optional[float] = None,
+                 fwd_jitter: Optional[float] = None,
+                 rev_jitter: Optional[float] = None,
+                 **overrides) -> None:
+        super().__init__(profile, seed=seed, send_cost=send_cost,
+                         **overrides)
+        self.outages = tuple(outages)
+        self.member_partitions = tuple(member_partitions)
+        self.fwd_latency = fwd_latency
+        self.rev_latency = rev_latency
+        self.fwd_jitter = fwd_jitter
+        self.rev_jitter = rev_jitter
+        self.chaos = ChaosStats()
+
+    # -- schedule evaluation -------------------------------------------
+    def _cut(self, direction: str) -> bool:
+        return any(o.cuts(direction, self.now) for o in self.outages)
+
+    def _delay(self, direction: str) -> float:
+        p = self.profile
+        latency = self.fwd_latency if direction == "fwd" else self.rev_latency
+        jitter = self.fwd_jitter if direction == "fwd" else self.rev_jitter
+        latency = p.latency if latency is None else latency
+        jitter = p.jitter if jitter is None else jitter
+        delay = latency + self._rng.uniform(0.0, jitter)
+        if p.reorder_rate and self._rng.random() < p.reorder_rate:
+            delay += latency + jitter + self._rng.uniform(0.0, 4 * jitter)
+        return delay
+
+    def blocked_members(self) -> frozenset:
+        """Members partitioned from the delivered log *right now* (the
+        voting group polls this before feeding its followers)."""
+        records = float(len(self.delivered))
+        blocked = set()
+        for p in self.member_partitions:
+            at = self.now if p.unit == "time" else records
+            if p.start <= at < p.end:
+                blocked.add(p.member)
+        return frozenset(blocked)
+
+    def chaos_advance(self) -> bool:
+        """Jump the virtual clock to the next schedule boundary.
+
+        An output-commit gate starving on a partitioned quorum has no
+        wire traffic to advance time with — real time still passes for
+        it, so the gate's wait loop calls this to reach the heal (or
+        the next onset) instead of deadlocking.  Returns False when no
+        time-based boundary lies ahead (the schedule is exhausted: the
+        partition is permanent and the caller must give up)."""
+        boundaries = [b for o in self.outages for b in (o.start, o.end)]
+        boundaries += [
+            b for p in self.member_partitions if p.unit == "time"
+            for b in (p.start, p.end)
+        ]
+        ahead = [b for b in boundaries if b > self.now]
+        if not ahead:
+            return False
+        self.now = min(ahead)
+        self.chaos.boundary_jumps += 1
+        self._process_due()
+        return True
+
+    # -- fault-injected wire primitives --------------------------------
+    def _transmit(self, seq: int) -> None:
+        pending = self._unacked[seq]
+        if self._cut("fwd"):
+            self.chaos.partition_drops += 1
+            pending[2] = self.now + self.profile.retry_timeout
+            return
+        pending[1] += 1
+        if pending[1] > 1:
+            self.stats.retransmits += 1
+        timeout = self.profile.retry_timeout * (
+            self.profile.backoff ** (pending[1] - 1)
+        )
+        pending[2] = self.now + timeout
+        if self._rng.random() < self.profile.drop_rate:
+            self.stats.messages_dropped += 1
+        else:
+            self._schedule(self._delay("fwd"), self._ARRIVE, seq, pending[0])
+        if self.profile.dup_rate and self._rng.random() < self.profile.dup_rate:
+            self.stats.messages_duplicated += 1
+            self._schedule(self._delay("fwd"), self._ARRIVE, seq, pending[0])
+
+    def _send_ack(self) -> None:
+        if self._cut("rev"):
+            self.chaos.acks_cut += 1
+            return
+        if self._rng.random() < self.profile.drop_rate:
+            self.stats.messages_dropped += 1
+            return
+        self._schedule(self._delay("rev"), self._ACK,
+                       self._expected - 1, [])
+
+    def send_heartbeat(self) -> None:
+        if self.closed:
+            return
+        self.stats.heartbeats_sent += 1
+        if self._cut("fwd"):
+            self.chaos.heartbeats_cut += 1
+            return
+        if self._rng.random() < self.profile.drop_rate:
+            return
+        self._schedule(self._delay("fwd"), self._HEARTBEAT, 0, [])
+        self._process_due()
+
+    def fresh(self) -> "ChaosTransport":
+        return ChaosTransport(
+            self.profile, seed=self.seed, send_cost=self.send_cost,
+            outages=self.outages,
+            member_partitions=self.member_partitions,
+            fwd_latency=self.fwd_latency, rev_latency=self.rev_latency,
+            fwd_jitter=self.fwd_jitter, rev_jitter=self.rev_jitter,
+        )
 
 
 # ======================================================================

@@ -60,11 +60,12 @@ stop it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.classfile.loader import ClassRegistry
 from repro.env.channel import Channel
 from repro.env.environment import Environment
+from repro.env.port import INGEST_SIGNATURE
 from repro.errors import (
     AlreadyRanError,
     PrimaryOutvoted,
@@ -397,55 +398,74 @@ def _flip_scalar(value: Any) -> Any:
 
 
 class CorruptionInjector:
-    """Fires the configured :class:`LieSpec` exactly once, replayably."""
+    """Fires each configured :class:`LieSpec` exactly once, replayably.
 
-    def __init__(self, spec: Optional[LieSpec]) -> None:
-        self.spec = spec
+    With one spec this is the single-liar injector of PR 8; a list of
+    specs arms *simultaneous* liars (up to f of them) — each fires
+    independently at its own deterministic point, and each fires at
+    most once.  The ``lies_on_*`` probes return the matched spec (or
+    ``None``) so the corruption helpers know which lie to apply.
+    """
+
+    def __init__(self, specs) -> None:
+        if specs is None or isinstance(specs, LieSpec):
+            specs = [specs]
+        self.specs: List[LieSpec] = [s for s in specs if s is not None]
         #: (kind, member, where) tuples of fired corruptions.
         self.fired: List[Tuple] = []
+        self._fired_specs: set = set()
         self._output_ordinals: Dict[int, int] = {}
 
     @property
     def exhausted(self) -> bool:
-        return bool(self.fired)
+        return len(self._fired_specs) >= len(self.specs)
 
-    def lies_on_digest(self, member: int, epoch: int) -> bool:
-        s = self.spec
-        if (s is None or self.exhausted or s.kind != "digest"
-                or s.member != member or s.target != epoch):
-            return False
-        self.fired.append(("digest", member, epoch))
-        return True
+    @property
+    def liars(self) -> List[int]:
+        """Members armed to lie, sorted and deduplicated."""
+        return sorted({s.member for s in self.specs})
+
+    def lies_on_digest(self, member: int, epoch: int) -> Optional[LieSpec]:
+        for i, s in enumerate(self.specs):
+            if (i not in self._fired_specs and s.kind == "digest"
+                    and s.member == member and s.target == epoch):
+                self._fired_specs.add(i)
+                self.fired.append(("digest", member, epoch))
+                return s
+        return None
 
     def corrupt_components(
-        self, components: Tuple[Tuple[str, int], ...]
+        self, spec: LieSpec, components: Tuple[Tuple[str, int], ...]
     ) -> Tuple[Tuple[str, int], ...]:
-        target = self.spec.detail
+        target = spec.detail
         return tuple(
             (name, value ^ 1 if name == target else value)
             for name, value in components
         )
 
-    def lies_on_output(self, member: int) -> bool:
+    def lies_on_output(self, member: int) -> Optional[LieSpec]:
         """Counts this member's output and decides whether to corrupt
         it.  The ordinal advances per output so the lie lands at one
         deterministic, replayable point."""
-        s = self.spec
-        if s is None or s.kind != "output" or s.member != member:
-            return False
+        if not any(s.kind == "output" and s.member == member
+                   for s in self.specs):
+            return None
         ordinal = self._output_ordinals.get(member, 0)
         self._output_ordinals[member] = ordinal + 1
-        if self.exhausted or ordinal != s.target:
-            return False
-        self.fired.append(("output", member, ordinal))
-        return True
+        for i, s in enumerate(self.specs):
+            if (i not in self._fired_specs and s.kind == "output"
+                    and s.member == member and s.target == ordinal):
+                self._fired_specs.add(i)
+                self.fired.append(("output", member, ordinal))
+                return s
+        return None
 
-    def corrupt_args(self, args: List[Any]) -> None:
+    def corrupt_args(self, spec: LieSpec, args: List[Any]) -> None:
         """Flip the targeted argument *in place* — a lying proposer's
         corruption must be the payload it would actually execute."""
         if not args:
             return
-        index = self.spec.detail
+        index = spec.detail
         try:
             value = args[index]
         except IndexError:
@@ -659,6 +679,13 @@ class _MemberRuntime:
     voted_outputs: set = field(default_factory=set)
 
 
+class _DemotionBoundary(Exception):
+    """Internal control flow: the proposer reached a replayable
+    safe-point with a demotion pending; unwind to the driver loop,
+    which tears the era down and re-arms the group on the oracle
+    engine."""
+
+
 # ======================================================================
 # The group
 # ======================================================================
@@ -699,6 +726,12 @@ class VotingGroup:
                 f"unknown variants mode {config.variants!r}; expected "
                 f"None or 'step+slice'"
             )
+        if config.hot_backup:
+            raise ReplicationError(
+                "hot_backup is the 1:1 pair's replay-as-you-go mode; a "
+                "voting group's followers are always hot — drop "
+                "hot_backup when voting=True"
+            )
         n = config.n_members
         if n < 1 or n % 2 == 0:
             raise ReplicationError(
@@ -708,6 +741,21 @@ class VotingGroup:
             raise ReplicationError(
                 f"lie_member {config.lie_member} out of range for "
                 f"{n} members"
+            )
+        lie_specs = [LieSpec.parse(config.lie_at, config.lie_member)]
+        for extra_at, extra_member in config.lie_specs:
+            if not 0 <= extra_member < n:
+                raise ReplicationError(
+                    f"lie_specs member {extra_member} out of range for "
+                    f"{n} members"
+                )
+            lie_specs.append(LieSpec.parse(extra_at, extra_member))
+        lie_specs = [s for s in lie_specs if s is not None]
+        if len({s.member for s in lie_specs}) > (n - 1) // 2:
+            raise ReplicationError(
+                f"{len({s.member for s in lie_specs})} distinct liars "
+                f"exceed the fault budget f = {(n - 1) // 2} of an "
+                f"n = {n} group; the quorum could certify a lie"
             )
 
         self.registry = registry
@@ -736,9 +784,7 @@ class VotingGroup:
             for i in range(n)
         ]
         self.tally = QuorumTally(n)
-        self.injector = CorruptionInjector(
-            LieSpec.parse(config.lie_at, config.lie_member)
-        )
+        self.injector = CorruptionInjector(lie_specs)
         #: Group-lifetime voting counters (the per-era proposer wire
         #: metrics are folded in at the end of the run).
         self.metrics = ReplicationMetrics(role="voting-group")
@@ -747,6 +793,12 @@ class VotingGroup:
         self.divergences: List[VariantDivergence] = []
         self.reports: List[EraReport] = []
         self.final_jvm: Optional[JVM] = None
+        #: Fleet hook: called with each VariantDivergence as it is
+        #: confirmed (a DegradationController subscribes here).
+        self.on_divergence: Optional[Callable[[VariantDivergence], None]] \
+            = None
+        #: (era, engine) pairs, one per completed demotion.
+        self.demotions: List[Tuple[int, str]] = []
 
         # --- per-era state --------------------------------------------
         self._era = 0
@@ -770,6 +822,14 @@ class VotingGroup:
         self._pumping = False
         self._processing = False
         self._ran = False
+
+        # --- serving + demotion state ---------------------------------
+        self._serve_port: Optional[str] = None
+        self._serve_main: Optional[str] = None
+        self._serve_args: Optional[List[str]] = None
+        self._serve_result: Optional[VotingResult] = None
+        self._port_basis = 0
+        self._demote_to: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -858,10 +918,11 @@ class VotingGroup:
 
     def _propose_digest(self, record: DigestRecord) -> DigestRecord:
         slot = self.slots[self._proposer_idx]
-        if self.injector.lies_on_digest(slot.index, record.epoch):
+        lie = self.injector.lies_on_digest(slot.index, record.epoch)
+        if lie is not None:
             record = DigestRecord(
                 record.epoch, record.final,
-                self.injector.corrupt_components(record.components),
+                self.injector.corrupt_components(lie, record.components),
             )
         subject = "final" if record.final else "digest"
         index: Vid = () if record.final else (record.epoch,)
@@ -875,7 +936,7 @@ class VotingGroup:
         slot = runtime.slot
         local = compute_state_digest(jvm, include_env=False)
         value = local.fingerprint(LOCKSTEP_COMPONENTS)
-        if self.injector.lies_on_digest(slot.index, record.epoch):
+        if self.injector.lies_on_digest(slot.index, record.epoch) is not None:
             value ^= 1
         subject = "final" if record.final else "digest"
         index: Vid = () if record.final else (record.epoch,)
@@ -885,10 +946,11 @@ class VotingGroup:
     def _on_output_propose(self, jvm, spec, thread, receiver, args,
                            seq: int) -> None:
         slot = self.slots[self._proposer_idx]
-        if self.injector.lies_on_output(slot.index):
+        lie = self.injector.lies_on_output(slot.index)
+        if lie is not None:
             # Corrupt the *actual* proposal in place: if the quorum
             # failed to veto, this payload would reach the environment.
-            self.injector.corrupt_args(args)
+            self.injector.corrupt_args(lie, args)
         index = tuple(thread.vid) + (seq,)
         value = output_fingerprint(spec.signature, list(args))
         self._pending_output_key = ("output", self._era, index)
@@ -910,7 +972,7 @@ class VotingGroup:
         args = list(stack[-n_args:]) if n_args else []
         value = output_fingerprint(spec.signature, args)
         slot = runtime.slot
-        if self.injector.lies_on_output(slot.index):
+        if self.injector.lies_on_output(slot.index) is not None:
             value ^= 1                  # a bit-flipped follower's ballot
         self._cast(Vote(slot.index, self._era, "output", index, value,
                         slot.engine))
@@ -922,15 +984,26 @@ class VotingGroup:
         if self._processing:
             return
         self._processing = True
+        deposed: Optional[PrimaryOutvoted] = None
         try:
             while self._verdict_queue:
                 verdict = self._verdict_queue.pop(0)
                 if verdict.kind == "certified":
                     self.metrics.quorum_certs += 1
                     continue
-                self._handle_misvote(verdict)
+                try:
+                    self._handle_misvote(verdict)
+                except PrimaryOutvoted as exc:
+                    # Defer the deposition until the queue drains: with
+                    # simultaneous liars (f >= 2) a follower conviction
+                    # queued behind the proposer's verdict must not be
+                    # dropped by _depose clearing the queue.
+                    if deposed is None:
+                        deposed = exc
         finally:
             self._processing = False
+        if deposed is not None:
+            raise deposed
 
     def _handle_misvote(self, verdict: Verdict) -> None:
         member = verdict.member
@@ -953,6 +1026,8 @@ class VotingGroup:
                 )
                 self.divergences.append(divergence)
                 self.metrics.variant_divergences += 1
+                if self.on_divergence is not None:
+                    self.on_divergence(divergence)
                 if self.variant_fail_stop:
                     raise VariantDivergenceError(divergence)
         reason = f"{verdict.kind}:{subject}@{'.'.join(map(str, index))}"
@@ -978,10 +1053,40 @@ class VotingGroup:
     # ------------------------------------------------------------------
     # The quorum gate (shipper.commit_gate)
     # ------------------------------------------------------------------
+    def _blocked_members(self) -> frozenset:
+        """Members a chaos transport currently partitions away from the
+        group (empty on ordinary transports)."""
+        fn = getattr(self._transport, "blocked_members", None)
+        return frozenset() if fn is None else fn()
+
+    def _quorum_wait_step(self) -> bool:
+        """One step of waiting for a quorum that has not formed yet:
+        poll the transport (retransmits, heartbeats, partition heals all
+        live there), and when the only thing standing between us and a
+        certificate is a scheduled partition, jump the chaos clock to
+        its next boundary.  Returns False when there is nothing left to
+        wait for — the quorum is genuinely lost."""
+        transport = self._transport
+        if transport is None:
+            return False
+        if transport.poll():
+            return True
+        advance = getattr(transport, "chaos_advance", None)
+        if advance is not None and self._blocked_members():
+            return bool(advance())
+        return False
+
     def _commit_gate(self) -> None:
         """Runs inside every output commit, after the flush/ack round
         trip (which pumped the followers to the held native and let
-        them ballot) and before the output may execute."""
+        them ballot) and before the output may execute.
+
+        This is the no-split-brain gate: a proposer on the minority
+        side of a partition starves here — its blocked followers cast
+        no ballots, no certificate forms, and the output never reaches
+        the environment.  The wait loop below keeps polling (partitions
+        heal, backlogs flood in, absolved members vote) and only gives
+        up when the transport has nothing left to deliver."""
         self.metrics.outputs_gated += 1
         self._pump()                     # the ack delivered the intent
         self._process_verdicts()
@@ -989,11 +1094,15 @@ class VotingGroup:
         if key is None:
             return
         self._pending_output_key = None
-        if self.tally.certificate(key) is None:
-            raise QuorumLostError(
-                f"output {key[2]} has no quorum certificate "
-                f"({self.tally.quorum} matching votes of {self.n} needed)"
-            )
+        while self.tally.certificate(key) is None:
+            if not self._quorum_wait_step():
+                raise QuorumLostError(
+                    f"output {key[2]} has no quorum certificate "
+                    f"({self.tally.quorum} matching votes of {self.n} "
+                    f"needed)"
+                )
+            self._pump()
+            self._process_verdicts()
 
     # ------------------------------------------------------------------
     # Vote wire + slice-boundary work
@@ -1010,14 +1119,16 @@ class VotingGroup:
         self._drain_vote_wire()
         self._pump()
         self._process_verdicts()         # may raise PrimaryOutvoted
-        if self._rearm_pending and reason in (SliceEnd.QUANTUM,
-                                              SliceEnd.YIELDED) \
-                and not thread.is_system \
-                and thread.state is ThreadState.RUNNABLE:
+        replayable = reason in (SliceEnd.QUANTUM, SliceEnd.YIELDED) \
+            and not thread.is_system \
+            and thread.state is ThreadState.RUNNABLE
+        if self._rearm_pending and replayable:
             # A replayable boundary (same rule as steady checkpoints):
             # the descheduled thread is `current`, so the snapshot
             # restores with set_resume_vid, exactly like the arm path.
             self._rearm_followers(jvm)
+        if self._demote_to is not None and replayable:
+            raise _DemotionBoundary()
 
     # ------------------------------------------------------------------
     # Pump (feed followers from the shared delivered log)
@@ -1028,7 +1139,18 @@ class VotingGroup:
         self._pumping = True
         try:
             delivered = self._channel.delivered
+            blocked = self._blocked_members()
             for runtime in list(self._followers.values()):
+                if runtime.slot.index in blocked:
+                    # Partitioned away: its feed offset freezes (the
+                    # backlog floods in at heal) and silence across
+                    # enough intervals makes it *suspected* — a
+                    # recoverable state, never a conviction.
+                    if len(delivered) > runtime.fed:
+                        if runtime.slot.detector.interval() \
+                                and runtime.slot.suspect():
+                            self.metrics.members_suspected += 1
+                    continue
                 new_raw = delivered[runtime.fed:]
                 runtime.fed = len(delivered)
                 if new_raw:
@@ -1220,6 +1342,10 @@ class VotingGroup:
         assembled = self._assemble(start)
         self._basis = assembled
         self._basis_era = era
+        if self._serve_port is not None:
+            # Takes so far are baked into this era's basis; only
+            # post-basis recv records count at the next reconciliation.
+            self._port_basis = len(self.env.port(self._serve_port).consumed)
 
         fed_from = len(channel.delivered)
         self._followers = {}
@@ -1364,6 +1490,7 @@ class VotingGroup:
 
         parsed = parse_log(inner)
         metrics.recovery_tail_records = parsed.total
+        self._reconcile_port(parsed, metrics)
         for record in parsed.side_effects:
             se_manager.receive(record)
         policy = BackupNativePolicy(
@@ -1426,8 +1553,18 @@ class VotingGroup:
         self._drain_vote_wire()
         self._channel.settle()           # flush → pump → final replays
         self._pump()
+        blocked = self._blocked_members()
+        for runtime in self._followers.values():
+            # Still partitioned at era end: the member cannot reach its
+            # final ballot, so it finishes *suspected* — recoverable
+            # silence, never a conviction — and the quorum must close
+            # without its votes (f+1 of the remaining members).
+            if runtime.slot.index in blocked and runtime.slot.suspect():
+                self.metrics.members_suspected += 1
         for runtime in list(self._followers.values()):
             if runtime.result is not None:
+                continue
+            if runtime.slot.index in blocked:
                 continue
             runtime.policy.hold_when_drained = False
             runtime.driver.set_hold(False)
@@ -1435,6 +1572,8 @@ class VotingGroup:
             runtime.jvm.sync.reevaluate_parked()
             runtime.result = runtime.jvm.run_to_completion()
         for runtime in self._followers.values():
+            if runtime.slot.index in blocked:
+                continue
             # A follower that completed its replay before the final
             # digest record arrived exited with nothing to compare;
             # cast its final ballot now that the record is here.
@@ -1491,6 +1630,252 @@ class VotingGroup:
                             + getattr(metrics, name))
 
     # ------------------------------------------------------------------
+    # Failover (shared by run() and the serving pump)
+    # ------------------------------------------------------------------
+    def _failover(self, deposed: PrimaryOutvoted) -> Optional[RunResult]:
+        """Depose the convicted proposer and promote the next healthy
+        member.  Returns the final result when the program completed
+        during recovery replay; None when serving/execution continues
+        under a freshly armed era."""
+        raw = self._depose(deposed)
+        self._era += 1
+        if self._era > self.max_failures:
+            raise ReplicationError(
+                f"voting group exhausted its failure budget "
+                f"({self.max_failures}) — giving up"
+            )
+        self._proposer_idx = self._next_proposer()
+        self.tally.truncate_below(self._era)
+        jvm, se_manager, recovered, recovery_metrics = self._recover(raw)
+        if recovered is not None:
+            self.final_jvm = jvm
+            self.reports.append(EraReport(
+                era=self._era, proposer=self._proposer_idx,
+                outcome="completed_in_recovery",
+                recovery_metrics=recovery_metrics,
+            ))
+            self._finish_metrics(jvm, recovery_metrics)
+            return recovered
+        self._arm_era(jvm, se_manager, recovery_metrics)
+        return None
+
+    # ------------------------------------------------------------------
+    # Graceful degradation (engine demotion)
+    # ------------------------------------------------------------------
+    def request_demotion(self, engine: str = "step") -> None:
+        """Ask the group to rebuild itself onto ``engine`` at the next
+        replayable safe-point boundary.  The live era keeps serving
+        until the boundary; the demotion itself re-arms every member —
+        including any quarantined one — through the checkpoint-transfer
+        path under a fresh era."""
+        if engine not in ("step", "slice"):
+            raise ReplicationError(
+                f"cannot demote to unknown engine {engine!r}; expected "
+                f"'step' or 'slice'"
+            )
+        self._demote_to = engine
+
+    def _demote(self) -> None:
+        """Perform a pending demotion: checkpoint the live proposer at
+        the safe-point, tear the era down, drop the MVEE variant
+        pinning, and re-arm the whole group on the target engine.
+
+        ``_demote_to`` is cleared only on success — a deposition that
+        surfaces while settling ballots takes priority, and the pending
+        demotion is retried once the new era is armed."""
+        engine = self._demote_to
+        if engine is None:
+            return
+        if self.variants is None and self.base_config.engine == engine \
+                and all(slot.engine == engine for slot in self.slots):
+            self._demote_to = None       # already there: no-op
+            return
+        # Settle the current era's outstanding ballots first; a
+        # conviction surfacing here propagates (PrimaryOutvoted) and
+        # pre-empts the demotion.
+        self._drain_vote_wire()
+        self._pump()
+        self._process_verdicts()
+
+        era = self._era
+        checkpoint = take_checkpoint(
+            self._proposer_jvm, self._proposer_se, generation=era,
+            env_snapshot=self.env.snapshot_stable(),
+        )
+        report = self.reports[-1]
+        report.outcome = "demoted"
+        report.proposer_metrics = self._era_metrics
+        self._finish_metrics(self._proposer_jvm, self._era_metrics,
+                             self._transport)
+        self._proposer_jvm.session.destroy()
+        for runtime in self._followers.values():
+            runtime.jvm.session.destroy()
+        self._followers = {}
+        self._transport.close()
+        self._vote_wire.clear()
+        self._verdict_queue.clear()
+        self._pending_output_key = None
+
+        self.variants = None
+        self.base_config = replace(self.base_config, engine=engine)
+        for slot in self.slots:
+            slot.engine = engine
+        self.metrics.engine = engine
+        self.metrics.engine_demotions += 1
+        self._era += 1
+        self._demote_to = None
+        self.demotions.append((self._era, engine))
+        self.tally.truncate_below(self._era)
+
+        # Rebuild the proposer from its own safe-point checkpoint on
+        # the target engine (engines are contractually bit-identical,
+        # so the restore crosses them losslessly), then arm the new
+        # era — which re-checkpoints and rebuilds every follower, and
+        # re-arms any convicted slot along the way.
+        slot = self.slots[self._proposer_idx]
+        slot.incarnation += 1
+        settings = self._settings(self._era, slot.index)
+        session = self.env.attach(
+            self._session_name(slot, self._era),
+            clock_offset_ms=settings.clock_offset_ms,
+            entropy_seed=settings.entropy_seed,
+        )
+        se_manager = self._make_se_manager()
+        jvm = restore_checkpoint(
+            checkpoint, self.registry, self.natives, session,
+            self._jvm_config_for(self._era, slot),
+            name=self._session_name(slot, self._era),
+            se_manager=se_manager,
+        )
+        jvm.scheduler.release_current()
+        jvm.scheduler.last_reason = None
+        jvm.sync.reevaluate_parked()
+        se_manager.restore(jvm.session)
+        self._arm_era(jvm, se_manager, None)
+
+    # ------------------------------------------------------------------
+    # Serving lifecycle (resumable request/response operation)
+    # ------------------------------------------------------------------
+    def _reconcile_port(self, parsed,
+                        metrics: Optional[ReplicationMetrics] = None
+                        ) -> None:
+        """Exactly-once request consumption across a deposition: the
+        era basis accounts for ``_port_basis`` takes plus one
+        ``Server.recv`` result record per take whose flush survived.
+        The overhang is lost in flight — un-consume and requeue at the
+        front, preserving order."""
+        if self._serve_port is None:
+            return
+        survived = sum(
+            1
+            for records in parsed.results.values()
+            for record in records
+            if record.signature == INGEST_SIGNATURE
+        )
+        port = self.env.port(self._serve_port)
+        accounted = self._port_basis + survived
+        lost = port.consumed[accounted:]
+        if lost:
+            del port.consumed[accounted:]
+            port.requeue(lost)
+            if metrics is not None:
+                metrics.requests_requeued += len(lost)
+
+    def start_serving(self, main_class: str,
+                      args: Optional[List[str]] = None, *,
+                      port: str) -> None:
+        """Boot the first proposer, arm era 0 (checkpoint transfer to
+        every follower), and drive the group to its first request wait.
+
+        From here the group alternates between :meth:`submit` /
+        :meth:`pump` and failover: a deposition during any pump is
+        absorbed transparently, and a requested demotion lands at the
+        next safe-point without dropping a request."""
+        if self._ran:
+            raise AlreadyRanError(
+                "this VotingGroup already ran; build a fresh group"
+            )
+        self._ran = True
+        self._serve_port = port
+        self._serve_main = main_class
+        self._serve_args = list(args) if args else None
+        jvm, se_manager = self._boot(main_class, self._serve_args)
+        self._arm_era(jvm, se_manager, None)
+        self.pump()
+
+    @property
+    def serving(self) -> bool:
+        """True while the program is parked waiting for requests."""
+        return self._ran and self._serve_port is not None \
+            and self._serve_result is None
+
+    @property
+    def serve_result(self) -> Optional[VotingResult]:
+        return self._serve_result
+
+    @property
+    def active_jvm(self) -> Optional[JVM]:
+        """The current proposer's JVM (fleet cost-accounting probe)."""
+        return self._proposer_jvm
+
+    @property
+    def failures_survived(self) -> int:
+        """Depositions absorbed so far (fleet probe)."""
+        return sum(1 for i in self.incidents if i.role == "proposer")
+
+    def submit(self, request: str) -> None:
+        """Queue a request without driving the machine."""
+        if self._serve_port is None:
+            raise ReplicationError(
+                "not serving: call start_serving() first"
+            )
+        self.env.port(self._serve_port).push(request)
+
+    def pump(self) -> bool:
+        """Drive the proposer until it parks on an empty port or the
+        program completes, absorbing depositions and landing pending
+        demotions along the way.  Returns True while still serving."""
+        if self._serve_result is not None:
+            return False
+        while True:
+            try:
+                if self._demote_to is not None:
+                    self._demote()
+                result = self._proposer_jvm.run_to_completion(
+                    pause_on_starvation=True
+                )
+                if result is None:
+                    # Parked on the empty request port: settle ballots
+                    # cast on the way in before handing control back.
+                    self._drain_vote_wire()
+                    self._pump()
+                    self._process_verdicts()
+                    if self._demote_to is not None:
+                        self._demote()
+                    return True
+                self._serve_result = self._finish_era(result)
+                return False
+            except _DemotionBoundary:
+                self._demote()
+            except PrimaryOutvoted as deposed:
+                recovered = self._failover(deposed)
+                if recovered is not None:
+                    self._serve_result = self._build_result(
+                        "completed_in_recovery", recovered
+                    )
+                    return False
+
+    def stop_serving(self, stop_request: str) -> VotingResult:
+        """Deliver ``stop_request`` and run the program to completion."""
+        self.submit(stop_request)
+        self.pump()
+        if self._serve_result is None:
+            raise ReplicationError(
+                f"group still serving after stop request {stop_request!r}"
+            )
+        return self._serve_result
+
+    # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
     def run(self, main_class: str, args: Optional[List[str]] = None
@@ -1504,34 +1889,19 @@ class VotingGroup:
             )
         self._ran = True
         jvm, se_manager = self._boot(main_class, args)
-        recovery_metrics: Optional[ReplicationMetrics] = None
+        self._arm_era(jvm, se_manager, None)
 
         while True:
-            self._arm_era(jvm, se_manager, recovery_metrics)
-            recovery_metrics = None
             try:
-                result = jvm.run_to_completion()
+                if self._demote_to is not None:
+                    self._demote()
+                result = self._proposer_jvm.run_to_completion()
                 return self._finish_era(result)
+            except _DemotionBoundary:
+                self._demote()
             except PrimaryOutvoted as deposed:
-                raw = self._depose(deposed)
-                self._era += 1
-                if self._era > self.max_failures:
-                    raise ReplicationError(
-                        f"voting group exhausted its failure budget "
-                        f"({self.max_failures}) — giving up"
-                    )
-                self._proposer_idx = self._next_proposer()
-                self.tally.truncate_below(self._era)
-                jvm, se_manager, recovered, recovery_metrics = \
-                    self._recover(raw)
+                recovered = self._failover(deposed)
                 if recovered is not None:
-                    self.final_jvm = jvm
-                    self.reports.append(EraReport(
-                        era=self._era, proposer=self._proposer_idx,
-                        outcome="completed_in_recovery",
-                        recovery_metrics=recovery_metrics,
-                    ))
-                    self._finish_metrics(jvm, recovery_metrics)
                     return self._build_result("completed_in_recovery",
                                               recovered)
 

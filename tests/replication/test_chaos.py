@@ -1,0 +1,236 @@
+"""Seeded chaos on the wire: partitions, flaps, asymmetric links.
+
+:class:`ChaosTransport` layers *scheduled* faults over the seeded
+lossy-link model: whole-link outages (symmetric or per-direction),
+flapping links, per-direction delay overrides, and member-level
+partitions published to the voting layer.  The properties under test:
+
+* schedules are plain data — invalid windows are rejected eagerly and
+  equal (seed, schedule) pairs misbehave identically;
+* an outage suppresses traffic for exactly its window and the backlog
+  arrives at the heal — outage-cut transmissions never consume retry
+  attempts, so a partition is *down*, not dead;
+* the asymmetric ``rev`` cut (data flows, acks vanish) stalls the
+  sender's commit point without touching delivery — the case a
+  fail-stop model cannot express;
+* the per-group contiguous-prefix rule survives a partition + heal
+  even when the chaotic link shares a mux with healthy ones.
+"""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.replication.transport import (
+    FAULT_PROFILES,
+    ChaosTransport,
+    FaultProfile,
+    FaultyTransport,
+    LinkOutage,
+    MemberPartition,
+    TransportMux,
+    link_flaps,
+)
+
+
+def _batches(tag, n):
+    return [[f"{tag}{i}".encode()] for i in range(n)]
+
+
+def _flat(batches):
+    return [rec for batch in batches for rec in batch]
+
+
+# ======================================================================
+# Schedules are validated plain data
+# ======================================================================
+def test_outage_rejects_bad_direction_and_empty_window():
+    with pytest.raises(TransportError):
+        LinkOutage(0.0, 10.0, "sideways")
+    with pytest.raises(TransportError):
+        LinkOutage(10.0, 10.0)
+
+
+def test_member_partition_rejects_bad_unit_and_empty_window():
+    with pytest.raises(TransportError):
+        MemberPartition(1, 0.0, 5.0, "bytes")
+    with pytest.raises(TransportError):
+        MemberPartition(1, 5.0, 5.0)
+
+
+def test_link_flaps_lays_out_the_windows():
+    flaps = link_flaps(100.0, 3, down=50.0, up=25.0, direction="fwd")
+    assert [(o.start, o.end, o.direction) for o in flaps] == [
+        (100.0, 150.0, "fwd"), (175.0, 225.0, "fwd"), (250.0, 300.0, "fwd"),
+    ]
+    with pytest.raises(TransportError):
+        link_flaps(0.0, 0, down=5.0, up=5.0)
+    with pytest.raises(TransportError):
+        link_flaps(0.0, 2, down=0.0, up=5.0)
+
+
+def test_fresh_reproduces_the_chaos_schedule():
+    t = ChaosTransport(
+        FaultProfile(latency=3.0), seed=77,
+        outages=(LinkOutage(10.0, 20.0, "rev"),),
+        member_partitions=(MemberPartition(2, 5.0, 9.0, "time"),),
+        fwd_latency=1.0, rev_jitter=2.0,
+    )
+    clone = t.fresh()
+    assert clone.outages == t.outages
+    assert clone.member_partitions == t.member_partitions
+    assert (clone.fwd_latency, clone.rev_jitter) == (1.0, 2.0)
+    assert clone.seed == t.seed
+
+
+# ======================================================================
+# Outages cut the window, not the link's life
+# ======================================================================
+def test_symmetric_outage_backlog_arrives_at_the_heal():
+    t = ChaosTransport(FaultProfile(latency=2.0), seed=41,
+                       outages=(LinkOutage(0.0, 200.0, "both"),))
+    plan = _batches("s", 6)
+    for batch in plan:
+        t.send(batch)
+    assert t.delivered == []            # everything eaten by the window
+    t.settle()                          # crosses the heal at 200
+    assert t.delivered == _flat(plan)
+    assert t.chaos.partition_drops >= len(plan)
+
+
+def test_outage_cut_transmissions_never_consume_retry_attempts():
+    """A 10-window-long outage would trip ``max_retries`` if each cut
+    counted as an attempt; the link must come back at the heal."""
+    profile = FaultProfile(latency=2.0, retry_timeout=10.0, backoff=1.0,
+                           max_retries=3)
+    t = ChaosTransport(profile, seed=42,
+                       outages=(LinkOutage(0.0, 500.0, "both"),))
+    t.send([b"survivor"])
+    t.settle()                          # 50 cut retransmits later...
+    assert t.delivered == [b"survivor"]
+    assert t.chaos.partition_drops > profile.max_retries
+
+
+def test_rev_outage_stalls_acks_but_not_delivery():
+    """The asymmetric partition: data keeps landing, every ack
+    vanishes, so the sender's commit point freezes until the heal."""
+    t = ChaosTransport(FaultProfile(latency=2.0), seed=43,
+                       outages=(LinkOutage(0.0, 300.0, "rev"),))
+    plan = _batches("r", 4)
+    for batch in plan:
+        t.send(batch)
+    for _ in range(40):
+        if t.delivered == _flat(plan):
+            break
+        t.poll()
+    assert t.delivered == _flat(plan)   # delivery unaffected...
+    assert t.ack_pending()              # ...but nothing is acked
+    assert t.chaos.acks_cut > 0
+    t.settle()
+    assert not t.ack_pending()          # the heal releases the commit
+    assert t.stats.retransmits > 0      # unacked data was re-sent
+
+
+def test_fwd_outage_cuts_heartbeats():
+    t = ChaosTransport(FaultProfile(latency=2.0), seed=44,
+                       outages=(LinkOutage(0.0, 100.0, "fwd"),))
+    t.send_heartbeat()
+    assert t.chaos.heartbeats_cut == 1
+    assert t.stats.heartbeats_delivered == 0
+    assert t.stats.heartbeats_sent == 1
+
+
+def test_chaos_is_deterministic_under_seed_and_schedule():
+    def run():
+        t = ChaosTransport(FAULT_PROFILES["lossy"], seed=45,
+                           outages=link_flaps(20.0, 2, down=30.0, up=15.0))
+        for batch in _batches("d", 10):
+            t.send(batch)
+        t.settle()
+        return (list(t.delivered), t.chaos.partition_drops,
+                t.stats.retransmits, t.stats.messages_dropped)
+
+    assert run() == run()
+
+
+# ======================================================================
+# Member partitions are published, not silently enforced
+# ======================================================================
+def test_blocked_members_follows_the_delivered_log():
+    t = ChaosTransport(member_partitions=(
+        MemberPartition(1, 2.0, 4.0, "records"),))
+    assert t.blocked_members() == frozenset()
+    for batch in _batches("m", 2):
+        t.send(batch)
+    t.settle()
+    assert len(t.delivered) == 2
+    assert t.blocked_members() == frozenset({1})
+    for batch in _batches("n", 2):
+        t.send(batch)
+    t.settle()
+    assert t.blocked_members() == frozenset()   # healed by traffic
+
+
+def test_time_partitions_heal_via_chaos_advance():
+    """A gate starving on a partitioned quorum has no wire traffic to
+    advance time with; ``chaos_advance`` jumps to the next schedule
+    boundary instead of deadlocking."""
+    t = ChaosTransport(member_partitions=(
+        MemberPartition(2, 100.0, 200.0, "time"),))
+    assert t.blocked_members() == frozenset()
+    assert t.chaos_advance()            # -> onset at 100
+    assert t.now == 100.0
+    assert t.blocked_members() == frozenset({2})
+    assert t.chaos_advance()            # -> heal at 200
+    assert t.blocked_members() == frozenset()
+    assert not t.chaos_advance()        # schedule exhausted
+    assert t.chaos.boundary_jumps == 2
+
+
+def test_chaos_advance_without_time_boundaries_gives_up():
+    t = ChaosTransport(member_partitions=(
+        MemberPartition(1, 0.0, 50.0, "records"),))
+    assert not t.chaos_advance()        # records-unit: no time boundary
+
+
+# ======================================================================
+# Partition + heal under muxing keeps every group's prefix
+# ======================================================================
+@pytest.mark.parametrize("direction", ["both", "rev"])
+def test_prefix_preserved_across_partition_and_heal_under_mux(direction):
+    """One chaotic link sharing the mux with two healthy flaky links:
+    the outage stalls only its own group, the backlog lands at the
+    heal, and every group's delivered log is its own stream intact."""
+    mux = TransportMux()
+    chaotic = mux.register(ChaosTransport(
+        FaultProfile(latency=2.0), seed=51,
+        outages=(LinkOutage(5.0, 120.0, direction),)))
+    healthy = [
+        mux.register(FaultyTransport(FAULT_PROFILES["flaky"],
+                                     seed=52 + i))
+        for i in range(2)
+    ]
+    members = [chaotic] + healthy
+    plans = [_batches(f"g{i}", 20) for i in range(3)]
+    for i in range(20):
+        for t, plan in zip(members, plans):
+            while not t.send_nowait(plan[i]):
+                mux.poll()
+    for t in members:
+        t.settle()
+    for t, plan in zip(members, plans):
+        assert t.delivered == _flat(plan)
+    assert chaotic.chaos.partition_drops + chaotic.chaos.acks_cut > 0
+
+
+def test_crash_inside_the_partition_keeps_the_prefix():
+    """Crashing the sender mid-outage delivers exactly the pre-window
+    contiguous prefix — cut transmissions stay lost, nothing reorders."""
+    t = ChaosTransport(FaultProfile(latency=2.0), seed=53,
+                       outages=(LinkOutage(5.0, 1e9, "both"),))
+    plan = _batches("c", 12)
+    for batch in plan:
+        t.send_nowait(batch)
+    t.crash_sender()
+    sent = _flat(plan)
+    assert t.delivered == sent[:len(t.delivered)]
+    assert len(t.delivered) < len(sent)

@@ -200,3 +200,37 @@ def test_readiness_callbacks_fire_under_mux_polling():
             break
     assert sum(delivered) == 2
     assert acked and acked[-1] == 0
+
+
+# ======================================================================
+# Poll fairness: a due backlog is drained in bounded slices
+# ======================================================================
+def test_post_heal_herd_does_not_starve_other_members():
+    """A healed partition releases its whole backlog as one due burst;
+    the per-poll drain bound hands it out in slices so the other
+    members' frames still land inside the same mux pass."""
+    from repro.replication.transport import ChaosTransport, LinkOutage
+
+    mux = TransportMux()
+    flooded = mux.register(ChaosTransport(
+        FaultProfile(latency=2.0, window=64), seed=11,
+        outages=(LinkOutage(0.0, 500.0, "fwd"),)))
+    bystander = mux.register(FaultyTransport(FaultProfile(latency=2.0),
+                                             seed=12))
+    plan = _batches("f", 40)
+    for batch in plan:
+        assert flooded.send_nowait(batch)
+    assert flooded.delivered == []          # all 40 cut by the outage
+    flooded.chaos_advance()                 # jump to the heal boundary
+    bystander.send_nowait([b"b0"])
+
+    mux.poll()                              # retransmit burst hits the wire
+    mux.poll()                              # the herd starts landing...
+    assert 0 < len(flooded.delivered) <= flooded.poll_drain_limit
+    assert bystander.delivered == [b"b0"]   # ...and the bystander got through
+
+    for _ in range(2000):
+        if not mux.poll() and not mux.ack_pending():
+            break
+    assert flooded.delivered == _flat(plan)
+    assert not mux.ack_pending()

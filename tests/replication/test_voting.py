@@ -289,3 +289,107 @@ def test_degenerate_single_member_group(output_registry, output_reference):
     result = group.run("Main")
     assert result.outcome == "completed"
     _assert_matches_reference(env, result, output_reference)
+
+
+def test_voting_rejects_hot_backup(output_registry):
+    with pytest.raises(ReplicationError):
+        VotingGroup(output_registry, config=_config(hot_backup=True))
+
+
+def test_fault_budget_rejects_too_many_liars(output_registry):
+    """Two distinct liars is f+1 at n=3: the seeded fault exceeds what
+    the quorum can mask, so the config is rejected up front."""
+    with pytest.raises(ReplicationError):
+        VotingGroup(output_registry, config=_config(
+            lie_at=("output", 1), lie_member=0,
+            lie_specs=((("output", 2), 1),),
+        ))
+
+
+# ======================================================================
+# Two simultaneous liars (f = 2)
+# ======================================================================
+def test_dual_liars_both_convicted_at_n5(multi_registry, multi_reference):
+    """n = 5 masks two simultaneous liars: the lying proposer is
+    deposed and the lying follower quarantined, in one run, with the
+    output still matching the serial reference."""
+    env = Environment()
+    group = VotingGroup(multi_registry, env=env, config=_config(
+        n_members=5,
+        lie_at=("digest", 2), lie_member=0,
+        lie_specs=((("digest", 2), 1),),
+    ))
+    result = group.run("Main")
+    assert result.outcome in ("completed", "completed_in_recovery")
+    _assert_matches_reference(env, result, multi_reference)
+    assert sorted(i.member for i in result.incidents) == [0, 1]
+    assert result.metrics.members_quarantined == 2
+    assert len(group.injector.fired) == 2
+
+
+def test_dual_follower_liars_no_deposition(output_registry,
+                                           output_reference):
+    env = Environment()
+    group = VotingGroup(output_registry, env=env, config=_config(
+        n_members=5,
+        lie_at=("output", 1), lie_member=1,
+        lie_specs=((("output", 2), 3),),
+    ))
+    result = group.run("Main")
+    assert result.outcome == "completed"
+    assert result.final_era == 0          # the proposer stayed honest
+    _assert_matches_reference(env, result, output_reference)
+    assert sorted(i.member for i in result.incidents) == [1, 3]
+
+
+# ======================================================================
+# Engine demotion
+# ======================================================================
+def test_requested_demotion_lands_at_a_safe_point(multi_registry,
+                                                  multi_reference):
+    """A pending demotion rebuilds every member onto the target engine
+    at the next replayable boundary and the run completes there."""
+    env = Environment()
+    group = VotingGroup(multi_registry, env=env, config=_config())
+    assert group.base_config.engine == "slice"
+    group.request_demotion("step")
+    result = group.run("Main")
+    assert result.outcome == "completed"
+    _assert_matches_reference(env, result, multi_reference)
+    assert group.base_config.engine == "step"
+    assert all(slot.engine == "step" for slot in group.slots)
+    assert group.metrics.engine_demotions == 1
+    assert group.demotions and group.demotions[0][1] == "step"
+
+
+def test_demotion_to_current_engine_is_a_noop(multi_registry,
+                                              multi_reference):
+    env = Environment()
+    group = VotingGroup(multi_registry, env=env, config=_config())
+    group.request_demotion("slice")
+    result = group.run("Main")
+    assert result.outcome == "completed"
+    _assert_matches_reference(env, result, multi_reference)
+    assert group.metrics.engine_demotions == 0
+    assert group.demotions == []
+
+
+def test_demotion_rejects_unknown_engine(multi_registry):
+    group = VotingGroup(multi_registry, config=_config())
+    with pytest.raises(ReplicationError):
+        group.request_demotion("turbo")
+
+
+def test_on_divergence_hook_fires_before_demotion_policy(multi_registry):
+    """The hook a fleet's DegradationController subscribes to: every
+    confirmed VariantDivergence is pushed to it as it is ruled."""
+    env = Environment()
+    group = VotingGroup(multi_registry, env=env, config=_config(
+        variants="step+slice", lie_at=("digest", 2), lie_member=1,
+    ))
+    seen = []
+    group.on_divergence = seen.append
+    result = group.run("Main")
+    assert result.outcome == "completed"
+    assert len(seen) == 1
+    assert seen[0] is result.divergences[0]
