@@ -1,14 +1,17 @@
 """Fleet serving benchmark: open-loop traffic over sharded replica groups.
 
-Two scenarios on the same seeded traffic schedule:
+Scenarios on the same seeded traffic schedule:
 
-* ``steady`` — every shard stays healthy; the latency distribution is
-  the fleet's baseline (routing + ingest wake-up + output-committed
-  reply per request);
+* ``steady`` — every shard stays healthy on the default ``slice``
+  engine; the latency distribution is the fleet's baseline (routing +
+  ingest wake-up + output-committed reply per request);
+* ``steady_block`` — the same healthy fleet with every replica on the
+  compiled ``block`` engine: identical responses, lower per-bytecode
+  dispatch surcharge, so the whole latency distribution shifts down;
 * ``crash_under_load`` — one shard's primary fail-stops mid-load; the
   fleet keeps serving while that shard fails over, reconciles its
   request port, and re-arms a fresh backup via checkpoint transfer.
-  The crash must cost *latency only*: both scenarios must commit every
+  The crash must cost *latency only*: all scenarios must commit every
   request exactly once with responses matching the serial reference.
 
 Latency/throughput are simulated time (the cost model's bytecode
@@ -51,9 +54,10 @@ _TRAFFIC = {
 _CRASH_SHARD = 1
 
 
-def _run_scenario(profile, crash, voting=False):
+def _run_scenario(profile, crash, voting=False, engine=None):
     from repro.fleet import Fleet, TrafficSpec
     from repro.replication.config import ReplicationConfig
+    from repro.runtime.jvm import JVMConfig
     from repro.workloads import DB_SERVER
 
     shape = _TRAFFIC[profile]
@@ -68,6 +72,9 @@ def _run_scenario(profile, crash, voting=False):
     if voting:
         config = ReplicationConfig(voting=True, n_members=3,
                                    strategy="thread_sched")
+    if engine is not None:
+        config = (config or ReplicationConfig()).merged(
+            jvm_config=JVMConfig(engine=engine))
     start = time.perf_counter()
     fleet = Fleet(shape["n_shards"], profile=profile,
                   config=config, crash_schedule_for=crash_for)
@@ -83,6 +90,8 @@ def run_suite(profile="bench", voting=False):
     JSON-ready report dict."""
     scenarios = {
         "steady": _run_scenario(profile, crash=False),
+        "steady_block": _run_scenario(profile, crash=False,
+                                      engine="block"),
         "crash_under_load": _run_scenario(profile, crash=True),
     }
     if voting:
@@ -146,6 +155,12 @@ def test_fleet_bench(bench_profile, save_result):
     # The failover shows up as tail latency, never as lost work.
     assert crash["p99_latency_ms"] > report["scenarios"]["steady"][
         "p99_latency_ms"]
+    # The compiled engine serves the identical traffic strictly faster.
+    steady = report["scenarios"]["steady"]
+    block = report["scenarios"]["steady_block"]
+    assert block["responses_committed"] == steady["responses_committed"]
+    assert block["p50_latency_ms"] < steady["p50_latency_ms"]
+    assert block["block_cache_hits"] > 0
 
 
 # ----------------------------------------------------------------------
@@ -172,6 +187,12 @@ def main(argv=None):
           f"{crash['requests_requeued']} request(s) requeued, "
           f"p99 {crash['p99_latency_ms']:.1f}ms vs steady "
           f"{report['scenarios']['steady']['p99_latency_ms']:.1f}ms")
+    steady = report["scenarios"]["steady"]
+    block = report["scenarios"]["steady_block"]
+    print(f"block engine: p50 {block['p50_latency_ms']:.3f}ms vs "
+          f"steady {steady['p50_latency_ms']:.3f}ms "
+          f"({block['blocks_compiled']} blocks compiled, "
+          f"{block['block_cache_hits']} cache hits)")
     if args.voting:
         v = report["scenarios"]["voting_steady"]
         print(f"voting fleet: p50 {v['p50_latency_ms']:.3f}ms "

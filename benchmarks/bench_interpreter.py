@@ -1,10 +1,12 @@
-"""Execution-engine microbenchmarks: single-step vs the fast path.
+"""Execution-engine microbenchmarks: single-step vs the fast paths.
 
-Three kernels stress the three things the fast path optimizes:
+Three kernels stress the things the fast paths optimize:
 
 * ``tight_loop`` — straight-line arithmetic in a hot loop: pre-decoded
-  operand streams and run-until-event batching (almost every bytecode
-  is a plain op, so batches are long);
+  operand streams, run-until-event batching (almost every bytecode is
+  a plain op, so batches are long), and — under ``block`` — the
+  superinstruction compiler, which turns the loop body into one
+  generated Python function per basic block;
 * ``call_heavy`` — virtual + static invocations in a loop: the inline
   caches for method resolution (every call is a safe-point event, so
   batches are short and dispatch overhead dominates);
@@ -12,21 +14,23 @@ Three kernels stress the three things the fast path optimizes:
   always safe-point events, bounding what batching can win (and under
   ``lock_sync`` each acquisition also logs a record).
 
-Each kernel runs under both engines in three replication modes
+Each kernel runs under all three engines in three replication modes
 (unreplicated baseline, ``lock_sync`` primary, ``thread_sched``
-primary).  Every cell asserts the two engines produce the *same* final
-state digest — the microbenchmark doubles as an equivalence check —
-and reports wall-clock bytecodes/second plus the slice/step speedup.
+primary).  Every cell asserts all engines produce the *same* final
+state digest and instruction count — the microbenchmark doubles as an
+equivalence check — and reports wall-clock bytecodes/second plus the
+slice/step and block/step speedups.
 
 Usable two ways:
 
 * as a script (CI's perf-smoke job)::
 
       PYTHONPATH=src python benchmarks/bench_interpreter.py \
-          --json BENCH_interpreter.json --min-speedup 2.0
+          --json BENCH_interpreter.json --min-speedup 2.0 \
+          --min-block-speedup 6.0
 
-  exits non-zero when the unreplicated tight-loop speedup falls below
-  ``--min-speedup``;
+  exits non-zero when the unreplicated tight-loop speedups fall below
+  the floors;
 
 * under pytest (``pytest benchmarks/bench_interpreter.py``), honoring
   ``REPRO_BENCH_PROFILE=test`` for a fast smoke pass and writing both
@@ -42,7 +46,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-ENGINES = ("step", "slice")
+ENGINES = ("step", "slice", "block")
 MODES = ("unreplicated", "lock_sync", "thread_sched")
 
 #: Loop trip counts per profile; the test profile only proves the
@@ -169,20 +173,27 @@ def run_suite(profile="bench"):
             cell = {}
             for engine in ENGINES:
                 cell[engine] = _run_cell(registry, engine, mode)
-            if cell["step"]["digest"] != cell["slice"]["digest"]:
-                raise AssertionError(
-                    f"{kernel}/{mode}: engines diverged "
-                    f"({cell['step']['digest']} != {cell['slice']['digest']})"
-                )
-            if cell["step"]["instructions"] != cell["slice"]["instructions"]:
-                raise AssertionError(
-                    f"{kernel}/{mode}: instruction counts differ "
-                    f"({cell['step']['instructions']} != "
-                    f"{cell['slice']['instructions']})"
-                )
+            for engine in ENGINES[1:]:
+                if cell["step"]["digest"] != cell[engine]["digest"]:
+                    raise AssertionError(
+                        f"{kernel}/{mode}: engines diverged "
+                        f"({cell['step']['digest']} != "
+                        f"{cell[engine]['digest']} under {engine})"
+                    )
+                if (cell["step"]["instructions"]
+                        != cell[engine]["instructions"]):
+                    raise AssertionError(
+                        f"{kernel}/{mode}: instruction counts differ "
+                        f"({cell['step']['instructions']} != "
+                        f"{cell[engine]['instructions']} under {engine})"
+                    )
             step_rate = cell["step"]["instr_per_sec"]
             cell["speedup"] = (
                 round(cell["slice"]["instr_per_sec"] / step_rate, 2)
+                if step_rate else 0.0
+            )
+            cell["block_speedup"] = (
+                round(cell["block"]["instr_per_sec"] / step_rate, 2)
                 if step_rate else 0.0
             )
             modes[mode] = cell
@@ -193,6 +204,8 @@ def run_suite(profile="bench"):
         "kernels": kernels,
         "tight_loop_speedup":
             kernels["tight_loop"]["modes"]["unreplicated"]["speedup"],
+        "tight_loop_block_speedup":
+            kernels["tight_loop"]["modes"]["unreplicated"]["block_speedup"],
     }
 
 
@@ -205,12 +218,15 @@ def render(report):
                 kernel, mode, cell["step"]["instructions"],
                 f"{cell['step']['instr_per_sec'] / 1e6:.3f}",
                 f"{cell['slice']['instr_per_sec'] / 1e6:.3f}",
+                f"{cell['block']['instr_per_sec'] / 1e6:.3f}",
                 f"{cell['speedup']:.2f}x",
+                f"{cell['block_speedup']:.2f}x",
             ])
     return render_table(
         f"Execution engines, wall-clock Mbytecodes/s "
         f"(profile={report['profile']})",
-        ["Kernel", "Mode", "Instructions", "step", "slice", "Speedup"],
+        ["Kernel", "Mode", "Instructions", "step", "slice", "block",
+         "slice/step", "block/step"],
         rows,
     )
 
@@ -228,10 +244,13 @@ def test_engine_microbench(bench_profile, save_result):
     for entry in report["kernels"].values():
         for cell in entry["modes"].values():
             assert cell["speedup"] > 0
+            assert cell["block_speedup"] > 0
     if bench_profile == "bench":
         # The batched loop must beat single-step decisively where
-        # batches are long; noisy short runs only check the plumbing.
+        # batches are long, and the compiled blocks must beat batching
+        # decisively on top; noisy short runs only check the plumbing.
         assert report["tight_loop_speedup"] >= 2.0
+        assert report["tight_loop_block_speedup"] >= 6.0
 
 
 # ----------------------------------------------------------------------
@@ -247,7 +266,11 @@ def main(argv=None):
     parser.add_argument("--min-speedup", type=float, default=0.0,
                         metavar="X",
                         help="fail when the unreplicated tight-loop "
-                             "speedup is below X")
+                             "slice/step speedup is below X")
+    parser.add_argument("--min-block-speedup", type=float, default=0.0,
+                        metavar="X",
+                        help="fail when the unreplicated tight-loop "
+                             "block/step speedup is below X")
     args = parser.parse_args(argv)
 
     report = run_suite(args.profile)
@@ -256,9 +279,12 @@ def main(argv=None):
         fh.write("\n")
     print(render(report))
     speedup = report["tight_loop_speedup"]
-    print(f"tight-loop speedup: {speedup:.2f}x "
-          f"(floor {args.min_speedup:.2f}x)")
-    if speedup < args.min_speedup:
+    block_speedup = report["tight_loop_block_speedup"]
+    print(f"tight-loop speedup: slice {speedup:.2f}x "
+          f"(floor {args.min_speedup:.2f}x), "
+          f"block {block_speedup:.2f}x "
+          f"(floor {args.min_block_speedup:.2f}x)")
+    if speedup < args.min_speedup or block_speedup < args.min_block_speedup:
         print("FAIL: fast path below the speedup floor", file=sys.stderr)
         return 1
     return 0

@@ -75,7 +75,7 @@ def add_replication_options(
     repeatable: bool = False,
     strategies: tuple = ("lock_sync", "thread_sched"),
     default_strategy: str = "lock_sync",
-    engines: tuple = ("step", "slice"),
+    engines: tuple = ("step", "slice", "block"),
     default_engine: str = "slice",
     default_seed: int = 20030622,
 ) -> argparse.ArgumentParser:
@@ -104,9 +104,10 @@ def add_replication_options(
                         default=default_engine,
                         help="execution engine: 'step' re-enters per "
                              "bytecode, 'slice' batches to the next "
-                             "safe-point event"
-                             + (" ('both' sweeps each cell under both)"
-                                if "both" in engines else ""))
+                             "safe-point event, 'block' additionally "
+                             "compiles hot straight-line runs"
+                             + (" ('both' sweeps each cell under every "
+                                "engine)" if "both" in engines else ""))
     parser.add_argument("--seed", type=int, default=default_seed,
                         help="seed for fault schedules and generated "
                              "traffic")
@@ -176,7 +177,8 @@ def _cmd_conform(args: argparse.Namespace) -> int:
         ["memory", "faulty:flaky"] if args.quick
         else ["memory", "faulty:flaky", "faulty:lossy"]
     )
-    engines = ["step", "slice"] if args.engine == "both" else [args.engine]
+    engines = (["step", "slice", "block"] if args.engine == "both"
+               else [args.engine])
 
     if args.byzantine:
         from repro.conform.byzantine import ByzantineConfig, run_byzantine_sweep
@@ -510,6 +512,51 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import io
+    import pstats
+
+    from repro.conform.workloads import get_workload, workload_names
+    from repro.runtime.jvm import JVMConfig
+
+    target = args.target
+    if target in workload_names():
+        workload = get_workload(target)
+        registry = workload.registry()
+        main_class = workload.main_class
+        config = workload.jvm_config(engine=args.engine)
+    else:
+        kernels = {}
+        try:
+            from benchmarks.bench_interpreter import _KERNEL_SOURCES
+            kernels = _KERNEL_SOURCES
+        except ImportError:
+            pass
+        if target in kernels:
+            registry = compile_program(kernels[target] % args.reps)
+            main_class = "Main"
+        else:
+            registry = compile_program(_load_source(target))
+            main_class = args.main
+        config = JVMConfig(engine=args.engine)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result, _ = run_unreplicated(registry, main_class,
+                                 env=Environment(), jvm_config=config)
+    profiler.disable()
+
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream) \
+        .sort_stats(args.sort).print_stats(args.top)
+    print(f"[profile target={target} engine={args.engine} "
+          f"instructions={result.instructions} ok={result.ok}]",
+          file=sys.stderr)
+    print(stream.getvalue())
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -559,6 +606,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_wl = sub.add_parser("workloads", help="list benchmark workloads")
     p_wl.set_defaults(fn=_cmd_workloads)
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="cProfile one unreplicated run and print the hot spots",
+    )
+    p_prof.add_argument("target",
+                        help="a conform workload name, an interpreter "
+                             "bench kernel name (tight_loop, call_heavy, "
+                             "monitor_heavy), or a MiniJava source file")
+    p_prof.add_argument("--main", default="Main",
+                        help="main class (source-file targets only)")
+    p_prof.add_argument("--engine",
+                        choices=("step", "slice", "block"),
+                        default="slice")
+    p_prof.add_argument("--reps", type=int, default=50_000, metavar="N",
+                        help="iteration count for bench-kernel targets")
+    p_prof.add_argument("--top", type=int, default=25, metavar="N",
+                        help="rows of the stats table to print")
+    p_prof.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime", "calls"),
+                        help="pstats sort key")
+    p_prof.set_defaults(fn=_cmd_profile)
+
     p_conf = sub.add_parser(
         "conform",
         help="exhaustive crash-point conformance sweep",
@@ -571,7 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "(counter workload, memory + seeded flaky "
                              "transports)")
     add_replication_options(
-        p_conf, repeatable=True, engines=("step", "slice", "both"),
+        p_conf, repeatable=True, engines=("step", "slice", "block", "both"),
     )
     p_conf.add_argument("--workers", type=int, default=0, metavar="N",
                         help="crash points checked in N parallel "

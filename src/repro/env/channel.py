@@ -35,8 +35,17 @@ class Channel:
             transport = InMemoryTransport()
         #: The message-moving layer (in-memory, fault-injected, socket).
         self.transport = transport
-        #: Records buffered at the primary, not yet flushed.
-        self._buffer: List[bytes] = []
+        #: Records buffered at the primary, not yet flushed.  With no
+        #: ``encoder`` these are wire-ready ``bytes``; with one, they
+        #: are unencoded record objects serialized in one batch pass at
+        #: flush time (the replication hot path buffers objects so the
+        #: per-record log call does no wire work).
+        self._buffer: List = []
+        #: Optional batch serializer, ``records -> list[bytes]``,
+        #: applied to the whole buffer at every flush.  Crash semantics
+        #: are unchanged: an unflushed buffer dies with the primary
+        #: whether it holds bytes or objects.
+        self.encoder: Optional[Callable[[List], List[bytes]]] = None
         #: Flush automatically once this many records are buffered
         #: (the paper's "sends them periodically or on an output commit").
         self.batch_records = batch_records
@@ -71,8 +80,10 @@ class Channel:
         return self.transport.delivered
 
     # ------------------------------------------------------------------
-    def send_record(self, payload: bytes) -> None:
-        """Buffer one log record; auto-flush when the batch fills."""
+    def send_record(self, payload) -> None:
+        """Buffer one log record (bytes, or an unencoded record object
+        when an ``encoder`` is installed); auto-flush when the batch
+        fills."""
         if self.closed:
             return
         self._buffer.append(payload)
@@ -101,13 +112,15 @@ class Channel:
             self.before_flush()
         if not self._buffer:
             return
-        n_bytes = sum(len(r) for r in self._buffer)
+        batch = (self._buffer if self.encoder is None
+                 else self.encoder(self._buffer))
+        n_bytes = sum(len(r) for r in batch)
         self.messages_sent += 1
-        self.records_sent += len(self._buffer)
+        self.records_sent += len(batch)
         self.bytes_sent += n_bytes
         if self.on_flush is not None:
-            self.on_flush(len(self._buffer), n_bytes)
-        self.transport.send(self._buffer)
+            self.on_flush(len(batch), n_bytes)
+        self.transport.send(batch)
         self._buffer.clear()
 
     def flush_and_wait_ack(self) -> float:

@@ -240,7 +240,9 @@ class Fleet:
                         else instr_before) - instr_before
                 )
             service_units = (
-                instr_delta * self.cost.instr_unit
+                instr_delta * (self.cost.instr_unit
+                               + self.cost.dispatch_rate(
+                                   group.base_config.engine))
                 + self.cost.request_overhead()
                 + crashes * self.cost.failover_gap
             )
@@ -317,6 +319,8 @@ class Fleet:
             fm.votes_cast += sm.votes_cast
             fm.quorum_certs += sm.quorum_certs
             fm.outputs_gated += sm.outputs_gated
+            fm.blocks_compiled += sm.blocks_compiled
+            fm.block_cache_hits += sm.block_cache_hits
         if self.degradation is not None and self.degradation.demoted:
             fm.degraded_to = self.degradation.target_engine
         fm.per_shard = shards

@@ -46,18 +46,23 @@ class ShardServingMetrics:
     members_suspected: int = 0
     suspicions_cleared: int = 0
     engine_demotions: int = 0
+    #: Superinstruction-compiler counters summed over the shard's
+    #: replicas (zero unless a member ran ``engine="block"``).
+    blocks_compiled: int = 0
+    block_cache_hits: int = 0
     #: Execution engine the shard ended the run on ("" = non-voting).
     engine: str = ""
     latencies_ms: List[float] = field(default_factory=list)
 
     def absorb_replica_counters(self, metrics) -> None:
-        """Fold one replica's Byzantine counters into this shard's
-        view.  ``getattr`` with a default keeps this a no-op for
-        metrics objects predating the voting counters."""
+        """Fold one replica's Byzantine and engine counters into this
+        shard's view.  ``getattr`` with a default keeps this a no-op
+        for metrics objects predating a counter."""
         for name in ("members_quarantined", "members_rearmed",
                      "variant_divergences", "votes_cast", "quorum_certs",
                      "outputs_gated", "members_suspected",
-                     "suspicions_cleared", "engine_demotions"):
+                     "suspicions_cleared", "engine_demotions",
+                     "blocks_compiled", "block_cache_hits"):
             setattr(self, name,
                     getattr(self, name) + getattr(metrics, name, 0))
 
@@ -79,6 +84,8 @@ class ShardServingMetrics:
             "members_suspected": self.members_suspected,
             "suspicions_cleared": self.suspicions_cleared,
             "engine_demotions": self.engine_demotions,
+            "blocks_compiled": self.blocks_compiled,
+            "block_cache_hits": self.block_cache_hits,
             "engine": self.engine,
             "p50_latency_ms": percentile(self.latencies_ms, 50),
             "p99_latency_ms": percentile(self.latencies_ms, 99),
@@ -111,6 +118,9 @@ class FleetServingMetrics:
     members_suspected: int = 0
     suspicions_cleared: int = 0
     engine_demotions: int = 0
+    #: Superinstruction-compiler counters summed across the fleet.
+    blocks_compiled: int = 0
+    block_cache_hits: int = 0
     #: Engine the fleet degraded to ("" = never demoted).
     degraded_to: str = ""
     #: Simulated wall-clock of the run (first arrival -> last completion).
@@ -156,6 +166,8 @@ class FleetServingMetrics:
             "members_suspected": self.members_suspected,
             "suspicions_cleared": self.suspicions_cleared,
             "engine_demotions": self.engine_demotions,
+            "blocks_compiled": self.blocks_compiled,
+            "block_cache_hits": self.block_cache_hits,
             "degraded_to": self.degraded_to,
             "makespan_ms": round(self.makespan_ms, 3),
             "p50_latency_ms": round(self.p50_latency_ms, 3),

@@ -39,6 +39,16 @@ class CostModel:
     instr_unit: float = 1.0
     heavy_extra: float = 1.8        # extra cost of an array/float bytecode
     native_call: float = 12.0       # JNI-style transition per native
+    #: Host-dispatch surcharge per bytecode by execution engine:
+    #: ``step`` re-enters the engine (fetch, handler lookup, full
+    #: checks) for every bytecode, ``slice`` amortizes dispatch over a
+    #: batch between safe-point events, and ``block`` executes whole
+    #: hot straight-line runs as one compiled superinstruction.  Fleet
+    #: serving prices request service with :meth:`dispatch_rate`, so
+    #: the engine tier shows up in the latency distribution.
+    dispatch_step: float = 0.50
+    dispatch_slice: float = 0.10
+    dispatch_block: float = 0.02
 
     # --- communication ---------------------------------------------------
     msg_fixed: float = 2500.0       # per message put on the wire
@@ -65,6 +75,15 @@ class CostModel:
     #: batch counter (the per-CF charge is unchanged — br_cnt still
     #: ticks on every control-flow change).
     per_instr_tracking_fast: float = 0.08
+    #: pc_off tracking under the compiled ("block") engine: a whole
+    #: straight-line run settles its accounting as one add at block
+    #: exit, so the per-bytecode charge amortizes to near zero.
+    per_instr_tracking_block: float = 0.02
+    #: Credit per record serialized by the per-flush batch encoder:
+    #: the hot log call buffers the record object and the constant
+    #: framing (epoch envelope prefix) is built once per flush instead
+    #: of once per record.  Small against msg_fixed by design.
+    batched_encode_discount: float = 6.0
 
     # --- divergence detection --------------------------------------------
     digest_record: float = 180.0    # hash the reachable state at a slice
@@ -117,6 +136,13 @@ class CostModel:
     failover_gap: float = 1_500_000.0
 
     # ------------------------------------------------------------------
+    def dispatch_rate(self, engine: str) -> float:
+        """Per-bytecode dispatch surcharge of one execution engine
+        (unknown names price like the reference ``step`` loop)."""
+        return {"slice": self.dispatch_slice,
+                "block": self.dispatch_block}.get(engine,
+                                                  self.dispatch_step)
+
     def base_time(self, metrics: ReplicationMetrics) -> float:
         """Execution time of the program itself on this substrate."""
         return (
@@ -128,12 +154,13 @@ class CostModel:
     def primary_breakdown(self, metrics: ReplicationMetrics,
                           strategy: str) -> Dict[str, float]:
         """Overhead components at the primary (Figures 3 and 4)."""
-        communication = (
+        communication = max(0.0, (
             metrics.messages_sent * self.msg_fixed
             + metrics.bytes_sent * self.per_byte
             + metrics.retransmits * self.retransmit_msg
             + metrics.backpressure_stalls * self.backpressure_wait
-        )
+            - metrics.records_batch_encoded * self.batched_encode_discount
+        ))
         pessimistic = (
             metrics.ack_waits * self.ack_rtt
             + metrics.ack_wait_time * self.rtt_wait_unit
@@ -169,11 +196,10 @@ class CostModel:
             breakdown["rescheduling"] = (
                 metrics.schedule_records * self.sched_record
             )
-            instr_tracking = (
-                self.per_instr_tracking_fast
-                if metrics.engine == "slice"
-                else self.per_instr_tracking
-            )
+            instr_tracking = {
+                "slice": self.per_instr_tracking_fast,
+                "block": self.per_instr_tracking_block,
+            }.get(metrics.engine, self.per_instr_tracking)
             breakdown["misc"] = misc + (
                 metrics.instructions * instr_tracking
                 + metrics.cf_changes * self.per_cf_tracking

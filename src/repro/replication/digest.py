@@ -263,6 +263,214 @@ def compute_state_digest(jvm, env=None, *,
     return StateDigest(tuple(components))
 
 
+class IncrementalStateDigest:
+    """Stateful digester: reuses per-object hashes across passes.
+
+    :func:`compute_state_digest` hashes every reachable object on every
+    pass; at lockstep digest intervals most of the heap is provably
+    untouched between passes.  The heap's mutation clock (PR 6's era
+    machinery, see :meth:`~repro.runtime.heap.Heap.bump_era`) stamps
+    every tracked mutation site — field/array stores (interpreter,
+    block compiler, ``arraycopy``), monitor state changes
+    (``MonitorTable._touch``), GC referent clearing, backup
+    native-result adoption — so an object whose ``mut_era`` is below
+    this digester's baseline *and* whose visit id (and referenced
+    children's visit ids) match the previous pass contributes exactly
+    the same item hash.  The component combination is order-insensitive
+    (sum mod 2**128), so reusing that hash is sound.
+
+    The BFS still walks every reachable object — visit ids must be
+    assigned deterministically, and reachability itself can change —
+    but a clean object skips token construction and sha256, which is
+    where the time goes.  Frames, scheduler state, statics roots, class
+    locks, and the environment are always recomputed: they are small
+    and change every epoch.
+
+    The cache holds strong references to its objects, so a swept
+    object's ``id()`` cannot be recycled while a stale entry survives;
+    the cache is rebuilt from the visited set each pass, dropping
+    unreachable entries.  A replaced heap (checkpoint restore) resets
+    the cache entirely.
+    """
+
+    def __init__(self, jvm, env=None) -> None:
+        self._jvm = jvm
+        self._env = env
+        self._heap = getattr(jvm, "heap", None)
+        #: id(obj) -> (obj, vid, deps, obj_hash, mon_hash|None) where
+        #: deps is ((child, child_vid), ...) in tokenization order.
+        self._cache: Dict[int, tuple] = {}
+        self._clean_below = 0
+        self.items_reused = 0
+        self.items_hashed = 0
+
+    def compute(self, *, include_env: bool = True) -> StateDigest:
+        from repro.runtime.monitors import Monitor
+        from repro.runtime.values import JArray, JObject
+
+        jvm = self._jvm
+        heap = getattr(jvm, "heap", None)
+        if heap is None:
+            # No mutation clock to lean on (stub JVMs in tests):
+            # delegate to the stateless full walk.
+            return compute_state_digest(jvm, self._env,
+                                        include_env=include_env)
+        if heap is not self._heap:
+            # Restored/replaced heap: every cached identity is void.
+            self._heap = heap
+            self._cache = {}
+            self._clean_below = 0
+        cache = self._cache
+        clean_below = self._clean_below
+        new_cache: Dict[int, tuple] = {}
+
+        visit_ids: Dict[int, int] = {}
+        pending: List[Any] = []
+
+        def ref_id(obj: Any) -> int:
+            key = id(obj)
+            vid = visit_ids.get(key)
+            if vid is None:
+                vid = visit_ids[key] = len(visit_ids)
+                pending.append(obj)
+            return vid
+
+        def token(value: Any) -> str:
+            return _scalar_token(value, ref_id)
+
+        heap_items: List[int] = []
+        frame_items: List[int] = []
+        monitor_items: List[int] = []
+        sched_items: List[int] = []
+
+        # --- roots: identical to the full walk ------------------------
+        for (class_name, field_name) in sorted(jvm.statics):
+            value = jvm.statics[(class_name, field_name)]
+            heap_items.append(
+                _h(f"static:{class_name}.{field_name}={token(value)}")
+            )
+
+        threads = sorted(
+            (t for t in jvm.scheduler.threads if not t.is_system),
+            key=lambda t: t.vid,
+        )
+        for thread in threads:
+            alive = "live" if thread.alive else "terminated"
+            sched_items.append(_h(
+                f"thread:{thread.vid}:{alive}:br={thread.br_cnt}"
+                f":mon={thread.mon_cnt}:asn={thread.t_asn}"
+                f":instr={thread.instructions}"
+            ))
+            if thread.thread_object is not None:
+                ref_id(thread.thread_object)
+            for depth, frame in enumerate(thread.frames):
+                locals_tok = ",".join(token(v) for v in frame.locals)
+                stack_tok = ",".join(token(v) for v in frame.stack)
+                held = ",".join(f"@{ref_id(o)}" for o in frame.held_monitors)
+                sync = (f"@{ref_id(frame.sync_object)}"
+                        if frame.sync_object is not None else "-")
+                frame_items.append(_h(
+                    f"frame:{thread.vid}:{depth}:{frame.method.signature}"
+                    f":pc={frame.pc}"
+                    f":L[{locals_tok}]:S[{stack_tok}]:H[{held}]:sync={sync}"
+                ))
+            if thread.pending_exception is not None:
+                ref_id(thread.pending_exception)
+
+        for vid_str, class_name, message in jvm.uncaught:
+            sched_items.append(
+                _h(f"uncaught:{vid_str}:{class_name}:{message}")
+            )
+
+        # --- breadth-first expansion with per-object hash reuse -------
+        def monitor_token(owner_id: int, monitor: Monitor) -> str:
+            owner = (monitor.owner.vid if monitor.owner is not None
+                     and not monitor.owner.is_system else "-")
+            entry = ",".join(str(t.vid) for t in monitor.entry_queue)
+            waiters = ",".join(str(t.vid) for t in monitor.wait_set)
+            return (
+                f"monitor:@{owner_id}:asn={monitor.l_asn}:owner={owner}"
+                f":rec={monitor.recursion}:entry=[{entry}]:wait=[{waiters}]"
+            )
+
+        cursor = 0
+        while cursor < len(pending):
+            obj = pending[cursor]
+            my_id = visit_ids[id(obj)]
+            cursor += 1
+            entry = cache.get(id(obj))
+            if (entry is not None and entry[0] is obj
+                    and obj.mut_era < clean_below and entry[1] == my_id):
+                # Clean object: the children's vids must also match —
+                # ref_id'ing them here performs exactly the enqueueing
+                # the tokenizer would (deps are in tokenization order,
+                # and a clean object's references are unchanged).
+                for child, child_vid in entry[2]:
+                    if ref_id(child) != child_vid:
+                        break
+                else:
+                    heap_items.append(entry[3])
+                    if entry[4] is not None:
+                        monitor_items.append(entry[4])
+                    new_cache[id(obj)] = entry
+                    self.items_reused += 1
+                    continue
+            deps: List[tuple] = []
+
+            def tok(value: Any, _deps=deps) -> str:
+                if isinstance(value, (JObject, JArray)):
+                    vid = ref_id(value)
+                    _deps.append((value, vid))
+                    return f"@{vid}"
+                return _scalar_token(value, ref_id)
+
+            if isinstance(obj, JArray):
+                body = ",".join(tok(v) for v in obj.data)
+                obj_hash = _h(f"array:@{my_id}:{obj.elem_type}:[{body}]")
+            else:
+                body = ",".join(
+                    f"{name}={tok(obj.fields[name])}"
+                    for name in sorted(obj.fields)
+                )
+                obj_hash = _h(
+                    f"object:@{my_id}:{obj.class_name}:{{{body}}}"
+                )
+            heap_items.append(obj_hash)
+            mon_hash = None
+            monitor = getattr(obj, "monitor", None)
+            if monitor is not None and monitor.l_asn > 0:
+                mon_hash = _h(monitor_token(my_id, monitor))
+                monitor_items.append(mon_hash)
+            new_cache[id(obj)] = (obj, my_id, tuple(deps), obj_hash,
+                                  mon_hash)
+            self.items_hashed += 1
+
+        for class_name in sorted(jvm._class_locks):
+            lock = jvm._class_locks[class_name]
+            monitor = getattr(lock, "monitor", None)
+            if monitor is not None and monitor.l_asn > 0:
+                monitor_items.append(
+                    _h(f"classlock:{class_name}:"
+                       + monitor_token(-1, monitor)
+                       .replace("monitor:@-1:", ""))
+                )
+
+        components = [
+            ("heap", _combine(heap_items)),
+            ("frames", _combine(frame_items)),
+            ("monitors", _combine(monitor_items)),
+            ("sched", _combine(sched_items)),
+        ]
+        if include_env and self._env is not None:
+            components.append(
+                ("env", _h("env:" + self._env.stable_digest()))
+            )
+        self._cache = new_cache
+        self._clean_below = heap.era + 1
+        heap.bump_era()
+        return StateDigest(tuple(components))
+
+
 # ======================================================================
 # The wire record
 # ======================================================================
@@ -331,6 +539,15 @@ class DigestEmitter:
         #: Set by the machine once the primary JVM exists.
         self.jvm = None
         self._emitting = False
+        self._digester: Optional[IncrementalStateDigest] = None
+
+    def _compute(self) -> StateDigest:
+        """Per-epoch digests come from the incremental digester — the
+        lockstep hot path re-visits only the dirty set between epochs
+        (full-walk equivalence is covered by the digest test suite)."""
+        if self._digester is None or self._digester._jvm is not self.jvm:
+            self._digester = IncrementalStateDigest(self.jvm, self._env)
+        return self._digester.compute()
 
     def _log_digest(self, record: DigestRecord) -> None:
         from repro.replication.records import encode
@@ -352,14 +569,14 @@ class DigestEmitter:
             return
         if self.epoch % self.interval:
             return
-        digest = compute_state_digest(self.jvm, self._env)
+        digest = self._compute()
         self._log_digest(DigestRecord(self.epoch, False, digest.components))
 
     def emit_final(self) -> None:
         """End-of-run digest (the machine's exit hook)."""
         if self.jvm is None:
             return
-        digest = compute_state_digest(self.jvm, self._env)
+        digest = self._compute()
         self._log_digest(DigestRecord(self.epoch, True, digest.components))
 
 
@@ -388,6 +605,7 @@ class DigestVerifier:
         self._epoch_source = epoch_source
         self.epochs_verified = 0
         self.final_verified = False
+        self._digester: Optional[IncrementalStateDigest] = None
 
     def extend(self, records: List[DigestRecord]) -> None:
         """Feed newly delivered digest records (hot backup)."""
@@ -405,8 +623,9 @@ class DigestVerifier:
     def _compare(self, record: DigestRecord, jvm,
                  names: Tuple[str, ...]) -> None:
         include_env = "env" in names
-        local = compute_state_digest(jvm, self._env,
-                                     include_env=include_env)
+        if self._digester is None or self._digester._jvm is not jvm:
+            self._digester = IncrementalStateDigest(jvm, self._env)
+        local = self._digester.compute(include_env=include_env)
         mismatched = record.digest.diff(local, names)
         if mismatched:
             expected = record.digest.hex()

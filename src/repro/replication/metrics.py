@@ -40,6 +40,9 @@ class ReplicationMetrics:
     records_sent: int = 0
     bytes_sent: int = 0
     ack_waits: int = 0
+    #: Records serialized by the per-flush batch encoder (the hot-path
+    #: log call buffers objects; wire work happens once per flush).
+    records_batch_encoded: int = 0
 
     # --- Transport-level (zero on the in-memory transport) ------------
     retransmits: int = 0
@@ -56,10 +59,14 @@ class ReplicationMetrics:
     cf_changes: int = 0              # br_cnt sum over threads
     heavy_ops: int = 0               # array/float bytecodes
     native_calls: int = 0            # all native invocations
-    #: Execution engine the run used ("step" or "slice"); the cost
-    #: model prices per-bytecode progress tracking differently when the
-    #: fast path only updates it at safe-point events.
+    #: Execution engine the run used ("step", "slice", or "block"); the
+    #: cost model prices per-bytecode progress tracking differently
+    #: when the fast path only updates it at safe-point events.
     engine: str = "step"
+    #: Superinstruction blocks compiled by the ``block`` engine.
+    blocks_compiled: int = 0
+    #: Executions served by an already-compiled block.
+    block_cache_hits: int = 0
 
     # --- Checkpoint transfer (replica-group re-integration) -----------
     checkpoint_records: int = 0      # checkpoint chunk records shipped
@@ -135,7 +142,8 @@ class ReplicationMetrics:
                 "se_records", "digest_records", "digest_bytes",
                 "objects_locked", "locks_acquired",
                 "largest_l_asn", "reschedules", "messages_sent",
-                "records_sent", "bytes_sent", "ack_waits", "retransmits",
+                "records_sent", "bytes_sent", "ack_waits",
+                "records_batch_encoded", "retransmits",
                 "messages_dropped", "messages_duplicated",
                 "backpressure_stalls", "instructions",
                 "cf_changes", "records_replayed", "outputs_suppressed",
@@ -148,6 +156,7 @@ class ReplicationMetrics:
                 "recovery_tail_records",
                 "requests_ingested", "responses_committed",
                 "requests_requeued",
+                "blocks_compiled", "block_cache_hits",
                 "votes_cast", "vote_bytes", "quorum_certs",
                 "outputs_gated", "members_suspected",
                 "suspicions_cleared", "members_quarantined",

@@ -241,9 +241,11 @@ class BackupNativePolicy:
             self._se.receive(record)
 
     @staticmethod
-    def _adopt(record: NativeResultRecord, args) -> NativeOutcome:
+    def _adopt(record: NativeResultRecord, args, heap=None) -> NativeOutcome:
         for index, contents in record.array_results.items():
             args[index].data[:] = contents
+            if heap is not None:
+                args[index].mut_era = heap.era
         return NativeOutcome(
             value=record.value,
             exception=record.exception,
@@ -275,7 +277,7 @@ class BackupNativePolicy:
                     record = results.popleft()
                     self._metrics.outputs_suppressed += 1
                     self._metrics.records_replayed += 1
-                    return self._adopt(record, args)
+                    return self._adopt(record, args, jvm.heap)
                 # Uncertain: the primary crashed between ack and marker.
                 self._ensure_restored(jvm)
                 if spec.testable and spec.se_handler is not None:
@@ -308,7 +310,7 @@ class BackupNativePolicy:
                 )
             self._metrics.natives_intercepted += 1
             self._metrics.records_replayed += 1
-            return self._adopt(record, args)
+            return self._adopt(record, args, jvm.heap)
         self._ensure_restored(jvm)
         outcome = call_native(spec, ctx, receiver, args)
         self._refresh_se(jvm, spec, receiver, args, outcome)

@@ -407,6 +407,9 @@ class ReplicaGroup:
         metrics.objects_locked = jvm.sync.monitors_created
         metrics.largest_l_asn = jvm.sync.largest_l_asn
         metrics.reschedules = jvm.scheduler.reschedules
+        metrics.engine = jvm.config.engine
+        metrics.blocks_compiled = jvm.interpreter.blocks_compiled
+        metrics.block_cache_hits = jvm.interpreter.block_cache_hits
         if transport is not None:
             stats = transport.stats
             metrics.retransmits = stats.retransmits

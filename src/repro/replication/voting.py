@@ -881,6 +881,8 @@ class VotingGroup:
         metrics.instructions = jvm.instructions
         metrics.cf_changes = sum(t.br_cnt for t in jvm.scheduler.threads)
         metrics.engine = jvm.config.engine
+        metrics.blocks_compiled = jvm.interpreter.blocks_compiled
+        metrics.block_cache_hits = jvm.interpreter.block_cache_hits
         metrics.heavy_ops = jvm.heavy_ops
         metrics.native_calls = jvm.native_calls
         metrics.locks_acquired = jvm.sync.total_acquisitions

@@ -8,14 +8,23 @@ threshold triggers a synchronous collection at the next allocation
 (a safe point), mirroring how Sun's JVM collects during allocation.
 
 Dirty-object tracking for incremental checkpoints: the heap carries an
-*era* counter that the replication layer advances at every adopted
-checkpoint.  Mutation sites (field/array stores, monitor state changes,
-GC referent clearing) stamp the object's ``mut_era`` with the current
-era, so a delta checkpoint is exactly the objects with
-``mut_era >= era`` at capture time plus the oids freed since the last
-capture.  Tracking is free until :meth:`Heap.advance_era` is first
-called — unreplicated and non-checkpointing runs never pay for the
-freed-oid set.
+*era* counter — a shared monotone mutation clock.  Mutation sites
+(field/array stores, monitor state changes, GC referent clearing) stamp
+the object's ``mut_era`` with the current era.  Two consumers read the
+clock against their own baselines:
+
+- Checkpointing calls :meth:`Heap.advance_era` after each capture,
+  which bumps the clock *and* records it as ``ckpt_era``; a delta
+  checkpoint is exactly the objects with ``mut_era >= ckpt_era`` at
+  capture time plus the oids freed since the last capture.
+- The incremental state digest calls :meth:`Heap.bump_era` after each
+  digest pass, which bumps the clock only — objects whose ``mut_era``
+  is below the digest's own remembered baseline are provably unchanged
+  since the last pass and their cached hashes can be reused.
+
+Tracking is free until :meth:`Heap.advance_era` is first called —
+unreplicated and non-checkpointing runs never pay for the freed-oid
+set.
 """
 
 from __future__ import annotations
@@ -48,10 +57,12 @@ class Heap:
         self.gc_requested = False
         #: Allocation counter (survives GC; used by benchmarks/metrics).
         self.total_allocations = 0
-        #: Mutation era for delta checkpoints.  Objects whose
+        #: Shared monotone mutation clock (see module docstring).
+        self.era = 0
+        #: Checkpointing's baseline into the clock: objects whose
         #: ``mut_era`` is >= this value have been touched since the
         #: last :meth:`advance_era`.
-        self.era = 0
+        self.ckpt_era = 0
         #: Only maintained once checkpointing starts (see module doc).
         self.track_freed = False
         self._freed: Set[int] = set()
@@ -100,12 +111,19 @@ class Heap:
         the capture; oids freed from now on are recorded.
         """
         self.era += 1
+        self.ckpt_era = self.era
         self.track_freed = True
         self._freed.clear()
 
+    def bump_era(self) -> None:
+        """Advance the mutation clock without moving the checkpoint
+        baseline.  Used by consumers (e.g. the incremental digest) that
+        keep their own baseline into the shared clock."""
+        self.era += 1
+
     def dirty_objects(self) -> Iterator[Any]:
-        """Live objects mutated or allocated in the current era."""
-        era = self.era
+        """Live objects mutated or allocated since the last checkpoint."""
+        era = self.ckpt_era
         return (obj for obj in self.objects if obj.mut_era >= era)
 
     def freed_oids(self) -> Set[int]:

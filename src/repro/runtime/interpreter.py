@@ -19,10 +19,14 @@ The engine has a single execution semantics with two drivers:
   which are control flow).  GC requests and replay-preemption checks
   are honoured at every such boundary — see DESIGN.md, "The execution
   fast path", for why those are the only points where they can matter.
-* :meth:`Interpreter.step` is the same engine with ``budget=1``: it
-  executes exactly one instruction and surfaces its result, restoring
-  the seed's per-instruction discipline for detached contexts and for
-  the ``engine="step"`` reference loop.
+* With ``engine="block"``, :meth:`Interpreter.run_slice` additionally
+  compiles *hot* straight-line runs of plain bytecodes into single
+  generated-Python superinstructions (:mod:`repro.runtime.blockjit`),
+  cached on the decoded stream and invalidated with it.
+* :meth:`Interpreter.step` executes exactly one instruction with the
+  identical semantics (a specialized ``budget=1`` path), restoring the
+  seed's per-instruction discipline for detached contexts and for the
+  ``engine="step"`` reference loop.
 
 Counter discipline (replication-critical):
 
@@ -53,6 +57,7 @@ from typing import Dict, List, Optional
 from repro.bytecode.methodref import MethodRef, parse_method_ref
 from repro.bytecode.opcodes import CMP_FNS, OP_INFO, Op
 from repro.errors import LinkageError, ReproError
+from repro.runtime.blockjit import BRANCH, compile_block
 from repro.runtime.frames import Frame
 from repro.runtime.scheduler import SliceEnd
 from repro.runtime.sync import EnterResult
@@ -93,6 +98,24 @@ class StepResult(enum.Enum):
     #: A hot backup reached a native whose log record has not been
     #: delivered yet; the instruction retries when more log arrives.
     STARVED = "starved"
+
+
+class _DecodedStream(list):
+    """One method's pre-decoded instruction stream plus the ``block``
+    engine's per-stream state: compiled blocks keyed by entry pc
+    (``False`` marks an uncompilable entry) and the per-entry execution
+    counts feeding the hot threshold.  Everything hangs off the stream
+    itself, so a registry-version bump — which drops the stream — drops
+    the compiled blocks *atomically* with the decoded triples and the
+    inline caches they share."""
+
+    __slots__ = ("code", "blocks", "counts")
+
+    def __init__(self, triples, code) -> None:
+        super().__init__(triples)
+        self.code = code
+        self.blocks: dict = {}
+        self.counts: dict = {}
 
 
 class _InvokeSite:
@@ -137,6 +160,11 @@ class Interpreter:
         self._code_cache: Dict[int, list] = {}
         self._new_checked: set = set()
         self._registry_version = self._registry.version
+        self._compile_blocks = jvm.config.engine == "block"
+        self._block_threshold = jvm.config.block_hot_threshold
+        #: Lifetime counters for the block tier (metrics/cost model).
+        self.blocks_compiled = 0
+        self.block_cache_hits = 0
 
     # ==================================================================
     # The execution engine
@@ -172,9 +200,11 @@ class Interpreter:
         should_preempt = controller.should_preempt if check_preempt else None
         frames = thread.frames
         cache = self._code_cache
+        compile_blocks = self._compile_blocks
         start_br = thread.br_cnt
         rem = budget
         pending = 0  # executed plain ops not yet flushed to jvm.instructions
+        bhits = 0    # compiled-block hits, flushed to the counter once
         try:
             while True:
                 # ---- safe-point boundary: full checks ----------------
@@ -198,6 +228,81 @@ class Interpreter:
                     frame.decoded = stream
                 kind, handler, arg = stream[frame.pc]
                 if kind == _K_PLAIN:
+                    if compile_blocks:
+                        pc = frame.pc
+                        blk = stream.blocks.get(pc)
+                        if blk is None:
+                            counts = stream.counts
+                            seen = counts.get(pc, 0) + 1
+                            counts[pc] = seen
+                            if seen >= self._block_threshold:
+                                blk = compile_block(self, stream, pc)
+                                stream.blocks[pc] = (
+                                    False if blk is None else blk
+                                )
+                                if blk is not None:
+                                    self.blocks_compiled += 1
+                        if blk and rem >= blk.size:
+                            # ---- compiled superinstruction block -----
+                            # Executes the whole straight-line run in
+                            # one call; counts come back deferred, like
+                            # the batch loop's, and every exit lands on
+                            # the same boundaries it would reach.
+                            bhits += 1
+                            n, result = blk.fn(thread, frame, check_preempt)
+                            thread.instructions += n
+                            pending += n
+                            rem -= n
+                            while result is BRANCH:
+                                # The fused branch ran: event-exit
+                                # bookkeeping, same order as below —
+                                # then chain straight into the next
+                                # compiled block.  The loop-top checks
+                                # are provably no-ops here: the block
+                                # bails *before* the branch when a GC
+                                # is pending or preemption checks are
+                                # on, and a branch can set neither.
+                                if track and pending:
+                                    jvm.instructions += pending
+                                    pending = 0
+                                if thread.br_cnt - start_br >= quantum:
+                                    return SliceEnd.QUANTUM
+                                if rem <= 0:
+                                    return SliceEnd.BUDGET
+                                pc = frame.pc
+                                blk = stream.blocks.get(pc)
+                                if blk is None:
+                                    counts = stream.counts
+                                    seen = counts.get(pc, 0) + 1
+                                    counts[pc] = seen
+                                    if seen < self._block_threshold:
+                                        break
+                                    blk = compile_block(self, stream, pc)
+                                    stream.blocks[pc] = (
+                                        False if blk is None else blk
+                                    )
+                                    if blk is not None:
+                                        self.blocks_compiled += 1
+                                if not blk or rem < blk.size:
+                                    break
+                                bhits += 1
+                                n, result = blk.fn(
+                                    thread, frame, check_preempt
+                                )
+                                thread.instructions += n
+                                pending += n
+                                rem -= n
+                            if result is BRANCH:
+                                continue  # un-compiled target: dispatch
+                            if result is None:
+                                if rem <= 0:
+                                    return SliceEnd.BUDGET
+                                continue  # event op next: full checks
+                            if result is not StepResult.CONTINUE:
+                                return _SLICE_END_OF_RESULT[result]
+                            if rem <= 0:
+                                return SliceEnd.BUDGET
+                            continue
                     # ---- batch straight-line bytecodes ---------------
                     # Per-thread accounting runs in a local and is
                     # flushed at every batch exit: nothing inside a
@@ -261,14 +366,53 @@ class Interpreter:
         finally:
             if pending and track:
                 jvm.instructions += pending
+            if bhits:
+                self.block_cache_hits += bhits
 
     def step(self, thread: JavaThread) -> StepResult:
         """Execute exactly one instruction of ``thread``.
 
-        A thin wrapper over :meth:`run_slice` with ``budget=1`` — the
-        slice engine is the only execution semantics.
+        Semantically identical to :meth:`run_slice` with ``budget=1``
+        and no controller, but specialized: the per-slice setup
+        (quantum bookkeeping, budget/batch state, deferred-accounting
+        plumbing) is hoisted out so the ``engine="step"`` oracle does
+        not pay fast-path re-entry per instruction.  Counter discipline
+        is preserved exactly — plain ops bump ``thread.instructions``
+        *after* their handler, event ops *before* (their handlers carry
+        the undo paths).
         """
-        return _STEP_OF_SLICE_END[self.run_slice(thread, budget=1)]
+        if self._registry_version != self._registry.version:
+            self._invalidate_caches()
+        try:
+            frame = thread.frames[-1]
+            stream = frame.decoded
+            if stream is None:
+                code = frame.method.code
+                stream = self._code_cache.get(code.uid)
+                if stream is None:
+                    stream = self._decode(code)
+                frame.decoded = stream
+            kind, handler, arg = stream[frame.pc]
+            if kind == _K_PLAIN:
+                result = handler(thread, frame, arg)
+                thread.instructions += 1
+            else:
+                thread.instructions += 1
+                if kind == _K_CF:
+                    thread.br_cnt += 1
+                result = handler(thread, frame, arg)
+            if result is None or result is StepResult.CONTINUE:
+                return StepResult.CONTINUE
+            return result
+        except IndexError:
+            frame = thread.frames[-1] if thread.frames else None
+            if frame is None or frame.pc >= len(frame.method.code.instructions):
+                raise
+            op = frame.method.code.instructions[frame.pc].op
+            raise ReproError(
+                f"operand stack underflow at {frame.method.qualified_name}"
+                f":{frame.pc} ({op.value}) — verifier should have caught this"
+            ) from None
 
     # ==================================================================
     # Pre-decoded instruction streams
@@ -276,7 +420,9 @@ class Interpreter:
     def _decode(self, code) -> list:
         """Translate (and cache) one code array into its stream of
         ``(kind, bound_handler, decoded_operands)`` triples."""
-        stream = [self._decode_instr(instr) for instr in code.instructions]
+        stream = _DecodedStream(
+            (self._decode_instr(instr) for instr in code.instructions), code
+        )
         self._code_cache[code.uid] = stream
         return stream
 
@@ -342,6 +488,8 @@ class Interpreter:
         Called at slice entry whenever the class registry's version has
         moved (class (re)definition): every cached stream may hold stale
         method resolutions, and every live frame may point at one.
+        Compiled blocks hang off the streams, so they are dropped in
+        the same motion — no stale closure can survive the bump.
         """
         self._code_cache.clear()
         self._new_checked.clear()

@@ -72,10 +72,16 @@ class JVMConfig:
     max_instructions: Optional[int] = None
     #: Execution engine driving each time slice: ``"slice"`` batches
     #: straight-line bytecodes between safe-point events (the fast
-    #: path); ``"step"`` re-enters the engine per instruction with full
-    #: checks before each one (the seed's reference discipline).  Both
-    #: produce bit-identical digests, logs, and counters.
+    #: path); ``"block"`` additionally compiles hot straight-line runs
+    #: into single generated-Python superinstructions (the fastest
+    #: tier, see :mod:`repro.runtime.blockjit`); ``"step"`` re-enters
+    #: the engine per instruction with full checks before each one (the
+    #: seed's reference discipline).  All three produce bit-identical
+    #: digests, logs, and counters.
     engine: str = "slice"
+    #: Executions of one basic-block entry before the ``block`` engine
+    #: compiles it (ignored by the other engines).
+    block_hot_threshold: int = 8
 
 
 @dataclass
@@ -139,10 +145,10 @@ class JVM:
         self.session = session
         self.config = config or JVMConfig()
         self.name = name
-        if self.config.engine not in ("step", "slice"):
+        if self.config.engine not in ("step", "slice", "block"):
             raise ReproError(
                 f"unknown execution engine {self.config.engine!r}; "
-                f"expected 'step' or 'slice'"
+                f"expected 'step', 'slice', or 'block'"
             )
 
         from repro.runtime.scheduler import ScheduleController
@@ -384,12 +390,14 @@ class JVM:
     def _run_slice(self, thread: JavaThread) -> None:
         controller = self.scheduler.controller
         quantum = controller.quantum(thread)
-        if self.config.engine == "slice":
+        if self.config.engine == "step":
+            reason = self._run_slice_stepwise(thread, controller, quantum)
+        else:
+            # "slice" and "block" share the batching engine; "block"
+            # additionally runs compiled superinstructions inside it.
             reason = self.interpreter.run_slice(
                 thread, quantum=quantum, controller=controller
             )
-        else:
-            reason = self._run_slice_stepwise(thread, controller, quantum)
         controller.on_slice_end(thread, reason)
         self.scheduler.last_reason = reason
         self.run_hooks.on_slice_end(self, thread, reason)

@@ -11,7 +11,15 @@ still honors one at a time.  These tests enforce that claim across:
 * replicated primaries under both strategies — byte-identical shipped
   logs;
 * random MiniJava programs (Hypothesis).
+
+The ``block`` engine (superinstruction compiler) rides the same sweep:
+its hot threshold is forced to 1 in these tests so every eligible
+basic block actually compiles, making the compiled path — deferred
+instruction accounting, branch fusion, block chaining — the path under
+test rather than a cold fallback to the slice loop.
 """
+
+import dataclasses
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -25,7 +33,16 @@ from repro.runtime.stdlib import default_natives
 from repro.workloads import ALL_WORKLOADS
 from tests.minijava.test_compiler_properties import bool_exprs, int_exprs
 
-ENGINES = ("step", "slice")
+ENGINES = ("step", "slice", "block")
+
+
+def _config(engine, base=None):
+    """A JVMConfig for one engine; block compiles everything hot."""
+    config = dataclasses.replace(base, engine=engine) if base is not None \
+        else JVMConfig(engine=engine)
+    if engine == "block":
+        config.block_hot_threshold = 1
+    return config
 
 
 def _observe(result, jvm, env):
@@ -55,10 +72,11 @@ def test_workload_equivalence(workload):
         workload.prepare_env(env, "test")
         result, jvm = run_unreplicated(
             registry, workload.main_class,
-            env=env, jvm_config=JVMConfig(engine=engine),
+            env=env, jvm_config=_config(engine),
         )
         observed[engine] = _observe(result, jvm, env)
-    assert observed["step"] == observed["slice"]
+    for engine in ENGINES[1:]:
+        assert observed["step"] == observed[engine], engine
 
 
 # ----------------------------------------------------------------------
@@ -82,14 +100,15 @@ def test_slice_end_trajectories_match():
         env = Environment()
         jvm = JVM(
             workload.registry(), default_natives(), env.attach("traj"),
-            workload.jvm_config(engine),
+            _config(engine, workload.jvm_config(engine)),
         )
         recorder = _Recorder()
         jvm.run_hooks = recorder
         result = jvm.run(workload.main_class)
         assert result.ok, result.uncaught
         trajectories[engine] = recorder.events
-    assert trajectories["step"] == trajectories["slice"]
+    for engine in ENGINES[1:]:
+        assert trajectories["step"] == trajectories[engine], engine
     assert len(trajectories["step"]) > 1  # actually multi-slice
 
 
@@ -104,7 +123,7 @@ def test_replicated_shipped_logs_identical(workload_name, strategy):
     for engine in ENGINES:
         machine = ReplicatedJVM(
             workload.registry(), env=Environment(), strategy=strategy,
-            jvm_config=workload.jvm_config(engine),
+            jvm_config=_config(engine, workload.jvm_config(engine)),
         )
         result = machine.run(workload.main_class)
         assert result.outcome == "primary_completed", result.outcome
@@ -114,7 +133,8 @@ def test_replicated_shipped_logs_identical(workload_name, strategy):
             "stable": machine.env.snapshot_stable(),
             "records": machine.primary_metrics.records_logged,
         }
-    assert observed["step"] == observed["slice"]
+    for engine in ENGINES[1:]:
+        assert observed["step"] == observed[engine], engine
 
 
 # ----------------------------------------------------------------------
@@ -140,7 +160,8 @@ def test_random_programs_equivalent(cond, hit, miss, reps):
     for engine in ENGINES:
         env = Environment()
         result, jvm = run_unreplicated(
-            registry, "Main", env=env, jvm_config=JVMConfig(engine=engine),
+            registry, "Main", env=env, jvm_config=_config(engine),
         )
         observed[engine] = _observe(result, jvm, env)
-    assert observed["step"] == observed["slice"]
+    for engine in ENGINES[1:]:
+        assert observed["step"] == observed[engine], engine

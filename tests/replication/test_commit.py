@@ -117,3 +117,50 @@ def test_atomic_noop_with_large_batch():
         shipper.log(IdMap(1, (0,), 1))
     assert channel.delivered == []             # batch not full: no flush
     assert channel.pending_records == 1
+
+
+# ======================================================================
+# Batched per-flush encoding
+# ======================================================================
+def test_log_buffers_objects_and_encodes_at_flush():
+    """The hot log() call must not serialize: records sit in the buffer
+    as objects and the whole batch is encoded once, at flush."""
+    channel, metrics, shipper = _shipper(batch=100)
+    shipper.log(IdMap(1, (0,), 1))
+    shipper.log(IdMap(2, (0,), 2))
+    assert metrics.records_batch_encoded == 0
+    assert all(not isinstance(r, bytes) for r in channel._buffer)
+    channel.flush()
+    assert metrics.records_batch_encoded == 2
+    assert [decode_record(p) for p in channel.delivered] == \
+        [IdMap(1, (0,), 1), IdMap(2, (0,), 2)]
+
+
+@pytest.mark.parametrize("epoch", [None, 0, 5, 300])
+def test_batched_encoding_is_byte_identical(epoch):
+    """Per-flush batch encoding produces exactly the bytes the old
+    per-record path produced: ``encode(EpochRecord(epoch, encode(r)))``
+    for each record, in order."""
+    from repro.replication.commit import CrashInjector, LogShipper
+    from repro.replication.records import (
+        EpochRecord, LockAcqRecord, OutputIntentRecord, encode,
+    )
+
+    records = [
+        IdMap(1, (0,), 1),
+        LockAcqRecord((1,), 7, 3, 2),
+        OutputIntentRecord((1,), 2, "Server.reply"),
+    ]
+    channel = Channel(batch_records=100)
+    shipper = LogShipper(channel, ReplicationMetrics(), CrashInjector(),
+                         epoch=epoch)
+    for record in records:
+        shipper.log(record)
+    channel.flush()
+
+    if epoch is None:
+        reference = [encode(r) for r in records]
+    else:
+        reference = [encode(EpochRecord(epoch, encode(r)))
+                     for r in records]
+    assert channel.delivered == reference

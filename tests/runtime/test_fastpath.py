@@ -1,5 +1,6 @@
-"""Fast-path machinery: pre-decoded streams, inline caches, cache
-invalidation on class (re)definition, and step() as a budget-1 slice.
+"""Fast-path machinery: pre-decoded streams, inline caches, compiled
+superinstruction blocks, cache invalidation on class (re)definition,
+and step() as a budget-1 slice.
 
 Observational equivalence between the engines is covered by
 ``tests/integration/test_engine_equivalence.py``; these tests pin the
@@ -127,6 +128,92 @@ def test_redefinition_drops_decoded_streams_and_caches():
 
 
 # ----------------------------------------------------------------------
+# Compiled superinstruction blocks
+# ----------------------------------------------------------------------
+_BLOCK_CONFIG = JVMConfig(engine="block", block_hot_threshold=1)
+
+
+def test_hot_blocks_compile_and_hit():
+    result, jvm, env = run_minijava("""
+    class Main {
+        static void main() {
+            int acc = 0;
+            for (int i = 0; i < 50; i++) { acc = acc + i * 2; }
+            System.println("" + acc);
+        }
+    }
+    """, config=_BLOCK_CONFIG)
+    assert result.ok, result.uncaught
+    assert env.console.lines() == ["2450"]
+    interp = jvm.interpreter
+    assert interp.blocks_compiled > 0
+    assert interp.block_cache_hits > interp.blocks_compiled
+    stream = interp._code_cache[_main_method(jvm).code.uid]
+    compiled = [b for b in stream.blocks.values() if b]
+    assert compiled
+    # Every compiled block knows its instruction span for the deferred
+    # accounting add at block exit.
+    assert all(b.size >= 1 for b in compiled)
+
+
+def test_cold_blocks_stay_uncompiled_below_threshold():
+    _, jvm, _ = run_minijava("""
+    class Main {
+        static void main() {
+            int acc = 0;
+            for (int i = 0; i < 50; i++) { acc = acc + i; }
+        }
+    }
+    """, config=JVMConfig(engine="block", block_hot_threshold=1_000_000))
+    assert jvm.interpreter.blocks_compiled == 0
+    assert jvm.interpreter.block_cache_hits == 0
+
+
+def test_redefinition_drops_compiled_blocks_with_streams():
+    """A registry-version bump must drop compiled blocks and decoded
+    streams *atomically* — a stale block closing over a dead stream
+    would execute superseded code."""
+    result, jvm, _ = run_minijava(_LOOP_SOURCE, config=_BLOCK_CONFIG)
+    assert result.ok
+    interp = jvm.interpreter
+    assert interp.blocks_compiled > 0
+    method = _main_method(jvm)
+    old_stream = interp._code_cache[method.code.uid]
+    old_blocks = dict(old_stream.blocks)
+    assert any(old_blocks.values())
+
+    jvm.registry.register(JClass("Extra", "Object"))
+    end = interp.run_slice(_probe_thread(method), budget=1)
+    assert end is SliceEnd.BUDGET
+    rebuilt = interp._code_cache[method.code.uid]
+    assert rebuilt is not old_stream
+    # The rebuilt stream carries no compiled block from before the
+    # bump — anything in it was compiled fresh against the new stream
+    # (the probe step itself re-warms entry 0 at threshold 1).
+    for entry, blk in rebuilt.blocks.items():
+        assert blk is not old_blocks.get(entry)
+    assert rebuilt.blocks.keys() <= {0}
+
+
+def test_block_counters_flow_into_replication_metrics():
+    from repro.env.environment import Environment
+    from repro.minijava import compile_program
+    from repro.replication.machine import ReplicatedJVM
+
+    registry = compile_program(_LOOP_SOURCE)
+    machine = ReplicatedJVM(registry, env=Environment(),
+                            strategy="thread_sched",
+                            jvm_config=_BLOCK_CONFIG)
+    result = machine.run("Main")
+    assert result.outcome == "primary_completed"
+    metrics = machine.primary_metrics
+    assert metrics.engine == "block"
+    assert metrics.blocks_compiled > 0
+    assert metrics.block_cache_hits > 0
+    assert "blocks_compiled" in metrics.as_dict()
+
+
+# ----------------------------------------------------------------------
 # step() over the slice engine
 # ----------------------------------------------------------------------
 def test_step_executes_exactly_one_instruction():
@@ -184,7 +271,7 @@ def test_unknown_engine_rejected():
             Environment().attach("t"), JVMConfig(engine="jit"))
 
 
-@pytest.mark.parametrize("engine", ["step", "slice"])
+@pytest.mark.parametrize("engine", ["step", "slice", "block"])
 def test_both_engines_run(engine):
     result, _, env = run_minijava(
         'class Main { static void main() { System.println("hi"); } }',
